@@ -1,0 +1,280 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 for the index) and runs Bechamel
+   micro-benchmarks of the hot kernels.
+
+   Usage:
+     bench/main.exe                    run everything (full sizes)
+     bench/main.exe --quick            smaller validation sweeps
+     bench/main.exe --csv DIR          also dump machine-readable series
+     bench/main.exe fig5 fig8          run selected targets
+   Targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 logca partial
+            design mechanistic occupancy bechamel all *)
+
+open Tca_experiments
+
+let quick = ref false
+let csv_dir : string option ref = ref None
+
+let write_csv name contents =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents);
+      Printf.printf "[csv] wrote %s\n" path
+
+let banner id title =
+  Printf.printf "\n%s\n=== [%s] %s\n%s\n" (String.make 72 '=') id title
+    (String.make 72 '=')
+
+let run_table1 () =
+  banner "T1" "Model parameters (paper Table I)";
+  Table1.print ()
+
+let run_fig2 () =
+  banner "F2" "Speedup vs granularity (paper Fig. 2)";
+  let rows = Fig2.run () in
+  Fig2.print rows;
+  write_csv "fig2" (Fig2.csv rows)
+
+let run_fig3 () =
+  banner "F3" "Effective ILP timeline (paper Fig. 3)";
+  Fig3.print (Fig3.run ())
+
+let run_fig4 () =
+  banner "F4" "Synthetic microbenchmark validation (paper Fig. 4)";
+  let rows = Fig4.run ~quick:!quick () in
+  Fig4.print rows;
+  write_csv "fig4" (Exp_common.validation_csv rows)
+
+let run_fig5 () =
+  banner "F5" "Heap-manager TCA validation (paper Fig. 5)";
+  let rows = Fig5.run ~quick:!quick () in
+  Fig5.print rows;
+  write_csv "fig5" (Exp_common.validation_csv rows)
+
+let run_fig6 () =
+  banner "F6" "DGEMM TCA validation (paper Fig. 6)";
+  let rows = Fig6.run ~n:(if !quick then 32 else 64) () in
+  Fig6.print rows;
+  write_csv "fig6" (Exp_common.validation_csv rows)
+
+let run_fig7 () =
+  banner "F7" "Speedup heatmaps (paper Fig. 7)";
+  let maps = Fig7.run () in
+  Fig7.print maps;
+  write_csv "fig7" (Fig7.csv maps)
+
+let run_fig8 () =
+  banner "F8" "Concurrency analysis (paper Fig. 8)";
+  let series = Fig8.run () in
+  Fig8.print series;
+  write_csv "fig8" (Fig8.csv series)
+
+let run_logca () =
+  banner "X1" "LogCA comparison (ablation)";
+  Logca_cmp.print (Logca_cmp.run ())
+
+let run_partial () =
+  banner "X2" "Partial speculation (paper Section VIII extension)";
+  Partial_spec.print (Partial_spec.run ())
+
+let run_design () =
+  banner "X3" "Design-space analysis: Pareto / energy / sensitivity";
+  Design_space.print ()
+
+let run_mechanistic () =
+  banner "X4" "Mechanistic CPI model vs simulator";
+  Mechanistic_cmp.print (Mechanistic_cmp.run ())
+
+let run_hashmap () =
+  banner "X7" "Hash-map TCA validation";
+  Hashmap_val.print (Hashmap_val.run ~quick:!quick ())
+
+let run_regex () =
+  banner "X8" "Regular-expression TCA validation";
+  Regex_val.print (Regex_val.run ~quick:!quick ())
+
+let run_strfn () =
+  banner "X9" "String-function TCA validation";
+  Strfn_val.print (Strfn_val.run ~quick:!quick ())
+
+let run_cores () =
+  banner "X6" "HP vs LP core sensitivity (simulator)";
+  Cores_cmp.print (Cores_cmp.run ~quick:!quick ())
+
+let run_occupancy () =
+  banner "X5" "Accelerator occupancy ablation";
+  Occupancy.print (Occupancy.run ~n:(if !quick then 32 else 64) ())
+
+(* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let core = Tca_model.Presets.hp_core in
+  let scenario =
+    Tca_model.Params.scenario ~a:0.35 ~v:0.005
+      ~accel:(Tca_model.Params.Latency 1.0) ()
+  in
+  let model_eval =
+    Test.make ~name:"model-4mode-eval"
+      (Staged.stage (fun () ->
+           ignore (Tca_model.Equations.speedups core scenario)))
+  in
+  let pair =
+    Tca_workloads.Synthetic.generate
+      (Tca_workloads.Synthetic.config ~n_units:200 ~n_chunks:20
+         ~accel_latency:10 ())
+  in
+  let sim_cfg = Tca_uarch.Config.hp () in
+  let simulate =
+    Test.make ~name:"pipeline-10k-uops"
+      (Staged.stage (fun () ->
+           ignore
+             (Tca_uarch.Pipeline.run sim_cfg pair.Tca_workloads.Meta.baseline)))
+  in
+  let heap_ops =
+    Test.make ~name:"tcmalloc-1k-ops"
+      (Staged.stage (fun () ->
+           let h = Tca_heap.Tcmalloc.create () in
+           let addrs = Array.make 500 0 in
+           for i = 0 to 499 do
+             addrs.(i) <- Tca_heap.Tcmalloc.malloc h ((i mod 128) + 1)
+           done;
+           Array.iter (Tca_heap.Tcmalloc.free h) addrs))
+  in
+  let rng = Tca_util.Prng.create 3 in
+  let a = Tca_dgemm.Matrix.random rng 32 in
+  let b = Tca_dgemm.Matrix.random rng 32 in
+  let mma_kernel =
+    Test.make ~name:"mma-32x32-via-4x4"
+      (Staged.stage (fun () ->
+           ignore (Tca_dgemm.Mma.multiply_blocked_mma ~block:32 ~dim:4 a b)))
+  in
+  let hashmap_ops =
+    Test.make ~name:"hashmap-1k-lookups"
+      (Staged.stage (fun () ->
+           let t = Tca_hashmap.Table.create ~capacity_pow2:10 () in
+           for k = 0 to 499 do
+             ignore (Tca_hashmap.Table.insert t ((k * 7919) + 1) k)
+           done;
+           for k = 0 to 499 do
+             ignore (Tca_hashmap.Table.find t ((k * 7919) + 1))
+           done))
+  in
+  let regex_engine =
+    let engine =
+      Tca_regex.Engine.compile (Tca_regex.Pattern.parse_exn "err(or)?[0-9]+")
+    in
+    let text = String.concat "" (List.init 16 (fun _ -> "the quick brown fox error42 jumps ")) in
+    Test.make ~name:"regex-scan-500-chars"
+      (Staged.stage (fun () -> ignore (Tca_regex.Engine.search engine text)))
+  in
+  let strfn_ops =
+    let arena = Tca_strfn.Arena.create ~capacity:8192 () in
+    let addrs =
+      Array.init 50 (fun i ->
+          Tca_strfn.Arena.add_string arena (String.make (20 + (i mod 80)) 'x'))
+    in
+    Test.make ~name:"strfn-50-strlen"
+      (Staged.stage (fun () ->
+           Array.iter (fun a -> ignore (Tca_strfn.Arena.strlen arena a)) addrs))
+  in
+  let trace_gen =
+    Test.make ~name:"codegen-10k-uops"
+      (Staged.stage (fun () ->
+           let rng = Tca_util.Prng.create 5 in
+           let gen = Tca_workloads.Codegen.create ~rng () in
+           let b = Tca_uarch.Trace.Builder.create () in
+           Tca_workloads.Codegen.emit_block gen b 10_000;
+           ignore (Tca_uarch.Trace.Builder.build b)))
+  in
+  let heatmap_grid =
+    let freqs = Tca_util.Sweep.logspace 1e-6 0.1 48 in
+    let coverages = Tca_util.Sweep.linspace 0.05 0.95 17 in
+    Test.make ~name:"model-heatmap-816-cells"
+      (Staged.stage (fun () ->
+           ignore
+             (Tca_model.Grid.compute Tca_model.Presets.hp_core
+                ~accel:(Tca_model.Params.Factor 1.5) ~freqs ~coverages
+                Tca_model.Mode.L_T)))
+  in
+  Test.make_grouped ~name:"tca"
+    [
+      model_eval; simulate; heap_ops; mma_kernel; hashmap_ops; regex_engine;
+      strfn_ops; trace_gen; heatmap_grid;
+    ]
+
+let run_bechamel () =
+  banner "B" "Bechamel micro-benchmarks (implementation hot paths)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ()) in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    results
+
+let targets =
+  [
+    ("table1", run_table1);
+    ("fig2", run_fig2);
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("logca", run_logca);
+    ("partial", run_partial);
+    ("design", run_design);
+    ("mechanistic", run_mechanistic);
+    ("occupancy", run_occupancy);
+    ("cores", run_cores);
+    ("hashmap", run_hashmap);
+    ("regex", run_regex);
+    ("strfn", run_strfn);
+    ("bechamel", run_bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        strip_flags acc rest
+    | "--csv" :: dir :: rest ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+          Printf.eprintf "--csv: %s is not a directory\n" dir;
+          exit 2
+        end;
+        csv_dir := Some dir;
+        strip_flags acc rest
+    | arg :: rest -> strip_flags (arg :: acc) rest
+  in
+  let args = strip_flags [] args in
+  let selected =
+    match args with [] | [ "all" ] -> List.map fst targets | picks -> picks
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown target %s (available: %s)\n" name
+            (String.concat " " (List.map fst targets));
+          exit 2)
+    selected

@@ -1,0 +1,479 @@
+(* Command-line interface to the TCA analytical model, the core
+   simulator, and the paper-reproduction experiments. *)
+
+open Cmdliner
+
+(* --- shared argument parsers --- *)
+
+let core_arg =
+  let parse s =
+    match Tca_model.Presets.by_name s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown core %S (expected %s)" s
+                (String.concat ", " Tca_model.Presets.names)))
+  in
+  let print fmt c = Tca_model.Params.pp_core fmt c in
+  Arg.conv (parse, print)
+
+let core_t =
+  Arg.(
+    value
+    & opt core_arg Tca_model.Presets.hp_core
+    & info [ "core" ] ~docv:"CORE" ~doc:"Core preset: hp, lp or a72.")
+
+let drain_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "auto" -> Ok Tca_interval.Drain.Auto
+    | "refill" -> Ok Tca_interval.Drain.Refill_aware
+    | s -> (
+        match float_of_string_opt s with
+        | Some f when f >= 0.0 -> Ok (Tca_interval.Drain.Fixed f)
+        | Some _ | None ->
+            Error (`Msg "expected 'auto', 'refill' or a cycle count"))
+  in
+  let print fmt = function
+    | Tca_interval.Drain.Auto -> Format.pp_print_string fmt "auto"
+    | Tca_interval.Drain.Refill_aware -> Format.pp_print_string fmt "refill"
+    | Tca_interval.Drain.Fixed f -> Format.fprintf fmt "%g" f
+  in
+  Arg.conv (parse, print)
+
+let drain_t =
+  Arg.(
+    value
+    & opt drain_arg Tca_interval.Drain.Auto
+    & info [ "drain" ] ~docv:"DRAIN"
+        ~doc:
+          "Window-drain estimator: 'auto' (paper power-law default), \
+           'refill' (decoupled-front-end limit) or an explicit cycle \
+           count.")
+
+(* --- tca modes --- *)
+
+let modes_cmd =
+  let doc = "List the four TCA coupling modes and their hardware costs." in
+  let run () =
+    Tca_util.Table.print
+      ~headers:[ "mode"; "leading"; "trailing"; "hardware required" ]
+      (List.map
+         (fun m ->
+           [
+             Tca_model.Mode.to_string m;
+             (if Tca_model.Mode.allows_leading m then "overlap" else "drain");
+             (if Tca_model.Mode.allows_trailing m then "overlap" else "barrier");
+             Tca_model.Mode.hardware_requirements m;
+           ])
+         Tca_model.Mode.all)
+  in
+  Cmd.v (Cmd.info "modes" ~doc) Term.(const run $ const ())
+
+(* --- tca model --- *)
+
+let model_cmd =
+  let doc = "Evaluate the analytical model for one scenario." in
+  let a_t =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "a" ] ~docv:"FRAC" ~doc:"Acceleratable fraction in [0,1].")
+  in
+  let v_t =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "v" ] ~docv:"FREQ"
+          ~doc:"Invocation frequency (invocations per instruction).")
+  in
+  let factor_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "factor"; "A" ] ~docv:"A" ~doc:"Acceleration factor.")
+  in
+  let latency_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "latency" ] ~docv:"CYCLES"
+          ~doc:"Explicit accelerator latency per invocation.")
+  in
+  let run core a v factor latency drain =
+    let accel =
+      match (factor, latency) with
+      | Some f, None -> Tca_model.Params.Factor f
+      | None, Some l -> Tca_model.Params.Latency l
+      | None, None -> Tca_model.Params.Factor 3.0
+      | Some _, Some _ ->
+          prerr_endline "--factor and --latency are mutually exclusive";
+          exit 2
+    in
+    let s = Tca_model.Params.scenario ~drain ~a ~v ~accel () in
+    Format.printf "core:     %a@." Tca_model.Params.pp_core core;
+    Format.printf "scenario: %a@." Tca_model.Params.pp_scenario s;
+    let t = Tca_model.Equations.interval_times core s in
+    Format.printf
+      "interval: baseline %.1f cyc, accel %.1f, non-accel %.1f, drain %.1f, \
+       rob-fill %.1f, commit %.1f@."
+      t.Tca_model.Equations.t_baseline t.Tca_model.Equations.t_accl
+      t.Tca_model.Equations.t_non_accl t.Tca_model.Equations.t_drain
+      t.Tca_model.Equations.t_rob_fill t.Tca_model.Equations.t_commit;
+    Tca_util.Table.print ~headers:[ "mode"; "speedup" ]
+      (List.map
+         (fun (m, sp) ->
+           [ Tca_model.Mode.to_string m; Tca_util.Table.float_cell sp ])
+         (Tca_model.Equations.speedups core s));
+    let best, sp = Tca_model.Equations.best_mode core s in
+    Format.printf "best mode: %s (%.3fx); naive replace-the-region estimate: \
+                   %.3fx@."
+      (Tca_model.Mode.to_string best)
+      sp
+      (Tca_model.Equations.ideal_speedup core s)
+  in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(const run $ core_t $ a_t $ v_t $ factor_t $ latency_t $ drain_t)
+
+(* --- tca sweep --- *)
+
+let sweep_cmd =
+  let doc = "Granularity sweep (Fig. 2 style) for a given core." in
+  let a_t =
+    Arg.(value & opt float 0.3 & info [ "a" ] ~docv:"FRAC" ~doc:"Coverage.")
+  in
+  let factor_t =
+    Arg.(
+      value & opt float 3.0 & info [ "factor"; "A" ] ~doc:"Acceleration factor.")
+  in
+  let points_t =
+    Arg.(value & opt int 17 & info [ "points" ] ~doc:"Sweep points.")
+  in
+  let run core a factor points =
+    let gs = Tca_util.Sweep.logspace 10.0 1.0e9 points in
+    let series =
+      Tca_model.Granularity.series core ~a
+        ~accel:(Tca_model.Params.Factor factor) ~gs
+    in
+    let headers =
+      "granularity" :: List.map Tca_model.Mode.to_string Tca_model.Mode.all
+    in
+    Tca_util.Table.print ~headers
+      (List.init (Array.length gs) (fun i ->
+           Printf.sprintf "%.1e" gs.(i)
+           :: List.map
+                (fun (_, pts) -> Tca_util.Table.float_cell (snd pts.(i)))
+                series))
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ core_t $ a_t $ factor_t $ points_t)
+
+(* --- tca design --- *)
+
+let design_cmd =
+  let doc =
+    "Full design-space report for one scenario: four-mode speedups, \
+     Pareto front over hardware cost, energy verdicts and parameter \
+     sensitivity."
+  in
+  let a_t =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "a" ] ~docv:"FRAC" ~doc:"Acceleratable fraction in [0,1].")
+  in
+  let v_t =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "v" ] ~docv:"FREQ" ~doc:"Invocation frequency.")
+  in
+  let factor_t =
+    Arg.(value & opt float 3.0 & info [ "factor"; "A" ] ~doc:"Acceleration factor.")
+  in
+  let static_t =
+    Arg.(
+      value & opt float 0.5
+      & info [ "static-power" ] ~doc:"Static power, energy units per cycle.")
+  in
+  let run core a v factor static_power drain =
+    let s =
+      Tca_model.Params.scenario ~drain ~a ~v
+        ~accel:(Tca_model.Params.Factor factor) ()
+    in
+    let designs = Tca_model.Hw_cost.designs core s in
+    let front = Tca_model.Hw_cost.pareto_front designs in
+    let verdicts =
+      Tca_model.Energy.evaluate
+        (Tca_model.Energy.make ~static_power ())
+        core s
+    in
+    Tca_util.Table.print
+      ~headers:[ "mode"; "speedup"; "hw cost"; "rel. energy"; "EDP"; "status" ]
+      (List.map2
+         (fun (d : Tca_model.Hw_cost.design) (e : Tca_model.Energy.verdict) ->
+           [
+             Tca_model.Mode.to_string d.Tca_model.Hw_cost.mode;
+             Tca_util.Table.float_cell d.Tca_model.Hw_cost.speedup;
+             Tca_util.Table.float_cell ~decimals:2 d.Tca_model.Hw_cost.cost;
+             Tca_util.Table.float_cell e.Tca_model.Energy.relative_energy;
+             Tca_util.Table.float_cell e.Tca_model.Energy.edp;
+             (if
+                List.exists
+                  (fun (f : Tca_model.Hw_cost.design) ->
+                    f.Tca_model.Hw_cost.mode = d.Tca_model.Hw_cost.mode)
+                  front
+              then "pareto"
+              else "dominated");
+           ])
+         designs verdicts);
+    let best, sp = Tca_model.Equations.best_mode core s in
+    Format.printf
+      "best: %s (%.3fx); energy break-even speedup %.3f; decision stable \
+       under +/-20%%: %b@."
+      (Tca_model.Mode.to_string best)
+      sp
+      (Tca_model.Energy.energy_break_even_speedup
+         (Tca_model.Energy.make ~static_power ())
+         core s)
+      (Tca_model.Sensitivity.decision_stable core s)
+  in
+  Cmd.v (Cmd.info "design" ~doc)
+    Term.(const run $ core_t $ a_t $ v_t $ factor_t $ static_t $ drain_t)
+
+(* --- tca simulate --- *)
+
+let simulate_cmd =
+  let doc =
+    "Run a workload's baseline and accelerated traces through the \
+     cycle-level core simulator under all four couplings and compare \
+     with the model."
+  in
+  let workload_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("synthetic", `Synthetic); ("heap", `Heap); ("dgemm", `Dgemm);
+               ("hashmap", `Hashmap); ("regex", `Regex); ("strfn", `Strfn);
+             ])
+          `Heap
+      & info [ "workload" ] ~docv:"KIND"
+          ~doc:"synthetic, heap, dgemm, hashmap, regex or strfn.")
+  in
+  let size_t =
+    Arg.(
+      value & opt int 0
+      & info [ "size" ]
+          ~doc:
+            "Workload size: chunks (synthetic), app instrs per invocation \
+             (heap/hashmap/regex/strfn) or matrix dimension (dgemm); 0 = \
+             default.")
+  in
+  let run workload size =
+    let cfg = Tca_experiments.Exp_common.validation_core () in
+    let auto_latency p =
+      Tca_experiments.Exp_common.meta_latency p.Tca_workloads.Meta.meta ~cfg
+    in
+    let pair, latency =
+      match workload with
+      | `Synthetic ->
+          let n_chunks = if size > 0 then size else 200 in
+          let p =
+            Tca_workloads.Synthetic.generate
+              (Tca_workloads.Synthetic.config ~n_units:4000 ~n_chunks
+                 ~accel_latency:20 ())
+          in
+          (p, 20.0)
+      | `Heap ->
+          let gap = if size > 0 then size else 100 in
+          let p =
+            Tca_workloads.Heap_workload.generate
+              (Tca_workloads.Heap_workload.config ~n_calls:2000
+                 ~app_instrs_per_call:gap ())
+          in
+          (p, float_of_int Tca_heap.Cost_model.accel_latency)
+      | `Dgemm ->
+          let n = if size > 0 then size else 64 in
+          let p =
+            Tca_workloads.Dgemm_workload.pair
+              (Tca_workloads.Dgemm_workload.config ~n ())
+              ~dim:4
+          in
+          (p, auto_latency p)
+      | `Hashmap ->
+          let gap = if size > 0 then size else 200 in
+          let p, _ =
+            Tca_workloads.Hashmap_workload.generate
+              (Tca_workloads.Hashmap_workload.config ~n_lookups:1500
+                 ~app_instrs_per_lookup:gap ())
+          in
+          (p, auto_latency p)
+      | `Regex ->
+          let gap = if size > 0 then size else 800 in
+          let p, _ =
+            Tca_workloads.Regex_workload.generate
+              (Tca_workloads.Regex_workload.config ~n_records:300
+                 ~app_instrs_per_record:gap ())
+          in
+          (p, auto_latency p)
+      | `Strfn ->
+          let gap = if size > 0 then size else 300 in
+          let p, _ =
+            Tca_workloads.Strfn_workload.generate
+              (Tca_workloads.Strfn_workload.config ~n_calls:1000
+                 ~app_instrs_per_call:gap ())
+          in
+          (p, auto_latency p)
+    in
+    Format.printf "%a@." Tca_workloads.Meta.pp pair.Tca_workloads.Meta.meta;
+    let rows =
+      Tca_experiments.Exp_common.validate_pair ~cfg ~pair ~latency
+    in
+    Tca_util.Table.print ~headers:Tca_experiments.Exp_common.table_headers
+      (Tca_experiments.Exp_common.rows_to_table rows)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ workload_t $ size_t)
+
+(* --- tca trace --- *)
+
+let trace_cmd =
+  let doc =
+    "Generate a workload's baseline and accelerated traces and save them \
+     in the textual interchange format."
+  in
+  let workload_t =
+    Arg.(
+      value
+      & opt (enum [ ("synthetic", `Synthetic); ("heap", `Heap); ("dgemm", `Dgemm) ])
+          `Heap
+      & info [ "workload" ] ~docv:"KIND" ~doc:"synthetic, heap or dgemm.")
+  in
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:"Output prefix: writes PREFIX.base.trace and PREFIX.accel.trace.")
+  in
+  let size_t =
+    Arg.(value & opt int 0 & info [ "size" ] ~doc:"Workload size (0 = default).")
+  in
+  let run workload out size =
+    let pair =
+      match workload with
+      | `Synthetic ->
+          Tca_workloads.Synthetic.generate
+            (Tca_workloads.Synthetic.config ~n_units:4000
+               ~n_chunks:(if size > 0 then size else 200)
+               ~accel_latency:20 ())
+      | `Heap ->
+          Tca_workloads.Heap_workload.generate
+            (Tca_workloads.Heap_workload.config ~n_calls:2000
+               ~app_instrs_per_call:(if size > 0 then size else 100)
+               ())
+      | `Dgemm ->
+          Tca_workloads.Dgemm_workload.pair
+            (Tca_workloads.Dgemm_workload.config
+               ~n:(if size > 0 then size else 64)
+               ())
+            ~dim:4
+    in
+    let base_path = out ^ ".base.trace" in
+    let accel_path = out ^ ".accel.trace" in
+    Tca_uarch.Trace.save base_path pair.Tca_workloads.Meta.baseline;
+    Tca_uarch.Trace.save accel_path pair.Tca_workloads.Meta.accelerated;
+    Format.printf "%a@.wrote %s and %s@." Tca_workloads.Meta.pp
+      pair.Tca_workloads.Meta.meta base_path accel_path
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ workload_t $ out_t $ size_t)
+
+(* --- tca run-trace --- *)
+
+let run_trace_cmd =
+  let doc =
+    "Load a saved trace and run it through the core simulator under one \
+     coupling mode."
+  in
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+  in
+  let mode_t =
+    let parse s =
+      match Tca_model.Mode.of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg "expected NL_NT, L_NT, NL_T or L_T")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Tca_model.Mode.pp)) Tca_model.Mode.L_T
+      & info [ "mode" ] ~docv:"MODE" ~doc:"TCA coupling mode.")
+  in
+  let run file mode =
+    let trace = Tca_uarch.Trace.load file in
+    let cfg =
+      Tca_uarch.Config.with_coupling
+        (Tca_uarch.Config.hp ())
+        (Tca_experiments.Exp_common.coupling_of_mode mode)
+    in
+    let stats = Tca_uarch.Pipeline.run cfg trace in
+    Format.printf "%a@." Tca_uarch.Sim_stats.pp stats
+  in
+  Cmd.v (Cmd.info "run-trace" ~doc) Term.(const run $ file_t $ mode_t)
+
+(* --- tca figure --- *)
+
+let figure_cmd =
+  let doc = "Regenerate a paper table/figure (see DESIGN.md)." in
+  let id_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:"table1, fig2..fig8, logca, partial, design, mechanistic \
+                or occupancy.")
+  in
+  let quick_t =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller validation sweeps.")
+  in
+  let run id quick =
+    let open Tca_experiments in
+    match id with
+    | "table1" -> Table1.print ()
+    | "fig2" -> Fig2.print (Fig2.run ())
+    | "fig3" -> Fig3.print (Fig3.run ())
+    | "fig4" -> Fig4.print (Fig4.run ~quick ())
+    | "fig5" -> Fig5.print (Fig5.run ~quick ())
+    | "fig6" -> Fig6.print (Fig6.run ~n:(if quick then 32 else 64) ())
+    | "fig7" -> Fig7.print (Fig7.run ())
+    | "fig8" -> Fig8.print (Fig8.run ())
+    | "logca" -> Logca_cmp.print (Logca_cmp.run ())
+    | "partial" -> Partial_spec.print (Partial_spec.run ())
+    | "design" -> Design_space.print ()
+    | "mechanistic" -> Mechanistic_cmp.print (Mechanistic_cmp.run ())
+    | "occupancy" -> Occupancy.print (Occupancy.run ())
+    | "cores" -> Cores_cmp.print (Cores_cmp.run ~quick ())
+    | "hashmap" -> Hashmap_val.print (Hashmap_val.run ~quick ())
+    | "regexv" -> Regex_val.print (Regex_val.run ~quick ())
+    | "strfn" -> Strfn_val.print (Strfn_val.run ~quick ())
+    | other ->
+        Printf.eprintf "unknown figure %s\n" other;
+        exit 2
+  in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ id_t $ quick_t)
+
+let () =
+  let doc =
+    "Analytical model for tightly-coupled accelerators (ISPASS 2020 \
+     reproduction)."
+  in
+  let info = Cmd.info "tca" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            modes_cmd; model_cmd; sweep_cmd; design_cmd; simulate_cmd;
+            trace_cmd; run_trace_cmd; figure_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/dgemm_modes.ml: Dgemm_workload Format List Matrix Meta Mma Printf Tca_dgemm Tca_experiments Tca_uarch Tca_util Tca_workloads

@@ -1,0 +1,1 @@
+examples/dgemm_modes.mli:

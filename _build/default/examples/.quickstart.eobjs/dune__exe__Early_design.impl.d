@@ -1,0 +1,1 @@
+examples/early_design.ml: Energy Equations Hw_cost List Mode Params Printf Sensitivity Tca_interval Tca_model Tca_util

@@ -1,0 +1,1 @@
+examples/early_design.mli:

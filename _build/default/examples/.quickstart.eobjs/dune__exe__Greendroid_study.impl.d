@@ -1,0 +1,1 @@
+examples/greendroid_study.ml: Equations Greendroid List Mode Params Presets Printf String Tca_model Tca_util Tca_workloads

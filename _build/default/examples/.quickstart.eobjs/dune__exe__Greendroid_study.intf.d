@@ -1,0 +1,1 @@
+examples/greendroid_study.mli:

@@ -1,0 +1,1 @@
+examples/heap_design_space.ml: Equations Greendroid Heap_workload List Mode Params Partial Presets Printf Tca_experiments Tca_heap Tca_model Tca_util Tca_workloads

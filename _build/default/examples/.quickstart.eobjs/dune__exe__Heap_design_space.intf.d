@@ -1,0 +1,1 @@
+examples/heap_design_space.mli:

@@ -1,0 +1,1 @@
+examples/markers_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Concurrency Equations Format List Mode Params Presets Tca_model

@@ -1,0 +1,1 @@
+lib/core/concurrency.ml: Array Equations Params

@@ -1,0 +1,1 @@
+lib/core/concurrency.mli: Mode Params

@@ -1,0 +1,1 @@
+lib/core/energy.ml: Equations List Mode Params

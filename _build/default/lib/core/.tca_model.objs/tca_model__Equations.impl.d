@@ -1,0 +1,1 @@
+lib/core/equations.ml: Float List Mode Params Tca_interval

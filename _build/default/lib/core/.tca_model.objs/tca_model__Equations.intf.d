@@ -1,0 +1,1 @@
+lib/core/equations.mli: Mode Params

@@ -1,0 +1,1 @@
+lib/core/granularity.ml: Array Equations List Mode Params Tca_util

@@ -1,0 +1,1 @@
+lib/core/granularity.mli: Mode Params

@@ -1,0 +1,1 @@
+lib/core/grid.ml: Array Equations Float List Params

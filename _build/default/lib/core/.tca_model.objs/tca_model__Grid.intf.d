@@ -1,0 +1,1 @@
+lib/core/grid.mli: Mode Params

@@ -1,0 +1,1 @@
+lib/core/hw_cost.mli: Mode Params

@@ -1,0 +1,1 @@
+lib/core/mode.ml: Format Int String

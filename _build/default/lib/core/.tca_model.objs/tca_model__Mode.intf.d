@@ -1,0 +1,1 @@
+lib/core/mode.mli: Format

@@ -1,0 +1,1 @@
+lib/core/partial.ml: Equations Mode Params

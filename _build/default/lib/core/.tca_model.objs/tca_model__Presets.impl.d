@@ -1,0 +1,1 @@
+lib/core/presets.ml: Params String

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Equations Float List Mode Params Tca_util

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Float Hashtbl List Mode Option Tca_util

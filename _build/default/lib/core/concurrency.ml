@@ -1,0 +1,33 @@
+let coverage_series core ~g ~accel ~coverages mode =
+  Array.map
+    (fun a ->
+      if a <= 0.0 then (a, 1.0)
+      else
+        let s = Params.scenario_of_granularity ~a ~g ~accel () in
+        (a, Equations.speedup core s mode))
+    coverages
+
+let ideal_peak_coverage ~accel_factor =
+  if accel_factor <= 0.0 then invalid_arg "Concurrency.ideal_peak_coverage";
+  accel_factor /. (accel_factor +. 1.0)
+
+let ideal_peak_speedup ~accel_factor =
+  if accel_factor <= 0.0 then invalid_arg "Concurrency.ideal_peak_speedup";
+  accel_factor +. 1.0
+
+let peak series =
+  if Array.length series = 0 then invalid_arg "Concurrency.peak: empty series";
+  Array.fold_left
+    (fun ((_, by) as best) ((_, y) as cand) -> if y > by then cand else best)
+    series.(0) series
+
+let local_maxima series =
+  let n = Array.length series in
+  let out = ref [] in
+  for i = n - 2 downto 1 do
+    let _, y_prev = series.(i - 1)
+    and ((_, y) as pt) = series.(i)
+    and _, y_next = series.(i + 1) in
+    if y > y_prev && y > y_next then out := pt :: !out
+  done;
+  !out

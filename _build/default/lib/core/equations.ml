@@ -1,0 +1,77 @@
+type times = {
+  t_baseline : float;
+  t_accl : float;
+  t_non_accl : float;
+  t_drain : float;
+  t_rob_fill : float;
+  t_commit : float;
+}
+
+let interval_times (core : Params.core) (s : Params.scenario) =
+  if s.v <= 0.0 then invalid_arg "Equations.interval_times: v = 0";
+  let t_baseline = 1.0 /. (s.v *. core.ipc) in
+  let t_accl =
+    match s.accel with
+    | Params.Factor a_factor -> s.a /. (s.v *. a_factor *. core.ipc)
+    | Params.Latency l -> l
+  in
+  let t_non_accl = (1.0 -. s.a) /. (s.v *. core.ipc) in
+  let fit =
+    Tca_interval.Power_law.calibrate ~ipc:core.ipc ~window:core.rob_size
+      ~beta:core.drain_beta
+  in
+  let t_drain =
+    Tca_interval.Drain.time s.drain ~fit ~window:core.rob_size
+      ~interval_instrs:((1.0 -. s.a) /. s.v)
+      ~non_accl_time:t_non_accl
+  in
+  let t_rob_fill = float_of_int core.rob_size /. float_of_int core.issue_width in
+  { t_baseline; t_accl; t_non_accl; t_drain; t_rob_fill; t_commit = core.commit_stall }
+
+let time_of_times (t : times) (mode : Mode.t) =
+  match mode with
+  | Mode.NL_NT ->
+      (* eq. (4): drain, execute, and commit twice (once for the drained
+         window, once for the TCA itself). *)
+      t.t_non_accl +. t.t_accl +. t.t_drain +. (2.0 *. t.t_commit)
+  | Mode.L_NT ->
+      (* eq. (5): the TCA overlaps leading work; the front end stalls for
+         the TCA's execution and commit only. *)
+      t.t_non_accl +. t.t_accl +. t.t_commit
+  | Mode.NL_T ->
+      (* eqs. (6)-(7): trailing instructions flow until the ROB fills;
+         the TCA start is delayed by the drain. *)
+      let rob_full =
+        Float.max 0.0 (t.t_drain +. t.t_accl +. t.t_commit -. t.t_rob_fill)
+      in
+      Float.max (t.t_non_accl +. rob_full) (t.t_accl +. t.t_drain +. t.t_commit)
+  | Mode.L_T ->
+      (* eqs. (8)-(9): full overlap; only a very long TCA that outlives
+         the ROB fill stalls the front end. *)
+      let rob_full = Float.max 0.0 (t.t_accl -. t.t_rob_fill) in
+      Float.max (t.t_non_accl +. rob_full) t.t_accl
+
+let mode_time core s mode = time_of_times (interval_times core s) mode
+
+let speedup core s mode =
+  if s.Params.v <= 0.0 then 1.0
+  else
+    let t = interval_times core s in
+    t.t_baseline /. time_of_times t mode
+
+let speedups core s = List.map (fun m -> (m, speedup core s m)) Mode.all
+
+let best_mode core s =
+  match speedups core s with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun ((_, best_s) as best) ((_, cand_s) as cand) ->
+          if cand_s > best_s then cand else best)
+        first rest
+
+let ideal_speedup core s =
+  if s.Params.v <= 0.0 then 1.0
+  else
+    let t = interval_times core s in
+    t.t_baseline /. (t.t_non_accl +. t.t_accl)

@@ -1,0 +1,42 @@
+(** The analytical model proper: equations (1)-(9) of the paper.
+
+    All times are per-interval, where one interval is the average stretch
+    of program containing exactly one accelerator invocation ([1/v]
+    instructions of the baseline program). Speedups are ratios of interval
+    times, which by the paper's interval-analysis argument equal
+    whole-program speedups. *)
+
+type times = {
+  t_baseline : float;  (** eq. (1): [1 / (v * IPC)] *)
+  t_accl : float;  (** eq. (2): [a / (v * A * IPC)] or explicit latency *)
+  t_non_accl : float;  (** eq. (3): [(1 - a) / (v * IPC)] *)
+  t_drain : float;  (** window-drain penalty (power law or override) *)
+  t_rob_fill : float;  (** [s_ROB / w_issue] *)
+  t_commit : float;  (** the core's [t_commit] parameter *)
+}
+
+val interval_times : Params.core -> Params.scenario -> times
+(** All intermediate quantities for one (core, scenario) pair. Raises
+    [Invalid_argument] when [v = 0] (no invocations: there is no
+    interval). *)
+
+val mode_time : Params.core -> Params.scenario -> Mode.t -> float
+(** Interval execution time under the given TCA mode: eqs. (4), (5), (7)
+    and (9). *)
+
+val speedup : Params.core -> Params.scenario -> Mode.t -> float
+(** [t_baseline / mode_time]. Returns [1.0] when [v = 0] (nothing is
+    accelerated). Values below 1 are program slowdowns. *)
+
+val speedups : Params.core -> Params.scenario -> (Mode.t * float) list
+(** Speedup under all four modes, in [Mode.all] order. *)
+
+val best_mode : Params.core -> Params.scenario -> Mode.t * float
+(** The mode with the highest predicted speedup (ties resolved toward the
+    cheaper hardware, i.e. the earlier entry of [Mode.all]). *)
+
+val ideal_speedup : Params.core -> Params.scenario -> float
+(** The "replace the region with accelerator time" estimate used by prior
+    TCA papers: [t_baseline / (t_non_accl + t_accl)]. Upper-bounds the
+    non-overlapped modes and ignores all window effects; shown in the
+    discussion benches for contrast. *)

@@ -1,0 +1,54 @@
+type t = {
+  freqs : float array;
+  coverages : float array;
+  cells : float array array;
+}
+
+let compute core ~accel ~freqs ~coverages mode =
+  let cells =
+    Array.map
+      (fun a ->
+        Array.map
+          (fun v ->
+            if v <= 0.0 || a <= 0.0 || a < v then Float.nan
+            else
+              let s = Params.scenario ~a ~v ~accel () in
+              Equations.speedup core s mode)
+          freqs)
+      coverages
+  in
+  { freqs; coverages; cells }
+
+let slowdown_fraction t =
+  let feasible = ref 0 and slow = ref 0 in
+  Array.iter
+    (Array.iter (fun x ->
+         if not (Float.is_nan x) then begin
+           incr feasible;
+           if x < 1.0 then incr slow
+         end))
+    t.cells;
+  if !feasible = 0 then 0.0 else float_of_int !slow /. float_of_int !feasible
+
+let accelerator_curve t ~granularity =
+  if granularity < 1.0 then invalid_arg "Grid.accelerator_curve: g below 1";
+  let nearest_col v =
+    let best = ref 0 and best_d = ref infinity in
+    Array.iteri
+      (fun i f ->
+        let d = Float.abs (log f -. log v) in
+        if d < !best_d then begin
+          best := i;
+          best_d := d
+        end)
+      t.freqs;
+    !best
+  in
+  let cells = ref [] in
+  Array.iteri
+    (fun row a ->
+      let v = a /. granularity in
+      if v >= t.freqs.(0) && v <= t.freqs.(Array.length t.freqs - 1) then
+        cells := (row, nearest_col v) :: !cells)
+    t.coverages;
+  List.rev !cells

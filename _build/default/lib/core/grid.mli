@@ -1,0 +1,29 @@
+(** 2-D speedup maps over (invocation frequency, acceleratable fraction)
+    — the raw material of the paper's Fig. 7 heatmaps. *)
+
+type t = {
+  freqs : float array;  (** invocation frequencies, one per column *)
+  coverages : float array;  (** acceleratable fractions, one per row *)
+  cells : float array array;
+      (** [cells.(row).(col)] = predicted speedup; [nan] where the
+          combination is infeasible (granularity [a/v < 1]) *)
+}
+
+val compute :
+  Params.core ->
+  accel:Params.accel_time ->
+  freqs:float array ->
+  coverages:float array ->
+  Mode.t ->
+  t
+
+val slowdown_fraction : t -> float
+(** Fraction of feasible cells with speedup < 1 — a scalar summary of how
+    dangerous a mode is for the swept region. *)
+
+val accelerator_curve :
+  t -> granularity:float -> (int * int) list
+(** Cells (row, col) closest to the fixed-granularity locus [a = g * v]:
+    where a fixed-function accelerator of granularity [g] falls for each
+    achievable coverage, as drawn for the heap manager and GreenDroid in
+    Fig. 7. *)

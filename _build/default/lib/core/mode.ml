@@ -1,0 +1,40 @@
+type t = NL_NT | L_NT | NL_T | L_T
+
+let all = [ NL_NT; L_NT; NL_T; L_T ]
+
+let rank = function NL_NT -> 0 | L_NT -> 1 | NL_T -> 2 | L_T -> 3
+let equal a b = rank a = rank b
+let compare a b = Int.compare (rank a) (rank b)
+
+let allows_leading = function L_NT | L_T -> true | NL_NT | NL_T -> false
+let allows_trailing = function NL_T | L_T -> true | NL_NT | L_NT -> false
+
+let to_string = function
+  | NL_NT -> "NL_NT"
+  | L_NT -> "L_NT"
+  | NL_T -> "NL_T"
+  | L_T -> "L_T"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "NL_NT" -> Some NL_NT
+  | "L_NT" -> Some L_NT
+  | "NL_T" -> Some NL_T
+  | "L_T" -> Some L_T
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let hardware_requirements = function
+  | NL_NT ->
+      "none beyond the TCA itself: never squashed (no checkpointing), never \
+       concurrent (no dependency checks)"
+  | L_NT ->
+      "rollback of any TCA-modified state on misspeculation; no trailing \
+       dependency hardware"
+  | NL_T ->
+      "register/memory dependency resolution (LSQ + rename integration) for \
+       trailing instructions; no speculation rollback"
+  | L_T ->
+      "both misspeculation rollback and full register/memory dependency \
+       resolution against leading and trailing instructions"

@@ -1,0 +1,34 @@
+(** The four degrees of TCA/core concurrency (paper Section III).
+
+    [L]/[NL]: the accelerator may / may not execute concurrently with
+    leading instructions (i.e. speculatively, before older instructions
+    commit). [T]/[NT]: trailing instructions may / may not be dispatched
+    while the accelerator is in flight. *)
+
+type t =
+  | NL_NT  (** ROB drain before TCA + dispatch barrier after it *)
+  | L_NT   (** speculative TCA, dispatch barrier after it *)
+  | NL_T   (** ROB drain before TCA, trailing instructions flow *)
+  | L_T    (** full out-of-order integration *)
+
+val all : t list
+(** In the paper's presentation order: [NL_NT; L_NT; NL_T; L_T]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val allows_leading : t -> bool
+(** [true] iff the TCA executes speculatively, overlapped with leading
+    instructions. *)
+
+val allows_trailing : t -> bool
+(** [true] iff trailing instructions dispatch while the TCA is in
+    flight. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val hardware_requirements : t -> string
+(** One-line summary of the hardware the mode needs (rollback and/or
+    dependency-resolution logic), from Sections III-A..III-D. *)

@@ -1,0 +1,76 @@
+type core = {
+  ipc : float;
+  rob_size : int;
+  issue_width : int;
+  commit_stall : float;
+  drain_beta : float;
+}
+
+type accel_time = Factor of float | Latency of float
+
+type scenario = {
+  a : float;
+  v : float;
+  accel : accel_time;
+  drain : Tca_interval.Drain.spec;
+}
+
+let core ?(commit_stall = 5.0) ?(drain_beta = 2.0) ~ipc ~rob_size ~issue_width
+    () =
+  if ipc <= 0.0 then invalid_arg "Params.core: ipc must be positive";
+  if rob_size <= 0 then invalid_arg "Params.core: rob_size must be positive";
+  if issue_width <= 0 then invalid_arg "Params.core: issue_width must be positive";
+  if commit_stall < 0.0 then invalid_arg "Params.core: commit_stall must be non-negative";
+  if drain_beta <= 0.0 then invalid_arg "Params.core: drain_beta must be positive";
+  { ipc; rob_size; issue_width; commit_stall; drain_beta }
+
+let validate_accel = function
+  | Factor f when f <= 0.0 ->
+      invalid_arg "Params.scenario: acceleration factor must be positive"
+  | Latency l when l < 0.0 ->
+      invalid_arg "Params.scenario: accelerator latency must be non-negative"
+  | Factor _ | Latency _ -> ()
+
+let scenario ?(drain = Tca_interval.Drain.Auto) ~a ~v ~accel () =
+  if a < 0.0 || a > 1.0 then invalid_arg "Params.scenario: a must be in [0, 1]";
+  if v < 0.0 then invalid_arg "Params.scenario: v must be non-negative";
+  if v > 0.0 && a < v then
+    invalid_arg "Params.scenario: granularity a/v below one instruction";
+  validate_accel accel;
+  { a; v; accel; drain }
+
+let granularity s =
+  if s.v = 0.0 then invalid_arg "Params.granularity: v = 0";
+  s.a /. s.v
+
+let scenario_of_granularity ?drain ~a ~g ~accel () =
+  if g < 1.0 then invalid_arg "Params.scenario_of_granularity: g below 1";
+  scenario ?drain ~a ~v:(a /. g) ~accel ()
+
+let pp_core fmt c =
+  Format.fprintf fmt
+    "{ ipc = %.3f; rob = %d; issue = %d; t_commit = %.1f; beta = %.1f }" c.ipc
+    c.rob_size c.issue_width c.commit_stall c.drain_beta
+
+let pp_accel fmt = function
+  | Factor f -> Format.fprintf fmt "A = %.2fx" f
+  | Latency l -> Format.fprintf fmt "latency = %.1f cycles" l
+
+let pp_scenario fmt s =
+  Format.fprintf fmt "{ a = %.4f; v = %.6f; %a; drain = %s }" s.a s.v pp_accel
+    s.accel
+    (match s.drain with
+    | Tca_interval.Drain.Auto -> "auto"
+    | Tca_interval.Drain.Refill_aware -> "refill-aware"
+    | Tca_interval.Drain.Fixed t -> Printf.sprintf "%.1f" t)
+
+let glossary =
+  [
+    ("a", "% acceleratable code");
+    ("v", "invocation frequency (invocations / instruction)");
+    ("IPC", "instructions / cycle of the baseline program");
+    ("A", "acceleration factor");
+    ("s_ROB", "size of the reorder buffer");
+    ("w_issue", "issue (dispatch) width");
+    ("t_commit", "commit stall (back-end pipeline latency)");
+  ]

@@ -1,0 +1,56 @@
+(** Input parameters of the analytical model (paper Table I).
+
+    Core parameters describe the processor; scenario parameters describe
+    the workload/accelerator pair under study. *)
+
+type core = {
+  ipc : float;  (** average program IPC before acceleration *)
+  rob_size : int;  (** [s_ROB] *)
+  issue_width : int;  (** [w_issue], front-end dispatch width *)
+  commit_stall : float;  (** [t_commit], back-end commit latency in cycles *)
+  drain_beta : float;
+      (** exponent of the window/critical-path power law (default 2.0,
+          the square-root law reported for SPEC2006) *)
+}
+
+type accel_time =
+  | Factor of float
+      (** acceleration factor [A]: the accelerator runs the acceleratable
+          instructions at [A * IPC] (paper eq. (2)) *)
+  | Latency of float
+      (** explicit per-invocation accelerator execution time in cycles,
+          "an explicitly provided latency inserted by the architect" *)
+
+type scenario = {
+  a : float;  (** fraction of acceleratable code, in [0, 1] *)
+  v : float;  (** invocation frequency: invocations / total instructions *)
+  accel : accel_time;
+  drain : Tca_interval.Drain.spec;  (** [t_drain] override or Auto *)
+}
+
+val core : ?commit_stall:float -> ?drain_beta:float ->
+  ipc:float -> rob_size:int -> issue_width:int -> unit -> core
+(** Smart constructor; validates and raises [Invalid_argument] on
+    non-positive parameters. [commit_stall] defaults to 5 cycles,
+    [drain_beta] to 2. *)
+
+val scenario : ?drain:Tca_interval.Drain.spec ->
+  a:float -> v:float -> accel:accel_time -> unit -> scenario
+(** Validates [0 <= a <= 1], [v >= 0], [a >= v] when [v > 0] (an
+    invocation covers at least one instruction), positive accel factor /
+    non-negative latency. *)
+
+val granularity : scenario -> float
+(** [a / v]: average acceleratable instructions per invocation. Raises
+    [Invalid_argument] when [v = 0]. *)
+
+val scenario_of_granularity :
+  ?drain:Tca_interval.Drain.spec ->
+  a:float -> g:float -> accel:accel_time -> unit -> scenario
+(** Convenience used by the granularity sweeps: [v = a / g]. *)
+
+val pp_core : Format.formatter -> core -> unit
+val pp_scenario : Format.formatter -> scenario -> unit
+
+val glossary : (string * string) list
+(** Paper Table I: symbol, meaning. *)

@@ -1,0 +1,22 @@
+(** Partial-speculation extension (paper Section VIII, future work).
+
+    Instead of always (L) or never (NL) executing the TCA speculatively,
+    a design can speculate only when the leading branches are
+    high-confidence. With confidence coverage [p] (the fraction of
+    invocations that proceed speculatively), the expected interval time is
+    the blend of the L and NL variants of the chosen trailing policy. *)
+
+val mode_time :
+  Params.core -> Params.scenario -> trailing:bool -> p_speculate:float -> float
+(** [mode_time core s ~trailing ~p_speculate] blends
+    [p * t_L_x + (1 - p) * t_NL_x] where [x] is [T] when [trailing],
+    else [NT]. Raises [Invalid_argument] unless [0 <= p_speculate <= 1]. *)
+
+val speedup :
+  Params.core -> Params.scenario -> trailing:bool -> p_speculate:float -> float
+
+val required_confidence :
+  Params.core -> Params.scenario -> trailing:bool -> target_speedup:float ->
+  float option
+(** Smallest [p] (searched on a fine grid) achieving the target speedup,
+    or [None] if even full speculation ([p = 1]) falls short. *)

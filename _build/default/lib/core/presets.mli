@@ -1,0 +1,26 @@
+(** Core parameter presets used throughout the paper.
+
+    The high-performance and low-performance cores are given explicitly in
+    Section VI ("1.8 IPC, 256 entry ROB, 4-issue" and "0.5 IPC, 64 entry
+    ROB, 2-issue"). The ARM A72 parameters behind Fig. 2 are not listed in
+    the paper; we transcribe the public A72 microarchitecture (3-wide
+    dispatch, 128-entry ROB) with a representative 1.3 IPC. Commit-stall
+    values are our documented choices: deeper high-performance pipelines
+    get a longer back-end latency. *)
+
+val hp_core : Params.core
+(** Mid/high-performance OoO core: IPC 1.8, 256-entry ROB, 4-issue,
+    t_commit 8. *)
+
+val lp_core : Params.core
+(** Low-performance OoO core: IPC 0.5, 64-entry ROB, 2-issue,
+    t_commit 4. *)
+
+val arm_a72 : Params.core
+(** ARM Cortex-A72-like core for the Fig. 2 granularity study: IPC 1.3,
+    128-entry ROB, 3-issue, t_commit 6. *)
+
+val by_name : string -> Params.core option
+(** ["hp"], ["lp"] or ["a72"] (case-insensitive). *)
+
+val names : string list

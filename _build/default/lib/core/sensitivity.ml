@@ -1,0 +1,114 @@
+type parameter =
+  | Ipc
+  | Rob_size
+  | Issue_width
+  | Commit_stall
+  | Coverage
+  | Frequency
+  | Acceleration
+
+let all_parameters =
+  [ Ipc; Rob_size; Issue_width; Commit_stall; Coverage; Frequency; Acceleration ]
+
+let parameter_name = function
+  | Ipc -> "IPC"
+  | Rob_size -> "s_ROB"
+  | Issue_width -> "w_issue"
+  | Commit_stall -> "t_commit"
+  | Coverage -> "a"
+  | Frequency -> "v"
+  | Acceleration -> "A / latency"
+
+type swing = {
+  parameter : parameter;
+  mode : Mode.t;
+  low : float;
+  high : float;
+  magnitude : float;
+}
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let perturb (core : Params.core) (s : Params.scenario) param factor =
+  match param with
+  | Ipc ->
+      ( Params.core ~ipc:(core.Params.ipc *. factor)
+          ~rob_size:core.Params.rob_size ~issue_width:core.Params.issue_width
+          ~commit_stall:core.Params.commit_stall
+          ~drain_beta:core.Params.drain_beta (),
+        s )
+  | Rob_size ->
+      ( Params.core ~ipc:core.Params.ipc
+          ~rob_size:
+            (max 1 (int_of_float (float_of_int core.Params.rob_size *. factor)))
+          ~issue_width:core.Params.issue_width
+          ~commit_stall:core.Params.commit_stall
+          ~drain_beta:core.Params.drain_beta (),
+        s )
+  | Issue_width ->
+      ( Params.core ~ipc:core.Params.ipc ~rob_size:core.Params.rob_size
+          ~issue_width:
+            (max 1
+               (int_of_float (float_of_int core.Params.issue_width *. factor)))
+          ~commit_stall:core.Params.commit_stall
+          ~drain_beta:core.Params.drain_beta (),
+        s )
+  | Commit_stall ->
+      ( Params.core ~ipc:core.Params.ipc ~rob_size:core.Params.rob_size
+          ~issue_width:core.Params.issue_width
+          ~commit_stall:(core.Params.commit_stall *. factor)
+          ~drain_beta:core.Params.drain_beta (),
+        s )
+  | Coverage ->
+      let a = clamp s.Params.v 1.0 (s.Params.a *. factor) in
+      (core, Params.scenario ~drain:s.Params.drain ~a ~v:s.Params.v ~accel:s.Params.accel ())
+  | Frequency ->
+      let v = clamp 0.0 s.Params.a (s.Params.v *. factor) in
+      (core, Params.scenario ~drain:s.Params.drain ~a:s.Params.a ~v ~accel:s.Params.accel ())
+  | Acceleration ->
+      let accel =
+        match s.Params.accel with
+        | Params.Factor f -> Params.Factor (f *. factor)
+        | Params.Latency l ->
+            (* Scaling "acceleration" up means a shorter latency. *)
+            Params.Latency (l /. factor)
+      in
+      (core, Params.scenario ~drain:s.Params.drain ~a:s.Params.a ~v:s.Params.v ~accel ())
+
+let swings ?(delta = 0.2) core s mode =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Sensitivity.swings: delta out of (0, 1)";
+  all_parameters
+  |> List.map (fun param ->
+         let core_lo, s_lo = perturb core s param (1.0 -. delta) in
+         let core_hi, s_hi = perturb core s param (1.0 +. delta) in
+         let low = Equations.speedup core_lo s_lo mode in
+         let high = Equations.speedup core_hi s_hi mode in
+         { parameter = param; mode; low; high; magnitude = Float.abs (high -. low) })
+  |> List.sort (fun a b -> compare b.magnitude a.magnitude)
+
+let decision_stable ?(delta = 0.2) core s =
+  let best c sc = fst (Equations.best_mode c sc) in
+  let nominal = best core s in
+  List.for_all
+    (fun param ->
+      List.for_all
+        (fun factor ->
+          let c, sc = perturb core s param factor in
+          Mode.equal (best c sc) nominal)
+        [ 1.0 -. delta; 1.0 +. delta ])
+    all_parameters
+
+let headers = [ "parameter"; "mode"; "-delta"; "+delta"; "swing" ]
+
+let rows swings_list =
+  List.map
+    (fun sw ->
+      [
+        parameter_name sw.parameter;
+        Mode.to_string sw.mode;
+        Tca_util.Table.float_cell sw.low;
+        Tca_util.Table.float_cell sw.high;
+        Tca_util.Table.float_cell sw.magnitude;
+      ])
+    swings_list

@@ -1,0 +1,47 @@
+(** Parameter-sensitivity analysis: which model input actually decides
+    the design?
+
+    For early-stage estimates every input (IPC, A, v, a, t_commit, ROB
+    size) carries uncertainty. This module perturbs each input by a
+    relative amount and reports the speedup swing per mode — a tornado
+    table — plus whether the *best-mode decision* is stable under the
+    perturbation. *)
+
+type parameter =
+  | Ipc
+  | Rob_size
+  | Issue_width
+  | Commit_stall
+  | Coverage  (** a *)
+  | Frequency  (** v *)
+  | Acceleration  (** A or the explicit latency *)
+
+val all_parameters : parameter list
+val parameter_name : parameter -> string
+
+type swing = {
+  parameter : parameter;
+  mode : Mode.t;
+  low : float;  (** speedup with the parameter scaled by [1 - delta] *)
+  high : float;  (** speedup with the parameter scaled by [1 + delta] *)
+  magnitude : float;  (** |high - low| *)
+}
+
+val perturb :
+  Params.core -> Params.scenario -> parameter -> float ->
+  Params.core * Params.scenario
+(** Scale one parameter by the given factor, clamping to validity
+    (coverage to [\[0, 1\]], integer parameters to at least 1, coverage
+    >= v). *)
+
+val swings :
+  ?delta:float -> Params.core -> Params.scenario -> Mode.t -> swing list
+(** One swing per parameter for the mode, sorted by decreasing magnitude
+    (the tornado ordering). [delta] defaults to 0.2 (±20%). *)
+
+val decision_stable : ?delta:float -> Params.core -> Params.scenario -> bool
+(** Does the best mode stay the best under every single-parameter ±delta
+    perturbation? *)
+
+val rows : swing list -> string list list
+val headers : string list

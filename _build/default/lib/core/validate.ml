@@ -1,0 +1,62 @@
+type point = {
+  id : string;
+  mode : Mode.t;
+  measured : float;
+  estimated : float;
+}
+
+type summary = {
+  n : int;
+  mean_abs_pct : float;
+  median_abs_pct : float;
+  max_abs_pct : float;
+}
+
+let error p =
+  Tca_util.Stats.relative_error ~measured:p.measured ~estimated:p.estimated
+
+let summarize points =
+  if points = [] then invalid_arg "Validate.summarize: empty";
+  let errs =
+    Array.of_list (List.map (fun p -> 100.0 *. Float.abs (error p)) points)
+  in
+  {
+    n = Array.length errs;
+    mean_abs_pct = Tca_util.Stats.mean errs;
+    median_abs_pct = Tca_util.Stats.median errs;
+    max_abs_pct = Tca_util.Stats.max errs;
+  }
+
+let headers = [ "workload"; "mode"; "measured"; "estimated"; "error" ]
+
+let rows points =
+  List.map
+    (fun p ->
+      [
+        p.id;
+        Mode.to_string p.mode;
+        Tca_util.Table.float_cell p.measured;
+        Tca_util.Table.float_cell p.estimated;
+        Tca_util.Table.pct_cell (error p);
+      ])
+    points
+
+let trends_preserved ?(tolerance = 0.02) points =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups p.id) in
+      Hashtbl.replace groups p.id (p :: existing))
+    points;
+  let pair_ok p q =
+    let gap = Float.abs (p.measured -. q.measured) /. q.measured in
+    gap <= tolerance
+    || compare p.measured q.measured = compare p.estimated q.estimated
+  in
+  Hashtbl.fold
+    (fun _ ps acc ->
+      acc
+      && List.for_all
+           (fun p -> List.for_all (fun q -> pair_ok p q) ps)
+           ps)
+    groups true

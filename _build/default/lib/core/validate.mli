@@ -1,0 +1,35 @@
+(** Model-vs-measurement bookkeeping for the validation experiments
+    (paper Figs. 4-6). *)
+
+type point = {
+  id : string;  (** workload / configuration label *)
+  mode : Mode.t;
+  measured : float;  (** simulator speedup *)
+  estimated : float;  (** analytical-model speedup *)
+}
+
+type summary = {
+  n : int;
+  mean_abs_pct : float;  (** mean |error| in percent *)
+  median_abs_pct : float;
+  max_abs_pct : float;
+}
+
+val error : point -> float
+(** Signed relative error [(estimated - measured) / measured]. *)
+
+val summarize : point list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val rows : point list -> string list list
+(** Table rows: id, mode, measured, estimated, error% — ready for
+    {!Tca_util.Table.print}. *)
+
+val headers : string list
+
+val trends_preserved : ?tolerance:float -> point list -> bool
+(** [true] iff, within every [id] group and for every pair of modes whose
+    measured speedups differ by more than [tolerance] (relative, default
+    2%), the estimates order that pair the same way — the paper's
+    "correctly predicts overarching trends" criterion. Pairs inside the
+    tolerance band are measurement ties and don't constrain the model. *)

@@ -1,0 +1,1 @@
+lib/dgemm/matrix.ml: Array Float List Tca_util

@@ -1,0 +1,1 @@
+lib/dgemm/matrix.mli: Tca_util

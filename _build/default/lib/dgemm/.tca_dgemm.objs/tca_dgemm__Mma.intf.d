@@ -1,0 +1,1 @@
+lib/dgemm/mma.mli: Matrix

@@ -1,0 +1,90 @@
+type t = { n : int; data : float array }
+
+let create n =
+  if n <= 0 then invalid_arg "Matrix.create: non-positive dimension";
+  { n; data = Array.make (n * n) 0.0 }
+
+let random rng n =
+  let m = create n in
+  for i = 0 to (n * n) - 1 do
+    m.data.(i) <- Tca_util.Prng.float rng 2.0 -. 1.0
+  done;
+  m
+
+let dim m = m.n
+
+let check_index m i j =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then
+    invalid_arg "Matrix: index out of range"
+
+let get m i j =
+  check_index m i j;
+  m.data.((i * m.n) + j)
+
+let set m i j x =
+  check_index m i j;
+  m.data.((i * m.n) + j) <- x
+
+let max_abs_diff a b =
+  if a.n <> b.n then invalid_arg "Matrix.max_abs_diff: dimension mismatch";
+  let worst = ref 0.0 in
+  for k = 0 to (a.n * a.n) - 1 do
+    worst := Float.max !worst (Float.abs (a.data.(k) -. b.data.(k)))
+  done;
+  !worst
+
+let equal ?(eps = 1e-9) a b = a.n = b.n && max_abs_diff a b <= eps
+
+let multiply_naive a b =
+  if a.n <> b.n then invalid_arg "Matrix.multiply_naive: dimension mismatch";
+  let n = a.n in
+  let c = create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a.data.((i * n) + k) *. b.data.((k * n) + j))
+      done;
+      c.data.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let multiply_blocked ~block a b =
+  if a.n <> b.n then invalid_arg "Matrix.multiply_blocked: dimension mismatch";
+  let n = a.n in
+  if block <= 0 || n mod block <> 0 then
+    invalid_arg "Matrix.multiply_blocked: block must divide dimension";
+  let c = create n in
+  let nb = n / block in
+  for bi = 0 to nb - 1 do
+    for bj = 0 to nb - 1 do
+      for bk = 0 to nb - 1 do
+        (* Accumulate the (bi, bj) output block's partial product. *)
+        let i0 = bi * block and j0 = bj * block and k0 = bk * block in
+        for i = i0 to i0 + block - 1 do
+          for j = j0 to j0 + block - 1 do
+            let acc = ref c.data.((i * n) + j) in
+            for k = k0 to k0 + block - 1 do
+              acc := !acc +. (a.data.((i * n) + k) *. b.data.((k * n) + j))
+            done;
+            c.data.((i * n) + j) <- !acc
+          done
+        done
+      done
+    done
+  done;
+  c
+
+let addr_of ~base ~n ~i ~j = base + (8 * ((i * n) + j))
+
+let row_segment_lines ~base ~n ~i ~j ~elems =
+  if elems <= 0 then invalid_arg "Matrix.row_segment_lines: empty segment";
+  let first = addr_of ~base ~n ~i ~j in
+  let last = first + (8 * elems) - 1 in
+  let first_line = first land lnot 63 in
+  let last_line = last land lnot 63 in
+  let rec collect acc line =
+    if line > last_line then List.rev acc else collect (line :: acc) (line + 64)
+  in
+  collect [] first_line

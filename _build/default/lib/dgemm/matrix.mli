@@ -1,0 +1,39 @@
+(** Dense square double-precision matrices, row-major, with the blocked
+    multiplication the paper's DGEMM study uses (32x32 blocks sized so
+    two input and one output block stay resident in a 32 kB L1). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an [n x n] zero matrix. Raises [Invalid_argument] for
+    [n <= 0]. *)
+
+val random : Tca_util.Prng.t -> int -> t
+(** Entries uniform in [[-1, 1)]. *)
+
+val dim : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val equal : ?eps:float -> t -> t -> bool
+(** Element-wise comparison with absolute tolerance (default 1e-9). *)
+
+val max_abs_diff : t -> t -> float
+
+val multiply_naive : t -> t -> t
+(** Triply-nested-loop reference product. *)
+
+val multiply_blocked : block:int -> t -> t -> t
+(** Blocked product accumulating [block x block] partial products —
+    the paper's software baseline structure. [block] must divide the
+    dimension. *)
+
+val addr_of : base:int -> n:int -> i:int -> j:int -> int
+(** Byte address of element [(i, j)] of an [n x n] matrix laid out
+    row-major at [base] (8 bytes per element) — shared by the trace
+    generators so simulated cache behaviour matches the real layout. *)
+
+val row_segment_lines :
+  base:int -> n:int -> i:int -> j:int -> elems:int -> int list
+(** Distinct 64 B line addresses covering elements [(i, j) .. (i, j +
+    elems - 1)]. *)

@@ -1,0 +1,1 @@
+lib/experiments/cores_cmp.ml: Config Exp_common Float Heap_workload List Meta Printf Sim_stats Simulator Tca_model Tca_uarch Tca_util Tca_workloads

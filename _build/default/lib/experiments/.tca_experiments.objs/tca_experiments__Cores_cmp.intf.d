@@ -1,0 +1,1 @@
+lib/experiments/cores_cmp.mli: Tca_model

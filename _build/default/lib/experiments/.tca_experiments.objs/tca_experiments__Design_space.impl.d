@@ -1,0 +1,1 @@
+lib/experiments/design_space.ml: Energy Equations Hw_cost List Mode Params Presets Printf Sensitivity Tca_model Tca_util Tca_workloads

@@ -1,0 +1,1 @@
+lib/experiments/design_space.mli: Tca_model

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Cache Config List Mem_hier Meta Printf Sim_stats Simulator Tca_interval Tca_model Tca_uarch Tca_util Tca_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Tca_interval Tca_model Tca_uarch Tca_workloads

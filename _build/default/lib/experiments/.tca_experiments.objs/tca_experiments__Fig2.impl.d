@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Granularity List Mode Params Presets Printf Tca_model Tca_util

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Bpred Buffer Codegen Config Exp_common Isa List Pipeline Printf Sim_stats Tca_model Tca_uarch Tca_util Tca_workloads Trace

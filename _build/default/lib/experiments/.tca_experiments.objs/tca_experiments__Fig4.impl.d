@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Codegen Exp_common List Synthetic Tca_model Tca_util Tca_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig4.mli: Exp_common Tca_model

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Exp_common Heap_workload List Tca_heap Tca_model Tca_util Tca_workloads

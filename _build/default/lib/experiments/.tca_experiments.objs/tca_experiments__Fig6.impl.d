@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Dgemm_workload Exp_common List Meta Tca_dgemm Tca_model Tca_util Tca_workloads

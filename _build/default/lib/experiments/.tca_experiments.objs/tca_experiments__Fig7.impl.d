@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Float Grid List Mode Params Presets Printf Tca_model Tca_util Tca_workloads

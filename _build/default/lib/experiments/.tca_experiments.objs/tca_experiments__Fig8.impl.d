@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Concurrency List Mode Params Presets Printf Tca_model Tca_util

@@ -1,0 +1,1 @@
+lib/experiments/hashmap_val.ml: Exp_common Float Hashmap_workload List Meta Printf Tca_hashmap Tca_util Tca_workloads

@@ -1,0 +1,1 @@
+lib/experiments/hashmap_val.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/logca_cmp.ml: Array Granularity List Mode Params Presets Printf Tca_logca Tca_model Tca_util

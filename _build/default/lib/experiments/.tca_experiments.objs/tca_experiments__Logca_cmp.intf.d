@@ -1,0 +1,1 @@
+lib/experiments/logca_cmp.mli: Tca_logca Tca_model

@@ -1,0 +1,1 @@
+lib/experiments/mechanistic_cmp.ml: Bpred Cache Codegen Config Float List Mechanistic Mem_hier Pipeline Printf Sim_stats Tca_interval Tca_uarch Tca_util Tca_workloads Trace

@@ -1,0 +1,1 @@
+lib/experiments/mechanistic_cmp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/occupancy.ml: Config Dgemm_workload Exp_common List Meta Pipeline Sim_stats Tca_model Tca_uarch Tca_util Tca_workloads

@@ -1,0 +1,1 @@
+lib/experiments/occupancy.mli: Tca_model

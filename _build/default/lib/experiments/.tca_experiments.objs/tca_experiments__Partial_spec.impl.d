@@ -1,0 +1,1 @@
+lib/experiments/partial_spec.ml: Array Config Equations Exp_common List Mode Params Partial Pipeline Presets Printf Sim_stats Tca_model Tca_uarch Tca_util Tca_workloads

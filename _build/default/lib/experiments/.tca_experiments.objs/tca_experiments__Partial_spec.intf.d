@@ -1,0 +1,1 @@
+lib/experiments/partial_spec.mli:

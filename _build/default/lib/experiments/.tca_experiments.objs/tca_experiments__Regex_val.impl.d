@@ -1,0 +1,1 @@
+lib/experiments/regex_val.ml: Exp_common List Meta Printf Regex_workload Tca_regex Tca_util Tca_workloads

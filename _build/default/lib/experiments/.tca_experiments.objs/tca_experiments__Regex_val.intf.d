@@ -1,0 +1,1 @@
+lib/experiments/regex_val.mli: Exp_common

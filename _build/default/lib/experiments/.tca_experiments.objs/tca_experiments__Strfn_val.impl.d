@@ -1,0 +1,1 @@
+lib/experiments/strfn_val.ml: Exp_common List Meta Printf Strfn_workload Tca_strfn Tca_util Tca_workloads

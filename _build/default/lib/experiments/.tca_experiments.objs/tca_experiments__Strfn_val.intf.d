@@ -1,0 +1,1 @@
+lib/experiments/strfn_val.mli: Exp_common

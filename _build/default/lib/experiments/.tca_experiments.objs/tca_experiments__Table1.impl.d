@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Option Params Presets Printf Tca_model Tca_util

@@ -1,0 +1,99 @@
+open Tca_model
+
+type scenario_row = {
+  name : string;
+  core : Params.core;
+  scenario : Params.scenario;
+}
+
+let scenarios =
+  [
+    {
+      name = "heap manager (HP core)";
+      core = Presets.hp_core;
+      scenario =
+        Params.scenario ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0)
+          ();
+    };
+    {
+      name = "GreenDroid function (LP core)";
+      core = Presets.lp_core;
+      scenario =
+        Params.scenario_of_granularity ~a:0.5 ~g:400.0
+          ~accel:(Params.Factor Tca_workloads.Greendroid.accel_factor) ();
+    };
+    {
+      name = "DGEMM 4x4 tile (HP core)";
+      core = Presets.hp_core;
+      scenario =
+        Params.scenario ~a:0.95 ~v:(1.0 /. 300.0) ~accel:(Params.Latency 14.0)
+          ();
+    };
+  ]
+
+let pareto row =
+  let all = Hw_cost.designs row.core row.scenario in
+  (Hw_cost.pareto_front all, Hw_cost.dominated all)
+
+let energy row = Energy.evaluate (Energy.make ()) row.core row.scenario
+
+let print_pareto row =
+  let front, dominated = pareto row in
+  Printf.printf "\n-- %s --\n" row.name;
+  Tca_util.Table.print
+    ~headers:[ "mode"; "hw cost"; "speedup"; "status" ]
+    (List.map
+       (fun (d : Hw_cost.design) ->
+         let on_front =
+           List.exists (fun (f : Hw_cost.design) -> f.Hw_cost.mode = d.Hw_cost.mode) front
+         in
+         [
+           Mode.to_string d.Hw_cost.mode;
+           Tca_util.Table.float_cell ~decimals:2 d.Hw_cost.cost;
+           Tca_util.Table.float_cell d.Hw_cost.speedup;
+           (if on_front then "pareto" else "dominated");
+         ])
+       (Hw_cost.designs row.core row.scenario));
+  ignore dominated;
+  match Hw_cost.cheapest_at_least (Hw_cost.designs row.core row.scenario) ~speedup:1.0 with
+  | Some d ->
+      Printf.printf "cheapest design avoiding slowdown: %s (cost %.2f)\n"
+        (Mode.to_string d.Hw_cost.mode) d.Hw_cost.cost
+  | None -> print_endline "no design avoids slowdown in this scenario"
+
+let print_energy row =
+  Printf.printf "\n-- %s: energy (static 0.5/cycle, accel at 0.2x) --\n" row.name;
+  Tca_util.Table.print
+    ~headers:[ "mode"; "speedup"; "rel. energy"; "EDP" ]
+    (List.map
+       (fun (v : Energy.verdict) ->
+         [
+           Mode.to_string v.Energy.mode;
+           Tca_util.Table.float_cell v.Energy.speedup;
+           Tca_util.Table.float_cell v.Energy.relative_energy;
+           Tca_util.Table.float_cell v.Energy.edp;
+         ])
+       (energy row));
+  Printf.printf
+    "energy break-even speedup: %.3f (modes below this line waste energy)\n"
+    (Energy.energy_break_even_speedup (Energy.make ()) row.core row.scenario)
+
+let print_sensitivity row =
+  let best, _ = Equations.best_mode row.core row.scenario in
+  Printf.printf "\n-- %s: sensitivity tornado (mode %s, +/-20%%) --\n" row.name
+    (Mode.to_string best);
+  Tca_util.Table.print ~headers:Sensitivity.headers
+    (Sensitivity.rows (Sensitivity.swings row.core row.scenario best));
+  Printf.printf "best-mode decision stable under +/-20%%: %b\n"
+    (Sensitivity.decision_stable row.core row.scenario)
+
+let print () =
+  print_endline
+    "X3: design-space analysis (paper Section VIII): Pareto fronts, \
+     energy, sensitivity";
+  List.iter
+    (fun row ->
+      print_pareto row;
+      print_energy row;
+      print_sensitivity row)
+    scenarios

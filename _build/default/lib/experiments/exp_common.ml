@@ -1,0 +1,167 @@
+open Tca_uarch
+open Tca_workloads
+
+let validation_core () = Config.hp ()
+
+(* The model's t_commit is the whole front-end-visible barrier latency:
+   the simulated commit depth plus the commit/dispatch handoff (one cycle
+   to retire at the head, one for dispatch to restart). *)
+let commit_handoff = 2
+
+let model_core_of (cfg : Config.t) ~ipc =
+  Tca_model.Params.core ~ipc ~rob_size:cfg.Config.rob_size
+    ~issue_width:cfg.Config.dispatch_width
+    ~commit_stall:(float_of_int (cfg.Config.commit_depth + commit_handoff))
+    ()
+
+let coupling_of_mode = function
+  | Tca_model.Mode.NL_NT -> Config.coupling_nl_nt
+  | Tca_model.Mode.L_NT -> Config.coupling_l_nt
+  | Tca_model.Mode.NL_T -> Config.coupling_nl_t
+  | Tca_model.Mode.L_T -> Config.coupling_l_t
+
+let mode_of_coupling (c : Config.coupling) =
+  match (c.Config.allow_leading, c.Config.allow_trailing) with
+  | false, false -> Tca_model.Mode.NL_NT
+  | true, false -> Tca_model.Mode.L_NT
+  | false, true -> Tca_model.Mode.NL_T
+  | true, true -> Tca_model.Mode.L_T
+
+let scenario_of_meta ?drain (meta : Meta.t) ~latency =
+  Tca_model.Params.scenario ?drain ~a:meta.Meta.a ~v:meta.Meta.v
+    ~accel:(Tca_model.Params.Latency latency) ()
+
+let meta_latency (meta : Meta.t) ~(cfg : Config.t) =
+  let miss_extra_latency =
+    match cfg.Config.mem.Mem_hier.l2 with
+    | Some l2 -> l2.Cache.hit_latency
+    | None -> cfg.Config.mem.Mem_hier.mem_latency
+  in
+  Meta.accel_latency_estimate meta
+    ~l1_hit_latency:cfg.Config.mem.Mem_hier.l1.Cache.hit_latency
+    ~miss_extra_latency ~mem_ports:cfg.Config.mem_ports ()
+
+type validation_row = {
+  workload : string;
+  v : float;
+  a : float;
+  base_ipc : float;
+  mode : Tca_model.Mode.t;
+  sim_speedup : float;
+  model_speedup : float;
+  model_refill_speedup : float;
+}
+
+let error_pct r =
+  100.0 *. (r.model_speedup -. r.sim_speedup) /. r.sim_speedup
+
+let refill_error_pct r =
+  100.0 *. (r.model_refill_speedup -. r.sim_speedup) /. r.sim_speedup
+
+let validate_pair ~cfg ~(pair : Meta.pair) ~latency =
+  let cmp =
+    Simulator.compare_modes ~cfg ~baseline:pair.Meta.baseline
+      ~accelerated:pair.Meta.accelerated
+  in
+  let ipc = cmp.Simulator.baseline.Sim_stats.ipc in
+  let core = model_core_of cfg ~ipc in
+  let scenario = scenario_of_meta pair.Meta.meta ~latency in
+  let scenario_refill =
+    scenario_of_meta ~drain:Tca_interval.Drain.Refill_aware pair.Meta.meta
+      ~latency
+  in
+  List.map
+    (fun (r : Simulator.mode_result) ->
+      let mode = mode_of_coupling r.Simulator.coupling in
+      {
+        workload = pair.Meta.meta.Meta.name;
+        v = pair.Meta.meta.Meta.v;
+        a = pair.Meta.meta.Meta.a;
+        base_ipc = ipc;
+        mode;
+        sim_speedup = r.Simulator.speedup;
+        model_speedup = Tca_model.Equations.speedup core scenario mode;
+        model_refill_speedup =
+          Tca_model.Equations.speedup core scenario_refill mode;
+      })
+    cmp.Simulator.modes
+
+let table_headers =
+  [
+    "workload"; "v"; "a"; "ipc"; "mode"; "sim"; "model"; "error";
+    "model-rf"; "error-rf";
+  ]
+
+let rows_to_table rows =
+  List.map
+    (fun r ->
+      [
+        r.workload;
+        Printf.sprintf "%.5f" r.v;
+        Printf.sprintf "%.4f" r.a;
+        Printf.sprintf "%.2f" r.base_ipc;
+        Tca_model.Mode.to_string r.mode;
+        Tca_util.Table.float_cell r.sim_speedup;
+        Tca_util.Table.float_cell r.model_speedup;
+        Printf.sprintf "%+.1f%%" (error_pct r);
+        Tca_util.Table.float_cell r.model_refill_speedup;
+        Printf.sprintf "%+.1f%%" (refill_error_pct r);
+      ])
+    rows
+
+let points_of_rows rows =
+  List.map
+    (fun r ->
+      {
+        Tca_model.Validate.id = Printf.sprintf "%s(v=%.5f)" r.workload r.v;
+        mode = r.mode;
+        measured = r.sim_speedup;
+        estimated = r.model_speedup;
+      })
+    rows
+
+let refill_points_of_rows rows =
+  List.map
+    (fun r ->
+      {
+        Tca_model.Validate.id = Printf.sprintf "%s(v=%.5f)" r.workload r.v;
+        mode = r.mode;
+        measured = r.sim_speedup;
+        estimated = r.model_refill_speedup;
+      })
+    rows
+
+let print_validation_summary rows =
+  let report label points =
+    let s = Tca_model.Validate.summarize points in
+    Printf.printf
+      "%-22s error |%%|: mean %.1f%%  median %.1f%%  max %.1f%%  (n = %d); \
+       mode ranking preserved: %b\n"
+      label s.Tca_model.Validate.mean_abs_pct
+      s.Tca_model.Validate.median_abs_pct s.Tca_model.Validate.max_abs_pct
+      s.Tca_model.Validate.n
+      (Tca_model.Validate.trends_preserved ~tolerance:0.05 points)
+  in
+  report "model (paper drain)" (points_of_rows rows);
+  report "model (refill drain)" (refill_points_of_rows rows)
+
+let validation_csv rows =
+  Tca_util.Csv.to_string
+    ~header:
+      [
+        "workload"; "v"; "a"; "base_ipc"; "mode"; "sim_speedup";
+        "model_speedup"; "model_refill_speedup";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.workload;
+           string_of_float r.v;
+           string_of_float r.a;
+           string_of_float r.base_ipc;
+           Tca_model.Mode.to_string r.mode;
+           string_of_float r.sim_speedup;
+           string_of_float r.model_speedup;
+           string_of_float r.model_refill_speedup;
+         ])
+       rows)

@@ -1,0 +1,67 @@
+(** Shared plumbing for the figure/table drivers: the validation core,
+    coupling/mode conversion, and the meta-to-model-input translation. *)
+
+val validation_core : unit -> Tca_uarch.Config.t
+(** The simulated core all validation experiments run on (the
+    high-performance preset, as the paper's gem5 configuration is the
+    detailed one). *)
+
+val model_core_of :
+  Tca_uarch.Config.t -> ipc:float -> Tca_model.Params.core
+(** Analytical-model core parameters read off a simulator configuration
+    plus the measured baseline IPC. *)
+
+val coupling_of_mode : Tca_model.Mode.t -> Tca_uarch.Config.coupling
+val mode_of_coupling : Tca_uarch.Config.coupling -> Tca_model.Mode.t
+
+val scenario_of_meta :
+  ?drain:Tca_interval.Drain.spec ->
+  Tca_workloads.Meta.t -> latency:float -> Tca_model.Params.scenario
+(** Scenario with an explicit accelerator latency (cycles); [drain]
+    defaults to the paper's [Auto] estimator. *)
+
+val meta_latency :
+  Tca_workloads.Meta.t -> cfg:Tca_uarch.Config.t -> float
+(** The architect's latency estimate for the workload's TCA: compute
+    latency plus first-order memory time through the configured L1 and
+    ports (see {!Tca_workloads.Meta.accel_latency_estimate}). *)
+
+type validation_row = {
+  workload : string;
+  v : float;
+  a : float;
+  base_ipc : float;
+  mode : Tca_model.Mode.t;
+  sim_speedup : float;
+  model_speedup : float;  (** paper-default drain estimator *)
+  model_refill_speedup : float;
+      (** refill-aware drain estimator (see {!Tca_interval.Drain.spec}) *)
+}
+
+val error_pct : validation_row -> float
+(** Paper-default model vs simulator. *)
+
+val refill_error_pct : validation_row -> float
+
+val validate_pair :
+  cfg:Tca_uarch.Config.t ->
+  pair:Tca_workloads.Meta.pair ->
+  latency:float ->
+  validation_row list
+(** Run baseline + four couplings in the simulator, evaluate the model
+    with the measured baseline IPC, and return one row per mode. *)
+
+val rows_to_table : validation_row list -> string list list
+val table_headers : string list
+
+val points_of_rows : validation_row list -> Tca_model.Validate.point list
+(** Points under the paper-default drain estimator. *)
+
+val refill_points_of_rows :
+  validation_row list -> Tca_model.Validate.point list
+
+val print_validation_summary : validation_row list -> unit
+(** Both estimators' error summaries plus the trend-preservation flags. *)
+
+val validation_csv : validation_row list -> string
+(** Machine-readable form of the validation rows. *)

@@ -1,0 +1,54 @@
+open Tca_model
+
+type row = { g : float; speedups : (Mode.t * float) list }
+
+let coverage = 0.3
+let accel = Params.Factor 3.0
+
+let run ?(points = 33) () =
+  let gs = Tca_util.Sweep.logspace 10.0 1.0e9 points in
+  let series = Granularity.series Presets.arm_a72 ~a:coverage ~accel ~gs in
+  Array.to_list
+    (Array.mapi
+       (fun i g ->
+         {
+           g;
+           speedups =
+             List.map (fun (mode, pts) -> (mode, snd pts.(i))) series;
+         })
+       gs)
+
+let print rows =
+  print_endline
+    "Fig. 2: speedup vs accelerator granularity (ARM A72-like core, a = \
+     30%, A = 3)";
+  let headers =
+    "granularity" :: List.map Mode.to_string Mode.all
+  in
+  Tca_util.Table.print ~headers
+    (List.map
+       (fun r ->
+         Printf.sprintf "%.1e" r.g
+         :: List.map
+              (fun m ->
+                Tca_util.Table.float_cell (List.assoc m r.speedups))
+              Mode.all)
+       rows);
+  print_newline ();
+  print_endline "Reference accelerators (estimated granularities):";
+  Tca_util.Table.print ~headers:[ "accelerator"; "granularity" ]
+    (List.map
+       (fun (m : Granularity.marker) ->
+         [ m.Granularity.name; Printf.sprintf "%.1e" m.Granularity.granularity ])
+       Granularity.reference_markers)
+
+let csv rows =
+  Tca_util.Csv.to_string
+    ~header:("granularity" :: List.map Mode.to_string Mode.all)
+    (List.map
+       (fun r ->
+         string_of_float r.g
+         :: List.map
+              (fun m -> string_of_float (List.assoc m r.speedups))
+              Mode.all)
+       rows)

@@ -1,0 +1,14 @@
+(** Fig. 2: program speedup vs. accelerator granularity for the four TCA
+    modes on an ARM-A72-like core, with 30% acceleratable code and a 3x
+    acceleration factor, annotated with the reference accelerators. *)
+
+type row = {
+  g : float;
+  speedups : (Tca_model.Mode.t * float) list;
+}
+
+val run : ?points:int -> unit -> row list
+(** Granularity sweep over [10^1 .. 10^9], default 33 points. *)
+
+val print : row list -> unit
+val csv : row list -> string

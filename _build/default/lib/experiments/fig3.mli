@@ -1,0 +1,18 @@
+(** Fig. 3: effective ILP in the execute stage across one interval
+    (leading instructions, one TCA, trailing instructions) under the four
+    modes, measured directly from the pipeline's per-cycle issue
+    occupancy. *)
+
+type timeline = {
+  mode : Tca_model.Mode.t;
+  cycles : int;
+  issued : int array;  (** instructions entering execute, per cycle *)
+}
+
+val run : ?leading:int -> ?trailing:int -> ?accel_latency:int -> unit ->
+  timeline list
+(** Defaults: 150 leading μops, 150 trailing μops, 40-cycle TCA. *)
+
+val print : timeline list -> unit
+(** Renders each mode's issue activity as a bar strip (one character per
+    2 cycles), striped sections showing the reduced-ILP regions. *)

@@ -1,0 +1,35 @@
+open Tca_workloads
+
+let chunk_counts ~quick =
+  if quick then [ 10; 50; 200 ] else [ 10; 25; 50; 100; 200; 400; 800 ]
+
+let app_config =
+  { Codegen.model_friendly_config with Codegen.dep_window = 6 }
+
+let accel_latency = 20
+
+let run ?(quick = false) () =
+  let cfg = Exp_common.validation_core () in
+  let n_units = if quick then 1200 else 4000 in
+  List.concat_map
+    (fun n_chunks ->
+      let scfg =
+        Synthetic.config ~app:app_config ~n_units ~n_chunks ~accel_latency
+          ~seed:(41 + n_chunks) ()
+      in
+      let pair = Synthetic.generate scfg in
+      Exp_common.validate_pair ~cfg ~pair ~latency:(float_of_int accel_latency))
+    (List.filter (fun c -> c <= n_units) (chunk_counts ~quick))
+
+let summary rows =
+  Tca_model.Validate.summarize (Exp_common.points_of_rows rows)
+
+let trends_hold rows =
+  Tca_model.Validate.trends_preserved (Exp_common.points_of_rows rows)
+
+let print rows =
+  print_endline
+    "Fig. 4: model vs simulator on the synthetic microbenchmark sweep";
+  Tca_util.Table.print ~headers:Exp_common.table_headers
+    (Exp_common.rows_to_table rows);
+  Exp_common.print_validation_summary rows

@@ -1,0 +1,32 @@
+open Tca_workloads
+
+let gaps ~quick =
+  if quick then [ 400; 100 ] else [ 1600; 800; 400; 200; 100; 50; 25 ]
+
+let run ?(quick = false) () =
+  let cfg = Exp_common.validation_core () in
+  let n_calls = if quick then 600 else 2000 in
+  List.concat_map
+    (fun gap ->
+      let hcfg =
+        Heap_workload.config ~n_calls ~app_instrs_per_call:gap ~seed:(7 + gap)
+          ()
+      in
+      let pair = Heap_workload.generate hcfg in
+      Exp_common.validate_pair ~cfg ~pair
+        ~latency:(float_of_int Tca_heap.Cost_model.accel_latency))
+    (gaps ~quick)
+
+let summary rows =
+  Tca_model.Validate.summarize (Exp_common.points_of_rows rows)
+
+let trends_hold rows =
+  Tca_model.Validate.trends_preserved (Exp_common.points_of_rows rows)
+
+let print rows =
+  print_endline
+    "Fig. 5: heap-manager TCA — simulated (b) vs analytical (a) speedup \
+     and error (c) across invocation frequencies";
+  Tca_util.Table.print ~headers:Exp_common.table_headers
+    (Exp_common.rows_to_table rows);
+  Exp_common.print_validation_summary rows

@@ -1,0 +1,25 @@
+open Tca_workloads
+
+let run ?(n = 64) () =
+  let cfg = Exp_common.validation_core () in
+  let dcfg = Dgemm_workload.config ~n () in
+  List.concat_map
+    (fun dim ->
+      let pair = Dgemm_workload.pair dcfg ~dim in
+      let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
+      Exp_common.validate_pair ~cfg ~pair ~latency)
+    Tca_dgemm.Mma.supported_dims
+
+let summary rows =
+  Tca_model.Validate.summarize (Exp_common.points_of_rows rows)
+
+let trends_hold rows =
+  Tca_model.Validate.trends_preserved (Exp_common.points_of_rows rows)
+
+let print rows =
+  print_endline
+    "Fig. 6: blocked DGEMM acceleration, measured (sim) vs estimated \
+     (model) speedup over the element-wise software kernel";
+  Tca_util.Table.print ~headers:Exp_common.table_headers
+    (Exp_common.rows_to_table rows);
+  Exp_common.print_validation_summary rows

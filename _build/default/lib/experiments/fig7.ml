@@ -1,0 +1,100 @@
+open Tca_model
+
+type map = {
+  core_name : string;
+  mode : Mode.t;
+  grid : Grid.t;
+  slowdown_fraction : float;
+}
+
+let accel = Params.Factor Tca_workloads.Greendroid.accel_factor
+
+let run ?(cols = 48) ?(rows = 17) () =
+  let freqs = Tca_util.Sweep.logspace 1.0e-6 0.1 cols in
+  let coverages = Tca_util.Sweep.linspace 0.05 0.95 rows in
+  List.concat_map
+    (fun (core_name, core) ->
+      List.map
+        (fun mode ->
+          let grid = Grid.compute core ~accel ~freqs ~coverages mode in
+          {
+            core_name;
+            mode;
+            grid;
+            slowdown_fraction = Grid.slowdown_fraction grid;
+          })
+        Mode.all)
+    [ ("HP", Presets.hp_core); ("LP", Presets.lp_core) ]
+
+let heatmap_of m =
+  let g = m.grid in
+  (* Row 0 should be the highest coverage, like the paper's y axis. *)
+  let nrows = Array.length g.Grid.coverages in
+  let values =
+    Array.init nrows (fun r -> g.Grid.cells.(nrows - 1 - r))
+  in
+  let row_labels =
+    Array.init nrows (fun r ->
+        Printf.sprintf "a=%.2f" g.Grid.coverages.(nrows - 1 - r))
+  in
+  let col_labels =
+    Array.map (fun v -> Printf.sprintf "v=%.0e" v) g.Grid.freqs
+  in
+  let hm = Tca_util.Heatmap.make ~values ~row_labels ~col_labels in
+  let flip cells = List.map (fun (r, c) -> (nrows - 1 - r, c)) cells in
+  let heap_curve =
+    Grid.accelerator_curve g
+      ~granularity:Tca_workloads.Greendroid.heap_manager_granularity
+  in
+  let gd_curve =
+    Grid.accelerator_curve g
+      ~granularity:(Tca_workloads.Greendroid.mean_granularity ())
+  in
+  let hm = Tca_util.Heatmap.overlay hm (flip heap_curve) 'H' in
+  Tca_util.Heatmap.overlay hm (flip gd_curve) 'G'
+
+let print maps =
+  print_endline
+    "Fig. 7: predicted speedup/slowdown over (invocation frequency x \
+     acceleratable fraction), A = 1.5";
+  print_endline
+    "Overlays: H = heap-manager TCA locus (g = 53), G = mean GreenDroid \
+     function locus";
+  List.iter
+    (fun m ->
+      let title =
+        Printf.sprintf "@ %s core, mode %s (slowdown region: %.0f%% of \
+                        feasible cells)"
+          m.core_name (Mode.to_string m.mode)
+          (100.0 *. m.slowdown_fraction)
+      in
+      print_newline ();
+      print_string (Tca_util.Heatmap.render ~title (heatmap_of m)))
+    maps
+
+let csv maps =
+  let rows = ref [] in
+  List.iter
+    (fun m ->
+      let g = m.grid in
+      Array.iteri
+        (fun r a ->
+          Array.iteri
+            (fun c v ->
+              let speedup = g.Grid.cells.(r).(c) in
+              if not (Float.is_nan speedup) then
+                rows :=
+                  [
+                    m.core_name;
+                    Mode.to_string m.mode;
+                    string_of_float a;
+                    string_of_float v;
+                    string_of_float speedup;
+                  ]
+                  :: !rows)
+            g.Grid.freqs)
+        g.Grid.coverages)
+    maps;
+  Tca_util.Csv.to_string
+    ~header:[ "core"; "mode"; "a"; "v"; "speedup" ]
+    (List.rev !rows)

@@ -1,0 +1,74 @@
+open Tca_model
+
+type series = {
+  mode : Mode.t;
+  points : (float * float) array;
+  peak : float * float;
+}
+
+let granularity = 100.0
+let accel_factor = 2.0
+let accel = Params.Factor accel_factor
+
+let run ?(points = 97) ?(core = Presets.hp_core) () =
+  let coverages = Tca_util.Sweep.linspace 0.0 0.99 points in
+  List.map
+    (fun mode ->
+      let pts =
+        Concurrency.coverage_series core ~g:granularity ~accel ~coverages mode
+      in
+      { mode; points = pts; peak = Concurrency.peak pts })
+    Mode.all
+
+let ideal_peak =
+  ( Concurrency.ideal_peak_coverage ~accel_factor,
+    Concurrency.ideal_peak_speedup ~accel_factor )
+
+let nl_t_local_maxima series =
+  match List.find_opt (fun s -> Mode.equal s.mode Mode.NL_T) series with
+  | None -> []
+  | Some s -> Concurrency.local_maxima s.points
+
+let print series =
+  print_endline
+    "Fig. 8: predicted speedup vs %% acceleratable for a 100-instruction \
+     TCA with A = 2 (HP core)";
+  let headers = "a" :: List.map (fun s -> Mode.to_string s.mode) series in
+  let n = match series with [] -> 0 | s :: _ -> Array.length s.points in
+  let rows =
+    List.init n (fun i ->
+        let a = fst (List.hd series).points.(i) in
+        Printf.sprintf "%.2f" a
+        :: List.map
+             (fun s -> Tca_util.Table.float_cell (snd s.points.(i)))
+             series)
+  in
+  (* Print every 4th row to keep the table readable. *)
+  let rows = List.filteri (fun i _ -> i mod 4 = 0) rows in
+  Tca_util.Table.print ~headers rows;
+  print_newline ();
+  List.iter
+    (fun s ->
+      let a, sp = s.peak in
+      Printf.printf "peak %-6s: speedup %.3f at a = %.3f\n"
+        (Mode.to_string s.mode) sp a)
+    series;
+  let a_star, s_star = ideal_peak in
+  Printf.printf
+    "analytic optimum (L_T): speedup A + 1 = %.1f at a = A/(A+1) = %.3f\n"
+    s_star a_star;
+  match nl_t_local_maxima series with
+  | [] -> print_endline "NL_T: no interior local maximum in this sweep"
+  | ms ->
+      List.iter
+        (fun (a, sp) ->
+          Printf.printf "NL_T local maximum: speedup %.3f at a = %.3f\n" sp a)
+        ms
+
+let csv series =
+  let header = "a" :: List.map (fun s -> Mode.to_string s.mode) series in
+  let n = match series with [] -> 0 | s :: _ -> Array.length s.points in
+  Tca_util.Csv.to_string ~header
+    (List.init n (fun i ->
+         string_of_float (fst (List.hd series).points.(i))
+         :: List.map (fun s -> string_of_float (snd s.points.(i))) series))

@@ -1,0 +1,36 @@
+open Tca_workloads
+
+let gaps ~quick = if quick then [ 200 ] else [ 800; 400; 200; 100; 50 ]
+
+let run ?(quick = false) () =
+  let cfg = Exp_common.validation_core () in
+  let n_lookups = if quick then 500 else 1500 in
+  let mean_probes = ref 0.0 in
+  let rows =
+    List.concat_map
+      (fun gap ->
+        let hcfg =
+          Hashmap_workload.config ~n_lookups ~app_instrs_per_lookup:gap
+            ~seed:(17 + gap) ()
+        in
+        let pair, probes = Hashmap_workload.generate hcfg in
+        mean_probes := probes;
+        let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
+        Exp_common.validate_pair ~cfg ~pair ~latency)
+      (gaps ~quick)
+  in
+  (rows, !mean_probes)
+
+let print (rows, mean_probes) =
+  print_endline
+    "X7: hash-map TCA validation (probe counts from a live \
+     open-addressing table)";
+  Printf.printf
+    "mean probes per lookup %.2f -> mean software cost %d uops (the \
+     'hash map' marker granularity of Fig. 2)\n"
+    mean_probes
+    (Tca_hashmap.Cost_model.software_uops
+       ~probes:(int_of_float (Float.round mean_probes)));
+  Tca_util.Table.print ~headers:Exp_common.table_headers
+    (Exp_common.rows_to_table rows);
+  Exp_common.print_validation_summary rows

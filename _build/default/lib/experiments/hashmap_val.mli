@@ -1,0 +1,15 @@
+(** Extension X7: hash-map TCA validation — the third real-world
+    accelerator family from the paper's Fig. 2 markers (after the heap
+    manager and DGEMM), validated model-vs-simulator across invocation
+    frequencies like Fig. 5.
+
+    Unlike the heap TCA, the hash-map TCA has data-dependent cost: the
+    probe count (and so the software μops replaced and the TCA's line
+    traffic) comes from the live table's collision structure. *)
+
+val gaps : quick:bool -> int list
+
+val run : ?quick:bool -> unit -> Exp_common.validation_row list * float
+(** Rows plus the measured mean probes per lookup. *)
+
+val print : Exp_common.validation_row list * float -> unit

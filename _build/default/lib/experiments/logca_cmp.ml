@@ -1,0 +1,62 @@
+open Tca_model
+
+type row = {
+  g : float;
+  logca : float;
+  tca : (Mode.t * float) list;
+}
+
+let core = Presets.arm_a72
+let coverage = 0.3
+let accel_factor = 3.0
+
+(* LogCA granularity here is instructions; the host computes them at
+   1/IPC cycles each (compute_index), the accelerator at A x IPC. The
+   invocation overhead matches the TCA model's commit stall; interface
+   latency per instruction is small but non-zero (operand/result movement
+   through the shared register file / L1). *)
+let logca_params =
+  Tca_logca.Logca.make
+    ~latency:0.01
+    ~overhead:core.Params.commit_stall
+    ~compute_index:(1.0 /. core.Params.ipc)
+    ~acceleration:accel_factor ()
+
+let run ?(points = 17) () =
+  let gs = Tca_util.Sweep.logspace 10.0 1.0e9 points in
+  let series =
+    Granularity.series core ~a:coverage ~accel:(Params.Factor accel_factor) ~gs
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i g ->
+         {
+           g;
+           (* LogCA predicts kernel speedup; scale to whole-program via
+              Amdahl with the same 30% coverage so the two are
+              comparable. *)
+           logca =
+             (let k = Tca_logca.Logca.speedup logca_params g in
+              1.0 /. (1.0 -. coverage +. (coverage /. k)));
+           tca = List.map (fun (mode, pts) -> (mode, snd pts.(i))) series;
+         })
+       gs)
+
+let print rows =
+  print_endline
+    "X1: LogCA (loosely-coupled model, Amdahl-scaled to 30% coverage) vs \
+     the TCA model";
+  let headers = [ "granularity"; "LogCA" ] @ List.map Mode.to_string Mode.all in
+  Tca_util.Table.print ~headers
+    (List.map
+       (fun r ->
+         [ Printf.sprintf "%.1e" r.g; Tca_util.Table.float_cell r.logca ]
+         @ List.map
+             (fun m -> Tca_util.Table.float_cell (List.assoc m r.tca))
+             Mode.all)
+       rows);
+  (match Tca_logca.Logca.break_even logca_params with
+  | Some g1 -> Printf.printf "LogCA break-even granularity g1 = %.1f\n" g1
+  | None -> print_endline "LogCA never breaks even in range");
+  Printf.printf "LogCA asymptotic kernel speedup = %.2f\n"
+    (Tca_logca.Logca.asymptotic_speedup logca_params)

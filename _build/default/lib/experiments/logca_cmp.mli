@@ -1,0 +1,22 @@
+(** Ablation X1: LogCA vs. this paper's model across granularity.
+
+    LogCA models a loosely-coupled accelerator (CPU idles during offload,
+    no pipeline interactions); the TCA model adds the four coupling
+    modes. At coarse granularity both converge toward the accelerator's
+    asymptotic speedup; at fine granularity LogCA sees only its fixed
+    overhead while the TCA model resolves the drain/fill penalties that
+    differ by an order of magnitude between modes. *)
+
+type row = {
+  g : float;
+  logca : float;
+  tca : (Tca_model.Mode.t * float) list;
+}
+
+val run : ?points:int -> unit -> row list
+val logca_params : Tca_logca.Logca.t
+(** Matched to the Fig. 2 scenario: A = 3, per-invocation overhead
+    equivalent to the TCA model's commit stall, negligible interface
+    latency (tightly-coupled data path). *)
+
+val print : row list -> unit

@@ -1,0 +1,110 @@
+open Tca_model
+
+type row = {
+  p_speculate : float;
+  speedup_t : float;
+  speedup_nt : float;
+}
+
+let core = Presets.hp_core
+
+let scenario =
+  Params.scenario ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
+
+let run ?(points = 11) () =
+  let ps = Tca_util.Sweep.linspace 0.0 1.0 points in
+  Array.to_list
+    (Array.map
+       (fun p ->
+         {
+           p_speculate = p;
+           speedup_t = Partial.speedup core scenario ~trailing:true ~p_speculate:p;
+           speedup_nt =
+             Partial.speedup core scenario ~trailing:false ~p_speculate:p;
+         })
+       ps)
+
+let confidence_for_95pct () =
+  let full = Equations.speedup core scenario Mode.L_T in
+  Partial.required_confidence core scenario ~trailing:true
+    ~target_speedup:(0.95 *. full)
+
+type sim_row = {
+  p : float;
+  sim_speedup : float;
+  model_speedup : float;
+}
+
+let validate ?(quick = false) () =
+  let open Tca_uarch in
+  let n_calls = if quick then 600 else 1500 in
+  let pair =
+    Tca_workloads.Heap_workload.generate
+      (Tca_workloads.Heap_workload.config ~n_calls ~app_instrs_per_call:100
+         ~seed:61 ())
+  in
+  let cfg =
+    Config.with_coupling (Exp_common.validation_core ()) Config.coupling_l_t
+  in
+  let baseline = Pipeline.run cfg pair.Tca_workloads.Meta.baseline in
+  let ipc = baseline.Sim_stats.ipc in
+  let model_core = Exp_common.model_core_of cfg ~ipc in
+  let s =
+    Exp_common.scenario_of_meta pair.Tca_workloads.Meta.meta ~latency:1.0
+  in
+  List.map
+    (fun p ->
+      let run_cfg = { cfg with Config.tca_speculate_fraction = Some p } in
+      let stats = Pipeline.run run_cfg pair.Tca_workloads.Meta.accelerated in
+      {
+        p;
+        sim_speedup = Sim_stats.speedup ~baseline ~accelerated:stats;
+        model_speedup = Partial.speedup model_core s ~trailing:true ~p_speculate:p;
+      })
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+
+let print_validation rows =
+  print_endline
+    "simulator cross-check (heap workload, per-invocation speculation \
+     coin, trailing allowed):";
+  Tca_util.Table.print ~headers:[ "p"; "sim"; "model"; "error" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.2f" r.p;
+           Tca_util.Table.float_cell r.sim_speedup;
+           Tca_util.Table.float_cell r.model_speedup;
+           Printf.sprintf "%+.1f%%"
+             (100.0 *. (r.model_speedup -. r.sim_speedup) /. r.sim_speedup);
+         ])
+       rows);
+  let monotone =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a.sim_speedup <= b.sim_speedup +. 0.02 && go rest
+      | _ -> true
+    in
+    go rows
+  in
+  Printf.printf
+    "simulated speedup grows with speculation coverage: %b
+" monotone
+
+let print rows =
+  print_endline
+    "X2: partial speculation (heap scenario, HP core) — speedup vs \
+     speculation coverage p";
+  Tca_util.Table.print ~headers:[ "p"; "trailing (L_T..NL_T)"; "no trailing (L_NT..NL_NT)" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.1f" r.p_speculate;
+           Tca_util.Table.float_cell r.speedup_t;
+           Tca_util.Table.float_cell r.speedup_nt;
+         ])
+       rows);
+  (match confidence_for_95pct () with
+  | Some p ->
+      Printf.printf
+        "speculation coverage for 95%% of full L_T speedup: p = %.2f\n" p
+  | None -> print_endline "95% of full L_T speedup unreachable by blending");
+  print_validation (validate ())

@@ -1,0 +1,36 @@
+open Tca_workloads
+
+let gaps ~quick = if quick then [ 400 ] else [ 3200; 1600; 800; 400; 200 ]
+
+let run ?(quick = false) () =
+  let cfg = Exp_common.validation_core () in
+  let n_records = if quick then 120 else 400 in
+  let mean_scan = ref 0.0 in
+  let rows =
+    List.concat_map
+      (fun gap ->
+        let rcfg =
+          Regex_workload.config ~n_records ~app_instrs_per_record:gap
+            ~seed:(23 + gap) ()
+        in
+        let pair, scan = Regex_workload.generate rcfg in
+        mean_scan := scan;
+        let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
+        Exp_common.validate_pair ~cfg ~pair ~latency)
+      (gaps ~quick)
+  in
+  (rows, !mean_scan)
+
+let print (rows, mean_scan) =
+  print_endline
+    "X8: regular-expression TCA validation (scan lengths from the real \
+     NFA/DFA engine)";
+  Printf.printf
+    "mean scan %.0f chars -> mean software cost ~%d uops (the 'regular \
+     expression' marker granularity of Fig. 2)\n"
+    mean_scan
+    (Tca_regex.Cost_model.software_uops
+       ~chars_scanned:(int_of_float mean_scan));
+  Tca_util.Table.print ~headers:Exp_common.table_headers
+    (Exp_common.rows_to_table rows);
+  Exp_common.print_validation_summary rows

@@ -1,0 +1,11 @@
+(** Extension X8: regular-expression TCA validation — the ~10^3-μop
+    "regular expression" marker of the paper's Fig. 2, with scan lengths
+    from a real NFA/DFA engine (data-dependent like the hash map, but an
+    order of magnitude coarser). *)
+
+val gaps : quick:bool -> int list
+
+val run : ?quick:bool -> unit -> Exp_common.validation_row list * float
+(** Rows plus the mean characters scanned per search. *)
+
+val print : Exp_common.validation_row list * float -> unit

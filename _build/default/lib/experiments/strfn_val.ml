@@ -1,0 +1,36 @@
+open Tca_workloads
+
+let gaps ~quick = if quick then [ 300 ] else [ 1200; 600; 300; 150; 75 ]
+
+let run ?(quick = false) () =
+  let cfg = Exp_common.validation_core () in
+  let n_calls = if quick then 400 else 1200 in
+  let mean_bytes = ref 0.0 in
+  let rows =
+    List.concat_map
+      (fun gap ->
+        let scfg =
+          Strfn_workload.config ~n_calls ~app_instrs_per_call:gap
+            ~seed:(11 + gap) ()
+        in
+        let pair, bytes = Strfn_workload.generate scfg in
+        mean_bytes := bytes;
+        let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
+        Exp_common.validate_pair ~cfg ~pair ~latency)
+      (gaps ~quick)
+  in
+  (rows, !mean_bytes)
+
+let print (rows, mean_bytes) =
+  print_endline
+    "X9: string-function TCA validation (strlen/strcmp/find_char over a \
+     real string arena)";
+  Printf.printf
+    "mean bytes inspected %.0f -> mean software cost ~%d uops (the \
+     'string functions' marker granularity of Fig. 2)\n"
+    mean_bytes
+    (Tca_strfn.Cost_model.software_uops
+       ~bytes_inspected:(int_of_float mean_bytes));
+  Tca_util.Table.print ~headers:Exp_common.table_headers
+    (Exp_common.rows_to_table rows);
+  Exp_common.print_validation_summary rows

@@ -1,0 +1,10 @@
+(** Extension X9: string-function TCA validation — the "string
+    functions" marker of the paper's Fig. 2 (STTNI-style acceleration),
+    with per-call byte counts from a real string arena. *)
+
+val gaps : quick:bool -> int list
+
+val run : ?quick:bool -> unit -> Exp_common.validation_row list * float
+(** Rows plus the mean bytes inspected per call. *)
+
+val print : Exp_common.validation_row list * float -> unit

@@ -1,0 +1,19 @@
+open Tca_model
+
+let preset_cell (c : Params.core) =
+  Printf.sprintf "ipc=%.1f rob=%d issue=%d t_commit=%.0f" c.Params.ipc
+    c.Params.rob_size c.Params.issue_width c.Params.commit_stall
+
+let rows () =
+  List.map (fun (sym, meaning) -> [ sym; meaning ]) Params.glossary
+
+let print () =
+  print_endline "Table I: analytical model parameters";
+  Tca_util.Table.print ~headers:[ "variable"; "name" ] (rows ());
+  print_newline ();
+  print_endline "Core presets:";
+  Tca_util.Table.print ~headers:[ "preset"; "parameters" ]
+    (List.map
+       (fun name ->
+         [ name; preset_cell (Option.get (Presets.by_name name)) ])
+       Presets.names)

@@ -1,0 +1,5 @@
+(** Table I: analytical-model parameter glossary, with the preset values
+    used throughout the reproduction. *)
+
+val rows : unit -> string list list
+val print : unit -> unit

@@ -1,0 +1,1 @@
+lib/hashmap/cost_model.ml: Array Isa List Tca_uarch Trace

@@ -1,0 +1,1 @@
+lib/hashmap/cost_model.mli: Tca_uarch

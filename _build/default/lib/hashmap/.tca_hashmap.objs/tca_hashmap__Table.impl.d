@@ -1,0 +1,1 @@
+lib/hashmap/table.ml: Array Bytes Char List Printf

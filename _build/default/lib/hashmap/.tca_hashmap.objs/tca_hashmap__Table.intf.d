@@ -1,0 +1,1 @@
+lib/hashmap/table.mli:

@@ -1,0 +1,155 @@
+(* Slot states: we keep keys/values in int arrays plus a state byte per
+   bucket (0 empty, 1 occupied, 2 tombstone). *)
+
+type t = {
+  base : int;
+  mask : int;
+  keys : int array;
+  values : int array;
+  state : Bytes.t;
+  mutable len : int;
+  mutable total_probes : int;
+  mutable total_ops : int;
+}
+
+let bucket_bytes = 16
+
+let create ?(base = 0x2000_0000) ~capacity_pow2 () =
+  if capacity_pow2 < 4 || capacity_pow2 > 24 then
+    invalid_arg "Table.create: capacity_pow2 out of [4, 24]";
+  let n = 1 lsl capacity_pow2 in
+  {
+    base;
+    mask = n - 1;
+    keys = Array.make n 0;
+    values = Array.make n 0;
+    state = Bytes.make n '\000';
+    len = 0;
+    total_probes = 0;
+    total_ops = 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = t.len
+let load_factor t = float_of_int t.len /. float_of_int (capacity t)
+
+type probe_result = {
+  found : bool;
+  probes : int;
+  bucket_addrs : int list;
+  value : int option;
+}
+
+let hash key =
+  (* splitmix-style scramble, as a hardware hash unit would compute. *)
+  let h = key * 0x9E3779B9 in
+  let h = h lxor (h lsr 16) in
+  h land max_int
+
+let check_key key = if key < 0 then invalid_arg "Table: negative key"
+
+let bucket_addr t idx = t.base + (bucket_bytes * idx)
+
+let slot_state t idx = Bytes.get t.state idx |> Char.code
+
+let record t probes =
+  t.total_probes <- t.total_probes + probes;
+  t.total_ops <- t.total_ops + 1
+
+(* Walk the probe sequence until [stop] says where to end. Returns the
+   final index, the probe count and the visited bucket addresses. *)
+let probe_seq t key stop =
+  let start = hash key land t.mask in
+  let rec go idx probes addrs =
+    let addrs = bucket_addr t idx :: addrs in
+    if stop idx then (idx, probes, List.rev addrs)
+    else if probes > t.mask then
+      failwith "Table: probe sequence exhausted (table full?)"
+    else go ((idx + 1) land t.mask) (probes + 1) addrs
+  in
+  go start 1 []
+
+let find t key =
+  check_key key;
+  let idx, probes, addrs =
+    probe_seq t key (fun idx ->
+        match slot_state t idx with
+        | 0 -> true (* empty: key absent *)
+        | 1 -> t.keys.(idx) = key
+        | _ -> false (* tombstone: keep probing *))
+  in
+  record t probes;
+  let found = slot_state t idx = 1 && t.keys.(idx) = key in
+  {
+    found;
+    probes;
+    bucket_addrs = addrs;
+    value = (if found then Some t.values.(idx) else None);
+  }
+
+let insert t key value =
+  check_key key;
+  if t.len > capacity t * 7 / 8 then failwith "Table.insert: table full";
+  (* Probe until the key or a truly-empty slot: an existing key may live
+     beyond a tombstone, and inserting at the tombstone first would
+     create a duplicate. The first tombstone seen is remembered as the
+     placement slot for a fresh key. *)
+  let first_tombstone = ref (-1) in
+  let idx, probes, addrs =
+    probe_seq t key (fun idx ->
+        match slot_state t idx with
+        | 0 -> true
+        | 1 -> t.keys.(idx) = key
+        | _ ->
+            if !first_tombstone < 0 then first_tombstone := idx;
+            false)
+  in
+  record t probes;
+  let existed = slot_state t idx = 1 && t.keys.(idx) = key in
+  let slot =
+    if existed then idx
+    else if !first_tombstone >= 0 then !first_tombstone
+    else idx
+  in
+  if not existed then t.len <- t.len + 1;
+  Bytes.set t.state slot '\001';
+  t.keys.(slot) <- key;
+  t.values.(slot) <- value;
+  { found = existed; probes; bucket_addrs = addrs; value = Some value }
+
+let remove t key =
+  check_key key;
+  let idx, probes, addrs =
+    probe_seq t key (fun idx ->
+        match slot_state t idx with
+        | 0 -> true
+        | 1 -> t.keys.(idx) = key
+        | _ -> false)
+  in
+  record t probes;
+  let found = slot_state t idx = 1 && t.keys.(idx) = key in
+  if found then begin
+    Bytes.set t.state idx '\002';
+    t.len <- t.len - 1
+  end;
+  { found; probes; bucket_addrs = addrs; value = None }
+
+let mean_probes t =
+  if t.total_ops = 0 then 0.0
+  else float_of_int t.total_probes /. float_of_int t.total_ops
+
+let check_invariants t =
+  let occupied = ref 0 in
+  let err = ref None in
+  for idx = 0 to t.mask do
+    if slot_state t idx = 1 then begin
+      incr occupied;
+      let r = find t t.keys.(idx) in
+      if not r.found then
+        if !err = None then
+          err := Some (Printf.sprintf "stored key %d not findable" t.keys.(idx))
+    end
+  done;
+  if !err = None && !occupied <> t.len then
+    err := Some (Printf.sprintf "length %d but %d occupied slots" t.len !occupied);
+  match !err with None -> Ok () | Some m -> Error m

@@ -1,0 +1,1 @@
+lib/heap/cost_model.ml: Isa Tca_uarch Tca_util Trace

@@ -1,0 +1,1 @@
+lib/heap/cost_model.mli: Tca_uarch Tca_util

@@ -1,0 +1,1 @@
+lib/heap/free_list.mli:

@@ -1,0 +1,1 @@
+lib/heap/size_class.mli:

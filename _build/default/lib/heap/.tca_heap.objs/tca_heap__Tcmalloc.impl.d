@@ -1,0 +1,1 @@
+lib/heap/tcmalloc.ml: Array Free_list Hashtbl List Printf Size_class

@@ -1,0 +1,1 @@
+lib/heap/tcmalloc.mli:

@@ -1,0 +1,90 @@
+open Tca_uarch
+
+let malloc_uops = 69
+let free_uops = 37
+let accel_latency = 1
+
+(* Heap sequences use registers 48..55; application generators stay
+   below 48. *)
+let result_reg = 48
+let r_class = 49
+let r_head = 50
+let r_next = 51
+let r_stat = 52
+let r_tmp0 = 53
+let r_tmp1 = 54
+let r_tmp2 = 55
+
+(* Pad a sequence to its calibrated μop count with a repeating
+   TCMalloc-flavoured pattern: size checks and pointer arithmetic spread
+   over a few short chains (TCMalloc's fast path has modest ILP) with
+   periodic metadata loads/stores. *)
+let emit_filler b ~rng ~head_addr ~count =
+  for k = 0 to count - 1 do
+    match k mod 8 with
+    | 3 ->
+        let off = 64 + (8 * Tca_util.Prng.int rng 16) in
+        Trace.Builder.add b (Isa.load ~dst:r_stat ~addr:(head_addr + off) ())
+    | 6 ->
+        let off = 64 + (8 * Tca_util.Prng.int rng 16) in
+        Trace.Builder.add b
+          (Isa.store ~src:r_stat ~addr:(head_addr + off) ())
+    | 5 -> Trace.Builder.add b (Isa.int_alu ~src1:r_stat ~dst:r_stat ())
+    | 0 | 4 -> Trace.Builder.add b (Isa.int_alu ~src1:r_tmp0 ~dst:r_tmp0 ())
+    | 1 | 7 -> Trace.Builder.add b (Isa.int_alu ~src1:r_tmp1 ~dst:r_tmp1 ())
+    | _ -> Trace.Builder.add b (Isa.int_alu ~src1:r_tmp2 ~dst:r_tmp2 ())
+  done
+
+let emit_malloc b ~rng ~head_addr =
+  let before = Trace.Builder.length b in
+  (* Size-to-class computation: a short dependent chain. *)
+  Trace.Builder.add b (Isa.int_alu ~dst:r_class ());
+  Trace.Builder.add b (Isa.int_alu ~src1:r_class ~dst:r_class ());
+  Trace.Builder.add b (Isa.int_alu ~src1:r_class ~dst:r_class ());
+  (* Load the free-list head; it becomes the returned pointer. *)
+  Trace.Builder.add b (Isa.load ~base:r_class ~dst:r_head ~addr:head_addr ());
+  (* Fast-path check: list non-empty. A fixed site PC makes this the
+     same static branch at every call, so predictors learn it is never
+     taken — the predictable common case. *)
+  Trace.Builder.add_at_site b (Isa.branch ~pc:0x100 ~src1:r_head ~taken:false ());
+  (* Load the next pointer from the head block and store it back as the
+     new list head. *)
+  Trace.Builder.add b (Isa.load ~base:r_head ~dst:r_next ~addr:(head_addr + 8) ());
+  Trace.Builder.add b (Isa.store ~src:r_next ~addr:head_addr ());
+  (* Thread-cache statistics update. *)
+  Trace.Builder.add b (Isa.load ~dst:r_stat ~addr:(head_addr + 16) ());
+  Trace.Builder.add b (Isa.int_alu ~src1:r_stat ~dst:r_stat ());
+  Trace.Builder.add b (Isa.store ~src:r_stat ~addr:(head_addr + 16) ());
+  let used = Trace.Builder.length b - before in
+  emit_filler b ~rng ~head_addr ~count:(malloc_uops - used - 1);
+  (* Return value: pointer produced from the loaded head. *)
+  Trace.Builder.add b (Isa.int_alu ~src1:r_head ~dst:result_reg ());
+  assert (Trace.Builder.length b - before = malloc_uops)
+
+let emit_free b ~rng ~head_addr ~ptr_reg =
+  let before = Trace.Builder.length b in
+  (* Class lookup for the freed pointer. *)
+  Trace.Builder.add b (Isa.int_alu ~src1:ptr_reg ~dst:r_class ());
+  Trace.Builder.add b (Isa.int_alu ~src1:r_class ~dst:r_class ());
+  (* Push: old head becomes the block's next pointer, block becomes
+     head. *)
+  Trace.Builder.add b (Isa.load ~base:r_class ~dst:r_head ~addr:head_addr ());
+  Trace.Builder.add b (Isa.store ~src:r_head ~addr:(head_addr + 8) ());
+  Trace.Builder.add b (Isa.store ~src:ptr_reg ~addr:head_addr ());
+  (* Statistics. *)
+  Trace.Builder.add b (Isa.load ~dst:r_stat ~addr:(head_addr + 16) ());
+  Trace.Builder.add b (Isa.int_alu ~src1:r_stat ~dst:r_stat ());
+  Trace.Builder.add b (Isa.store ~src:r_stat ~addr:(head_addr + 16) ());
+  let used = Trace.Builder.length b - before in
+  emit_filler b ~rng ~head_addr ~count:(free_uops - used);
+  assert (Trace.Builder.length b - before = free_uops)
+
+let emit_malloc_accel b =
+  Trace.Builder.add b
+    (Isa.accel ~dst:result_reg ~compute_latency:accel_latency ~reads:[||]
+       ~writes:[||] ())
+
+let emit_free_accel b ~ptr_reg =
+  Trace.Builder.add b
+    (Isa.accel ~src1:ptr_reg ~compute_latency:accel_latency ~reads:[||]
+       ~writes:[||] ())

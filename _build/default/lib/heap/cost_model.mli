@@ -1,0 +1,51 @@
+(** μop cost model for software heap operations and the heap TCA.
+
+    Calibration (paper Section IV, citing Gope's measurements of
+    TCMalloc): malloc is about 69 x86 μops / 39 cycles, free about
+    37 μops / 20 cycles; the proposed heap-manager accelerator replaces
+    either call with a single-cycle TCA instruction that hits in its
+    hardware free-list tables. *)
+
+val malloc_uops : int
+(** 69 *)
+
+val free_uops : int
+(** 37 *)
+
+val accel_latency : int
+(** 1 cycle *)
+
+(** Registers the heap sequences use (kept clear of the workload
+    generators' application registers). *)
+
+val result_reg : int
+(** Register receiving the malloc'd pointer (software and TCA variants
+    agree, so trailing application code depends on it identically). *)
+
+val emit_malloc :
+  Tca_uarch.Trace.Builder.t ->
+  rng:Tca_util.Prng.t ->
+  head_addr:int ->
+  unit
+(** Append the 69-μop software malloc sequence for the class whose
+    free-list head lives at [head_addr]: class computation, free-list head
+    load, empty check, next-pointer load, head update store, statistics
+    maintenance, and filler reflecting TCMalloc's slow-path checks. The
+    pointer lands in {!result_reg}. *)
+
+val emit_free :
+  Tca_uarch.Trace.Builder.t ->
+  rng:Tca_util.Prng.t ->
+  head_addr:int ->
+  ptr_reg:int ->
+  unit
+(** Append the 37-μop software free sequence pushing the block in
+    [ptr_reg] onto the list at [head_addr]. *)
+
+val emit_malloc_accel : Tca_uarch.Trace.Builder.t -> unit
+(** Append the single TCA instruction replacing malloc; its destination
+    is {!result_reg}. *)
+
+val emit_free_accel : Tca_uarch.Trace.Builder.t -> ptr_reg:int -> unit
+(** Append the single TCA instruction replacing free, consuming the
+    pointer register (dependency on the application code preserved). *)

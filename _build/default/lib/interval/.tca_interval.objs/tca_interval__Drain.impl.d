@@ -1,0 +1,1 @@
+lib/interval/drain.ml: Float Power_law

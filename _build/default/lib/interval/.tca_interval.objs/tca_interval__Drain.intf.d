@@ -1,0 +1,1 @@
+lib/interval/drain.mli: Power_law

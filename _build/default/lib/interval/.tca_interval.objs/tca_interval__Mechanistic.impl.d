@@ -1,0 +1,1 @@
+lib/interval/mechanistic.ml: Float Printf

@@ -1,0 +1,1 @@
+lib/interval/power_law.mli:

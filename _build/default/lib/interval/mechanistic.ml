@@ -1,0 +1,85 @@
+type machine = {
+  dispatch_width : int;
+  rob_size : int;
+  frontend_depth : int;
+  mem_latency : int;
+}
+
+type workload_stats = {
+  chain_ipc : float;
+  branch_rate : float;
+  mispredict_rate : float;
+  load_rate : float;
+  dram_miss_rate : float;
+  mlp : float;
+}
+
+let machine ?(mem_latency = 100) ~dispatch_width ~rob_size ~frontend_depth () =
+  if dispatch_width < 1 then invalid_arg "Mechanistic.machine: dispatch_width below 1";
+  if rob_size < 2 then invalid_arg "Mechanistic.machine: rob_size below 2";
+  if frontend_depth < 0 then invalid_arg "Mechanistic.machine: negative frontend_depth";
+  if mem_latency < 1 then invalid_arg "Mechanistic.machine: mem_latency below 1";
+  { dispatch_width; rob_size; frontend_depth; mem_latency }
+
+let check_rate name r =
+  if r < 0.0 || r > 1.0 then
+    invalid_arg (Printf.sprintf "Mechanistic.stats: %s out of [0, 1]" name)
+
+let stats ?(branch_rate = 0.0) ?(mispredict_rate = 0.0) ?(load_rate = 0.0)
+    ?(dram_miss_rate = 0.0) ?(mlp = 1.0) ~chain_ipc () =
+  if chain_ipc <= 0.0 then invalid_arg "Mechanistic.stats: chain_ipc must be positive";
+  if mlp < 1.0 then invalid_arg "Mechanistic.stats: mlp below 1";
+  check_rate "branch_rate" branch_rate;
+  check_rate "mispredict_rate" mispredict_rate;
+  check_rate "load_rate" load_rate;
+  check_rate "dram_miss_rate" dram_miss_rate;
+  { chain_ipc; branch_rate; mispredict_rate; load_rate; dram_miss_rate; mlp }
+
+type breakdown = {
+  base_cpi : float;
+  mispredict_cpi : float;
+  memory_cpi : float;
+  total_cpi : float;
+  ipc : float;
+  window_occupancy : float;
+}
+
+let evaluate m w =
+  let d = float_of_int m.dispatch_width in
+  let base_cpi = Float.max (1.0 /. d) (1.0 /. w.chain_ipc) in
+  let memory_cpi =
+    w.load_rate *. w.dram_miss_rate *. float_of_int m.mem_latency /. w.mlp
+  in
+  let events = w.branch_rate *. w.mispredict_rate in
+  (* Occupancy at an event depends on the event spacing, which depends on
+     the CPI being computed: a short fixed point. The front end banks
+     min(rob, surplus * spacing / 2) instructions ahead of the backend;
+     each event costs the redirect plus re-dispatching that backlog. *)
+  let rec iterate cpi k =
+    let occ =
+      if events <= 0.0 then 0.0
+      else
+        let cycles_between = cpi /. events in
+        let surplus = Float.max 0.0 (d -. w.chain_ipc) in
+        Float.min (float_of_int m.rob_size) (surplus *. cycles_between /. 2.0)
+    in
+    let mispredict_cpi =
+      events *. (float_of_int m.frontend_depth +. (occ /. d))
+    in
+    let next = base_cpi +. memory_cpi +. mispredict_cpi in
+    if k = 0 || Float.abs (next -. cpi) < 1e-9 then (next, occ, mispredict_cpi)
+    else iterate next (k - 1)
+  in
+  let total_cpi, window_occupancy, mispredict_cpi =
+    iterate (base_cpi +. memory_cpi) 100
+  in
+  {
+    base_cpi;
+    mispredict_cpi;
+    memory_cpi;
+    total_cpi;
+    ipc = 1.0 /. total_cpi;
+    window_occupancy;
+  }
+
+let ipc m w = (evaluate m w).ipc

@@ -1,0 +1,68 @@
+(** First-order mechanistic CPI model, after Eyerman et al. (TOCS 2009)
+    — the framework the TCA paper builds its accelerator model on.
+
+    Estimates a program's IPC on an out-of-order core from event counts,
+    with no simulation:
+
+    - a base term limited by dispatch width or the code's
+      dependence-chain issue rate ([max (1/D) (1/chain_ipc)]) — time the
+      work costs no matter what;
+    - a branch-misprediction term. In a decoupled OoO core the window
+      backlog keeps executing useful work while a mispredicted branch
+      resolves, so the *lost* time per event is the front-end redirect
+      plus the re-dispatch of the backlog the front end had banked
+      ([frontend_depth + occupancy / D]); the backlog itself follows from
+      the dispatch surplus and the event spacing, making the model a
+      small fixed point;
+    - an exposed long-miss term: DRAM-missing loads cost the memory
+      latency divided by the achievable memory-level parallelism.
+
+    With this module the whole TCA design flow runs without a
+    cycle-level simulator: estimate IPC here, feed it to
+    {!Tca_model.Equations}. *)
+
+type machine = {
+  dispatch_width : int;
+  rob_size : int;
+  frontend_depth : int;  (** redirect penalty, cycles *)
+  mem_latency : int;  (** DRAM latency, cycles *)
+}
+
+type workload_stats = {
+  chain_ipc : float;
+      (** dependence-limited issue rate of the code (instructions per
+          cycle the backend sustains with a full window) *)
+  branch_rate : float;  (** branches per instruction *)
+  mispredict_rate : float;
+      (** mispredictions per branch (hardware-counter measurable) *)
+  load_rate : float;  (** loads per instruction *)
+  dram_miss_rate : float;
+      (** loads that miss all cache levels, per load (short misses are
+          assumed hidden by the window) *)
+  mlp : float;  (** overlapped DRAM misses (memory-level parallelism) *)
+}
+
+val machine :
+  ?mem_latency:int -> dispatch_width:int ->
+  rob_size:int -> frontend_depth:int -> unit -> machine
+(** Validates positive widths/depths; [mem_latency] defaults to 100. *)
+
+val stats :
+  ?branch_rate:float -> ?mispredict_rate:float -> ?load_rate:float ->
+  ?dram_miss_rate:float -> ?mlp:float -> chain_ipc:float -> unit ->
+  workload_stats
+(** Rates default to 0 and [mlp] to 1; validates rates in [\[0, 1\]],
+    positive [chain_ipc] and [mlp >= 1]. *)
+
+type breakdown = {
+  base_cpi : float;
+  mispredict_cpi : float;
+  memory_cpi : float;
+  total_cpi : float;
+  ipc : float;
+  window_occupancy : float;
+      (** estimated backlog at a misprediction event *)
+}
+
+val evaluate : machine -> workload_stats -> breakdown
+val ipc : machine -> workload_stats -> float

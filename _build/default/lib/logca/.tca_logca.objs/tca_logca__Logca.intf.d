@@ -1,0 +1,1 @@
+lib/logca/logca.mli:

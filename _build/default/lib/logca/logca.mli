@@ -1,0 +1,61 @@
+(** The LogCA performance model for (loosely-coupled) hardware
+    accelerators, after Altaf and Wood, "LogCA: a performance model for
+    hardware accelerators" (IEEE CAL 2015).
+
+    LogCA is the prior model this paper positions itself against: it
+    targets coarse-grained offload, assumes the CPU idles during
+    accelerator execution, and ignores pipeline drain/fill effects — the
+    very effects that dominate for tightly-coupled accelerators. We
+    implement it as the comparison baseline.
+
+    Parameters, for an offload of granularity [g] (bytes or elements):
+    - [l] (Latency): cycles to move data to/from the accelerator,
+      per unit of granularity (scaled by [g^tau]);
+    - [o] (overhead): fixed cycles to set up an invocation;
+    - [c] (Computational index): host cycles of work per unit, scaled by
+      [g^beta] ([beta = 1] for linear algorithms);
+    - [acceleration]: peak speedup [A] of the accelerator on the kernel. *)
+
+type t = {
+  latency : float;  (** [l]: interface latency coefficient *)
+  latency_exponent : float;  (** [tau]: usually 1 (linear in data moved) *)
+  overhead : float;  (** [o]: fixed invocation overhead, cycles *)
+  compute_index : float;  (** [c]: host cycles per unit of granularity *)
+  compute_exponent : float;  (** [beta]: algorithmic complexity exponent *)
+  acceleration : float;  (** [A > 1] *)
+}
+
+val make :
+  ?latency_exponent:float ->
+  ?compute_exponent:float ->
+  latency:float ->
+  overhead:float ->
+  compute_index:float ->
+  acceleration:float ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on non-positive [compute_index] or
+    [acceleration <= 1], or negative latency/overhead. Exponents default
+    to 1. *)
+
+val time_unaccelerated : t -> float -> float
+(** [c * g^beta]. *)
+
+val time_accelerated : t -> float -> float
+(** [o + l * g^tau + c * g^beta / A]. *)
+
+val speedup : t -> float -> float
+(** [time_unaccelerated / time_accelerated] at granularity [g > 0]. *)
+
+val break_even : t -> float option
+(** [g1]: smallest granularity with speedup >= 1, found by bisection on
+    [1, 1e12]. [None] if the accelerator never breaks even in range. *)
+
+val g_half : t -> float option
+(** [g_{A/2}]: granularity reaching half the peak speedup, by bisection.
+    [None] if unreachable in [1, 1e12]. *)
+
+val asymptotic_speedup : t -> float
+(** Limit of [speedup] as [g -> infinity]: [A] when [beta > tau]; the
+    closed-form ratio when [beta = tau]; [0] when the interface scales
+    worse than the computation ([beta < tau]). *)

@@ -1,0 +1,1 @@
+lib/regex/cost_model.ml: Array Isa List Tca_uarch Trace

@@ -1,0 +1,1 @@
+lib/regex/cost_model.mli: Tca_uarch

@@ -1,0 +1,1 @@
+lib/regex/engine.ml: Array Hashtbl Int List Pattern Set String

@@ -1,0 +1,206 @@
+(* Thompson NFA: states are integers; transitions are either epsilon
+   edges or a single character-predicate edge per state. *)
+
+type nfa = {
+  mutable n_states : int;
+  mutable eps : int list array;  (** epsilon successors *)
+  mutable edge : (Pattern.t * int) option array;  (** predicate edge *)
+}
+
+let add_state nfa =
+  let id = nfa.n_states in
+  let cap = Array.length nfa.eps in
+  if id = cap then begin
+    let grow a fill =
+      let b = Array.make (2 * cap) fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    nfa.eps <- grow nfa.eps [];
+    nfa.edge <- grow nfa.edge None
+  end;
+  nfa.n_states <- id + 1;
+  id
+
+let add_eps nfa from to_ = nfa.eps.(from) <- to_ :: nfa.eps.(from)
+
+(* Build the fragment for [node] between fresh entry/exit states;
+   returns (entry, exit). *)
+let rec build nfa node =
+  match node with
+  | Pattern.Empty ->
+      let s = add_state nfa in
+      (s, s)
+  | Pattern.Char _ | Pattern.Any | Pattern.Class _ ->
+      let entry = add_state nfa in
+      let exit_ = add_state nfa in
+      nfa.edge.(entry) <- Some (node, exit_);
+      (entry, exit_)
+  | Pattern.Seq (a, b) ->
+      let ea, xa = build nfa a in
+      let eb, xb = build nfa b in
+      add_eps nfa xa eb;
+      (ea, xb)
+  | Pattern.Alt (a, b) ->
+      let entry = add_state nfa and exit_ = add_state nfa in
+      let ea, xa = build nfa a in
+      let eb, xb = build nfa b in
+      add_eps nfa entry ea;
+      add_eps nfa entry eb;
+      add_eps nfa xa exit_;
+      add_eps nfa xb exit_;
+      (entry, exit_)
+  | Pattern.Star a ->
+      let entry = add_state nfa and exit_ = add_state nfa in
+      let ea, xa = build nfa a in
+      add_eps nfa entry ea;
+      add_eps nfa entry exit_;
+      add_eps nfa xa ea;
+      add_eps nfa xa exit_;
+      (entry, exit_)
+  | Pattern.Plus a ->
+      let ea, xa = build nfa a in
+      let exit_ = add_state nfa in
+      add_eps nfa xa ea;
+      add_eps nfa xa exit_;
+      (ea, exit_)
+  | Pattern.Opt a ->
+      let entry = add_state nfa and exit_ = add_state nfa in
+      let ea, xa = build nfa a in
+      add_eps nfa entry ea;
+      add_eps nfa entry exit_;
+      add_eps nfa xa exit_;
+      (entry, exit_)
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  nfa : nfa;
+  start : int;
+  accept : int;
+  (* Lazy DFA: canonical NFA-state-set -> dfa id; transition cache. *)
+  dfa_ids : (IntSet.t, int) Hashtbl.t;
+  dfa_sets : (int, IntSet.t) Hashtbl.t;
+  trans : (int * char, int) Hashtbl.t;
+  mutable next_dfa : int;
+}
+
+let eps_closure nfa set =
+  let seen = ref set in
+  let rec visit s =
+    List.iter
+      (fun succ ->
+        if not (IntSet.mem succ !seen) then begin
+          seen := IntSet.add succ !seen;
+          visit succ
+        end)
+      nfa.eps.(s)
+  in
+  IntSet.iter visit set;
+  !seen
+
+let compile pattern =
+  let nfa = { n_states = 0; eps = Array.make 16 []; edge = Array.make 16 None } in
+  let start, accept = build nfa pattern in
+  let t =
+    {
+      nfa;
+      start;
+      accept;
+      dfa_ids = Hashtbl.create 64;
+      dfa_sets = Hashtbl.create 64;
+      trans = Hashtbl.create 256;
+      next_dfa = 0;
+    }
+  in
+  t
+
+let compile_string source =
+  match Pattern.parse source with
+  | Ok p -> Ok (compile p)
+  | Error e -> Error e
+
+let dfa_of_set t set =
+  match Hashtbl.find_opt t.dfa_ids set with
+  | Some id -> id
+  | None ->
+      let id = t.next_dfa in
+      t.next_dfa <- id + 1;
+      Hashtbl.replace t.dfa_ids set id;
+      Hashtbl.replace t.dfa_sets id set;
+      id
+
+let start_state t = dfa_of_set t (eps_closure t.nfa (IntSet.singleton t.start))
+
+let dead_state = -1
+
+let step t dfa_id c =
+  match Hashtbl.find_opt t.trans (dfa_id, c) with
+  | Some next -> next
+  | None ->
+      let set = Hashtbl.find t.dfa_sets dfa_id in
+      let moved =
+        IntSet.fold
+          (fun s acc ->
+            match t.nfa.edge.(s) with
+            | Some (pred, dst) when Pattern.char_matches pred c ->
+                IntSet.add dst acc
+            | Some _ | None -> acc)
+          set IntSet.empty
+      in
+      let next =
+        if IntSet.is_empty moved then dead_state
+        else dfa_of_set t (eps_closure t.nfa moved)
+      in
+      Hashtbl.replace t.trans (dfa_id, c) next;
+      next
+
+let accepting t dfa_id =
+  dfa_id <> dead_state
+  && IntSet.mem t.accept (Hashtbl.find t.dfa_sets dfa_id)
+
+let dfa_states t = t.next_dfa
+
+let matches t text =
+  let state = ref (start_state t) in
+  (try
+     String.iter
+       (fun c ->
+         state := step t !state c;
+         if !state = dead_state then raise Exit)
+       text
+   with Exit -> ());
+  accepting t !state
+
+type scan_result = {
+  found : bool;
+  start_pos : int;
+  chars_scanned : int;
+}
+
+let search t text =
+  let n = String.length text in
+  let scanned = ref 0 in
+  let rec try_from start =
+    if start > n then { found = false; start_pos = n; chars_scanned = !scanned }
+    else begin
+      let state = ref (start_state t) in
+      if accepting t !state then
+        { found = true; start_pos = start; chars_scanned = !scanned }
+      else begin
+        let result = ref None in
+        let i = ref start in
+        while !result = None && !i < n do
+          incr scanned;
+          state := step t !state text.[!i];
+          incr i;
+          if !state = dead_state then result := Some false
+          else if accepting t !state then result := Some true
+        done;
+        match !result with
+        | Some true -> { found = true; start_pos = start; chars_scanned = !scanned }
+        | Some false | None -> try_from (start + 1)
+      end
+    end
+  in
+  try_from 0

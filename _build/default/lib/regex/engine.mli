@@ -1,0 +1,33 @@
+(** NFA/DFA regular-expression engine.
+
+    Compilation is Thompson construction to an epsilon-NFA followed by
+    lazy subset construction to a DFA (memoised per state set). Matching
+    is the classic scan loop: one transition-table lookup per input
+    character — the loop the software cost model charges per character
+    and the TCA replaces with a hardware DFA scanning a cache line at a
+    time. *)
+
+type t
+
+val compile : Pattern.t -> t
+val compile_string : string -> (t, string) result
+
+val dfa_states : t -> int
+(** DFA states materialised so far (grows lazily with inputs seen). *)
+
+val matches : t -> string -> bool
+(** Anchored match of the entire string. *)
+
+type scan_result = {
+  found : bool;
+  start_pos : int;  (** match start, or the text length if none *)
+  chars_scanned : int;
+      (** total characters the scan loop inspected (the software cost) *)
+}
+
+val search : t -> string -> scan_result
+(** Leftmost match semantics: for each start position, run the DFA until
+    it accepts (shortest match at that start) or dies; advance on
+    failure. [chars_scanned] counts every character inspection, which is
+    what the μop cost model and the TCA's memory traffic are built
+    from. *)

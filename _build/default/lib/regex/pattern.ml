@@ -1,0 +1,184 @@
+type t =
+  | Empty
+  | Char of char
+  | Any
+  | Class of { negated : bool; ranges : (char * char) list }
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+(* Recursive-descent parser:
+     alt    := seq ('|' seq)*
+     seq    := repeat*
+     repeat := atom ('*' | '+' | '?')*
+     atom   := char | '.' | class | '(' alt ')' | '\' char *)
+
+exception Parse_error of int * string
+
+let parse source =
+  let n = String.length source in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some source.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let parse_class () =
+    (* Called just past the '['. *)
+    let negated = peek () = Some '^' in
+    if negated then advance ();
+    let ranges = ref [] in
+    let rec collect () =
+      match peek () with
+      | None -> fail "unterminated character class"
+      | Some ']' when !ranges <> [] ->
+          advance ();
+          List.rev !ranges
+      | Some c ->
+          advance ();
+          let c =
+            if c = '\\' then (
+              match peek () with
+              | Some e ->
+                  advance ();
+                  e
+              | None -> fail "dangling escape in class")
+            else if c = ']' then fail "empty character class"
+            else c
+          in
+          (match peek () with
+          | Some '-' when !pos + 1 < n && source.[!pos + 1] <> ']' ->
+              advance ();
+              let hi =
+                match peek () with
+                | Some h ->
+                    advance ();
+                    h
+                | None -> fail "unterminated range"
+              in
+              if hi < c then fail "inverted range";
+              ranges := (c, hi) :: !ranges
+          | _ -> ranges := (c, c) :: !ranges);
+          collect ()
+    in
+    Class { negated; ranges = collect () }
+  in
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Alt (left, parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let rec go acc =
+      match peek () with
+      | None | Some '|' | Some ')' -> acc
+      | _ ->
+          let r = parse_repeat () in
+          go (if acc = Empty then r else Seq (acc, r))
+    in
+    go Empty
+  and parse_repeat () =
+    let atom = parse_atom () in
+    let rec postfix node =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          postfix (Star node)
+      | Some '+' ->
+          advance ();
+          postfix (Plus node)
+      | Some '?' ->
+          advance ();
+          postfix (Opt node)
+      | _ -> node
+    in
+    postfix atom
+  and parse_atom () =
+    match peek () with
+    | None -> fail "expected an atom"
+    | Some '(' ->
+        advance ();
+        let inner = parse_alt () in
+        (match peek () with
+        | Some ')' ->
+            advance ();
+            inner
+        | _ -> fail "unclosed group")
+    | Some '.' ->
+        advance ();
+        Any
+    | Some '[' ->
+        advance ();
+        parse_class ()
+    | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some c ->
+            advance ();
+            Char c
+        | None -> fail "dangling escape")
+    | Some (('*' | '+' | '?' | ')' | '|' | ']') as c) ->
+        fail (Printf.sprintf "unexpected %c" c)
+    | Some c ->
+        advance ();
+        Char c
+  in
+  try
+    let ast = parse_alt () in
+    if !pos <> n then Error (Printf.sprintf "position %d: trailing input" !pos)
+    else Ok ast
+  with Parse_error (p, msg) -> Error (Printf.sprintf "position %d: %s" p msg)
+
+let parse_exn source =
+  match parse source with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Pattern.parse_exn: " ^ msg)
+
+let escape_char c =
+  if String.contains "\\.[]()|*+?^" c then Printf.sprintf "\\%c" c
+  else String.make 1 c
+
+let rec to_string = function
+  | Empty -> ""
+  | Char c -> escape_char c
+  | Any -> "."
+  | Class { negated; ranges } ->
+      let body =
+        String.concat ""
+          (List.map
+             (fun (lo, hi) ->
+               if lo = hi then escape_char lo
+               else Printf.sprintf "%s-%s" (escape_char lo) (escape_char hi))
+             ranges)
+      in
+      Printf.sprintf "[%s%s]" (if negated then "^" else "") body
+  | Seq (a, b) -> to_string a ^ to_string b
+  | Alt (a, b) -> Printf.sprintf "(%s|%s)" (to_string a) (to_string b)
+  | Star a -> group a ^ "*"
+  | Plus a -> group a ^ "+"
+  | Opt a -> group a ^ "?"
+
+and group node =
+  match node with
+  | Char _ | Any | Class _ -> to_string node
+  | _ -> Printf.sprintf "(%s)" (to_string node)
+
+let char_matches node c =
+  match node with
+  | Char k -> k = c
+  | Any -> true
+  | Class { negated; ranges } ->
+      let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
+      if negated then not inside else inside
+  | Empty | Seq _ | Alt _ | Star _ | Plus _ | Opt _ ->
+      invalid_arg "Pattern.char_matches: composite node"
+
+let rec nullable = function
+  | Empty -> true
+  | Char _ | Any | Class _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ | Opt _ -> true
+  | Plus a -> nullable a

@@ -1,0 +1,34 @@
+(** Regular-expression abstract syntax and parser (the substrate behind
+    the "regular expression" TCA of the paper's Fig. 2, after the
+    server-side PHP acceleration work it cites).
+
+    Supported syntax: literal characters, [.] (any), character classes
+    [[a-z0-9]] with leading [^] negation, alternation [|], grouping
+    [(...)], postfix [*], [+], [?], and backslash escaping. *)
+
+type t =
+  | Empty  (** matches the empty string *)
+  | Char of char
+  | Any
+  | Class of { negated : bool; ranges : (char * char) list }
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+val parse : string -> (t, string) result
+(** Parse the textual syntax; errors carry a position-tagged message. *)
+
+val parse_exn : string -> t
+(** Raises [Invalid_argument] on a malformed pattern. *)
+
+val to_string : t -> string
+(** Canonical textual form (parseable by {!parse}). *)
+
+val char_matches : t -> char -> bool
+(** For [Char]/[Any]/[Class] nodes: does the node match the character?
+    Raises [Invalid_argument] on composite nodes. *)
+
+val nullable : t -> bool
+(** Does the pattern match the empty string? *)

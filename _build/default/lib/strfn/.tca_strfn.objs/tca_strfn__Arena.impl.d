@@ -1,0 +1,1 @@
+lib/strfn/arena.ml: Bytes List String

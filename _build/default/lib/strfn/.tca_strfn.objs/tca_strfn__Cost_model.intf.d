@@ -1,0 +1,1 @@
+lib/strfn/cost_model.mli: Tca_uarch

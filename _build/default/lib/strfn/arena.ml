@@ -1,0 +1,73 @@
+type t = {
+  base : int;
+  bytes : Bytes.t;
+  mutable used : int;
+}
+
+let create ?(base = 0x4000_0000) ~capacity () =
+  if capacity <= 0 then invalid_arg "Arena.create: empty capacity";
+  { base; bytes = Bytes.make capacity '\000'; used = 0 }
+
+let add_string t s =
+  if String.contains s '\000' then
+    invalid_arg "Arena.add_string: embedded NUL";
+  let n = String.length s + 1 in
+  if t.used + n > Bytes.length t.bytes then failwith "Arena.add_string: full";
+  let addr = t.base + t.used in
+  Bytes.blit_string s 0 t.bytes t.used (String.length s);
+  Bytes.set t.bytes (t.used + String.length s) '\000';
+  t.used <- t.used + n;
+  addr
+
+let address_ok t addr = addr >= t.base && addr < t.base + t.used
+
+let byte t addr =
+  if not (address_ok t addr) then invalid_arg "Arena: address out of range";
+  Bytes.get t.bytes (addr - t.base)
+
+type scan = {
+  result : int;
+  bytes_inspected : int;
+  addrs : int list;
+}
+
+let strlen t addr =
+  let rec go i acc =
+    let a = addr + i in
+    let c = byte t a in
+    if c = '\000' then
+      { result = i; bytes_inspected = i + 1; addrs = List.rev (a :: acc) }
+    else go (i + 1) (a :: acc)
+  in
+  go 0 []
+
+let strcmp t addr_a addr_b =
+  let rec go i acc inspected =
+    let aa = addr_a + i and ab = addr_b + i in
+    let ca = byte t aa and cb = byte t ab in
+    let acc = ab :: aa :: acc and inspected = inspected + 2 in
+    if ca <> cb then
+      {
+        result = (if ca < cb then -1 else 1);
+        bytes_inspected = inspected;
+        addrs = List.rev acc;
+      }
+    else if ca = '\000' then
+      { result = 0; bytes_inspected = inspected; addrs = List.rev acc }
+    else go (i + 1) acc inspected
+  in
+  go 0 [] 0
+
+let find_char t addr needle =
+  if needle = '\000' then invalid_arg "Arena.find_char: NUL needle";
+  let rec go i acc =
+    let a = addr + i in
+    let c = byte t a in
+    let acc = a :: acc in
+    if c = needle then
+      { result = i; bytes_inspected = i + 1; addrs = List.rev acc }
+    else if c = '\000' then
+      { result = -1; bytes_inspected = i + 1; addrs = List.rev acc }
+    else go (i + 1) acc
+  in
+  go 0 []

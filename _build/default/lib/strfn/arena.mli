@@ -1,0 +1,37 @@
+(** A byte arena holding NUL-terminated strings at known addresses — the
+    substrate behind the string-function TCA (the "string functions"
+    marker of the paper's Fig. 2, after the SSE4.2 STTNI work and the
+    server-side PHP acceleration the paper cites).
+
+    The functions below are real byte-level implementations whose
+    per-call work (bytes inspected) drives both the software μop cost and
+    the accelerated instruction's memory traffic. *)
+
+type t
+
+val create : ?base:int -> capacity:int -> unit -> t
+(** [base] defaults to 0x4000_0000. *)
+
+val add_string : t -> string -> int
+(** Copy a string (plus NUL) into the arena; returns its address. Raises
+    [Failure] when full, [Invalid_argument] if the string contains
+    NUL. *)
+
+val address_ok : t -> int -> bool
+
+type scan = {
+  result : int;  (** function-specific: length / compare sign / index *)
+  bytes_inspected : int;
+  addrs : int list;  (** distinct byte addresses read, in order *)
+}
+
+val strlen : t -> int -> scan
+(** Bytes inspected = length + 1 (the NUL). *)
+
+val strcmp : t -> int -> int -> scan
+(** [result] is -1/0/1; inspects both strings up to the first difference
+    (two reads per step). *)
+
+val find_char : t -> int -> char -> scan
+(** memchr over the string: [result] is the index or -1; inspects up to
+    and including the match (or the NUL). *)

@@ -1,0 +1,32 @@
+(** μop cost model for software string functions and the string TCA.
+
+    Software: the classic byte loop — load, compare, branch, advance —
+    per inspected byte, plus setup. Accelerated: an SSE4.2/STTNI-style
+    instruction processing {!bytes_per_cycle} bytes per cycle, reading
+    the inspected bytes' cache lines. *)
+
+val setup_uops : int
+(** 5: argument moves and pointer setup. *)
+
+val uops_per_byte : int
+(** 4 for single-string scans; strcmp inspects two streams so its cost
+    uses the byte count from the scan (which already counts both). *)
+
+val software_uops : bytes_inspected:int -> int
+
+val bytes_per_cycle : int
+(** 16, one XMM-width comparison per cycle. *)
+
+val accel_compute_latency : bytes_inspected:int -> int
+
+val result_reg : int
+
+val emit_call :
+  Tca_uarch.Trace.Builder.t -> addrs:int list -> unit
+(** Append the software byte loop touching the scan's addresses. *)
+
+val emit_call_accel :
+  Tca_uarch.Trace.Builder.t -> addrs:int list -> bytes_inspected:int -> unit
+(** Append the TCA instruction reading the scan's distinct lines. *)
+
+val lines_of_addrs : int list -> int list

@@ -1,0 +1,1 @@
+lib/uarch/bpred.ml: Bool Bytes Char

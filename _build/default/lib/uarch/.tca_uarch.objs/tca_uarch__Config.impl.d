@@ -1,0 +1,1 @@
+lib/uarch/config.ml: Bpred Cache List Mem_hier Tlb

@@ -1,0 +1,1 @@
+lib/uarch/config.mli: Bpred Mem_hier Tlb

@@ -1,0 +1,1 @@
+lib/uarch/isa.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/uarch/mem_hier.ml: Cache Option

@@ -1,0 +1,1 @@
+lib/uarch/mem_hier.mli: Cache

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Array Bpred Config Isa List Mem_hier Option Ports Printf Sim_stats Tlb Trace

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.mli: Config Sim_stats Trace

@@ -1,0 +1,1 @@
+lib/uarch/sim_stats.ml: Format Mem_hier

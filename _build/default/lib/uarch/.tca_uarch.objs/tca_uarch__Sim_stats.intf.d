@@ -1,0 +1,1 @@
+lib/uarch/sim_stats.mli: Format Mem_hier

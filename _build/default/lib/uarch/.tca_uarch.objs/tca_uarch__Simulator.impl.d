@@ -1,0 +1,1 @@
+lib/uarch/simulator.ml: Config List Pipeline Sim_stats

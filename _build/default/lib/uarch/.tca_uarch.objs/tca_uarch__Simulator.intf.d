@@ -1,0 +1,1 @@
+lib/uarch/simulator.mli: Config Sim_stats Trace

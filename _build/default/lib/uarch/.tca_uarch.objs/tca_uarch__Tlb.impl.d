@@ -1,0 +1,1 @@
+lib/uarch/tlb.ml: Array

@@ -1,0 +1,1 @@
+lib/uarch/trace.ml: Array Buffer Fun Isa List Printf String

@@ -1,0 +1,1 @@
+lib/uarch/trace.mli: Isa

@@ -1,0 +1,161 @@
+type coupling = { allow_leading : bool; allow_trailing : bool }
+
+let coupling_nl_nt = { allow_leading = false; allow_trailing = false }
+let coupling_l_nt = { allow_leading = true; allow_trailing = false }
+let coupling_nl_t = { allow_leading = false; allow_trailing = true }
+let coupling_l_t = { allow_leading = true; allow_trailing = true }
+let all_couplings = [ coupling_nl_nt; coupling_l_nt; coupling_nl_t; coupling_l_t ]
+
+let coupling_name c =
+  match (c.allow_leading, c.allow_trailing) with
+  | false, false -> "NL_NT"
+  | true, false -> "L_NT"
+  | false, true -> "NL_T"
+  | true, true -> "L_T"
+
+type tca_occupancy = Pipelined | Exclusive
+
+type latencies = {
+  int_alu : int;
+  int_mult : int;
+  fp_alu : int;
+  fp_mult : int;
+}
+
+type t = {
+  dispatch_width : int;
+  issue_width : int;
+  commit_width : int;
+  rob_size : int;
+  iq_size : int;
+  lsq_size : int;
+  int_alu_units : int;
+  int_mult_units : int;
+  fp_units : int;
+  mem_ports : int;
+  frontend_depth : int;
+  commit_depth : int;
+  latencies : latencies;
+  bpred : Bpred.kind;
+  mem : Mem_hier.config;
+  coupling : coupling;
+  tca_occupancy : tca_occupancy;
+  miss_bandwidth : int option;
+  dtlb : Tlb.config option;
+  tca_speculate_fraction : float option;
+  max_cycles : int option;
+}
+
+let default_latencies = { int_alu = 1; int_mult = 3; fp_alu = 3; fp_mult = 4 }
+
+let default_mem =
+  Mem_hier.config
+    ~l1:(Cache.config ~size_bytes:(32 * 1024) ~assoc:8 ~hit_latency:2 ())
+    ~l2:(Cache.config ~size_bytes:(1024 * 1024) ~assoc:16 ~hit_latency:12 ())
+    ~mem_latency:100 ()
+
+let hp ?(coupling = coupling_l_t) () =
+  {
+    dispatch_width = 4;
+    issue_width = 4;
+    commit_width = 4;
+    rob_size = 256;
+    iq_size = 256;
+    lsq_size = 192;
+    int_alu_units = 4;
+    int_mult_units = 2;
+    fp_units = 2;
+    mem_ports = 2;
+    frontend_depth = 12;
+    commit_depth = 8;
+    latencies = default_latencies;
+    bpred = Bpred.Tournament 14;
+    mem = default_mem;
+    coupling;
+    tca_occupancy = Pipelined;
+    miss_bandwidth = None;
+    dtlb = None;
+    tca_speculate_fraction = None;
+    max_cycles = None;
+  }
+
+let lp ?(coupling = coupling_l_t) () =
+  {
+    dispatch_width = 2;
+    issue_width = 2;
+    commit_width = 2;
+    rob_size = 64;
+    iq_size = 64;
+    lsq_size = 48;
+    int_alu_units = 2;
+    int_mult_units = 1;
+    fp_units = 1;
+    mem_ports = 1;
+    frontend_depth = 6;
+    commit_depth = 4;
+    latencies = default_latencies;
+    bpred = Bpred.Bimodal 12;
+    mem = default_mem;
+    coupling;
+    tca_occupancy = Pipelined;
+    miss_bandwidth = None;
+    dtlb = None;
+    tca_speculate_fraction = None;
+    max_cycles = None;
+  }
+
+let a72 ?(coupling = coupling_l_t) () =
+  {
+    dispatch_width = 3;
+    issue_width = 3;
+    commit_width = 3;
+    rob_size = 128;
+    iq_size = 128;
+    lsq_size = 96;
+    int_alu_units = 2;
+    int_mult_units = 1;
+    fp_units = 2;
+    mem_ports = 2;
+    frontend_depth = 10;
+    commit_depth = 6;
+    latencies = default_latencies;
+    bpred = Bpred.Tournament 13;
+    mem = default_mem;
+    coupling;
+    tca_occupancy = Pipelined;
+    miss_bandwidth = None;
+    dtlb = None;
+    tca_speculate_fraction = None;
+    max_cycles = None;
+  }
+
+let with_coupling t coupling = { t with coupling }
+
+let validate t =
+  let checks =
+    [
+      (t.dispatch_width >= 1, "dispatch_width below 1");
+      (t.issue_width >= 1, "issue_width below 1");
+      (t.commit_width >= 1, "commit_width below 1");
+      (t.rob_size >= 2, "rob_size below 2");
+      (t.iq_size >= 1, "iq_size below 1");
+      (t.lsq_size >= 1, "lsq_size below 1");
+      (t.int_alu_units >= 1, "need at least one int ALU");
+      (t.int_mult_units >= 1, "need at least one multiplier");
+      (t.fp_units >= 1, "need at least one FP unit");
+      (t.mem_ports >= 1, "need at least one memory port");
+      (t.frontend_depth >= 1, "frontend_depth below 1");
+      (t.commit_depth >= 0, "negative commit_depth");
+      (t.latencies.int_alu >= 1, "int_alu latency below 1");
+      (t.latencies.int_mult >= 1, "int_mult latency below 1");
+      (t.latencies.fp_alu >= 1, "fp_alu latency below 1");
+      (t.latencies.fp_mult >= 1, "fp_mult latency below 1");
+      ( (match t.tca_speculate_fraction with
+        | None -> true
+        | Some p -> p >= 0.0 && p <= 1.0),
+        "tca_speculate_fraction out of [0, 1]" );
+    ]
+  in
+  match List.find_opt (fun (ok, _) -> not ok) checks with
+  | Some (_, msg) -> Error msg
+  | None -> Ok ()

@@ -1,0 +1,80 @@
+let num_arch_regs = 64
+let no_reg = -1
+
+type accel = {
+  compute_latency : int;
+  reads : int array;
+  writes : int array;
+}
+
+type op =
+  | Int_alu
+  | Int_mult
+  | Fp_alu
+  | Fp_mult
+  | Load
+  | Store
+  | Branch
+  | Accel of accel
+
+type instr = {
+  pc : int;
+  op : op;
+  src1 : int;
+  src2 : int;
+  dst : int;
+  addr : int;
+  taken : bool;
+}
+
+let check_reg name r =
+  if r <> no_reg && (r < 0 || r >= num_arch_regs) then
+    invalid_arg (Printf.sprintf "Isa.%s: register %d out of range" name r)
+
+let check_addr name a =
+  if a < 0 then invalid_arg (Printf.sprintf "Isa.%s: negative address" name)
+
+let mk name ?(pc = 0) ?(src1 = no_reg) ?(src2 = no_reg) ?(dst = no_reg)
+    ?(addr = 0) ?(taken = false) op =
+  check_reg name src1;
+  check_reg name src2;
+  check_reg name dst;
+  check_addr name addr;
+  { pc; op; src1; src2; dst; addr; taken }
+
+let int_alu ?pc ?src1 ?src2 ~dst () = mk "int_alu" ?pc ?src1 ?src2 ~dst Int_alu
+let int_mult ?pc ?src1 ?src2 ~dst () = mk "int_mult" ?pc ?src1 ?src2 ~dst Int_mult
+let fp_alu ?pc ?src1 ?src2 ~dst () = mk "fp_alu" ?pc ?src1 ?src2 ~dst Fp_alu
+let fp_mult ?pc ?src1 ?src2 ~dst () = mk "fp_mult" ?pc ?src1 ?src2 ~dst Fp_mult
+
+let load ?pc ?base ~dst ~addr () = mk "load" ?pc ?src1:base ~dst ~addr Load
+let store ?pc ?base ?src ~addr () = mk "store" ?pc ?src1:base ?src2:src ~addr Store
+let branch ?pc ?src1 ~taken () = mk "branch" ?pc ?src1 ~taken Branch
+
+let accel ?pc ?src1 ?dst ~compute_latency ~reads ~writes () =
+  if compute_latency < 0 then invalid_arg "Isa.accel: negative compute latency";
+  Array.iter (check_addr "accel") reads;
+  Array.iter (check_addr "accel") writes;
+  mk "accel" ?pc ?src1 ?dst (Accel { compute_latency; reads; writes })
+
+let is_mem i = match i.op with Load | Store -> true | _ -> false
+
+let op_name = function
+  | Int_alu -> "int_alu"
+  | Int_mult -> "int_mult"
+  | Fp_alu -> "fp_alu"
+  | Fp_mult -> "fp_mult"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+  | Accel _ -> "accel"
+
+let pp fmt i =
+  Format.fprintf fmt "%08x: %s d=%d s=(%d,%d) addr=%d%s" i.pc (op_name i.op)
+    i.dst i.src1 i.src2 i.addr
+    (match i.op with
+    | Branch -> if i.taken then " taken" else " not-taken"
+    | Accel a ->
+        Printf.sprintf " lat=%d r=%d w=%d" a.compute_latency
+          (Array.length a.reads) (Array.length a.writes)
+    | _ -> "")

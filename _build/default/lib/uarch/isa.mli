@@ -1,0 +1,68 @@
+(** Micro-operation ISA consumed by the trace-driven core simulator.
+
+    Traces carry resolved effective addresses and branch outcomes (the
+    generator knows them), so the pipeline models timing, not values.
+    Register identifiers are architectural; the pipeline tracks producers
+    through its own rename table. *)
+
+val num_arch_regs : int
+(** Architectural register file size (integer and FP share one space for
+    simplicity; 64 registers). *)
+
+val no_reg : int
+(** Sentinel (-1) for an absent source/destination. *)
+
+type accel = {
+  compute_latency : int;
+      (** cycles of accelerator computation once operands/memory arrive *)
+  reads : int array;  (** byte addresses; one <=64 B line request each *)
+  writes : int array;  (** byte addresses written back after compute *)
+}
+
+type op =
+  | Int_alu
+  | Int_mult
+  | Fp_alu
+  | Fp_mult
+  | Load
+  | Store
+  | Branch
+  | Accel of accel
+
+type instr = {
+  pc : int;
+  op : op;
+  src1 : int;
+  src2 : int;
+  dst : int;
+  addr : int;  (** effective address for Load/Store; 0 otherwise *)
+  taken : bool;  (** branch outcome; [false] for non-branches *)
+}
+
+(** Constructors validate register ranges and addresses. [pc] defaults to
+    0 and is typically re-assigned by {!Trace.Builder}. *)
+
+val int_alu : ?pc:int -> ?src1:int -> ?src2:int -> dst:int -> unit -> instr
+val int_mult : ?pc:int -> ?src1:int -> ?src2:int -> dst:int -> unit -> instr
+val fp_alu : ?pc:int -> ?src1:int -> ?src2:int -> dst:int -> unit -> instr
+val fp_mult : ?pc:int -> ?src1:int -> ?src2:int -> dst:int -> unit -> instr
+val load : ?pc:int -> ?base:int -> dst:int -> addr:int -> unit -> instr
+val store : ?pc:int -> ?base:int -> ?src:int -> addr:int -> unit -> instr
+val branch : ?pc:int -> ?src1:int -> taken:bool -> unit -> instr
+
+val accel :
+  ?pc:int ->
+  ?src1:int ->
+  ?dst:int ->
+  compute_latency:int ->
+  reads:int array ->
+  writes:int array ->
+  unit ->
+  instr
+
+val is_mem : instr -> bool
+(** Load or Store (not Accel: accelerator traffic is arbitrated
+    separately). *)
+
+val op_name : op -> string
+val pp : Format.formatter -> instr -> unit

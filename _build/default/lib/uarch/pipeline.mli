@@ -1,0 +1,28 @@
+(** Cycle-level out-of-order pipeline: dispatch, OoO issue, execute,
+    in-order commit, with TCA coupling semantics.
+
+    Mechanisms (paper Section IV):
+    - an [Accel] instruction occupies one ROB entry and commits in order;
+    - with [allow_leading = false] it is non-speculative: it may begin
+      execution only once it reaches the ROB head (window drain);
+    - with [allow_trailing = false] it serialises the pipeline: no younger
+      instruction dispatches until it commits;
+    - its memory requests arbitrate for the core's memory ports with
+      age-order priority, at most one 64 B line per request.
+
+    Trace-driven approximation: mispredicted branches stall the front end
+    from their dispatch until resolution plus the redirect penalty, and
+    wrong-path instructions are not executed; consequently speculative
+    TCAs are never actually squashed (the paper's modes differ in timing,
+    which is what is under study, not recovery cost). *)
+
+type probe = {
+  on_cycle :
+    cycle:int -> dispatched:int -> issued:int -> executing:int ->
+    rob_occupancy:int -> unit;
+}
+
+val run : ?probe:probe -> Config.t -> Trace.t -> Sim_stats.t
+(** Simulate the full trace to completion. Raises [Invalid_argument] on an
+    invalid configuration and [Failure] if the safety cycle cap is
+    exceeded (deadlock guard). *)

@@ -1,0 +1,52 @@
+type stall_breakdown = {
+  rob_full : int;
+  iq_full : int;
+  lsq_full : int;
+  serialize : int;
+  redirect : int;
+  drained : int;
+}
+
+type t = {
+  cycles : int;
+  committed : int;
+  ipc : float;
+  branches : int;
+  mispredicts : int;
+  l1 : Mem_hier.level_stats;
+  l2 : Mem_hier.level_stats option;
+  accel_invocations : int;
+  accel_busy_cycles : int;
+  accel_wait_for_head_cycles : int;
+  avg_rob_occupancy : float;
+  avg_rob_at_accel_dispatch : float;
+  dtlb : Mem_hier.level_stats option;
+  stalls : stall_breakdown;
+}
+
+let mispredict_rate t =
+  if t.branches = 0 then 0.0
+  else float_of_int t.mispredicts /. float_of_int t.branches
+
+let l1_miss_rate t =
+  let total = t.l1.Mem_hier.hits + t.l1.Mem_hier.misses in
+  if total = 0 then 0.0 else float_of_int t.l1.Mem_hier.misses /. float_of_int total
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cycles       %d@,committed    %d@,ipc          %.3f@,branches     \
+     %d (%.2f%% mispredicted)@,l1           %d hits / %d misses@,accel        \
+     %d invocations, %d busy cycles, %d head-wait cycles@,rob          \
+     avg %.1f, %.1f at accel dispatch@,stalls       \
+     rob=%d iq=%d lsq=%d serialize=%d redirect=%d drained=%d@]"
+    t.cycles t.committed t.ipc t.branches
+    (100.0 *. mispredict_rate t)
+    t.l1.Mem_hier.hits t.l1.Mem_hier.misses t.accel_invocations
+    t.accel_busy_cycles t.accel_wait_for_head_cycles t.avg_rob_occupancy
+    t.avg_rob_at_accel_dispatch t.stalls.rob_full
+    t.stalls.iq_full t.stalls.lsq_full t.stalls.serialize t.stalls.redirect
+    t.stalls.drained
+
+let speedup ~baseline ~accelerated =
+  if accelerated.cycles = 0 then invalid_arg "Sim_stats.speedup: zero cycles";
+  float_of_int baseline.cycles /. float_of_int accelerated.cycles

@@ -1,0 +1,40 @@
+(** Aggregate results of one simulation run. *)
+
+type stall_breakdown = {
+  rob_full : int;
+  iq_full : int;
+  lsq_full : int;
+  serialize : int;  (** dispatch barrier behind an in-flight NT TCA *)
+  redirect : int;  (** front end waiting on a branch redirect *)
+  drained : int;  (** nothing left to dispatch *)
+}
+
+type t = {
+  cycles : int;
+  committed : int;
+  ipc : float;
+  branches : int;
+  mispredicts : int;
+  l1 : Mem_hier.level_stats;
+  l2 : Mem_hier.level_stats option;
+  accel_invocations : int;
+  accel_busy_cycles : int;
+      (** cycles with at least one TCA instruction executing *)
+  accel_wait_for_head_cycles : int;
+      (** cycles a ready NL-mode TCA spent waiting to reach the ROB head *)
+  avg_rob_occupancy : float;  (** mean ROB entries over all cycles *)
+  avg_rob_at_accel_dispatch : float;
+      (** mean ROB entries at the moment a TCA dispatches — the window
+          the NL modes must drain *)
+  dtlb : Mem_hier.level_stats option;
+      (** data-TLB hits/misses when a DTLB is configured *)
+  stalls : stall_breakdown;
+}
+
+val mispredict_rate : t -> float
+val l1_miss_rate : t -> float
+
+val pp : Format.formatter -> t -> unit
+
+val speedup : baseline:t -> accelerated:t -> float
+(** Ratio of baseline to accelerated cycle counts. *)

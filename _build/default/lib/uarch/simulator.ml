@@ -1,0 +1,34 @@
+type mode_result = {
+  coupling : Config.coupling;
+  stats : Sim_stats.t;
+  speedup : float;
+}
+
+type comparison = {
+  baseline : Sim_stats.t;
+  modes : mode_result list;
+}
+
+let measure_ipc cfg trace =
+  let stats = Pipeline.run cfg trace in
+  stats.Sim_stats.ipc
+
+let compare_modes ~cfg ~baseline ~accelerated =
+  let base_stats = Pipeline.run cfg baseline in
+  let modes =
+    List.map
+      (fun coupling ->
+        let stats = Pipeline.run (Config.with_coupling cfg coupling) accelerated in
+        {
+          coupling;
+          stats;
+          speedup = Sim_stats.speedup ~baseline:base_stats ~accelerated:stats;
+        })
+      Config.all_couplings
+  in
+  { baseline = base_stats; modes }
+
+let find_mode_result comparison coupling =
+  List.find
+    (fun r -> Config.coupling_name r.coupling = Config.coupling_name coupling)
+    comparison.modes

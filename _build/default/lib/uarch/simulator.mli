@@ -1,0 +1,26 @@
+(** Convenience drivers on top of {!Pipeline}: run a workload's baseline
+    and accelerated traces across the four TCA couplings, the common
+    shape of every validation experiment. *)
+
+type mode_result = {
+  coupling : Config.coupling;
+  stats : Sim_stats.t;
+  speedup : float;  (** baseline cycles / accelerated cycles *)
+}
+
+type comparison = {
+  baseline : Sim_stats.t;
+  modes : mode_result list;  (** in [Config.all_couplings] order *)
+}
+
+val measure_ipc : Config.t -> Trace.t -> float
+(** IPC of a trace on the given core (coupling irrelevant when the trace
+    holds no accelerator instructions). *)
+
+val compare_modes :
+  cfg:Config.t -> baseline:Trace.t -> accelerated:Trace.t -> comparison
+(** Run the baseline once and the accelerated trace under all four
+    couplings. *)
+
+val find_mode_result : comparison -> Config.coupling -> mode_result
+(** Raises [Not_found] if absent. *)

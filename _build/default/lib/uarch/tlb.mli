@@ -1,0 +1,28 @@
+(** Data TLB: set-associative translation cache with a fixed page-walk
+    penalty on a miss — one of the event classes the paper's interval
+    framework counts ("branch mispredictions, ICache misses, TLB misses,
+    short/long DCache misses"). *)
+
+type config = {
+  entries : int;  (** total entries, power of two *)
+  assoc : int;
+  page_bits : int;  (** log2 of the page size (default 12 = 4 kB) *)
+  walk_latency : int;  (** cycles added to a miss *)
+}
+
+val config :
+  ?assoc:int -> ?page_bits:int -> ?walk_latency:int -> entries:int -> unit ->
+  config
+(** Defaults: 4-way, 4 kB pages, 30-cycle walk. Validates power-of-two
+    geometry. *)
+
+type t
+
+val create : config -> t
+
+val access : t -> int -> int
+(** [access t addr] returns the translation latency contribution: 0 on a
+    TLB hit, [walk_latency] on a miss (filling the entry). *)
+
+val hits : t -> int
+val misses : t -> int

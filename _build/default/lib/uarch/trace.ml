@@ -1,0 +1,213 @@
+type t = { instrs : Isa.instr array }
+
+let validate instrs =
+  let check_reg r = r = Isa.no_reg || (r >= 0 && r < Isa.num_arch_regs) in
+  let bad = ref None in
+  Array.iteri
+    (fun i (ins : Isa.instr) ->
+      if !bad = None then
+        if not (check_reg ins.src1 && check_reg ins.src2 && check_reg ins.dst)
+        then bad := Some (i, "register out of range")
+        else if ins.addr < 0 then bad := Some (i, "negative address")
+        else
+          match ins.op with
+          | Isa.Accel a ->
+              if a.compute_latency < 0 then
+                bad := Some (i, "negative accel latency")
+              else if
+                Array.exists (fun x -> x < 0) a.reads
+                || Array.exists (fun x -> x < 0) a.writes
+              then bad := Some (i, "negative accel address")
+          | _ -> ())
+    instrs;
+  match !bad with
+  | None -> Ok ()
+  | Some (i, msg) -> Error (Printf.sprintf "instruction %d: %s" i msg)
+
+let of_array instrs =
+  match validate instrs with
+  | Ok () -> { instrs }
+  | Error msg -> invalid_arg ("Trace.of_array: " ^ msg)
+
+let length t = Array.length t.instrs
+let get t i = t.instrs.(i)
+let iter f t = Array.iter f t.instrs
+
+type counts = {
+  total : int;
+  int_alu : int;
+  int_mult : int;
+  fp_alu : int;
+  fp_mult : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  accels : int;
+}
+
+let counts t =
+  let c =
+    ref
+      {
+        total = Array.length t.instrs;
+        int_alu = 0;
+        int_mult = 0;
+        fp_alu = 0;
+        fp_mult = 0;
+        loads = 0;
+        stores = 0;
+        branches = 0;
+        accels = 0;
+      }
+  in
+  iter
+    (fun ins ->
+      let x = !c in
+      c :=
+        (match ins.Isa.op with
+        | Isa.Int_alu -> { x with int_alu = x.int_alu + 1 }
+        | Isa.Int_mult -> { x with int_mult = x.int_mult + 1 }
+        | Isa.Fp_alu -> { x with fp_alu = x.fp_alu + 1 }
+        | Isa.Fp_mult -> { x with fp_mult = x.fp_mult + 1 }
+        | Isa.Load -> { x with loads = x.loads + 1 }
+        | Isa.Store -> { x with stores = x.stores + 1 }
+        | Isa.Branch -> { x with branches = x.branches + 1 }
+        | Isa.Accel _ -> { x with accels = x.accels + 1 }))
+    t;
+  !c
+
+(* Textual interchange format, one instruction per line:
+     <pc> <op> <dst> <src1> <src2> <addr> <taken>
+   with op one of the names from Isa.op_name; accel lines append
+     <compute_latency> <n_reads> <reads...> <n_writes> <writes...> *)
+
+let instr_to_line (i : Isa.instr) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %s %d %d %d %d %b" i.Isa.pc (Isa.op_name i.Isa.op)
+       i.Isa.dst i.Isa.src1 i.Isa.src2 i.Isa.addr i.Isa.taken);
+  (match i.Isa.op with
+  | Isa.Accel a ->
+      Buffer.add_string buf (Printf.sprintf " %d %d" a.Isa.compute_latency
+          (Array.length a.Isa.reads));
+      Array.iter (fun r -> Buffer.add_string buf (Printf.sprintf " %d" r)) a.Isa.reads;
+      Buffer.add_string buf (Printf.sprintf " %d" (Array.length a.Isa.writes));
+      Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf " %d" w)) a.Isa.writes
+  | _ -> ());
+  Buffer.contents buf
+
+let to_channel oc t =
+  Printf.fprintf oc "tca-trace 1 %d\n" (length t);
+  iter (fun i -> output_string oc (instr_to_line i ^ "\n")) t
+
+let parse_line lineno line =
+  let fail msg = failwith (Printf.sprintf "Trace.of_channel: line %d: %s" lineno msg) in
+  let fields = String.split_on_char ' ' (String.trim line) in
+  let int_of s = match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "bad integer %S" s)
+  in
+  match fields with
+  | pc :: op_name :: dst :: src1 :: src2 :: addr :: taken :: rest ->
+      let pc = int_of pc and dst = int_of dst and src1 = int_of src1 in
+      let src2 = int_of src2 and addr = int_of addr in
+      let taken = match bool_of_string_opt taken with
+        | Some b -> b
+        | None -> fail (Printf.sprintf "bad boolean %S" taken)
+      in
+      let op =
+        match (op_name, rest) with
+        | "int_alu", [] -> Isa.Int_alu
+        | "int_mult", [] -> Isa.Int_mult
+        | "fp_alu", [] -> Isa.Fp_alu
+        | "fp_mult", [] -> Isa.Fp_mult
+        | "load", [] -> Isa.Load
+        | "store", [] -> Isa.Store
+        | "branch", [] -> Isa.Branch
+        | "accel", lat :: n_reads :: rest ->
+            let lat = int_of lat and n_reads = int_of n_reads in
+            if List.length rest < n_reads + 1 then fail "truncated accel reads";
+            let reads = Array.of_list (List.filteri (fun i _ -> i < n_reads) rest |> List.map int_of) in
+            let rest = List.filteri (fun i _ -> i >= n_reads) rest in
+            (match rest with
+            | n_writes :: ws ->
+                let n_writes = int_of n_writes in
+                if List.length ws <> n_writes then fail "truncated accel writes";
+                Isa.Accel
+                  {
+                    Isa.compute_latency = lat;
+                    reads;
+                    writes = Array.of_list (List.map int_of ws);
+                  }
+            | [] -> fail "missing accel write count")
+        | name, _ -> fail (Printf.sprintf "bad op %S or trailing fields" name)
+      in
+      { Isa.pc; op; dst; src1; src2; addr; taken }
+  | _ -> fail "too few fields"
+
+let of_channel ic =
+  let header = try input_line ic with End_of_file -> failwith "Trace.of_channel: empty input" in
+  let count =
+    match String.split_on_char ' ' (String.trim header) with
+    | [ "tca-trace"; "1"; n ] -> (
+        match int_of_string_opt n with
+        | Some c when c >= 0 -> c
+        | Some _ | None -> failwith "Trace.of_channel: bad count in header")
+    | _ -> failwith "Trace.of_channel: bad header (expected 'tca-trace 1 <count>')"
+  in
+  let instrs =
+    Array.init count (fun i ->
+        match input_line ic with
+        | line -> parse_line (i + 2) line
+        | exception End_of_file ->
+            failwith
+              (Printf.sprintf "Trace.of_channel: expected %d instructions, got %d" count i))
+  in
+  of_array instrs
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+module Builder = struct
+  type builder = {
+    mutable buf : Isa.instr array;
+    mutable len : int;
+  }
+
+  type t = builder
+
+  let dummy = Isa.int_alu ~dst:0 ()
+
+  let create ?(capacity = 1024) () =
+    { buf = Array.make (max 16 capacity) dummy; len = 0 }
+
+  let grow b =
+    let cap = Array.length b.buf in
+    let nbuf = Array.make (2 * cap) dummy in
+    Array.blit b.buf 0 nbuf 0 b.len;
+    b.buf <- nbuf
+
+  let next_pc b = 4 * b.len
+
+  let add b ins =
+    if b.len = Array.length b.buf then grow b;
+    b.buf.(b.len) <- { ins with Isa.pc = next_pc b };
+    b.len <- b.len + 1
+
+  let add_here b f =
+    let ins = f ~pc:(next_pc b) in
+    add b ins
+
+  let add_at_site b ins =
+    if b.len = Array.length b.buf then grow b;
+    b.buf.(b.len) <- ins;
+    b.len <- b.len + 1
+
+  let length b = b.len
+  let build b = of_array (Array.sub b.buf 0 b.len)
+end

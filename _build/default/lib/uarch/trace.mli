@@ -1,0 +1,64 @@
+(** Instruction traces and their construction. *)
+
+type t = private { instrs : Isa.instr array }
+
+val of_array : Isa.instr array -> t
+(** Validates the trace (see {!validate}); raises [Invalid_argument] on a
+    malformed trace. The array is not copied. *)
+
+val length : t -> int
+val get : t -> int -> Isa.instr
+val iter : (Isa.instr -> unit) -> t -> unit
+
+val validate : Isa.instr array -> (unit, string) result
+(** Registers in range, non-negative addresses, non-negative accelerator
+    latencies. *)
+
+type counts = {
+  total : int;
+  int_alu : int;
+  int_mult : int;
+  fp_alu : int;
+  fp_mult : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  accels : int;
+}
+
+val counts : t -> counts
+
+val to_channel : out_channel -> t -> unit
+(** Write the trace in the textual interchange format: a header line
+    [tca-trace 1 <count>] followed by one instruction per line. *)
+
+val of_channel : in_channel -> t
+(** Parse the interchange format; raises [Failure] with a line-numbered
+    message on malformed input. *)
+
+val save : string -> t -> unit
+val load : string -> t
+
+(** Incremental construction with automatic PC assignment (4 bytes per
+    μop, like a fixed-width ISA). *)
+module Builder : sig
+  type trace := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val add : t -> Isa.instr -> unit
+  (** Appends, overriding the instruction's [pc] with the next sequential
+      value. *)
+
+  val add_here : t -> (pc:int -> Isa.instr) -> unit
+  (** For branches that need their own PC (predictor indexing). *)
+
+  val add_at_site : t -> Isa.instr -> unit
+  (** Appends keeping the instruction's own [pc]: used for branches that
+      belong to a recurring static site (loops, library calls), so the
+      branch predictor sees repeated PCs as it would in a real binary. *)
+
+  val length : t -> int
+  val next_pc : t -> int
+  val build : t -> trace
+end

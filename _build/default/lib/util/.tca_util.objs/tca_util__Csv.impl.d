@@ -1,0 +1,1 @@
+lib/util/csv.ml: Buffer Fun List String

@@ -1,0 +1,1 @@
+lib/util/heatmap.ml: Array Buffer Bytes Float Hashtbl List Printf Stdlib String

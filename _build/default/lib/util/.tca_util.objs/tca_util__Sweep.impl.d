@@ -1,0 +1,1 @@
+lib/util/sweep.ml: Array Float List

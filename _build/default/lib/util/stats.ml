@@ -1,0 +1,67 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let geomean xs =
+  check_nonempty "Stats.geomean" xs;
+  let sum_logs =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (sum_logs /. float_of_int (Array.length xs))
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+  /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  check_nonempty "Stats.min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "Stats.max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let median xs = percentile xs 50.0
+
+let relative_error ~measured ~estimated =
+  if measured = 0.0 then invalid_arg "Stats.relative_error: measured = 0";
+  (estimated -. measured) /. measured
+
+let abs_relative_error ~measured ~estimated =
+  Float.abs (relative_error ~measured ~estimated)
+
+let mape ~measured ~estimated =
+  if Array.length measured <> Array.length estimated then
+    invalid_arg "Stats.mape: length mismatch";
+  check_nonempty "Stats.mape" measured;
+  let errs =
+    Array.map2
+      (fun m e -> abs_relative_error ~measured:m ~estimated:e)
+      measured estimated
+  in
+  100.0 *. mean errs

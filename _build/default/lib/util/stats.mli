@@ -1,0 +1,31 @@
+(** Descriptive statistics over float arrays, used for error reporting
+    (model-vs-simulation validation) and benchmark summaries. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean. All elements must be positive. *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val stddev : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. *)
+
+val relative_error : measured:float -> estimated:float -> float
+(** [(estimated - measured) / measured]. Positive means the estimate is
+    optimistic relative to the measurement. *)
+
+val abs_relative_error : measured:float -> estimated:float -> float
+
+val mape : measured:float array -> estimated:float array -> float
+(** Mean absolute percentage error, in percent. *)

@@ -1,0 +1,27 @@
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Sweep.linspace: need at least 2 points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> lo +. (float_of_int i *. step))
+
+let logspace lo hi n =
+  if lo <= 0.0 || hi <= 0.0 then invalid_arg "Sweep.logspace: positive endpoints required";
+  let pts = linspace (log10 lo) (log10 hi) n in
+  Array.map (fun e -> 10.0 ** e) pts
+
+let int_range lo hi =
+  if hi < lo then [||] else Array.init (hi - lo + 1) (fun i -> lo + i)
+
+let geometric_ints lo hi ratio =
+  if lo <= 0 || ratio <= 1.0 then invalid_arg "Sweep.geometric_ints: lo > 0 and ratio > 1 required";
+  let rec build acc x =
+    if x > hi then acc
+    else
+      let next =
+        let n = int_of_float (Float.round (float_of_int x *. ratio)) in
+        if n <= x then x + 1 else n
+      in
+      build (x :: acc) next
+  in
+  let pts = build [] lo in
+  let pts = match pts with last :: _ when last < hi -> hi :: pts | _ -> pts in
+  Array.of_list (List.rev pts)

@@ -1,0 +1,18 @@
+(** Parameter-sweep helpers: linear and logarithmic ranges used by every
+    figure driver. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace lo hi n] is [n >= 2] evenly spaced points including both
+    endpoints. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace lo hi n] is [n >= 2] points evenly spaced in log10 between
+    the positive endpoints [lo] and [hi], inclusive. *)
+
+val int_range : int -> int -> int array
+(** [int_range lo hi] is [lo; lo+1; ...; hi]. Empty if [hi < lo]. *)
+
+val geometric_ints : int -> int -> float -> int array
+(** [geometric_ints lo hi ratio] is the increasing deduplicated sequence
+    [lo; lo*ratio; ...] capped at [hi] (always includes [lo]; includes [hi]
+    if distinct from the last generated point). *)

@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let default_aligns n = List.init n (fun i -> if i = 0 then Left else Right)
+
+let render ?aligns ~headers rows =
+  let arity = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Table.render: row %d has %d cells, expected %d" i
+             (List.length row) arity))
+    rows;
+  let aligns =
+    match aligns with
+    | Some a when List.length a = arity -> a
+    | Some _ -> invalid_arg "Table.render: aligns arity mismatch"
+    | None -> default_aligns arity
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> Stdlib.max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    let padded =
+      List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) cells
+    in
+    Buffer.add_string buf (String.concat "  " padded);
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?aligns ~headers rows = print_string (render ?aligns ~headers rows)
+
+let float_cell ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let pct_cell ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100.0 *. x)

@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Array Isa Tca_uarch Tca_util Trace

@@ -1,0 +1,1 @@
+lib/workloads/codegen.mli: Tca_uarch Tca_util

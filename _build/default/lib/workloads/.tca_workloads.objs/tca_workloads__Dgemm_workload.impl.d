@@ -1,0 +1,1 @@
+lib/workloads/dgemm_workload.ml: Array Isa List Matrix Meta Mma Printf Tca_dgemm Tca_uarch Trace

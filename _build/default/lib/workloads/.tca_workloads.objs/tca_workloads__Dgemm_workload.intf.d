@@ -1,0 +1,1 @@
+lib/workloads/dgemm_workload.mli: Meta Tca_uarch

@@ -1,0 +1,1 @@
+lib/workloads/greendroid.ml: Array List Tca_heap Tca_util

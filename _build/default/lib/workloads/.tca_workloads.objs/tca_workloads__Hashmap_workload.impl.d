@@ -1,0 +1,1 @@
+lib/workloads/hashmap_workload.ml: Array Codegen Cost_model Float Isa List Meta Table Tca_hashmap Tca_uarch Tca_util Trace

@@ -1,0 +1,1 @@
+lib/workloads/hashmap_workload.mli: Codegen Meta

@@ -1,0 +1,1 @@
+lib/workloads/heap_workload.ml: Array Codegen Cost_model Isa Meta Option Size_class Tca_heap Tca_uarch Tca_util Tcmalloc Trace

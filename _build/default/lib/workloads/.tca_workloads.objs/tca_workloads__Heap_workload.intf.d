@@ -1,0 +1,1 @@
+lib/workloads/heap_workload.mli: Codegen Meta

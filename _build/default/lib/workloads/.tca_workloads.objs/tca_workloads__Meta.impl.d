@@ -1,0 +1,1 @@
+lib/workloads/meta.ml: Float Format Tca_uarch

@@ -1,0 +1,1 @@
+lib/workloads/meta.mli: Format Tca_uarch

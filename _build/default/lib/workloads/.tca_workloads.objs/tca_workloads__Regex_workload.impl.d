@@ -1,0 +1,1 @@
+lib/workloads/regex_workload.ml: Array Bytes Codegen Cost_model Engine Isa List Meta Pattern Printf String Tca_regex Tca_uarch Tca_util Trace

@@ -1,0 +1,1 @@
+lib/workloads/regex_workload.mli: Codegen Meta

@@ -1,0 +1,1 @@
+lib/workloads/strfn_workload.ml: Arena Array Codegen Cost_model Float Isa List Meta String Tca_strfn Tca_uarch Tca_util Trace

@@ -1,0 +1,1 @@
+lib/workloads/strfn_workload.mli: Codegen Meta

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array Codegen Float Fun Isa Meta Tca_uarch Tca_util Trace

@@ -1,0 +1,116 @@
+open Tca_uarch
+
+type config = {
+  branch_every : int;
+  hard_branch_fraction : float;
+  branch_bias : float;
+  load_every : int;
+  store_every : int;
+  mult_every : int;
+  fp_every : int;
+  working_set_bytes : int;
+  dep_window : int;
+  n_branch_sites : int;
+}
+
+let default_config =
+  {
+    branch_every = 6;
+    hard_branch_fraction = 0.05;
+    branch_bias = 0.97;
+    load_every = 4;
+    store_every = 9;
+    mult_every = 17;
+    fp_every = 13;
+    working_set_bytes = 16 * 1024;
+    dep_window = 12;
+    n_branch_sites = 64;
+  }
+
+let model_friendly_config =
+  {
+    default_config with
+    branch_every = 8;
+    hard_branch_fraction = 0.0;
+    branch_bias = 0.998;
+    dep_window = 16;
+  }
+
+let data_base = 0x0010_0000
+
+type site = { pc : int; bias : float }
+
+type t = {
+  cfg : config;
+  rng : Tca_util.Prng.t;
+  sites : site array;
+  mutable emitted : int;
+  mutable next_dst : int;
+}
+
+let create ?(config = default_config) ?(site_base = 0x8000) ~rng () =
+  if config.dep_window < 2 || config.dep_window > 40 then
+    invalid_arg "Codegen.create: dep_window out of [2, 40]";
+  if config.n_branch_sites < 1 then
+    invalid_arg "Codegen.create: need at least one branch site";
+  if config.working_set_bytes < 64 then
+    invalid_arg "Codegen.create: working set below one line";
+  if config.branch_bias < 0.5 || config.branch_bias > 1.0 then
+    invalid_arg "Codegen.create: branch_bias out of [0.5, 1]";
+  let sites =
+    Array.init config.n_branch_sites (fun i ->
+        let hard = Tca_util.Prng.bernoulli rng config.hard_branch_fraction in
+        let bias =
+          if hard then 0.5
+          else if Tca_util.Prng.bool rng then config.branch_bias
+          else 1.0 -. config.branch_bias
+        in
+        { pc = site_base + (4 * i); bias })
+  in
+  { cfg = config; rng; sites; emitted = 0; next_dst = 0 }
+
+(* Destination registers cycle through [0, dep_window); sources reach a
+   few registers back, creating dependence chains of controlled depth. *)
+let fresh_dst t =
+  let d = t.next_dst in
+  t.next_dst <- (t.next_dst + 1) mod t.cfg.dep_window;
+  d
+
+let recent_src t =
+  let back = 1 + Tca_util.Prng.int t.rng (t.cfg.dep_window - 1) in
+  (t.next_dst - back + t.cfg.dep_window + t.cfg.dep_window) mod t.cfg.dep_window
+
+let random_addr t =
+  let lines = t.cfg.working_set_bytes / 64 in
+  data_base + (64 * Tca_util.Prng.int t.rng lines) + (8 * Tca_util.Prng.int t.rng 8)
+
+let due t every = every > 0 && t.emitted mod every = every - 1
+
+let emit t b =
+  let c = t.cfg in
+  (if due t c.branch_every then begin
+     let site = Tca_util.Prng.choose t.rng t.sites in
+     let taken = Tca_util.Prng.bernoulli t.rng site.bias in
+     Trace.Builder.add_at_site b
+       (Isa.branch ~pc:site.pc ~src1:(recent_src t) ~taken ())
+   end
+   else if due t c.load_every then
+     Trace.Builder.add b (Isa.load ~base:(recent_src t) ~dst:(fresh_dst t) ~addr:(random_addr t) ())
+   else if due t c.store_every then
+     Trace.Builder.add b
+       (Isa.store ~base:(recent_src t) ~src:(recent_src t) ~addr:(random_addr t) ())
+   else if due t c.mult_every then
+     Trace.Builder.add b
+       (Isa.int_mult ~src1:(recent_src t) ~src2:(recent_src t) ~dst:(fresh_dst t) ())
+   else if due t c.fp_every then
+     Trace.Builder.add b
+       (Isa.fp_alu ~src1:(recent_src t) ~src2:(recent_src t) ~dst:(fresh_dst t) ())
+   else
+     Trace.Builder.add b
+       (Isa.int_alu ~src1:(recent_src t) ~src2:(recent_src t) ~dst:(fresh_dst t) ()));
+  t.emitted <- t.emitted + 1
+
+let emit_block t b n =
+  for _ = 1 to n do
+    emit t b
+  done

@@ -1,0 +1,40 @@
+(** Blocked dense matrix-multiplication traces (paper Sections IV and
+    V-C).
+
+    The software baseline computes an [n x n] double-precision product
+    through [block x block] (default 32x32) sub-matrix partial products —
+    the blocking that keeps two input blocks and one output block resident
+    in a 32 kB L1. The accelerated variants replace the element-wise
+    inner kernel with [dim x dim] multiply-accumulate TCA invocations
+    (dim in 2, 4, 8) whose memory requests name the exact cache lines of
+    the real row-major layout, issued through the core's shared memory
+    ports.
+
+    The paper simulates n = 512; that is supported but slow in a
+    cycle-level simulator, so experiments default to smaller n with
+    identical blocking (same L1-resident working set and per-block
+    instruction mix — the quantities the model consumes). *)
+
+type config = {
+  n : int;
+  block : int;
+  seed : int;
+  a_base : int;
+  b_base : int;
+  c_base : int;
+}
+
+val config : ?block:int -> ?seed:int -> n:int -> unit -> config
+(** [block] defaults to 32 and must divide [n]; matrices are laid out
+    contiguously from 0x0200_0000. *)
+
+val baseline : config -> Tca_uarch.Trace.t
+(** Element-wise blocked kernel. *)
+
+val pair : config -> dim:int -> Meta.pair
+(** Baseline plus the [dim x dim]-MMA-accelerated variant. [dim] must be
+    one of {!Tca_dgemm.Mma.supported_dims} and divide [block]. *)
+
+val kernel_uops_per_element : config -> int
+(** Baseline inner-kernel μops per output element per k-block — used by
+    size estimations in the experiments. *)

@@ -1,0 +1,34 @@
+(** GreenDroid-style fine-grained accelerated functions (paper
+    Section VI).
+
+    GreenDroid maps hot functions of mobile SoC workloads onto
+    energy-motivated conservation cores with an assumed acceleration
+    factor of 1.5x. The paper uses the nine functions of the GreenDroid
+    study, with straight-through execution assumed for the
+    highest-invocation-frequency placement. The original per-function
+    statistics are not reprinted in the paper, so the instruction counts
+    below are representative values in the "hundreds of instructions"
+    range the paper describes (documented substitution; only the
+    (granularity, A) pairs enter the model). *)
+
+type fn = {
+  name : string;
+  static_instrs : int;  (** instructions per straight-through invocation *)
+}
+
+val functions : fn list
+(** Nine functions. *)
+
+val accel_factor : float
+(** 1.5, "since GreenDroid is motivated by energy efficiency rather than
+    performance". *)
+
+val granularities : unit -> float array
+(** Static instruction counts of the nine functions, as granularities for
+    placement on the Fig. 7 maps. *)
+
+val mean_granularity : unit -> float
+
+val heap_manager_granularity : float
+(** The heap TCA's granularity for the Fig. 7 overlay: the average
+    software malloc/free cost it replaces ((69 + 37) / 2 = 53 μops). *)

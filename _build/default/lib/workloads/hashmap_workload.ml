@@ -1,0 +1,116 @@
+open Tca_uarch
+open Tca_hashmap
+
+type config = {
+  n_lookups : int;
+  app_instrs_per_lookup : int;
+  capacity_pow2 : int;
+  load_factor : float;
+  hit_fraction : float;
+  app : Codegen.config;
+  seed : int;
+}
+
+let config ?(capacity_pow2 = 14) ?(load_factor = 0.6) ?(hit_fraction = 0.9)
+    ?(app = Codegen.model_friendly_config) ?(seed = 1) ~n_lookups
+    ~app_instrs_per_lookup () =
+  if n_lookups <= 0 then invalid_arg "Hashmap_workload.config: n_lookups must be positive";
+  if app_instrs_per_lookup < 0 then
+    invalid_arg "Hashmap_workload.config: negative app_instrs_per_lookup";
+  if load_factor <= 0.0 || load_factor > 0.85 then
+    invalid_arg "Hashmap_workload.config: load_factor out of (0, 0.85]";
+  if hit_fraction < 0.0 || hit_fraction > 1.0 then
+    invalid_arg "Hashmap_workload.config: hit_fraction out of [0, 1]";
+  {
+    n_lookups;
+    app_instrs_per_lookup;
+    capacity_pow2;
+    load_factor;
+    hit_fraction;
+    app;
+    seed;
+  }
+
+(* Populate a table to the target load factor and pre-plan every lookup's
+   probe trace, so both variants replay identical table behaviour. *)
+let plan cfg =
+  let rng = Tca_util.Prng.create (cfg.seed + 0x4a5) in
+  let table = Table.create ~capacity_pow2:cfg.capacity_pow2 () in
+  let n_keys =
+    int_of_float (cfg.load_factor *. float_of_int (Table.capacity table))
+  in
+  let keys = Array.init n_keys (fun i -> (i * 7919) + 13) in
+  Array.iter (fun k -> ignore (Table.insert table k (k * 3))) keys;
+  let lookups =
+    Array.init cfg.n_lookups (fun _ ->
+        let key =
+          if Tca_util.Prng.bernoulli rng cfg.hit_fraction then
+            Tca_util.Prng.choose rng keys
+          else 1_000_000_000 + Tca_util.Prng.int rng 1_000_000
+        in
+        Table.find table key)
+  in
+  (lookups, Table.mean_probes table)
+
+let generate cfg =
+  let lookups, _ = plan cfg in
+  let mean_probes =
+    Tca_util.Stats.mean
+      (Array.map (fun (r : Table.probe_result) -> float_of_int r.Table.probes) lookups)
+  in
+  let acceleratable = ref 0 in
+  let total_lines = ref 0 in
+  let build variant =
+    let app_rng = Tca_util.Prng.create (cfg.seed + 0x99) in
+    let gen = Codegen.create ~config:cfg.app ~rng:app_rng () in
+    let gap_rng = Tca_util.Prng.create (cfg.seed + 0x77) in
+    let b = Trace.Builder.create () in
+    if variant = `Baseline then acceleratable := 0;
+    if variant = `Accelerated then total_lines := 0;
+    Array.iter
+      (fun (r : Table.probe_result) ->
+        let gap =
+          if cfg.app_instrs_per_lookup = 0 then 0
+          else
+            let half = max 1 (cfg.app_instrs_per_lookup / 2) in
+            Tca_util.Prng.int_in gap_rng
+              (cfg.app_instrs_per_lookup - half)
+              (cfg.app_instrs_per_lookup + half)
+        in
+        Codegen.emit_block gen b gap;
+        (match variant with
+        | `Baseline ->
+            Cost_model.emit_find b ~bucket_addrs:r.Table.bucket_addrs;
+            acceleratable :=
+              !acceleratable + Cost_model.software_uops ~probes:r.Table.probes
+        | `Accelerated ->
+            Cost_model.emit_find_accel b ~bucket_addrs:r.Table.bucket_addrs;
+            total_lines :=
+              !total_lines
+              + List.length
+                  (List.sort_uniq compare
+                     (List.map (fun a -> a land lnot 63) r.Table.bucket_addrs)));
+        (* The application consumes the looked-up value. *)
+        Trace.Builder.add b
+          (Isa.int_alu ~src1:Cost_model.result_reg ~dst:1 ()))
+      lookups;
+    Trace.Builder.build b
+  in
+  let baseline = build `Baseline in
+  let acceleratable_instrs = !acceleratable in
+  let accelerated = build `Accelerated in
+  let avg_reads = float_of_int !total_lines /. float_of_int cfg.n_lookups in
+  (* Probed buckets are effectively random over the table; the fraction
+     beyond what an L1 can keep resident arrives from the next level. *)
+  let table_bytes = 16 * (1 lsl cfg.capacity_pow2) in
+  let l1_bytes = 32 * 1024 in
+  let miss_fraction =
+    Float.max 0.0 (1.0 -. (float_of_int l1_bytes /. float_of_int table_bytes))
+  in
+  let pair =
+    Meta.make ~name:"hashmap" ~baseline ~accelerated
+      ~invocations:cfg.n_lookups ~acceleratable_instrs ~avg_reads
+      ~avg_fresh_lines:(avg_reads *. miss_fraction)
+      ~compute_latency:Cost_model.accel_compute_latency ()
+  in
+  (pair, mean_probes)

@@ -1,0 +1,120 @@
+open Tca_uarch
+open Tca_heap
+
+type config = {
+  n_calls : int;
+  app_instrs_per_call : int;
+  app : Codegen.config;
+  seed : int;
+}
+
+let config ?(app = Codegen.model_friendly_config) ?(seed = 1) ~n_calls
+    ~app_instrs_per_call () =
+  if n_calls <= 0 then invalid_arg "Heap_workload.config: n_calls must be positive";
+  if app_instrs_per_call < 0 then
+    invalid_arg "Heap_workload.config: negative app_instrs_per_call";
+  { n_calls; app_instrs_per_call; app; seed }
+
+let avg_call_uops =
+  float_of_int (Cost_model.malloc_uops + Cost_model.free_uops) /. 2.0
+
+let expected_call_fraction cfg =
+  avg_call_uops /. (avg_call_uops +. float_of_int cfg.app_instrs_per_call)
+
+(* The register application code uses to hand a pointer to free. Kept
+   outside both the codegen window and the heap sequences' registers. *)
+let ptr_reg = 46
+
+type call = Malloc of int (* class *) | Free of int (* class *)
+
+(* Pre-plan the call sequence against a real allocator so both variants
+   perform the identical operations, and pre-warm the free lists so every
+   malloc hits (the accelerated common case). *)
+let plan_calls rng cfg =
+  let heap = Tcmalloc.create () in
+  let warm = (cfg.n_calls / 2) + 8 in
+  let stash = Array.init warm (fun _ -> Tcmalloc.malloc heap (1 + Tca_util.Prng.int rng 128)) in
+  Array.iter (Tcmalloc.free heap) stash;
+  let live = ref [] in
+  let n_live = ref 0 in
+  let calls =
+    Array.init cfg.n_calls (fun _ ->
+        let do_malloc =
+          !n_live = 0
+          || (Tca_util.Prng.bool rng && Tcmalloc.malloc_hits_free_list heap 1)
+        in
+        if do_malloc then begin
+          let size = 1 + Tca_util.Prng.int rng Size_class.max_small_size in
+          let addr = Tcmalloc.malloc heap size in
+          let cls = Option.get (Tcmalloc.class_of_block heap addr) in
+          live := addr :: !live;
+          incr n_live;
+          Malloc cls
+        end
+        else begin
+          match !live with
+          | [] -> assert false
+          | addr :: rest ->
+              let cls = Option.get (Tcmalloc.class_of_block heap addr) in
+              Tcmalloc.free heap addr;
+              live := rest;
+              decr n_live;
+              Free cls
+        end)
+  in
+  (calls, heap)
+
+let generate cfg =
+  let plan_rng = Tca_util.Prng.create (cfg.seed + 0x11ea) in
+  let calls, heap = plan_calls plan_rng cfg in
+  let acceleratable = ref 0 in
+  let build variant =
+    let app_rng = Tca_util.Prng.create (cfg.seed + 0xa44) in
+    let gen = Codegen.create ~config:cfg.app ~rng:app_rng () in
+    let gap_rng = Tca_util.Prng.create (cfg.seed + 0x9a4) in
+    let heap_rng = Tca_util.Prng.create (cfg.seed + 0xf111) in
+    let b = Trace.Builder.create () in
+    if variant = `Baseline then acceleratable := 0;
+    Array.iter
+      (fun call ->
+        let gap =
+          if cfg.app_instrs_per_call = 0 then 0
+          else
+            let half = max 1 (cfg.app_instrs_per_call / 2) in
+            Tca_util.Prng.int_in gap_rng
+              (cfg.app_instrs_per_call - half)
+              (cfg.app_instrs_per_call + half)
+        in
+        Codegen.emit_block gen b gap;
+        match call with
+        | Malloc cls ->
+            let head_addr = Tcmalloc.freelist_head_addr heap cls in
+            (match variant with
+            | `Baseline ->
+                Cost_model.emit_malloc b ~rng:heap_rng ~head_addr;
+                acceleratable := !acceleratable + Cost_model.malloc_uops
+            | `Accelerated -> Cost_model.emit_malloc_accel b);
+            (* Application consumes the returned pointer right away: a
+               store through it and a dependent reload. *)
+            let block_addr = head_addr + 0x40 in
+            Trace.Builder.add b
+              (Isa.store ~base:Cost_model.result_reg ~addr:block_addr ());
+            Trace.Builder.add b
+              (Isa.load ~base:Cost_model.result_reg ~dst:ptr_reg ~addr:block_addr ())
+        | Free cls ->
+            let head_addr = Tcmalloc.freelist_head_addr heap cls in
+            (* The pointer argument comes from application state. *)
+            Trace.Builder.add b (Isa.int_alu ~src1:ptr_reg ~dst:ptr_reg ());
+            (match variant with
+            | `Baseline ->
+                Cost_model.emit_free b ~rng:heap_rng ~head_addr ~ptr_reg;
+                acceleratable := !acceleratable + Cost_model.free_uops
+            | `Accelerated -> Cost_model.emit_free_accel b ~ptr_reg))
+      calls;
+    Trace.Builder.build b
+  in
+  let baseline = build `Baseline in
+  let acceleratable_instrs = !acceleratable in
+  let accelerated = build `Accelerated in
+  Meta.make ~name:"heap" ~baseline ~accelerated ~invocations:cfg.n_calls
+    ~acceleratable_instrs ~compute_latency:Cost_model.accel_latency ()

@@ -1,0 +1,72 @@
+type t = {
+  name : string;
+  baseline_instrs : int;
+  accelerated_instrs : int;
+  invocations : int;
+  acceleratable_instrs : int;
+  v : float;
+  a : float;
+  avg_reads_per_invocation : float;
+  avg_writes_per_invocation : float;
+  avg_fresh_lines_per_invocation : float;
+  compute_latency : int;
+}
+
+type pair = {
+  baseline : Tca_uarch.Trace.t;
+  accelerated : Tca_uarch.Trace.t;
+  meta : t;
+}
+
+let make ~name ~baseline ~accelerated ~invocations ~acceleratable_instrs
+    ?(avg_reads = 0.0) ?(avg_writes = 0.0) ?(avg_fresh_lines = 0.0)
+    ~compute_latency () =
+  let baseline_instrs = Tca_uarch.Trace.length baseline in
+  if baseline_instrs = 0 then invalid_arg "Meta.make: empty baseline";
+  let nb = float_of_int baseline_instrs in
+  let a = float_of_int acceleratable_instrs /. nb in
+  if a < 0.0 || a > 1.0 then invalid_arg "Meta.make: acceleratable fraction out of range";
+  {
+    baseline;
+    accelerated;
+    meta =
+      {
+        name;
+        baseline_instrs;
+        accelerated_instrs = Tca_uarch.Trace.length accelerated;
+        invocations;
+        acceleratable_instrs;
+        v = float_of_int invocations /. nb;
+        a;
+        avg_reads_per_invocation = avg_reads;
+        avg_writes_per_invocation = avg_writes;
+        avg_fresh_lines_per_invocation = avg_fresh_lines;
+        compute_latency;
+      };
+  }
+
+let accel_latency_estimate t ~l1_hit_latency ?(miss_extra_latency = 0)
+    ~mem_ports () =
+  let ports = float_of_int mem_ports in
+  let read_time =
+    if t.avg_reads_per_invocation <= 0.0 then 0.0
+    else
+      let miss_depth =
+        (* Overlapping non-blocking misses cost one extra depth when any
+           fresh line is expected. *)
+        Float.min 1.0 t.avg_fresh_lines_per_invocation
+        *. float_of_int miss_extra_latency
+      in
+      float_of_int l1_hit_latency
+      +. ((t.avg_reads_per_invocation -. 1.0) /. ports)
+      +. miss_depth
+  in
+  let write_time = t.avg_writes_per_invocation /. ports in
+  read_time +. float_of_int t.compute_latency +. write_time
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: baseline=%d accel=%d invocations=%d v=%.6f a=%.4f reads=%.1f \
+     writes=%.1f compute=%d"
+    t.name t.baseline_instrs t.accelerated_instrs t.invocations t.v t.a
+    t.avg_reads_per_invocation t.avg_writes_per_invocation t.compute_latency

@@ -1,0 +1,55 @@
+(** Shared description of a baseline/accelerated workload pair: the
+    quantities the analytical model takes as inputs ([a], [v], accelerator
+    timing) plus bookkeeping for the experiment drivers. *)
+
+type t = {
+  name : string;
+  baseline_instrs : int;
+  accelerated_instrs : int;  (** including the TCA instructions *)
+  invocations : int;
+  acceleratable_instrs : int;
+      (** baseline instructions replaced by TCA invocations *)
+  v : float;  (** invocations / baseline instructions *)
+  a : float;  (** acceleratable / baseline instructions *)
+  avg_reads_per_invocation : float;  (** TCA cache-line read requests *)
+  avg_writes_per_invocation : float;
+  avg_fresh_lines_per_invocation : float;
+      (** read lines expected NOT to be L1-resident (first touch within
+          the blocking reuse pattern) — drives the miss term of the
+          latency estimate *)
+  compute_latency : int;  (** TCA compute cycles per invocation *)
+}
+
+type pair = {
+  baseline : Tca_uarch.Trace.t;
+  accelerated : Tca_uarch.Trace.t;
+  meta : t;
+}
+
+val make :
+  name:string ->
+  baseline:Tca_uarch.Trace.t ->
+  accelerated:Tca_uarch.Trace.t ->
+  invocations:int ->
+  acceleratable_instrs:int ->
+  ?avg_reads:float ->
+  ?avg_writes:float ->
+  ?avg_fresh_lines:float ->
+  compute_latency:int ->
+  unit ->
+  pair
+(** Derives [v], [a] and the instruction counts; validates
+    [0 <= a <= 1]. *)
+
+val accel_latency_estimate :
+  t -> l1_hit_latency:int -> ?miss_extra_latency:int -> mem_ports:int ->
+  unit -> float
+(** First-order architect's estimate of one TCA invocation's execution
+    time: L1 hit latency for the first line, one line per port per cycle
+    thereafter, a next-level penalty when fresh (non-resident) lines are
+    expected ([miss_extra_latency], e.g. the L2 hit latency; overlapping
+    misses charge one depth), then compute, then write injection — the
+    "explicitly provided latency" fed to the model for memory-traffic
+    TCAs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_dgemm.ml: Alcotest List Matrix Mma Printf QCheck QCheck_alcotest Tca_dgemm Tca_util

@@ -1,0 +1,1 @@
+test/test_hashmap.ml: Alcotest Array Cost_model Hashtbl List Meta Option QCheck QCheck_alcotest Table Tca_experiments Tca_hashmap Tca_model Tca_uarch Tca_util Tca_workloads

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Cost_model Free_list List Option QCheck QCheck_alcotest Size_class Tca_heap Tca_uarch Tca_util Tcmalloc

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Drain Float Power_law QCheck QCheck_alcotest Tca_interval

@@ -1,0 +1,1 @@
+test/test_logca.ml: Alcotest Float Logca QCheck QCheck_alcotest Tca_logca

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Concurrency Equations Float Granularity Grid List Mode Params Partial Presets QCheck QCheck_alcotest String Tca_interval Tca_model Tca_util Validate

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Cost_model Engine List Meta Pattern Printf QCheck QCheck_alcotest Result String Tca_experiments Tca_model Tca_regex Tca_uarch Tca_workloads

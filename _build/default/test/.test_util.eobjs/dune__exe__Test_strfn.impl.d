@@ -1,0 +1,1 @@
+test/test_strfn.ml: Alcotest Arena Cost_model List Meta Option Printf QCheck QCheck_alcotest String Tca_experiments Tca_model Tca_strfn Tca_uarch Tca_workloads

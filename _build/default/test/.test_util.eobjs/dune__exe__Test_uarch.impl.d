@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Array Bpred Cache Config Filename Float Fun Isa List Mem_hier Pipeline Ports Printf QCheck QCheck_alcotest Sim_stats Simulator String Sys Tca_uarch Tca_util Tlb Trace

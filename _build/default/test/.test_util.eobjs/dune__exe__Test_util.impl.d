@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Float Fun Gen Heatmap List Prng QCheck QCheck_alcotest Stats String Sweep Table Tca_util

@@ -1,0 +1,557 @@
+open Tca_model
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* --- Mode --- *)
+
+let test_mode_all () =
+  Alcotest.(check int) "four modes" 4 (List.length Mode.all);
+  Alcotest.(check bool) "paper order" true
+    (Mode.all = [ Mode.NL_NT; Mode.L_NT; Mode.NL_T; Mode.L_T ])
+
+let test_mode_predicates () =
+  Alcotest.(check bool) "NL_NT leading" false (Mode.allows_leading Mode.NL_NT);
+  Alcotest.(check bool) "NL_NT trailing" false (Mode.allows_trailing Mode.NL_NT);
+  Alcotest.(check bool) "L_NT leading" true (Mode.allows_leading Mode.L_NT);
+  Alcotest.(check bool) "L_NT trailing" false (Mode.allows_trailing Mode.L_NT);
+  Alcotest.(check bool) "NL_T leading" false (Mode.allows_leading Mode.NL_T);
+  Alcotest.(check bool) "NL_T trailing" true (Mode.allows_trailing Mode.NL_T);
+  Alcotest.(check bool) "L_T leading" true (Mode.allows_leading Mode.L_T);
+  Alcotest.(check bool) "L_T trailing" true (Mode.allows_trailing Mode.L_T)
+
+let test_mode_string_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "roundtrip" true
+        (match Mode.of_string (Mode.to_string m) with
+        | Some m' -> Mode.equal m m'
+        | None -> false))
+    Mode.all;
+  Alcotest.(check bool) "case insensitive" true
+    (Mode.of_string "l_t" = Some Mode.L_T);
+  Alcotest.(check bool) "unknown" true (Mode.of_string "bogus" = None)
+
+let test_mode_compare () =
+  Alcotest.(check int) "self" 0 (Mode.compare Mode.L_T Mode.L_T);
+  Alcotest.(check bool) "total order" true
+    (List.sort Mode.compare [ Mode.L_T; Mode.NL_NT ] = [ Mode.NL_NT; Mode.L_T ])
+
+let test_mode_hardware () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "non-empty description" true
+        (String.length (Mode.hardware_requirements m) > 10))
+    Mode.all
+
+(* --- Params --- *)
+
+let test_core_validation () =
+  Alcotest.check_raises "ipc" (Invalid_argument "Params.core: ipc must be positive")
+    (fun () -> ignore (Params.core ~ipc:0.0 ~rob_size:64 ~issue_width:2 ()));
+  Alcotest.check_raises "rob"
+    (Invalid_argument "Params.core: rob_size must be positive") (fun () ->
+      ignore (Params.core ~ipc:1.0 ~rob_size:0 ~issue_width:2 ()));
+  Alcotest.check_raises "issue"
+    (Invalid_argument "Params.core: issue_width must be positive") (fun () ->
+      ignore (Params.core ~ipc:1.0 ~rob_size:64 ~issue_width:0 ()))
+
+let test_scenario_validation () =
+  Alcotest.check_raises "a range"
+    (Invalid_argument "Params.scenario: a must be in [0, 1]") (fun () ->
+      ignore (Params.scenario ~a:1.5 ~v:0.1 ~accel:(Params.Factor 2.0) ()));
+  Alcotest.check_raises "v negative"
+    (Invalid_argument "Params.scenario: v must be non-negative") (fun () ->
+      ignore (Params.scenario ~a:0.5 ~v:(-0.1) ~accel:(Params.Factor 2.0) ()));
+  Alcotest.check_raises "granularity below 1"
+    (Invalid_argument "Params.scenario: granularity a/v below one instruction")
+    (fun () ->
+      ignore (Params.scenario ~a:0.1 ~v:0.5 ~accel:(Params.Factor 2.0) ()));
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Params.scenario: acceleration factor must be positive")
+    (fun () ->
+      ignore (Params.scenario ~a:0.5 ~v:0.1 ~accel:(Params.Factor 0.0) ()));
+  Alcotest.check_raises "bad latency"
+    (Invalid_argument
+       "Params.scenario: accelerator latency must be non-negative") (fun () ->
+      ignore (Params.scenario ~a:0.5 ~v:0.1 ~accel:(Params.Latency (-1.0)) ()))
+
+let test_granularity () =
+  let s = Params.scenario ~a:0.3 ~v:0.003 ~accel:(Params.Factor 2.0) () in
+  Alcotest.(check bool) "g = a/v" true (feq (Params.granularity s) 100.0);
+  let s0 = Params.scenario ~a:0.0 ~v:0.0 ~accel:(Params.Factor 2.0) () in
+  Alcotest.check_raises "v = 0" (Invalid_argument "Params.granularity: v = 0")
+    (fun () -> ignore (Params.granularity s0))
+
+let test_scenario_of_granularity () =
+  let s =
+    Params.scenario_of_granularity ~a:0.4 ~g:200.0 ~accel:(Params.Factor 3.0)
+      ()
+  in
+  Alcotest.(check bool) "v derived" true (feq s.Params.v 0.002);
+  Alcotest.check_raises "g below 1"
+    (Invalid_argument "Params.scenario_of_granularity: g below 1") (fun () ->
+      ignore
+        (Params.scenario_of_granularity ~a:0.4 ~g:0.5
+           ~accel:(Params.Factor 3.0) ()))
+
+let test_glossary () =
+  Alcotest.(check int) "seven parameters (Table I)" 7
+    (List.length Params.glossary)
+
+(* --- Equations --- *)
+
+let hp = Presets.hp_core
+
+(* Hand-checked numeric example: a=0.5, v=0.01, A=2, ipc=2, rob=128,
+   w=4, t_commit=5, drain fixed 20.
+   t_baseline = 1/(0.01*2) = 50; t_accl = 0.5/(0.01*2*2) = 12.5;
+   t_non_accl = 25; t_rob_fill = 32.
+   NL_NT = 25 + 12.5 + 20 + 10 = 67.5  -> speedup 0.7407
+   L_NT  = 25 + 12.5 + 5 = 42.5        -> speedup 1.1765
+   NL_T  = max(25 + max(0, 20+12.5+5-32), 12.5+20+5)
+         = max(30.5, 37.5) = 37.5      -> speedup 1.3333
+   L_T   = max(25 + max(0, 12.5-32), 12.5) = 25 -> speedup 2.0 *)
+let example_core =
+  Params.core ~ipc:2.0 ~rob_size:128 ~issue_width:4 ~commit_stall:5.0 ()
+
+let example_scenario =
+  Params.scenario
+    ~drain:(Tca_interval.Drain.Fixed 20.0)
+    ~a:0.5 ~v:0.01 ~accel:(Params.Factor 2.0) ()
+
+let test_equations_times () =
+  let t = Equations.interval_times example_core example_scenario in
+  Alcotest.(check bool) "baseline" true (feq t.Equations.t_baseline 50.0);
+  Alcotest.(check bool) "accl" true (feq t.Equations.t_accl 12.5);
+  Alcotest.(check bool) "non accl" true (feq t.Equations.t_non_accl 25.0);
+  Alcotest.(check bool) "drain" true (feq t.Equations.t_drain 20.0);
+  Alcotest.(check bool) "rob fill" true (feq t.Equations.t_rob_fill 32.0);
+  Alcotest.(check bool) "commit" true (feq t.Equations.t_commit 5.0)
+
+let test_equations_mode_times () =
+  let time m = Equations.mode_time example_core example_scenario m in
+  Alcotest.(check bool) "NL_NT eq (4)" true (feq (time Mode.NL_NT) 67.5);
+  Alcotest.(check bool) "L_NT eq (5)" true (feq (time Mode.L_NT) 42.5);
+  Alcotest.(check bool) "NL_T eq (7)" true (feq (time Mode.NL_T) 37.5);
+  Alcotest.(check bool) "L_T eq (9)" true (feq (time Mode.L_T) 25.0)
+
+let test_equations_speedups () =
+  let sp m = Equations.speedup example_core example_scenario m in
+  Alcotest.(check bool) "NL_NT" true (feq ~eps:1e-4 (sp Mode.NL_NT) (50.0 /. 67.5));
+  Alcotest.(check bool) "L_T" true (feq (sp Mode.L_T) 2.0)
+
+let test_equations_latency_variant () =
+  let s =
+    Params.scenario
+      ~drain:(Tca_interval.Drain.Fixed 0.0)
+      ~a:0.5 ~v:0.01 ~accel:(Params.Latency 12.5) ()
+  in
+  Alcotest.(check bool) "explicit latency equals factor form" true
+    (feq
+       (Equations.mode_time example_core s Mode.L_NT)
+       (Equations.mode_time example_core example_scenario Mode.L_NT))
+
+let test_equations_v_zero () =
+  let s = Params.scenario ~a:0.0 ~v:0.0 ~accel:(Params.Factor 2.0) () in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "speedup 1 with no invocations" true
+        (feq (Equations.speedup hp s m) 1.0))
+    Mode.all;
+  Alcotest.check_raises "interval_times rejects v = 0"
+    (Invalid_argument "Equations.interval_times: v = 0") (fun () ->
+      ignore (Equations.interval_times hp s))
+
+let test_best_mode () =
+  let m, sp = Equations.best_mode example_core example_scenario in
+  Alcotest.(check bool) "L_T best" true (Mode.equal m Mode.L_T);
+  Alcotest.(check bool) "speedup 2" true (feq sp 2.0)
+
+let test_ideal_speedup () =
+  (* t_baseline / (t_non_accl + t_accl) = 50 / 37.5 *)
+  Alcotest.(check bool) "naive estimate" true
+    (feq ~eps:1e-6
+       (Equations.ideal_speedup example_core example_scenario)
+       (50.0 /. 37.5))
+
+let scenario_gen =
+  QCheck.(
+    map
+      (fun (a, g, f) ->
+        Params.scenario_of_granularity ~a ~g ~accel:(Params.Factor f) ())
+      (triple (float_range 0.01 0.99) (float_range 1.0 1.0e6)
+         (float_range 0.5 50.0)))
+
+let core_gen =
+  QCheck.(
+    map
+      (fun (ipc, rob, width, commit) ->
+        Params.core ~ipc ~rob_size:rob ~issue_width:width
+          ~commit_stall:commit ())
+      (quad (float_range 0.2 6.0) (int_range 16 512) (int_range 1 8)
+         (float_range 0.0 20.0)))
+
+let prop_mode_ordering =
+  qtest "more hardware never hurts: t_L_T <= t_{L_NT, NL_T} <= t_NL_NT"
+    QCheck.(pair core_gen scenario_gen)
+    (fun (core, s) ->
+      let t m = Equations.mode_time core s m in
+      t Mode.L_T <= t Mode.L_NT +. 1e-6
+      && t Mode.L_T <= t Mode.NL_T +. 1e-6
+      && t Mode.L_NT <= t Mode.NL_NT +. 1e-6
+      && t Mode.NL_T <= t Mode.NL_NT +. 1e-6)
+
+let prop_speedup_positive =
+  qtest "speedups positive and finite"
+    QCheck.(pair core_gen scenario_gen)
+    (fun (core, s) ->
+      List.for_all
+        (fun (_, sp) -> sp > 0.0 && Float.is_finite sp)
+        (Equations.speedups core s))
+
+let prop_l_t_bounded_by_a_plus_1 =
+  qtest "L_T speedup bounded by A + 1"
+    QCheck.(pair core_gen scenario_gen)
+    (fun (core, s) ->
+      match s.Params.accel with
+      | Params.Factor f ->
+          Equations.speedup core s Mode.L_T <= f +. 1.0 +. 1e-6
+      | Params.Latency _ -> true)
+
+let prop_best_mode_is_max =
+  qtest "best_mode returns the maximum"
+    QCheck.(pair core_gen scenario_gen)
+    (fun (core, s) ->
+      let _, best = Equations.best_mode core s in
+      List.for_all (fun (_, sp) -> sp <= best +. 1e-9)
+        (Equations.speedups core s))
+
+(* --- Presets --- *)
+
+let test_presets () =
+  Alcotest.(check bool) "hp" true (feq Presets.hp_core.Params.ipc 1.8);
+  Alcotest.(check int) "hp rob" 256 Presets.hp_core.Params.rob_size;
+  Alcotest.(check bool) "lp" true (feq Presets.lp_core.Params.ipc 0.5);
+  Alcotest.(check int) "lp issue" 2 Presets.lp_core.Params.issue_width;
+  Alcotest.(check int) "a72 rob" 128 Presets.arm_a72.Params.rob_size;
+  Alcotest.(check bool) "by_name hp" true (Presets.by_name "HP" <> None);
+  Alcotest.(check bool) "by_name unknown" true (Presets.by_name "zen" = None);
+  Alcotest.(check int) "names" 3 (List.length Presets.names)
+
+(* --- Granularity --- *)
+
+let test_markers () =
+  Alcotest.(check int) "eight reference accelerators" 8
+    (List.length Granularity.reference_markers);
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare a.Granularity.granularity b.Granularity.granularity)
+      Granularity.reference_markers
+  in
+  Alcotest.(check string) "finest is heap" "heap management"
+    (List.hd sorted).Granularity.name
+
+let test_granularity_series () =
+  let gs = Tca_util.Sweep.logspace 10.0 1.0e9 10 in
+  let series =
+    Granularity.series Presets.arm_a72 ~a:0.3 ~accel:(Params.Factor 3.0) ~gs
+  in
+  Alcotest.(check int) "four series" 4 (List.length series);
+  List.iter
+    (fun (_, pts) ->
+      Alcotest.(check int) "point count" 10 (Array.length pts))
+    series
+
+let test_granularity_amdahl_convergence () =
+  (* At extreme granularity every mode approaches the Amdahl limit. *)
+  let amdahl = 1.0 /. (1.0 -. 0.3 +. (0.3 /. 3.0)) in
+  let gs = [| 1.0e9 |] in
+  let series =
+    Granularity.series Presets.arm_a72 ~a:0.3 ~accel:(Params.Factor 3.0) ~gs
+  in
+  List.iter
+    (fun (_, pts) ->
+      Alcotest.(check bool) "near Amdahl" true
+        (Float.abs (snd pts.(0) -. amdahl) < 0.01))
+    series
+
+let test_crossover () =
+  (* NL_NT on the A72 with a=0.3, A=3 starts in slowdown and crosses 1.0
+     somewhere in the sweep. *)
+  match
+    Granularity.crossover_granularity Presets.arm_a72 ~a:0.3
+      ~accel:(Params.Factor 3.0) Mode.NL_NT
+  with
+  | Some g -> Alcotest.(check bool) "crossover in range" true (g > 10.0 && g < 1.0e6)
+  | None -> Alcotest.fail "expected a crossover"
+
+let test_crossover_none_for_l_t () =
+  (* L_T never slows this scenario down, so there is no crossover. *)
+  Alcotest.(check bool) "always speedup" true
+    (Granularity.crossover_granularity Presets.arm_a72 ~a:0.3
+       ~accel:(Params.Factor 3.0) Mode.L_T
+    = None)
+
+(* --- Concurrency --- *)
+
+let test_ideal_peaks () =
+  Alcotest.(check bool) "coverage A=2" true
+    (feq (Concurrency.ideal_peak_coverage ~accel_factor:2.0) (2.0 /. 3.0));
+  Alcotest.(check bool) "speedup A=2" true
+    (feq (Concurrency.ideal_peak_speedup ~accel_factor:2.0) 3.0);
+  Alcotest.(check bool) "coverage A=5" true
+    (feq (Concurrency.ideal_peak_coverage ~accel_factor:5.0) (5.0 /. 6.0))
+
+let test_concurrency_peak_matches_theory () =
+  let coverages = Tca_util.Sweep.linspace 0.0 0.99 199 in
+  let pts =
+    Concurrency.coverage_series hp ~g:100.0 ~accel:(Params.Factor 2.0)
+      ~coverages Mode.L_T
+  in
+  let a_star, s_star = Concurrency.peak pts in
+  Alcotest.(check bool) "peak near 2/3" true (Float.abs (a_star -. 0.667) < 0.02);
+  Alcotest.(check bool) "peak near 3" true (Float.abs (s_star -. 3.0) < 0.05)
+
+let test_coverage_zero () =
+  let pts =
+    Concurrency.coverage_series hp ~g:100.0 ~accel:(Params.Factor 2.0)
+      ~coverages:[| 0.0 |] Mode.L_T
+  in
+  Alcotest.(check bool) "a = 0 gives speedup 1" true (feq (snd pts.(0)) 1.0)
+
+let test_peak_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Concurrency.peak: empty series")
+    (fun () -> ignore (Concurrency.peak [||]))
+
+let test_local_maxima () =
+  let series = [| (0.0, 1.0); (1.0, 3.0); (2.0, 2.0); (3.0, 4.0); (4.0, 1.0) |] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "two interior maxima"
+    [ (1.0, 3.0); (3.0, 4.0) ]
+    (Concurrency.local_maxima series);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "monotone has none" []
+    (Concurrency.local_maxima [| (0.0, 1.0); (1.0, 2.0); (2.0, 3.0) |])
+
+(* --- Grid --- *)
+
+let test_grid_compute () =
+  let freqs = Tca_util.Sweep.logspace 1e-5 1e-1 10 in
+  (* Low coverages with high frequencies are infeasible (a < v). *)
+  let coverages = Tca_util.Sweep.linspace 0.01 0.9 5 in
+  let g = Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs ~coverages Mode.L_T in
+  Alcotest.(check int) "rows" 5 (Array.length g.Grid.cells);
+  Alcotest.(check int) "cols" 10 (Array.length g.Grid.cells.(0));
+  (* Infeasible cells (a < v) are NaN. *)
+  let has_nan = ref false and has_value = ref false in
+  Array.iter
+    (Array.iter (fun x ->
+         if Float.is_nan x then has_nan := true else has_value := true))
+    g.Grid.cells;
+  Alcotest.(check bool) "has feasible cells" true !has_value;
+  Alcotest.(check bool) "has infeasible cells" true !has_nan
+
+let test_grid_slowdown_fraction () =
+  let freqs = Tca_util.Sweep.logspace 1e-5 1e-1 10 in
+  let coverages = Tca_util.Sweep.linspace 0.1 0.9 5 in
+  let frac mode =
+    Grid.slowdown_fraction
+      (Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs ~coverages mode)
+  in
+  let f_nlnt = frac Mode.NL_NT and f_lt = frac Mode.L_T in
+  Alcotest.(check bool) "fractions in range" true
+    (f_nlnt >= 0.0 && f_nlnt <= 1.0 && f_lt >= 0.0 && f_lt <= 1.0);
+  Alcotest.(check bool) "NL_NT riskier than L_T" true (f_nlnt >= f_lt)
+
+let test_grid_accelerator_curve () =
+  let freqs = Tca_util.Sweep.logspace 1e-5 1e-1 20 in
+  let coverages = Tca_util.Sweep.linspace 0.1 0.9 9 in
+  let g =
+    Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs ~coverages Mode.L_T
+  in
+  let curve = Grid.accelerator_curve g ~granularity:100.0 in
+  Alcotest.(check bool) "non-empty" true (curve <> []);
+  List.iter
+    (fun (r, c) ->
+      Alcotest.(check bool) "cell in range" true
+        (r >= 0 && r < 9 && c >= 0 && c < 20))
+    curve
+
+(* --- Partial --- *)
+
+let partial_scenario =
+  Params.scenario ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
+
+let test_partial_endpoints () =
+  let t_l = Equations.mode_time hp partial_scenario Mode.L_T in
+  let t_nl = Equations.mode_time hp partial_scenario Mode.NL_T in
+  Alcotest.(check bool) "p=1 gives L" true
+    (feq (Partial.mode_time hp partial_scenario ~trailing:true ~p_speculate:1.0) t_l);
+  Alcotest.(check bool) "p=0 gives NL" true
+    (feq (Partial.mode_time hp partial_scenario ~trailing:true ~p_speculate:0.0) t_nl)
+
+let test_partial_monotone () =
+  let prev = ref 0.0 in
+  for i = 0 to 10 do
+    let p = float_of_int i /. 10.0 in
+    let sp = Partial.speedup hp partial_scenario ~trailing:true ~p_speculate:p in
+    Alcotest.(check bool) "monotone in p" true (sp >= !prev -. 1e-9);
+    prev := sp
+  done
+
+let test_partial_invalid () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Partial.mode_time: p_speculate out of [0, 1]")
+    (fun () ->
+      ignore
+        (Partial.mode_time hp partial_scenario ~trailing:true ~p_speculate:1.5))
+
+let test_required_confidence () =
+  let full = Equations.speedup hp partial_scenario Mode.L_T in
+  (match
+     Partial.required_confidence hp partial_scenario ~trailing:true
+       ~target_speedup:full
+   with
+  | Some p -> Alcotest.(check bool) "needs full speculation" true (p > 0.99)
+  | None -> Alcotest.fail "p = 1 reaches the target");
+  Alcotest.(check bool) "unreachable target" true
+    (Partial.required_confidence hp partial_scenario ~trailing:true
+       ~target_speedup:(full *. 2.0)
+    = None);
+  match
+    Partial.required_confidence hp partial_scenario ~trailing:true
+      ~target_speedup:0.5
+  with
+  | Some p -> Alcotest.(check bool) "trivial target at p = 0" true (feq p 0.0)
+  | None -> Alcotest.fail "trivial target reachable"
+
+(* --- Validate --- *)
+
+let test_validate_error () =
+  let p =
+    { Validate.id = "x"; mode = Mode.L_T; measured = 2.0; estimated = 2.2 }
+  in
+  Alcotest.(check bool) "10 percent optimistic" true
+    (feq ~eps:1e-9 (Validate.error p) 0.1)
+
+let test_validate_summarize () =
+  let mk e =
+    { Validate.id = "x"; mode = Mode.L_T; measured = 1.0; estimated = 1.0 +. e }
+  in
+  let s = Validate.summarize [ mk 0.1; mk (-0.2); mk 0.3 ] in
+  Alcotest.(check int) "n" 3 s.Validate.n;
+  Alcotest.(check bool) "mean" true (feq ~eps:1e-6 s.Validate.mean_abs_pct 20.0);
+  Alcotest.(check bool) "median" true (feq ~eps:1e-6 s.Validate.median_abs_pct 20.0);
+  Alcotest.(check bool) "max" true (feq ~eps:1e-6 s.Validate.max_abs_pct 30.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Validate.summarize: empty")
+    (fun () -> ignore (Validate.summarize []))
+
+let test_trends_preserved () =
+  let mk id mode measured estimated =
+    { Validate.id; mode; measured; estimated }
+  in
+  let good =
+    [
+      mk "w" Mode.NL_NT 0.8 0.7;
+      mk "w" Mode.L_NT 1.1 1.0;
+      mk "w" Mode.NL_T 1.3 1.2;
+      mk "w" Mode.L_T 1.6 1.9;
+    ]
+  in
+  Alcotest.(check bool) "order preserved" true (Validate.trends_preserved good);
+  let bad =
+    [ mk "w" Mode.NL_NT 0.8 1.9; mk "w" Mode.L_T 1.6 0.7 ]
+  in
+  Alcotest.(check bool) "inversion detected" false
+    (Validate.trends_preserved bad);
+  (* A near-tie in the measurement does not count as an inversion. *)
+  let tie =
+    [ mk "w" Mode.NL_T 1.000 1.2; mk "w" Mode.L_T 1.005 1.1 ]
+  in
+  Alcotest.(check bool) "ties tolerated" true (Validate.trends_preserved tie)
+
+let test_validate_rows () =
+  let p =
+    { Validate.id = "x"; mode = Mode.L_T; measured = 2.0; estimated = 2.2 }
+  in
+  let rows = Validate.rows [ p ] in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  Alcotest.(check int) "arity matches headers"
+    (List.length Validate.headers)
+    (List.length (List.hd rows))
+
+let () =
+  Alcotest.run "tca_model"
+    [
+      ( "mode",
+        [
+          Alcotest.test_case "all" `Quick test_mode_all;
+          Alcotest.test_case "predicates" `Quick test_mode_predicates;
+          Alcotest.test_case "string roundtrip" `Quick test_mode_string_roundtrip;
+          Alcotest.test_case "compare" `Quick test_mode_compare;
+          Alcotest.test_case "hardware text" `Quick test_mode_hardware;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "core validation" `Quick test_core_validation;
+          Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+          Alcotest.test_case "granularity" `Quick test_granularity;
+          Alcotest.test_case "scenario_of_granularity" `Quick test_scenario_of_granularity;
+          Alcotest.test_case "glossary" `Quick test_glossary;
+        ] );
+      ( "equations",
+        [
+          Alcotest.test_case "interval times" `Quick test_equations_times;
+          Alcotest.test_case "mode times (4)(5)(7)(9)" `Quick test_equations_mode_times;
+          Alcotest.test_case "speedups" `Quick test_equations_speedups;
+          Alcotest.test_case "latency variant" `Quick test_equations_latency_variant;
+          Alcotest.test_case "v = 0" `Quick test_equations_v_zero;
+          Alcotest.test_case "best mode" `Quick test_best_mode;
+          Alcotest.test_case "ideal speedup" `Quick test_ideal_speedup;
+          prop_mode_ordering;
+          prop_speedup_positive;
+          prop_l_t_bounded_by_a_plus_1;
+          prop_best_mode_is_max;
+        ] );
+      ("presets", [ Alcotest.test_case "values" `Quick test_presets ]);
+      ( "granularity",
+        [
+          Alcotest.test_case "markers" `Quick test_markers;
+          Alcotest.test_case "series" `Quick test_granularity_series;
+          Alcotest.test_case "Amdahl convergence" `Quick test_granularity_amdahl_convergence;
+          Alcotest.test_case "NL_NT crossover" `Quick test_crossover;
+          Alcotest.test_case "L_T no crossover" `Quick test_crossover_none_for_l_t;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "ideal peaks" `Quick test_ideal_peaks;
+          Alcotest.test_case "peak matches theory" `Quick test_concurrency_peak_matches_theory;
+          Alcotest.test_case "coverage zero" `Quick test_coverage_zero;
+          Alcotest.test_case "peak empty" `Quick test_peak_empty;
+          Alcotest.test_case "local maxima" `Quick test_local_maxima;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "compute" `Quick test_grid_compute;
+          Alcotest.test_case "slowdown fraction" `Quick test_grid_slowdown_fraction;
+          Alcotest.test_case "accelerator curve" `Quick test_grid_accelerator_curve;
+        ] );
+      ( "partial",
+        [
+          Alcotest.test_case "endpoints" `Quick test_partial_endpoints;
+          Alcotest.test_case "monotone" `Quick test_partial_monotone;
+          Alcotest.test_case "invalid p" `Quick test_partial_invalid;
+          Alcotest.test_case "required confidence" `Quick test_required_confidence;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "error" `Quick test_validate_error;
+          Alcotest.test_case "summarize" `Quick test_validate_summarize;
+          Alcotest.test_case "trends" `Quick test_trends_preserved;
+          Alcotest.test_case "rows" `Quick test_validate_rows;
+        ] );
+    ]

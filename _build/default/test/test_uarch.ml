@@ -1,0 +1,847 @@
+open Tca_uarch
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Isa --- *)
+
+let test_isa_constructors () =
+  let i = Isa.int_alu ~src1:1 ~src2:2 ~dst:3 () in
+  Alcotest.(check int) "dst" 3 i.Isa.dst;
+  Alcotest.(check bool) "not mem" false (Isa.is_mem i);
+  let l = Isa.load ~dst:4 ~addr:128 () in
+  Alcotest.(check bool) "load is mem" true (Isa.is_mem l);
+  let s = Isa.store ~addr:64 () in
+  Alcotest.(check bool) "store is mem" true (Isa.is_mem s);
+  let b = Isa.branch ~taken:true () in
+  Alcotest.(check bool) "branch taken" true b.Isa.taken
+
+let test_isa_register_validation () =
+  Alcotest.check_raises "reg out of range"
+    (Invalid_argument
+       (Printf.sprintf "Isa.int_alu: register %d out of range"
+          Isa.num_arch_regs)) (fun () ->
+      ignore (Isa.int_alu ~dst:Isa.num_arch_regs ()))
+
+let test_isa_addr_validation () =
+  Alcotest.check_raises "negative addr"
+    (Invalid_argument "Isa.load: negative address") (fun () ->
+      ignore (Isa.load ~dst:0 ~addr:(-8) ()))
+
+let test_isa_accel () =
+  let a =
+    Isa.accel ~compute_latency:5 ~reads:[| 0; 64 |] ~writes:[| 128 |] ()
+  in
+  (match a.Isa.op with
+  | Isa.Accel acc ->
+      Alcotest.(check int) "latency" 5 acc.Isa.compute_latency;
+      Alcotest.(check int) "reads" 2 (Array.length acc.Isa.reads)
+  | _ -> Alcotest.fail "expected accel");
+  Alcotest.(check bool) "accel not mem-queued" false (Isa.is_mem a);
+  Alcotest.check_raises "negative latency"
+    (Invalid_argument "Isa.accel: negative compute latency") (fun () ->
+      ignore (Isa.accel ~compute_latency:(-1) ~reads:[||] ~writes:[||] ()))
+
+let test_isa_op_names () =
+  Alcotest.(check string) "alu" "int_alu" (Isa.op_name Isa.Int_alu);
+  Alcotest.(check string) "branch" "branch" (Isa.op_name Isa.Branch)
+
+(* --- Trace --- *)
+
+let test_trace_builder_pcs () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add b (Isa.int_alu ~dst:0 ());
+  Trace.Builder.add b (Isa.int_alu ~dst:1 ());
+  let t = Trace.Builder.build b in
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check int) "pc 0" 0 (Trace.get t 0).Isa.pc;
+  Alcotest.(check int) "pc 4" 4 (Trace.get t 1).Isa.pc
+
+let test_trace_add_at_site () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add_at_site b (Isa.branch ~pc:0x999 ~taken:true ());
+  let t = Trace.Builder.build b in
+  Alcotest.(check int) "site pc kept" 0x999 (Trace.get t 0).Isa.pc
+
+let test_trace_builder_growth () =
+  let b = Trace.Builder.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Trace.Builder.add b (Isa.int_alu ~dst:(i mod 8) ())
+  done;
+  Alcotest.(check int) "grew" 100 (Trace.Builder.length b);
+  Alcotest.(check int) "built" 100 (Trace.length (Trace.Builder.build b))
+
+let test_trace_validate_bad_reg () =
+  let bad = { (Isa.int_alu ~dst:0 ()) with Isa.src1 = 1000 } in
+  match Trace.validate [| bad |] with
+  | Error msg ->
+      Alcotest.(check bool) "mentions instruction" true
+        (String.length msg > 0)
+  | Ok () -> Alcotest.fail "expected validation error"
+
+let test_trace_counts () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add b (Isa.int_alu ~dst:0 ());
+  Trace.Builder.add b (Isa.load ~dst:1 ~addr:0 ());
+  Trace.Builder.add b (Isa.store ~addr:0 ());
+  Trace.Builder.add b (Isa.branch ~taken:false ());
+  Trace.Builder.add b (Isa.fp_mult ~dst:2 ());
+  Trace.Builder.add b (Isa.accel ~compute_latency:1 ~reads:[||] ~writes:[||] ());
+  let c = Trace.counts (Trace.Builder.build b) in
+  Alcotest.(check int) "total" 6 c.Trace.total;
+  Alcotest.(check int) "alu" 1 c.Trace.int_alu;
+  Alcotest.(check int) "loads" 1 c.Trace.loads;
+  Alcotest.(check int) "stores" 1 c.Trace.stores;
+  Alcotest.(check int) "branches" 1 c.Trace.branches;
+  Alcotest.(check int) "fp mult" 1 c.Trace.fp_mult;
+  Alcotest.(check int) "accels" 1 c.Trace.accels
+
+let test_trace_io_roundtrip () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add b (Isa.int_alu ~src1:1 ~src2:2 ~dst:3 ());
+  Trace.Builder.add b (Isa.load ~base:4 ~dst:5 ~addr:4096 ());
+  Trace.Builder.add b (Isa.store ~src:6 ~addr:8192 ());
+  Trace.Builder.add_at_site b (Isa.branch ~pc:0x777 ~taken:true ());
+  Trace.Builder.add b
+    (Isa.accel ~src1:7 ~dst:8 ~compute_latency:9 ~reads:[| 64; 128 |]
+       ~writes:[| 256 |] ());
+  let t = Trace.Builder.build b in
+  let path = Filename.temp_file "tca" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path t;
+      let t' = Trace.load path in
+      Alcotest.(check int) "length" (Trace.length t) (Trace.length t');
+      for i = 0 to Trace.length t - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "instr %d" i)
+          true
+          (Trace.get t i = Trace.get t' i)
+      done)
+
+let test_trace_io_rejects_garbage () =
+  let check_fails content =
+    let path = Filename.temp_file "tca" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        Alcotest.(check bool) "rejected" true
+          (try
+             ignore (Trace.load path);
+             false
+           with Failure _ -> true))
+  in
+  check_fails "";
+  check_fails "not a trace\n";
+  check_fails "tca-trace 1 2\n0 int_alu 0 -1 -1 0 false\n";
+  check_fails "tca-trace 1 1\n0 bogus 0 -1 -1 0 false\n";
+  check_fails "tca-trace 1 1\n0 accel 0 -1 -1 0 false 5 2 64\n"
+
+let test_trace_io_simulates_identically () =
+  let b = Trace.Builder.create () in
+  for i = 0 to 999 do
+    if i mod 9 = 8 then
+      Trace.Builder.add b
+        (Isa.accel ~compute_latency:4 ~reads:[| i * 64 mod 2048 |] ~writes:[||] ())
+    else Trace.Builder.add b (Isa.int_alu ~src1:(i mod 3) ~dst:(i mod 12) ())
+  done;
+  let t = Trace.Builder.build b in
+  let path = Filename.temp_file "tca" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path t;
+      let t' = Trace.load path in
+      let cfg = Config.hp ~coupling:Config.coupling_nl_t () in
+      Alcotest.(check int) "same cycles"
+        (Pipeline.run cfg t).Sim_stats.cycles
+        (Pipeline.run cfg t').Sim_stats.cycles)
+
+(* --- Bpred --- *)
+
+let test_bpred_bimodal_learns () =
+  let p = Bpred.create (Bpred.Bimodal 10) in
+  for _ = 1 to 10 do
+    Bpred.update p ~pc:0x40 ~taken:false
+  done;
+  Alcotest.(check bool) "learned not-taken" false (Bpred.predict p ~pc:0x40);
+  for _ = 1 to 10 do
+    Bpred.update p ~pc:0x80 ~taken:true
+  done;
+  Alcotest.(check bool) "learned taken" true (Bpred.predict p ~pc:0x80)
+
+let test_bpred_gshare_learns_pattern () =
+  (* Alternating T/NT at one PC: history disambiguates perfectly after
+     warmup. *)
+  let p = Bpred.create (Bpred.Gshare 12) in
+  let correct = ref 0 in
+  for i = 0 to 999 do
+    let taken = i mod 2 = 0 in
+    if Bpred.predict p ~pc:0x100 = taken then incr correct;
+    Bpred.update p ~pc:0x100 ~taken
+  done;
+  Alcotest.(check bool) "gshare learns alternation" true (!correct > 900)
+
+let test_bpred_bimodal_fails_pattern () =
+  let p = Bpred.create (Bpred.Bimodal 12) in
+  let correct = ref 0 in
+  for i = 0 to 999 do
+    let taken = i mod 2 = 0 in
+    if Bpred.predict p ~pc:0x100 = taken then incr correct;
+    Bpred.update p ~pc:0x100 ~taken
+  done;
+  Alcotest.(check bool) "bimodal cannot learn alternation" true (!correct < 700)
+
+let test_bpred_tournament_best_of_both () =
+  (* Site A alternates (gshare wins), site B is biased with random other
+     history (bimodal wins); the tournament should do well on both. *)
+  let p = Bpred.create (Bpred.Tournament 12) in
+  let rng = Tca_util.Prng.create 3 in
+  let correct = ref 0 and total = ref 0 in
+  for i = 0 to 4999 do
+    let pc_a = 0x100 and pc_b = 0x200 in
+    let taken_a = i mod 2 = 0 in
+    let taken_b = Tca_util.Prng.bernoulli rng 0.95 in
+    if i > 1000 then begin
+      if Bpred.predict p ~pc:pc_a = taken_a then incr correct;
+      if Bpred.predict p ~pc:pc_b = taken_b then incr correct;
+      total := !total + 2
+    end;
+    Bpred.update p ~pc:pc_a ~taken:taken_a;
+    Bpred.update p ~pc:pc_b ~taken:taken_b
+  done;
+  let rate = float_of_int !correct /. float_of_int !total in
+  Alcotest.(check bool) "tournament accuracy above 90%" true (rate > 0.90)
+
+let test_bpred_perfect () =
+  Alcotest.(check bool) "perfect" true (Bpred.is_perfect (Bpred.create Bpred.Perfect));
+  Alcotest.(check bool) "others not" false
+    (Bpred.is_perfect (Bpred.create (Bpred.Bimodal 8)))
+
+let test_bpred_bits_validation () =
+  Alcotest.check_raises "bits range"
+    (Invalid_argument "Bpred.create: bits out of range") (fun () ->
+      ignore (Bpred.create (Bpred.Gshare 0)))
+
+(* --- Cache --- *)
+
+let small_cache () =
+  Cache.create (Cache.config ~size_bytes:1024 ~assoc:2 ~line_bytes:64 ())
+
+let test_cache_config_validation () =
+  Alcotest.check_raises "size divisibility"
+    (Invalid_argument "Cache.config: size not divisible by line_bytes * assoc")
+    (fun () -> ignore (Cache.config ~size_bytes:1000 ~assoc:2 ()));
+  Alcotest.check_raises "line pow2"
+    (Invalid_argument "Cache.config: line_bytes not a power of two") (fun () ->
+      ignore (Cache.config ~line_bytes:48 ~size_bytes:960 ~assoc:2 ()))
+
+let test_cache_hit_after_miss () =
+  let c = small_cache () in
+  Alcotest.(check bool) "first is miss" false (Cache.access c 0x1000);
+  Alcotest.(check bool) "second is hit" true (Cache.access c 0x1000);
+  Alcotest.(check bool) "same line hit" true (Cache.access c 0x103F);
+  Alcotest.(check bool) "next line miss" false (Cache.access c 0x1040);
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  let c = small_cache () in
+  (* 8 sets; addresses with the same set index, different tags. *)
+  let set_stride = Cache.num_sets c * Cache.line_bytes c in
+  let a = 0 and b = set_stride and d = 2 * set_stride in
+  ignore (Cache.access c a);
+  ignore (Cache.access c b);
+  (* Touch [a] so [b] is LRU; inserting [d] must evict [b]. *)
+  ignore (Cache.access c a);
+  ignore (Cache.access c d);
+  Alcotest.(check bool) "a stays" true (Cache.probe c a);
+  Alcotest.(check bool) "b evicted" false (Cache.probe c b);
+  Alcotest.(check bool) "d resident" true (Cache.probe c d)
+
+let test_cache_probe_nonmutating () =
+  let c = small_cache () in
+  Alcotest.(check bool) "probe miss" false (Cache.probe c 0x2000);
+  Alcotest.(check bool) "still miss after probe" false (Cache.access c 0x2000)
+
+let test_cache_reset_stats () =
+  let c = small_cache () in
+  ignore (Cache.access c 0);
+  Cache.reset_stats c;
+  Alcotest.(check int) "hits reset" 0 (Cache.hits c);
+  Alcotest.(check int) "misses reset" 0 (Cache.misses c)
+
+(* --- Mem_hier --- *)
+
+let hier () =
+  Mem_hier.create
+    (Mem_hier.config
+       ~l1:(Cache.config ~size_bytes:1024 ~assoc:2 ~hit_latency:2 ())
+       ~l2:(Cache.config ~size_bytes:8192 ~assoc:4 ~hit_latency:10 ())
+       ~mem_latency:50 ())
+
+let test_hier_latencies () =
+  let h = hier () in
+  Alcotest.(check int) "cold goes to memory" 62 (Mem_hier.load_latency h 0x4000);
+  Alcotest.(check int) "L1 hit" 2 (Mem_hier.load_latency h 0x4000);
+  (* Evict from L1 with conflicting lines; L2 still holds it. *)
+  for k = 1 to 4 do
+    ignore (Mem_hier.load_latency h (0x4000 + (k * 1024)))
+  done;
+  Alcotest.(check int) "L2 hit" 12 (Mem_hier.load_latency h 0x4000)
+
+let test_hier_store_fills () =
+  let h = hier () in
+  Mem_hier.store h 0x8000;
+  Alcotest.(check int) "load after store hits L1" 2
+    (Mem_hier.load_latency h 0x8000)
+
+let test_hier_no_l2 () =
+  let h =
+    Mem_hier.create
+      (Mem_hier.config
+         ~l1:(Cache.config ~size_bytes:1024 ~assoc:2 ~hit_latency:3 ())
+         ~mem_latency:80 ())
+  in
+  Alcotest.(check int) "miss to memory" 83 (Mem_hier.load_latency h 0);
+  Alcotest.(check bool) "no l2 stats" true (Mem_hier.l2_stats h = None)
+
+(* --- Ports --- *)
+
+let test_ports_bandwidth () =
+  let p = Ports.create ~width:2 ~horizon:64 in
+  Alcotest.(check int) "slot 1" 10 (Ports.reserve p ~now:10);
+  Alcotest.(check int) "slot 2" 10 (Ports.reserve p ~now:10);
+  Alcotest.(check int) "spills to next cycle" 11 (Ports.reserve p ~now:10);
+  Alcotest.(check int) "independent cycle" 20 (Ports.reserve p ~now:20)
+
+let test_ports_reuse_after_wrap () =
+  let p = Ports.create ~width:1 ~horizon:8 in
+  Alcotest.(check int) "cycle 0" 0 (Ports.reserve p ~now:0);
+  (* Same ring cell, much later cycle: must be fresh. *)
+  Alcotest.(check int) "cycle 8 reuses cell" 8 (Ports.reserve p ~now:8);
+  Alcotest.(check int) "cycle 16" 16 (Ports.reserve p ~now:16)
+
+let test_ports_validation () =
+  Alcotest.check_raises "width" (Invalid_argument "Ports.create: width below 1")
+    (fun () -> ignore (Ports.create ~width:0 ~horizon:8))
+
+(* --- Tlb --- *)
+
+let test_tlb_config_validation () =
+  Alcotest.check_raises "entries pow2"
+    (Invalid_argument "Tlb.config: entries not a power of two") (fun () ->
+      ignore (Tlb.config ~entries:48 ()));
+  Alcotest.check_raises "page bits"
+    (Invalid_argument "Tlb.config: page_bits out of [6, 30]") (fun () ->
+      ignore (Tlb.config ~entries:64 ~page_bits:2 ()))
+
+let test_tlb_hit_miss () =
+  let t = Tlb.create (Tlb.config ~entries:16 ~assoc:4 ~walk_latency:30 ()) in
+  Alcotest.(check int) "cold miss walks" 30 (Tlb.access t 0x1234);
+  Alcotest.(check int) "same page hits" 0 (Tlb.access t 0x1FFF);
+  Alcotest.(check int) "next page misses" 30 (Tlb.access t 0x2000);
+  Alcotest.(check int) "hits" 1 (Tlb.hits t);
+  Alcotest.(check int) "misses" 2 (Tlb.misses t)
+
+let test_tlb_lru () =
+  (* 4 sets x 4 ways: five pages mapping to the same set evict LRU. *)
+  let t = Tlb.create (Tlb.config ~entries:16 ~assoc:4 ~walk_latency:30 ()) in
+  let page k = k * 4 * 4096 in
+  for k = 0 to 3 do
+    ignore (Tlb.access t (page k))
+  done;
+  ignore (Tlb.access t (page 0));
+  (* page 4 evicts page 1 (LRU), page 0 stays. *)
+  ignore (Tlb.access t (page 4));
+  Alcotest.(check int) "page 0 still resident" 0 (Tlb.access t (page 0));
+  Alcotest.(check int) "page 1 evicted" 30 (Tlb.access t (page 1))
+
+let test_pipeline_dtlb () =
+  (* Loads spanning many pages: with a tiny DTLB the run must be slower
+     and the stats must report walks. *)
+  let b = Trace.Builder.create () in
+  for i = 0 to 999 do
+    Trace.Builder.add b
+      (Isa.load ~dst:(i mod 16) ~addr:(i * 4096 mod (1 lsl 22)) ())
+  done;
+  let t = Trace.Builder.build b in
+  let base = Pipeline.run (Config.hp ()) t in
+  let with_tlb =
+    Pipeline.run
+      { (Config.hp ()) with Config.dtlb = Some (Tlb.config ~entries:16 ()) }
+      t
+  in
+  Alcotest.(check bool) "no dtlb stats by default" true
+    (base.Sim_stats.dtlb = None);
+  (match with_tlb.Sim_stats.dtlb with
+  | Some s -> Alcotest.(check bool) "misses recorded" true (s.Mem_hier.misses > 100)
+  | None -> Alcotest.fail "expected dtlb stats");
+  Alcotest.(check bool) "walks cost cycles" true
+    (with_tlb.Sim_stats.cycles > base.Sim_stats.cycles)
+
+(* --- Config --- *)
+
+let test_config_coupling_names () =
+  Alcotest.(check string) "nl_nt" "NL_NT" (Config.coupling_name Config.coupling_nl_nt);
+  Alcotest.(check string) "l_t" "L_T" (Config.coupling_name Config.coupling_l_t);
+  Alcotest.(check int) "four couplings" 4 (List.length Config.all_couplings)
+
+let test_config_validate () =
+  let cfg = Config.hp () in
+  Alcotest.(check bool) "hp valid" true (Config.validate cfg = Ok ());
+  Alcotest.(check bool) "broken rejected" true
+    (Config.validate { cfg with Config.rob_size = 1 } <> Ok ())
+
+let test_config_with_coupling () =
+  let cfg = Config.with_coupling (Config.hp ()) Config.coupling_nl_nt in
+  Alcotest.(check string) "updated" "NL_NT" (Config.coupling_name cfg.Config.coupling)
+
+(* --- Pipeline --- *)
+
+let run_trace ?(cfg = Config.hp ()) instrs =
+  let b = Trace.Builder.create () in
+  List.iter (Trace.Builder.add b) instrs;
+  Pipeline.run cfg (Trace.Builder.build b)
+
+let repeat n f = List.init n f
+
+let test_pipeline_single_instr () =
+  let stats = run_trace [ Isa.int_alu ~dst:0 () ] in
+  Alcotest.(check int) "committed" 1 stats.Sim_stats.committed;
+  Alcotest.(check bool) "few cycles" true (stats.Sim_stats.cycles < 30)
+
+let test_pipeline_independent_ipc () =
+  let stats = run_trace (repeat 8000 (fun i -> Isa.int_alu ~dst:(i mod 32) ())) in
+  Alcotest.(check bool) "IPC near dispatch width" true
+    (stats.Sim_stats.ipc > 3.5)
+
+let test_pipeline_chain_ipc () =
+  let stats = run_trace (repeat 4000 (fun _ -> Isa.int_alu ~src1:0 ~dst:0 ())) in
+  Alcotest.(check bool) "IPC near 1" true
+    (stats.Sim_stats.ipc > 0.9 && stats.Sim_stats.ipc <= 1.05)
+
+let test_pipeline_mult_chain_ipc () =
+  let stats = run_trace (repeat 2000 (fun _ -> Isa.int_mult ~src1:0 ~dst:0 ())) in
+  Alcotest.(check bool) "IPC near 1/3" true
+    (stats.Sim_stats.ipc > 0.28 && stats.Sim_stats.ipc < 0.38)
+
+let test_pipeline_commits_everything () =
+  let stats =
+    run_trace
+      (repeat 500 (fun i ->
+           if i mod 7 = 0 then Isa.load ~dst:(i mod 16) ~addr:(i * 8) ()
+           else Isa.int_alu ~dst:(i mod 16) ()))
+  in
+  Alcotest.(check int) "all committed" 500 stats.Sim_stats.committed;
+  Alcotest.(check bool) "ipc consistent" true
+    (Float.abs
+       (stats.Sim_stats.ipc
+       -. (float_of_int stats.Sim_stats.committed
+          /. float_of_int stats.Sim_stats.cycles))
+    < 1e-9)
+
+let test_pipeline_cache_counted () =
+  let stats =
+    run_trace (repeat 1000 (fun i -> Isa.load ~dst:(i mod 8) ~addr:(i * 8 mod 4096) ()))
+  in
+  let total = stats.Sim_stats.l1.Mem_hier.hits + stats.Sim_stats.l1.Mem_hier.misses in
+  Alcotest.(check int) "every load accesses L1" 1000 total;
+  Alcotest.(check bool) "mostly hits (64-line working set)" true
+    (stats.Sim_stats.l1.Mem_hier.misses <= 64)
+
+let test_pipeline_store_load_forwarding () =
+  (* A reload of a just-stored (still in-flight) address is forwarded in
+     one cycle; loading a different cold line instead goes to memory.
+     Both traces touch only cold lines, so the cycle gap is pure
+     forwarding. *)
+  let mk reload_same =
+    repeat 300 (fun i ->
+        let addr = 0x100000 + (i * 64) in
+        [
+          Isa.store ~addr ();
+          Isa.load ~dst:1 ~addr:(if reload_same then addr else addr + 8192) ();
+        ])
+    |> List.concat
+  in
+  let fwd = run_trace (mk true) in
+  let cold = run_trace (mk false) in
+  Alcotest.(check bool) "forwarding is much faster than memory" true
+    (fwd.Sim_stats.cycles * 2 < cold.Sim_stats.cycles)
+
+let test_pipeline_mispredict_penalty () =
+  let mk_trace pattern_random =
+    let rng = Tca_util.Prng.create 5 in
+    let b = Trace.Builder.create () in
+    for i = 0 to 3999 do
+      if i mod 8 = 7 then
+        let taken =
+          if pattern_random then Tca_util.Prng.bool rng
+          else true
+        in
+        Trace.Builder.add_at_site b (Isa.branch ~pc:0x500 ~taken ())
+      else Trace.Builder.add b (Isa.int_alu ~dst:(i mod 24) ())
+    done;
+    Trace.Builder.build b
+  in
+  let cfg = Config.hp () in
+  let predictable = Pipeline.run cfg (mk_trace false) in
+  let random = Pipeline.run cfg (mk_trace true) in
+  Alcotest.(check bool) "random branches cost cycles" true
+    (random.Sim_stats.cycles > predictable.Sim_stats.cycles);
+  Alcotest.(check bool) "mispredict counts differ" true
+    (random.Sim_stats.mispredicts > predictable.Sim_stats.mispredicts);
+  let perfect =
+    Pipeline.run { cfg with Config.bpred = Bpred.Perfect } (mk_trace true)
+  in
+  Alcotest.(check int) "perfect never mispredicts" 0
+    perfect.Sim_stats.mispredicts;
+  Alcotest.(check bool) "perfect faster" true
+    (perfect.Sim_stats.cycles < random.Sim_stats.cycles)
+
+let accel_trace ~latency ~n ~gap =
+  let b = Trace.Builder.create () in
+  for i = 0 to n - 1 do
+    for j = 0 to gap - 1 do
+      ignore j;
+      Trace.Builder.add b (Isa.int_alu ~dst:(i mod 16) ())
+    done;
+    Trace.Builder.add b
+      (Isa.accel ~compute_latency:latency ~reads:[||] ~writes:[||] ())
+  done;
+  Trace.Builder.build b
+
+let test_pipeline_serialize_barrier () =
+  let t = accel_trace ~latency:20 ~n:50 ~gap:40 in
+  let nt = Pipeline.run (Config.hp ~coupling:Config.coupling_l_nt ()) t in
+  let tt = Pipeline.run (Config.hp ~coupling:Config.coupling_l_t ()) t in
+  Alcotest.(check bool) "NT stalls dispatch" true
+    (nt.Sim_stats.stalls.Sim_stats.serialize > 0);
+  Alcotest.(check int) "T never serializes" 0
+    tt.Sim_stats.stalls.Sim_stats.serialize;
+  Alcotest.(check bool) "barrier costs cycles" true
+    (nt.Sim_stats.cycles > tt.Sim_stats.cycles)
+
+let test_pipeline_nl_head_wait () =
+  let t = accel_trace ~latency:20 ~n:50 ~gap:40 in
+  let nl = Pipeline.run (Config.hp ~coupling:Config.coupling_nl_t ()) t in
+  let l = Pipeline.run (Config.hp ~coupling:Config.coupling_l_t ()) t in
+  Alcotest.(check bool) "NL waits for head" true
+    (nl.Sim_stats.accel_wait_for_head_cycles > 0);
+  Alcotest.(check int) "L never waits" 0 l.Sim_stats.accel_wait_for_head_cycles;
+  Alcotest.(check bool) "waiting costs cycles" true
+    (nl.Sim_stats.cycles >= l.Sim_stats.cycles)
+
+let test_pipeline_mode_cycle_ordering () =
+  let t = accel_trace ~latency:30 ~n:40 ~gap:50 in
+  let cycles c = (Pipeline.run (Config.hp ~coupling:c ()) t).Sim_stats.cycles in
+  let nl_nt = cycles Config.coupling_nl_nt
+  and l_nt = cycles Config.coupling_l_nt
+  and nl_t = cycles Config.coupling_nl_t
+  and l_t = cycles Config.coupling_l_t in
+  Alcotest.(check bool) "L_T fastest" true (l_t <= l_nt && l_t <= nl_t);
+  Alcotest.(check bool) "NL_NT slowest" true (nl_nt >= l_nt && nl_nt >= nl_t)
+
+let test_pipeline_accel_memory () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add b
+    (Isa.accel ~compute_latency:4 ~reads:[| 0; 64; 128 |] ~writes:[| 256 |] ());
+  let stats = Pipeline.run (Config.hp ()) (Trace.Builder.build b) in
+  Alcotest.(check int) "committed" 1 stats.Sim_stats.committed;
+  Alcotest.(check int) "invocations" 1 stats.Sim_stats.accel_invocations;
+  Alcotest.(check bool) "busy at least compute + memory" true
+    (stats.Sim_stats.accel_busy_cycles > 4);
+  let touched = stats.Sim_stats.l1.Mem_hier.hits + stats.Sim_stats.l1.Mem_hier.misses in
+  Alcotest.(check bool) "reads and writes reach the cache" true (touched >= 4)
+
+let test_pipeline_determinism () =
+  let t = accel_trace ~latency:10 ~n:20 ~gap:30 in
+  let a = Pipeline.run (Config.hp ()) t in
+  let b = Pipeline.run (Config.hp ()) t in
+  Alcotest.(check int) "same cycles" a.Sim_stats.cycles b.Sim_stats.cycles;
+  Alcotest.(check int) "same commits" a.Sim_stats.committed b.Sim_stats.committed
+
+let test_pipeline_probe () =
+  let t = accel_trace ~latency:10 ~n:5 ~gap:20 in
+  let dispatched = ref 0 and issued = ref 0 in
+  let probe =
+    {
+      Pipeline.on_cycle =
+        (fun ~cycle:_ ~dispatched:d ~issued:i ~executing:_ ~rob_occupancy:_ ->
+          dispatched := !dispatched + d;
+          issued := !issued + i);
+    }
+  in
+  let stats = Pipeline.run ~probe (Config.hp ()) t in
+  Alcotest.(check int) "probe sees every dispatch" (Trace.length t) !dispatched;
+  Alcotest.(check int) "probe sees every issue" stats.Sim_stats.committed !issued
+
+let test_pipeline_deadlock_guard () =
+  let cfg = { (Config.hp ()) with Config.max_cycles = Some 3 } in
+  let t =
+    let b = Trace.Builder.create () in
+    for _ = 1 to 100 do
+      Trace.Builder.add b (Isa.int_mult ~src1:0 ~dst:0 ())
+    done;
+    Trace.Builder.build b
+  in
+  Alcotest.(check bool) "raises on cap" true
+    (try
+       ignore (Pipeline.run cfg t);
+       false
+     with Failure _ -> true)
+
+let test_pipeline_invalid_config () =
+  let cfg = { (Config.hp ()) with Config.dispatch_width = 0 } in
+  let t =
+    let b = Trace.Builder.create () in
+    Trace.Builder.add b (Isa.int_alu ~dst:0 ());
+    Trace.Builder.build b
+  in
+  Alcotest.(check bool) "invalid config rejected" true
+    (try
+       ignore (Pipeline.run cfg t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pipeline_lp_slower () =
+  let t = accel_trace ~latency:10 ~n:20 ~gap:50 in
+  let hp = Pipeline.run (Config.hp ()) t in
+  let lp = Pipeline.run (Config.lp ()) t in
+  Alcotest.(check bool) "narrow core slower" true
+    (lp.Sim_stats.cycles > hp.Sim_stats.cycles)
+
+(* Random well-formed traces always terminate and commit everything,
+   under every coupling. *)
+let random_trace_gen =
+  let open QCheck.Gen in
+  let instr =
+    frequency
+      [
+        (5, map (fun d -> Isa.int_alu ~src1:(d mod 7) ~dst:(d mod 16) ()) (int_bound 1000));
+        (2, map (fun d -> Isa.int_mult ~src1:(d mod 5) ~dst:(d mod 16) ()) (int_bound 1000));
+        (2, map (fun d -> Isa.fp_alu ~src1:(d mod 5) ~dst:(16 + (d mod 8)) ()) (int_bound 1000));
+        ( 3,
+          map
+            (fun d -> Isa.load ~base:(d mod 4) ~dst:(d mod 16) ~addr:(d * 8 mod 8192) ())
+            (int_bound 1000) );
+        (2, map (fun d -> Isa.store ~src:(d mod 16) ~addr:(d * 8 mod 8192) ()) (int_bound 1000));
+        (1, map (fun d -> Isa.branch ~pc:(0x700 + (d mod 16 * 4)) ~taken:(d mod 3 = 0) ()) (int_bound 1000));
+        ( 1,
+          map
+            (fun d ->
+              Isa.accel
+                ~compute_latency:(1 + (d mod 30))
+                ~reads:(if d mod 2 = 0 then [| d * 64 mod 4096 |] else [||])
+                ~writes:[||] ~dst:(d mod 16) ())
+            (int_bound 1000) );
+      ]
+  in
+  QCheck.make
+    ~print:(fun (instrs, _) -> Printf.sprintf "<%d instrs>" (List.length instrs))
+    (pair (list_size (int_range 1 300) instr) (int_bound 3))
+
+let prop_random_traces_terminate =
+  qtest ~count:60 "random traces commit fully under every coupling"
+    random_trace_gen (fun (instrs, coupling_idx) ->
+      let coupling = List.nth Config.all_couplings coupling_idx in
+      let b = Trace.Builder.create () in
+      List.iter
+        (fun (i : Isa.instr) ->
+          match i.Isa.op with
+          | Isa.Branch -> Trace.Builder.add_at_site b i
+          | _ -> Trace.Builder.add b i)
+        instrs;
+      let t = Trace.Builder.build b in
+      let stats = Pipeline.run (Config.hp ~coupling ()) t in
+      stats.Sim_stats.committed = Trace.length t
+      && stats.Sim_stats.cycles > 0)
+
+(* Metamorphic properties: directional changes with known-sign effects. *)
+
+let mixed_accel_trace seed latency =
+  let rng = Tca_util.Prng.create seed in
+  let b = Trace.Builder.create () in
+  for i = 0 to 1499 do
+    if i mod 40 = 39 then
+      Trace.Builder.add b
+        (Isa.accel ~compute_latency:latency
+           ~reads:(if i mod 80 = 79 then [| i * 64 mod 4096 |] else [||])
+           ~writes:[||] ())
+    else if i mod 7 = 3 then
+      Trace.Builder.add b
+        (Isa.load ~dst:(i mod 12) ~addr:(8 * Tca_util.Prng.int rng 2048) ())
+    else Trace.Builder.add b (Isa.int_alu ~src1:(i mod 5) ~dst:(i mod 12) ())
+  done;
+  Trace.Builder.build b
+
+let prop_latency_monotone =
+  qtest ~count:20 "cycles monotone in TCA latency (2% slack)"
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, coupling_idx) ->
+      let coupling = List.nth Config.all_couplings coupling_idx in
+      let cfg = Config.hp ~coupling () in
+      let fast = Pipeline.run cfg (mixed_accel_trace seed 5) in
+      let slow = Pipeline.run cfg (mixed_accel_trace seed 50) in
+      (* Fully-overlapped couplings can absorb the extra latency and even
+         shift cache/port interleavings slightly in either direction;
+         allow second-order slack. *)
+      float_of_int slow.Sim_stats.cycles
+      >= 0.98 *. float_of_int fast.Sim_stats.cycles)
+
+let prop_coupling_monotone =
+  qtest ~count:20 "removing a coupling barrier never adds cycles"
+    QCheck.small_int
+    (fun seed ->
+      let t = mixed_accel_trace seed 20 in
+      let cycles c = (Pipeline.run (Config.hp ~coupling:c ()) t).Sim_stats.cycles in
+      let nl_nt = float_of_int (cycles Config.coupling_nl_nt)
+      and l_nt = float_of_int (cycles Config.coupling_l_nt)
+      and nl_t = float_of_int (cycles Config.coupling_nl_t)
+      and l_t = float_of_int (cycles Config.coupling_l_t) in
+      (* 1% slack for cycle-level interleaving noise. *)
+      l_t <= 1.01 *. l_nt && l_t <= 1.01 *. nl_t
+      && l_nt <= 1.01 *. nl_nt && nl_t <= 1.01 *. nl_nt)
+
+let prop_mem_latency_monotone =
+  qtest ~count:10 "cycles monotone in memory latency"
+    QCheck.small_int
+    (fun seed ->
+      let t = mixed_accel_trace seed 10 in
+      let run lat =
+        let mem =
+          Mem_hier.config
+            ~l1:(Cache.config ~size_bytes:1024 ~assoc:2 ~hit_latency:2 ())
+            ~mem_latency:lat ()
+        in
+        (Pipeline.run { (Config.hp ()) with Config.mem } t).Sim_stats.cycles
+      in
+      run 200 >= run 50)
+
+(* --- Simulator --- *)
+
+let test_simulator_compare_modes () =
+  let baseline = accel_trace ~latency:1 ~n:0 ~gap:1 in
+  let b = Trace.Builder.create () in
+  for i = 0 to 999 do
+    Trace.Builder.add b (Isa.int_alu ~dst:(i mod 8) ())
+  done;
+  let baseline = ignore baseline; Trace.Builder.build b in
+  let accelerated = accel_trace ~latency:20 ~n:10 ~gap:80 in
+  let cmp =
+    Simulator.compare_modes ~cfg:(Config.hp ()) ~baseline ~accelerated
+  in
+  Alcotest.(check int) "four modes" 4 (List.length cmp.Simulator.modes);
+  List.iter
+    (fun (r : Simulator.mode_result) ->
+      Alcotest.(check bool) "positive speedup" true (r.Simulator.speedup > 0.0))
+    cmp.Simulator.modes;
+  let lt = Simulator.find_mode_result cmp Config.coupling_l_t in
+  Alcotest.(check string) "find L_T" "L_T" (Config.coupling_name lt.Simulator.coupling)
+
+let test_simulator_measure_ipc () =
+  let b = Trace.Builder.create () in
+  for i = 0 to 1999 do
+    Trace.Builder.add b (Isa.int_alu ~dst:(i mod 32) ())
+  done;
+  let ipc = Simulator.measure_ipc (Config.hp ()) (Trace.Builder.build b) in
+  Alcotest.(check bool) "near width" true (ipc > 3.0 && ipc <= 4.0)
+
+let () =
+  Alcotest.run "tca_uarch"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "constructors" `Quick test_isa_constructors;
+          Alcotest.test_case "register validation" `Quick test_isa_register_validation;
+          Alcotest.test_case "address validation" `Quick test_isa_addr_validation;
+          Alcotest.test_case "accel" `Quick test_isa_accel;
+          Alcotest.test_case "op names" `Quick test_isa_op_names;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "builder pcs" `Quick test_trace_builder_pcs;
+          Alcotest.test_case "add_at_site" `Quick test_trace_add_at_site;
+          Alcotest.test_case "builder growth" `Quick test_trace_builder_growth;
+          Alcotest.test_case "validate bad reg" `Quick test_trace_validate_bad_reg;
+          Alcotest.test_case "counts" `Quick test_trace_counts;
+          Alcotest.test_case "io roundtrip" `Quick test_trace_io_roundtrip;
+          Alcotest.test_case "io rejects garbage" `Quick test_trace_io_rejects_garbage;
+          Alcotest.test_case "io simulates identically" `Quick test_trace_io_simulates_identically;
+        ] );
+      ( "bpred",
+        [
+          Alcotest.test_case "bimodal learns bias" `Quick test_bpred_bimodal_learns;
+          Alcotest.test_case "gshare learns pattern" `Quick test_bpred_gshare_learns_pattern;
+          Alcotest.test_case "bimodal misses pattern" `Quick test_bpred_bimodal_fails_pattern;
+          Alcotest.test_case "tournament" `Quick test_bpred_tournament_best_of_both;
+          Alcotest.test_case "perfect" `Quick test_bpred_perfect;
+          Alcotest.test_case "bits validation" `Quick test_bpred_bits_validation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "config validation" `Quick test_cache_config_validation;
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "probe non-mutating" `Quick test_cache_probe_nonmutating;
+          Alcotest.test_case "reset stats" `Quick test_cache_reset_stats;
+        ] );
+      ( "mem_hier",
+        [
+          Alcotest.test_case "latencies" `Quick test_hier_latencies;
+          Alcotest.test_case "store fills" `Quick test_hier_store_fills;
+          Alcotest.test_case "no L2" `Quick test_hier_no_l2;
+        ] );
+      ( "ports",
+        [
+          Alcotest.test_case "bandwidth" `Quick test_ports_bandwidth;
+          Alcotest.test_case "ring reuse" `Quick test_ports_reuse_after_wrap;
+          Alcotest.test_case "validation" `Quick test_ports_validation;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "config validation" `Quick test_tlb_config_validation;
+          Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "LRU" `Quick test_tlb_lru;
+          Alcotest.test_case "pipeline integration" `Quick test_pipeline_dtlb;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "coupling names" `Quick test_config_coupling_names;
+          Alcotest.test_case "validate" `Quick test_config_validate;
+          Alcotest.test_case "with_coupling" `Quick test_config_with_coupling;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "single instruction" `Quick test_pipeline_single_instr;
+          Alcotest.test_case "independent IPC" `Quick test_pipeline_independent_ipc;
+          Alcotest.test_case "chain IPC" `Quick test_pipeline_chain_ipc;
+          Alcotest.test_case "mult chain IPC" `Quick test_pipeline_mult_chain_ipc;
+          Alcotest.test_case "commits everything" `Quick test_pipeline_commits_everything;
+          Alcotest.test_case "cache counted" `Quick test_pipeline_cache_counted;
+          Alcotest.test_case "store-load forwarding" `Quick test_pipeline_store_load_forwarding;
+          Alcotest.test_case "mispredict penalty" `Quick test_pipeline_mispredict_penalty;
+          Alcotest.test_case "serialize barrier" `Quick test_pipeline_serialize_barrier;
+          Alcotest.test_case "NL head wait" `Quick test_pipeline_nl_head_wait;
+          Alcotest.test_case "mode cycle ordering" `Quick test_pipeline_mode_cycle_ordering;
+          Alcotest.test_case "accel memory" `Quick test_pipeline_accel_memory;
+          Alcotest.test_case "determinism" `Quick test_pipeline_determinism;
+          Alcotest.test_case "probe" `Quick test_pipeline_probe;
+          Alcotest.test_case "deadlock guard" `Quick test_pipeline_deadlock_guard;
+          Alcotest.test_case "invalid config" `Quick test_pipeline_invalid_config;
+          Alcotest.test_case "LP slower than HP" `Quick test_pipeline_lp_slower;
+          prop_random_traces_terminate;
+          prop_latency_monotone;
+          prop_coupling_monotone;
+          prop_mem_latency_monotone;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "compare modes" `Quick test_simulator_compare_modes;
+          Alcotest.test_case "measure ipc" `Quick test_simulator_measure_ipc;
+        ] );
+    ]
