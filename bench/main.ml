@@ -116,13 +116,13 @@ let bechamel_tests () =
   let open Bechamel in
   let core = Tca_model.Presets.hp_core in
   let scenario =
-    Tca_model.Params.scenario ~a:0.35 ~v:0.005
+    Tca_model.Params.scenario_exn ~a:0.35 ~v:0.005
       ~accel:(Tca_model.Params.Latency 1.0) ()
   in
   let model_eval =
     Test.make ~name:"model-4mode-eval"
       (Staged.stage (fun () ->
-           ignore (Tca_model.Equations.speedups core scenario)))
+           ignore (Tca_model.Equations.speedups_exn core scenario)))
   in
   let pair =
     Tca_workloads.Synthetic.generate
@@ -134,7 +134,7 @@ let bechamel_tests () =
     Test.make ~name:"pipeline-10k-uops"
       (Staged.stage (fun () ->
            ignore
-             (Tca_uarch.Pipeline.run sim_cfg pair.Tca_workloads.Meta.baseline)))
+             (Tca_uarch.Pipeline.run_exn sim_cfg pair.Tca_workloads.Meta.baseline)))
   in
   let heap_ops =
     Test.make ~name:"tcmalloc-1k-ops"
@@ -193,12 +193,12 @@ let bechamel_tests () =
            ignore (Tca_uarch.Trace.Builder.build b)))
   in
   let heatmap_grid =
-    let freqs = Tca_util.Sweep.logspace 1e-6 0.1 48 in
-    let coverages = Tca_util.Sweep.linspace 0.05 0.95 17 in
+    let freqs = Tca_util.Sweep.logspace_exn 1e-6 0.1 48 in
+    let coverages = Tca_util.Sweep.linspace_exn 0.05 0.95 17 in
     Test.make ~name:"model-heatmap-816-cells"
       (Staged.stage (fun () ->
            ignore
-             (Tca_model.Grid.compute Tca_model.Presets.hp_core
+             (Tca_model.Grid.compute_exn Tca_model.Presets.hp_core
                 ~accel:(Tca_model.Params.Factor 1.5) ~freqs ~coverages
                 Tca_model.Mode.L_T)))
   in

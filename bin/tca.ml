@@ -3,6 +3,19 @@
 
 open Cmdliner
 
+(* --- diagnostics plumbing --- *)
+
+let die d =
+  prerr_endline ("tca: error: " ^ Tca_util.Diag.to_string d);
+  exit (Tca_util.Diag.exit_code d)
+
+let or_die = function Ok x -> x | Error d -> die d
+
+(* Every command body runs under this wrapper so a [Diag.Error] escaping
+   an [_exn] convenience call still maps to the documented exit code
+   instead of an uncaught-exception backtrace. *)
+let protect f = try f () with Tca_util.Diag.Error d -> die d
+
 (* --- shared argument parsers --- *)
 
 let core_arg =
@@ -24,6 +37,28 @@ let core_t =
     & opt core_arg Tca_model.Presets.hp_core
     & info [ "core" ] ~docv:"CORE" ~doc:"Core preset: hp, lp or a72.")
 
+(* A float parser that applies a [Diag] check, so "nan", "inf" and
+   out-of-domain values are rejected at the command line with the same
+   diagnostics the library produces. *)
+let checked_float ~field check =
+  let parse s =
+    match float_of_string_opt s with
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "%s: expected a number, got %S" field s))
+    | Some f -> Tca_util.Diag.error_to_msg (check f)
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let fraction_arg ~field =
+  checked_float ~field (Tca_util.Diag.in_range ~field ~lo:0.0 ~hi:1.0)
+
+let non_negative_arg ~field =
+  checked_float ~field (Tca_util.Diag.non_negative ~field)
+
+let positive_arg ~field =
+  checked_float ~field (Tca_util.Diag.positive ~field)
+
 let drain_arg =
   let parse s =
     match String.lowercase_ascii s with
@@ -31,9 +66,13 @@ let drain_arg =
     | "refill" -> Ok Tca_interval.Drain.Refill_aware
     | s -> (
         match float_of_string_opt s with
-        | Some f when f >= 0.0 -> Ok (Tca_interval.Drain.Fixed f)
+        | Some f when Float.is_finite f && f >= 0.0 ->
+            Ok (Tca_interval.Drain.Fixed f)
         | Some _ | None ->
-            Error (`Msg "expected 'auto', 'refill' or a cycle count"))
+            Error
+              (`Msg
+                 "expected 'auto', 'refill' or a finite non-negative \
+                  cycle count"))
   in
   let print fmt = function
     | Tca_interval.Drain.Auto -> Format.pp_print_string fmt "auto"
@@ -78,30 +117,31 @@ let model_cmd =
   let a_t =
     Arg.(
       required
-      & opt (some float) None
+      & opt (some (fraction_arg ~field:"a")) None
       & info [ "a" ] ~docv:"FRAC" ~doc:"Acceleratable fraction in [0,1].")
   in
   let v_t =
     Arg.(
       required
-      & opt (some float) None
+      & opt (some (fraction_arg ~field:"v")) None
       & info [ "v" ] ~docv:"FREQ"
           ~doc:"Invocation frequency (invocations per instruction).")
   in
   let factor_t =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (positive_arg ~field:"factor")) None
       & info [ "factor"; "A" ] ~docv:"A" ~doc:"Acceleration factor.")
   in
   let latency_t =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (non_negative_arg ~field:"latency")) None
       & info [ "latency" ] ~docv:"CYCLES"
           ~doc:"Explicit accelerator latency per invocation.")
   in
   let run core a v factor latency drain =
+    protect @@ fun () ->
     let accel =
       match (factor, latency) with
       | Some f, None -> Tca_model.Params.Factor f
@@ -111,10 +151,10 @@ let model_cmd =
           prerr_endline "--factor and --latency are mutually exclusive";
           exit 2
     in
-    let s = Tca_model.Params.scenario ~drain ~a ~v ~accel () in
+    let s = or_die (Tca_model.Params.scenario ~drain ~a ~v ~accel ()) in
     Format.printf "core:     %a@." Tca_model.Params.pp_core core;
     Format.printf "scenario: %a@." Tca_model.Params.pp_scenario s;
-    let t = Tca_model.Equations.interval_times core s in
+    let t = or_die (Tca_model.Equations.interval_times core s) in
     Format.printf
       "interval: baseline %.1f cyc, accel %.1f, non-accel %.1f, drain %.1f, \
        rob-fill %.1f, commit %.1f@."
@@ -125,13 +165,13 @@ let model_cmd =
       (List.map
          (fun (m, sp) ->
            [ Tca_model.Mode.to_string m; Tca_util.Table.float_cell sp ])
-         (Tca_model.Equations.speedups core s));
-    let best, sp = Tca_model.Equations.best_mode core s in
+         (or_die (Tca_model.Equations.speedups core s)));
+    let best, sp = or_die (Tca_model.Equations.best_mode core s) in
     Format.printf "best mode: %s (%.3fx); naive replace-the-region estimate: \
                    %.3fx@."
       (Tca_model.Mode.to_string best)
       sp
-      (Tca_model.Equations.ideal_speedup core s)
+      (or_die (Tca_model.Equations.ideal_speedup core s))
   in
   Cmd.v (Cmd.info "model" ~doc)
     Term.(const run $ core_t $ a_t $ v_t $ factor_t $ latency_t $ drain_t)
@@ -141,17 +181,23 @@ let model_cmd =
 let sweep_cmd =
   let doc = "Granularity sweep (Fig. 2 style) for a given core." in
   let a_t =
-    Arg.(value & opt float 0.3 & info [ "a" ] ~docv:"FRAC" ~doc:"Coverage.")
+    Arg.(
+      value
+      & opt (fraction_arg ~field:"a") 0.3
+      & info [ "a" ] ~docv:"FRAC" ~doc:"Coverage.")
   in
   let factor_t =
     Arg.(
-      value & opt float 3.0 & info [ "factor"; "A" ] ~doc:"Acceleration factor.")
+      value
+      & opt (positive_arg ~field:"factor") 3.0
+      & info [ "factor"; "A" ] ~doc:"Acceleration factor.")
   in
   let points_t =
     Arg.(value & opt int 17 & info [ "points" ] ~doc:"Sweep points.")
   in
   let run core a factor points =
-    let gs = Tca_util.Sweep.logspace 10.0 1.0e9 points in
+    protect @@ fun () ->
+    let gs = or_die (Tca_util.Sweep.logspace 10.0 1.0e9 points) in
     let series =
       Tca_model.Granularity.series core ~a
         ~accel:(Tca_model.Params.Factor factor) ~gs
@@ -180,27 +226,33 @@ let design_cmd =
   let a_t =
     Arg.(
       required
-      & opt (some float) None
+      & opt (some (fraction_arg ~field:"a")) None
       & info [ "a" ] ~docv:"FRAC" ~doc:"Acceleratable fraction in [0,1].")
   in
   let v_t =
     Arg.(
       required
-      & opt (some float) None
+      & opt (some (fraction_arg ~field:"v")) None
       & info [ "v" ] ~docv:"FREQ" ~doc:"Invocation frequency.")
   in
   let factor_t =
-    Arg.(value & opt float 3.0 & info [ "factor"; "A" ] ~doc:"Acceleration factor.")
+    Arg.(
+      value
+      & opt (positive_arg ~field:"factor") 3.0
+      & info [ "factor"; "A" ] ~doc:"Acceleration factor.")
   in
   let static_t =
     Arg.(
-      value & opt float 0.5
+      value
+      & opt (non_negative_arg ~field:"static-power") 0.5
       & info [ "static-power" ] ~doc:"Static power, energy units per cycle.")
   in
   let run core a v factor static_power drain =
+    protect @@ fun () ->
     let s =
-      Tca_model.Params.scenario ~drain ~a ~v
-        ~accel:(Tca_model.Params.Factor factor) ()
+      or_die
+        (Tca_model.Params.scenario ~drain ~a ~v
+           ~accel:(Tca_model.Params.Factor factor) ())
     in
     let designs = Tca_model.Hw_cost.designs core s in
     let front = Tca_model.Hw_cost.pareto_front designs in
@@ -228,7 +280,7 @@ let design_cmd =
               else "dominated");
            ])
          designs verdicts);
-    let best, sp = Tca_model.Equations.best_mode core s in
+    let best, sp = or_die (Tca_model.Equations.best_mode core s) in
     Format.printf
       "best: %s (%.3fx); energy break-even speedup %.3f; decision stable \
        under +/-20%%: %b@."
@@ -237,7 +289,7 @@ let design_cmd =
       (Tca_model.Energy.energy_break_even_speedup
          (Tca_model.Energy.make ~static_power ())
          core s)
-      (Tca_model.Sensitivity.decision_stable core s)
+      (or_die (Tca_model.Sensitivity.decision_stable core s))
   in
   Cmd.v (Cmd.info "design" ~doc)
     Term.(const run $ core_t $ a_t $ v_t $ factor_t $ static_t $ drain_t)
@@ -273,6 +325,7 @@ let simulate_cmd =
              default.")
   in
   let run workload size =
+    protect @@ fun () ->
     let cfg = Tca_experiments.Exp_common.validation_core () in
     let auto_latency p =
       Tca_experiments.Exp_common.meta_latency p.Tca_workloads.Meta.meta ~cfg
@@ -362,6 +415,7 @@ let trace_cmd =
     Arg.(value & opt int 0 & info [ "size" ] ~doc:"Workload size (0 = default).")
   in
   let run workload out size =
+    protect @@ fun () ->
     let pair =
       match workload with
       | `Synthetic ->
@@ -411,17 +465,39 @@ let run_trace_cmd =
       & opt (conv (parse, Tca_model.Mode.pp)) Tca_model.Mode.L_T
       & info [ "mode" ] ~docv:"MODE" ~doc:"TCA coupling mode.")
   in
-  let run file mode =
-    let trace = Tca_uarch.Trace.load file in
+  let max_cycles_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:
+            "Watchdog cycle budget; when exceeded the run stops and the \
+             statistics collected so far are reported as partial. Default: \
+             derived from the trace length.")
+  in
+  let run file mode max_cycles =
+    protect @@ fun () ->
+    let trace =
+      try Tca_uarch.Trace.load file
+      with Failure message | Sys_error message ->
+        die (Tca_util.Diag.Parse { field = "trace file"; input = file; message })
+    in
     let cfg =
       Tca_uarch.Config.with_coupling
         (Tca_uarch.Config.hp ())
         (Tca_experiments.Exp_common.coupling_of_mode mode)
     in
-    let stats = Tca_uarch.Pipeline.run cfg trace in
-    Format.printf "%a@." Tca_uarch.Sim_stats.pp stats
+    let cfg = { cfg with Tca_uarch.Config.max_cycles } in
+    match or_die (Tca_uarch.Pipeline.run cfg trace) with
+    | Tca_uarch.Pipeline.Complete stats ->
+        Format.printf "%a@." Tca_uarch.Sim_stats.pp stats
+    | Tca_uarch.Pipeline.Partial { stats; diag } ->
+        Format.printf "%a@." Tca_uarch.Sim_stats.pp stats;
+        prerr_endline ("tca: warning: " ^ Tca_util.Diag.to_string diag);
+        exit (Tca_util.Diag.exit_code diag)
   in
-  Cmd.v (Cmd.info "run-trace" ~doc) Term.(const run $ file_t $ mode_t)
+  Cmd.v (Cmd.info "run-trace" ~doc)
+    Term.(const run $ file_t $ mode_t $ max_cycles_t)
 
 (* --- tca figure --- *)
 
@@ -439,6 +515,7 @@ let figure_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller validation sweeps.")
   in
   let run id quick =
+    protect @@ fun () ->
     let open Tca_experiments in
     match id with
     | "table1" -> Table1.print ()

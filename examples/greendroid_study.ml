@@ -13,10 +13,10 @@ open Tca_workloads
    cover fraction [a] of the program has v = a / g. *)
 let speedup core ~g ~cov mode =
   let s =
-    Params.scenario_of_granularity ~a:cov ~g
+    Params.scenario_of_granularity_exn ~a:cov ~g
       ~accel:(Params.Factor Greendroid.accel_factor) ()
   in
-  Equations.speedup core s mode
+  Equations.speedup_exn core s mode
 
 let () =
   List.iter

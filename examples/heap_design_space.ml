@@ -16,7 +16,7 @@ let core = Presets.hp_core
 let scenario_of_gap gap =
   let g = Greendroid.heap_manager_granularity in
   let interval = float_of_int gap +. g in
-  Params.scenario ~a:(g /. interval) ~v:(1.0 /. interval)
+  Params.scenario_exn ~a:(g /. interval) ~v:(1.0 /. interval)
     ~accel:(Params.Latency (float_of_int Tca_heap.Cost_model.accel_latency))
     ()
 
@@ -28,7 +28,7 @@ let () =
     (List.map
        (fun gap ->
          let s = scenario_of_gap gap in
-         let speedups = Equations.speedups core s in
+         let speedups = Equations.speedups_exn core s in
          let safe =
            (* Cheapest mode (in Mode.all order) that avoids slowdown. *)
            match List.find_opt (fun (_, sp) -> sp >= 1.0) speedups with
@@ -61,7 +61,7 @@ let () =
   let s = scenario_of_gap 100 in
   match
     Partial.required_confidence core s ~trailing:true
-      ~target_speedup:(0.95 *. Equations.speedup core s Mode.L_T)
+      ~target_speedup:(0.95 *. Equations.speedup_exn core s Mode.L_T)
   with
   | Some p ->
       Printf.printf

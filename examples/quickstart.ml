@@ -12,7 +12,7 @@ open Tca_model
 let () =
   let core = Presets.hp_core in
   let scenario =
-    Params.scenario
+    Params.scenario_exn
       ~a:(150.0 /. 400.0) (* acceleratable fraction *)
       ~v:(1.0 /. 400.0) (* one invocation per 400 instructions *)
       ~accel:(Params.Factor 4.0)
@@ -23,13 +23,13 @@ let () =
     (fun (mode, speedup) ->
       Format.printf "  %-6s %.3fx   (%s)@." (Mode.to_string mode) speedup
         (Mode.hardware_requirements mode))
-    (Equations.speedups core scenario);
-  let best, speedup = Equations.best_mode core scenario in
+    (Equations.speedups_exn core scenario);
+  let best, speedup = Equations.best_mode_exn core scenario in
   Format.printf "@.Best mode: %s at %.3fx.@." (Mode.to_string best) speedup;
   (* The same accelerator that speeds the program up with full OoO
      support can slow it down without it — check before committing to the
      cheap design. *)
-  let worst = Equations.speedup core scenario Mode.NL_NT in
+  let worst = Equations.speedup_exn core scenario Mode.NL_NT in
   if worst < 1.0 then
     Format.printf
       "Warning: the dispatch-barrier design (NL_NT) would SLOW the \
@@ -37,10 +37,10 @@ let () =
       worst;
   (* How much coverage could this accelerator ever exploit? *)
   let peak_a =
-    Concurrency.ideal_peak_coverage ~accel_factor:4.0
+    Concurrency.ideal_peak_coverage_exn ~accel_factor:4.0
   in
   Format.printf
     "With A = 4, program speedup is maximised (at %.1fx) once %.0f%% of \
      the code is offloaded — offloading more under-utilises the core.@."
-    (Concurrency.ideal_peak_speedup ~accel_factor:4.0)
+    (Concurrency.ideal_peak_speedup_exn ~accel_factor:4.0)
     (100.0 *. peak_a)

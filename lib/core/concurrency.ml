@@ -1,25 +1,55 @@
+open Diag.Syntax
+
 let coverage_series core ~g ~accel ~coverages mode =
-  Array.map
-    (fun a ->
-      if a <= 0.0 then (a, 1.0)
-      else
-        let s = Params.scenario_of_granularity ~a ~g ~accel () in
-        (a, Equations.speedup core s mode))
-    coverages
+  let* _ =
+    Diag.in_range ~field:"Concurrency.coverage_series.g" ~lo:1.0 ~hi:infinity g
+  in
+  let* cells =
+    Array.fold_left
+      (fun acc a ->
+        let* acc = acc in
+        let* pt =
+          if a <= 0.0 then Ok (a, 1.0)
+          else
+            let* s = Params.scenario_of_granularity ~a ~g ~accel () in
+            let* sp = Equations.speedup core s mode in
+            Ok (a, sp)
+        in
+        Ok (pt :: acc))
+      (Ok []) coverages
+  in
+  Ok (Array.of_list (List.rev cells))
+
+let coverage_series_exn core ~g ~accel ~coverages mode =
+  Diag.ok_exn (coverage_series core ~g ~accel ~coverages mode)
 
 let ideal_peak_coverage ~accel_factor =
-  if accel_factor <= 0.0 then invalid_arg "Concurrency.ideal_peak_coverage";
+  let+ accel_factor =
+    Diag.positive ~field:"Concurrency.ideal_peak_coverage.accel_factor"
+      accel_factor
+  in
   accel_factor /. (accel_factor +. 1.0)
 
+let ideal_peak_coverage_exn ~accel_factor =
+  Diag.ok_exn (ideal_peak_coverage ~accel_factor)
+
 let ideal_peak_speedup ~accel_factor =
-  if accel_factor <= 0.0 then invalid_arg "Concurrency.ideal_peak_speedup";
+  let+ accel_factor =
+    Diag.positive ~field:"Concurrency.ideal_peak_speedup.accel_factor"
+      accel_factor
+  in
   accel_factor +. 1.0
 
+let ideal_peak_speedup_exn ~accel_factor =
+  Diag.ok_exn (ideal_peak_speedup ~accel_factor)
+
 let peak series =
-  if Array.length series = 0 then invalid_arg "Concurrency.peak: empty series";
+  let+ series = Diag.non_empty ~field:"Concurrency.peak" series in
   Array.fold_left
     (fun ((_, by) as best) ((_, y) as cand) -> if y > by then cand else best)
     series.(0) series
+
+let peak_exn series = Diag.ok_exn (peak series)
 
 let local_maxima series =
   let n = Array.length series in

@@ -11,21 +11,36 @@ val coverage_series :
   accel:Params.accel_time ->
   coverages:float array ->
   Mode.t ->
-  (float * float) array
+  ((float * float) array, Diag.t) result
 (** [(a, speedup)] for each coverage in [coverages] at fixed granularity
     [g]. Coverages below [a_min = g * v_min] are always feasible here
-    because [v] is derived as [a / g]. Coverage 0 maps to speedup 1. *)
+    because [v] is derived as [a / g]. Coverage 0 maps to speedup 1.
+    [Error (Domain _)] on [g < 1] or an out-of-range coverage. *)
 
-val ideal_peak_coverage : accel_factor:float -> float
+val coverage_series_exn :
+  Params.core ->
+  g:float ->
+  accel:Params.accel_time ->
+  coverages:float array ->
+  Mode.t ->
+  (float * float) array
+
+val ideal_peak_coverage : accel_factor:float -> (float, Diag.t) result
 (** [A / (A + 1)]: the coverage at which core and TCA work are balanced. *)
 
-val ideal_peak_speedup : accel_factor:float -> float
+val ideal_peak_coverage_exn : accel_factor:float -> float
+
+val ideal_peak_speedup : accel_factor:float -> (float, Diag.t) result
 (** [A + 1]. *)
 
-val peak : (float * float) array -> float * float
-(** The [(x, y)] point with maximal [y]. Raises [Invalid_argument] on an
+val ideal_peak_speedup_exn : accel_factor:float -> float
+
+val peak : (float * float) array -> (float * float, Diag.t) result
+(** The [(x, y)] point with maximal [y]. [Error (Empty_input _)] on an
     empty series. *)
+
+val peak_exn : (float * float) array -> float * float
 
 val local_maxima : (float * float) array -> (float * float) list
 (** Interior points strictly greater than both neighbours — used to
-    exhibit the NL_T local maximum the paper discusses. *)
+    exhibit the NL_T local maximum the paper discusses. Total. *)

@@ -1,0 +1,1 @@
+include Tca_util.Diag

@@ -1,0 +1,8 @@
+(** Re-export of {!Tca_util.Diag}, so model code and model callers can
+    name the diagnostic layer as [Tca_model.Diag] without depending on
+    the util library directly. The types are equal: a [Tca_model.Diag.t]
+    is a [Tca_util.Diag.t]. *)
+
+include module type of struct
+  include Tca_util.Diag
+end

@@ -35,17 +35,17 @@ let mode_energy t (core : Params.core) (s : Params.scenario) mode =
     instrs -. accl_instrs (* core executes the rest at unit energy *)
     +. (t.accel_energy_ratio *. accl_instrs)
   in
-  let cycles = Equations.mode_time core s mode in
+  let cycles = Equations.mode_time_exn core s mode in
   dynamic +. (t.static_power *. cycles)
 
 let evaluate t core s =
   let base_e = baseline_energy t core s in
-  let base_t = (Equations.interval_times core s).Equations.t_baseline in
+  let base_t = (Equations.interval_times_exn core s).Equations.t_baseline in
   List.map
     (fun mode ->
-      let speedup = Equations.speedup core s mode in
+      let speedup = Equations.speedup_exn core s mode in
       let energy = mode_energy t core s mode in
-      let time = Equations.mode_time core s mode in
+      let time = Equations.mode_time_exn core s mode in
       {
         mode;
         speedup;
@@ -63,6 +63,6 @@ let energy_break_even_speedup t core s =
   if s.Params.v <= 0.0 then invalid_arg "Energy.energy_break_even_speedup: v = 0";
   let instrs = interval_instrs s in
   let savings = (1.0 -. t.accel_energy_ratio) *. s.Params.a *. instrs in
-  let base_t = (Equations.interval_times core s).Equations.t_baseline in
+  let base_t = (Equations.interval_times_exn core s).Equations.t_baseline in
   if t.static_power = 0.0 then 0.0
   else base_t /. (base_t +. (savings /. t.static_power))

@@ -1,3 +1,5 @@
+open Diag.Syntax
+
 type times = {
   t_baseline : float;
   t_accl : float;
@@ -7,8 +9,27 @@ type times = {
   t_commit : float;
 }
 
+(* Extreme-but-valid inputs (v = 1e-300, latency = 1e308, ...) can push an
+   intermediate time to infinity; checking the computed record keeps the
+   [Ok ==> finite] contract without re-deriving overflow conditions. *)
+let check_times t =
+  let* _ = Diag.finite ~field:"Equations.t_baseline" t.t_baseline in
+  let* _ = Diag.finite ~field:"Equations.t_accl" t.t_accl in
+  let* _ = Diag.finite ~field:"Equations.t_non_accl" t.t_non_accl in
+  let* _ = Diag.finite ~field:"Equations.t_drain" t.t_drain in
+  let* _ = Diag.finite ~field:"Equations.t_rob_fill" t.t_rob_fill in
+  let* _ = Diag.finite ~field:"Equations.t_commit" t.t_commit in
+  Ok t
+
 let interval_times (core : Params.core) (s : Params.scenario) =
-  if s.v <= 0.0 then invalid_arg "Equations.interval_times: v = 0";
+  let* () =
+    if s.v <= 0.0 then
+      Error
+        (Diag.Domain
+           { field = "Equations.interval_times.v"; lo = Float.min_float;
+             hi = infinity; actual = s.v })
+    else Ok ()
+  in
   let t_baseline = 1.0 /. (s.v *. core.ipc) in
   let t_accl =
     match s.accel with
@@ -26,7 +47,11 @@ let interval_times (core : Params.core) (s : Params.scenario) =
       ~non_accl_time:t_non_accl
   in
   let t_rob_fill = float_of_int core.rob_size /. float_of_int core.issue_width in
-  { t_baseline; t_accl; t_non_accl; t_drain; t_rob_fill; t_commit = core.commit_stall }
+  check_times
+    { t_baseline; t_accl; t_non_accl; t_drain; t_rob_fill;
+      t_commit = core.commit_stall }
+
+let interval_times_exn core s = Diag.ok_exn (interval_times core s)
 
 let time_of_times (t : times) (mode : Mode.t) =
   match mode with
@@ -51,27 +76,49 @@ let time_of_times (t : times) (mode : Mode.t) =
       let rob_full = Float.max 0.0 (t.t_accl -. t.t_rob_fill) in
       Float.max (t.t_non_accl +. rob_full) t.t_accl
 
-let mode_time core s mode = time_of_times (interval_times core s) mode
+let mode_time core s mode =
+  let* t = interval_times core s in
+  Diag.finite ~field:"Equations.mode_time" (time_of_times t mode)
+
+let mode_time_exn core s mode = Diag.ok_exn (mode_time core s mode)
 
 let speedup core s mode =
-  if s.Params.v <= 0.0 then 1.0
+  if s.Params.v <= 0.0 then Ok 1.0
   else
-    let t = interval_times core s in
-    t.t_baseline /. time_of_times t mode
+    let* t = interval_times core s in
+    Diag.finite ~field:"Equations.speedup"
+      (t.t_baseline /. time_of_times t mode)
 
-let speedups core s = List.map (fun m -> (m, speedup core s m)) Mode.all
+let speedup_exn core s mode = Diag.ok_exn (speedup core s mode)
+
+let speedups core s =
+  List.fold_right
+    (fun m acc ->
+      let* acc = acc in
+      let* sp = speedup core s m in
+      Ok ((m, sp) :: acc))
+    Mode.all (Ok [])
+
+let speedups_exn core s = Diag.ok_exn (speedups core s)
 
 let best_mode core s =
-  match speedups core s with
-  | [] -> assert false
+  let* sps = speedups core s in
+  match sps with
+  | [] -> Error (Diag.Empty_input { field = "Equations.best_mode" })
   | first :: rest ->
-      List.fold_left
-        (fun ((_, best_s) as best) ((_, cand_s) as cand) ->
-          if cand_s > best_s then cand else best)
-        first rest
+      Ok
+        (List.fold_left
+           (fun ((_, best_s) as best) ((_, cand_s) as cand) ->
+             if cand_s > best_s then cand else best)
+           first rest)
+
+let best_mode_exn core s = Diag.ok_exn (best_mode core s)
 
 let ideal_speedup core s =
-  if s.Params.v <= 0.0 then 1.0
+  if s.Params.v <= 0.0 then Ok 1.0
   else
-    let t = interval_times core s in
-    t.t_baseline /. (t.t_non_accl +. t.t_accl)
+    let* t = interval_times core s in
+    Diag.finite ~field:"Equations.ideal_speedup"
+      (t.t_baseline /. (t.t_non_accl +. t.t_accl))
+
+let ideal_speedup_exn core s = Diag.ok_exn (ideal_speedup core s)

@@ -4,7 +4,13 @@
     of program containing exactly one accelerator invocation ([1/v]
     instructions of the baseline program). Speedups are ratios of interval
     times, which by the paper's interval-analysis argument equal
-    whole-program speedups. *)
+    whole-program speedups.
+
+    Every evaluator returns [('a, Diag.t) result] and guarantees that an
+    [Ok] carries only finite values — a degenerate-but-validated scenario
+    (e.g. zero-latency accelerator with zero commit stall) that drives an
+    interval time to 0 or a speedup to infinity surfaces as
+    [Error (Non_finite _)] instead of poisoning a sweep. *)
 
 type times = {
   t_baseline : float;  (** eq. (1): [1 / (v * IPC)] *)
@@ -15,28 +21,51 @@ type times = {
   t_commit : float;  (** the core's [t_commit] parameter *)
 }
 
-val interval_times : Params.core -> Params.scenario -> times
-(** All intermediate quantities for one (core, scenario) pair. Raises
-    [Invalid_argument] when [v = 0] (no invocations: there is no
-    interval). *)
+val interval_times :
+  Params.core -> Params.scenario -> (times, Diag.t) result
+(** All intermediate quantities for one (core, scenario) pair.
+    [Error (Domain _)] when [v = 0] (no invocations: there is no
+    interval); [Error (Non_finite _)] when an extreme input overflows a
+    time. *)
 
-val mode_time : Params.core -> Params.scenario -> Mode.t -> float
+val interval_times_exn : Params.core -> Params.scenario -> times
+(** Raises {!Diag.Error}. *)
+
+val time_of_times : times -> Mode.t -> float
+(** Pure combination of precomputed interval times per eqs. (4)-(9). *)
+
+val mode_time :
+  Params.core -> Params.scenario -> Mode.t -> (float, Diag.t) result
 (** Interval execution time under the given TCA mode: eqs. (4), (5), (7)
     and (9). *)
 
-val speedup : Params.core -> Params.scenario -> Mode.t -> float
-(** [t_baseline / mode_time]. Returns [1.0] when [v = 0] (nothing is
+val mode_time_exn : Params.core -> Params.scenario -> Mode.t -> float
+
+val speedup :
+  Params.core -> Params.scenario -> Mode.t -> (float, Diag.t) result
+(** [t_baseline / mode_time]. [Ok 1.0] when [v = 0] (nothing is
     accelerated). Values below 1 are program slowdowns. *)
 
-val speedups : Params.core -> Params.scenario -> (Mode.t * float) list
+val speedup_exn : Params.core -> Params.scenario -> Mode.t -> float
+
+val speedups :
+  Params.core -> Params.scenario -> ((Mode.t * float) list, Diag.t) result
 (** Speedup under all four modes, in [Mode.all] order. *)
 
-val best_mode : Params.core -> Params.scenario -> Mode.t * float
+val speedups_exn : Params.core -> Params.scenario -> (Mode.t * float) list
+
+val best_mode :
+  Params.core -> Params.scenario -> (Mode.t * float, Diag.t) result
 (** The mode with the highest predicted speedup (ties resolved toward the
     cheaper hardware, i.e. the earlier entry of [Mode.all]). *)
 
-val ideal_speedup : Params.core -> Params.scenario -> float
+val best_mode_exn : Params.core -> Params.scenario -> Mode.t * float
+
+val ideal_speedup :
+  Params.core -> Params.scenario -> (float, Diag.t) result
 (** The "replace the region with accelerator time" estimate used by prior
     TCA papers: [t_baseline / (t_non_accl + t_accl)]. Upper-bounds the
     non-overlapped modes and ignores all window effects; shown in the
-    discussion benches for contrast. *)
+    discussion benches for contrast. [Ok 1.0] when [v = 0]. *)
+
+val ideal_speedup_exn : Params.core -> Params.scenario -> float

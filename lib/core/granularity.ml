@@ -21,18 +21,18 @@ let series core ~a ~accel ~gs =
       let pts =
         Array.map
           (fun g ->
-            let s = Params.scenario_of_granularity ~a ~g ~accel () in
-            (g, Equations.speedup core s mode))
+            let s = Params.scenario_of_granularity_exn ~a ~g ~accel () in
+            (g, Equations.speedup_exn core s mode))
           gs
       in
       (mode, pts))
     Mode.all
 
 let crossover_granularity core ~a ~accel mode =
-  let gs = Tca_util.Sweep.logspace 1.0 1.0e9 400 in
+  let gs = Tca_util.Sweep.logspace_exn 1.0 1.0e9 400 in
   let speedup_at g =
-    let s = Params.scenario_of_granularity ~a ~g ~accel () in
-    Equations.speedup core s mode
+    let s = Params.scenario_of_granularity_exn ~a ~g ~accel () in
+    Equations.speedup_exn core s mode
   in
   let n = Array.length gs in
   let rec find i =

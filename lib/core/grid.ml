@@ -1,23 +1,40 @@
+open Diag.Syntax
+
 type t = {
   freqs : float array;
   coverages : float array;
   cells : float array array;
+  failures : ((int * int) * Diag.t) list;
 }
 
 let compute core ~accel ~freqs ~coverages mode =
+  let* _ = Diag.non_empty ~field:"Grid.compute.freqs" freqs in
+  let* _ = Diag.non_empty ~field:"Grid.compute.coverages" coverages in
+  let failures = ref [] in
   let cells =
-    Array.map
-      (fun a ->
-        Array.map
-          (fun v ->
+    Array.mapi
+      (fun row a ->
+        Array.mapi
+          (fun col v ->
             if v <= 0.0 || a <= 0.0 || a < v then Float.nan
             else
-              let s = Params.scenario ~a ~v ~accel () in
-              Equations.speedup core s mode)
+              (* Skip-and-record: a bad point poisons one cell, never the
+                 whole sweep. *)
+              match
+                let* s = Params.scenario ~a ~v ~accel () in
+                Equations.speedup core s mode
+              with
+              | Ok sp -> sp
+              | Error d ->
+                  failures := ((row, col), d) :: !failures;
+                  Float.nan)
           freqs)
       coverages
   in
-  { freqs; coverages; cells }
+  Ok { freqs; coverages; cells; failures = List.rev !failures }
+
+let compute_exn core ~accel ~freqs ~coverages mode =
+  Diag.ok_exn (compute core ~accel ~freqs ~coverages mode)
 
 let slowdown_fraction t =
   let feasible = ref 0 and slow = ref 0 in
@@ -31,7 +48,10 @@ let slowdown_fraction t =
   if !feasible = 0 then 0.0 else float_of_int !slow /. float_of_int !feasible
 
 let accelerator_curve t ~granularity =
-  if granularity < 1.0 then invalid_arg "Grid.accelerator_curve: g below 1";
+  let* _ =
+    Diag.in_range ~field:"Grid.accelerator_curve.granularity" ~lo:1.0
+      ~hi:infinity granularity
+  in
   let nearest_col v =
     let best = ref 0 and best_d = ref infinity in
     Array.iteri
@@ -51,4 +71,7 @@ let accelerator_curve t ~granularity =
       if v >= t.freqs.(0) && v <= t.freqs.(Array.length t.freqs - 1) then
         cells := (row, nearest_col v) :: !cells)
     t.coverages;
-  List.rev !cells
+  Ok (List.rev !cells)
+
+let accelerator_curve_exn t ~granularity =
+  Diag.ok_exn (accelerator_curve t ~granularity)

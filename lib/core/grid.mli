@@ -6,10 +6,25 @@ type t = {
   coverages : float array;  (** acceleratable fractions, one per row *)
   cells : float array array;
       (** [cells.(row).(col)] = predicted speedup; [nan] where the
-          combination is infeasible (granularity [a/v < 1]) *)
+          combination is infeasible (granularity [a/v < 1]) or where the
+          point failed (see [failures]) *)
+  failures : ((int * int) * Diag.t) list;
+      (** skip-and-record: points whose evaluation produced a diagnostic
+          rather than a number, as [((row, col), diag)]. The sweep never
+          aborts on a bad point. *)
 }
 
 val compute :
+  Params.core ->
+  accel:Params.accel_time ->
+  freqs:float array ->
+  coverages:float array ->
+  Mode.t ->
+  (t, Diag.t) result
+(** [Error (Empty_input _)] on an empty axis; per-point failures are
+    recorded in [failures], never raised. *)
+
+val compute_exn :
   Params.core ->
   accel:Params.accel_time ->
   freqs:float array ->
@@ -22,8 +37,10 @@ val slowdown_fraction : t -> float
     dangerous a mode is for the swept region. *)
 
 val accelerator_curve :
-  t -> granularity:float -> (int * int) list
+  t -> granularity:float -> ((int * int) list, Diag.t) result
 (** Cells (row, col) closest to the fixed-granularity locus [a = g * v]:
     where a fixed-function accelerator of granularity [g] falls for each
     achievable coverage, as drawn for the heap manager and GreenDroid in
-    Fig. 7. *)
+    Fig. 7. [Error (Domain _)] when [granularity < 1]. *)
+
+val accelerator_curve_exn : t -> granularity:float -> (int * int) list

@@ -29,7 +29,7 @@ let designs ?(cost = default) core scenario =
       {
         mode;
         cost = mode_cost cost mode;
-        speedup = Equations.speedup core scenario mode;
+        speedup = Equations.speedup_exn core scenario mode;
       })
     Mode.all
 

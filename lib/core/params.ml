@@ -1,3 +1,5 @@
+open Diag.Syntax
+
 type core = {
   ipc : float;
   rob_size : int;
@@ -17,35 +19,68 @@ type scenario = {
 
 let core ?(commit_stall = 5.0) ?(drain_beta = 2.0) ~ipc ~rob_size ~issue_width
     () =
-  if ipc <= 0.0 then invalid_arg "Params.core: ipc must be positive";
-  if rob_size <= 0 then invalid_arg "Params.core: rob_size must be positive";
-  if issue_width <= 0 then invalid_arg "Params.core: issue_width must be positive";
-  if commit_stall < 0.0 then invalid_arg "Params.core: commit_stall must be non-negative";
-  if drain_beta <= 0.0 then invalid_arg "Params.core: drain_beta must be positive";
-  { ipc; rob_size; issue_width; commit_stall; drain_beta }
+  let* ipc = Diag.positive ~field:"Params.core.ipc" ipc in
+  let* rob_size = Diag.positive_int ~field:"Params.core.rob_size" rob_size in
+  let* issue_width =
+    Diag.positive_int ~field:"Params.core.issue_width" issue_width
+  in
+  let* commit_stall =
+    Diag.non_negative ~field:"Params.core.commit_stall" commit_stall
+  in
+  let* drain_beta = Diag.positive ~field:"Params.core.drain_beta" drain_beta in
+  Ok { ipc; rob_size; issue_width; commit_stall; drain_beta }
+
+let core_exn ?commit_stall ?drain_beta ~ipc ~rob_size ~issue_width () =
+  Diag.ok_exn (core ?commit_stall ?drain_beta ~ipc ~rob_size ~issue_width ())
 
 let validate_accel = function
-  | Factor f when f <= 0.0 ->
-      invalid_arg "Params.scenario: acceleration factor must be positive"
-  | Latency l when l < 0.0 ->
-      invalid_arg "Params.scenario: accelerator latency must be non-negative"
-  | Factor _ | Latency _ -> ()
+  | Factor f ->
+      let+ f = Diag.positive ~field:"Params.scenario.accel factor" f in
+      Factor f
+  | Latency l ->
+      let+ l = Diag.non_negative ~field:"Params.scenario.accel latency" l in
+      Latency l
+
+let validate_drain = function
+  | Tca_interval.Drain.Fixed t ->
+      let+ t = Diag.non_negative ~field:"Params.scenario.drain" t in
+      Tca_interval.Drain.Fixed t
+  | (Tca_interval.Drain.Auto | Tca_interval.Drain.Refill_aware) as d -> Ok d
 
 let scenario ?(drain = Tca_interval.Drain.Auto) ~a ~v ~accel () =
-  if a < 0.0 || a > 1.0 then invalid_arg "Params.scenario: a must be in [0, 1]";
-  if v < 0.0 then invalid_arg "Params.scenario: v must be non-negative";
-  if v > 0.0 && a < v then
-    invalid_arg "Params.scenario: granularity a/v below one instruction";
-  validate_accel accel;
-  { a; v; accel; drain }
+  let* a = Diag.in_range ~field:"Params.scenario.a" ~lo:0.0 ~hi:1.0 a in
+  let* v = Diag.non_negative ~field:"Params.scenario.v" v in
+  let* () =
+    if v > 0.0 && a < v then
+      Error
+        (Diag.Domain
+           { field = "Params.scenario granularity a/v"; lo = 1.0;
+             hi = infinity; actual = a /. v })
+    else Ok ()
+  in
+  let* accel = validate_accel accel in
+  let* drain = validate_drain drain in
+  Ok { a; v; accel; drain }
+
+let scenario_exn ?drain ~a ~v ~accel () =
+  Diag.ok_exn (scenario ?drain ~a ~v ~accel ())
 
 let granularity s =
-  if s.v = 0.0 then invalid_arg "Params.granularity: v = 0";
-  s.a /. s.v
+  if s.v = 0.0 then
+    Error (Diag.Invalid { field = "Params.granularity"; message = "v = 0" })
+  else Ok (s.a /. s.v)
+
+let granularity_exn s = Diag.ok_exn (granularity s)
 
 let scenario_of_granularity ?drain ~a ~g ~accel () =
-  if g < 1.0 then invalid_arg "Params.scenario_of_granularity: g below 1";
+  let* g =
+    Diag.in_range ~field:"Params.scenario_of_granularity.g" ~lo:1.0
+      ~hi:infinity g
+  in
   scenario ?drain ~a ~v:(a /. g) ~accel ()
+
+let scenario_of_granularity_exn ?drain ~a ~g ~accel () =
+  Diag.ok_exn (scenario_of_granularity ?drain ~a ~g ~accel ())
 
 let pp_core fmt c =
   Format.fprintf fmt

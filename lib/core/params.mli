@@ -1,7 +1,12 @@
 (** Input parameters of the analytical model (paper Table I).
 
     Core parameters describe the processor; scenario parameters describe
-    the workload/accelerator pair under study. *)
+    the workload/accelerator pair under study.
+
+    Smart constructors return [('a, Diag.t) result] and reject NaN and
+    infinities on every float field, so no non-finite value can enter the
+    model. The [*_exn] forms raise {!Diag.Error} and are for callers
+    whose inputs are correct by construction (presets, tests). *)
 
 type core = {
   ipc : float;  (** average program IPC before acceleration *)
@@ -29,25 +34,43 @@ type scenario = {
 }
 
 val core : ?commit_stall:float -> ?drain_beta:float ->
+  ipc:float -> rob_size:int -> issue_width:int -> unit ->
+  (core, Diag.t) result
+(** Smart constructor; [Error (Domain _)] on out-of-range parameters,
+    [Error (Non_finite _)] on NaN/infinite floats. [commit_stall]
+    defaults to 5 cycles, [drain_beta] to 2. *)
+
+val core_exn : ?commit_stall:float -> ?drain_beta:float ->
   ipc:float -> rob_size:int -> issue_width:int -> unit -> core
-(** Smart constructor; validates and raises [Invalid_argument] on
-    non-positive parameters. [commit_stall] defaults to 5 cycles,
-    [drain_beta] to 2. *)
+(** Raises {!Diag.Error}. *)
 
 val scenario : ?drain:Tca_interval.Drain.spec ->
-  a:float -> v:float -> accel:accel_time -> unit -> scenario
+  a:float -> v:float -> accel:accel_time -> unit ->
+  (scenario, Diag.t) result
 (** Validates [0 <= a <= 1], [v >= 0], [a >= v] when [v > 0] (an
     invocation covers at least one instruction), positive accel factor /
-    non-negative latency. *)
+    non-negative latency, finite non-negative fixed drain. *)
 
-val granularity : scenario -> float
-(** [a / v]: average acceleratable instructions per invocation. Raises
-    [Invalid_argument] when [v = 0]. *)
+val scenario_exn : ?drain:Tca_interval.Drain.spec ->
+  a:float -> v:float -> accel:accel_time -> unit -> scenario
+(** Raises {!Diag.Error}. *)
+
+val granularity : scenario -> (float, Diag.t) result
+(** [a / v]: average acceleratable instructions per invocation.
+    [Error (Invalid _)] when [v = 0]. *)
+
+val granularity_exn : scenario -> float
 
 val scenario_of_granularity :
   ?drain:Tca_interval.Drain.spec ->
+  a:float -> g:float -> accel:accel_time -> unit ->
+  (scenario, Diag.t) result
+(** Convenience used by the granularity sweeps: [v = a / g]. Requires a
+    finite [g >= 1]. *)
+
+val scenario_of_granularity_exn :
+  ?drain:Tca_interval.Drain.spec ->
   a:float -> g:float -> accel:accel_time -> unit -> scenario
-(** Convenience used by the granularity sweeps: [v = a / g]. *)
 
 val pp_core : Format.formatter -> core -> unit
 val pp_scenario : Format.formatter -> scenario -> unit

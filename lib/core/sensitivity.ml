@@ -1,3 +1,5 @@
+open Diag.Syntax
+
 type parameter =
   | Ipc
   | Rob_size
@@ -32,39 +34,55 @@ let clamp lo hi x = Float.max lo (Float.min hi x)
 let perturb (core : Params.core) (s : Params.scenario) param factor =
   match param with
   | Ipc ->
-      ( Params.core ~ipc:(core.Params.ipc *. factor)
+      let+ c =
+        Params.core ~ipc:(core.Params.ipc *. factor)
           ~rob_size:core.Params.rob_size ~issue_width:core.Params.issue_width
           ~commit_stall:core.Params.commit_stall
-          ~drain_beta:core.Params.drain_beta (),
-        s )
+          ~drain_beta:core.Params.drain_beta ()
+      in
+      (c, s)
   | Rob_size ->
-      ( Params.core ~ipc:core.Params.ipc
+      let+ c =
+        Params.core ~ipc:core.Params.ipc
           ~rob_size:
             (max 1 (int_of_float (float_of_int core.Params.rob_size *. factor)))
           ~issue_width:core.Params.issue_width
           ~commit_stall:core.Params.commit_stall
-          ~drain_beta:core.Params.drain_beta (),
-        s )
+          ~drain_beta:core.Params.drain_beta ()
+      in
+      (c, s)
   | Issue_width ->
-      ( Params.core ~ipc:core.Params.ipc ~rob_size:core.Params.rob_size
+      let+ c =
+        Params.core ~ipc:core.Params.ipc ~rob_size:core.Params.rob_size
           ~issue_width:
             (max 1
                (int_of_float (float_of_int core.Params.issue_width *. factor)))
           ~commit_stall:core.Params.commit_stall
-          ~drain_beta:core.Params.drain_beta (),
-        s )
+          ~drain_beta:core.Params.drain_beta ()
+      in
+      (c, s)
   | Commit_stall ->
-      ( Params.core ~ipc:core.Params.ipc ~rob_size:core.Params.rob_size
+      let+ c =
+        Params.core ~ipc:core.Params.ipc ~rob_size:core.Params.rob_size
           ~issue_width:core.Params.issue_width
           ~commit_stall:(core.Params.commit_stall *. factor)
-          ~drain_beta:core.Params.drain_beta (),
-        s )
+          ~drain_beta:core.Params.drain_beta ()
+      in
+      (c, s)
   | Coverage ->
       let a = clamp s.Params.v 1.0 (s.Params.a *. factor) in
-      (core, Params.scenario ~drain:s.Params.drain ~a ~v:s.Params.v ~accel:s.Params.accel ())
+      let+ s' =
+        Params.scenario ~drain:s.Params.drain ~a ~v:s.Params.v
+          ~accel:s.Params.accel ()
+      in
+      (core, s')
   | Frequency ->
       let v = clamp 0.0 s.Params.a (s.Params.v *. factor) in
-      (core, Params.scenario ~drain:s.Params.drain ~a:s.Params.a ~v ~accel:s.Params.accel ())
+      let+ s' =
+        Params.scenario ~drain:s.Params.drain ~a:s.Params.a ~v
+          ~accel:s.Params.accel ()
+      in
+      (core, s')
   | Acceleration ->
       let accel =
         match s.Params.accel with
@@ -73,31 +91,71 @@ let perturb (core : Params.core) (s : Params.scenario) param factor =
             (* Scaling "acceleration" up means a shorter latency. *)
             Params.Latency (l /. factor)
       in
-      (core, Params.scenario ~drain:s.Params.drain ~a:s.Params.a ~v:s.Params.v ~accel ())
+      let+ s' =
+        Params.scenario ~drain:s.Params.drain ~a:s.Params.a ~v:s.Params.v
+          ~accel ()
+      in
+      (core, s')
+
+let perturb_exn core s param factor = Diag.ok_exn (perturb core s param factor)
 
 let swings ?(delta = 0.2) core s mode =
-  if delta <= 0.0 || delta >= 1.0 then
-    invalid_arg "Sensitivity.swings: delta out of (0, 1)";
-  all_parameters
-  |> List.map (fun param ->
-         let core_lo, s_lo = perturb core s param (1.0 -. delta) in
-         let core_hi, s_hi = perturb core s param (1.0 +. delta) in
-         let low = Equations.speedup core_lo s_lo mode in
-         let high = Equations.speedup core_hi s_hi mode in
-         { parameter = param; mode; low; high; magnitude = Float.abs (high -. low) })
-  |> List.sort (fun a b -> compare b.magnitude a.magnitude)
+  let* () =
+    if
+      (not (Float.is_finite delta)) || delta <= 0.0 || delta >= 1.0
+    then
+      Error
+        (Diag.Domain
+           { field = "Sensitivity.swings.delta"; lo = 0.0; hi = 1.0;
+             actual = delta })
+    else Ok ()
+  in
+  let* unsorted =
+    List.fold_right
+      (fun param acc ->
+        let* acc = acc in
+        let* core_lo, s_lo = perturb core s param (1.0 -. delta) in
+        let* core_hi, s_hi = perturb core s param (1.0 +. delta) in
+        let* low = Equations.speedup core_lo s_lo mode in
+        let* high = Equations.speedup core_hi s_hi mode in
+        Ok
+          ({ parameter = param; mode; low; high;
+             magnitude = Float.abs (high -. low) }
+          :: acc))
+      all_parameters (Ok [])
+  in
+  Ok (List.sort (fun a b -> compare b.magnitude a.magnitude) unsorted)
+
+let swings_exn ?delta core s mode = Diag.ok_exn (swings ?delta core s mode)
 
 let decision_stable ?(delta = 0.2) core s =
-  let best c sc = fst (Equations.best_mode c sc) in
-  let nominal = best core s in
-  List.for_all
-    (fun param ->
-      List.for_all
-        (fun factor ->
-          let c, sc = perturb core s param factor in
-          Mode.equal (best c sc) nominal)
+  let* () =
+    if
+      (not (Float.is_finite delta)) || delta <= 0.0 || delta >= 1.0
+    then
+      Error
+        (Diag.Domain
+           { field = "Sensitivity.decision_stable.delta"; lo = 0.0; hi = 1.0;
+             actual = delta })
+    else Ok ()
+  in
+  let* nominal, _ = Equations.best_mode core s in
+  List.fold_left
+    (fun acc param ->
+      let* acc = acc in
+      List.fold_left
+        (fun acc factor ->
+          let* acc = acc in
+          if not acc then Ok false
+          else
+            let* c, sc = perturb core s param factor in
+            let* best, _ = Equations.best_mode c sc in
+            Ok (Mode.equal best nominal))
+        (Ok acc)
         [ 1.0 -. delta; 1.0 +. delta ])
-    all_parameters
+    (Ok true) all_parameters
+
+let decision_stable_exn ?delta core s = Diag.ok_exn (decision_stable ?delta core s)
 
 let headers = [ "parameter"; "mode"; "-delta"; "+delta"; "swing" ]
 

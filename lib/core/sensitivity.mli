@@ -29,19 +29,33 @@ type swing = {
 
 val perturb :
   Params.core -> Params.scenario -> parameter -> float ->
-  Params.core * Params.scenario
+  (Params.core * Params.scenario, Diag.t) result
 (** Scale one parameter by the given factor, clamping to validity
     (coverage to [\[0, 1\]], integer parameters to at least 1, coverage
-    >= v). *)
+    >= v). [Error] when the scaled parameter leaves the valid domain
+    entirely (e.g. a non-finite factor). *)
+
+val perturb_exn :
+  Params.core -> Params.scenario -> parameter -> float ->
+  Params.core * Params.scenario
 
 val swings :
-  ?delta:float -> Params.core -> Params.scenario -> Mode.t -> swing list
+  ?delta:float -> Params.core -> Params.scenario -> Mode.t ->
+  (swing list, Diag.t) result
 (** One swing per parameter for the mode, sorted by decreasing magnitude
-    (the tornado ordering). [delta] defaults to 0.2 (±20%). *)
+    (the tornado ordering). [delta] defaults to 0.2 (±20%) and must lie
+    strictly inside (0, 1). *)
 
-val decision_stable : ?delta:float -> Params.core -> Params.scenario -> bool
+val swings_exn :
+  ?delta:float -> Params.core -> Params.scenario -> Mode.t -> swing list
+
+val decision_stable :
+  ?delta:float -> Params.core -> Params.scenario -> (bool, Diag.t) result
 (** Does the best mode stay the best under every single-parameter ±delta
     perturbation? *)
+
+val decision_stable_exn :
+  ?delta:float -> Params.core -> Params.scenario -> bool
 
 val rows : swing list -> string list list
 val headers : string list

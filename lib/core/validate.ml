@@ -1,3 +1,5 @@
+open Diag.Syntax
+
 type point = {
   id : string;
   mode : Mode.t;
@@ -15,17 +17,28 @@ type summary = {
 let error p =
   Tca_util.Stats.relative_error ~measured:p.measured ~estimated:p.estimated
 
+let error_exn p = Diag.ok_exn (error p)
+
 let summarize points =
-  if points = [] then invalid_arg "Validate.summarize: empty";
-  let errs =
-    Array.of_list (List.map (fun p -> 100.0 *. Float.abs (error p)) points)
+  let* _ =
+    Diag.non_empty ~field:"Validate.summarize"
+      (Array.of_list points)
   in
-  {
-    n = Array.length errs;
-    mean_abs_pct = Tca_util.Stats.mean errs;
-    median_abs_pct = Tca_util.Stats.median errs;
-    max_abs_pct = Tca_util.Stats.max errs;
-  }
+  let* errs =
+    List.fold_right
+      (fun p acc ->
+        let* acc = acc in
+        let+ e = error p in
+        (100.0 *. Float.abs e) :: acc)
+      points (Ok [])
+  in
+  let errs = Array.of_list errs in
+  let* mean_abs_pct = Tca_util.Stats.mean errs in
+  let* median_abs_pct = Tca_util.Stats.median errs in
+  let+ max_abs_pct = Tca_util.Stats.max errs in
+  { n = Array.length errs; mean_abs_pct; median_abs_pct; max_abs_pct }
+
+let summarize_exn points = Diag.ok_exn (summarize points)
 
 let headers = [ "workload"; "mode"; "measured"; "estimated"; "error" ]
 
@@ -37,7 +50,9 @@ let rows points =
         Mode.to_string p.mode;
         Tca_util.Table.float_cell p.measured;
         Tca_util.Table.float_cell p.estimated;
-        Tca_util.Table.pct_cell (error p);
+        (match error p with
+        | Ok e -> Tca_util.Table.pct_cell e
+        | Result.Error _ -> "n/a");
       ])
     points
 

@@ -15,11 +15,17 @@ type summary = {
   max_abs_pct : float;
 }
 
-val error : point -> float
-(** Signed relative error [(estimated - measured) / measured]. *)
+val error : point -> (float, Diag.t) result
+(** Signed relative error [(estimated - measured) / measured].
+    [Error (Invalid _)] when [measured = 0]. *)
 
-val summarize : point list -> summary
-(** Raises [Invalid_argument] on an empty list. *)
+val error_exn : point -> float
+
+val summarize : point list -> (summary, Diag.t) result
+(** [Error (Empty_input _)] on an empty list; also propagates any
+    per-point [error] failure (e.g. a zero measurement). *)
+
+val summarize_exn : point list -> summary
 
 val rows : point list -> string list list
 (** Table rows: id, mode, measured, estimated, error% — ready for

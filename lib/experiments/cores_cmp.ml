@@ -17,7 +17,7 @@ let run ?(quick = false) () =
   List.map
     (fun (core_name, cfg) ->
       let cmp =
-        Simulator.compare_modes ~cfg ~baseline:pair.Meta.baseline
+        Simulator.compare_modes_exn ~cfg ~baseline:pair.Meta.baseline
           ~accelerated:pair.Meta.accelerated
       in
       let mode_speedups =

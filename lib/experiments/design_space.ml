@@ -12,21 +12,21 @@ let scenarios =
       name = "heap manager (HP core)";
       core = Presets.hp_core;
       scenario =
-        Params.scenario ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0)
+        Params.scenario_exn ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0)
           ();
     };
     {
       name = "GreenDroid function (LP core)";
       core = Presets.lp_core;
       scenario =
-        Params.scenario_of_granularity ~a:0.5 ~g:400.0
+        Params.scenario_of_granularity_exn ~a:0.5 ~g:400.0
           ~accel:(Params.Factor Tca_workloads.Greendroid.accel_factor) ();
     };
     {
       name = "DGEMM 4x4 tile (HP core)";
       core = Presets.hp_core;
       scenario =
-        Params.scenario ~a:0.95 ~v:(1.0 /. 300.0) ~accel:(Params.Latency 14.0)
+        Params.scenario_exn ~a:0.95 ~v:(1.0 /. 300.0) ~accel:(Params.Latency 14.0)
           ();
     };
   ]
@@ -79,13 +79,13 @@ let print_energy row =
     (Energy.energy_break_even_speedup (Energy.make ()) row.core row.scenario)
 
 let print_sensitivity row =
-  let best, _ = Equations.best_mode row.core row.scenario in
+  let best, _ = Equations.best_mode_exn row.core row.scenario in
   Printf.printf "\n-- %s: sensitivity tornado (mode %s, +/-20%%) --\n" row.name
     (Mode.to_string best);
   Tca_util.Table.print ~headers:Sensitivity.headers
-    (Sensitivity.rows (Sensitivity.swings row.core row.scenario best));
+    (Sensitivity.rows (Sensitivity.swings_exn row.core row.scenario best));
   Printf.printf "best-mode decision stable under +/-20%%: %b\n"
-    (Sensitivity.decision_stable row.core row.scenario)
+    (Sensitivity.decision_stable_exn row.core row.scenario)
 
 let print () =
   print_endline

@@ -9,7 +9,7 @@ let validation_core () = Config.hp ()
 let commit_handoff = 2
 
 let model_core_of (cfg : Config.t) ~ipc =
-  Tca_model.Params.core ~ipc ~rob_size:cfg.Config.rob_size
+  Tca_model.Params.core_exn ~ipc ~rob_size:cfg.Config.rob_size
     ~issue_width:cfg.Config.dispatch_width
     ~commit_stall:(float_of_int (cfg.Config.commit_depth + commit_handoff))
     ()
@@ -28,7 +28,7 @@ let mode_of_coupling (c : Config.coupling) =
   | true, true -> Tca_model.Mode.L_T
 
 let scenario_of_meta ?drain (meta : Meta.t) ~latency =
-  Tca_model.Params.scenario ?drain ~a:meta.Meta.a ~v:meta.Meta.v
+  Tca_model.Params.scenario_exn ?drain ~a:meta.Meta.a ~v:meta.Meta.v
     ~accel:(Tca_model.Params.Latency latency) ()
 
 let meta_latency (meta : Meta.t) ~(cfg : Config.t) =
@@ -60,7 +60,7 @@ let refill_error_pct r =
 
 let validate_pair ~cfg ~(pair : Meta.pair) ~latency =
   let cmp =
-    Simulator.compare_modes ~cfg ~baseline:pair.Meta.baseline
+    Simulator.compare_modes_exn ~cfg ~baseline:pair.Meta.baseline
       ~accelerated:pair.Meta.accelerated
   in
   let ipc = cmp.Simulator.baseline.Sim_stats.ipc in
@@ -80,9 +80,9 @@ let validate_pair ~cfg ~(pair : Meta.pair) ~latency =
         base_ipc = ipc;
         mode;
         sim_speedup = r.Simulator.speedup;
-        model_speedup = Tca_model.Equations.speedup core scenario mode;
+        model_speedup = Tca_model.Equations.speedup_exn core scenario mode;
         model_refill_speedup =
-          Tca_model.Equations.speedup core scenario_refill mode;
+          Tca_model.Equations.speedup_exn core scenario_refill mode;
       })
     cmp.Simulator.modes
 
@@ -133,14 +133,18 @@ let refill_points_of_rows rows =
 
 let print_validation_summary rows =
   let report label points =
-    let s = Tca_model.Validate.summarize points in
-    Printf.printf
-      "%-22s error |%%|: mean %.1f%%  median %.1f%%  max %.1f%%  (n = %d); \
-       mode ranking preserved: %b\n"
-      label s.Tca_model.Validate.mean_abs_pct
-      s.Tca_model.Validate.median_abs_pct s.Tca_model.Validate.max_abs_pct
-      s.Tca_model.Validate.n
-      (Tca_model.Validate.trends_preserved ~tolerance:0.05 points)
+    match Tca_model.Validate.summarize points with
+    | Error d ->
+        Printf.printf "%-22s summary unavailable: %s\n" label
+          (Tca_model.Diag.to_string d)
+    | Ok s ->
+        Printf.printf
+          "%-22s error |%%|: mean %.1f%%  median %.1f%%  max %.1f%%  (n = %d); \
+           mode ranking preserved: %b\n"
+          label s.Tca_model.Validate.mean_abs_pct
+          s.Tca_model.Validate.median_abs_pct s.Tca_model.Validate.max_abs_pct
+          s.Tca_model.Validate.n
+          (Tca_model.Validate.trends_preserved ~tolerance:0.05 points)
   in
   report "model (paper drain)" (points_of_rows rows);
   report "model (refill drain)" (refill_points_of_rows rows)

@@ -6,7 +6,7 @@ let coverage = 0.3
 let accel = Params.Factor 3.0
 
 let run ?(points = 33) () =
-  let gs = Tca_util.Sweep.logspace 10.0 1.0e9 points in
+  let gs = Tca_util.Sweep.logspace_exn 10.0 1.0e9 points in
   let series = Granularity.series Presets.arm_a72 ~a:coverage ~accel ~gs in
   Array.to_list
     (Array.mapi

@@ -49,7 +49,7 @@ let run ?(leading = 150) ?(trailing = 150) ?(accel_latency = 40) () =
               buf := issued :: !buf);
         }
       in
-      let stats = Pipeline.run ~probe cfg trace in
+      let stats = Pipeline.run_exn ~probe cfg trace in
       {
         mode = Exp_common.mode_of_coupling coupling;
         cycles = stats.Sim_stats.cycles;

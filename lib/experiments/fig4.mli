@@ -9,6 +9,6 @@ val chunk_counts : quick:bool -> int list
 val run : ?quick:bool -> unit -> Exp_common.validation_row list
 (** [quick] (default false) shrinks the trace for test use. *)
 
-val summary : Exp_common.validation_row list -> Tca_model.Validate.summary
+val summary : Exp_common.validation_row list -> (Tca_model.Validate.summary, Tca_model.Diag.t) result
 val trends_hold : Exp_common.validation_row list -> bool
 val print : Exp_common.validation_row list -> unit

@@ -7,6 +7,6 @@ val gaps : quick:bool -> int list
     invocation frequency. *)
 
 val run : ?quick:bool -> unit -> Exp_common.validation_row list
-val summary : Exp_common.validation_row list -> Tca_model.Validate.summary
+val summary : Exp_common.validation_row list -> (Tca_model.Validate.summary, Tca_model.Diag.t) result
 val trends_hold : Exp_common.validation_row list -> bool
 val print : Exp_common.validation_row list -> unit

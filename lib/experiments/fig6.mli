@@ -9,6 +9,6 @@ val run : ?n:int -> unit -> Exp_common.validation_row list
     practical ceiling for a materialised trace). One workload row group
     per accelerator dimension. *)
 
-val summary : Exp_common.validation_row list -> Tca_model.Validate.summary
+val summary : Exp_common.validation_row list -> (Tca_model.Validate.summary, Tca_model.Diag.t) result
 val trends_hold : Exp_common.validation_row list -> bool
 val print : Exp_common.validation_row list -> unit

@@ -10,13 +10,13 @@ type map = {
 let accel = Params.Factor Tca_workloads.Greendroid.accel_factor
 
 let run ?(cols = 48) ?(rows = 17) () =
-  let freqs = Tca_util.Sweep.logspace 1.0e-6 0.1 cols in
-  let coverages = Tca_util.Sweep.linspace 0.05 0.95 rows in
+  let freqs = Tca_util.Sweep.logspace_exn 1.0e-6 0.1 cols in
+  let coverages = Tca_util.Sweep.linspace_exn 0.05 0.95 rows in
   List.concat_map
     (fun (core_name, core) ->
       List.map
         (fun mode ->
-          let grid = Grid.compute core ~accel ~freqs ~coverages mode in
+          let grid = Grid.compute_exn core ~accel ~freqs ~coverages mode in
           {
             core_name;
             mode;
@@ -40,14 +40,14 @@ let heatmap_of m =
   let col_labels =
     Array.map (fun v -> Printf.sprintf "v=%.0e" v) g.Grid.freqs
   in
-  let hm = Tca_util.Heatmap.make ~values ~row_labels ~col_labels in
+  let hm = Tca_util.Heatmap.make_exn ~values ~row_labels ~col_labels in
   let flip cells = List.map (fun (r, c) -> (nrows - 1 - r, c)) cells in
   let heap_curve =
-    Grid.accelerator_curve g
+    Grid.accelerator_curve_exn g
       ~granularity:Tca_workloads.Greendroid.heap_manager_granularity
   in
   let gd_curve =
-    Grid.accelerator_curve g
+    Grid.accelerator_curve_exn g
       ~granularity:(Tca_workloads.Greendroid.mean_granularity ())
   in
   let hm = Tca_util.Heatmap.overlay hm (flip heap_curve) 'H' in

@@ -11,18 +11,18 @@ let accel_factor = 2.0
 let accel = Params.Factor accel_factor
 
 let run ?(points = 97) ?(core = Presets.hp_core) () =
-  let coverages = Tca_util.Sweep.linspace 0.0 0.99 points in
+  let coverages = Tca_util.Sweep.linspace_exn 0.0 0.99 points in
   List.map
     (fun mode ->
       let pts =
-        Concurrency.coverage_series core ~g:granularity ~accel ~coverages mode
+        Concurrency.coverage_series_exn core ~g:granularity ~accel ~coverages mode
       in
-      { mode; points = pts; peak = Concurrency.peak pts })
+      { mode; points = pts; peak = Concurrency.peak_exn pts })
     Mode.all
 
 let ideal_peak =
-  ( Concurrency.ideal_peak_coverage ~accel_factor,
-    Concurrency.ideal_peak_speedup ~accel_factor )
+  ( Concurrency.ideal_peak_coverage_exn ~accel_factor,
+    Concurrency.ideal_peak_speedup_exn ~accel_factor )
 
 let nl_t_local_maxima series =
   match List.find_opt (fun s -> Mode.equal s.mode Mode.NL_T) series with

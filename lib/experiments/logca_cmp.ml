@@ -23,7 +23,7 @@ let logca_params =
     ~acceleration:accel_factor ()
 
 let run ?(points = 17) () =
-  let gs = Tca_util.Sweep.logspace 10.0 1.0e9 points in
+  let gs = Tca_util.Sweep.logspace_exn 10.0 1.0e9 points in
   let series =
     Granularity.series core ~a:coverage ~accel:(Params.Factor accel_factor) ~gs
   in

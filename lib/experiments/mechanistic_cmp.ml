@@ -24,7 +24,7 @@ let chain_ipc_of app =
   let b = Trace.Builder.create () in
   Codegen.emit_block gen b 100_000;
   let cfg = { (Config.hp ()) with Config.bpred = Bpred.Perfect } in
-  (Pipeline.run cfg (Trace.Builder.build b)).Sim_stats.ipc
+  (Pipeline.run_exn cfg (Trace.Builder.build b)).Sim_stats.ipc
 
 let cases =
   [
@@ -57,7 +57,7 @@ let run () =
       let b = Trace.Builder.create () in
       Codegen.emit_block gen b 120_000;
       let trace = Trace.Builder.build b in
-      let stats = Pipeline.run cfg trace in
+      let stats = Pipeline.run_exn cfg trace in
       (* Event rates the architect would know: instruction mix from the
          code, predictor accuracy from hardware counters, steady-state
          miss rates from working-set sizes (uniform random accesses:

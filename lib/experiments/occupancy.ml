@@ -15,7 +15,7 @@ let occupancy_name = function
 let run ?(n = 32) () =
   let pair = Dgemm_workload.pair (Dgemm_workload.config ~n ()) ~dim:4 in
   let base_cfg = Exp_common.validation_core () in
-  let baseline = Pipeline.run base_cfg pair.Meta.baseline in
+  let baseline = Pipeline.run_exn base_cfg pair.Meta.baseline in
   List.concat_map
     (fun occupancy ->
       List.map
@@ -26,7 +26,7 @@ let run ?(n = 32) () =
               Config.tca_occupancy = occupancy;
             }
           in
-          let stats = Pipeline.run cfg pair.Meta.accelerated in
+          let stats = Pipeline.run_exn cfg pair.Meta.accelerated in
           {
             occupancy = occupancy_name occupancy;
             mode = Exp_common.mode_of_coupling coupling;

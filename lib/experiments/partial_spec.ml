@@ -9,10 +9,10 @@ type row = {
 let core = Presets.hp_core
 
 let scenario =
-  Params.scenario ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
+  Params.scenario_exn ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
 
 let run ?(points = 11) () =
-  let ps = Tca_util.Sweep.linspace 0.0 1.0 points in
+  let ps = Tca_util.Sweep.linspace_exn 0.0 1.0 points in
   Array.to_list
     (Array.map
        (fun p ->
@@ -25,7 +25,7 @@ let run ?(points = 11) () =
        ps)
 
 let confidence_for_95pct () =
-  let full = Equations.speedup core scenario Mode.L_T in
+  let full = Equations.speedup_exn core scenario Mode.L_T in
   Partial.required_confidence core scenario ~trailing:true
     ~target_speedup:(0.95 *. full)
 
@@ -46,7 +46,7 @@ let validate ?(quick = false) () =
   let cfg =
     Config.with_coupling (Exp_common.validation_core ()) Config.coupling_l_t
   in
-  let baseline = Pipeline.run cfg pair.Tca_workloads.Meta.baseline in
+  let baseline = Pipeline.run_exn cfg pair.Tca_workloads.Meta.baseline in
   let ipc = baseline.Sim_stats.ipc in
   let model_core = Exp_common.model_core_of cfg ~ipc in
   let s =
@@ -55,7 +55,7 @@ let validate ?(quick = false) () =
   List.map
     (fun p ->
       let run_cfg = { cfg with Config.tca_speculate_fraction = Some p } in
-      let stats = Pipeline.run run_cfg pair.Tca_workloads.Meta.accelerated in
+      let stats = Pipeline.run_exn run_cfg pair.Tca_workloads.Meta.accelerated in
       {
         p;
         sim_speedup = Sim_stats.speedup ~baseline ~accelerated:stats;

@@ -132,30 +132,39 @@ let a72 ?(coupling = coupling_l_t) () =
 let with_coupling t coupling = { t with coupling }
 
 let validate t =
-  let checks =
-    [
-      (t.dispatch_width >= 1, "dispatch_width below 1");
-      (t.issue_width >= 1, "issue_width below 1");
-      (t.commit_width >= 1, "commit_width below 1");
-      (t.rob_size >= 2, "rob_size below 2");
-      (t.iq_size >= 1, "iq_size below 1");
-      (t.lsq_size >= 1, "lsq_size below 1");
-      (t.int_alu_units >= 1, "need at least one int ALU");
-      (t.int_mult_units >= 1, "need at least one multiplier");
-      (t.fp_units >= 1, "need at least one FP unit");
-      (t.mem_ports >= 1, "need at least one memory port");
-      (t.frontend_depth >= 1, "frontend_depth below 1");
-      (t.commit_depth >= 0, "negative commit_depth");
-      (t.latencies.int_alu >= 1, "int_alu latency below 1");
-      (t.latencies.int_mult >= 1, "int_mult latency below 1");
-      (t.latencies.fp_alu >= 1, "fp_alu latency below 1");
-      (t.latencies.fp_mult >= 1, "fp_mult latency below 1");
-      ( (match t.tca_speculate_fraction with
-        | None -> true
-        | Some p -> p >= 0.0 && p <= 1.0),
-        "tca_speculate_fraction out of [0, 1]" );
-    ]
+  let open Tca_util.Diag.Syntax in
+  let bound name v min =
+    let+ _ = Tca_util.Diag.at_least ~field:("Config." ^ name) ~min v in
+    ()
   in
-  match List.find_opt (fun (ok, _) -> not ok) checks with
-  | Some (_, msg) -> Error msg
+  let* () = bound "dispatch_width" t.dispatch_width 1 in
+  let* () = bound "issue_width" t.issue_width 1 in
+  let* () = bound "commit_width" t.commit_width 1 in
+  let* () = bound "rob_size" t.rob_size 2 in
+  let* () = bound "iq_size" t.iq_size 1 in
+  let* () = bound "lsq_size" t.lsq_size 1 in
+  let* () = bound "int_alu_units" t.int_alu_units 1 in
+  let* () = bound "int_mult_units" t.int_mult_units 1 in
+  let* () = bound "fp_units" t.fp_units 1 in
+  let* () = bound "mem_ports" t.mem_ports 1 in
+  let* () = bound "frontend_depth" t.frontend_depth 1 in
+  let* () = bound "commit_depth" t.commit_depth 0 in
+  let* () = bound "latencies.int_alu" t.latencies.int_alu 1 in
+  let* () = bound "latencies.int_mult" t.latencies.int_mult 1 in
+  let* () = bound "latencies.fp_alu" t.latencies.fp_alu 1 in
+  let* () = bound "latencies.fp_mult" t.latencies.fp_mult 1 in
+  let* () =
+    match t.tca_speculate_fraction with
+    | None -> Ok ()
+    | Some p ->
+        let+ _ =
+          Tca_util.Diag.in_range ~field:"Config.tca_speculate_fraction"
+            ~lo:0.0 ~hi:1.0 p
+        in
+        ()
+  in
+  match t.max_cycles with
   | None -> Ok ()
+  | Some c -> bound "max_cycles" c 1
+
+let validate_exn t = Tca_util.Diag.ok_exn (validate t)

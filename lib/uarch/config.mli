@@ -87,4 +87,11 @@ val a72 : ?coupling:coupling -> unit -> t
 
 val with_coupling : t -> coupling -> t
 
-val validate : t -> (unit, string) result
+val validate : t -> (unit, Tca_util.Diag.t) result
+(** Structural sanity: all widths, sizes and latencies within their
+    domains ([Domain] diagnostics name the offending [Config.] field),
+    [tca_speculate_fraction] finite and inside [\[0, 1\]], and
+    [max_cycles], when given, at least 1. *)
+
+val validate_exn : t -> unit
+(** Raises {!Tca_util.Diag.Error}. *)

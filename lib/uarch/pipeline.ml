@@ -63,9 +63,6 @@ type state = {
 }
 
 let create cfg trace =
-  (match Config.validate cfg with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Pipeline.run: " ^ msg));
   let r = cfg.Config.rob_size in
   {
     cfg;
@@ -470,27 +467,62 @@ let stats_of s =
       };
   }
 
+type outcome =
+  | Complete of Sim_stats.t
+  | Partial of { stats : Sim_stats.t; diag : Tca_util.Diag.t }
+
+let stats_of_outcome = function
+  | Complete stats -> stats
+  | Partial { stats; _ } -> stats
+
+let default_cycle_budget trace = 100_000 + (500 * Trace.length trace)
+
 let run ?probe cfg trace =
-  let s = create cfg trace in
-  let cap =
-    match cfg.Config.max_cycles with
-    | Some c -> c
-    | None -> 100_000 + (500 * Trace.length trace)
-  in
-  while s.next_fetch < Trace.length trace || s.count > 0 do
-    if s.cycle > cap then
-      failwith
-        (Printf.sprintf "Pipeline.run: exceeded %d cycles (deadlock guard)" cap);
-    complete_stage s;
-    commit_stage s;
-    let issued = issue_stage s in
-    let dispatched = dispatch_stage s in
-    s.occupancy_sum <- s.occupancy_sum + s.count;
-    (match probe with
-    | Some p ->
-        p.on_cycle ~cycle:s.cycle ~dispatched ~issued
-          ~executing:(executing_occupancy s) ~rob_occupancy:s.count
-    | None -> ());
-    s.cycle <- s.cycle + 1
-  done;
-  stats_of s
+  match Config.validate cfg with
+  | Result.Error d -> Result.Error d
+  | Ok () ->
+      let s = create cfg trace in
+      let cap =
+        match cfg.Config.max_cycles with
+        | Some c -> c
+        | None -> default_cycle_budget trace
+      in
+      let watchdog = ref None in
+      while
+        !watchdog = None && (s.next_fetch < Trace.length trace || s.count > 0)
+      do
+        if s.cycle > cap then
+          (* The watchdog snapshot and the stats snapshot are taken at the
+             same instant, so [diag.committed = stats.committed] holds by
+             construction. *)
+          watchdog :=
+            Some
+              (Tca_util.Diag.Watchdog
+                 {
+                   cycles = s.cycle;
+                   committed = s.committed;
+                   total = Trace.length trace;
+                 })
+        else begin
+          complete_stage s;
+          commit_stage s;
+          let issued = issue_stage s in
+          let dispatched = dispatch_stage s in
+          s.occupancy_sum <- s.occupancy_sum + s.count;
+          (match probe with
+          | Some p ->
+              p.on_cycle ~cycle:s.cycle ~dispatched ~issued
+                ~executing:(executing_occupancy s) ~rob_occupancy:s.count
+          | None -> ());
+          s.cycle <- s.cycle + 1
+        end
+      done;
+      (match !watchdog with
+      | Some diag -> Ok (Partial { stats = stats_of s; diag })
+      | None -> Ok (Complete (stats_of s)))
+
+let run_exn ?probe cfg trace =
+  match run ?probe cfg trace with
+  | Ok (Complete stats) -> stats
+  | Ok (Partial { diag; _ }) | Result.Error diag ->
+      raise (Tca_util.Diag.Error diag)

@@ -22,7 +22,27 @@ type probe = {
     rob_occupancy:int -> unit;
 }
 
-val run : ?probe:probe -> Config.t -> Trace.t -> Sim_stats.t
-(** Simulate the full trace to completion. Raises [Invalid_argument] on an
-    invalid configuration and [Failure] if the safety cycle cap is
-    exceeded (deadlock guard). *)
+type outcome =
+  | Complete of Sim_stats.t  (** the whole trace committed *)
+  | Partial of { stats : Sim_stats.t; diag : Tca_util.Diag.t }
+      (** the cycle watchdog expired first: [stats] is the snapshot at
+          expiry and [diag] is the matching {!Tca_util.Diag.Watchdog}
+          diagnostic ([diag.committed = stats.committed] always) *)
+
+val stats_of_outcome : outcome -> Sim_stats.t
+
+val default_cycle_budget : Trace.t -> int
+(** The watchdog budget used when [Config.max_cycles] is [None]:
+    [100_000 + 500 * length], generous for any real trace. *)
+
+val run : ?probe:probe -> Config.t -> Trace.t -> (outcome, Tca_util.Diag.t) result
+(** Simulate the trace. [Error] only for an invalid configuration (see
+    {!Config.validate}); a simulation that exceeds its cycle budget
+    ([Config.max_cycles] or {!default_cycle_budget}) is NOT an error but a
+    [Partial] outcome carrying the statistics accumulated so far, so
+    sweeps can keep the data and record the diagnostic. *)
+
+val run_exn : ?probe:probe -> Config.t -> Trace.t -> Sim_stats.t
+(** [Complete] stats or raises {!Tca_util.Diag.Error} — on an invalid
+    configuration and on watchdog expiry alike (the pre-typed-error
+    behaviour of the deadlock guard). *)

@@ -1,34 +1,69 @@
+open Tca_util.Diag.Syntax
+
 type mode_result = {
   coupling : Config.coupling;
   stats : Sim_stats.t;
   speedup : float;
+  partial : Tca_util.Diag.t option;
 }
 
 type comparison = {
   baseline : Sim_stats.t;
+  baseline_partial : Tca_util.Diag.t option;
   modes : mode_result list;
 }
 
+let split_outcome = function
+  | Pipeline.Complete stats -> (stats, None)
+  | Pipeline.Partial { stats; diag } -> (stats, Some diag)
+
 let measure_ipc cfg trace =
-  let stats = Pipeline.run cfg trace in
-  stats.Sim_stats.ipc
+  let+ outcome = Pipeline.run cfg trace in
+  (Pipeline.stats_of_outcome outcome).Sim_stats.ipc
+
+let measure_ipc_exn cfg trace = Tca_util.Diag.ok_exn (measure_ipc cfg trace)
 
 let compare_modes ~cfg ~baseline ~accelerated =
-  let base_stats = Pipeline.run cfg baseline in
-  let modes =
-    List.map
-      (fun coupling ->
-        let stats = Pipeline.run (Config.with_coupling cfg coupling) accelerated in
+  let* base_outcome = Pipeline.run cfg baseline in
+  let base_stats, baseline_partial = split_outcome base_outcome in
+  let+ modes =
+    List.fold_right
+      (fun coupling acc ->
+        let* acc = acc in
+        let+ outcome =
+          Pipeline.run (Config.with_coupling cfg coupling) accelerated
+        in
+        let stats, partial = split_outcome outcome in
         {
           coupling;
           stats;
           speedup = Sim_stats.speedup ~baseline:base_stats ~accelerated:stats;
-        })
-      Config.all_couplings
+          partial;
+        }
+        :: acc)
+      Config.all_couplings (Ok [])
   in
-  { baseline = base_stats; modes }
+  { baseline = base_stats; baseline_partial; modes }
+
+let compare_modes_exn ~cfg ~baseline ~accelerated =
+  Tca_util.Diag.ok_exn (compare_modes ~cfg ~baseline ~accelerated)
 
 let find_mode_result comparison coupling =
-  List.find
-    (fun r -> Config.coupling_name r.coupling = Config.coupling_name coupling)
-    comparison.modes
+  match
+    List.find_opt
+      (fun r -> Config.coupling_name r.coupling = Config.coupling_name coupling)
+      comparison.modes
+  with
+  | Some r -> Ok r
+  | None ->
+      Result.Error
+        (Tca_util.Diag.Invalid
+           {
+             field = "Simulator.find_mode_result";
+             message =
+               Printf.sprintf "no result for coupling %s"
+                 (Config.coupling_name coupling);
+           })
+
+let find_mode_result_exn comparison coupling =
+  Tca_util.Diag.ok_exn (find_mode_result comparison coupling)

@@ -6,21 +6,39 @@ type mode_result = {
   coupling : Config.coupling;
   stats : Sim_stats.t;
   speedup : float;  (** baseline cycles / accelerated cycles *)
+  partial : Tca_util.Diag.t option;
+      (** [Some (Watchdog _)] when this mode's run hit its cycle budget
+          and [stats] is a truncated snapshot; [None] for a complete run *)
 }
 
 type comparison = {
   baseline : Sim_stats.t;
+  baseline_partial : Tca_util.Diag.t option;
+      (** watchdog diagnostic for the baseline run, if it was cut short *)
   modes : mode_result list;  (** in [Config.all_couplings] order *)
 }
 
-val measure_ipc : Config.t -> Trace.t -> float
+val measure_ipc : Config.t -> Trace.t -> (float, Tca_util.Diag.t) result
 (** IPC of a trace on the given core (coupling irrelevant when the trace
-    holds no accelerator instructions). *)
+    holds no accelerator instructions). A watchdog-truncated run still
+    returns its snapshot IPC. [Error] only on an invalid configuration. *)
+
+val measure_ipc_exn : Config.t -> Trace.t -> float
 
 val compare_modes :
-  cfg:Config.t -> baseline:Trace.t -> accelerated:Trace.t -> comparison
+  cfg:Config.t ->
+  baseline:Trace.t ->
+  accelerated:Trace.t ->
+  (comparison, Tca_util.Diag.t) result
 (** Run the baseline once and the accelerated trace under all four
-    couplings. *)
+    couplings. Watchdog-truncated runs are kept (with [partial] set), not
+    turned into errors. [Error] only on an invalid configuration. *)
 
-val find_mode_result : comparison -> Config.coupling -> mode_result
-(** Raises [Not_found] if absent. *)
+val compare_modes_exn :
+  cfg:Config.t -> baseline:Trace.t -> accelerated:Trace.t -> comparison
+
+val find_mode_result :
+  comparison -> Config.coupling -> (mode_result, Tca_util.Diag.t) result
+(** [Error (Invalid _)] if the coupling is absent. *)
+
+val find_mode_result_exn : comparison -> Config.coupling -> mode_result

@@ -1,0 +1,86 @@
+type t =
+  | Domain of { field : string; lo : float; hi : float; actual : float }
+  | Non_finite of { field : string; value : float }
+  | Empty_input of { field : string }
+  | Ragged_input of { field : string; expected : int; actual : int }
+  | Watchdog of { cycles : int; committed : int; total : int }
+  | Parse of { field : string; input : string; message : string }
+  | Invalid of { field : string; message : string }
+
+exception Error of t
+
+let pp fmt = function
+  | Domain { field; lo; hi; actual } ->
+      Format.fprintf fmt "%s = %g outside [%g, %g]" field actual lo hi
+  | Non_finite { field; value } ->
+      Format.fprintf fmt "%s is not finite (%g)" field value
+  | Empty_input { field } -> Format.fprintf fmt "%s: empty input" field
+  | Ragged_input { field; expected; actual } ->
+      Format.fprintf fmt "%s: ragged input (expected %d, got %d)" field
+        expected actual
+  | Watchdog { cycles; committed; total } ->
+      Format.fprintf fmt
+        "watchdog expired after %d cycles (%d of %d instructions committed)"
+        cycles committed total
+  | Parse { field; input; message } ->
+      Format.fprintf fmt "%s: cannot parse %S (%s)" field input message
+  | Invalid { field; message } -> Format.fprintf fmt "%s: %s" field message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let exit_code = function
+  | Parse _ -> 2
+  | Domain _ -> 3
+  | Non_finite _ -> 4
+  | Empty_input _ -> 5
+  | Ragged_input _ -> 6
+  | Invalid _ -> 7
+  | Watchdog _ -> 8
+
+let ok_exn = function Ok x -> x | Result.Error d -> raise (Error d)
+
+let error_to_msg = function
+  | Ok _ as ok -> ok
+  | Result.Error d -> Result.Error (`Msg (to_string d))
+
+let finite ~field x =
+  if Float.is_finite x then Ok x else Result.Error (Non_finite { field; value = x })
+
+let in_range ~field ~lo ~hi x =
+  if not (Float.is_finite x) then
+    Result.Error (Non_finite { field; value = x })
+  else if x < lo || x > hi then
+    Result.Error (Domain { field; lo; hi; actual = x })
+  else Ok x
+
+let positive ~field x =
+  if not (Float.is_finite x) then
+    Result.Error (Non_finite { field; value = x })
+  else if x <= 0.0 then
+    Result.Error (Domain { field; lo = 0.0; hi = infinity; actual = x })
+  else Ok x
+
+let non_negative ~field x = in_range ~field ~lo:0.0 ~hi:infinity x
+
+let at_least ~field ~min n =
+  if n < min then
+    Result.Error
+      (Domain { field; lo = float_of_int min; hi = infinity;
+                actual = float_of_int n })
+  else Ok n
+
+let positive_int ~field n = at_least ~field ~min:1 n
+
+let non_empty ~field arr =
+  if Array.length arr = 0 then Result.Error (Empty_input { field }) else Ok arr
+
+let same_length ~field a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then
+    Result.Error (Ragged_input { field; expected = la; actual = lb })
+  else Ok ()
+
+module Syntax = struct
+  let ( let* ) r f = match r with Ok x -> f x | Result.Error _ as e -> e
+  let ( let+ ) r f = match r with Ok x -> Ok (f x) | Result.Error _ as e -> e
+end

@@ -6,19 +6,36 @@ type t = {
 }
 
 let make ~values ~row_labels ~col_labels =
-  let rows = Array.length values in
-  if rows <> Array.length row_labels then
-    invalid_arg "Heatmap.make: row label count mismatch";
-  if rows = 0 then invalid_arg "Heatmap.make: empty grid";
+  let open Diag.Syntax in
+  let* () =
+    Diag.same_length ~field:"Heatmap.make.row_labels" values row_labels
+  in
+  let* _ = Diag.non_empty ~field:"Heatmap.make.values" values in
   let cols = Array.length values.(0) in
-  Array.iter
-    (fun row ->
-      if Array.length row <> cols then
-        invalid_arg "Heatmap.make: ragged rows")
-    values;
-  if cols <> Array.length col_labels then
-    invalid_arg "Heatmap.make: column label count mismatch";
-  { values; row_labels; col_labels; markers = Hashtbl.create 16 }
+  let* () =
+    Array.fold_left
+      (fun acc row ->
+        let* () = acc in
+        if Array.length row <> cols then
+          Error
+            (Diag.Ragged_input
+               { field = "Heatmap.make.values"; expected = cols;
+                 actual = Array.length row })
+        else Ok ())
+      (Ok ()) values
+  in
+  let* () =
+    if cols <> Array.length col_labels then
+      Error
+        (Diag.Ragged_input
+           { field = "Heatmap.make.col_labels"; expected = cols;
+             actual = Array.length col_labels })
+    else Ok ()
+  in
+  Ok { values; row_labels; col_labels; markers = Hashtbl.create 16 }
+
+let make_exn ~values ~row_labels ~col_labels =
+  Diag.ok_exn (make ~values ~row_labels ~col_labels)
 
 (* Thresholds are multiplicative: a 1.5x speedup and a 1/1.5 slowdown get
    symmetric intensity. *)

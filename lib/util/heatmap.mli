@@ -12,8 +12,17 @@ val make :
   values:float array array ->
   row_labels:string array ->
   col_labels:string array ->
+  (t, Diag.t) result
+(** Validates that dimensions agree: [Error (Empty_input _)] on an empty
+    grid, [Error (Ragged_input _)] on ragged rows or label/row count
+    mismatches. *)
+
+val make_exn :
+  values:float array array ->
+  row_labels:string array ->
+  col_labels:string array ->
   t
-(** Validates that dimensions agree; raises [Invalid_argument] otherwise. *)
+(** Raises {!Diag.Error}. *)
 
 val cell_char : float -> char
 (** Character for one speedup value: ['#'] strong speedup down to ['.']

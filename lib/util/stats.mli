@@ -1,31 +1,56 @@
 (** Descriptive statistics over float arrays, used for error reporting
-    (model-vs-simulation validation) and benchmark summaries. *)
+    (model-vs-simulation validation) and benchmark summaries.
 
-val mean : float array -> float
-(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+    Every aggregate returns [('a, Diag.t) result]: [Error (Empty_input _)]
+    on an empty array, [Error (Non_finite _)] when a NaN or infinity
+    enters (or would leave) the computation, so a poisoned element can
+    never silently corrupt a geomean. The [*_exn] forms raise
+    {!Diag.Error} and are for callers whose inputs are correct by
+    construction. *)
 
-val geomean : float array -> float
-(** Geometric mean. All elements must be positive. *)
+val mean : float array -> (float, Diag.t) result
+(** Arithmetic mean. *)
 
-val variance : float array -> float
+val mean_exn : float array -> float
+
+val geomean : float array -> (float, Diag.t) result
+(** Geometric mean. All elements must be positive and finite. *)
+
+val geomean_exn : float array -> float
+
+val variance : float array -> (float, Diag.t) result
 (** Population variance. *)
 
-val stddev : float array -> float
+val variance_exn : float array -> float
+val stddev : float array -> (float, Diag.t) result
+val stddev_exn : float array -> float
+val min : float array -> (float, Diag.t) result
+val min_exn : float array -> float
+val max : float array -> (float, Diag.t) result
+val max_exn : float array -> float
+val median : float array -> (float, Diag.t) result
+val median_exn : float array -> float
 
-val min : float array -> float
-val max : float array -> float
-
-val median : float array -> float
-
-val percentile : float array -> float -> float
+val percentile : float array -> float -> (float, Diag.t) result
 (** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
     order statistics. *)
 
-val relative_error : measured:float -> estimated:float -> float
+val percentile_exn : float array -> float -> float
+
+val relative_error : measured:float -> estimated:float -> (float, Diag.t) result
 (** [(estimated - measured) / measured]. Positive means the estimate is
-    optimistic relative to the measurement. *)
+    optimistic relative to the measurement. [Error (Invalid _)] when
+    [measured = 0]. *)
 
-val abs_relative_error : measured:float -> estimated:float -> float
+val relative_error_exn : measured:float -> estimated:float -> float
 
-val mape : measured:float array -> estimated:float array -> float
-(** Mean absolute percentage error, in percent. *)
+val abs_relative_error :
+  measured:float -> estimated:float -> (float, Diag.t) result
+
+val abs_relative_error_exn : measured:float -> estimated:float -> float
+
+val mape : measured:float array -> estimated:float array -> (float, Diag.t) result
+(** Mean absolute percentage error, in percent. [Error (Ragged_input _)]
+    when the arrays differ in length. *)
+
+val mape_exn : measured:float array -> estimated:float array -> float

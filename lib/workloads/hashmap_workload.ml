@@ -55,7 +55,7 @@ let plan cfg =
 let generate cfg =
   let lookups, _ = plan cfg in
   let mean_probes =
-    Tca_util.Stats.mean
+    Tca_util.Stats.mean_exn
       (Array.map (fun (r : Table.probe_result) -> float_of_int r.Table.probes) lookups)
   in
   let acceleratable = ref 0 in

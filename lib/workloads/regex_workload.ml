@@ -72,7 +72,7 @@ let plan cfg =
 let generate cfg =
   let searches = plan cfg in
   let mean_scan =
-    Tca_util.Stats.mean
+    Tca_util.Stats.mean_exn
       (Array.map (fun (_, c) -> float_of_int c) searches)
   in
   let acceleratable = ref 0 in

@@ -50,7 +50,7 @@ let plan cfg =
 let generate cfg =
   let calls = plan cfg in
   let mean_bytes =
-    Tca_util.Stats.mean
+    Tca_util.Stats.mean_exn
       (Array.map
          (fun (s : Arena.scan) -> float_of_int s.Arena.bytes_inspected)
          calls)

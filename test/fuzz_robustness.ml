@@ -1,0 +1,341 @@
+(* Fault-injection harness: drive the result-returning public APIs with
+   seeded adversarial inputs (Tca_util.Faultgen) and assert the three
+   robustness invariants of the typed error layer:
+
+     1. no exception ever escapes a result API — hostile input yields
+        [Error (Diag.t)], never a raise;
+     2. every float inside an [Ok] is finite;
+     3. a watchdog-truncated simulation returns [Ok (Partial _)] whose
+        [Watchdog] diagnostic is consistent with its stats snapshot
+        ([diag.committed = stats.committed], [total] = trace length).
+
+   Deterministic: equal FUZZ_SEED ⇒ equal case stream. Override the case
+   count with FUZZ_CASES (default 10_000) and the seed with FUZZ_SEED. *)
+
+let cases =
+  match Sys.getenv_opt "FUZZ_CASES" with
+  | Some s -> int_of_string s
+  | None -> 10_000
+
+let seed =
+  match Sys.getenv_opt "FUZZ_SEED" with
+  | Some s -> int_of_string s
+  | None -> 0x7CA5EED
+
+let failures : (int * string * string) list ref = ref []
+let checks = ref 0
+
+let record case what detail = failures := (case, what, detail) :: !failures
+
+(* Invariant 1: the thunk exercises only result APIs, so any raise is a
+   robustness bug. *)
+let trace_guards = Sys.getenv_opt "FUZZ_TRACE" <> None
+
+let guard case what f =
+  incr checks;
+  if trace_guards then (Printf.eprintf "case %d: %s\n%!" case what);
+  try f () with e -> record case what ("escaped exception: " ^ Printexc.to_string e)
+
+(* Invariant 2. *)
+let finite case what v =
+  if not (Float.is_finite v) then
+    record case what (Printf.sprintf "non-finite value in Ok: %h" v)
+
+let ok_finite case what = function
+  | Ok v -> finite case what v
+  | Error (_ : Tca_util.Diag.t) -> ()
+
+(* --- analytical-model layer --- *)
+
+let model_case i g =
+  let open Tca_model in
+  let cs = Tca_util.Faultgen.core_spec g in
+  let sc = Tca_util.Faultgen.scenario_spec g in
+  guard i "model" @@ fun () ->
+  match
+    Params.core ~commit_stall:cs.Tca_util.Faultgen.commit_stall
+      ~drain_beta:cs.Tca_util.Faultgen.drain_beta ~ipc:cs.Tca_util.Faultgen.ipc
+      ~rob_size:cs.Tca_util.Faultgen.rob_size
+      ~issue_width:cs.Tca_util.Faultgen.issue_width ()
+  with
+  | Error _ -> ()
+  | Ok core -> (
+      finite i "Params.core.ipc" core.Params.ipc;
+      finite i "Params.core.commit_stall" core.Params.commit_stall;
+      let accel =
+        if sc.Tca_util.Faultgen.use_factor then
+          Params.Factor sc.Tca_util.Faultgen.factor
+        else Params.Latency sc.Tca_util.Faultgen.latency
+      in
+      let scenario =
+        match sc.Tca_util.Faultgen.drain_fixed with
+        | Some t ->
+            Params.scenario
+              ~drain:(Tca_interval.Drain.Fixed t)
+              ~a:sc.Tca_util.Faultgen.a ~v:sc.Tca_util.Faultgen.v ~accel ()
+        | None ->
+            Params.scenario ~a:sc.Tca_util.Faultgen.a ~v:sc.Tca_util.Faultgen.v
+              ~accel ()
+      in
+      match scenario with
+      | Error _ -> ()
+      | Ok s ->
+          finite i "Params.scenario.a" s.Params.a;
+          finite i "Params.scenario.v" s.Params.v;
+          List.iter
+            (fun m -> ok_finite i "Equations.speedup" (Equations.speedup core s m))
+            Mode.all;
+          (match Equations.speedups core s with
+          | Ok sps ->
+              List.iter (fun (_, sp) -> finite i "Equations.speedups" sp) sps
+          | Error _ -> ());
+          (match Equations.best_mode core s with
+          | Ok (_, sp) -> finite i "Equations.best_mode" sp
+          | Error _ -> ());
+          ok_finite i "Equations.ideal_speedup" (Equations.ideal_speedup core s);
+          ok_finite i "Params.granularity" (Params.granularity s);
+          (let delta = Tca_util.Faultgen.fraction_adversarial g in
+           match Sensitivity.swings ~delta core s Mode.L_T with
+           | Ok sw ->
+               List.iter
+                 (fun (w : Sensitivity.swing) ->
+                   finite i "Sensitivity.swing.low" w.Sensitivity.low;
+                   finite i "Sensitivity.swing.high" w.Sensitivity.high;
+                   finite i "Sensitivity.swing.magnitude" w.Sensitivity.magnitude)
+                 sw
+           | Error _ -> ());
+          (match Sensitivity.decision_stable core s with
+          | Ok _ | Error _ -> ());
+          ok_finite i "Concurrency.ideal_peak_speedup"
+            (Concurrency.ideal_peak_speedup
+               ~accel_factor:(Tca_util.Faultgen.float_adversarial g)))
+
+(* Grid sweeps must skip-and-record bad points, never abort or leak
+   non-finite speedups into non-nan cells. *)
+let grid_case i g =
+  let open Tca_model in
+  guard i "grid" @@ fun () ->
+  let axis () =
+    Tca_util.Faultgen.array_adversarial ~max_len:6 g
+      Tca_util.Faultgen.float_adversarial
+  in
+  let freqs = axis () and coverages = axis () in
+  let accel = Params.Factor (Tca_util.Faultgen.positive_adversarial g) in
+  match Grid.compute Presets.hp_core ~accel ~freqs ~coverages Mode.L_T with
+  | Error _ -> ()
+  | Ok grid ->
+      Array.iter
+        (Array.iter (fun c ->
+             if not (Float.is_nan c) then finite i "Grid.cell" c))
+        grid.Grid.cells;
+      let rows = Array.length grid.Grid.cells in
+      List.iter
+        (fun ((r, c), _) ->
+          if r < 0 || r >= rows || c < 0 || c >= Array.length grid.Grid.cells.(r)
+          then record i "Grid.failures" "failure coordinate out of range")
+        grid.Grid.failures;
+      ignore (Grid.slowdown_fraction grid);
+      ignore
+        (Grid.accelerator_curve grid
+           ~granularity:(Tca_util.Faultgen.float_adversarial g))
+
+(* --- util layer --- *)
+
+let util_case i g =
+  let open Tca_util in
+  let xs = Faultgen.array_adversarial g Faultgen.float_adversarial in
+  guard i "stats" (fun () ->
+      ok_finite i "Stats.mean" (Stats.mean xs);
+      ok_finite i "Stats.geomean" (Stats.geomean xs);
+      ok_finite i "Stats.variance" (Stats.variance xs);
+      ok_finite i "Stats.stddev" (Stats.stddev xs);
+      ok_finite i "Stats.min" (Stats.min xs);
+      ok_finite i "Stats.max" (Stats.max xs);
+      ok_finite i "Stats.median" (Stats.median xs);
+      ok_finite i "Stats.percentile"
+        (Stats.percentile xs (Faultgen.float_adversarial g));
+      ok_finite i "Stats.relative_error"
+        (Stats.relative_error
+           ~measured:(Faultgen.float_adversarial g)
+           ~estimated:(Faultgen.float_adversarial g));
+      let ys = Faultgen.array_adversarial g Faultgen.float_adversarial in
+      ok_finite i "Stats.mape" (Stats.mape ~measured:xs ~estimated:ys));
+  guard i "sweep" (fun () ->
+      let lo = Faultgen.float_adversarial g
+      and hi = Faultgen.float_adversarial g
+      and n = Faultgen.size_adversarial g ~max:16 in
+      (match Sweep.linspace lo hi n with
+      | Ok a -> Array.iter (finite i "Sweep.linspace") a
+      | Error _ -> ());
+      (match Sweep.logspace lo hi n with
+      | Ok a -> Array.iter (finite i "Sweep.logspace") a
+      | Error _ -> ());
+      match
+        Sweep.geometric_ints
+          (Faultgen.int_adversarial g)
+          (Faultgen.int_adversarial g)
+          (Faultgen.float_adversarial g)
+      with
+      | Ok _ | Error _ -> ());
+  guard i "heatmap" (fun () ->
+      let values = Faultgen.matrix_adversarial g in
+      let labels prefix =
+        Array.init
+          (Stdlib.max 0 (Faultgen.size_adversarial g ~max:8))
+          (Printf.sprintf "%s%d" prefix)
+      in
+      match
+        Heatmap.make ~values ~row_labels:(labels "r") ~col_labels:(labels "c")
+      with
+      | Ok h -> ignore (Heatmap.render h)
+      | Error _ -> ());
+  guard i "prng" (fun () ->
+      let p = Prng.create i in
+      (match Prng.int_res p (Faultgen.int_adversarial g) with
+      | Ok _ | Error _ -> ());
+      (match Prng.int_in_res p (Faultgen.int_adversarial g) (Faultgen.int_adversarial g) with
+      | Ok _ | Error _ -> ());
+      match Prng.choose_res p (Faultgen.array_adversarial g Faultgen.float_adversarial) with
+      | Ok _ | Error _ -> ())
+
+(* --- cycle-level simulator layer --- *)
+
+(* Well-formed but structurally hostile: tiny ROBs, single ports, long
+   dependence chains through r0, and a sprinkling of accelerator
+   invocations so every coupling path is exercised. *)
+let hostile_trace g ~len =
+  let open Tca_uarch in
+  let b = Trace.Builder.create () in
+  for k = 1 to len do
+    let roll = Tca_util.Faultgen.size_adversarial g ~max:10 in
+    let instr =
+      match abs roll mod 10 with
+      | 0 | 1 ->
+          Isa.load ~base:0 ~dst:(k mod Isa.num_arch_regs)
+            ~addr:(k * 8 mod 8192) ()
+      | 2 -> Isa.store ~src:0 ~addr:(k * 16 mod 8192) ()
+      | 3 -> Isa.branch ~pc:(0x400 + (k mod 8 * 4)) ~taken:(k mod 3 = 0) ()
+      | 4 -> Isa.int_mult ~src1:0 ~dst:0 ()
+      | 5 ->
+          Isa.accel
+            ~compute_latency:(1 + (abs roll mod 40))
+            ~reads:(if k mod 2 = 0 then [| k * 64 mod 4096 |] else [||])
+            ~writes:[||] ~dst:(k mod Isa.num_arch_regs) ()
+      | _ -> Isa.int_alu ~src1:0 ~dst:(k mod Isa.num_arch_regs) ()
+    in
+    Trace.Builder.add b instr
+  done;
+  Trace.Builder.build b
+
+(* Invariant 3, plus invariants 1-2 for Pipeline/Simulator. *)
+let check_outcome i trace cfg = function
+  | Error (_ : Tca_util.Diag.t) -> ()
+  | Ok (Tca_uarch.Pipeline.Complete stats) ->
+      if stats.Tca_uarch.Sim_stats.committed <> Tca_uarch.Trace.length trace
+      then record i "Pipeline.Complete" "committed <> trace length";
+      finite i "Sim_stats.ipc" stats.Tca_uarch.Sim_stats.ipc
+  | Ok (Tca_uarch.Pipeline.Partial { stats; diag }) -> (
+      finite i "Sim_stats.ipc (partial)" stats.Tca_uarch.Sim_stats.ipc;
+      match diag with
+      | Tca_util.Diag.Watchdog { cycles; committed; total } ->
+          if committed <> stats.Tca_uarch.Sim_stats.committed then
+            record i "watchdog"
+              (Printf.sprintf "diag.committed %d <> stats.committed %d"
+                 committed stats.Tca_uarch.Sim_stats.committed);
+          if total <> Tca_uarch.Trace.length trace then
+            record i "watchdog" "diag.total <> trace length";
+          if committed >= total then
+            record i "watchdog" "partial run claims full commit";
+          (match cfg.Tca_uarch.Config.max_cycles with
+          | Some cap when cycles <= cap ->
+              record i "watchdog" "tripped at or below its own budget"
+          | _ -> ())
+      | d ->
+          record i "watchdog"
+            ("Partial carries non-Watchdog diag: " ^ Tca_util.Diag.to_string d))
+
+let uarch_case i g =
+  let open Tca_uarch in
+  let spec = Tca_util.Faultgen.uarch_spec g in
+  let cfg =
+    {
+      (Config.hp ()) with
+      Config.dispatch_width = spec.Tca_util.Faultgen.dispatch_width;
+      issue_width = spec.Tca_util.Faultgen.u_issue_width;
+      commit_width = spec.Tca_util.Faultgen.commit_width;
+      rob_size = spec.Tca_util.Faultgen.u_rob_size;
+      iq_size = spec.Tca_util.Faultgen.iq_size;
+      lsq_size = spec.Tca_util.Faultgen.lsq_size;
+      int_alu_units = spec.Tca_util.Faultgen.int_alu_units;
+      int_mult_units = spec.Tca_util.Faultgen.int_mult_units;
+      fp_units = spec.Tca_util.Faultgen.fp_units;
+      mem_ports = spec.Tca_util.Faultgen.mem_ports;
+      frontend_depth = spec.Tca_util.Faultgen.frontend_depth;
+      commit_depth = spec.Tca_util.Faultgen.commit_depth;
+      tca_speculate_fraction = spec.Tca_util.Faultgen.speculate_fraction;
+      max_cycles = spec.Tca_util.Faultgen.watchdog_cycles;
+    }
+  in
+  let len = 20 + (abs (Tca_util.Faultgen.size_adversarial g ~max:120) mod 120) in
+  let trace = hostile_trace g ~len in
+  guard i "Pipeline.run" (fun () ->
+      check_outcome i trace cfg (Pipeline.run cfg trace));
+  (* Force the watchdog: a 2-cycle budget cannot finish any trace here,
+     so a valid config must yield Partial, and an invalid one Error. *)
+  let starved = { cfg with Config.max_cycles = Some 2 } in
+  guard i "Pipeline.run (starved)" (fun () ->
+      match Pipeline.run starved trace with
+      | Ok (Pipeline.Complete _) ->
+          record i "watchdog" "2-cycle budget reported Complete"
+      | (Ok (Pipeline.Partial _) | Error _) as outcome ->
+          check_outcome i trace starved outcome)
+
+let simulator_case i g =
+  let open Tca_uarch in
+  let cfg =
+    { (Config.hp ()) with Config.max_cycles = Some (50 + (abs (Tca_util.Faultgen.size_adversarial g ~max:4000) mod 4000)) }
+  in
+  let baseline = hostile_trace g ~len:60 in
+  let accelerated = hostile_trace g ~len:60 in
+  guard i "Simulator.compare_modes" (fun () ->
+      match Simulator.compare_modes ~cfg ~baseline ~accelerated with
+      | Error _ -> ()
+      | Ok cmp ->
+          finite i "comparison.baseline.ipc" cmp.Simulator.baseline.Sim_stats.ipc;
+          List.iter
+            (fun (r : Simulator.mode_result) ->
+              finite i "mode_result.speedup" r.Simulator.speedup;
+              match r.Simulator.partial with
+              | None | Some (Tca_util.Diag.Watchdog _) -> ()
+              | Some d ->
+                  record i "Simulator.partial"
+                    ("non-Watchdog diag: " ^ Tca_util.Diag.to_string d))
+            cmp.Simulator.modes)
+
+let () =
+  let g = Tca_util.Faultgen.create ~seed in
+  for i = 1 to cases do
+    model_case i g;
+    util_case i g;
+    if i mod 10 = 0 then grid_case i g;
+    if i mod 25 = 0 then uarch_case i g;
+    if i mod 100 = 0 then simulator_case i g
+  done;
+  match !failures with
+  | [] ->
+      Printf.printf
+        "fuzz_robustness: %d cases (%d guarded API calls), seed %#x: OK\n"
+        cases !checks seed
+  | fs ->
+      let fs = List.rev fs in
+      Printf.eprintf
+        "fuzz_robustness: %d failure(s) in %d cases (seed %#x):\n"
+        (List.length fs) cases seed;
+      List.iteri
+        (fun k (case, what, detail) ->
+          if k < 20 then
+            Printf.eprintf "  case %d [%s]: %s\n" case what detail)
+        fs;
+      if List.length fs > 20 then
+        Printf.eprintf "  ... and %d more\n" (List.length fs - 20);
+      exit 1

@@ -92,7 +92,7 @@ let test_fig4_refill_accuracy () =
      workload's ILP structure, the model tracks the simulator within a
      few percent (paper: "typically less than 5% error"). *)
   let rows = Lazy.force fig4_rows in
-  let s = Validate.summarize (Exp_common.refill_points_of_rows rows) in
+  let s = Validate.summarize_exn (Exp_common.refill_points_of_rows rows) in
   Alcotest.(check bool)
     (Printf.sprintf "median %.1f%% below 5%%" s.Validate.median_abs_pct)
     true
@@ -151,7 +151,7 @@ let test_fig5_error_band () =
   (* Paper: heap errors stay moderate (theirs: within ~10%); allow a
      wider but still bounded band for the reproduction. *)
   let rows = Lazy.force fig5_rows in
-  let s = Validate.summarize (Exp_common.points_of_rows rows) in
+  let s = Validate.summarize_exn (Exp_common.points_of_rows rows) in
   Alcotest.(check bool)
     (Printf.sprintf "median %.1f%% below 25%%" s.Validate.median_abs_pct)
     true

@@ -12,7 +12,7 @@ let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
 let hp = Presets.hp_core
 
 let heap_scenario =
-  Params.scenario ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
+  Params.scenario_exn ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
 
 (* --- Hw_cost --- *)
 
@@ -83,7 +83,7 @@ let prop_pareto_subset =
     QCheck.(pair (float_range 0.05 0.95) (float_range 1.1 20.0))
     (fun (a, factor) ->
       let s =
-        Params.scenario_of_granularity ~a ~g:200.0 ~accel:(Params.Factor factor) ()
+        Params.scenario_of_granularity_exn ~a ~g:200.0 ~accel:(Params.Factor factor) ()
       in
       let all = Hw_cost.designs hp s in
       let front = Hw_cost.pareto_front all in
@@ -130,7 +130,7 @@ let test_energy_break_even () =
   let be = Energy.energy_break_even_speedup model hp heap_scenario in
   Alcotest.(check bool) "break-even below 1" true (be > 0.0 && be < 1.0);
   (* A mode exactly at the break-even speedup has relative energy 1. *)
-  let base_t = (Equations.interval_times hp heap_scenario).Equations.t_baseline in
+  let base_t = (Equations.interval_times_exn hp heap_scenario).Equations.t_baseline in
   ignore base_t;
   (* Verify algebraically: energy at t = t_baseline / be equals baseline
      energy. *)
@@ -148,7 +148,7 @@ let prop_energy_positive =
     QCheck.(pair (float_range 0.05 0.95) (float_range 0.0 2.0))
     (fun (a, static) ->
       let s =
-        Params.scenario_of_granularity ~a ~g:100.0 ~accel:(Params.Factor 3.0) ()
+        Params.scenario_of_granularity_exn ~a ~g:100.0 ~accel:(Params.Factor 3.0) ()
       in
       let model = Energy.make ~static_power:static () in
       List.for_all
@@ -159,7 +159,7 @@ let prop_energy_positive =
 (* --- Sensitivity --- *)
 
 let test_sensitivity_swings () =
-  let sw = Sensitivity.swings hp heap_scenario Mode.L_T in
+  let sw = Sensitivity.swings_exn hp heap_scenario Mode.L_T in
   Alcotest.(check int) "one swing per parameter" 7 (List.length sw);
   (* Tornado ordering: magnitudes non-increasing. *)
   let rec sorted = function
@@ -170,7 +170,7 @@ let test_sensitivity_swings () =
   Alcotest.(check bool) "tornado order" true (sorted sw)
 
 let test_sensitivity_acceleration_direction () =
-  let sw = Sensitivity.swings hp heap_scenario Mode.L_T in
+  let sw = Sensitivity.swings_exn hp heap_scenario Mode.L_T in
   let accel =
     List.find
       (fun (s : Sensitivity.swing) -> s.Sensitivity.parameter = Sensitivity.Acceleration)
@@ -180,27 +180,35 @@ let test_sensitivity_acceleration_direction () =
     (accel.Sensitivity.high >= accel.Sensitivity.low)
 
 let test_sensitivity_delta_validation () =
-  Alcotest.check_raises "delta range"
-    (Invalid_argument "Sensitivity.swings: delta out of (0, 1)") (fun () ->
-      ignore (Sensitivity.swings ~delta:1.5 hp heap_scenario Mode.L_T))
+  (match Sensitivity.swings ~delta:1.5 hp heap_scenario Mode.L_T with
+  | Error (Tca_util.Diag.Domain { field; _ }) ->
+      Alcotest.(check string) "field" "Sensitivity.swings.delta" field
+  | Error d ->
+      Alcotest.fail ("expected Domain, got " ^ Tca_util.Diag.to_string d)
+  | Ok _ -> Alcotest.fail "delta out of range accepted");
+  Alcotest.(check bool) "swings_exn raises Diag.Error" true
+    (try
+       ignore (Sensitivity.swings_exn ~delta:1.5 hp heap_scenario Mode.L_T);
+       false
+     with Tca_util.Diag.Error (Tca_util.Diag.Domain _) -> true)
 
 let test_sensitivity_perturb_clamps () =
   (* Coverage perturbation clamps into validity. *)
-  let s = Params.scenario ~a:0.9 ~v:0.001 ~accel:(Params.Factor 2.0) () in
-  let _, s' = Sensitivity.perturb hp s Sensitivity.Coverage 1.5 in
+  let s = Params.scenario_exn ~a:0.9 ~v:0.001 ~accel:(Params.Factor 2.0) () in
+  let _, s' = Sensitivity.perturb_exn hp s Sensitivity.Coverage 1.5 in
   Alcotest.(check bool) "a clamped to 1" true (s'.Params.a <= 1.0);
-  let _, s'' = Sensitivity.perturb hp s Sensitivity.Frequency 2.0 in
+  let _, s'' = Sensitivity.perturb_exn hp s Sensitivity.Frequency 2.0 in
   Alcotest.(check bool) "v stays feasible" true (s''.Params.v <= s''.Params.a)
 
 let test_sensitivity_latency_direction () =
   (* For an explicit-latency accel, scaling "acceleration" up means less
      latency, so speedup must not fall. *)
-  let _, s = Sensitivity.perturb hp heap_scenario Sensitivity.Acceleration 2.0 in
+  let _, s = Sensitivity.perturb_exn hp heap_scenario Sensitivity.Acceleration 2.0 in
   (match s.Params.accel with
   | Params.Latency l -> Alcotest.(check bool) "latency halved" true (feq l 0.5)
   | Params.Factor _ -> Alcotest.fail "expected latency");
   Alcotest.(check bool) "decision check runs" true
-    (let _ = Sensitivity.decision_stable hp heap_scenario in
+    (let _ = Sensitivity.decision_stable_exn hp heap_scenario in
      true)
 
 (* --- Mechanistic --- *)
@@ -293,7 +301,7 @@ let test_exclusive_occupancy () =
     let cfg =
       { (Config.hp ~coupling:Config.coupling_l_t ()) with Config.tca_occupancy = occ }
     in
-    (Pipeline.run cfg t).Sim_stats.cycles
+    (Pipeline.run_exn cfg t).Sim_stats.cycles
   in
   let pipelined = run Config.Pipelined and exclusive = run Config.Exclusive in
   Alcotest.(check bool) "exclusive unit is slower under L_T" true
@@ -306,7 +314,7 @@ let test_exclusive_occupancy () =
         Config.tca_occupancy = occ;
       }
     in
-    (Pipeline.run cfg t).Sim_stats.cycles
+    (Pipeline.run_exn cfg t).Sim_stats.cycles
   in
   Alcotest.(check int) "NL_NT indifferent to occupancy"
     (run_nt Config.Pipelined) (run_nt Config.Exclusive)
@@ -322,12 +330,12 @@ let test_miss_bandwidth () =
   let t = Trace.Builder.build b in
   let run mb =
     let cfg = { (Config.hp ()) with Config.miss_bandwidth = mb } in
-    (Pipeline.run cfg t).Sim_stats.cycles
+    (Pipeline.run_exn cfg t).Sim_stats.cycles
   in
   let unlimited = run None and limited = run (Some 1) in
   Alcotest.(check bool) "limited not faster" true (limited >= unlimited);
   Alcotest.(check int) "all commit" 500
-    (Pipeline.run
+    (Pipeline.run_exn
        { (Config.hp ()) with Config.miss_bandwidth = Some 1 }
        t)
       .Sim_stats.committed
@@ -401,7 +409,7 @@ let test_partial_speculation_endpoints () =
         Config.tca_speculate_fraction = frac;
       }
     in
-    (Pipeline.run cfg t).Sim_stats.cycles
+    (Pipeline.run_exn cfg t).Sim_stats.cycles
   in
   Alcotest.(check int) "p=1 equals L_T"
     (cycles Config.coupling_l_t None)

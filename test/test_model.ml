@@ -5,6 +5,21 @@ let qtest ?(count = 200) name gen prop =
 
 let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
 
+(* Assert that a result is an [Error] carrying the expected [Diag]
+   variant. *)
+let check_diag name pred = function
+  | Ok _ -> Alcotest.fail (name ^ ": expected Error, got Ok")
+  | Error d ->
+      if not (pred d) then
+        Alcotest.fail
+          (Printf.sprintf "%s: unexpected diagnostic %s" name
+             (Diag.to_string d))
+
+let is_domain = function Diag.Domain _ -> true | _ -> false
+let is_non_finite = function Diag.Non_finite _ -> true | _ -> false
+let is_empty_input = function Diag.Empty_input _ -> true | _ -> false
+let is_invalid = function Diag.Invalid _ -> true | _ -> false
+
 (* --- Mode --- *)
 
 let test_mode_all () =
@@ -49,53 +64,66 @@ let test_mode_hardware () =
 (* --- Params --- *)
 
 let test_core_validation () =
-  Alcotest.check_raises "ipc" (Invalid_argument "Params.core: ipc must be positive")
-    (fun () -> ignore (Params.core ~ipc:0.0 ~rob_size:64 ~issue_width:2 ()));
-  Alcotest.check_raises "rob"
-    (Invalid_argument "Params.core: rob_size must be positive") (fun () ->
-      ignore (Params.core ~ipc:1.0 ~rob_size:0 ~issue_width:2 ()));
-  Alcotest.check_raises "issue"
-    (Invalid_argument "Params.core: issue_width must be positive") (fun () ->
-      ignore (Params.core ~ipc:1.0 ~rob_size:64 ~issue_width:0 ()))
+  check_diag "ipc zero" is_domain
+    (Params.core ~ipc:0.0 ~rob_size:64 ~issue_width:2 ());
+  check_diag "rob zero" is_domain
+    (Params.core ~ipc:1.0 ~rob_size:0 ~issue_width:2 ());
+  check_diag "issue zero" is_domain
+    (Params.core ~ipc:1.0 ~rob_size:64 ~issue_width:0 ());
+  check_diag "ipc nan" is_non_finite
+    (Params.core ~ipc:Float.nan ~rob_size:64 ~issue_width:2 ());
+  check_diag "ipc inf" is_non_finite
+    (Params.core ~ipc:Float.infinity ~rob_size:64 ~issue_width:2 ());
+  check_diag "commit_stall nan" is_non_finite
+    (Params.core ~ipc:1.0 ~rob_size:64 ~issue_width:2
+       ~commit_stall:Float.nan ());
+  (* The _exn wrapper raises the typed exception. *)
+  Alcotest.(check bool) "core_exn raises Diag.Error" true
+    (try
+       ignore (Params.core_exn ~ipc:0.0 ~rob_size:64 ~issue_width:2 ());
+       false
+     with Diag.Error (Diag.Domain _) -> true)
 
 let test_scenario_validation () =
-  Alcotest.check_raises "a range"
-    (Invalid_argument "Params.scenario: a must be in [0, 1]") (fun () ->
-      ignore (Params.scenario ~a:1.5 ~v:0.1 ~accel:(Params.Factor 2.0) ()));
-  Alcotest.check_raises "v negative"
-    (Invalid_argument "Params.scenario: v must be non-negative") (fun () ->
-      ignore (Params.scenario ~a:0.5 ~v:(-0.1) ~accel:(Params.Factor 2.0) ()));
-  Alcotest.check_raises "granularity below 1"
-    (Invalid_argument "Params.scenario: granularity a/v below one instruction")
-    (fun () ->
-      ignore (Params.scenario ~a:0.1 ~v:0.5 ~accel:(Params.Factor 2.0) ()));
-  Alcotest.check_raises "bad factor"
-    (Invalid_argument "Params.scenario: acceleration factor must be positive")
-    (fun () ->
-      ignore (Params.scenario ~a:0.5 ~v:0.1 ~accel:(Params.Factor 0.0) ()));
-  Alcotest.check_raises "bad latency"
-    (Invalid_argument
-       "Params.scenario: accelerator latency must be non-negative") (fun () ->
-      ignore (Params.scenario ~a:0.5 ~v:0.1 ~accel:(Params.Latency (-1.0)) ()))
+  check_diag "a above 1" is_domain
+    (Params.scenario ~a:1.5 ~v:0.1 ~accel:(Params.Factor 2.0) ());
+  check_diag "v negative" is_domain
+    (Params.scenario ~a:0.5 ~v:(-0.1) ~accel:(Params.Factor 2.0) ());
+  check_diag "granularity below 1" is_domain
+    (Params.scenario ~a:0.1 ~v:0.5 ~accel:(Params.Factor 2.0) ());
+  check_diag "factor zero" is_domain
+    (Params.scenario ~a:0.5 ~v:0.1 ~accel:(Params.Factor 0.0) ());
+  check_diag "latency negative" is_domain
+    (Params.scenario ~a:0.5 ~v:0.1 ~accel:(Params.Latency (-1.0)) ());
+  check_diag "a nan" is_non_finite
+    (Params.scenario ~a:Float.nan ~v:0.1 ~accel:(Params.Factor 2.0) ());
+  check_diag "v inf" is_non_finite
+    (Params.scenario ~a:0.5 ~v:Float.infinity ~accel:(Params.Factor 2.0) ());
+  check_diag "factor nan" is_non_finite
+    (Params.scenario ~a:0.5 ~v:0.1 ~accel:(Params.Factor Float.nan) ());
+  check_diag "fixed drain inf" is_non_finite
+    (Params.scenario
+       ~drain:(Tca_interval.Drain.Fixed Float.infinity)
+       ~a:0.5 ~v:0.1 ~accel:(Params.Factor 2.0) ())
 
 let test_granularity () =
-  let s = Params.scenario ~a:0.3 ~v:0.003 ~accel:(Params.Factor 2.0) () in
-  Alcotest.(check bool) "g = a/v" true (feq (Params.granularity s) 100.0);
-  let s0 = Params.scenario ~a:0.0 ~v:0.0 ~accel:(Params.Factor 2.0) () in
-  Alcotest.check_raises "v = 0" (Invalid_argument "Params.granularity: v = 0")
-    (fun () -> ignore (Params.granularity s0))
+  let s = Params.scenario_exn ~a:0.3 ~v:0.003 ~accel:(Params.Factor 2.0) () in
+  Alcotest.(check bool) "g = a/v" true (feq (Params.granularity_exn s) 100.0);
+  let s0 = Params.scenario_exn ~a:0.0 ~v:0.0 ~accel:(Params.Factor 2.0) () in
+  check_diag "v = 0" is_invalid (Params.granularity s0)
 
 let test_scenario_of_granularity () =
   let s =
-    Params.scenario_of_granularity ~a:0.4 ~g:200.0 ~accel:(Params.Factor 3.0)
+    Params.scenario_of_granularity_exn ~a:0.4 ~g:200.0 ~accel:(Params.Factor 3.0)
       ()
   in
   Alcotest.(check bool) "v derived" true (feq s.Params.v 0.002);
-  Alcotest.check_raises "g below 1"
-    (Invalid_argument "Params.scenario_of_granularity: g below 1") (fun () ->
-      ignore
-        (Params.scenario_of_granularity ~a:0.4 ~g:0.5
-           ~accel:(Params.Factor 3.0) ()))
+  check_diag "g below 1" is_domain
+    (Params.scenario_of_granularity ~a:0.4 ~g:0.5 ~accel:(Params.Factor 3.0)
+       ());
+  check_diag "g nan" is_non_finite
+    (Params.scenario_of_granularity ~a:0.4 ~g:Float.nan
+       ~accel:(Params.Factor 3.0) ())
 
 let test_glossary () =
   Alcotest.(check int) "seven parameters (Table I)" 7
@@ -115,15 +143,15 @@ let hp = Presets.hp_core
          = max(30.5, 37.5) = 37.5      -> speedup 1.3333
    L_T   = max(25 + max(0, 12.5-32), 12.5) = 25 -> speedup 2.0 *)
 let example_core =
-  Params.core ~ipc:2.0 ~rob_size:128 ~issue_width:4 ~commit_stall:5.0 ()
+  Params.core_exn ~ipc:2.0 ~rob_size:128 ~issue_width:4 ~commit_stall:5.0 ()
 
 let example_scenario =
-  Params.scenario
+  Params.scenario_exn
     ~drain:(Tca_interval.Drain.Fixed 20.0)
     ~a:0.5 ~v:0.01 ~accel:(Params.Factor 2.0) ()
 
 let test_equations_times () =
-  let t = Equations.interval_times example_core example_scenario in
+  let t = Equations.interval_times_exn example_core example_scenario in
   Alcotest.(check bool) "baseline" true (feq t.Equations.t_baseline 50.0);
   Alcotest.(check bool) "accl" true (feq t.Equations.t_accl 12.5);
   Alcotest.(check bool) "non accl" true (feq t.Equations.t_non_accl 25.0);
@@ -132,41 +160,40 @@ let test_equations_times () =
   Alcotest.(check bool) "commit" true (feq t.Equations.t_commit 5.0)
 
 let test_equations_mode_times () =
-  let time m = Equations.mode_time example_core example_scenario m in
+  let time m = Equations.mode_time_exn example_core example_scenario m in
   Alcotest.(check bool) "NL_NT eq (4)" true (feq (time Mode.NL_NT) 67.5);
   Alcotest.(check bool) "L_NT eq (5)" true (feq (time Mode.L_NT) 42.5);
   Alcotest.(check bool) "NL_T eq (7)" true (feq (time Mode.NL_T) 37.5);
   Alcotest.(check bool) "L_T eq (9)" true (feq (time Mode.L_T) 25.0)
 
 let test_equations_speedups () =
-  let sp m = Equations.speedup example_core example_scenario m in
+  let sp m = Equations.speedup_exn example_core example_scenario m in
   Alcotest.(check bool) "NL_NT" true (feq ~eps:1e-4 (sp Mode.NL_NT) (50.0 /. 67.5));
   Alcotest.(check bool) "L_T" true (feq (sp Mode.L_T) 2.0)
 
 let test_equations_latency_variant () =
   let s =
-    Params.scenario
+    Params.scenario_exn
       ~drain:(Tca_interval.Drain.Fixed 0.0)
       ~a:0.5 ~v:0.01 ~accel:(Params.Latency 12.5) ()
   in
   Alcotest.(check bool) "explicit latency equals factor form" true
     (feq
-       (Equations.mode_time example_core s Mode.L_NT)
-       (Equations.mode_time example_core example_scenario Mode.L_NT))
+       (Equations.mode_time_exn example_core s Mode.L_NT)
+       (Equations.mode_time_exn example_core example_scenario Mode.L_NT))
 
 let test_equations_v_zero () =
-  let s = Params.scenario ~a:0.0 ~v:0.0 ~accel:(Params.Factor 2.0) () in
+  let s = Params.scenario_exn ~a:0.0 ~v:0.0 ~accel:(Params.Factor 2.0) () in
   List.iter
     (fun m ->
       Alcotest.(check bool) "speedup 1 with no invocations" true
-        (feq (Equations.speedup hp s m) 1.0))
+        (feq (Equations.speedup_exn hp s m) 1.0))
     Mode.all;
-  Alcotest.check_raises "interval_times rejects v = 0"
-    (Invalid_argument "Equations.interval_times: v = 0") (fun () ->
-      ignore (Equations.interval_times hp s))
+  check_diag "interval_times rejects v = 0" is_domain
+    (Equations.interval_times hp s)
 
 let test_best_mode () =
-  let m, sp = Equations.best_mode example_core example_scenario in
+  let m, sp = Equations.best_mode_exn example_core example_scenario in
   Alcotest.(check bool) "L_T best" true (Mode.equal m Mode.L_T);
   Alcotest.(check bool) "speedup 2" true (feq sp 2.0)
 
@@ -174,14 +201,14 @@ let test_ideal_speedup () =
   (* t_baseline / (t_non_accl + t_accl) = 50 / 37.5 *)
   Alcotest.(check bool) "naive estimate" true
     (feq ~eps:1e-6
-       (Equations.ideal_speedup example_core example_scenario)
+       (Equations.ideal_speedup_exn example_core example_scenario)
        (50.0 /. 37.5))
 
 let scenario_gen =
   QCheck.(
     map
       (fun (a, g, f) ->
-        Params.scenario_of_granularity ~a ~g ~accel:(Params.Factor f) ())
+        Params.scenario_of_granularity_exn ~a ~g ~accel:(Params.Factor f) ())
       (triple (float_range 0.01 0.99) (float_range 1.0 1.0e6)
          (float_range 0.5 50.0)))
 
@@ -189,7 +216,7 @@ let core_gen =
   QCheck.(
     map
       (fun (ipc, rob, width, commit) ->
-        Params.core ~ipc ~rob_size:rob ~issue_width:width
+        Params.core_exn ~ipc ~rob_size:rob ~issue_width:width
           ~commit_stall:commit ())
       (quad (float_range 0.2 6.0) (int_range 16 512) (int_range 1 8)
          (float_range 0.0 20.0)))
@@ -198,7 +225,7 @@ let prop_mode_ordering =
   qtest "more hardware never hurts: t_L_T <= t_{L_NT, NL_T} <= t_NL_NT"
     QCheck.(pair core_gen scenario_gen)
     (fun (core, s) ->
-      let t m = Equations.mode_time core s m in
+      let t m = Equations.mode_time_exn core s m in
       t Mode.L_T <= t Mode.L_NT +. 1e-6
       && t Mode.L_T <= t Mode.NL_T +. 1e-6
       && t Mode.L_NT <= t Mode.NL_NT +. 1e-6
@@ -210,7 +237,7 @@ let prop_speedup_positive =
     (fun (core, s) ->
       List.for_all
         (fun (_, sp) -> sp > 0.0 && Float.is_finite sp)
-        (Equations.speedups core s))
+        (Equations.speedups_exn core s))
 
 let prop_l_t_bounded_by_a_plus_1 =
   qtest "L_T speedup bounded by A + 1"
@@ -218,16 +245,16 @@ let prop_l_t_bounded_by_a_plus_1 =
     (fun (core, s) ->
       match s.Params.accel with
       | Params.Factor f ->
-          Equations.speedup core s Mode.L_T <= f +. 1.0 +. 1e-6
+          Equations.speedup_exn core s Mode.L_T <= f +. 1.0 +. 1e-6
       | Params.Latency _ -> true)
 
 let prop_best_mode_is_max =
   qtest "best_mode returns the maximum"
     QCheck.(pair core_gen scenario_gen)
     (fun (core, s) ->
-      let _, best = Equations.best_mode core s in
+      let _, best = Equations.best_mode_exn core s in
       List.for_all (fun (_, sp) -> sp <= best +. 1e-9)
-        (Equations.speedups core s))
+        (Equations.speedups_exn core s))
 
 (* --- Presets --- *)
 
@@ -256,7 +283,7 @@ let test_markers () =
     (List.hd sorted).Granularity.name
 
 let test_granularity_series () =
-  let gs = Tca_util.Sweep.logspace 10.0 1.0e9 10 in
+  let gs = Tca_util.Sweep.logspace_exn 10.0 1.0e9 10 in
   let series =
     Granularity.series Presets.arm_a72 ~a:0.3 ~accel:(Params.Factor 3.0) ~gs
   in
@@ -300,32 +327,34 @@ let test_crossover_none_for_l_t () =
 
 let test_ideal_peaks () =
   Alcotest.(check bool) "coverage A=2" true
-    (feq (Concurrency.ideal_peak_coverage ~accel_factor:2.0) (2.0 /. 3.0));
+    (feq (Concurrency.ideal_peak_coverage_exn ~accel_factor:2.0) (2.0 /. 3.0));
   Alcotest.(check bool) "speedup A=2" true
-    (feq (Concurrency.ideal_peak_speedup ~accel_factor:2.0) 3.0);
+    (feq (Concurrency.ideal_peak_speedup_exn ~accel_factor:2.0) 3.0);
   Alcotest.(check bool) "coverage A=5" true
-    (feq (Concurrency.ideal_peak_coverage ~accel_factor:5.0) (5.0 /. 6.0))
+    (feq (Concurrency.ideal_peak_coverage_exn ~accel_factor:5.0) (5.0 /. 6.0))
 
 let test_concurrency_peak_matches_theory () =
-  let coverages = Tca_util.Sweep.linspace 0.0 0.99 199 in
+  let coverages = Tca_util.Sweep.linspace_exn 0.0 0.99 199 in
   let pts =
-    Concurrency.coverage_series hp ~g:100.0 ~accel:(Params.Factor 2.0)
+    Concurrency.coverage_series_exn hp ~g:100.0 ~accel:(Params.Factor 2.0)
       ~coverages Mode.L_T
   in
-  let a_star, s_star = Concurrency.peak pts in
+  let a_star, s_star = Concurrency.peak_exn pts in
   Alcotest.(check bool) "peak near 2/3" true (Float.abs (a_star -. 0.667) < 0.02);
   Alcotest.(check bool) "peak near 3" true (Float.abs (s_star -. 3.0) < 0.05)
 
 let test_coverage_zero () =
   let pts =
-    Concurrency.coverage_series hp ~g:100.0 ~accel:(Params.Factor 2.0)
+    Concurrency.coverage_series_exn hp ~g:100.0 ~accel:(Params.Factor 2.0)
       ~coverages:[| 0.0 |] Mode.L_T
   in
   Alcotest.(check bool) "a = 0 gives speedup 1" true (feq (snd pts.(0)) 1.0)
 
 let test_peak_empty () =
-  Alcotest.check_raises "empty" (Invalid_argument "Concurrency.peak: empty series")
-    (fun () -> ignore (Concurrency.peak [||]))
+  check_diag "empty" is_empty_input (Concurrency.peak [||]);
+  check_diag "bad granularity" is_domain
+    (Concurrency.coverage_series hp ~g:0.5 ~accel:(Params.Factor 2.0)
+       ~coverages:[| 0.1 |] Mode.L_T)
 
 let test_local_maxima () =
   let series = [| (0.0, 1.0); (1.0, 3.0); (2.0, 2.0); (3.0, 4.0); (4.0, 1.0) |] in
@@ -340,10 +369,10 @@ let test_local_maxima () =
 (* --- Grid --- *)
 
 let test_grid_compute () =
-  let freqs = Tca_util.Sweep.logspace 1e-5 1e-1 10 in
+  let freqs = Tca_util.Sweep.logspace_exn 1e-5 1e-1 10 in
   (* Low coverages with high frequencies are infeasible (a < v). *)
-  let coverages = Tca_util.Sweep.linspace 0.01 0.9 5 in
-  let g = Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs ~coverages Mode.L_T in
+  let coverages = Tca_util.Sweep.linspace_exn 0.01 0.9 5 in
+  let g = Grid.compute_exn hp ~accel:(Params.Factor 1.5) ~freqs ~coverages Mode.L_T in
   Alcotest.(check int) "rows" 5 (Array.length g.Grid.cells);
   Alcotest.(check int) "cols" 10 (Array.length g.Grid.cells.(0));
   (* Infeasible cells (a < v) are NaN. *)
@@ -356,11 +385,11 @@ let test_grid_compute () =
   Alcotest.(check bool) "has infeasible cells" true !has_nan
 
 let test_grid_slowdown_fraction () =
-  let freqs = Tca_util.Sweep.logspace 1e-5 1e-1 10 in
-  let coverages = Tca_util.Sweep.linspace 0.1 0.9 5 in
+  let freqs = Tca_util.Sweep.logspace_exn 1e-5 1e-1 10 in
+  let coverages = Tca_util.Sweep.linspace_exn 0.1 0.9 5 in
   let frac mode =
     Grid.slowdown_fraction
-      (Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs ~coverages mode)
+      (Grid.compute_exn hp ~accel:(Params.Factor 1.5) ~freqs ~coverages mode)
   in
   let f_nlnt = frac Mode.NL_NT and f_lt = frac Mode.L_T in
   Alcotest.(check bool) "fractions in range" true
@@ -368,12 +397,12 @@ let test_grid_slowdown_fraction () =
   Alcotest.(check bool) "NL_NT riskier than L_T" true (f_nlnt >= f_lt)
 
 let test_grid_accelerator_curve () =
-  let freqs = Tca_util.Sweep.logspace 1e-5 1e-1 20 in
-  let coverages = Tca_util.Sweep.linspace 0.1 0.9 9 in
+  let freqs = Tca_util.Sweep.logspace_exn 1e-5 1e-1 20 in
+  let coverages = Tca_util.Sweep.linspace_exn 0.1 0.9 9 in
   let g =
-    Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs ~coverages Mode.L_T
+    Grid.compute_exn hp ~accel:(Params.Factor 1.5) ~freqs ~coverages Mode.L_T
   in
-  let curve = Grid.accelerator_curve g ~granularity:100.0 in
+  let curve = Grid.accelerator_curve_exn g ~granularity:100.0 in
   Alcotest.(check bool) "non-empty" true (curve <> []);
   List.iter
     (fun (r, c) ->
@@ -381,14 +410,50 @@ let test_grid_accelerator_curve () =
         (r >= 0 && r < 9 && c >= 0 && c < 20))
     curve
 
+let test_grid_empty_axis () =
+  check_diag "empty freqs" is_empty_input
+    (Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs:[||]
+       ~coverages:[| 0.5 |] Mode.L_T);
+  check_diag "empty coverages" is_empty_input
+    (Grid.compute hp ~accel:(Params.Factor 1.5) ~freqs:[| 0.01 |]
+       ~coverages:[||] Mode.L_T)
+
+let test_grid_no_failures_on_clean_sweep () =
+  let freqs = Tca_util.Sweep.logspace_exn 1e-5 1e-1 10 in
+  let coverages = Tca_util.Sweep.linspace_exn 0.1 0.9 5 in
+  let g =
+    Grid.compute_exn hp ~accel:(Params.Factor 1.5) ~freqs ~coverages Mode.L_T
+  in
+  Alcotest.(check int) "no recorded failures" 0 (List.length g.Grid.failures)
+
+(* --- Sensitivity --- *)
+
+let test_sensitivity_delta_domain () =
+  let s =
+    Params.scenario_exn ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0)
+      ()
+  in
+  check_diag "delta 0" is_domain (Sensitivity.swings ~delta:0.0 hp s Mode.L_T);
+  check_diag "delta 1" is_domain (Sensitivity.swings ~delta:1.0 hp s Mode.L_T);
+  check_diag "delta nan" is_domain
+    (Sensitivity.swings ~delta:Float.nan hp s Mode.L_T);
+  check_diag "decision_stable delta" is_domain
+    (Sensitivity.decision_stable ~delta:2.0 hp s);
+  match Sensitivity.swings hp s Mode.L_T with
+  | Ok swings ->
+      Alcotest.(check int) "one swing per parameter"
+        (List.length Sensitivity.all_parameters)
+        (List.length swings)
+  | Error _ -> Alcotest.fail "default delta valid"
+
 (* --- Partial --- *)
 
 let partial_scenario =
-  Params.scenario ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
+  Params.scenario_exn ~a:0.35 ~v:(1.0 /. 150.0) ~accel:(Params.Latency 1.0) ()
 
 let test_partial_endpoints () =
-  let t_l = Equations.mode_time hp partial_scenario Mode.L_T in
-  let t_nl = Equations.mode_time hp partial_scenario Mode.NL_T in
+  let t_l = Equations.mode_time_exn hp partial_scenario Mode.L_T in
+  let t_nl = Equations.mode_time_exn hp partial_scenario Mode.NL_T in
   Alcotest.(check bool) "p=1 gives L" true
     (feq (Partial.mode_time hp partial_scenario ~trailing:true ~p_speculate:1.0) t_l);
   Alcotest.(check bool) "p=0 gives NL" true
@@ -411,7 +476,7 @@ let test_partial_invalid () =
         (Partial.mode_time hp partial_scenario ~trailing:true ~p_speculate:1.5))
 
 let test_required_confidence () =
-  let full = Equations.speedup hp partial_scenario Mode.L_T in
+  let full = Equations.speedup_exn hp partial_scenario Mode.L_T in
   (match
      Partial.required_confidence hp partial_scenario ~trailing:true
        ~target_speedup:full
@@ -436,19 +501,21 @@ let test_validate_error () =
     { Validate.id = "x"; mode = Mode.L_T; measured = 2.0; estimated = 2.2 }
   in
   Alcotest.(check bool) "10 percent optimistic" true
-    (feq ~eps:1e-9 (Validate.error p) 0.1)
+    (feq ~eps:1e-9 (Validate.error_exn p) 0.1)
 
 let test_validate_summarize () =
   let mk e =
     { Validate.id = "x"; mode = Mode.L_T; measured = 1.0; estimated = 1.0 +. e }
   in
-  let s = Validate.summarize [ mk 0.1; mk (-0.2); mk 0.3 ] in
+  let s = Validate.summarize_exn [ mk 0.1; mk (-0.2); mk 0.3 ] in
   Alcotest.(check int) "n" 3 s.Validate.n;
   Alcotest.(check bool) "mean" true (feq ~eps:1e-6 s.Validate.mean_abs_pct 20.0);
   Alcotest.(check bool) "median" true (feq ~eps:1e-6 s.Validate.median_abs_pct 20.0);
   Alcotest.(check bool) "max" true (feq ~eps:1e-6 s.Validate.max_abs_pct 30.0);
-  Alcotest.check_raises "empty" (Invalid_argument "Validate.summarize: empty")
-    (fun () -> ignore (Validate.summarize []))
+  check_diag "empty" is_empty_input (Validate.summarize []);
+  check_diag "zero measurement" is_invalid
+    (Validate.summarize
+       [ { Validate.id = "z"; mode = Mode.L_T; measured = 0.0; estimated = 1.0 } ])
 
 let test_trends_preserved () =
   let mk id mode measured estimated =
@@ -539,6 +606,13 @@ let () =
           Alcotest.test_case "compute" `Quick test_grid_compute;
           Alcotest.test_case "slowdown fraction" `Quick test_grid_slowdown_fraction;
           Alcotest.test_case "accelerator curve" `Quick test_grid_accelerator_curve;
+          Alcotest.test_case "empty axis" `Quick test_grid_empty_axis;
+          Alcotest.test_case "clean sweep has no failures" `Quick
+            test_grid_no_failures_on_clean_sweep;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "delta domain" `Quick test_sensitivity_delta_domain;
         ] );
       ( "partial",
         [

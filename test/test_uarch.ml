@@ -158,8 +158,8 @@ let test_trace_io_simulates_identically () =
       let t' = Trace.load path in
       let cfg = Config.hp ~coupling:Config.coupling_nl_t () in
       Alcotest.(check int) "same cycles"
-        (Pipeline.run cfg t).Sim_stats.cycles
-        (Pipeline.run cfg t').Sim_stats.cycles)
+        (Pipeline.run_exn cfg t).Sim_stats.cycles
+        (Pipeline.run_exn cfg t').Sim_stats.cycles)
 
 (* --- Bpred --- *)
 
@@ -370,9 +370,9 @@ let test_pipeline_dtlb () =
       (Isa.load ~dst:(i mod 16) ~addr:(i * 4096 mod (1 lsl 22)) ())
   done;
   let t = Trace.Builder.build b in
-  let base = Pipeline.run (Config.hp ()) t in
+  let base = Pipeline.run_exn (Config.hp ()) t in
   let with_tlb =
-    Pipeline.run
+    Pipeline.run_exn
       { (Config.hp ()) with Config.dtlb = Some (Tlb.config ~entries:16 ()) }
       t
   in
@@ -406,7 +406,7 @@ let test_config_with_coupling () =
 let run_trace ?(cfg = Config.hp ()) instrs =
   let b = Trace.Builder.create () in
   List.iter (Trace.Builder.add b) instrs;
-  Pipeline.run cfg (Trace.Builder.build b)
+  Pipeline.run_exn cfg (Trace.Builder.build b)
 
 let repeat n f = List.init n f
 
@@ -489,14 +489,14 @@ let test_pipeline_mispredict_penalty () =
     Trace.Builder.build b
   in
   let cfg = Config.hp () in
-  let predictable = Pipeline.run cfg (mk_trace false) in
-  let random = Pipeline.run cfg (mk_trace true) in
+  let predictable = Pipeline.run_exn cfg (mk_trace false) in
+  let random = Pipeline.run_exn cfg (mk_trace true) in
   Alcotest.(check bool) "random branches cost cycles" true
     (random.Sim_stats.cycles > predictable.Sim_stats.cycles);
   Alcotest.(check bool) "mispredict counts differ" true
     (random.Sim_stats.mispredicts > predictable.Sim_stats.mispredicts);
   let perfect =
-    Pipeline.run { cfg with Config.bpred = Bpred.Perfect } (mk_trace true)
+    Pipeline.run_exn { cfg with Config.bpred = Bpred.Perfect } (mk_trace true)
   in
   Alcotest.(check int) "perfect never mispredicts" 0
     perfect.Sim_stats.mispredicts;
@@ -517,8 +517,8 @@ let accel_trace ~latency ~n ~gap =
 
 let test_pipeline_serialize_barrier () =
   let t = accel_trace ~latency:20 ~n:50 ~gap:40 in
-  let nt = Pipeline.run (Config.hp ~coupling:Config.coupling_l_nt ()) t in
-  let tt = Pipeline.run (Config.hp ~coupling:Config.coupling_l_t ()) t in
+  let nt = Pipeline.run_exn (Config.hp ~coupling:Config.coupling_l_nt ()) t in
+  let tt = Pipeline.run_exn (Config.hp ~coupling:Config.coupling_l_t ()) t in
   Alcotest.(check bool) "NT stalls dispatch" true
     (nt.Sim_stats.stalls.Sim_stats.serialize > 0);
   Alcotest.(check int) "T never serializes" 0
@@ -528,8 +528,8 @@ let test_pipeline_serialize_barrier () =
 
 let test_pipeline_nl_head_wait () =
   let t = accel_trace ~latency:20 ~n:50 ~gap:40 in
-  let nl = Pipeline.run (Config.hp ~coupling:Config.coupling_nl_t ()) t in
-  let l = Pipeline.run (Config.hp ~coupling:Config.coupling_l_t ()) t in
+  let nl = Pipeline.run_exn (Config.hp ~coupling:Config.coupling_nl_t ()) t in
+  let l = Pipeline.run_exn (Config.hp ~coupling:Config.coupling_l_t ()) t in
   Alcotest.(check bool) "NL waits for head" true
     (nl.Sim_stats.accel_wait_for_head_cycles > 0);
   Alcotest.(check int) "L never waits" 0 l.Sim_stats.accel_wait_for_head_cycles;
@@ -538,7 +538,7 @@ let test_pipeline_nl_head_wait () =
 
 let test_pipeline_mode_cycle_ordering () =
   let t = accel_trace ~latency:30 ~n:40 ~gap:50 in
-  let cycles c = (Pipeline.run (Config.hp ~coupling:c ()) t).Sim_stats.cycles in
+  let cycles c = (Pipeline.run_exn (Config.hp ~coupling:c ()) t).Sim_stats.cycles in
   let nl_nt = cycles Config.coupling_nl_nt
   and l_nt = cycles Config.coupling_l_nt
   and nl_t = cycles Config.coupling_nl_t
@@ -550,7 +550,7 @@ let test_pipeline_accel_memory () =
   let b = Trace.Builder.create () in
   Trace.Builder.add b
     (Isa.accel ~compute_latency:4 ~reads:[| 0; 64; 128 |] ~writes:[| 256 |] ());
-  let stats = Pipeline.run (Config.hp ()) (Trace.Builder.build b) in
+  let stats = Pipeline.run_exn (Config.hp ()) (Trace.Builder.build b) in
   Alcotest.(check int) "committed" 1 stats.Sim_stats.committed;
   Alcotest.(check int) "invocations" 1 stats.Sim_stats.accel_invocations;
   Alcotest.(check bool) "busy at least compute + memory" true
@@ -560,8 +560,8 @@ let test_pipeline_accel_memory () =
 
 let test_pipeline_determinism () =
   let t = accel_trace ~latency:10 ~n:20 ~gap:30 in
-  let a = Pipeline.run (Config.hp ()) t in
-  let b = Pipeline.run (Config.hp ()) t in
+  let a = Pipeline.run_exn (Config.hp ()) t in
+  let b = Pipeline.run_exn (Config.hp ()) t in
   Alcotest.(check int) "same cycles" a.Sim_stats.cycles b.Sim_stats.cycles;
   Alcotest.(check int) "same commits" a.Sim_stats.committed b.Sim_stats.committed
 
@@ -576,11 +576,11 @@ let test_pipeline_probe () =
           issued := !issued + i);
     }
   in
-  let stats = Pipeline.run ~probe (Config.hp ()) t in
+  let stats = Pipeline.run_exn ~probe (Config.hp ()) t in
   Alcotest.(check int) "probe sees every dispatch" (Trace.length t) !dispatched;
   Alcotest.(check int) "probe sees every issue" stats.Sim_stats.committed !issued
 
-let test_pipeline_deadlock_guard () =
+let test_pipeline_watchdog_partial () =
   let cfg = { (Config.hp ()) with Config.max_cycles = Some 3 } in
   let t =
     let b = Trace.Builder.create () in
@@ -589,11 +589,24 @@ let test_pipeline_deadlock_guard () =
     done;
     Trace.Builder.build b
   in
-  Alcotest.(check bool) "raises on cap" true
+  (match Pipeline.run cfg t with
+  | Ok (Pipeline.Partial { stats; diag }) -> (
+      match diag with
+      | Tca_util.Diag.Watchdog { cycles; committed; total } ->
+          Alcotest.(check bool) "cycles past cap" true (cycles > 3);
+          Alcotest.(check int) "committed matches snapshot" stats.Sim_stats.committed
+            committed;
+          Alcotest.(check int) "total is trace length" (Trace.length t) total;
+          Alcotest.(check bool) "truncated" true (committed < total)
+      | d -> Alcotest.fail ("expected Watchdog, got " ^ Tca_util.Diag.to_string d))
+  | Ok (Pipeline.Complete _) -> Alcotest.fail "expected Partial under tiny budget"
+  | Error d -> Alcotest.fail ("unexpected error: " ^ Tca_util.Diag.to_string d));
+  (* the _exn wrapper surfaces the same diagnostic as an exception *)
+  Alcotest.(check bool) "run_exn raises Diag.Error" true
     (try
-       ignore (Pipeline.run cfg t);
+       ignore (Pipeline.run_exn cfg t);
        false
-     with Failure _ -> true)
+     with Tca_util.Diag.Error (Tca_util.Diag.Watchdog _) -> true)
 
 let test_pipeline_invalid_config () =
   let cfg = { (Config.hp ()) with Config.dispatch_width = 0 } in
@@ -602,16 +615,22 @@ let test_pipeline_invalid_config () =
     Trace.Builder.add b (Isa.int_alu ~dst:0 ());
     Trace.Builder.build b
   in
+  (match Pipeline.run cfg t with
+  | Error (Tca_util.Diag.Domain { field; _ }) ->
+      Alcotest.(check bool) "names the field" true
+        (String.length field > 0)
+  | Error d -> Alcotest.fail ("expected Domain, got " ^ Tca_util.Diag.to_string d)
+  | Ok _ -> Alcotest.fail "invalid config accepted");
   Alcotest.(check bool) "invalid config rejected" true
     (try
-       ignore (Pipeline.run cfg t);
+       ignore (Pipeline.run_exn cfg t);
        false
-     with Invalid_argument _ -> true)
+     with Tca_util.Diag.Error _ -> true)
 
 let test_pipeline_lp_slower () =
   let t = accel_trace ~latency:10 ~n:20 ~gap:50 in
-  let hp = Pipeline.run (Config.hp ()) t in
-  let lp = Pipeline.run (Config.lp ()) t in
+  let hp = Pipeline.run_exn (Config.hp ()) t in
+  let lp = Pipeline.run_exn (Config.lp ()) t in
   Alcotest.(check bool) "narrow core slower" true
     (lp.Sim_stats.cycles > hp.Sim_stats.cycles)
 
@@ -657,7 +676,7 @@ let prop_random_traces_terminate =
           | _ -> Trace.Builder.add b i)
         instrs;
       let t = Trace.Builder.build b in
-      let stats = Pipeline.run (Config.hp ~coupling ()) t in
+      let stats = Pipeline.run_exn (Config.hp ~coupling ()) t in
       stats.Sim_stats.committed = Trace.length t
       && stats.Sim_stats.cycles > 0)
 
@@ -685,8 +704,8 @@ let prop_latency_monotone =
     (fun (seed, coupling_idx) ->
       let coupling = List.nth Config.all_couplings coupling_idx in
       let cfg = Config.hp ~coupling () in
-      let fast = Pipeline.run cfg (mixed_accel_trace seed 5) in
-      let slow = Pipeline.run cfg (mixed_accel_trace seed 50) in
+      let fast = Pipeline.run_exn cfg (mixed_accel_trace seed 5) in
+      let slow = Pipeline.run_exn cfg (mixed_accel_trace seed 50) in
       (* Fully-overlapped couplings can absorb the extra latency and even
          shift cache/port interleavings slightly in either direction;
          allow second-order slack. *)
@@ -698,7 +717,7 @@ let prop_coupling_monotone =
     QCheck.small_int
     (fun seed ->
       let t = mixed_accel_trace seed 20 in
-      let cycles c = (Pipeline.run (Config.hp ~coupling:c ()) t).Sim_stats.cycles in
+      let cycles c = (Pipeline.run_exn (Config.hp ~coupling:c ()) t).Sim_stats.cycles in
       let nl_nt = float_of_int (cycles Config.coupling_nl_nt)
       and l_nt = float_of_int (cycles Config.coupling_l_nt)
       and nl_t = float_of_int (cycles Config.coupling_nl_t)
@@ -718,7 +737,7 @@ let prop_mem_latency_monotone =
             ~l1:(Cache.config ~size_bytes:1024 ~assoc:2 ~hit_latency:2 ())
             ~mem_latency:lat ()
         in
-        (Pipeline.run { (Config.hp ()) with Config.mem } t).Sim_stats.cycles
+        (Pipeline.run_exn { (Config.hp ()) with Config.mem } t).Sim_stats.cycles
       in
       run 200 >= run 50)
 
@@ -733,14 +752,14 @@ let test_simulator_compare_modes () =
   let baseline = ignore baseline; Trace.Builder.build b in
   let accelerated = accel_trace ~latency:20 ~n:10 ~gap:80 in
   let cmp =
-    Simulator.compare_modes ~cfg:(Config.hp ()) ~baseline ~accelerated
+    Simulator.compare_modes_exn ~cfg:(Config.hp ()) ~baseline ~accelerated
   in
   Alcotest.(check int) "four modes" 4 (List.length cmp.Simulator.modes);
   List.iter
     (fun (r : Simulator.mode_result) ->
       Alcotest.(check bool) "positive speedup" true (r.Simulator.speedup > 0.0))
     cmp.Simulator.modes;
-  let lt = Simulator.find_mode_result cmp Config.coupling_l_t in
+  let lt = Simulator.find_mode_result_exn cmp Config.coupling_l_t in
   Alcotest.(check string) "find L_T" "L_T" (Config.coupling_name lt.Simulator.coupling)
 
 let test_simulator_measure_ipc () =
@@ -748,7 +767,7 @@ let test_simulator_measure_ipc () =
   for i = 0 to 1999 do
     Trace.Builder.add b (Isa.int_alu ~dst:(i mod 32) ())
   done;
-  let ipc = Simulator.measure_ipc (Config.hp ()) (Trace.Builder.build b) in
+  let ipc = Simulator.measure_ipc_exn (Config.hp ()) (Trace.Builder.build b) in
   Alcotest.(check bool) "near width" true (ipc > 3.0 && ipc <= 4.0)
 
 let () =
@@ -831,7 +850,7 @@ let () =
           Alcotest.test_case "accel memory" `Quick test_pipeline_accel_memory;
           Alcotest.test_case "determinism" `Quick test_pipeline_determinism;
           Alcotest.test_case "probe" `Quick test_pipeline_probe;
-          Alcotest.test_case "deadlock guard" `Quick test_pipeline_deadlock_guard;
+          Alcotest.test_case "watchdog partial" `Quick test_pipeline_watchdog_partial;
           Alcotest.test_case "invalid config" `Quick test_pipeline_invalid_config;
           Alcotest.test_case "LP slower than HP" `Quick test_pipeline_lp_slower;
           prop_random_traces_terminate;

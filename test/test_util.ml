@@ -114,73 +114,103 @@ let test_prng_split () =
 
 let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
 
+(* Assert that a result is an [Error] carrying the expected [Diag]
+   variant. *)
+let check_diag name pred = function
+  | Ok _ -> Alcotest.fail (name ^ ": expected Error, got Ok")
+  | Error d ->
+      if not (pred d) then
+        Alcotest.fail
+          (Printf.sprintf "%s: unexpected diagnostic %s" name
+             (Diag.to_string d))
+
+let is_domain = function Diag.Domain _ -> true | _ -> false
+let is_non_finite = function Diag.Non_finite _ -> true | _ -> false
+let is_empty_input = function Diag.Empty_input _ -> true | _ -> false
+let is_ragged = function Diag.Ragged_input _ -> true | _ -> false
+let is_invalid = function Diag.Invalid _ -> true | _ -> false
+
 let test_stats_mean () =
-  Alcotest.(check bool) "mean" true (feq (Stats.mean [| 1.0; 2.0; 3.0 |]) 2.0)
+  Alcotest.(check bool) "mean" true (feq (Stats.mean_exn [| 1.0; 2.0; 3.0 |]) 2.0)
 
 let test_stats_mean_empty () =
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array")
-    (fun () -> ignore (Stats.mean [||]))
+  check_diag "mean of empty" is_empty_input (Stats.mean [||]);
+  Alcotest.check_raises "mean_exn raises Diag.Error" (Diag.Error (Diag.Empty_input { field = "Stats.mean" }))
+    (fun () -> ignore (Stats.mean_exn [||]))
+
+let test_stats_non_finite_inputs () =
+  check_diag "mean with nan" is_non_finite (Stats.mean [| 1.0; Float.nan |]);
+  check_diag "mean with inf" is_non_finite (Stats.mean [| Float.infinity |]);
+  check_diag "variance with nan" is_non_finite (Stats.variance [| Float.nan |]);
+  check_diag "max with inf" is_non_finite
+    (Stats.max [| Float.infinity; 1.0 |]);
+  check_diag "relative_error nan" is_non_finite
+    (Stats.relative_error ~measured:Float.nan ~estimated:1.0)
 
 let test_stats_geomean () =
   Alcotest.(check bool) "geomean" true
-    (feq (Stats.geomean [| 1.0; 4.0 |]) 2.0)
+    (feq (Stats.geomean_exn [| 1.0; 4.0 |]) 2.0)
 
 let test_stats_geomean_nonpositive () =
-  Alcotest.check_raises "non-positive"
-    (Invalid_argument "Stats.geomean: non-positive element") (fun () ->
-      ignore (Stats.geomean [| 1.0; 0.0 |]))
+  check_diag "geomean of zero" is_domain (Stats.geomean [| 1.0; 0.0 |]);
+  check_diag "geomean of negative" is_domain (Stats.geomean [| 1.0; -2.0 |])
 
 let test_stats_variance_stddev () =
   let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
-  Alcotest.(check bool) "variance" true (feq (Stats.variance xs) 4.0);
-  Alcotest.(check bool) "stddev" true (feq (Stats.stddev xs) 2.0)
+  Alcotest.(check bool) "variance" true (feq (Stats.variance_exn xs) 4.0);
+  Alcotest.(check bool) "stddev" true (feq (Stats.stddev_exn xs) 2.0)
 
 let test_stats_minmax () =
   let xs = [| 3.0; -1.0; 7.5 |] in
-  Alcotest.(check bool) "min" true (feq (Stats.min xs) (-1.0));
-  Alcotest.(check bool) "max" true (feq (Stats.max xs) 7.5)
+  Alcotest.(check bool) "min" true (feq (Stats.min_exn xs) (-1.0));
+  Alcotest.(check bool) "max" true (feq (Stats.max_exn xs) 7.5)
 
 let test_stats_median_percentile () =
   Alcotest.(check bool) "odd median" true
-    (feq (Stats.median [| 3.0; 1.0; 2.0 |]) 2.0);
+    (feq (Stats.median_exn [| 3.0; 1.0; 2.0 |]) 2.0);
   Alcotest.(check bool) "even median interpolates" true
-    (feq (Stats.median [| 1.0; 2.0; 3.0; 4.0 |]) 2.5);
+    (feq (Stats.median_exn [| 1.0; 2.0; 3.0; 4.0 |]) 2.5);
   Alcotest.(check bool) "p0 = min" true
-    (feq (Stats.percentile [| 5.0; 1.0; 3.0 |] 0.0) 1.0);
+    (feq (Stats.percentile_exn [| 5.0; 1.0; 3.0 |] 0.0) 1.0);
   Alcotest.(check bool) "p100 = max" true
-    (feq (Stats.percentile [| 5.0; 1.0; 3.0 |] 100.0) 5.0)
+    (feq (Stats.percentile_exn [| 5.0; 1.0; 3.0 |] 100.0) 5.0)
 
 let test_stats_percentile_invalid () =
-  Alcotest.check_raises "p out of range"
-    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
-      ignore (Stats.percentile [| 1.0 |] 101.0))
+  check_diag "p above 100" is_domain (Stats.percentile [| 1.0 |] 101.0);
+  check_diag "p below 0" is_domain (Stats.percentile [| 1.0 |] (-0.5));
+  check_diag "p nan" is_non_finite (Stats.percentile [| 1.0 |] Float.nan)
 
 let test_stats_relative_error () =
   Alcotest.(check bool) "optimistic positive" true
-    (feq (Stats.relative_error ~measured:2.0 ~estimated:3.0) 0.5);
+    (feq (Stats.relative_error_exn ~measured:2.0 ~estimated:3.0) 0.5);
   Alcotest.(check bool) "pessimistic negative" true
-    (feq (Stats.relative_error ~measured:2.0 ~estimated:1.0) (-0.5));
-  Alcotest.check_raises "measured zero"
-    (Invalid_argument "Stats.relative_error: measured = 0") (fun () ->
-      ignore (Stats.relative_error ~measured:0.0 ~estimated:1.0))
+    (feq (Stats.relative_error_exn ~measured:2.0 ~estimated:1.0) (-0.5));
+  check_diag "measured zero" is_invalid
+    (Stats.relative_error ~measured:0.0 ~estimated:1.0)
 
 let test_stats_mape () =
   Alcotest.(check bool) "zero for exact" true
-    (feq (Stats.mape ~measured:[| 1.0; 2.0 |] ~estimated:[| 1.0; 2.0 |]) 0.0);
+    (feq (Stats.mape_exn ~measured:[| 1.0; 2.0 |] ~estimated:[| 1.0; 2.0 |]) 0.0);
   Alcotest.(check bool) "10 percent" true
-    (feq (Stats.mape ~measured:[| 10.0 |] ~estimated:[| 11.0 |]) 10.0)
+    (feq (Stats.mape_exn ~measured:[| 10.0 |] ~estimated:[| 11.0 |]) 10.0)
+
+let test_stats_mape_ragged () =
+  check_diag "ragged pair" is_ragged
+    (Stats.mape ~measured:[| 1.0; 2.0 |] ~estimated:[| 1.0 |]);
+  check_diag "empty pair" is_empty_input
+    (Stats.mape ~measured:[||] ~estimated:[||])
 
 let prop_mean_bounded =
   qtest "mean between min and max"
     QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
     (fun xs ->
-      let m = Stats.mean xs in
-      m >= Stats.min xs -. 1e-6 && m <= Stats.max xs +. 1e-6)
+      let m = Stats.mean_exn xs in
+      m >= Stats.min_exn xs -. 1e-6 && m <= Stats.max_exn xs +. 1e-6)
 
 let prop_geomean_le_mean =
   qtest "AM-GM inequality"
     QCheck.(array_of_size Gen.(int_range 1 50) (float_range 0.001 1e3))
-    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+    (fun xs -> Stats.geomean_exn xs <= Stats.mean_exn xs +. 1e-9)
 
 let prop_percentile_monotone =
   qtest "percentile monotone in p"
@@ -190,40 +220,46 @@ let prop_percentile_monotone =
         (pair (float_range 0. 100.) (float_range 0. 100.)))
     (fun (xs, (p1, p2)) ->
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
-      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+      Stats.percentile_exn xs lo <= Stats.percentile_exn xs hi +. 1e-9)
 
 (* --- Sweep --- *)
 
 let test_linspace () =
-  let xs = Sweep.linspace 0.0 10.0 11 in
+  let xs = Sweep.linspace_exn 0.0 10.0 11 in
   Alcotest.(check int) "count" 11 (Array.length xs);
   Alcotest.(check bool) "first" true (feq xs.(0) 0.0);
   Alcotest.(check bool) "last" true (feq xs.(10) 10.0);
   Alcotest.(check bool) "step" true (feq xs.(3) 3.0)
 
 let test_linspace_invalid () =
-  Alcotest.check_raises "one point"
-    (Invalid_argument "Sweep.linspace: need at least 2 points") (fun () ->
-      ignore (Sweep.linspace 0.0 1.0 1))
+  check_diag "one point" is_domain (Sweep.linspace 0.0 1.0 1);
+  check_diag "zero points" is_domain (Sweep.linspace 0.0 1.0 0);
+  check_diag "nan endpoint" is_non_finite (Sweep.linspace Float.nan 1.0 5);
+  check_diag "inf endpoint" is_non_finite (Sweep.linspace 0.0 Float.infinity 5)
 
 let test_logspace () =
-  let xs = Sweep.logspace 1.0 1000.0 4 in
+  let xs = Sweep.logspace_exn 1.0 1000.0 4 in
   Alcotest.(check int) "count" 4 (Array.length xs);
   Alcotest.(check bool) "first" true (feq ~eps:1e-6 xs.(0) 1.0);
   Alcotest.(check bool) "second" true (feq ~eps:1e-6 xs.(1) 10.0);
   Alcotest.(check bool) "last" true (feq ~eps:1e-6 xs.(3) 1000.0)
 
 let test_logspace_invalid () =
-  Alcotest.check_raises "non-positive"
-    (Invalid_argument "Sweep.logspace: positive endpoints required") (fun () ->
-      ignore (Sweep.logspace 0.0 10.0 3))
+  check_diag "non-positive endpoint" is_domain (Sweep.logspace 0.0 10.0 3);
+  check_diag "negative endpoint" is_domain (Sweep.logspace (-1.0) 10.0 3);
+  check_diag "too few points" is_domain (Sweep.logspace 1.0 10.0 1)
+
+let test_geometric_ints_invalid () =
+  check_diag "ratio 1" is_domain (Sweep.geometric_ints 1 100 1.0);
+  check_diag "ratio nan" is_non_finite (Sweep.geometric_ints 1 100 Float.nan);
+  check_diag "lo 0" is_domain (Sweep.geometric_ints 0 100 2.0)
 
 let test_int_range () =
   Alcotest.(check (array int)) "basic" [| 3; 4; 5 |] (Sweep.int_range 3 5);
   Alcotest.(check (array int)) "empty" [||] (Sweep.int_range 5 3)
 
 let test_geometric_ints () =
-  let xs = Sweep.geometric_ints 1 100 2.0 in
+  let xs = Sweep.geometric_ints_exn 1 100 2.0 in
   Alcotest.(check bool) "starts at lo" true (xs.(0) = 1);
   Alcotest.(check bool) "ends at hi" true (xs.(Array.length xs - 1) = 100);
   let increasing = ref true in
@@ -236,7 +272,7 @@ let prop_linspace_monotone =
   qtest "linspace monotone"
     QCheck.(triple (float_range (-100.) 100.) (float_range 0.1 100.) (int_range 2 50))
     (fun (lo, span, n) ->
-      let xs = Sweep.linspace lo (lo +. span) n in
+      let xs = Sweep.linspace_exn lo (lo +. span) n in
       let ok = ref true in
       for i = 1 to n - 1 do
         if xs.(i) < xs.(i - 1) then ok := false
@@ -292,16 +328,35 @@ let test_heatmap_symmetry () =
   Alcotest.(check char) "1.5 down" '=' (Heatmap.cell_char (1.0 /. 1.5))
 
 let test_heatmap_make_errors () =
-  Alcotest.check_raises "ragged" (Invalid_argument "Heatmap.make: ragged rows")
-    (fun () ->
-      ignore
-        (Heatmap.make
-           ~values:[| [| 1.0 |]; [| 1.0; 2.0 |] |]
-           ~row_labels:[| "a"; "b" |] ~col_labels:[| "c" |]))
+  check_diag "ragged rows" is_ragged
+    (Heatmap.make
+       ~values:[| [| 1.0 |]; [| 1.0; 2.0 |] |]
+       ~row_labels:[| "a"; "b" |] ~col_labels:[| "c" |]);
+  check_diag "label/row mismatch" is_ragged
+    (Heatmap.make
+       ~values:[| [| 1.0 |] |]
+       ~row_labels:[| "a"; "b" |] ~col_labels:[| "c" |]);
+  check_diag "no rows" is_empty_input
+    (Heatmap.make ~values:[||] ~row_labels:[||] ~col_labels:[||])
+
+(* --- Prng checked variants --- *)
+
+let test_prng_res_variants () =
+  let rng = Prng.create 77 in
+  check_diag "int_res bound 0" is_domain (Prng.int_res rng 0);
+  check_diag "int_res negative" is_domain (Prng.int_res rng (-3));
+  check_diag "int_in_res empty" is_domain (Prng.int_in_res rng 3 2);
+  check_diag "choose_res empty" is_empty_input (Prng.choose_res rng ([||] : int array));
+  (match Prng.int_res rng 13 with
+  | Ok x -> Alcotest.(check bool) "int_res in range" true (x >= 0 && x < 13)
+  | Error _ -> Alcotest.fail "int_res on valid bound");
+  match Prng.choose_res rng [| 1; 2; 3 |] with
+  | Ok x -> Alcotest.(check bool) "choose_res member" true (x >= 1 && x <= 3)
+  | Error _ -> Alcotest.fail "choose_res on non-empty"
 
 let test_heatmap_render () =
   let hm =
-    Heatmap.make
+    Heatmap.make_exn
       ~values:[| [| 2.0; 0.5 |]; [| 1.0; 1.0 |] |]
       ~row_labels:[| "r0"; "r1" |] ~col_labels:[| "c0"; "c1" |]
   in
@@ -318,7 +373,7 @@ let test_heatmap_render () =
 
 let test_heatmap_overlay () =
   let hm =
-    Heatmap.make
+    Heatmap.make_exn
       ~values:[| [| 2.0 |] |]
       ~row_labels:[| "r" |] ~col_labels:[| "c" |]
   in
@@ -362,6 +417,7 @@ let () =
           Alcotest.test_case "choose" `Quick test_prng_choose;
           Alcotest.test_case "copy" `Quick test_prng_copy_independent;
           Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "checked variants" `Quick test_prng_res_variants;
         ] );
       ( "stats",
         [
@@ -375,6 +431,8 @@ let () =
           Alcotest.test_case "percentile invalid" `Quick test_stats_percentile_invalid;
           Alcotest.test_case "relative error" `Quick test_stats_relative_error;
           Alcotest.test_case "mape" `Quick test_stats_mape;
+          Alcotest.test_case "mape ragged" `Quick test_stats_mape_ragged;
+          Alcotest.test_case "non-finite inputs" `Quick test_stats_non_finite_inputs;
           prop_mean_bounded;
           prop_geomean_le_mean;
           prop_percentile_monotone;
@@ -387,6 +445,7 @@ let () =
           Alcotest.test_case "logspace invalid" `Quick test_logspace_invalid;
           Alcotest.test_case "int_range" `Quick test_int_range;
           Alcotest.test_case "geometric_ints" `Quick test_geometric_ints;
+          Alcotest.test_case "geometric_ints invalid" `Quick test_geometric_ints_invalid;
           prop_linspace_monotone;
         ] );
       ( "table",
