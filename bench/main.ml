@@ -6,6 +6,9 @@
      bench/main.exe                    run everything (full sizes)
      bench/main.exe --quick            smaller validation sweeps
      bench/main.exe --csv DIR          also dump machine-readable series
+     bench/main.exe --summary FILE     JSON summary path (default
+                                       BENCH_results.json; --no-summary
+                                       to skip)
      bench/main.exe fig5 fig8          run selected targets
    Targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 logca partial
             design mechanistic occupancy bechamel all *)
@@ -14,6 +17,51 @@ open Tca_experiments
 
 let quick = ref false
 let csv_dir : string option ref = ref None
+let summary_path = ref (Some "BENCH_results.json")
+
+(* One sink + registry shared by every target: wall-clock spans land in
+   the sink (and as [bench.<name>.seconds] histograms in the registry),
+   cumulative simulated cycles in the [sim.cycles] counter. *)
+let registry = Tca_telemetry.Metrics.create ()
+let sink = Tca_telemetry.Sink.create ~metrics:registry ()
+let telemetry = Some sink
+
+type summary_row = { name : string; seconds : float; sim_cycles : int }
+
+let summary : summary_row list ref = ref []
+
+let write_summary () =
+  match !summary_path with
+  | None -> ()
+  | Some path ->
+      let open Tca_util.Json in
+      let rows =
+        List.rev_map
+          (fun r ->
+            Obj
+              [
+                ("name", String r.name);
+                ("wall_clock_s", Float r.seconds);
+                ("sim_cycles", Int r.sim_cycles);
+              ])
+          !summary
+      in
+      let doc =
+        Obj
+          [
+            ("quick", Bool !quick);
+            ("targets", List rows);
+            ("total_sim_cycles",
+             Int (Tca_telemetry.Metrics.counter_value registry "sim.cycles"));
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (to_string_indent doc);
+          output_char oc '\n');
+      Printf.printf "[bench] wrote %s\n" path
 
 let write_csv name contents =
   match !csv_dir with
@@ -36,41 +84,41 @@ let run_table1 () =
 
 let run_fig2 () =
   banner "F2" "Speedup vs granularity (paper Fig. 2)";
-  let rows = Fig2.run () in
+  let rows = Fig2.run ?telemetry () in
   Fig2.print rows;
   write_csv "fig2" (Fig2.csv rows)
 
 let run_fig3 () =
   banner "F3" "Effective ILP timeline (paper Fig. 3)";
-  Fig3.print (Fig3.run ())
+  Fig3.print (Fig3.run ?telemetry ())
 
 let run_fig4 () =
   banner "F4" "Synthetic microbenchmark validation (paper Fig. 4)";
-  let rows = Fig4.run ~quick:!quick () in
+  let rows = Fig4.run ?telemetry ~quick:!quick () in
   Fig4.print rows;
   write_csv "fig4" (Exp_common.validation_csv rows)
 
 let run_fig5 () =
   banner "F5" "Heap-manager TCA validation (paper Fig. 5)";
-  let rows = Fig5.run ~quick:!quick () in
+  let rows = Fig5.run ?telemetry ~quick:!quick () in
   Fig5.print rows;
   write_csv "fig5" (Exp_common.validation_csv rows)
 
 let run_fig6 () =
   banner "F6" "DGEMM TCA validation (paper Fig. 6)";
-  let rows = Fig6.run ~n:(if !quick then 32 else 64) () in
+  let rows = Fig6.run ?telemetry ~n:(if !quick then 32 else 64) () in
   Fig6.print rows;
   write_csv "fig6" (Exp_common.validation_csv rows)
 
 let run_fig7 () =
   banner "F7" "Speedup heatmaps (paper Fig. 7)";
-  let maps = Fig7.run () in
+  let maps = Fig7.run ?telemetry () in
   Fig7.print maps;
   write_csv "fig7" (Fig7.csv maps)
 
 let run_fig8 () =
   banner "F8" "Concurrency analysis (paper Fig. 8)";
-  let series = Fig8.run () in
+  let series = Fig8.run ?telemetry () in
   Fig8.print series;
   write_csv "fig8" (Fig8.csv series)
 
@@ -92,15 +140,15 @@ let run_mechanistic () =
 
 let run_hashmap () =
   banner "X7" "Hash-map TCA validation";
-  Hashmap_val.print (Hashmap_val.run ~quick:!quick ())
+  Hashmap_val.print (Hashmap_val.run ?telemetry ~quick:!quick ())
 
 let run_regex () =
   banner "X8" "Regular-expression TCA validation";
-  Regex_val.print (Regex_val.run ~quick:!quick ())
+  Regex_val.print (Regex_val.run ?telemetry ~quick:!quick ())
 
 let run_strfn () =
   banner "X9" "String-function TCA validation";
-  Strfn_val.print (Strfn_val.run ~quick:!quick ())
+  Strfn_val.print (Strfn_val.run ?telemetry ~quick:!quick ())
 
 let run_cores () =
   banner "X6" "HP vs LP core sensitivity (simulator)";
@@ -263,6 +311,12 @@ let () =
         end;
         csv_dir := Some dir;
         strip_flags acc rest
+    | "--summary" :: path :: rest ->
+        summary_path := Some path;
+        strip_flags acc rest
+    | "--no-summary" :: rest ->
+        summary_path := None;
+        strip_flags acc rest
     | arg :: rest -> strip_flags (arg :: acc) rest
   in
   let args = strip_flags [] args in
@@ -272,9 +326,23 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name targets with
-      | Some f -> f ()
+      | Some f ->
+          let span = "bench." ^ name in
+          let cycles0 =
+            Tca_telemetry.Metrics.counter_value registry "sim.cycles"
+          in
+          Tca_telemetry.Timing.with_span telemetry span f;
+          let seconds =
+            Tca_telemetry.Metrics.Histogram.sum
+              (Tca_telemetry.Metrics.histogram_exn registry (span ^ ".seconds"))
+          in
+          let sim_cycles =
+            Tca_telemetry.Metrics.counter_value registry "sim.cycles" - cycles0
+          in
+          summary := { name; seconds; sim_cycles } :: !summary
       | None ->
           Printf.eprintf "unknown target %s (available: %s)\n" name
             (String.concat " " (List.map fst targets));
           exit 2)
-    selected
+    selected;
+  write_summary ()

@@ -91,6 +91,64 @@ let drain_t =
            'refill' (decoupled-front-end limit) or an explicit cycle \
            count.")
 
+(* --- telemetry plumbing --- *)
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the run, loadable in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing and readable by \
+           $(b,tca trace-report).")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the metrics-registry snapshot (counters, gauges, \
+              histograms) as indented JSON.")
+
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print run statistics as JSON on stdout instead of the \
+              human-readable form.")
+
+(* Build a sink only when some telemetry output was requested — the
+   [None] path keeps instrumented code on its zero-cost branch — and
+   flush the requested files after the command body runs. *)
+let with_telemetry ~trace ~metrics f =
+  match (trace, metrics) with
+  | None, None -> f None
+  | _ ->
+      let registry = Tca_telemetry.Metrics.create () in
+      let sink = Tca_telemetry.Sink.create ~metrics:registry () in
+      let result = f (Some sink) in
+      Option.iter
+        (fun path ->
+          or_die (Tca_telemetry.Exporter.write_chrome_trace sink path))
+        trace;
+      Option.iter
+        (fun path ->
+          or_die (Tca_telemetry.Exporter.write_metrics_json registry path))
+        metrics;
+      result
+
+let mode_t =
+  let parse s =
+    match Tca_model.Mode.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "expected NL_NT, L_NT, NL_T or L_T")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Tca_model.Mode.pp)) Tca_model.Mode.L_T
+    & info [ "mode" ] ~docv:"MODE" ~doc:"TCA coupling mode.")
+
 (* --- tca modes --- *)
 
 let modes_cmd =
@@ -294,6 +352,86 @@ let design_cmd =
   Cmd.v (Cmd.info "design" ~doc)
     Term.(const run $ core_t $ a_t $ v_t $ factor_t $ static_t $ drain_t)
 
+(* --- shared workload selection (tca simulate / tca run) --- *)
+
+let sim_workload_t =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("synthetic", `Synthetic); ("heap", `Heap); ("dgemm", `Dgemm);
+             ("hashmap", `Hashmap); ("regex", `Regex); ("strfn", `Strfn);
+           ])
+        `Heap
+    & info [ "workload" ] ~docv:"KIND"
+        ~doc:"synthetic, heap, dgemm, hashmap, regex or strfn.")
+
+let sim_size_t =
+  Arg.(
+    value & opt int 0
+    & info [ "size" ]
+        ~doc:
+          "Workload size: chunks (synthetic), app instrs per invocation \
+           (heap/hashmap/regex/strfn) or matrix dimension (dgemm); 0 = \
+           default.")
+
+(* The workload pair (baseline + accelerated traces) and the architect's
+   latency estimate used by both [tca simulate] and [tca run]. *)
+let sim_pair ~cfg workload size =
+  let auto_latency p =
+    Tca_experiments.Exp_common.meta_latency p.Tca_workloads.Meta.meta ~cfg
+  in
+  match workload with
+  | `Synthetic ->
+      let n_chunks = if size > 0 then size else 200 in
+      let p =
+        Tca_workloads.Synthetic.generate
+          (Tca_workloads.Synthetic.config ~n_units:4000 ~n_chunks
+             ~accel_latency:20 ())
+      in
+      (p, 20.0)
+  | `Heap ->
+      let gap = if size > 0 then size else 100 in
+      let p =
+        Tca_workloads.Heap_workload.generate
+          (Tca_workloads.Heap_workload.config ~n_calls:2000
+             ~app_instrs_per_call:gap ())
+      in
+      (p, float_of_int Tca_heap.Cost_model.accel_latency)
+  | `Dgemm ->
+      let n = if size > 0 then size else 64 in
+      let p =
+        Tca_workloads.Dgemm_workload.pair
+          (Tca_workloads.Dgemm_workload.config ~n ())
+          ~dim:4
+      in
+      (p, auto_latency p)
+  | `Hashmap ->
+      let gap = if size > 0 then size else 200 in
+      let p, _ =
+        Tca_workloads.Hashmap_workload.generate
+          (Tca_workloads.Hashmap_workload.config ~n_lookups:1500
+             ~app_instrs_per_lookup:gap ())
+      in
+      (p, auto_latency p)
+  | `Regex ->
+      let gap = if size > 0 then size else 800 in
+      let p, _ =
+        Tca_workloads.Regex_workload.generate
+          (Tca_workloads.Regex_workload.config ~n_records:300
+             ~app_instrs_per_record:gap ())
+      in
+      (p, auto_latency p)
+  | `Strfn ->
+      let gap = if size > 0 then size else 300 in
+      let p, _ =
+        Tca_workloads.Strfn_workload.generate
+          (Tca_workloads.Strfn_workload.config ~n_calls:1000
+             ~app_instrs_per_call:gap ())
+      in
+      (p, auto_latency p)
+
 (* --- tca simulate --- *)
 
 let simulate_cmd =
@@ -302,93 +440,75 @@ let simulate_cmd =
      cycle-level core simulator under all four couplings and compare \
      with the model."
   in
-  let workload_t =
-    Arg.(
-      value
-      & opt
-          (enum
-             [
-               ("synthetic", `Synthetic); ("heap", `Heap); ("dgemm", `Dgemm);
-               ("hashmap", `Hashmap); ("regex", `Regex); ("strfn", `Strfn);
-             ])
-          `Heap
-      & info [ "workload" ] ~docv:"KIND"
-          ~doc:"synthetic, heap, dgemm, hashmap, regex or strfn.")
-  in
-  let size_t =
-    Arg.(
-      value & opt int 0
-      & info [ "size" ]
-          ~doc:
-            "Workload size: chunks (synthetic), app instrs per invocation \
-             (heap/hashmap/regex/strfn) or matrix dimension (dgemm); 0 = \
-             default.")
-  in
   let run workload size =
     protect @@ fun () ->
     let cfg = Tca_experiments.Exp_common.validation_core () in
-    let auto_latency p =
-      Tca_experiments.Exp_common.meta_latency p.Tca_workloads.Meta.meta ~cfg
-    in
-    let pair, latency =
-      match workload with
-      | `Synthetic ->
-          let n_chunks = if size > 0 then size else 200 in
-          let p =
-            Tca_workloads.Synthetic.generate
-              (Tca_workloads.Synthetic.config ~n_units:4000 ~n_chunks
-                 ~accel_latency:20 ())
-          in
-          (p, 20.0)
-      | `Heap ->
-          let gap = if size > 0 then size else 100 in
-          let p =
-            Tca_workloads.Heap_workload.generate
-              (Tca_workloads.Heap_workload.config ~n_calls:2000
-                 ~app_instrs_per_call:gap ())
-          in
-          (p, float_of_int Tca_heap.Cost_model.accel_latency)
-      | `Dgemm ->
-          let n = if size > 0 then size else 64 in
-          let p =
-            Tca_workloads.Dgemm_workload.pair
-              (Tca_workloads.Dgemm_workload.config ~n ())
-              ~dim:4
-          in
-          (p, auto_latency p)
-      | `Hashmap ->
-          let gap = if size > 0 then size else 200 in
-          let p, _ =
-            Tca_workloads.Hashmap_workload.generate
-              (Tca_workloads.Hashmap_workload.config ~n_lookups:1500
-                 ~app_instrs_per_lookup:gap ())
-          in
-          (p, auto_latency p)
-      | `Regex ->
-          let gap = if size > 0 then size else 800 in
-          let p, _ =
-            Tca_workloads.Regex_workload.generate
-              (Tca_workloads.Regex_workload.config ~n_records:300
-                 ~app_instrs_per_record:gap ())
-          in
-          (p, auto_latency p)
-      | `Strfn ->
-          let gap = if size > 0 then size else 300 in
-          let p, _ =
-            Tca_workloads.Strfn_workload.generate
-              (Tca_workloads.Strfn_workload.config ~n_calls:1000
-                 ~app_instrs_per_call:gap ())
-          in
-          (p, auto_latency p)
-    in
+    let pair, latency = sim_pair ~cfg workload size in
     Format.printf "%a@." Tca_workloads.Meta.pp pair.Tca_workloads.Meta.meta;
     let rows =
-      Tca_experiments.Exp_common.validate_pair ~cfg ~pair ~latency
+      Tca_experiments.Exp_common.validate_pair ~cfg ~pair ~latency ()
     in
     Tca_util.Table.print ~headers:Tca_experiments.Exp_common.table_headers
       (Tca_experiments.Exp_common.rows_to_table rows)
   in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ workload_t $ size_t)
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ sim_workload_t $ sim_size_t)
+
+(* --- tca run --- *)
+
+let run_cmd =
+  let doc =
+    "Run one workload trace through the cycle-level simulator under a \
+     single coupling mode, optionally exporting a Chrome trace, a \
+     metrics snapshot and JSON statistics."
+  in
+  let baseline_t =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Simulate the baseline (software-only) trace instead of the \
+             accelerated one.")
+  in
+  let run workload size mode baseline trace_out metrics_out json =
+    protect @@ fun () ->
+    let cfg = Tca_experiments.Exp_common.validation_core () in
+    let pair, _ = sim_pair ~cfg workload size in
+    let cfg =
+      Tca_uarch.Config.with_coupling cfg
+        (Tca_experiments.Exp_common.coupling_of_mode mode)
+    in
+    let trace =
+      if baseline then pair.Tca_workloads.Meta.baseline
+      else pair.Tca_workloads.Meta.accelerated
+    in
+    let partial =
+      with_telemetry ~trace:trace_out ~metrics:metrics_out @@ fun telemetry ->
+      let stats, partial =
+        match or_die (Tca_uarch.Pipeline.run ?telemetry cfg trace) with
+        | Tca_uarch.Pipeline.Complete stats -> (stats, None)
+        | Tca_uarch.Pipeline.Partial { stats; diag } -> (stats, Some diag)
+      in
+      if json then
+        print_endline
+          (Tca_util.Json.to_string_indent (Tca_uarch.Sim_stats.to_json stats))
+      else begin
+        if not baseline then
+          Format.printf "%a@." Tca_workloads.Meta.pp
+            pair.Tca_workloads.Meta.meta;
+        Format.printf "%a@." Tca_uarch.Sim_stats.pp stats
+      end;
+      partial
+    in
+    match partial with
+    | None -> ()
+    | Some diag ->
+        prerr_endline ("tca: warning: " ^ Tca_util.Diag.to_string diag);
+        exit (Tca_util.Diag.exit_code diag)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ sim_workload_t $ sim_size_t $ mode_t $ baseline_t
+      $ trace_out_t $ metrics_out_t $ json_t)
 
 (* --- tca trace --- *)
 
@@ -454,17 +574,6 @@ let run_trace_cmd =
   let file_t =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
   in
-  let mode_t =
-    let parse s =
-      match Tca_model.Mode.of_string s with
-      | Some m -> Ok m
-      | None -> Error (`Msg "expected NL_NT, L_NT, NL_T or L_T")
-    in
-    Arg.(
-      value
-      & opt (conv (parse, Tca_model.Mode.pp)) Tca_model.Mode.L_T
-      & info [ "mode" ] ~docv:"MODE" ~doc:"TCA coupling mode.")
-  in
   let max_cycles_t =
     Arg.(
       value
@@ -475,7 +584,7 @@ let run_trace_cmd =
              statistics collected so far are reported as partial. Default: \
              derived from the trace length.")
   in
-  let run file mode max_cycles =
+  let run file mode max_cycles trace_out metrics_out json =
     protect @@ fun () ->
     let trace =
       try Tca_uarch.Trace.load file
@@ -488,16 +597,33 @@ let run_trace_cmd =
         (Tca_experiments.Exp_common.coupling_of_mode mode)
     in
     let cfg = { cfg with Tca_uarch.Config.max_cycles } in
-    match or_die (Tca_uarch.Pipeline.run cfg trace) with
-    | Tca_uarch.Pipeline.Complete stats ->
-        Format.printf "%a@." Tca_uarch.Sim_stats.pp stats
-    | Tca_uarch.Pipeline.Partial { stats; diag } ->
-        Format.printf "%a@." Tca_uarch.Sim_stats.pp stats;
+    let partial =
+      with_telemetry ~trace:trace_out ~metrics:metrics_out @@ fun telemetry ->
+      let print_stats stats =
+        if json then
+          print_endline
+            (Tca_util.Json.to_string_indent
+               (Tca_uarch.Sim_stats.to_json stats))
+        else Format.printf "%a@." Tca_uarch.Sim_stats.pp stats
+      in
+      match or_die (Tca_uarch.Pipeline.run ?telemetry cfg trace) with
+      | Tca_uarch.Pipeline.Complete stats ->
+          print_stats stats;
+          None
+      | Tca_uarch.Pipeline.Partial { stats; diag } ->
+          print_stats stats;
+          Some diag
+    in
+    match partial with
+    | None -> ()
+    | Some diag ->
         prerr_endline ("tca: warning: " ^ Tca_util.Diag.to_string diag);
         exit (Tca_util.Diag.exit_code diag)
   in
   Cmd.v (Cmd.info "run-trace" ~doc)
-    Term.(const run $ file_t $ mode_t $ max_cycles_t)
+    Term.(
+      const run $ file_t $ mode_t $ max_cycles_t $ trace_out_t $ metrics_out_t
+      $ json_t)
 
 (* --- tca figure --- *)
 
@@ -514,32 +640,53 @@ let figure_cmd =
   let quick_t =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller validation sweeps.")
   in
-  let run id quick =
+  let run id quick trace_out metrics_out =
     protect @@ fun () ->
     let open Tca_experiments in
+    with_telemetry ~trace:trace_out ~metrics:metrics_out @@ fun telemetry ->
     match id with
     | "table1" -> Table1.print ()
-    | "fig2" -> Fig2.print (Fig2.run ())
-    | "fig3" -> Fig3.print (Fig3.run ())
-    | "fig4" -> Fig4.print (Fig4.run ~quick ())
-    | "fig5" -> Fig5.print (Fig5.run ~quick ())
-    | "fig6" -> Fig6.print (Fig6.run ~n:(if quick then 32 else 64) ())
-    | "fig7" -> Fig7.print (Fig7.run ())
-    | "fig8" -> Fig8.print (Fig8.run ())
+    | "fig2" -> Fig2.print (Fig2.run ?telemetry ())
+    | "fig3" -> Fig3.print (Fig3.run ?telemetry ())
+    | "fig4" -> Fig4.print (Fig4.run ?telemetry ~quick ())
+    | "fig5" -> Fig5.print (Fig5.run ?telemetry ~quick ())
+    | "fig6" ->
+        Fig6.print (Fig6.run ?telemetry ~n:(if quick then 32 else 64) ())
+    | "fig7" -> Fig7.print (Fig7.run ?telemetry ())
+    | "fig8" -> Fig8.print (Fig8.run ?telemetry ())
     | "logca" -> Logca_cmp.print (Logca_cmp.run ())
     | "partial" -> Partial_spec.print (Partial_spec.run ())
     | "design" -> Design_space.print ()
     | "mechanistic" -> Mechanistic_cmp.print (Mechanistic_cmp.run ())
     | "occupancy" -> Occupancy.print (Occupancy.run ())
     | "cores" -> Cores_cmp.print (Cores_cmp.run ~quick ())
-    | "hashmap" -> Hashmap_val.print (Hashmap_val.run ~quick ())
-    | "regexv" -> Regex_val.print (Regex_val.run ~quick ())
-    | "strfn" -> Strfn_val.print (Strfn_val.run ~quick ())
+    | "hashmap" -> Hashmap_val.print (Hashmap_val.run ?telemetry ~quick ())
+    | "regexv" -> Regex_val.print (Regex_val.run ?telemetry ~quick ())
+    | "strfn" -> Strfn_val.print (Strfn_val.run ?telemetry ~quick ())
     | other ->
         Printf.eprintf "unknown figure %s\n" other;
         exit 2
   in
-  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ id_t $ quick_t)
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const run $ id_t $ quick_t $ trace_out_t $ metrics_out_t)
+
+(* --- tca trace-report --- *)
+
+let trace_report_cmd =
+  let doc =
+    "Summarize a Chrome trace_event file produced by --trace: stall-cycle \
+     breakdown, accelerator-occupancy timeline, per-interval throughput \
+     and wall-clock spans."
+  in
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+  in
+  let run file =
+    protect @@ fun () ->
+    let report = or_die (Tca_telemetry.Report.of_file file) in
+    Format.printf "%a@." Tca_telemetry.Report.pp report
+  in
+  Cmd.v (Cmd.info "trace-report" ~doc) Term.(const run $ file_t)
 
 let () =
   let doc =
@@ -552,5 +699,5 @@ let () =
        (Cmd.group info
           [
             modes_cmd; model_cmd; sweep_cmd; design_cmd; simulate_cmd;
-            trace_cmd; run_trace_cmd; figure_cmd;
+            run_cmd; trace_cmd; run_trace_cmd; trace_report_cmd; figure_cmd;
           ]))

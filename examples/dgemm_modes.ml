@@ -30,7 +30,7 @@ let () =
   Format.printf "workload: %a@.@." Meta.pp pair.Meta.meta;
   let cmp =
     Tca_uarch.Simulator.compare_modes_exn ~cfg ~baseline:pair.Meta.baseline
-      ~accelerated:pair.Meta.accelerated
+      ~accelerated:pair.Meta.accelerated ()
   in
   Printf.printf "baseline: %d cycles (IPC %.2f)\n\n"
     cmp.Tca_uarch.Simulator.baseline.Tca_uarch.Sim_stats.cycles

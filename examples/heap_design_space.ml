@@ -50,7 +50,7 @@ let () =
           (Heap_workload.config ~n_calls:1000 ~app_instrs_per_call:gap ())
       in
       let rows =
-        Tca_experiments.Exp_common.validate_pair ~cfg ~pair ~latency:1.0
+        Tca_experiments.Exp_common.validate_pair ~cfg ~pair ~latency:1.0 ()
       in
       Tca_util.Table.print
         ~headers:Tca_experiments.Exp_common.table_headers

@@ -40,7 +40,7 @@ let () =
   in
   let hm_rows =
     Exp_common.validate_pair ~cfg ~pair:hm_pair
-      ~latency:(Exp_common.meta_latency hm_pair.Meta.meta ~cfg)
+      ~latency:(Exp_common.meta_latency hm_pair.Meta.meta ~cfg) ()
   in
   let hm_g =
     float_of_int
@@ -52,7 +52,7 @@ let () =
     Heap_workload.generate
       (Heap_workload.config ~n_calls:800 ~app_instrs_per_call:200 ())
   in
-  let heap_rows = Exp_common.validate_pair ~cfg ~pair:heap_pair ~latency:1.0 in
+  let heap_rows = Exp_common.validate_pair ~cfg ~pair:heap_pair ~latency:1.0 () in
   (* String functions: ~140 uops. *)
   let sf_pair, sf_bytes =
     Strfn_workload.generate
@@ -60,7 +60,7 @@ let () =
   in
   let sf_rows =
     Exp_common.validate_pair ~cfg ~pair:sf_pair
-      ~latency:(Exp_common.meta_latency sf_pair.Meta.meta ~cfg)
+      ~latency:(Exp_common.meta_latency sf_pair.Meta.meta ~cfg) ()
   in
   let sf_g =
     float_of_int
@@ -74,7 +74,7 @@ let () =
   in
   let re_rows =
     Exp_common.validate_pair ~cfg ~pair:re_pair
-      ~latency:(Exp_common.meta_latency re_pair.Meta.meta ~cfg)
+      ~latency:(Exp_common.meta_latency re_pair.Meta.meta ~cfg) ()
   in
   let re_g =
     float_of_int

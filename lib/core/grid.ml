@@ -7,9 +7,17 @@ type t = {
   failures : ((int * int) * Diag.t) list;
 }
 
-let compute core ~accel ~freqs ~coverages mode =
+let compute ?telemetry core ~accel ~freqs ~coverages mode =
   let* _ = Diag.non_empty ~field:"Grid.compute.freqs" freqs in
   let* _ = Diag.non_empty ~field:"Grid.compute.coverages" coverages in
+  Tca_telemetry.Timing.with_span telemetry "grid.compute"
+    ~args:
+      [
+        ("rows", Tca_util.Json.Int (Array.length coverages));
+        ("cols", Tca_util.Json.Int (Array.length freqs));
+        ("mode", Tca_util.Json.String (Mode.to_string mode));
+      ]
+  @@ fun () ->
   let failures = ref [] in
   let cells =
     Array.mapi
@@ -31,10 +39,22 @@ let compute core ~accel ~freqs ~coverages mode =
           freqs)
       coverages
   in
+  (match
+     Option.bind telemetry Tca_telemetry.Sink.metrics
+   with
+  | None -> ()
+  | Some reg ->
+      let add name v =
+        match Tca_telemetry.Metrics.counter reg name with
+        | Ok c -> Tca_telemetry.Metrics.Counter.add c v
+        | Error _ -> ()
+      in
+      add "grid.cells" (Array.length freqs * Array.length coverages);
+      add "grid.failures" (List.length !failures));
   Ok { freqs; coverages; cells; failures = List.rev !failures }
 
-let compute_exn core ~accel ~freqs ~coverages mode =
-  Diag.ok_exn (compute core ~accel ~freqs ~coverages mode)
+let compute_exn ?telemetry core ~accel ~freqs ~coverages mode =
+  Diag.ok_exn (compute ?telemetry core ~accel ~freqs ~coverages mode)
 
 let slowdown_fraction t =
   let feasible = ref 0 and slow = ref 0 in

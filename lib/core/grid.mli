@@ -15,6 +15,7 @@ type t = {
 }
 
 val compute :
+  ?telemetry:Tca_telemetry.Sink.t ->
   Params.core ->
   accel:Params.accel_time ->
   freqs:float array ->
@@ -22,9 +23,12 @@ val compute :
   Mode.t ->
   (t, Diag.t) result
 (** [Error (Empty_input _)] on an empty axis; per-point failures are
-    recorded in [failures], never raised. *)
+    recorded in [failures], never raised. [?telemetry] wraps the sweep
+    in a [grid.compute] wall-clock span and bumps [grid.cells] /
+    [grid.failures] counters on the sink's registry. *)
 
 val compute_exn :
+  ?telemetry:Tca_telemetry.Sink.t ->
   Params.core ->
   accel:Params.accel_time ->
   freqs:float array ->

@@ -99,7 +99,7 @@ let perturb (core : Params.core) (s : Params.scenario) param factor =
 
 let perturb_exn core s param factor = Diag.ok_exn (perturb core s param factor)
 
-let swings ?(delta = 0.2) core s mode =
+let swings ?telemetry ?(delta = 0.2) core s mode =
   let* () =
     if
       (not (Float.is_finite delta)) || delta <= 0.0 || delta >= 1.0
@@ -110,6 +110,9 @@ let swings ?(delta = 0.2) core s mode =
              actual = delta })
     else Ok ()
   in
+  Tca_telemetry.Timing.with_span telemetry "sensitivity.swings"
+    ~args:[ ("mode", Tca_util.Json.String (Mode.to_string mode)) ]
+  @@ fun () ->
   let* unsorted =
     List.fold_right
       (fun param acc ->
@@ -126,9 +129,10 @@ let swings ?(delta = 0.2) core s mode =
   in
   Ok (List.sort (fun a b -> compare b.magnitude a.magnitude) unsorted)
 
-let swings_exn ?delta core s mode = Diag.ok_exn (swings ?delta core s mode)
+let swings_exn ?telemetry ?delta core s mode =
+  Diag.ok_exn (swings ?telemetry ?delta core s mode)
 
-let decision_stable ?(delta = 0.2) core s =
+let decision_stable ?telemetry ?(delta = 0.2) core s =
   let* () =
     if
       (not (Float.is_finite delta)) || delta <= 0.0 || delta >= 1.0
@@ -139,6 +143,8 @@ let decision_stable ?(delta = 0.2) core s =
              actual = delta })
     else Ok ()
   in
+  Tca_telemetry.Timing.with_span telemetry "sensitivity.decision_stable"
+  @@ fun () ->
   let* nominal, _ = Equations.best_mode core s in
   List.fold_left
     (fun acc param ->
@@ -155,7 +161,8 @@ let decision_stable ?(delta = 0.2) core s =
         [ 1.0 -. delta; 1.0 +. delta ])
     (Ok true) all_parameters
 
-let decision_stable_exn ?delta core s = Diag.ok_exn (decision_stable ?delta core s)
+let decision_stable_exn ?telemetry ?delta core s =
+  Diag.ok_exn (decision_stable ?telemetry ?delta core s)
 
 let headers = [ "parameter"; "mode"; "-delta"; "+delta"; "swing" ]
 

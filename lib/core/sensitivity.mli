@@ -40,21 +40,26 @@ val perturb_exn :
   Params.core * Params.scenario
 
 val swings :
+  ?telemetry:Tca_telemetry.Sink.t ->
   ?delta:float -> Params.core -> Params.scenario -> Mode.t ->
   (swing list, Diag.t) result
 (** One swing per parameter for the mode, sorted by decreasing magnitude
     (the tornado ordering). [delta] defaults to 0.2 (±20%) and must lie
-    strictly inside (0, 1). *)
+    strictly inside (0, 1). [?telemetry] wraps the tornado evaluation in
+    a [sensitivity.swings] wall-clock span. *)
 
 val swings_exn :
+  ?telemetry:Tca_telemetry.Sink.t ->
   ?delta:float -> Params.core -> Params.scenario -> Mode.t -> swing list
 
 val decision_stable :
+  ?telemetry:Tca_telemetry.Sink.t ->
   ?delta:float -> Params.core -> Params.scenario -> (bool, Diag.t) result
 (** Does the best mode stay the best under every single-parameter ±delta
     perturbation? *)
 
 val decision_stable_exn :
+  ?telemetry:Tca_telemetry.Sink.t ->
   ?delta:float -> Params.core -> Params.scenario -> bool
 
 val rows : swing list -> string list list

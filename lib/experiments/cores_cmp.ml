@@ -18,7 +18,7 @@ let run ?(quick = false) () =
     (fun (core_name, cfg) ->
       let cmp =
         Simulator.compare_modes_exn ~cfg ~baseline:pair.Meta.baseline
-          ~accelerated:pair.Meta.accelerated
+          ~accelerated:pair.Meta.accelerated ()
       in
       let mode_speedups =
         List.map

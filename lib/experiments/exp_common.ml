@@ -58,10 +58,13 @@ let error_pct r =
 let refill_error_pct r =
   100.0 *. (r.model_refill_speedup -. r.sim_speedup) /. r.sim_speedup
 
-let validate_pair ~cfg ~(pair : Meta.pair) ~latency =
+let validate_pair ?telemetry ~cfg ~(pair : Meta.pair) ~latency () =
   let cmp =
-    Simulator.compare_modes_exn ~cfg ~baseline:pair.Meta.baseline
-      ~accelerated:pair.Meta.accelerated
+    Tca_telemetry.Timing.with_span telemetry
+      ("validate." ^ pair.Meta.meta.Meta.name)
+      (fun () ->
+        Simulator.compare_modes_exn ?telemetry ~cfg
+          ~baseline:pair.Meta.baseline ~accelerated:pair.Meta.accelerated ())
   in
   let ipc = cmp.Simulator.baseline.Sim_stats.ipc in
   let core = model_core_of cfg ~ipc in

@@ -44,12 +44,16 @@ val error_pct : validation_row -> float
 val refill_error_pct : validation_row -> float
 
 val validate_pair :
+  ?telemetry:Tca_telemetry.Sink.t ->
   cfg:Tca_uarch.Config.t ->
   pair:Tca_workloads.Meta.pair ->
   latency:float ->
+  unit ->
   validation_row list
 (** Run baseline + four couplings in the simulator, evaluate the model
-    with the measured baseline IPC, and return one row per mode. *)
+    with the measured baseline IPC, and return one row per mode. With
+    [?telemetry], the five simulator runs share the sink and the whole
+    point is wrapped in a [validate.<workload>] wall-clock span. *)
 
 val rows_to_table : validation_row list -> string list list
 val table_headers : string list

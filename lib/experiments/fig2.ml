@@ -5,7 +5,8 @@ type row = { g : float; speedups : (Mode.t * float) list }
 let coverage = 0.3
 let accel = Params.Factor 3.0
 
-let run ?(points = 33) () =
+let run ?telemetry ?(points = 33) () =
+  Tca_telemetry.Timing.with_span telemetry "fig2.run" @@ fun () ->
   let gs = Tca_util.Sweep.logspace_exn 10.0 1.0e9 points in
   let series = Granularity.series Presets.arm_a72 ~a:coverage ~accel ~gs in
   Array.to_list

@@ -7,7 +7,7 @@ type row = {
   speedups : (Tca_model.Mode.t * float) list;
 }
 
-val run : ?points:int -> unit -> row list
+val run : ?telemetry:Tca_telemetry.Sink.t -> ?points:int -> unit -> row list
 (** Granularity sweep over [10^1 .. 10^9], default 33 points. *)
 
 val print : row list -> unit

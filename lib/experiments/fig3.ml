@@ -29,7 +29,8 @@ let interval_trace ~leading ~trailing ~accel_latency =
   Codegen.emit_block gen b trailing;
   Trace.Builder.build b
 
-let run ?(leading = 150) ?(trailing = 150) ?(accel_latency = 40) () =
+let run ?telemetry ?(leading = 150) ?(trailing = 150) ?(accel_latency = 40) () =
+  Tca_telemetry.Timing.with_span telemetry "fig3.run" @@ fun () ->
   let trace = interval_trace ~leading ~trailing ~accel_latency in
   List.map
     (fun coupling ->
@@ -49,7 +50,7 @@ let run ?(leading = 150) ?(trailing = 150) ?(accel_latency = 40) () =
               buf := issued :: !buf);
         }
       in
-      let stats = Pipeline.run_exn ~probe cfg trace in
+      let stats = Pipeline.run_exn ~probe ?telemetry cfg trace in
       {
         mode = Exp_common.mode_of_coupling coupling;
         cycles = stats.Sim_stats.cycles;

@@ -9,7 +9,9 @@ type timeline = {
   issued : int array;  (** instructions entering execute, per cycle *)
 }
 
-val run : ?leading:int -> ?trailing:int -> ?accel_latency:int -> unit ->
+val run :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?leading:int -> ?trailing:int -> ?accel_latency:int -> unit ->
   timeline list
 (** Defaults: 150 leading μops, 150 trailing μops, 40-cycle TCA. *)
 

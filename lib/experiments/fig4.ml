@@ -8,7 +8,8 @@ let app_config =
 
 let accel_latency = 20
 
-let run ?(quick = false) () =
+let run ?telemetry ?(quick = false) () =
+  Tca_telemetry.Timing.with_span telemetry "fig4.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let n_units = if quick then 1200 else 4000 in
   List.concat_map
@@ -18,7 +19,8 @@ let run ?(quick = false) () =
           ~seed:(41 + n_chunks) ()
       in
       let pair = Synthetic.generate scfg in
-      Exp_common.validate_pair ~cfg ~pair ~latency:(float_of_int accel_latency))
+      Exp_common.validate_pair ?telemetry ~cfg ~pair
+        ~latency:(float_of_int accel_latency) ())
     (List.filter (fun c -> c <= n_units) (chunk_counts ~quick))
 
 let summary rows =

@@ -6,7 +6,9 @@
 val chunk_counts : quick:bool -> int list
 (** The sweep: [10; 25; 50; 100; 200; 400] (plus 800 in the full run). *)
 
-val run : ?quick:bool -> unit -> Exp_common.validation_row list
+val run :
+  ?telemetry:Tca_telemetry.Sink.t -> ?quick:bool -> unit ->
+  Exp_common.validation_row list
 (** [quick] (default false) shrinks the trace for test use. *)
 
 val summary : Exp_common.validation_row list -> (Tca_model.Validate.summary, Tca_model.Diag.t) result

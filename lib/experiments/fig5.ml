@@ -3,7 +3,8 @@ open Tca_workloads
 let gaps ~quick =
   if quick then [ 400; 100 ] else [ 1600; 800; 400; 200; 100; 50; 25 ]
 
-let run ?(quick = false) () =
+let run ?telemetry ?(quick = false) () =
+  Tca_telemetry.Timing.with_span telemetry "fig5.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let n_calls = if quick then 600 else 2000 in
   List.concat_map
@@ -13,8 +14,8 @@ let run ?(quick = false) () =
           ()
       in
       let pair = Heap_workload.generate hcfg in
-      Exp_common.validate_pair ~cfg ~pair
-        ~latency:(float_of_int Tca_heap.Cost_model.accel_latency))
+      Exp_common.validate_pair ?telemetry ~cfg ~pair
+        ~latency:(float_of_int Tca_heap.Cost_model.accel_latency) ())
     (gaps ~quick)
 
 let summary rows =

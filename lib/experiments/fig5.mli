@@ -6,7 +6,9 @@ val gaps : quick:bool -> int list
 (** Application instructions between heap calls; smaller = higher
     invocation frequency. *)
 
-val run : ?quick:bool -> unit -> Exp_common.validation_row list
+val run :
+  ?telemetry:Tca_telemetry.Sink.t -> ?quick:bool -> unit ->
+  Exp_common.validation_row list
 val summary : Exp_common.validation_row list -> (Tca_model.Validate.summary, Tca_model.Diag.t) result
 val trends_hold : Exp_common.validation_row list -> bool
 val print : Exp_common.validation_row list -> unit

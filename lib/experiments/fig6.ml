@@ -1,13 +1,14 @@
 open Tca_workloads
 
-let run ?(n = 64) () =
+let run ?telemetry ?(n = 64) () =
+  Tca_telemetry.Timing.with_span telemetry "fig6.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let dcfg = Dgemm_workload.config ~n () in
   List.concat_map
     (fun dim ->
       let pair = Dgemm_workload.pair dcfg ~dim in
       let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
-      Exp_common.validate_pair ~cfg ~pair ~latency)
+      Exp_common.validate_pair ?telemetry ~cfg ~pair ~latency ())
     Tca_dgemm.Mma.supported_dims
 
 let summary rows =

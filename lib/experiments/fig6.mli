@@ -2,7 +2,9 @@
     — measured (simulator) vs estimated (model) speedup over the software
     element-wise kernel, for all four modes, log-scale magnitudes. *)
 
-val run : ?n:int -> unit -> Exp_common.validation_row list
+val run :
+  ?telemetry:Tca_telemetry.Sink.t -> ?n:int -> unit ->
+  Exp_common.validation_row list
 (** [n] is the matrix dimension (default 64; the paper uses 512 with the
     identical 32x32 blocking — the per-block instruction mix and
     TCA-to-core work ratio do not depend on n, and n = 128 is the

@@ -9,14 +9,15 @@ type map = {
 
 let accel = Params.Factor Tca_workloads.Greendroid.accel_factor
 
-let run ?(cols = 48) ?(rows = 17) () =
+let run ?telemetry ?(cols = 48) ?(rows = 17) () =
+  Tca_telemetry.Timing.with_span telemetry "fig7.run" @@ fun () ->
   let freqs = Tca_util.Sweep.logspace_exn 1.0e-6 0.1 cols in
   let coverages = Tca_util.Sweep.linspace_exn 0.05 0.95 rows in
   List.concat_map
     (fun (core_name, core) ->
       List.map
         (fun mode ->
-          let grid = Grid.compute_exn core ~accel ~freqs ~coverages mode in
+          let grid = Grid.compute_exn ?telemetry core ~accel ~freqs ~coverages mode in
           {
             core_name;
             mode;

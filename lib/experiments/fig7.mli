@@ -11,7 +11,7 @@ type map = {
   slowdown_fraction : float;
 }
 
-val run : ?cols:int -> ?rows:int -> unit -> map list
+val run : ?telemetry:Tca_telemetry.Sink.t -> ?cols:int -> ?rows:int -> unit -> map list
 (** Default 48 columns (v in 10^-6 .. 10^-1, log) x 17 rows (a in
     0.05 .. 0.95). Eight maps: 2 cores x 4 modes. *)
 

@@ -10,7 +10,8 @@ let granularity = 100.0
 let accel_factor = 2.0
 let accel = Params.Factor accel_factor
 
-let run ?(points = 97) ?(core = Presets.hp_core) () =
+let run ?telemetry ?(points = 97) ?(core = Presets.hp_core) () =
+  Tca_telemetry.Timing.with_span telemetry "fig8.run" @@ fun () ->
   let coverages = Tca_util.Sweep.linspace_exn 0.0 0.99 points in
   List.map
     (fun mode ->

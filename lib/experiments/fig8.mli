@@ -9,7 +9,9 @@ type series = {
   peak : float * float;
 }
 
-val run : ?points:int -> ?core:Tca_model.Params.core -> unit -> series list
+val run :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?points:int -> ?core:Tca_model.Params.core -> unit -> series list
 (** Default 97 coverage points on the HP core. *)
 
 val ideal_peak : float * float

@@ -2,7 +2,8 @@ open Tca_workloads
 
 let gaps ~quick = if quick then [ 200 ] else [ 800; 400; 200; 100; 50 ]
 
-let run ?(quick = false) () =
+let run ?telemetry ?(quick = false) () =
+  Tca_telemetry.Timing.with_span telemetry "hashmap_val.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let n_lookups = if quick then 500 else 1500 in
   let mean_probes = ref 0.0 in
@@ -16,7 +17,7 @@ let run ?(quick = false) () =
         let pair, probes = Hashmap_workload.generate hcfg in
         mean_probes := probes;
         let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
-        Exp_common.validate_pair ~cfg ~pair ~latency)
+        Exp_common.validate_pair ?telemetry ~cfg ~pair ~latency ())
       (gaps ~quick)
   in
   (rows, !mean_probes)

@@ -9,7 +9,9 @@
 
 val gaps : quick:bool -> int list
 
-val run : ?quick:bool -> unit -> Exp_common.validation_row list * float
+val run :
+  ?telemetry:Tca_telemetry.Sink.t -> ?quick:bool -> unit ->
+  Exp_common.validation_row list * float
 (** Rows plus the measured mean probes per lookup. *)
 
 val print : Exp_common.validation_row list * float -> unit

@@ -31,7 +31,7 @@ let run ?(n = 32) () =
             occupancy = occupancy_name occupancy;
             mode = Exp_common.mode_of_coupling coupling;
             cycles = stats.Sim_stats.cycles;
-            speedup = Sim_stats.speedup ~baseline ~accelerated:stats;
+            speedup = Sim_stats.speedup_exn ~baseline ~accelerated:stats;
           })
         Config.all_couplings)
     [ Config.Pipelined; Config.Exclusive ]

@@ -58,7 +58,7 @@ let validate ?(quick = false) () =
       let stats = Pipeline.run_exn run_cfg pair.Tca_workloads.Meta.accelerated in
       {
         p;
-        sim_speedup = Sim_stats.speedup ~baseline ~accelerated:stats;
+        sim_speedup = Sim_stats.speedup_exn ~baseline ~accelerated:stats;
         model_speedup = Partial.speedup model_core s ~trailing:true ~p_speculate:p;
       })
     [ 0.0; 0.25; 0.5; 0.75; 1.0 ]

@@ -2,7 +2,8 @@ open Tca_workloads
 
 let gaps ~quick = if quick then [ 400 ] else [ 3200; 1600; 800; 400; 200 ]
 
-let run ?(quick = false) () =
+let run ?telemetry ?(quick = false) () =
+  Tca_telemetry.Timing.with_span telemetry "regex_val.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let n_records = if quick then 120 else 400 in
   let mean_scan = ref 0.0 in
@@ -16,7 +17,7 @@ let run ?(quick = false) () =
         let pair, scan = Regex_workload.generate rcfg in
         mean_scan := scan;
         let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
-        Exp_common.validate_pair ~cfg ~pair ~latency)
+        Exp_common.validate_pair ?telemetry ~cfg ~pair ~latency ())
       (gaps ~quick)
   in
   (rows, !mean_scan)

@@ -5,7 +5,9 @@
 
 val gaps : quick:bool -> int list
 
-val run : ?quick:bool -> unit -> Exp_common.validation_row list * float
+val run :
+  ?telemetry:Tca_telemetry.Sink.t -> ?quick:bool -> unit ->
+  Exp_common.validation_row list * float
 (** Rows plus the mean characters scanned per search. *)
 
 val print : Exp_common.validation_row list * float -> unit

@@ -2,7 +2,8 @@ open Tca_workloads
 
 let gaps ~quick = if quick then [ 300 ] else [ 1200; 600; 300; 150; 75 ]
 
-let run ?(quick = false) () =
+let run ?telemetry ?(quick = false) () =
+  Tca_telemetry.Timing.with_span telemetry "strfn_val.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let n_calls = if quick then 400 else 1200 in
   let mean_bytes = ref 0.0 in
@@ -16,7 +17,7 @@ let run ?(quick = false) () =
         let pair, bytes = Strfn_workload.generate scfg in
         mean_bytes := bytes;
         let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
-        Exp_common.validate_pair ~cfg ~pair ~latency)
+        Exp_common.validate_pair ?telemetry ~cfg ~pair ~latency ())
       (gaps ~quick)
   in
   (rows, !mean_bytes)

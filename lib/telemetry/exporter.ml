@@ -1,0 +1,81 @@
+open Tca_util
+
+let event_json (e : Sink.event) =
+  let base =
+    [
+      ("name", Json.String e.Sink.name);
+      ("cat", Json.String e.Sink.cat);
+      ("ph", Json.String (String.make 1 e.Sink.ph));
+      ("ts", Json.Float e.Sink.ts);
+      ("pid", Json.Int e.Sink.pid);
+      ("tid", Json.Int 0);
+    ]
+  in
+  let dur = if e.Sink.ph = 'X' then [ ("dur", Json.Float e.Sink.dur) ] else [] in
+  (* Instant events need a scope for the viewers; "t" = thread. *)
+  let scope = if e.Sink.ph = 'i' then [ ("s", Json.String "t") ] else [] in
+  let args =
+    match e.Sink.args with [] -> [] | a -> [ ("args", Json.Obj a) ]
+  in
+  Json.Obj (base @ dur @ scope @ args)
+
+let chrome_trace_json sink =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json (Sink.events sink)));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.String "tca-telemetry");
+            ("clock", Json.String "cycles-as-us");
+          ] );
+    ]
+
+let with_out path f =
+  match open_out path with
+  | exception Sys_error message ->
+      Error (Diag.Invalid { field = "Exporter.write"; message })
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc);
+      Ok ()
+
+let write_chrome_trace sink path =
+  with_out path (fun oc ->
+      (* Stream event-by-event: a long run's trace never needs the whole
+         serialised document in memory at once. *)
+      output_string oc "{\"traceEvents\":[";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_char oc ',';
+          output_string oc "\n  ";
+          output_string oc (Json.to_string (event_json e)))
+        (Sink.events sink);
+      output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n")
+
+let write_jsonl ?metrics sink path =
+  with_out path (fun oc ->
+      let line j =
+        output_string oc (Json.to_string j);
+        output_char oc '\n'
+      in
+      line
+        (Json.Obj
+           [
+             ("kind", Json.String "meta");
+             ("producer", Json.String "tca-telemetry");
+             ("events", Json.Int (Sink.length sink));
+             ("interval", Json.Int (Sink.interval sink));
+           ]);
+      List.iter (fun e -> line (event_json e)) (Sink.events sink);
+      match (metrics, Sink.metrics sink) with
+      | Some reg, _ | None, Some reg ->
+          line
+            (Json.Obj
+               [ ("kind", Json.String "metrics"); ("metrics", Metrics.to_json reg) ])
+      | None, None -> ())
+
+let write_metrics_json reg path =
+  with_out path (fun oc ->
+      output_string oc (Json.to_string_indent (Metrics.to_json reg));
+      output_char oc '\n')

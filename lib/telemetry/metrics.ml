@@ -1,0 +1,180 @@
+module Counter = struct
+  type m = { mutable count : int }
+
+  let add m d = if d > 0 then m.count <- m.count + d
+  let incr m = m.count <- m.count + 1
+  let value m = m.count
+end
+
+module Gauge = struct
+  type m = { mutable v : float }
+
+  let set m v = m.v <- v
+  let value m = m.v
+end
+
+module Histogram = struct
+  type m = {
+    bounds : float array;  (* strictly increasing *)
+    hits : int array;  (* per-bucket, last slot = overflow *)
+    mutable n : int;
+    mutable total : float;
+  }
+
+  let observe m v =
+    let rec find i =
+      if i >= Array.length m.bounds then Array.length m.bounds
+      else if v <= m.bounds.(i) then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    m.hits.(i) <- m.hits.(i) + 1;
+    m.n <- m.n + 1;
+    m.total <- m.total +. v
+
+  let count m = m.n
+  let sum m = m.total
+
+  let buckets m =
+    let cum = ref 0 in
+    List.init
+      (Array.length m.bounds + 1)
+      (fun i ->
+        cum := !cum + m.hits.(i);
+        ((if i < Array.length m.bounds then m.bounds.(i) else infinity), !cum))
+end
+
+type instrument =
+  | I_counter of Counter.m
+  | I_gauge of Gauge.m
+  | I_histogram of Histogram.m
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let mismatch name existing wanted =
+  Error
+    (Tca_util.Diag.Invalid
+       {
+         field = "Metrics." ^ wanted;
+         message =
+           Printf.sprintf "%S is already registered as a %s" name
+             (kind_name existing);
+       })
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_counter c) -> Ok c
+  | Some other -> mismatch name other "counter"
+  | None ->
+      let c = { Counter.count = 0 } in
+      Hashtbl.replace t.tbl name (I_counter c);
+      Ok c
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_gauge g) -> Ok g
+  | Some other -> mismatch name other "gauge"
+  | None ->
+      let g = { Gauge.v = 0.0 } in
+      Hashtbl.replace t.tbl name (I_gauge g);
+      Ok g
+
+(* 1-2-5 ladder over ten decades: fits wall-clock seconds from
+   microseconds up to ~17 minutes. *)
+let default_bounds =
+  Array.concat
+    (List.init 10 (fun d ->
+         let scale = 10.0 ** float_of_int (d - 6) in
+         [| scale; 2.0 *. scale; 5.0 *. scale |]))
+
+let check_bounds bounds =
+  let ok = ref (Array.length bounds > 0) in
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then ok := false
+      else if i > 0 && b <= bounds.(i - 1) then ok := false)
+    bounds;
+  if !ok then Ok ()
+  else
+    Error
+      (Tca_util.Diag.Invalid
+         {
+           field = "Metrics.histogram";
+           message = "bounds must be non-empty, finite and strictly increasing";
+         })
+
+let histogram ?(bounds = default_bounds) t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_histogram h) -> Ok h
+  | Some other -> mismatch name other "histogram"
+  | None -> (
+      match check_bounds bounds with
+      | Error d -> Error d
+      | Ok () ->
+          let h =
+            {
+              Histogram.bounds = Array.copy bounds;
+              hits = Array.make (Array.length bounds + 1) 0;
+              n = 0;
+              total = 0.0;
+            }
+          in
+          Hashtbl.replace t.tbl name (I_histogram h);
+          Ok h)
+
+let counter_exn t name = Tca_util.Diag.ok_exn (counter t name)
+let gauge_exn t name = Tca_util.Diag.ok_exn (gauge t name)
+
+let histogram_exn ?bounds t name =
+  Tca_util.Diag.ok_exn (histogram ?bounds t name)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_counter c) -> Counter.value c
+  | Some _ | None -> 0
+
+let to_json t =
+  let sorted kind =
+    Hashtbl.fold
+      (fun name i acc -> match kind i with Some j -> (name, j) :: acc | None -> acc)
+      t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let open Tca_util.Json in
+  Obj
+    [
+      ( "counters",
+        Obj
+          (sorted (function
+            | I_counter c -> Some (Int (Counter.value c))
+            | _ -> None)) );
+      ( "gauges",
+        Obj
+          (sorted (function
+            | I_gauge g -> Some (Float (Gauge.value g))
+            | _ -> None)) );
+      ( "histograms",
+        Obj
+          (sorted (function
+            | I_histogram h ->
+                Some
+                  (Obj
+                     [
+                       ("count", Int (Histogram.count h));
+                       ("sum", Float (Histogram.sum h));
+                       ( "buckets",
+                         List
+                           (List.map
+                              (fun (le, n) ->
+                                Obj [ ("le", Float le); ("count", Int n) ])
+                              (Histogram.buckets h)) );
+                     ])
+            | _ -> None)) );
+    ]

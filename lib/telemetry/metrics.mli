@@ -1,0 +1,74 @@
+(** Metrics registry: typed, named counters, gauges and histograms.
+
+    Where {!Sink} records a {e timeline} (events at timestamps), the
+    registry records {e aggregates}: cumulative counts, last-seen
+    values and latency distributions that survive across many runs —
+    the shape the bench harness and the CLI export as JSON.
+
+    Registration is idempotent: asking for an existing name returns
+    the existing instrument; asking for a name that is registered with
+    a {e different} kind returns [Error (Invalid _)] rather than
+    silently shadowing it. Names are free-form; the convention in this
+    repository is dot-separated lowercase ([sim.cycles],
+    [sweep.points]). *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+module Counter : sig
+  type m
+  (** Monotonically increasing integer count. *)
+
+  val add : m -> int -> unit
+  (** Negative deltas are ignored (a counter never goes down). *)
+
+  val incr : m -> unit
+  val value : m -> int
+end
+
+module Gauge : sig
+  type m
+  (** Last-written float value. *)
+
+  val set : m -> float -> unit
+  val value : m -> float
+end
+
+module Histogram : sig
+  type m
+  (** Fixed-bound bucketed distribution with sum/count, Prometheus
+      style: an observation lands in the first bucket whose upper
+      bound is [>=] the value, or the implicit overflow bucket. *)
+
+  val observe : m -> float -> unit
+  val count : m -> int
+  val sum : m -> float
+
+  val buckets : m -> (float * int) list
+  (** Upper bound, cumulative count [<=] bound; the overflow bucket is
+      reported with bound [infinity]. *)
+end
+
+val counter : t -> string -> (Counter.m, Tca_util.Diag.t) result
+val gauge : t -> string -> (Gauge.m, Tca_util.Diag.t) result
+
+val histogram :
+  ?bounds:float array -> t -> string -> (Histogram.m, Tca_util.Diag.t) result
+(** [bounds] must be strictly increasing and finite (checked; default
+    a 1-2-5 decade ladder from 1e-6 to 1e3, suitable for seconds).
+    [bounds] is only consulted when the histogram does not already
+    exist. *)
+
+val counter_exn : t -> string -> Counter.m
+val gauge_exn : t -> string -> Gauge.m
+val histogram_exn : ?bounds:float array -> t -> string -> Histogram.m
+
+val counter_value : t -> string -> int
+(** 0 when absent or not a counter — a read-side convenience that
+    never fails. *)
+
+val to_json : t -> Tca_util.Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
+    names sorted, so the output is deterministic. *)

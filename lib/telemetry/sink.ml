@@ -1,0 +1,64 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts : float;
+  dur : float;
+  pid : int;
+  args : (string * Tca_util.Json.t) list;
+}
+
+type t = {
+  sample_interval : int;
+  registry : Metrics.t option;
+  mutable buf : event array;
+  mutable len : int;
+}
+
+let track_sim = 0
+let track_wall = 1
+
+let dummy =
+  { name = ""; cat = ""; ph = 'i'; ts = 0.0; dur = 0.0; pid = 0; args = [] }
+
+let create ?(interval = 256) ?metrics () =
+  {
+    sample_interval = max 1 interval;
+    registry = metrics;
+    buf = Array.make 1024 dummy;
+    len = 0;
+  }
+
+let interval t = t.sample_interval
+let metrics t = t.registry
+
+let push t ev =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let counter t ?(pid = track_sim) ?(cat = "counter") ~ts name series =
+  push t
+    {
+      name;
+      cat;
+      ph = 'C';
+      ts;
+      dur = 0.0;
+      pid;
+      args = List.map (fun (k, v) -> (k, Tca_util.Json.Float v)) series;
+    }
+
+let span t ?(pid = track_sim) ?(cat = "span") ?(args = []) ~ts ~dur name =
+  push t { name; cat; ph = 'X'; ts; dur = Float.max 0.0 dur; pid; args }
+
+let instant t ?(pid = track_sim) ?(cat = "instant") ?(args = []) ~ts name =
+  push t { name; cat; ph = 'i'; ts; dur = 0.0; pid; args }
+
+let events t = Array.to_list (Array.sub t.buf 0 t.len)
+let length t = t.len
+let clear t = t.len <- 0

@@ -1,0 +1,68 @@
+(** Event sink: the collection side of the telemetry layer.
+
+    A sink is an in-memory, append-only buffer of timestamped events —
+    counter samples, spans and instants — later rendered by
+    {!Exporter} as JSON-lines or a Chrome [trace_event] file.
+
+    The instrumented code (the pipeline, the model sweeps, the CLI)
+    takes a [Sink.t option] as an optional [?telemetry] argument:
+    [None] is the disabled path and costs one pointer comparison per
+    instrumentation site, so a run without telemetry is unperturbed
+    both behaviourally and (to measurement noise) in time.
+    Instrumentation only ever {e reads} simulator state — enabling a
+    sink must never change simulation results, and the fuzz harness
+    asserts exactly that.
+
+    Timestamps are abstract doubles: simulator events use the cycle
+    number, wall-clock spans ({!Timing}) use microseconds since the
+    sink was created. The two families are kept apart by track
+    ([pid]): {!track_sim} and {!track_wall}. *)
+
+type t
+
+val create : ?interval:int -> ?metrics:Metrics.t -> unit -> t
+(** [interval] (default 256 cycles, min 1) is the sampling period used
+    by the simulator's per-interval counters; [metrics] is an optional
+    registry the instrumented code may also update (e.g. cumulative
+    cycles simulated across runs). *)
+
+val interval : t -> int
+val metrics : t -> Metrics.t option
+
+val track_sim : int
+(** [pid] for cycle-timestamped simulator events (= 0). *)
+
+val track_wall : int
+(** [pid] for wall-clock spans from {!Timing} (= 1). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (** Chrome phase: 'C' counter, 'X' complete span, 'i' instant *)
+  ts : float;
+  dur : float;  (** meaningful only for ph = 'X' *)
+  pid : int;
+  args : (string * Tca_util.Json.t) list;
+}
+
+val counter :
+  t -> ?pid:int -> ?cat:string -> ts:float -> string ->
+  (string * float) list -> unit
+(** One sample of a multi-series counter (Chrome 'C'). *)
+
+val span :
+  t -> ?pid:int -> ?cat:string -> ?args:(string * Tca_util.Json.t) list ->
+  ts:float -> dur:float -> string -> unit
+(** A completed interval of work (Chrome 'X'). Negative durations are
+    clamped to 0 rather than rejected: the sink never raises. *)
+
+val instant :
+  t -> ?pid:int -> ?cat:string -> ?args:(string * Tca_util.Json.t) list ->
+  ts:float -> string -> unit
+(** A point event (Chrome 'i'). *)
+
+val events : t -> event list
+(** All events in emission order. *)
+
+val length : t -> int
+val clear : t -> unit

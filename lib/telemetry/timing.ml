@@ -1,0 +1,36 @@
+let t0 = lazy (Unix.gettimeofday ())
+
+let now_us () = (Unix.gettimeofday () -. Lazy.force t0) *. 1e6
+
+let update_registry sink name seconds =
+  match Sink.metrics sink with
+  | None -> ()
+  | Some reg ->
+      (match Metrics.histogram reg (name ^ ".seconds") with
+      | Ok h -> Metrics.Histogram.observe h seconds
+      | Error _ -> ());
+      (match Metrics.counter reg (name ^ ".calls") with
+      | Ok c -> Metrics.Counter.incr c
+      | Error _ -> ())
+
+let record_span telemetry name ~seconds =
+  match telemetry with
+  | None -> ()
+  | Some sink ->
+      let dur = Float.max 0.0 (seconds *. 1e6) in
+      Sink.span sink ~pid:Sink.track_wall ~cat:"wall"
+        ~ts:(now_us () -. dur) ~dur name;
+      update_registry sink name seconds
+
+let with_span ?(args = []) telemetry name f =
+  match telemetry with
+  | None -> f ()
+  | Some sink ->
+      let start = now_us () in
+      let finish () =
+        let stop = now_us () in
+        Sink.span sink ~pid:Sink.track_wall ~cat:"wall" ~args ~ts:start
+          ~dur:(stop -. start) name;
+        update_registry sink name ((stop -. start) /. 1e6)
+      in
+      Fun.protect ~finally:finish f

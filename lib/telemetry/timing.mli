@@ -1,0 +1,24 @@
+(** Wall-clock spans over an optional sink.
+
+    This is the model-side and harness-side instrumentation primitive:
+    wrap a sweep, a figure regeneration or a bench target in
+    {!with_span} and the elapsed time lands in the sink (on
+    {!Sink.track_wall}, in microseconds since the process first used
+    this module) and, when the sink carries a registry, in a
+    [<name>.seconds] histogram and a [<name>.calls] counter.
+
+    All functions accept [Sink.t option] so call sites can pass their
+    [?telemetry] argument straight through; [None] runs the thunk with
+    zero bookkeeping. Exceptions propagate unchanged, and the span is
+    still recorded (spans measure elapsed time, not success). *)
+
+val now_us : unit -> float
+(** Microseconds of wall-clock elapsed since this module's first use in
+    the process: a stable base for trace timestamps. *)
+
+val with_span :
+  ?args:(string * Tca_util.Json.t) list ->
+  Sink.t option -> string -> (unit -> 'a) -> 'a
+
+val record_span : Sink.t option -> string -> seconds:float -> unit
+(** Record an externally measured duration that ends "now". *)

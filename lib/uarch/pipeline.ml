@@ -12,6 +12,10 @@ let st_done = 3
 
 type state = {
   cfg : Config.t;
+  telemetry : Tca_telemetry.Sink.t option;
+      (* Observation only: instrumentation reads simulator state, never
+         writes it, so an attached sink cannot perturb results (asserted
+         by the fuzz harness). *)
   trace : Trace.t;
   hier : Mem_hier.t;
   bp : Bpred.t;
@@ -62,10 +66,11 @@ type state = {
   mutable occupancy_at_accel_sum : int;
 }
 
-let create cfg trace =
+let create ?telemetry cfg trace =
   let r = cfg.Config.rob_size in
   {
     cfg;
+    telemetry;
     trace;
     hier = Mem_hier.create cfg.Config.mem;
     bp = Bpred.create cfg.Config.bpred;
@@ -270,7 +275,22 @@ let issue_accel s slot (a : Isa.accel) =
     s.pending_accel_writes <- (finish, a.Isa.writes) :: s.pending_accel_writes;
   s.complete_at.(slot) <- max finish (s.cycle + 1);
   s.accel_free_at <- s.complete_at.(slot);
-  s.accel_busy <- s.accel_busy + (s.complete_at.(slot) - s.cycle)
+  s.accel_busy <- s.accel_busy + (s.complete_at.(slot) - s.cycle);
+  match s.telemetry with
+  | None -> ()
+  | Some sink ->
+      (* Invoke-to-complete span; its duration is exactly this
+         invocation's contribution to [accel_busy]. *)
+      Tca_telemetry.Sink.span sink ~cat:"accel"
+        ~args:
+          [
+            ("reads", Tca_util.Json.Int (Array.length a.Isa.reads));
+            ("writes", Tca_util.Json.Int (Array.length a.Isa.writes));
+            ("compute_latency", Tca_util.Json.Int a.Isa.compute_latency);
+          ]
+        ~ts:(float_of_int s.cycle)
+        ~dur:(float_of_int (s.complete_at.(slot) - s.cycle))
+        "accel.invoke"
 
 let issue_stage s =
   let issued = ref 0 in
@@ -392,14 +412,26 @@ let dispatch_stage s =
                 s.mispredicts <- s.mispredicts + 1;
                 s.pending_redirect <- slot;
                 s.pending_redirect_seq <- s.seq.(slot);
-                s.fetch_resume_at <- max_int
+                s.fetch_resume_at <- max_int;
+                match s.telemetry with
+                | None -> ()
+                | Some sink ->
+                    Tca_telemetry.Sink.instant sink ~cat:"branch"
+                      ~args:[ ("pc", Tca_util.Json.Int ins.Isa.pc) ]
+                      ~ts:(float_of_int s.cycle) "flush.mispredict"
               end
             end
         | Isa.Accel _ ->
             s.accel_invocations <- s.accel_invocations + 1;
             s.occupancy_at_accel_sum <- s.occupancy_at_accel_sum + s.count - 1;
             if not s.cfg.Config.coupling.Config.allow_trailing then
-              s.serialize_slot <- slot
+              s.serialize_slot <- slot;
+            (match s.telemetry with
+            | None -> ()
+            | Some sink ->
+                Tca_telemetry.Sink.instant sink ~cat:"accel"
+                  ~args:[ ("rob_occupancy", Tca_util.Json.Int (s.count - 1)) ]
+                  ~ts:(float_of_int s.cycle) "accel.dispatch")
         | _ -> ());
         s.next_fetch <- s.next_fetch + 1;
         incr dispatched
@@ -477,11 +509,108 @@ let stats_of_outcome = function
 
 let default_cycle_budget trace = 100_000 + (500 * Trace.length trace)
 
-let run ?probe cfg trace =
+(* Per-interval telemetry: a snapshot of the cumulative counters at the
+   last flush, so each flush emits exact deltas. Because the final
+   (possibly partial) interval is flushed when the run ends, the deltas
+   of every series sum to the corresponding [Sim_stats] total by
+   construction. *)
+type interval_snap = {
+  mutable last_cycle : int;  (* cycle of the previous flush *)
+  mutable s_rob : int;
+  mutable s_iq : int;
+  mutable s_lsq : int;
+  mutable s_serialize : int;
+  mutable s_redirect : int;
+  mutable s_drained : int;
+  mutable s_committed : int;
+  mutable s_occupancy_sum : int;
+  mutable acc_dispatched : int;  (* accumulated since the last flush *)
+  mutable acc_issued : int;
+}
+
+let flush_interval s sink snap ~now =
+  let len = now - snap.last_cycle in
+  if len > 0 then begin
+    let ts = float_of_int now in
+    let f = float_of_int in
+    Tca_telemetry.Sink.counter sink ~cat:"sim" ~ts "sim.stalls"
+      [
+        ("rob", f (s.stall_rob - snap.s_rob));
+        ("iq", f (s.stall_iq - snap.s_iq));
+        ("lsq", f (s.stall_lsq - snap.s_lsq));
+        ("serialize", f (s.stall_serialize - snap.s_serialize));
+        ("redirect", f (s.stall_redirect - snap.s_redirect));
+        ("drained", f (s.stall_drained - snap.s_drained));
+      ];
+    Tca_telemetry.Sink.counter sink ~cat:"sim" ~ts "sim.pipeline"
+      [
+        ("committed", f (s.committed - snap.s_committed));
+        ("dispatched", f snap.acc_dispatched);
+        ("issued", f snap.acc_issued);
+      ];
+    Tca_telemetry.Sink.counter sink ~cat:"sim" ~ts "sim.rob"
+      [
+        ("occupancy", f s.count);
+        ( "avg",
+          float_of_int (s.occupancy_sum - snap.s_occupancy_sum)
+          /. float_of_int len );
+      ];
+    snap.last_cycle <- now;
+    snap.s_rob <- s.stall_rob;
+    snap.s_iq <- s.stall_iq;
+    snap.s_lsq <- s.stall_lsq;
+    snap.s_serialize <- s.stall_serialize;
+    snap.s_redirect <- s.stall_redirect;
+    snap.s_drained <- s.stall_drained;
+    snap.s_committed <- s.committed;
+    snap.s_occupancy_sum <- s.occupancy_sum;
+    snap.acc_dispatched <- 0;
+    snap.acc_issued <- 0
+  end
+
+let finish_telemetry s sink snap outcome_stats =
+  flush_interval s sink snap ~now:s.cycle;
+  Tca_telemetry.Sink.span sink ~cat:"sim" ~ts:0.0 ~dur:(float_of_int s.cycle)
+    ~args:
+      [
+        ("committed", Tca_util.Json.Int s.committed);
+        ("ipc", Tca_util.Json.Float outcome_stats.Sim_stats.ipc);
+        ("accel_invocations", Tca_util.Json.Int s.accel_invocations);
+      ]
+    "sim.run";
+  match Tca_telemetry.Sink.metrics sink with
+  | None -> ()
+  | Some reg ->
+      let add name v =
+        match Tca_telemetry.Metrics.counter reg name with
+        | Ok c -> Tca_telemetry.Metrics.Counter.add c v
+        | Error _ -> ()
+      in
+      add "sim.runs" 1;
+      add "sim.cycles" s.cycle;
+      add "sim.committed" s.committed;
+      add "sim.accel_invocations" s.accel_invocations
+
+let run ?probe ?telemetry cfg trace =
   match Config.validate cfg with
   | Result.Error d -> Result.Error d
   | Ok () ->
-      let s = create cfg trace in
+      let s = create ?telemetry cfg trace in
+      let snap =
+        {
+          last_cycle = 0;
+          s_rob = 0;
+          s_iq = 0;
+          s_lsq = 0;
+          s_serialize = 0;
+          s_redirect = 0;
+          s_drained = 0;
+          s_committed = 0;
+          s_occupancy_sum = 0;
+          acc_dispatched = 0;
+          acc_issued = 0;
+        }
+      in
       let cap =
         match cfg.Config.max_cycles with
         | Some c -> c
@@ -514,15 +643,34 @@ let run ?probe cfg trace =
               p.on_cycle ~cycle:s.cycle ~dispatched ~issued
                 ~executing:(executing_occupancy s) ~rob_occupancy:s.count
           | None -> ());
-          s.cycle <- s.cycle + 1
+          s.cycle <- s.cycle + 1;
+          match s.telemetry with
+          | None -> ()
+          | Some sink ->
+              snap.acc_dispatched <- snap.acc_dispatched + dispatched;
+              snap.acc_issued <- snap.acc_issued + issued;
+              if s.cycle mod Tca_telemetry.Sink.interval sink = 0 then
+                flush_interval s sink snap ~now:s.cycle
         end
       done;
-      (match !watchdog with
-      | Some diag -> Ok (Partial { stats = stats_of s; diag })
-      | None -> Ok (Complete (stats_of s)))
+      let outcome =
+        match !watchdog with
+        | Some diag -> Partial { stats = stats_of s; diag }
+        | None -> Complete (stats_of s)
+      in
+      (match s.telemetry with
+      | None -> ()
+      | Some sink ->
+          (match !watchdog with
+          | Some _ ->
+              Tca_telemetry.Sink.instant sink ~cat:"sim"
+                ~ts:(float_of_int s.cycle) "sim.watchdog"
+          | None -> ());
+          finish_telemetry s sink snap (stats_of_outcome outcome));
+      Ok outcome
 
-let run_exn ?probe cfg trace =
-  match run ?probe cfg trace with
+let run_exn ?probe ?telemetry cfg trace =
+  match run ?probe ?telemetry cfg trace with
   | Ok (Complete stats) -> stats
   | Ok (Partial { diag; _ }) | Result.Error diag ->
       raise (Tca_util.Diag.Error diag)

@@ -35,14 +35,30 @@ val default_cycle_budget : Trace.t -> int
 (** The watchdog budget used when [Config.max_cycles] is [None]:
     [100_000 + 500 * length], generous for any real trace. *)
 
-val run : ?probe:probe -> Config.t -> Trace.t -> (outcome, Tca_util.Diag.t) result
+val run :
+  ?probe:probe ->
+  ?telemetry:Tca_telemetry.Sink.t ->
+  Config.t ->
+  Trace.t ->
+  (outcome, Tca_util.Diag.t) result
 (** Simulate the trace. [Error] only for an invalid configuration (see
     {!Config.validate}); a simulation that exceeds its cycle budget
     ([Config.max_cycles] or {!default_cycle_budget}) is NOT an error but a
     [Partial] outcome carrying the statistics accumulated so far, so
-    sweeps can keep the data and record the diagnostic. *)
+    sweeps can keep the data and record the diagnostic.
 
-val run_exn : ?probe:probe -> Config.t -> Trace.t -> Sim_stats.t
+    [?telemetry] attaches an event sink; the run then emits, on the
+    sink's sampling interval, [sim.stalls] / [sim.pipeline] / [sim.rob]
+    counter deltas (the final partial interval included, so each series
+    sums exactly to its {!Sim_stats} total), an [accel.invoke] span per
+    accelerator invocation, [accel.dispatch] / [flush.mispredict]
+    instants and a whole-run [sim.run] span. Instrumentation is
+    observation-only: results are bit-identical with and without a
+    sink. *)
+
+val run_exn :
+  ?probe:probe -> ?telemetry:Tca_telemetry.Sink.t -> Config.t -> Trace.t ->
+  Sim_stats.t
 (** [Complete] stats or raises {!Tca_util.Diag.Error} — on an invalid
     configuration and on watchdog expiry alike (the pre-typed-error
     behaviour of the deadlock guard). *)

@@ -28,9 +28,16 @@ let mispredict_rate t =
   if t.branches = 0 then 0.0
   else float_of_int t.mispredicts /. float_of_int t.branches
 
-let l1_miss_rate t =
-  let total = t.l1.Mem_hier.hits + t.l1.Mem_hier.misses in
-  if total = 0 then 0.0 else float_of_int t.l1.Mem_hier.misses /. float_of_int total
+let level_miss_rate (l : Mem_hier.level_stats) =
+  let total = l.Mem_hier.hits + l.Mem_hier.misses in
+  if total = 0 then 0.0 else float_of_int l.Mem_hier.misses /. float_of_int total
+
+let l1_miss_rate t = level_miss_rate t.l1
+let l2_miss_rate t = Option.map level_miss_rate t.l2
+let dtlb_miss_rate t = Option.map level_miss_rate t.dtlb
+
+let total_stalls s =
+  s.rob_full + s.iq_full + s.lsq_full + s.serialize + s.redirect + s.drained
 
 let pp fmt t =
   Format.fprintf fmt
@@ -47,6 +54,90 @@ let pp fmt t =
     t.stalls.iq_full t.stalls.lsq_full t.stalls.serialize t.stalls.redirect
     t.stalls.drained
 
+let level_json (l : Mem_hier.level_stats) =
+  Tca_util.Json.Obj
+    [
+      ("hits", Tca_util.Json.Int l.Mem_hier.hits);
+      ("misses", Tca_util.Json.Int l.Mem_hier.misses);
+      ("miss_rate", Tca_util.Json.Float (level_miss_rate l));
+    ]
+
+let to_json t =
+  let open Tca_util.Json in
+  let opt_level = function Some l -> level_json l | None -> Null in
+  Obj
+    [
+      ("cycles", Int t.cycles);
+      ("committed", Int t.committed);
+      ("ipc", Float t.ipc);
+      ("branches", Int t.branches);
+      ("mispredicts", Int t.mispredicts);
+      ("mispredict_rate", Float (mispredict_rate t));
+      ("l1", level_json t.l1);
+      ("l2", opt_level t.l2);
+      ("dtlb", opt_level t.dtlb);
+      ("accel_invocations", Int t.accel_invocations);
+      ("accel_busy_cycles", Int t.accel_busy_cycles);
+      ("accel_wait_for_head_cycles", Int t.accel_wait_for_head_cycles);
+      ("avg_rob_occupancy", Float t.avg_rob_occupancy);
+      ("avg_rob_at_accel_dispatch", Float t.avg_rob_at_accel_dispatch);
+      ( "stalls",
+        Obj
+          [
+            ("rob_full", Int t.stalls.rob_full);
+            ("iq_full", Int t.stalls.iq_full);
+            ("lsq_full", Int t.stalls.lsq_full);
+            ("serialize", Int t.stalls.serialize);
+            ("redirect", Int t.stalls.redirect);
+            ("drained", Int t.stalls.drained);
+            ("total", Int (total_stalls t.stalls));
+          ] );
+    ]
+
+let csv_header =
+  [
+    "cycles"; "committed"; "ipc"; "branches"; "mispredicts";
+    "l1_hits"; "l1_misses"; "l2_hits"; "l2_misses"; "dtlb_hits"; "dtlb_misses";
+    "accel_invocations"; "accel_busy_cycles"; "accel_wait_for_head_cycles";
+    "avg_rob_occupancy"; "avg_rob_at_accel_dispatch";
+    "stall_rob"; "stall_iq"; "stall_lsq"; "stall_serialize"; "stall_redirect";
+    "stall_drained";
+  ]
+
+let csv_row t =
+  let opt f = function Some l -> string_of_int (f l) | None -> "" in
+  let hits (l : Mem_hier.level_stats) = l.Mem_hier.hits in
+  let misses (l : Mem_hier.level_stats) = l.Mem_hier.misses in
+  [
+    string_of_int t.cycles; string_of_int t.committed;
+    Printf.sprintf "%.6f" t.ipc;
+    string_of_int t.branches; string_of_int t.mispredicts;
+    string_of_int t.l1.Mem_hier.hits; string_of_int t.l1.Mem_hier.misses;
+    opt hits t.l2; opt misses t.l2; opt hits t.dtlb; opt misses t.dtlb;
+    string_of_int t.accel_invocations; string_of_int t.accel_busy_cycles;
+    string_of_int t.accel_wait_for_head_cycles;
+    Printf.sprintf "%.6f" t.avg_rob_occupancy;
+    Printf.sprintf "%.6f" t.avg_rob_at_accel_dispatch;
+    string_of_int t.stalls.rob_full; string_of_int t.stalls.iq_full;
+    string_of_int t.stalls.lsq_full; string_of_int t.stalls.serialize;
+    string_of_int t.stalls.redirect; string_of_int t.stalls.drained;
+  ]
+
+let pp_csv fmt t =
+  Format.fprintf fmt "%s@.%s@."
+    (String.concat "," csv_header)
+    (String.concat "," (csv_row t))
+
 let speedup ~baseline ~accelerated =
-  if accelerated.cycles = 0 then invalid_arg "Sim_stats.speedup: zero cycles";
-  float_of_int baseline.cycles /. float_of_int accelerated.cycles
+  if accelerated.cycles = 0 then
+    Error
+      (Tca_util.Diag.Invalid
+         {
+           field = "Sim_stats.speedup";
+           message = "accelerated run has zero cycles";
+         })
+  else
+    Ok (float_of_int baseline.cycles /. float_of_int accelerated.cycles)
+
+let speedup_exn ~baseline ~accelerated =
+  Tca_util.Diag.ok_exn (speedup ~baseline ~accelerated)

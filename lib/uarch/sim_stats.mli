@@ -32,9 +32,39 @@ type t = {
 }
 
 val mispredict_rate : t -> float
+
+val level_miss_rate : Mem_hier.level_stats -> float
+(** misses / (hits + misses), 0 when the level saw no accesses. *)
+
 val l1_miss_rate : t -> float
+
+val l2_miss_rate : t -> float option
+(** [None] when no L2 is configured. *)
+
+val dtlb_miss_rate : t -> float option
+(** [None] when no DTLB is configured. *)
+
+val total_stalls : stall_breakdown -> int
+(** Sum over all six stall reasons. *)
 
 val pp : Format.formatter -> t -> unit
 
-val speedup : baseline:t -> accelerated:t -> float
-(** Ratio of baseline to accelerated cycle counts. *)
+val to_json : t -> Tca_util.Json.t
+(** Complete machine-readable form, including the optional L2/DTLB
+    levels (as [null] when absent) and derived rates. *)
+
+val csv_header : string list
+
+val csv_row : t -> string list
+(** Flat CSV cells matching {!csv_header}; absent L2/DTLB levels are
+    empty cells. *)
+
+val pp_csv : Format.formatter -> t -> unit
+(** Two lines: {!csv_header} then {!csv_row}. *)
+
+val speedup : baseline:t -> accelerated:t -> (float, Tca_util.Diag.t) result
+(** Ratio of baseline to accelerated cycle counts;
+    [Error (Invalid _)] when the accelerated run has zero cycles. *)
+
+val speedup_exn : baseline:t -> accelerated:t -> float
+(** @raise Tca_util.Diag.Error on zero accelerated cycles. *)

@@ -17,36 +17,35 @@ let split_outcome = function
   | Pipeline.Complete stats -> (stats, None)
   | Pipeline.Partial { stats; diag } -> (stats, Some diag)
 
-let measure_ipc cfg trace =
-  let+ outcome = Pipeline.run cfg trace in
+let measure_ipc ?telemetry cfg trace =
+  let+ outcome = Pipeline.run ?telemetry cfg trace in
   (Pipeline.stats_of_outcome outcome).Sim_stats.ipc
 
-let measure_ipc_exn cfg trace = Tca_util.Diag.ok_exn (measure_ipc cfg trace)
+let measure_ipc_exn ?telemetry cfg trace =
+  Tca_util.Diag.ok_exn (measure_ipc ?telemetry cfg trace)
 
-let compare_modes ~cfg ~baseline ~accelerated =
-  let* base_outcome = Pipeline.run cfg baseline in
+let compare_modes ?telemetry ~cfg ~baseline ~accelerated () =
+  let* base_outcome = Pipeline.run ?telemetry cfg baseline in
   let base_stats, baseline_partial = split_outcome base_outcome in
   let+ modes =
     List.fold_right
       (fun coupling acc ->
         let* acc = acc in
-        let+ outcome =
-          Pipeline.run (Config.with_coupling cfg coupling) accelerated
+        let* outcome =
+          Pipeline.run ?telemetry (Config.with_coupling cfg coupling)
+            accelerated
         in
         let stats, partial = split_outcome outcome in
-        {
-          coupling;
-          stats;
-          speedup = Sim_stats.speedup ~baseline:base_stats ~accelerated:stats;
-          partial;
-        }
-        :: acc)
+        let+ speedup =
+          Sim_stats.speedup ~baseline:base_stats ~accelerated:stats
+        in
+        { coupling; stats; speedup; partial } :: acc)
       Config.all_couplings (Ok [])
   in
   { baseline = base_stats; baseline_partial; modes }
 
-let compare_modes_exn ~cfg ~baseline ~accelerated =
-  Tca_util.Diag.ok_exn (compare_modes ~cfg ~baseline ~accelerated)
+let compare_modes_exn ?telemetry ~cfg ~baseline ~accelerated () =
+  Tca_util.Diag.ok_exn (compare_modes ?telemetry ~cfg ~baseline ~accelerated ())
 
 let find_mode_result comparison coupling =
   match

@@ -18,24 +18,32 @@ type comparison = {
   modes : mode_result list;  (** in [Config.all_couplings] order *)
 }
 
-val measure_ipc : Config.t -> Trace.t -> (float, Tca_util.Diag.t) result
+val measure_ipc :
+  ?telemetry:Tca_telemetry.Sink.t -> Config.t -> Trace.t ->
+  (float, Tca_util.Diag.t) result
 (** IPC of a trace on the given core (coupling irrelevant when the trace
     holds no accelerator instructions). A watchdog-truncated run still
     returns its snapshot IPC. [Error] only on an invalid configuration. *)
 
-val measure_ipc_exn : Config.t -> Trace.t -> float
+val measure_ipc_exn :
+  ?telemetry:Tca_telemetry.Sink.t -> Config.t -> Trace.t -> float
 
 val compare_modes :
+  ?telemetry:Tca_telemetry.Sink.t ->
   cfg:Config.t ->
   baseline:Trace.t ->
   accelerated:Trace.t ->
+  unit ->
   (comparison, Tca_util.Diag.t) result
 (** Run the baseline once and the accelerated trace under all four
-    couplings. Watchdog-truncated runs are kept (with [partial] set), not
-    turned into errors. [Error] only on an invalid configuration. *)
+    couplings; all five runs share the [?telemetry] sink when given.
+    Watchdog-truncated runs are kept (with [partial] set), not turned
+    into errors. [Error] on an invalid configuration or (pathological)
+    zero-cycle accelerated run. *)
 
 val compare_modes_exn :
-  cfg:Config.t -> baseline:Trace.t -> accelerated:Trace.t -> comparison
+  ?telemetry:Tca_telemetry.Sink.t ->
+  cfg:Config.t -> baseline:Trace.t -> accelerated:Trace.t -> unit -> comparison
 
 val find_mode_result :
   comparison -> Config.coupling -> (mode_result, Tca_util.Diag.t) result

@@ -11,6 +11,8 @@ let make ~values ~row_labels ~col_labels =
     Diag.same_length ~field:"Heatmap.make.row_labels" values row_labels
   in
   let* _ = Diag.non_empty ~field:"Heatmap.make.values" values in
+  (* Zero-column rows would leave render with no x-axis to label. *)
+  let* _ = Diag.non_empty ~field:"Heatmap.make.values.(0)" values.(0) in
   let cols = Array.length values.(0) in
   let* () =
     Array.fold_left

@@ -298,7 +298,7 @@ let simulator_case i g =
   let baseline = hostile_trace g ~len:60 in
   let accelerated = hostile_trace g ~len:60 in
   guard i "Simulator.compare_modes" (fun () ->
-      match Simulator.compare_modes ~cfg ~baseline ~accelerated with
+      match Simulator.compare_modes ~cfg ~baseline ~accelerated () with
       | Error _ -> ()
       | Ok cmp ->
           finite i "comparison.baseline.ipc" cmp.Simulator.baseline.Sim_stats.ipc;
@@ -312,6 +312,31 @@ let simulator_case i g =
                     ("non-Watchdog diag: " ^ Tca_util.Diag.to_string d))
             cmp.Simulator.modes)
 
+(* Telemetry must be pure observation: the same trace, config and seed
+   with a sink attached has to produce bit-identical statistics to the
+   plain run — including under hostile configs that trip the watchdog. *)
+let telemetry_case i g =
+  let open Tca_uarch in
+  let cfg =
+    {
+      (Config.hp ()) with
+      Config.max_cycles =
+        Some (50 + (abs (Tca_util.Faultgen.size_adversarial g ~max:4000) mod 4000));
+    }
+  in
+  let trace = hostile_trace g ~len:60 in
+  guard i "Pipeline.run (telemetry on/off)" (fun () ->
+      let plain = Pipeline.run cfg trace in
+      let sink = Tca_telemetry.Sink.create ~interval:16 () in
+      let traced = Pipeline.run ~telemetry:sink cfg trace in
+      let strip = function
+        | Ok (Pipeline.Complete stats) -> Some (stats, None)
+        | Ok (Pipeline.Partial { stats; diag }) -> Some (stats, Some diag)
+        | Error _ -> None
+      in
+      if strip plain <> strip traced then
+        record i "telemetry" "sink attachment changed simulation results")
+
 let () =
   let g = Tca_util.Faultgen.create ~seed in
   for i = 1 to cases do
@@ -319,6 +344,7 @@ let () =
     util_case i g;
     if i mod 10 = 0 then grid_case i g;
     if i mod 25 = 0 then uarch_case i g;
+    if i mod 50 = 0 then telemetry_case i g;
     if i mod 100 = 0 then simulator_case i g
   done;
   match !failures with

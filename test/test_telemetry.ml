@@ -1,0 +1,485 @@
+(* Telemetry layer: Json round-trips, the metrics registry, the sink and
+   exporters, and — most importantly — the reconciliation guarantees: the
+   per-interval counter deltas in a trace sum exactly to the final
+   [Sim_stats] totals, and enabling telemetry does not change simulation
+   results at all. *)
+
+open Tca_telemetry
+module Json = Tca_util.Json
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\n\t\x01");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 0.25; Json.String "" ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+
+let test_json_indent_roundtrip () =
+  let v = Json.List [ Json.Obj [ ("x", Json.Int 1) ]; Json.Null ] in
+  match Json.parse (Json.to_string_indent v) with
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok v' -> Alcotest.(check bool) "indent roundtrip" true (v = v')
+
+let test_json_non_finite () =
+  (* Non-finite floats serialize as null so the output stays valid JSON. *)
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2" ] in
+  List.iter
+    (fun input ->
+      match Json.parse input with
+      | Error (Tca_util.Diag.Parse _) -> ()
+      | Error d ->
+          Alcotest.failf "%S: wrong diag %s" input (Tca_util.Diag.to_string d)
+      | Ok _ -> Alcotest.failf "%S parsed" input)
+    bad
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("a", Json.Int 3); ("b", Json.Float 0.5) ] in
+  let get k conv = Option.bind (Json.member k v) conv in
+  Alcotest.(check (option int)) "member int" (Some 3)
+    (get "a" Json.to_int_opt);
+  Alcotest.(check (option (float 1e-9))) "int as float" (Some 3.0)
+    (get "a" Json.to_float_opt);
+  Alcotest.(check (option int)) "absent" None (get "zzz" Json.to_int_opt)
+
+(* --- Metrics --- *)
+
+let test_counter () =
+  let r = Metrics.create () in
+  let c = Metrics.counter_exn r "x" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 4;
+  Metrics.Counter.add c (-100);
+  (* ignored: counters never go down *)
+  Alcotest.(check int) "value" 5 (Metrics.Counter.value c);
+  (* Registration is idempotent: same instrument comes back. *)
+  let c' = Metrics.counter_exn r "x" in
+  Metrics.Counter.incr c';
+  Alcotest.(check int) "shared" 6 (Metrics.Counter.value c);
+  Alcotest.(check int) "counter_value" 6 (Metrics.counter_value r "x");
+  Alcotest.(check int) "absent counter_value" 0 (Metrics.counter_value r "y")
+
+let test_gauge () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge_exn r "g" in
+  Metrics.Gauge.set g 2.5;
+  Metrics.Gauge.set g (-1.0);
+  Alcotest.(check (float 0.0)) "last write wins" (-1.0)
+    (Metrics.Gauge.value g)
+
+let test_histogram () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram_exn ~bounds:[| 1.0; 2.0; 5.0 |] r "h" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 1.5; 1.7; 4.0; 100.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 107.7 (Metrics.Histogram.sum h);
+  match Metrics.Histogram.buckets h with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, cinf) ] ->
+      Alcotest.(check (float 0.0)) "bound 1" 1.0 b1;
+      Alcotest.(check int) "le 1" 1 c1;
+      Alcotest.(check (float 0.0)) "bound 2" 2.0 b2;
+      Alcotest.(check int) "le 2 (cumulative)" 3 c2;
+      Alcotest.(check (float 0.0)) "bound 5" 5.0 b3;
+      Alcotest.(check int) "le 5" 4 c3;
+      Alcotest.(check bool) "overflow bound" true (binf = Float.infinity);
+      Alcotest.(check int) "overflow cumulative" 5 cinf
+  | bs -> Alcotest.failf "expected 4 buckets, got %d" (List.length bs)
+
+let test_histogram_bad_bounds () =
+  let r = Metrics.create () in
+  (match Metrics.histogram ~bounds:[| 2.0; 1.0 |] r "bad" with
+  | Error (Tca_util.Diag.Invalid _) -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok _ -> Alcotest.fail "non-increasing bounds accepted");
+  match Metrics.histogram ~bounds:[| 0.0; Float.nan |] r "bad2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nan bound accepted"
+
+let test_kind_mismatch () =
+  let r = Metrics.create () in
+  ignore (Metrics.counter_exn r "dual");
+  match Metrics.gauge r "dual" with
+  | Error (Tca_util.Diag.Invalid _) -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok _ -> Alcotest.fail "kind shadowing accepted"
+
+let test_metrics_to_json () =
+  let r = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter_exn r "b") 2;
+  Metrics.Counter.add (Metrics.counter_exn r "a") 1;
+  Metrics.Gauge.set (Metrics.gauge_exn r "g") 0.5;
+  let j = Metrics.to_json r in
+  match Json.member "counters" j with
+  | Some (Json.Obj kvs) ->
+      Alcotest.(check (list string)) "sorted names" [ "a"; "b" ]
+        (List.map fst kvs)
+  | _ -> Alcotest.fail "no counters object"
+
+(* --- Sink + Exporter --- *)
+
+let test_sink_events () =
+  let s = Sink.create () in
+  Sink.counter s ~ts:10.0 "c" [ ("a", 1.0); ("b", 2.0) ];
+  Sink.span s ~ts:5.0 ~dur:(-3.0) "neg";
+  Sink.instant s ~ts:7.0 "i";
+  Alcotest.(check int) "length" 3 (Sink.length s);
+  (match Sink.events s with
+  | [ c; x; i ] ->
+      Alcotest.(check char) "counter phase" 'C' c.Sink.ph;
+      Alcotest.(check char) "span phase" 'X' x.Sink.ph;
+      Alcotest.(check (float 0.0)) "negative dur clamped" 0.0 x.Sink.dur;
+      Alcotest.(check char) "instant phase" 'i' i.Sink.ph
+  | _ -> Alcotest.fail "wrong event count");
+  Sink.clear s;
+  Alcotest.(check int) "cleared" 0 (Sink.length s)
+
+let test_sink_interval_floor () =
+  Alcotest.(check int) "min 1" 1 (Sink.interval (Sink.create ~interval:0 ()))
+
+(* Schema check applied to every event of a Chrome trace. *)
+let check_trace_schema j =
+  match Json.member "traceEvents" j with
+  | Some (Json.List events) ->
+      List.iter
+        (fun ev ->
+          let str k = Option.bind (Json.member k ev) Json.to_string_opt in
+          let num k = Option.bind (Json.member k ev) Json.to_float_opt in
+          (match str "name" with
+          | Some _ -> ()
+          | None -> Alcotest.fail "event without name");
+          (match str "ph" with
+          | Some ("C" | "X" | "i") -> ()
+          | Some ph -> Alcotest.failf "unknown phase %s" ph
+          | None -> Alcotest.fail "event without ph");
+          (match num "ts" with
+          | Some _ -> ()
+          | None -> Alcotest.fail "event without ts");
+          (match Option.bind (Json.member "pid" ev) Json.to_int_opt with
+          | Some _ -> ()
+          | None -> Alcotest.fail "event without pid");
+          match str "ph" with
+          | Some "X" -> (
+              match num "dur" with
+              | Some d when d >= 0.0 -> ()
+              | _ -> Alcotest.fail "X event without dur")
+          | _ -> ())
+        events;
+      List.length events
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let chrome_reparse s =
+  match Json.parse (Json.to_string (Exporter.chrome_trace_json s)) with
+  | Ok j -> j
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+
+let test_exporter_schema () =
+  let s = Sink.create () in
+  Sink.counter s ~ts:0.0 "sim.stalls" [ ("rob", 1.0) ];
+  Sink.span s ~ts:1.0 ~dur:4.0 "accel.invoke";
+  Sink.instant s ~ts:2.0 "flush.mispredict";
+  let j = chrome_reparse s in
+  Alcotest.(check int) "all events exported" 3 (check_trace_schema j)
+
+let test_exporter_files () =
+  let s = Sink.create () in
+  let r = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter_exn r "n") 7;
+  Sink.span s ~ts:0.0 ~dur:1.0 "sp";
+  let tmp suffix = Filename.temp_file "tca_telemetry" suffix in
+  let trace_path = tmp ".trace.json" in
+  let jsonl_path = tmp ".jsonl" in
+  let metrics_path = tmp ".metrics.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ trace_path; jsonl_path; metrics_path ])
+    (fun () ->
+      (match Exporter.write_chrome_trace s trace_path with
+      | Ok () -> ()
+      | Error d -> Alcotest.fail (Tca_util.Diag.to_string d));
+      (match Report.of_file trace_path with
+      | Ok rep -> Alcotest.(check int) "report events" 1 rep.Report.events
+      | Error d -> Alcotest.fail (Tca_util.Diag.to_string d));
+      (match Exporter.write_jsonl ~metrics:r s jsonl_path with
+      | Ok () -> ()
+      | Error d -> Alcotest.fail (Tca_util.Diag.to_string d));
+      let ic = open_in jsonl_path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      (* meta line + 1 event + metrics line, each valid JSON *)
+      Alcotest.(check int) "jsonl lines" 3 (List.length !lines);
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Ok _ -> ()
+          | Error d ->
+              Alcotest.failf "bad jsonl line %S: %s" line
+                (Tca_util.Diag.to_string d))
+        !lines;
+      match Exporter.write_metrics_json r metrics_path with
+      | Ok () -> ()
+      | Error d -> Alcotest.fail (Tca_util.Diag.to_string d))
+
+let test_exporter_bad_path () =
+  match Exporter.write_chrome_trace (Sink.create ()) "/nonexistent/dir/x.json" with
+  | Error (Tca_util.Diag.Invalid _) -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok () -> Alcotest.fail "wrote through a missing directory"
+
+(* --- Timing --- *)
+
+let test_timing_span () =
+  let r = Metrics.create () in
+  let s = Sink.create ~metrics:r () in
+  let out = Timing.with_span (Some s) "work" (fun () -> 42) in
+  Alcotest.(check int) "thunk result" 42 out;
+  Alcotest.(check int) "none is free" 7
+    (Timing.with_span None "work" (fun () -> 7));
+  (match Sink.events s with
+  | [ ev ] ->
+      Alcotest.(check char) "span" 'X' ev.Sink.ph;
+      Alcotest.(check int) "wall track" Sink.track_wall ev.Sink.pid;
+      Alcotest.(check bool) "non-negative dur" true (ev.Sink.dur >= 0.0)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  Alcotest.(check int) "calls counter" 1 (Metrics.counter_value r "work.calls")
+
+(* --- Simulator reconciliation --- *)
+
+let sim_pair () =
+  Tca_workloads.Synthetic.generate
+    (Tca_workloads.Synthetic.config ~n_units:400 ~n_chunks:25
+       ~accel_latency:12 ())
+
+let run_with_sink ?(interval = 64) trace =
+  let registry = Metrics.create () in
+  let sink = Sink.create ~interval ~metrics:registry () in
+  let cfg = Tca_uarch.Config.hp ~coupling:Tca_uarch.Config.coupling_l_t () in
+  let stats = Tca_uarch.Pipeline.run_exn ~telemetry:sink cfg trace in
+  (stats, sink, registry)
+
+(* Sum one series of a multi-series counter across the whole trace. *)
+let counter_sum sink name series =
+  List.fold_left
+    (fun acc ev ->
+      if ev.Sink.name = name && ev.Sink.ph = 'C' then
+        match
+          Option.bind
+            (Json.member series (Json.Obj ev.Sink.args))
+            Json.to_float_opt
+        with
+        | Some v -> acc +. v
+        | None -> acc
+      else acc)
+    0.0 (Sink.events sink)
+
+let test_stall_deltas_reconcile () =
+  let pair = sim_pair () in
+  let stats, sink, _ =
+    run_with_sink pair.Tca_workloads.Meta.accelerated
+  in
+  let st = stats.Tca_uarch.Sim_stats.stalls in
+  let check series expected =
+    Alcotest.(check (float 0.0))
+      (series ^ " deltas sum exactly")
+      (float_of_int expected)
+      (counter_sum sink "sim.stalls" series)
+  in
+  check "rob" st.Tca_uarch.Sim_stats.rob_full;
+  check "iq" st.Tca_uarch.Sim_stats.iq_full;
+  check "lsq" st.Tca_uarch.Sim_stats.lsq_full;
+  check "serialize" st.Tca_uarch.Sim_stats.serialize;
+  check "redirect" st.Tca_uarch.Sim_stats.redirect;
+  check "drained" st.Tca_uarch.Sim_stats.drained;
+  Alcotest.(check (float 0.0)) "committed deltas sum exactly"
+    (float_of_int stats.Tca_uarch.Sim_stats.committed)
+    (counter_sum sink "sim.pipeline" "committed")
+
+let test_registry_reconciles () =
+  let pair = sim_pair () in
+  let stats, sink, registry =
+    run_with_sink pair.Tca_workloads.Meta.accelerated
+  in
+  Alcotest.(check int) "sim.runs" 1 (Metrics.counter_value registry "sim.runs");
+  Alcotest.(check int) "sim.cycles" stats.Tca_uarch.Sim_stats.cycles
+    (Metrics.counter_value registry "sim.cycles");
+  Alcotest.(check int) "sim.committed" stats.Tca_uarch.Sim_stats.committed
+    (Metrics.counter_value registry "sim.committed");
+  Alcotest.(check int) "sim.accel_invocations"
+    stats.Tca_uarch.Sim_stats.accel_invocations
+    (Metrics.counter_value registry "sim.accel_invocations");
+  let invoke_spans =
+    List.length
+      (List.filter
+         (fun ev -> ev.Sink.name = "accel.invoke" && ev.Sink.ph = 'X')
+         (Sink.events sink))
+  in
+  Alcotest.(check int) "one span per invocation"
+    stats.Tca_uarch.Sim_stats.accel_invocations invoke_spans
+
+let test_telemetry_is_pure_observation () =
+  let pair = sim_pair () in
+  let cfg = Tca_uarch.Config.hp ~coupling:Tca_uarch.Config.coupling_l_t () in
+  let run ?telemetry trace = Tca_uarch.Pipeline.run_exn ?telemetry cfg trace in
+  List.iter
+    (fun trace ->
+      let plain = run trace in
+      let sink = Sink.create ~interval:32 () in
+      let traced = run ~telemetry:sink trace in
+      Alcotest.(check bool) "bit-identical stats" true (plain = traced))
+    [ pair.Tca_workloads.Meta.baseline; pair.Tca_workloads.Meta.accelerated ]
+
+let test_trace_schema_from_sim () =
+  let pair = sim_pair () in
+  let _, sink, _ = run_with_sink pair.Tca_workloads.Meta.accelerated in
+  let j = chrome_reparse sink in
+  let n = check_trace_schema j in
+  Alcotest.(check bool) "instrumented run produced events" true (n > 0)
+
+(* --- Report --- *)
+
+let test_report_from_sim () =
+  let pair = sim_pair () in
+  let stats, sink, _ = run_with_sink pair.Tca_workloads.Meta.accelerated in
+  Timing.with_span (Some sink) "sweep" (fun () -> ());
+  match Report.of_json (Exporter.chrome_trace_json sink) with
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok rep ->
+      let st = stats.Tca_uarch.Sim_stats.stalls in
+      let total =
+        List.fold_left (fun a (_, v) -> a +. v) 0.0 rep.Report.stall_totals
+      in
+      Alcotest.(check (float 0.0)) "report stall total"
+        (float_of_int (Tca_uarch.Sim_stats.total_stalls st))
+        total;
+      Alcotest.(check int) "accel spans"
+        stats.Tca_uarch.Sim_stats.accel_invocations
+        rep.Report.accel_spans;
+      Alcotest.(check bool) "has intervals" true
+        (rep.Report.intervals <> []);
+      Alcotest.(check bool) "cycle extent" true
+        (rep.Report.cycles >= float_of_int stats.Tca_uarch.Sim_stats.cycles);
+      (match rep.Report.wall_spans with
+      | [ ("sweep", 1, _) ] -> ()
+      | _ -> Alcotest.fail "wall span missing");
+      (* The pretty-printer must render any well-formed report. *)
+      let rendered = Format.asprintf "%a" Report.pp rep in
+      Alcotest.(check bool) "renders" true (String.length rendered > 0)
+
+let test_report_degrades () =
+  match Report.of_json (Json.List []) with
+  | Ok rep ->
+      Alcotest.(check int) "empty trace" 0 rep.Report.events;
+      Alcotest.(check int) "no intervals" 0 (List.length rep.Report.intervals)
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+
+let test_report_rejects_garbage () =
+  match Report.of_json (Json.String "nope") with
+  | Error (Tca_util.Diag.Invalid _) -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok _ -> Alcotest.fail "accepted a non-trace"
+
+(* --- Sim_stats satellite APIs --- *)
+
+let test_sim_stats_json_csv () =
+  let pair = sim_pair () in
+  let stats, _, _ = run_with_sink pair.Tca_workloads.Meta.accelerated in
+  let j = Tca_uarch.Sim_stats.to_json stats in
+  Alcotest.(check (option int)) "cycles field"
+    (Some stats.Tca_uarch.Sim_stats.cycles)
+    (Option.bind (Json.member "cycles" j) Json.to_int_opt);
+  (match Json.parse (Json.to_string j) with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d));
+  Alcotest.(check int) "csv row arity"
+    (List.length Tca_uarch.Sim_stats.csv_header)
+    (List.length (Tca_uarch.Sim_stats.csv_row stats))
+
+let test_speedup_result () =
+  let pair = sim_pair () in
+  let stats, _, _ = run_with_sink pair.Tca_workloads.Meta.accelerated in
+  (match Tca_uarch.Sim_stats.speedup ~baseline:stats ~accelerated:stats with
+  | Ok s -> Alcotest.(check (float 1e-9)) "self speedup" 1.0 s
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d));
+  let zero =
+    { stats with Tca_uarch.Sim_stats.cycles = 0 }
+  in
+  match Tca_uarch.Sim_stats.speedup ~baseline:stats ~accelerated:zero with
+  | Error (Tca_util.Diag.Invalid _) -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok _ -> Alcotest.fail "zero-cycle speedup accepted"
+
+let () =
+  Alcotest.run "tca_telemetry"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "indent roundtrip" `Quick
+            test_json_indent_roundtrip;
+          Alcotest.test_case "non-finite" `Quick test_json_non_finite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "bad bounds" `Quick test_histogram_bad_bounds;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "events" `Quick test_sink_events;
+          Alcotest.test_case "interval floor" `Quick test_sink_interval_floor;
+          Alcotest.test_case "exporter schema" `Quick test_exporter_schema;
+          Alcotest.test_case "exporter files" `Quick test_exporter_files;
+          Alcotest.test_case "bad path" `Quick test_exporter_bad_path;
+          Alcotest.test_case "timing span" `Quick test_timing_span;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "stall deltas reconcile" `Quick
+            test_stall_deltas_reconcile;
+          Alcotest.test_case "registry reconciles" `Quick
+            test_registry_reconciles;
+          Alcotest.test_case "pure observation" `Quick
+            test_telemetry_is_pure_observation;
+          Alcotest.test_case "trace schema" `Quick test_trace_schema_from_sim;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "from sim" `Quick test_report_from_sim;
+          Alcotest.test_case "degrades" `Quick test_report_degrades;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_report_rejects_garbage;
+        ] );
+      ( "sim_stats",
+        [
+          Alcotest.test_case "json + csv" `Quick test_sim_stats_json_csv;
+          Alcotest.test_case "speedup result" `Quick test_speedup_result;
+        ] );
+    ]

@@ -752,7 +752,7 @@ let test_simulator_compare_modes () =
   let baseline = ignore baseline; Trace.Builder.build b in
   let accelerated = accel_trace ~latency:20 ~n:10 ~gap:80 in
   let cmp =
-    Simulator.compare_modes_exn ~cfg:(Config.hp ()) ~baseline ~accelerated
+    Simulator.compare_modes_exn ~cfg:(Config.hp ()) ~baseline ~accelerated ()
   in
   Alcotest.(check int) "four modes" 4 (List.length cmp.Simulator.modes);
   List.iter
