@@ -517,13 +517,6 @@ let trace_cmd =
     "Generate a workload's baseline and accelerated traces and save them \
      in the textual interchange format."
   in
-  let workload_t =
-    Arg.(
-      value
-      & opt (enum [ ("synthetic", `Synthetic); ("heap", `Heap); ("dgemm", `Dgemm) ])
-          `Heap
-      & info [ "workload" ] ~docv:"KIND" ~doc:"synthetic, heap or dgemm.")
-  in
   let out_t =
     Arg.(
       required
@@ -531,30 +524,10 @@ let trace_cmd =
       & info [ "out" ] ~docv:"PREFIX"
           ~doc:"Output prefix: writes PREFIX.base.trace and PREFIX.accel.trace.")
   in
-  let size_t =
-    Arg.(value & opt int 0 & info [ "size" ] ~doc:"Workload size (0 = default).")
-  in
   let run workload out size =
     protect @@ fun () ->
-    let pair =
-      match workload with
-      | `Synthetic ->
-          Tca_workloads.Synthetic.generate
-            (Tca_workloads.Synthetic.config ~n_units:4000
-               ~n_chunks:(if size > 0 then size else 200)
-               ~accel_latency:20 ())
-      | `Heap ->
-          Tca_workloads.Heap_workload.generate
-            (Tca_workloads.Heap_workload.config ~n_calls:2000
-               ~app_instrs_per_call:(if size > 0 then size else 100)
-               ())
-      | `Dgemm ->
-          Tca_workloads.Dgemm_workload.pair
-            (Tca_workloads.Dgemm_workload.config
-               ~n:(if size > 0 then size else 64)
-               ())
-            ~dim:4
-    in
+    let cfg = Tca_experiments.Exp_common.validation_core () in
+    let pair, _ = sim_pair ~cfg workload size in
     let base_path = out ^ ".base.trace" in
     let accel_path = out ^ ".accel.trace" in
     Tca_uarch.Trace.save base_path pair.Tca_workloads.Meta.baseline;
@@ -562,7 +535,8 @@ let trace_cmd =
     Format.printf "%a@.wrote %s and %s@." Tca_workloads.Meta.pp
       pair.Tca_workloads.Meta.meta base_path accel_path
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ workload_t $ out_t $ size_t)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ sim_workload_t $ out_t $ sim_size_t)
 
 (* --- tca run-trace --- *)
 
@@ -623,6 +597,150 @@ let run_trace_cmd =
   Cmd.v (Cmd.info "run-trace" ~doc)
     Term.(
       const run $ file_t $ mode_t $ max_cycles_t $ trace_out_t $ metrics_out_t
+      $ json_t)
+
+(* --- tca analyze --- *)
+
+let analyze_cmd =
+  let doc =
+    "Statically analyze a saved trace: dependence-DAG statistics, \
+     critical-path/throughput/ROB cycle lower bounds, a lint pass, and \
+     (with --baseline) the analytical-model inputs derived from the \
+     trace pair."
+  in
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+  in
+  let baseline_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline (software-only) trace of the same workload; enables \
+             derivation of the model inputs a, v and the accelerator \
+             latency from the pair.")
+  in
+  let lint_t =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Print only the lint findings and exit 1 when any finding of \
+             severity warning or higher is present.")
+  in
+  let bounds_t =
+    Arg.(
+      value & flag
+      & info [ "bounds" ] ~doc:"Print only the static performance bounds.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also run the trace through the cycle-level simulator and exit \
+             1 unless the static cycles lower bound holds.")
+  in
+  (* Individual warnings/errors are actionable and printed one per line;
+     info findings are advisory and routinely number in the thousands on
+     randomized traces, so they are tallied per rule instead. *)
+  let print_findings findings =
+    let info, actionable =
+      List.partition
+        (fun f -> Tca_analysis.Finding.severity f = Tca_analysis.Finding.Info)
+        findings
+    in
+    List.iter
+      (fun f -> print_endline (Tca_analysis.Finding.to_string f))
+      actionable;
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        let r = Tca_analysis.Finding.rule_name f in
+        Hashtbl.replace tally r
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally r)))
+      info;
+    Hashtbl.fold (fun r c acc -> (r, c) :: acc) tally []
+    |> List.sort compare
+    |> List.iter (fun (r, c) -> Printf.printf "info %s: %d finding(s)\n" r c)
+  in
+  let run file baseline_file mode lint_only bounds_only check json =
+    protect @@ fun () ->
+    let load path =
+      try Tca_uarch.Trace.load path
+      with Failure message | Sys_error message ->
+        die
+          (Tca_util.Diag.Parse { field = "trace file"; input = path; message })
+    in
+    let trace = load file in
+    let baseline = Option.map load baseline_file in
+    let cfg =
+      Tca_uarch.Config.with_coupling
+        (Tca_uarch.Config.hp ())
+        (Tca_experiments.Exp_common.coupling_of_mode mode)
+    in
+    let report = Tca_analysis.Analysis.analyze ?baseline ~cfg trace in
+    let dirty = not (Tca_analysis.Lint.clean report.Tca_analysis.Analysis.findings) in
+    let findings = report.Tca_analysis.Analysis.findings in
+    let bounds = report.Tca_analysis.Analysis.bounds in
+    (if lint_only then
+       if json then
+         print_endline
+           (Tca_util.Json.to_string_indent
+              (Tca_analysis.Lint.findings_to_json findings))
+       else print_findings findings
+     else if bounds_only then
+       if json then
+         print_endline
+           (Tca_util.Json.to_string_indent (Tca_analysis.Bounds.to_json bounds))
+       else Format.printf "%a@." Tca_analysis.Bounds.pp bounds
+     else if json then
+       print_endline
+         (Tca_util.Json.to_string_indent
+            (Tca_analysis.Analysis.report_to_json report))
+     else begin
+       let d = report.Tca_analysis.Analysis.dag_stats in
+       Format.printf
+         "dag: %d nodes, %d true-reg, %d true-mem, %d mem-data, %d anti, \
+          %d output edges; depth %d@."
+         d.Tca_analysis.Dag.nodes d.Tca_analysis.Dag.true_reg
+         d.Tca_analysis.Dag.true_mem d.Tca_analysis.Dag.mem_data
+         d.Tca_analysis.Dag.anti d.Tca_analysis.Dag.output
+         d.Tca_analysis.Dag.depth;
+       Format.printf "%a@." Tca_analysis.Bounds.pp bounds;
+       (match report.Tca_analysis.Analysis.derived with
+       | Some dv -> Format.printf "%a@." Tca_analysis.Derive.pp dv
+       | None -> ());
+       (match report.Tca_analysis.Analysis.derive_error with
+       | Some e -> Printf.printf "derivation failed: %s\n" e
+       | None -> ());
+       print_findings findings
+     end);
+    let check_failed =
+      check
+      &&
+      match or_die (Tca_uarch.Pipeline.run cfg trace) with
+      | Tca_uarch.Pipeline.Complete stats ->
+          let sim = stats.Tca_uarch.Sim_stats.cycles in
+          let lb = bounds.Tca_analysis.Bounds.cycles_lower_bound in
+          let ok = lb <= sim in
+          Printf.printf "check: static lower bound %d %s simulated %d cycles\n"
+            lb
+            (if ok then "<=" else ">")
+            sim;
+          not ok
+      | Tca_uarch.Pipeline.Partial { diag; _ } ->
+          prerr_endline
+            ("tca: warning: bound check inconclusive, simulation was \
+              partial: " ^ Tca_util.Diag.to_string diag);
+          false
+    in
+    if (lint_only && dirty) || check_failed then exit 1
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ file_t $ baseline_t $ mode_t $ lint_t $ bounds_t $ check_t
       $ json_t)
 
 (* --- tca figure --- *)
@@ -699,5 +817,6 @@ let () =
        (Cmd.group info
           [
             modes_cmd; model_cmd; sweep_cmd; design_cmd; simulate_cmd;
-            run_cmd; trace_cmd; run_trace_cmd; trace_report_cmd; figure_cmd;
+            run_cmd; trace_cmd; run_trace_cmd; analyze_cmd; trace_report_cmd;
+            figure_cmd;
           ]))

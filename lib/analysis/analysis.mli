@@ -1,0 +1,32 @@
+(** Facade over the static trace analyzer: one call produces the full
+    report (instruction counts, DAG statistics, performance bounds, lint
+    findings and, when a baseline trace is supplied, the derived
+    analytical-model inputs), plus thin aliases for the common single
+    passes. *)
+
+type report = {
+  counts : Tca_uarch.Trace.counts;
+  dag_stats : Dag.stats;
+  bounds : Bounds.t;
+  findings : Finding.t list;
+  derived : Derive.t option;
+      (** present when a baseline trace was supplied and derivation
+          succeeded *)
+  derive_error : string option;
+      (** why derivation failed, when a baseline was supplied *)
+}
+
+val analyze :
+  ?baseline:Tca_uarch.Trace.t ->
+  cfg:Tca_uarch.Config.t ->
+  Tca_uarch.Trace.t ->
+  report
+
+val lint : Tca_uarch.Trace.t -> Finding.t list
+(** [Lint.run_trace] with the default line size. *)
+
+val bounds : cfg:Tca_uarch.Config.t -> Tca_uarch.Trace.t -> Bounds.t
+
+val report_to_json : report -> Tca_util.Json.t
+(** Shares the [counts] schema with [tca trace-report] via
+    {!Tca_uarch.Trace.counts_to_json}. *)

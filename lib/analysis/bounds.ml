@@ -1,0 +1,153 @@
+open Tca_uarch
+
+type t = {
+  instrs : int;
+  latency_bound : int;
+  throughput_bound : int;
+  rob_bound : int;
+  cycles_lower_bound : int;
+  ipc_upper_bound : float;
+  critical_path_length : int;
+}
+
+let cdiv a b = (a + b - 1) / b
+
+(* Store-to-load forwarding completes in one cycle regardless of the
+   hierarchy, so any load with an earlier same-address store must be
+   charged only 1 cycle to stay a lower bound. *)
+let forwardable_loads instrs =
+  let stored = Hashtbl.create 256 in
+  Array.map
+    (fun (ins : Isa.instr) ->
+      match ins.Isa.op with
+      | Isa.Load -> Hashtbl.mem stored ins.Isa.addr
+      | Isa.Store ->
+          Hashtbl.replace stored ins.Isa.addr ();
+          false
+      | _ -> false)
+    instrs
+
+let min_latency (cfg : Config.t) ~forwardable (ins : Isa.instr) =
+  let l1_hit = cfg.Config.mem.Mem_hier.l1.Cache.hit_latency in
+  match ins.Isa.op with
+  | Isa.Int_alu | Isa.Branch -> cfg.Config.latencies.Config.int_alu
+  | Isa.Int_mult -> cfg.Config.latencies.Config.int_mult
+  | Isa.Fp_alu -> cfg.Config.latencies.Config.fp_alu
+  | Isa.Fp_mult -> cfg.Config.latencies.Config.fp_mult
+  | Isa.Store -> 1
+  | Isa.Load -> if forwardable then 1 else l1_hit
+  | Isa.Accel a ->
+      let reads = if Array.length a.Isa.reads > 0 then l1_hit else 0 in
+      let writes = if Array.length a.Isa.writes > 0 then 1 else 0 in
+      max 1 (a.Isa.compute_latency + reads + writes)
+
+let compute ?dag (cfg : Config.t) instrs =
+  let n = Array.length instrs in
+  if n = 0 then
+    {
+      instrs = 0;
+      latency_bound = 0;
+      throughput_bound = 0;
+      rob_bound = 0;
+      cycles_lower_bound = 0;
+      ipc_upper_bound = 0.0;
+      critical_path_length = 0;
+    }
+  else begin
+    let dag = match dag with Some d -> d | None -> Dag.build instrs in
+    let fwd = forwardable_loads instrs in
+    let lat = Array.make n 1 in
+    Array.iteri
+      (fun i ins -> lat.(i) <- min_latency cfg ~forwardable:fwd.(i) ins)
+      instrs;
+    (* Latency bound: earliest-completion recurrence over the timing
+       edges, with the dispatch-bandwidth floor on the earliest issue. *)
+    let e = Array.make n 0 in
+    let chain = Array.make n 1 in
+    let lat_sum = ref 0 in
+    for i = 0 to n - 1 do
+      let issue = ref ((i / cfg.Config.dispatch_width) + 1) in
+      List.iter
+        (fun (p, kind) ->
+          match kind with
+          | Dag.True_reg | Dag.True_mem ->
+              if e.(p) > !issue then issue := e.(p);
+              if chain.(p) + 1 > chain.(i) then chain.(i) <- chain.(p) + 1
+          | Dag.Mem_data | Dag.Anti | Dag.Output -> ())
+        (Dag.preds dag i);
+      e.(i) <- !issue + lat.(i);
+      lat_sum := !lat_sum + lat.(i) + cfg.Config.commit_depth + 1
+    done;
+    let e_max = ref 0 and critical = ref 0 in
+    for i = 0 to n - 1 do
+      if e.(i) > !e_max then e_max := e.(i);
+      if chain.(i) > !critical then critical := chain.(i)
+    done;
+    let latency_bound = !e_max + cfg.Config.commit_depth + 1 in
+    (* Throughput bound: per-cycle resource ceilings. *)
+    let n_int = ref 0
+    and n_mult = ref 0
+    and n_fp = ref 0
+    and port_ops = ref 0
+    and accel_service = ref 0 in
+    Array.iteri
+      (fun i (ins : Isa.instr) ->
+        match ins.Isa.op with
+        | Isa.Int_alu | Isa.Branch -> incr n_int
+        | Isa.Int_mult -> incr n_mult
+        | Isa.Fp_alu | Isa.Fp_mult -> incr n_fp
+        | Isa.Load -> if not fwd.(i) then incr port_ops
+        | Isa.Store -> ()
+        | Isa.Accel a ->
+            port_ops :=
+              !port_ops + Array.length a.Isa.reads + Array.length a.Isa.writes;
+            accel_service := !accel_service + lat.(i))
+      instrs;
+    let widths =
+      [
+        cdiv n cfg.Config.dispatch_width;
+        cdiv n cfg.Config.issue_width;
+        cdiv n cfg.Config.commit_width;
+        cdiv !n_int cfg.Config.int_alu_units;
+        cdiv !n_mult cfg.Config.int_mult_units;
+        cdiv !n_fp cfg.Config.fp_units;
+        cdiv !port_ops cfg.Config.mem_ports;
+        (match cfg.Config.tca_occupancy with
+        | Config.Exclusive -> !accel_service
+        | Config.Pipelined -> 0);
+      ]
+    in
+    let throughput_bound = List.fold_left max 0 widths in
+    (* ROB bound: Little's law over the minimum per-slot residency. *)
+    let rob_bound = cdiv !lat_sum cfg.Config.rob_size in
+    let cycles_lower_bound = max latency_bound (max throughput_bound rob_bound) in
+    {
+      instrs = n;
+      latency_bound;
+      throughput_bound;
+      rob_bound;
+      cycles_lower_bound;
+      ipc_upper_bound = float_of_int n /. float_of_int cycles_lower_bound;
+      critical_path_length = !critical;
+    }
+  end
+
+let to_json b =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("instrs", Int b.instrs);
+      ("latency_bound", Int b.latency_bound);
+      ("throughput_bound", Int b.throughput_bound);
+      ("rob_bound", Int b.rob_bound);
+      ("cycles_lower_bound", Int b.cycles_lower_bound);
+      ("ipc_upper_bound", Float b.ipc_upper_bound);
+      ("critical_path_length", Int b.critical_path_length);
+    ]
+
+let pp fmt b =
+  Format.fprintf fmt
+    "instrs %d: cycles >= %d (latency %d, throughput %d, rob %d), IPC <= \
+     %.3f, critical path %d instrs"
+    b.instrs b.cycles_lower_bound b.latency_bound b.throughput_bound
+    b.rob_bound b.ipc_upper_bound b.critical_path_length

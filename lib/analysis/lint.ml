@@ -1,0 +1,175 @@
+open Tca_uarch
+
+let src_regs (ins : Isa.instr) =
+  let r1 = ins.Isa.src1 and r2 = ins.Isa.src2 in
+  if r1 = Isa.no_reg then if r2 = Isa.no_reg then [] else [ r2 ]
+  else if r2 = Isa.no_reg || r2 = r1 then [ r1 ]
+  else [ r1; r2 ]
+
+let run ?(line_bytes = 64) instrs =
+  let n = Array.length instrs in
+  if n = 0 then [ Finding.Empty_trace ]
+  else begin
+    let line a = a / line_bytes in
+    let out = ref [] in
+    let emit f = out := f :: !out in
+    (* Pre-pass: cache lines the plain load/store stream touches, for the
+       accel-vs-application aliasing rule. *)
+    let app_lines : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    Array.iteri
+      (fun i (ins : Isa.instr) ->
+        match ins.Isa.op with
+        | Isa.Load | Isa.Store ->
+            if not (Hashtbl.mem app_lines (line ins.Isa.addr)) then
+              Hashtbl.add app_lines (line ins.Isa.addr) i
+        | _ -> ())
+      instrs;
+    let defined = Array.make Isa.num_arch_regs false in
+    (* Youngest unread register write, for the dead-write rule. *)
+    let pending_write = Array.make Isa.num_arch_regs (-1) in
+    (* Unread stores bucketed by cache line, for the silent-store rule:
+       an accelerator read/write of the line consumes/clobbers every
+       pending store in it. *)
+    let pending_stores : (int, (int * int) list) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    (* Distinct non-empty source registers seen at each static branch
+       PC: a fixed PC is fixed instruction bytes, so more than one
+       operand register means two generators alias the same site. *)
+    let branch_sites : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+    let saw_accel = ref false in
+    Array.iteri
+      (fun i (ins : Isa.instr) ->
+        List.iter
+          (fun r ->
+            if not defined.(r) then
+              emit (Finding.Use_before_def { index = i; reg = r });
+            pending_write.(r) <- -1)
+          (src_regs ins);
+        (match ins.Isa.op with
+        | Isa.Load ->
+            let l = line ins.Isa.addr in
+            (match Hashtbl.find_opt pending_stores l with
+            | Some entries ->
+                Hashtbl.replace pending_stores l
+                  (List.filter (fun (a, _) -> a <> ins.Isa.addr) entries)
+            | None -> ())
+        | Isa.Store ->
+            let l = line ins.Isa.addr in
+            let entries =
+              Option.value ~default:[] (Hashtbl.find_opt pending_stores l)
+            in
+            List.iter
+              (fun (a, j) ->
+                if a = ins.Isa.addr then
+                  emit
+                    (Finding.Silent_store
+                       { index = j; addr = a; overwritten_at = i }))
+              entries;
+            Hashtbl.replace pending_stores l
+              ((ins.Isa.addr, i)
+              :: List.filter (fun (a, _) -> a <> ins.Isa.addr) entries)
+        | Isa.Branch ->
+            if ins.Isa.src1 <> Isa.no_reg then begin
+              let srcs =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt branch_sites ins.Isa.pc)
+              in
+              if not (List.mem ins.Isa.src1 srcs) then
+                Hashtbl.replace branch_sites ins.Isa.pc (ins.Isa.src1 :: srcs)
+            end
+        | Isa.Accel a ->
+            saw_accel := true;
+            if
+              Array.length a.Isa.reads = 0
+              && Array.length a.Isa.writes = 0
+              && a.Isa.compute_latency = 0
+            then emit (Finding.Noop_accel { index = i });
+            let seen_app = Hashtbl.create 8 in
+            let check_app l =
+              match Hashtbl.find_opt app_lines l with
+              | Some app_index when not (Hashtbl.mem seen_app l) ->
+                  Hashtbl.add seen_app l ();
+                  emit
+                    (Finding.Accel_app_overlap { index = i; line = l; app_index })
+              | _ -> ()
+            in
+            let lines_of addrs =
+              let seen = Hashtbl.create 8 in
+              Array.iter
+                (fun addr ->
+                  let l = line addr in
+                  Hashtbl.replace seen l (1 + Option.value ~default:0 (Hashtbl.find_opt seen l)))
+                addrs;
+              seen
+            in
+            let rl = lines_of a.Isa.reads and wl = lines_of a.Isa.writes in
+            Hashtbl.iter
+              (fun l c ->
+                if c > 1 then emit (Finding.Accel_dup_read { index = i; line = l });
+                if Hashtbl.mem wl l then
+                  emit (Finding.Accel_rw_overlap { index = i; line = l });
+                Hashtbl.remove pending_stores l;
+                check_app l)
+              rl;
+            Hashtbl.iter
+              (fun l c ->
+                if c > 1 then
+                  emit (Finding.Accel_dup_write { index = i; line = l });
+                Hashtbl.remove pending_stores l;
+                check_app l)
+              wl
+        | Isa.Int_alu | Isa.Int_mult | Isa.Fp_alu | Isa.Fp_mult -> ());
+        let dst = ins.Isa.dst in
+        if dst <> Isa.no_reg then begin
+          if pending_write.(dst) >= 0 then
+            emit
+              (Finding.Dead_write
+                 { index = pending_write.(dst); reg = dst; overwritten_at = i });
+          pending_write.(dst) <- i;
+          defined.(dst) <- true
+        end)
+      instrs;
+    if not !saw_accel then emit Finding.No_accel;
+    let conflicts =
+      Hashtbl.fold
+        (fun pc srcs acc ->
+          if List.length srcs > 1 then
+            Finding.Branch_site_conflict { pc; srcs = List.sort compare srcs }
+            :: acc
+          else acc)
+        branch_sites []
+    in
+    let conflicts =
+      List.sort
+        (fun a b ->
+          match (a, b) with
+          | ( Finding.Branch_site_conflict { pc = p; _ },
+              Finding.Branch_site_conflict { pc = q; _ } ) ->
+              compare p q
+          | _ -> 0)
+        conflicts
+    in
+    List.rev_append !out conflicts
+  end
+
+let run_trace ?line_bytes t = run ?line_bytes t.Trace.instrs
+
+let max_severity findings =
+  List.fold_left
+    (fun acc f ->
+      let s = Finding.severity f in
+      match acc with
+      | None -> Some s
+      | Some m ->
+          if Finding.severity_order s > Finding.severity_order m then Some s
+          else acc)
+    None findings
+
+let clean findings =
+  match max_severity findings with
+  | None | Some Finding.Info -> true
+  | Some (Finding.Warning | Finding.Error) -> false
+
+let findings_to_json findings =
+  Tca_util.Json.List (List.map Finding.to_json findings)

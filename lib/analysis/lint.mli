@@ -1,0 +1,23 @@
+(** The trace lint pass: every {!Finding} rule over one linear scan.
+
+    Operates on a raw instruction array (not a validated {!Trace.t}) so
+    that degenerate inputs [Trace.validate] would reject — e.g. no-op
+    accelerator invocations — can still be diagnosed; [run_trace] is the
+    convenience form for already-validated traces.
+
+    A generator is {e clean} when it produces no finding at severity
+    {!Finding.Warning} or above: {!Finding.Info} findings (dead writes,
+    silent stores, in-place accelerator footprints) are statistically
+    unavoidable in randomized instruction streams and only advisory. *)
+
+val run : ?line_bytes:int -> Tca_uarch.Isa.instr array -> Finding.t list
+(** Findings in trace order (rule order within one instruction is
+    fixed); never raises. [line_bytes] defaults to 64. *)
+
+val run_trace : ?line_bytes:int -> Tca_uarch.Trace.t -> Finding.t list
+
+val max_severity : Finding.t list -> Finding.severity option
+val clean : Finding.t list -> bool
+(** No finding at {!Finding.Warning} or above. *)
+
+val findings_to_json : Finding.t list -> Tca_util.Json.t

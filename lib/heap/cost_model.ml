@@ -30,9 +30,18 @@ let emit_filler b ~rng ~head_addr ~count =
         Trace.Builder.add b
           (Isa.store ~src:r_stat ~addr:(head_addr + off) ())
     | 5 -> Trace.Builder.add b (Isa.int_alu ~src1:r_stat ~dst:r_stat ())
-    | 0 | 4 -> Trace.Builder.add b (Isa.int_alu ~src1:r_tmp0 ~dst:r_tmp0 ())
-    | 1 | 7 -> Trace.Builder.add b (Isa.int_alu ~src1:r_tmp1 ~dst:r_tmp1 ())
-    | _ -> Trace.Builder.add b (Isa.int_alu ~src1:r_tmp2 ~dst:r_tmp2 ())
+    (* Each temporary chain is seeded from r_stat (always live here: both
+       callers load it before padding) on its first link, then
+       self-chains — no temporary is ever read before its first write. *)
+    | 0 | 4 ->
+        let src = if k = 0 then r_stat else r_tmp0 in
+        Trace.Builder.add b (Isa.int_alu ~src1:src ~dst:r_tmp0 ())
+    | 1 | 7 ->
+        let src = if k = 1 then r_stat else r_tmp1 in
+        Trace.Builder.add b (Isa.int_alu ~src1:src ~dst:r_tmp1 ())
+    | _ ->
+        let src = if k = 2 then r_stat else r_tmp2 in
+        Trace.Builder.add b (Isa.int_alu ~src1:src ~dst:r_tmp2 ())
   done
 
 let emit_malloc b ~rng ~head_addr =

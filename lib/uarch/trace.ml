@@ -18,6 +18,16 @@ let validate instrs =
                 Array.exists (fun x -> x < 0) a.reads
                 || Array.exists (fun x -> x < 0) a.writes
               then bad := Some (i, "negative accel address")
+              else if
+                Array.length a.reads = 0
+                && Array.length a.writes = 0
+                && a.compute_latency = 0
+              then
+                bad :=
+                  Some
+                    ( i,
+                      "no-op accel (no reads, no writes, zero compute \
+                       latency)" )
           | _ -> ())
     instrs;
   match !bad with
@@ -76,6 +86,21 @@ let counts t =
     t;
   !c
 
+let counts_to_json c =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("total", Int c.total);
+      ("int_alu", Int c.int_alu);
+      ("int_mult", Int c.int_mult);
+      ("fp_alu", Int c.fp_alu);
+      ("fp_mult", Int c.fp_mult);
+      ("loads", Int c.loads);
+      ("stores", Int c.stores);
+      ("branches", Int c.branches);
+      ("accels", Int c.accels);
+    ]
+
 (* Textual interchange format, one instruction per line:
      <pc> <op> <dst> <src1> <src2> <addr> <taken>
    with op one of the names from Isa.op_name; accel lines append
@@ -107,10 +132,17 @@ let parse_line lineno line =
     | Some v -> v
     | None -> fail (Printf.sprintf "bad integer %S" s)
   in
+  let reg_of name s =
+    let r = int_of s in
+    if r <> Isa.no_reg && (r < 0 || r >= Isa.num_arch_regs) then
+      fail (Printf.sprintf "%s register %d out of range" name r);
+    r
+  in
   match fields with
   | pc :: op_name :: dst :: src1 :: src2 :: addr :: taken :: rest ->
-      let pc = int_of pc and dst = int_of dst and src1 = int_of src1 in
-      let src2 = int_of src2 and addr = int_of addr in
+      let pc = int_of pc and dst = reg_of "dst" dst in
+      let src1 = reg_of "src1" src1 in
+      let src2 = reg_of "src2" src2 and addr = int_of addr in
       let taken = match bool_of_string_opt taken with
         | Some b -> b
         | None -> fail (Printf.sprintf "bad boolean %S" taken)
@@ -163,6 +195,15 @@ let of_channel ic =
             failwith
               (Printf.sprintf "Trace.of_channel: expected %d instructions, got %d" count i))
   in
+  (match input_line ic with
+  | line ->
+      if String.trim line <> "" then
+        failwith
+          (Printf.sprintf
+             "Trace.of_channel: line %d: trailing garbage after %d \
+              instructions"
+             (count + 2) count)
+  | exception End_of_file -> ());
   of_array instrs
 
 let save path t =

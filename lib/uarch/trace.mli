@@ -12,7 +12,10 @@ val iter : (Isa.instr -> unit) -> t -> unit
 
 val validate : Isa.instr array -> (unit, string) result
 (** Registers in range, non-negative addresses, non-negative accelerator
-    latencies. *)
+    latencies, and no no-op accelerator invocations (empty read and
+    write sets with zero compute latency — such an instruction would
+    silently skew the [a]/[A] inputs derived for the analytical
+    model). *)
 
 type counts = {
   total : int;
@@ -27,6 +30,9 @@ type counts = {
 }
 
 val counts : t -> counts
+
+val counts_to_json : counts -> Tca_util.Json.t
+(** Shared schema between [tca analyze --json] and [tca trace-report]. *)
 
 val to_channel : out_channel -> t -> unit
 (** Write the trace in the textual interchange format: a header line

@@ -38,7 +38,10 @@ let model_friendly_config =
 
 let data_base = 0x0010_0000
 
-type site = { pc : int; bias : float }
+(* A static branch site models one fixed instruction: constant PC,
+   constant source register (real code cannot change its operand between
+   executions of the same instruction), per-site direction bias. *)
+type site = { pc : int; bias : float; src : int }
 
 type t = {
   cfg : config;
@@ -46,6 +49,9 @@ type t = {
   sites : site array;
   mutable emitted : int;
   mutable next_dst : int;
+  mutable defined : int;
+      (** window registers written so far, so sources never read a
+          register before its first definition *)
 }
 
 let create ?(config = default_config) ?(site_base = 0x8000) ~rng () =
@@ -65,20 +71,31 @@ let create ?(config = default_config) ?(site_base = 0x8000) ~rng () =
           else if Tca_util.Prng.bool rng then config.branch_bias
           else 1.0 -. config.branch_bias
         in
-        { pc = site_base + (4 * i); bias })
+        {
+          pc = site_base + (4 * i);
+          bias;
+          src = Tca_util.Prng.int rng config.dep_window;
+        })
   in
-  { cfg = config; rng; sites; emitted = 0; next_dst = 0 }
+  { cfg = config; rng; sites; emitted = 0; next_dst = 0; defined = 0 }
 
 (* Destination registers cycle through [0, dep_window); sources reach a
    few registers back, creating dependence chains of controlled depth. *)
 let fresh_dst t =
   let d = t.next_dst in
   t.next_dst <- (t.next_dst + 1) mod t.cfg.dep_window;
+  if t.defined < t.cfg.dep_window then t.defined <- t.defined + 1;
   d
 
+(* Always consumes exactly one PRNG draw so the stream stays aligned
+   whatever the warm-up state; before the first definition there is
+   nothing to read and the operand is omitted. *)
 let recent_src t =
   let back = 1 + Tca_util.Prng.int t.rng (t.cfg.dep_window - 1) in
-  (t.next_dst - back + t.cfg.dep_window + t.cfg.dep_window) mod t.cfg.dep_window
+  if t.defined = 0 then Isa.no_reg
+  else
+    let back = 1 + ((back - 1) mod min t.defined (t.cfg.dep_window - 1)) in
+    (t.next_dst - back + (2 * t.cfg.dep_window)) mod t.cfg.dep_window
 
 let random_addr t =
   let lines = t.cfg.working_set_bytes / 64 in
@@ -86,28 +103,40 @@ let random_addr t =
 
 let due t every = every > 0 && t.emitted mod every = every - 1
 
+(* Operands are drawn with explicit lets so every source is selected
+   before [fresh_dst] advances the window — an instruction must never
+   read the register it is about to define. *)
 let emit t b =
   let c = t.cfg in
   (if due t c.branch_every then begin
      let site = Tca_util.Prng.choose t.rng t.sites in
      let taken = Tca_util.Prng.bernoulli t.rng site.bias in
-     Trace.Builder.add_at_site b
-       (Isa.branch ~pc:site.pc ~src1:(recent_src t) ~taken ())
+     (* The site's fixed operand register, once it has been defined. *)
+     let src1 = if site.src < t.defined then site.src else Isa.no_reg in
+     Trace.Builder.add_at_site b (Isa.branch ~pc:site.pc ~src1 ~taken ())
    end
-   else if due t c.load_every then
-     Trace.Builder.add b (Isa.load ~base:(recent_src t) ~dst:(fresh_dst t) ~addr:(random_addr t) ())
-   else if due t c.store_every then
-     Trace.Builder.add b
-       (Isa.store ~base:(recent_src t) ~src:(recent_src t) ~addr:(random_addr t) ())
-   else if due t c.mult_every then
-     Trace.Builder.add b
-       (Isa.int_mult ~src1:(recent_src t) ~src2:(recent_src t) ~dst:(fresh_dst t) ())
-   else if due t c.fp_every then
-     Trace.Builder.add b
-       (Isa.fp_alu ~src1:(recent_src t) ~src2:(recent_src t) ~dst:(fresh_dst t) ())
-   else
-     Trace.Builder.add b
-       (Isa.int_alu ~src1:(recent_src t) ~src2:(recent_src t) ~dst:(fresh_dst t) ()));
+   else if due t c.load_every then begin
+     let base = recent_src t in
+     let addr = random_addr t in
+     let dst = fresh_dst t in
+     Trace.Builder.add b (Isa.load ~base ~dst ~addr ())
+   end
+   else if due t c.store_every then begin
+     let base = recent_src t in
+     let src = recent_src t in
+     let addr = random_addr t in
+     Trace.Builder.add b (Isa.store ~base ~src ~addr ())
+   end
+   else begin
+     let src1 = recent_src t in
+     let src2 = recent_src t in
+     let dst = fresh_dst t in
+     if due t c.mult_every then
+       Trace.Builder.add b (Isa.int_mult ~src1 ~src2 ~dst ())
+     else if due t c.fp_every then
+       Trace.Builder.add b (Isa.fp_alu ~src1 ~src2 ~dst ())
+     else Trace.Builder.add b (Isa.int_alu ~src1 ~src2 ~dst ())
+   end);
   t.emitted <- t.emitted + 1
 
 let emit_block t b n =

@@ -84,6 +84,8 @@ let baseline cfg =
   let per_block = cfg.block * cfg.block * kernel_uops_per_element cfg in
   let nb = cfg.n / cfg.block in
   let b = Trace.Builder.create ~capacity:(per_block * nb * nb * nb) () in
+  (* Initialize the loop-counter register before any kernel reads it. *)
+  Trace.Builder.add b (Isa.int_alu ~dst:r_idx ());
   for_each_block cfg (fun ~i0 ~j0 ~k0 ->
       for i = i0 to i0 + cfg.block - 1 do
         for j = j0 to j0 + cfg.block - 1 do
@@ -109,6 +111,8 @@ let accelerated cfg ~dim =
   if cfg.block mod dim <> 0 then
     invalid_arg "Dgemm_workload.accelerated: dim must divide block";
   let b = Trace.Builder.create () in
+  (* Same loop-counter prologue as the baseline build. *)
+  Trace.Builder.add b (Isa.int_alu ~dst:r_idx ());
   let nd = cfg.block / dim in
   let total_reads = ref 0 and total_writes = ref 0 and invocations = ref 0 in
   for_each_block cfg (fun ~i0 ~j0 ~k0 ->

@@ -337,6 +337,36 @@ let telemetry_case i g =
       if strip plain <> strip traced then
         record i "telemetry" "sink attachment changed simulation results")
 
+(* Static analyzer parity: the lint pass is total over well-formed
+   traces (never raises), and the static cycles lower bound never
+   exceeds the cycle count of a completed simulation — under both TCA
+   occupancy disciplines. *)
+let analysis_case i g =
+  let open Tca_uarch in
+  let len = 10 + (abs (Tca_util.Faultgen.size_adversarial g ~max:150) mod 150) in
+  let trace = hostile_trace g ~len in
+  guard i "Analysis.lint" (fun () -> ignore (Tca_analysis.Analysis.lint trace));
+  let cfg =
+    let base = Config.hp () in
+    if abs (Tca_util.Faultgen.size_adversarial g ~max:4) mod 2 = 0 then base
+    else { base with Config.tca_occupancy = Config.Exclusive }
+  in
+  guard i "Analysis.bounds" (fun () ->
+      let b = Tca_analysis.Analysis.bounds ~cfg trace in
+      if b.Tca_analysis.Bounds.cycles_lower_bound < 0 then
+        record i "bounds" "negative cycles lower bound";
+      match Pipeline.run cfg trace with
+      | Ok (Pipeline.Complete stats) ->
+          if
+            b.Tca_analysis.Bounds.cycles_lower_bound
+            > stats.Tca_uarch.Sim_stats.cycles
+          then
+            record i "bounds"
+              (Printf.sprintf "static lower bound %d > simulated %d cycles"
+                 b.Tca_analysis.Bounds.cycles_lower_bound
+                 stats.Tca_uarch.Sim_stats.cycles)
+      | Ok (Pipeline.Partial _) | Error _ -> ())
+
 let () =
   let g = Tca_util.Faultgen.create ~seed in
   for i = 1 to cases do
@@ -344,6 +374,7 @@ let () =
     util_case i g;
     if i mod 10 = 0 then grid_case i g;
     if i mod 25 = 0 then uarch_case i g;
+    if i mod 25 = 0 then analysis_case i g;
     if i mod 50 = 0 then telemetry_case i g;
     if i mod 100 = 0 then simulator_case i g
   done;

@@ -141,6 +141,91 @@ let test_trace_io_rejects_garbage () =
   check_fails "tca-trace 1 1\n0 bogus 0 -1 -1 0 false\n";
   check_fails "tca-trace 1 1\n0 accel 0 -1 -1 0 false 5 2 64\n"
 
+(* Every parser failure must identify the offending line so a corrupted
+   trace file can be repaired by hand. *)
+let test_trace_io_error_messages () =
+  let msg_of content =
+    let path = Filename.temp_file "tca" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        try
+          ignore (Trace.load path);
+          Alcotest.fail "expected Failure"
+        with Failure m -> m)
+  in
+  let contains what hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i =
+      i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentions %S in %S" what needle hay)
+      true (scan 0)
+  in
+  let m = msg_of "tca-trace 1\n" in
+  contains "truncated header" m "bad header";
+  let m = msg_of "tca-trace 1 2\n0 int_alu 0 -1 -1 0 false\n" in
+  contains "truncated body" m "expected 2 instructions, got 1";
+  let m = msg_of "tca-trace 1 1\n0 bogus 0 -1 -1 0 false\n" in
+  contains "bad opcode" m "line 2";
+  contains "bad opcode" m "bogus";
+  let m = msg_of "tca-trace 1 1\n0 int_alu 64 -1 -1 0 false\n" in
+  contains "register range" m "line 2";
+  contains "register range" m "dst register 64 out of range";
+  let m =
+    msg_of
+      "tca-trace 1 2\n0 int_alu 0 -1 -1 0 false\n4 int_alu 1 -99 -1 0 false\n"
+  in
+  contains "register range line number" m "line 3";
+  contains "register range line number" m "src1 register -99 out of range";
+  let m = msg_of "tca-trace 1 1\n0 int_alu 0 -1 -1 0 false\njunk\n" in
+  contains "trailing garbage" m "line 3";
+  contains "trailing garbage" m "trailing garbage"
+
+let test_trace_validate_noop_accel () =
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i =
+      i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  (match
+     Trace.validate [| Isa.accel ~compute_latency:0 ~reads:[||] ~writes:[||] () |]
+   with
+  | Error msg ->
+      Alcotest.(check bool) "names the no-op" true (contains msg "no-op accel")
+  | Ok () -> Alcotest.fail "expected validation error");
+  (* A latency-only invocation stays legal: the heap TCA has compute
+     time but no modeled memory footprint. *)
+  match
+    Trace.validate [| Isa.accel ~compute_latency:1 ~reads:[||] ~writes:[||] () |]
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_trace_counts_json () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add b (Isa.int_alu ~dst:0 ());
+  Trace.Builder.add b (Isa.load ~dst:1 ~addr:0 ());
+  Trace.Builder.add b (Isa.store ~addr:64 ());
+  Trace.Builder.add b (Isa.accel ~compute_latency:1 ~reads:[||] ~writes:[||] ());
+  let c = Trace.counts (Trace.Builder.build b) in
+  let expected =
+    Tca_util.Json.(
+      Obj
+        [
+          ("total", Int 4); ("int_alu", Int 1); ("int_mult", Int 0);
+          ("fp_alu", Int 0); ("fp_mult", Int 0); ("loads", Int 1);
+          ("stores", Int 1); ("branches", Int 0); ("accels", Int 1);
+        ])
+  in
+  Alcotest.(check bool) "schema" true (Trace.counts_to_json c = expected)
+
 let test_trace_io_simulates_identically () =
   let b = Trace.Builder.create () in
   for i = 0 to 999 do
@@ -790,6 +875,9 @@ let () =
           Alcotest.test_case "counts" `Quick test_trace_counts;
           Alcotest.test_case "io roundtrip" `Quick test_trace_io_roundtrip;
           Alcotest.test_case "io rejects garbage" `Quick test_trace_io_rejects_garbage;
+          Alcotest.test_case "io error messages" `Quick test_trace_io_error_messages;
+          Alcotest.test_case "validate no-op accel" `Quick test_trace_validate_noop_accel;
+          Alcotest.test_case "counts json" `Quick test_trace_counts_json;
           Alcotest.test_case "io simulates identically" `Quick test_trace_io_simulates_identically;
         ] );
       ( "bpred",

@@ -234,7 +234,8 @@ let test_heap_workload_validation () =
 let test_dgemm_baseline_structure () =
   let cfg = Dgemm_workload.config ~n:32 () in
   let t = Dgemm_workload.baseline cfg in
-  let expected = 32 * 32 * Dgemm_workload.kernel_uops_per_element cfg in
+  (* One loop-counter prologue instruction, then the element kernels. *)
+  let expected = 1 + (32 * 32 * Dgemm_workload.kernel_uops_per_element cfg) in
   Alcotest.(check int) "kernel size formula" expected (Trace.length t);
   let c = Trace.counts t in
   (* 2 loads per MAC plus the C-element load. *)
