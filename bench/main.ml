@@ -11,7 +11,13 @@
                                        to skip)
      bench/main.exe fig5 fig8          run selected targets
    Targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 logca partial
-            design mechanistic occupancy bechamel all *)
+            design mechanistic occupancy cores hashmap regex strfn
+            engine bechamel all
+
+   The [engine] target times the experiment engine itself: the same job
+   set serial (--jobs 1) vs parallel (--jobs = recommended domains) and
+   cold vs warm through the result cache, and records the wall-clocks
+   plus the bit-identity check under "engine" in the JSON summary. *)
 
 open Tca_experiments
 
@@ -29,6 +35,10 @@ let telemetry = Some sink
 type summary_row = { name : string; seconds : float; sim_cycles : int }
 
 let summary : summary_row list ref = ref []
+
+(* Filled by the [engine] target: serial-vs-parallel and cold-vs-warm
+   cache wall-clock, recorded verbatim in the JSON summary. *)
+let engine_summary : Tca_util.Json.t option ref = ref None
 
 let write_summary () =
   match !summary_path with
@@ -48,12 +58,14 @@ let write_summary () =
       in
       let doc =
         Obj
-          [
-            ("quick", Bool !quick);
-            ("targets", List rows);
-            ("total_sim_cycles",
-             Int (Tca_telemetry.Metrics.counter_value registry "sim.cycles"));
-          ]
+          ([ ("quick", Bool !quick); ("targets", List rows) ]
+          @ (match !engine_summary with
+            | Some e -> [ ("engine", e) ]
+            | None -> [])
+          @ [
+              ("total_sim_cycles",
+               Int (Tca_telemetry.Metrics.counter_value registry "sim.cycles"));
+            ])
       in
       let oc = open_out path in
       Fun.protect
@@ -157,6 +169,82 @@ let run_cores () =
 let run_occupancy () =
   banner "X5" "Accelerator occupancy ablation";
   Occupancy.print (Occupancy.run ~n:(if !quick then 32 else 64) ())
+
+(* --- Experiment-engine wall-clock: scheduler parallelism + cache --- *)
+
+let run_engine () =
+  banner "E" "Experiment engine: multicore scheduler + result cache";
+  let module Scheduler = Tca_engine.Scheduler in
+  let module Cache = Tca_engine.Cache in
+  let job_registry = Jobs.registry () in
+  (* A mix of model-only and simulator-backed jobs, heavy enough that
+     scheduling overhead is noise. *)
+  let names =
+    [ "table1"; "fig2"; "fig3"; "fig4"; "logca"; "design"; "mechanistic";
+      "cores" ]
+  in
+  let js =
+    match Tca_engine.Registry.resolve job_registry names with
+    | Ok js -> js
+    | Error d -> failwith (Tca_util.Diag.to_string d)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs_n = max 2 (Domain.recommended_domain_count ()) in
+  let quick = !quick in
+  let serial_out, serial_s =
+    time (fun () -> Scheduler.run ~quick ~jobs:1 js)
+  in
+  let par_out, parallel_s =
+    time (fun () -> Scheduler.run ~quick ~jobs:jobs_n js)
+  in
+  let fingerprints os =
+    List.map
+      (fun (o : Scheduler.outcome) ->
+        Tca_engine.Artifact.fingerprint o.Scheduler.artifact)
+      os
+  in
+  let identical = fingerprints serial_out = fingerprints par_out in
+  if not identical then
+    Printf.eprintf "[engine] WARNING: parallel artifacts differ from serial\n";
+  let cache = Cache.create () in
+  let _, cache_cold_s = time (fun () -> Scheduler.run ~cache ~quick ~jobs:1 js) in
+  let warm_out, cache_warm_s =
+    time (fun () -> Scheduler.run ~cache ~quick ~jobs:1 js)
+  in
+  let all_cached =
+    List.for_all (fun (o : Scheduler.outcome) -> o.Scheduler.cached) warm_out
+  in
+  let speedup = if parallel_s > 0.0 then serial_s /. parallel_s else 0.0 in
+  let cache_speedup =
+    if cache_warm_s > 0.0 then cache_cold_s /. cache_warm_s else 0.0
+  in
+  Printf.printf
+    "%d jobs, --jobs %d: serial %.3f s, parallel %.3f s (%.2fx), artifacts \
+     %s\ncache: cold %.3f s, warm %.3f s (%.0fx), %d hit(s), all cached: %b\n"
+    (List.length js) jobs_n serial_s parallel_s speedup
+    (if identical then "bit-identical" else "DIFFER")
+    cache_cold_s cache_warm_s cache_speedup (Cache.hits cache) all_cached;
+  let open Tca_util.Json in
+  engine_summary :=
+    Some
+      (Obj
+         [
+           ("n_jobs", Int (List.length js));
+           ("jobs", Int jobs_n);
+           ("serial_s", Float serial_s);
+           ("parallel_s", Float parallel_s);
+           ("speedup", Float speedup);
+           ("artifacts_bit_identical", Bool identical);
+           ("cache_cold_s", Float cache_cold_s);
+           ("cache_warm_s", Float cache_warm_s);
+           ("cache_speedup", Float cache_speedup);
+           ("cache_hits", Int (Cache.hits cache));
+           ("warm_run_fully_cached", Bool all_cached);
+         ])
 
 (* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
 
@@ -294,6 +382,7 @@ let targets =
     ("hashmap", run_hashmap);
     ("regex", run_regex);
     ("strfn", run_strfn);
+    ("engine", run_engine);
     ("bechamel", run_bechamel);
   ]
 

@@ -234,44 +234,34 @@ let model_cmd =
   Cmd.v (Cmd.info "model" ~doc)
     Term.(const run $ core_t $ a_t $ v_t $ factor_t $ latency_t $ drain_t)
 
-(* --- tca sweep --- *)
+(* --- engine plumbing (tca run / tca list / tca figure) --- *)
 
-let sweep_cmd =
-  let doc = "Granularity sweep (Fig. 2 style) for a given core." in
-  let a_t =
-    Arg.(
-      value
-      & opt (fraction_arg ~field:"a") 0.3
-      & info [ "a" ] ~docv:"FRAC" ~doc:"Coverage.")
-  in
-  let factor_t =
-    Arg.(
-      value
-      & opt (positive_arg ~field:"factor") 3.0
-      & info [ "factor"; "A" ] ~doc:"Acceleration factor.")
-  in
-  let points_t =
-    Arg.(value & opt int 17 & info [ "points" ] ~doc:"Sweep points.")
-  in
-  let run core a factor points =
-    protect @@ fun () ->
-    let gs = or_die (Tca_util.Sweep.logspace 10.0 1.0e9 points) in
-    let series =
-      Tca_model.Granularity.series core ~a
-        ~accel:(Tca_model.Params.Factor factor) ~gs
-    in
-    let headers =
-      "granularity" :: List.map Tca_model.Mode.to_string Tca_model.Mode.all
-    in
-    Tca_util.Table.print ~headers
-      (List.init (Array.length gs) (fun i ->
-           Printf.sprintf "%.1e" gs.(i)
-           :: List.map
-                (fun (_, pts) -> Tca_util.Table.float_cell (snd pts.(i)))
-                series))
-  in
-  Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ core_t $ a_t $ factor_t $ points_t)
+let registry () = Tca_experiments.Jobs.registry ()
+
+(* Merged-telemetry export shared by [tca run] and [tca figure]: the
+   per-job sinks are joined in job order, so the files are identical
+   whatever --jobs was. *)
+let export_engine_telemetry ~trace ~metrics outcomes =
+  match (trace, metrics) with
+  | None, None -> ()
+  | _ ->
+      let sink = Tca_engine.Scheduler.merged_sink outcomes in
+      Option.iter
+        (fun path ->
+          or_die (Tca_telemetry.Exporter.write_chrome_trace sink path))
+        trace;
+      Option.iter
+        (fun path ->
+          match Tca_telemetry.Sink.metrics sink with
+          | Some registry ->
+              or_die (Tca_telemetry.Exporter.write_metrics_json registry path)
+          | None -> ())
+        metrics
+
+let write_text path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc contents
 
 (* --- tca design --- *)
 
@@ -352,18 +342,14 @@ let design_cmd =
   Cmd.v (Cmd.info "design" ~doc)
     Term.(const run $ core_t $ a_t $ v_t $ factor_t $ static_t $ drain_t)
 
-(* --- shared workload selection (tca simulate / tca run) --- *)
+(* --- shared workload selection (tca simulate / tca sim / tca trace) --- *)
 
 let sim_workload_t =
   Arg.(
     value
     & opt
-        (enum
-           [
-             ("synthetic", `Synthetic); ("heap", `Heap); ("dgemm", `Dgemm);
-             ("hashmap", `Hashmap); ("regex", `Regex); ("strfn", `Strfn);
-           ])
-        `Heap
+        (enum Tca_experiments.Exp_common.workload_kinds)
+        Tca_experiments.Exp_common.Heap
     & info [ "workload" ] ~docv:"KIND"
         ~doc:"synthetic, heap, dgemm, hashmap, regex or strfn.")
 
@@ -376,74 +362,21 @@ let sim_size_t =
            (heap/hashmap/regex/strfn) or matrix dimension (dgemm); 0 = \
            default.")
 
-(* The workload pair (baseline + accelerated traces) and the architect's
-   latency estimate used by both [tca simulate] and [tca run]. *)
-let sim_pair ~cfg workload size =
-  let auto_latency p =
-    Tca_experiments.Exp_common.meta_latency p.Tca_workloads.Meta.meta ~cfg
-  in
-  match workload with
-  | `Synthetic ->
-      let n_chunks = if size > 0 then size else 200 in
-      let p =
-        Tca_workloads.Synthetic.generate
-          (Tca_workloads.Synthetic.config ~n_units:4000 ~n_chunks
-             ~accel_latency:20 ())
-      in
-      (p, 20.0)
-  | `Heap ->
-      let gap = if size > 0 then size else 100 in
-      let p =
-        Tca_workloads.Heap_workload.generate
-          (Tca_workloads.Heap_workload.config ~n_calls:2000
-             ~app_instrs_per_call:gap ())
-      in
-      (p, float_of_int Tca_heap.Cost_model.accel_latency)
-  | `Dgemm ->
-      let n = if size > 0 then size else 64 in
-      let p =
-        Tca_workloads.Dgemm_workload.pair
-          (Tca_workloads.Dgemm_workload.config ~n ())
-          ~dim:4
-      in
-      (p, auto_latency p)
-  | `Hashmap ->
-      let gap = if size > 0 then size else 200 in
-      let p, _ =
-        Tca_workloads.Hashmap_workload.generate
-          (Tca_workloads.Hashmap_workload.config ~n_lookups:1500
-             ~app_instrs_per_lookup:gap ())
-      in
-      (p, auto_latency p)
-  | `Regex ->
-      let gap = if size > 0 then size else 800 in
-      let p, _ =
-        Tca_workloads.Regex_workload.generate
-          (Tca_workloads.Regex_workload.config ~n_records:300
-             ~app_instrs_per_record:gap ())
-      in
-      (p, auto_latency p)
-  | `Strfn ->
-      let gap = if size > 0 then size else 300 in
-      let p, _ =
-        Tca_workloads.Strfn_workload.generate
-          (Tca_workloads.Strfn_workload.config ~n_calls:1000
-             ~app_instrs_per_call:gap ())
-      in
-      (p, auto_latency p)
-
 (* --- tca simulate --- *)
 
 let simulate_cmd =
   let doc =
     "Run a workload's baseline and accelerated traces through the \
      cycle-level core simulator under all four couplings and compare \
-     with the model."
+     with the model (the parameterless form is the [simulate.*] job \
+     family of $(b,tca run))."
   in
   let run workload size =
     protect @@ fun () ->
     let cfg = Tca_experiments.Exp_common.validation_core () in
-    let pair, latency = sim_pair ~cfg workload size in
+    let pair, latency =
+      Tca_experiments.Exp_common.workload_pair ~cfg ~size workload
+    in
     Format.printf "%a@." Tca_workloads.Meta.pp pair.Tca_workloads.Meta.meta;
     let rows =
       Tca_experiments.Exp_common.validate_pair ~cfg ~pair ~latency ()
@@ -453,9 +386,10 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ sim_workload_t $ sim_size_t)
 
-(* --- tca run --- *)
+(* --- tca sim (single-trace simulator run; was `tca run` before the
+   engine claimed that name) --- *)
 
-let run_cmd =
+let sim_cmd =
   let doc =
     "Run one workload trace through the cycle-level simulator under a \
      single coupling mode, optionally exporting a Chrome trace, a \
@@ -472,7 +406,9 @@ let run_cmd =
   let run workload size mode baseline trace_out metrics_out json =
     protect @@ fun () ->
     let cfg = Tca_experiments.Exp_common.validation_core () in
-    let pair, _ = sim_pair ~cfg workload size in
+    let pair, _ =
+      Tca_experiments.Exp_common.workload_pair ~cfg ~size workload
+    in
     let cfg =
       Tca_uarch.Config.with_coupling cfg
         (Tca_experiments.Exp_common.coupling_of_mode mode)
@@ -505,7 +441,7 @@ let run_cmd =
         prerr_endline ("tca: warning: " ^ Tca_util.Diag.to_string diag);
         exit (Tca_util.Diag.exit_code diag)
   in
-  Cmd.v (Cmd.info "run" ~doc)
+  Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run $ sim_workload_t $ sim_size_t $ mode_t $ baseline_t
       $ trace_out_t $ metrics_out_t $ json_t)
@@ -527,7 +463,9 @@ let trace_cmd =
   let run workload out size =
     protect @@ fun () ->
     let cfg = Tca_experiments.Exp_common.validation_core () in
-    let pair, _ = sim_pair ~cfg workload size in
+    let pair, _ =
+      Tca_experiments.Exp_common.workload_pair ~cfg ~size workload
+    in
     let base_path = out ^ ".base.trace" in
     let accel_path = out ^ ".accel.trace" in
     Tca_uarch.Trace.save base_path pair.Tca_workloads.Meta.baseline;
@@ -743,47 +681,163 @@ let analyze_cmd =
       const run $ file_t $ baseline_t $ mode_t $ lint_t $ bounds_t $ check_t
       $ json_t)
 
-(* --- tca figure --- *)
+(* --- tca run (engine) --- *)
+
+let quick_t =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller validation sweeps.")
+
+let run_cmd =
+  let doc =
+    "Run registered experiment jobs through the engine: deterministic \
+     multicore scheduling (--jobs), content-addressed result caching \
+     (--cache-dir) and uniform text/CSV/JSON artifact views. With no \
+     JOB arguments the whole registered suite runs."
+  in
+  let names_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"JOB"
+          ~doc:"Job names (see $(b,tca list)); empty = every job.")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Total parallelism: N-1 worker domains plus the calling \
+             domain. Artifacts are bit-identical for every N.")
+  in
+  let cache_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the content-addressed result cache in DIR; a warm \
+             run re-serves identical artifacts without re-executing.")
+  in
+  let csv_t =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Print the artifacts' CSV views instead of text.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write NAME.txt, NAME.csv and NAME.json per job into DIR.")
+  in
+  let run names jobs cache_dir quick json csv out trace_out metrics_out =
+    protect @@ fun () ->
+    if json && csv then begin
+      prerr_endline "tca: --json and --csv are mutually exclusive";
+      exit 2
+    end;
+    if jobs < 1 then
+      die
+        (Tca_util.Diag.Invalid { field = "--jobs"; message = "must be >= 1" });
+    let r = registry () in
+    let js =
+      match names with
+      | [] -> Tca_engine.Registry.all r
+      | names -> or_die (Tca_engine.Registry.resolve r names)
+    in
+    let cache = Tca_engine.Cache.create ?dir:cache_dir () in
+    let collect = trace_out <> None || metrics_out <> None in
+    let outcomes =
+      Tca_engine.Scheduler.run ~cache ~quick ~collect_telemetry:collect ~jobs
+        js
+    in
+    export_engine_telemetry ~trace:trace_out ~metrics:metrics_out outcomes;
+    Option.iter
+      (fun dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+        List.iter
+          (fun (o : Tca_engine.Scheduler.outcome) ->
+            let a = o.Tca_engine.Scheduler.artifact in
+            let base = Filename.concat dir o.Tca_engine.Scheduler.job.Tca_engine.Job.name in
+            write_text (base ^ ".txt") (Tca_engine.Artifact.to_text a);
+            write_text (base ^ ".csv") (Tca_engine.Artifact.to_csv a);
+            write_text (base ^ ".json")
+              (Tca_util.Json.to_string_indent (Tca_engine.Artifact.to_json a)
+              ^ "\n"))
+          outcomes)
+      out;
+    let artifacts =
+      List.map (fun o -> o.Tca_engine.Scheduler.artifact) outcomes
+    in
+    (if json then
+       print_endline
+         (Tca_util.Json.to_string_indent
+            (match artifacts with
+            | [ a ] -> Tca_engine.Artifact.to_json a
+            | l -> Tca_util.Json.List (List.map Tca_engine.Artifact.to_json l)))
+     else if csv then
+       List.iteri
+         (fun i (a : Tca_engine.Artifact.t) ->
+           if List.length artifacts > 1 then begin
+             if i > 0 then print_newline ();
+             Printf.printf "# job %s\n" a.Tca_engine.Artifact.job
+           end;
+           print_string (Tca_engine.Artifact.to_csv a))
+         artifacts
+     else
+       List.iteri
+         (fun i a ->
+           if i > 0 then print_newline ();
+           print_string (Tca_engine.Artifact.to_text a))
+         artifacts);
+    if cache_dir <> None then
+      Printf.eprintf "tca: cache: %d hit(s), %d miss(es)\n%!"
+        (Tca_engine.Cache.hits cache)
+        (Tca_engine.Cache.misses cache)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ names_t $ jobs_t $ cache_dir_t $ quick_t $ json_t $ csv_t
+      $ out_t $ trace_out_t $ metrics_out_t)
+
+(* --- tca list --- *)
+
+let list_cmd =
+  let doc = "List every registered experiment job." in
+  let run () =
+    let r = registry () in
+    Tca_util.Table.print ~headers:[ "job"; "title" ]
+      (List.map
+         (fun (j : Tca_engine.Job.t) ->
+           [ j.Tca_engine.Job.name; j.Tca_engine.Job.title ])
+         (Tca_engine.Registry.all r))
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- tca figure (registry-backed alias of `tca run <ID>`) --- *)
 
 let figure_cmd =
-  let doc = "Regenerate a paper table/figure (see DESIGN.md)." in
+  let doc = "Regenerate a paper table/figure (alias for $(b,tca run ID))." in
   let id_t =
     Arg.(
       required
       & pos 0 (some string) None
       & info [] ~docv:"ID"
-          ~doc:"table1, fig2..fig8, logca, partial, design, mechanistic \
-                or occupancy.")
-  in
-  let quick_t =
-    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller validation sweeps.")
+          ~doc:"A registered job name: table1, fig2..fig8, logca, partial, \
+                design, mechanistic, occupancy, cores, hashmap, regexv, \
+                strfn or simulate.<workload> — see $(b,tca list).")
   in
   let run id quick trace_out metrics_out =
     protect @@ fun () ->
-    let open Tca_experiments in
-    with_telemetry ~trace:trace_out ~metrics:metrics_out @@ fun telemetry ->
-    match id with
-    | "table1" -> Table1.print ()
-    | "fig2" -> Fig2.print (Fig2.run ?telemetry ())
-    | "fig3" -> Fig3.print (Fig3.run ?telemetry ())
-    | "fig4" -> Fig4.print (Fig4.run ?telemetry ~quick ())
-    | "fig5" -> Fig5.print (Fig5.run ?telemetry ~quick ())
-    | "fig6" ->
-        Fig6.print (Fig6.run ?telemetry ~n:(if quick then 32 else 64) ())
-    | "fig7" -> Fig7.print (Fig7.run ?telemetry ())
-    | "fig8" -> Fig8.print (Fig8.run ?telemetry ())
-    | "logca" -> Logca_cmp.print (Logca_cmp.run ())
-    | "partial" -> Partial_spec.print (Partial_spec.run ())
-    | "design" -> Design_space.print ()
-    | "mechanistic" -> Mechanistic_cmp.print (Mechanistic_cmp.run ())
-    | "occupancy" -> Occupancy.print (Occupancy.run ())
-    | "cores" -> Cores_cmp.print (Cores_cmp.run ~quick ())
-    | "hashmap" -> Hashmap_val.print (Hashmap_val.run ?telemetry ~quick ())
-    | "regexv" -> Regex_val.print (Regex_val.run ?telemetry ~quick ())
-    | "strfn" -> Strfn_val.print (Strfn_val.run ?telemetry ~quick ())
-    | other ->
-        Printf.eprintf "unknown figure %s\n" other;
-        exit 2
+    let js = or_die (Tca_engine.Registry.resolve (registry ()) [ id ]) in
+    let collect = trace_out <> None || metrics_out <> None in
+    let outcomes =
+      Tca_engine.Scheduler.run ~quick ~collect_telemetry:collect js
+    in
+    export_engine_telemetry ~trace:trace_out ~metrics:metrics_out outcomes;
+    List.iter
+      (fun (o : Tca_engine.Scheduler.outcome) ->
+        print_string
+          (Tca_engine.Artifact.to_text o.Tca_engine.Scheduler.artifact))
+      outcomes
   in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(const run $ id_t $ quick_t $ trace_out_t $ metrics_out_t)
@@ -816,7 +870,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            modes_cmd; model_cmd; sweep_cmd; design_cmd; simulate_cmd;
-            run_cmd; trace_cmd; run_trace_cmd; analyze_cmd; trace_report_cmd;
-            figure_cmd;
+            modes_cmd; model_cmd; design_cmd; simulate_cmd; sim_cmd;
+            run_cmd; list_cmd; trace_cmd; run_trace_cmd; analyze_cmd;
+            trace_report_cmd; figure_cmd;
           ]))

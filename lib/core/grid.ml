@@ -7,7 +7,8 @@ type t = {
   failures : ((int * int) * Diag.t) list;
 }
 
-let compute ?telemetry core ~accel ~freqs ~coverages mode =
+let compute ?telemetry ?(par = Tca_util.Parmap.serial) core ~accel ~freqs
+    ~coverages mode =
   let* _ = Diag.non_empty ~field:"Grid.compute.freqs" freqs in
   let* _ = Diag.non_empty ~field:"Grid.compute.coverages" coverages in
   Tca_telemetry.Timing.with_span telemetry "grid.compute"
@@ -18,27 +19,35 @@ let compute ?telemetry core ~accel ~freqs ~coverages mode =
         ("mode", Tca_util.Json.String (Mode.to_string mode));
       ]
   @@ fun () ->
-  let failures = ref [] in
-  let cells =
-    Array.mapi
-      (fun row a ->
-        Array.mapi
-          (fun col v ->
-            if v <= 0.0 || a <= 0.0 || a < v then Float.nan
-            else
-              (* Skip-and-record: a bad point poisons one cell, never the
-                 whole sweep. *)
-              match
-                let* s = Params.scenario ~a ~v ~accel () in
-                Equations.speedup core s mode
-              with
-              | Ok sp -> sp
-              | Error d ->
-                  failures := ((row, col), d) :: !failures;
-                  Float.nan)
-          freqs)
-      coverages
+  (* One task per row; each returns its cells plus its own failures in
+     column order, so the concatenation in row order reproduces the
+     serial (row-major) failure order exactly. *)
+  let row_task (row, a) =
+    let failures = ref [] in
+    let cells =
+      Array.mapi
+        (fun col v ->
+          if v <= 0.0 || a <= 0.0 || a < v then Float.nan
+          else
+            (* Skip-and-record: a bad point poisons one cell, never the
+               whole sweep. *)
+            match
+              let* s = Params.scenario ~a ~v ~accel () in
+              Equations.speedup core s mode
+            with
+            | Ok sp -> sp
+            | Error d ->
+                failures := ((row, col), d) :: !failures;
+                Float.nan)
+        freqs
+    in
+    (cells, List.rev !failures)
   in
+  let rows =
+    par.Tca_util.Parmap.run row_task (Array.mapi (fun row a -> (row, a)) coverages)
+  in
+  let cells = Array.map fst rows in
+  let failures = List.concat_map snd (Array.to_list rows) in
   (match
      Option.bind telemetry Tca_telemetry.Sink.metrics
    with
@@ -50,11 +59,11 @@ let compute ?telemetry core ~accel ~freqs ~coverages mode =
         | Error _ -> ()
       in
       add "grid.cells" (Array.length freqs * Array.length coverages);
-      add "grid.failures" (List.length !failures));
-  Ok { freqs; coverages; cells; failures = List.rev !failures }
+      add "grid.failures" (List.length failures));
+  Ok { freqs; coverages; cells; failures }
 
-let compute_exn ?telemetry core ~accel ~freqs ~coverages mode =
-  Diag.ok_exn (compute ?telemetry core ~accel ~freqs ~coverages mode)
+let compute_exn ?telemetry ?par core ~accel ~freqs ~coverages mode =
+  Diag.ok_exn (compute ?telemetry ?par core ~accel ~freqs ~coverages mode)
 
 let slowdown_fraction t =
   let feasible = ref 0 and slow = ref 0 in

@@ -16,6 +16,7 @@ type t = {
 
 val compute :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   Params.core ->
   accel:Params.accel_time ->
   freqs:float array ->
@@ -25,10 +26,13 @@ val compute :
 (** [Error (Empty_input _)] on an empty axis; per-point failures are
     recorded in [failures], never raised. [?telemetry] wraps the sweep
     in a [grid.compute] wall-clock span and bumps [grid.cells] /
-    [grid.failures] counters on the sink's registry. *)
+    [grid.failures] counters on the sink's registry. [?par] (default
+    serial) evaluates rows in parallel; the result — cells, failure
+    list and its order — is identical to the serial one. *)
 
 val compute_exn :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   Params.core ->
   accel:Params.accel_time ->
   freqs:float array ->

@@ -99,7 +99,8 @@ let perturb (core : Params.core) (s : Params.scenario) param factor =
 
 let perturb_exn core s param factor = Diag.ok_exn (perturb core s param factor)
 
-let swings ?telemetry ?(delta = 0.2) core s mode =
+let swings ?telemetry ?(par = Tca_util.Parmap.serial) ?(delta = 0.2) core s
+    mode =
   let* () =
     if
       (not (Float.is_finite delta)) || delta <= 0.0 || delta >= 1.0
@@ -113,24 +114,31 @@ let swings ?telemetry ?(delta = 0.2) core s mode =
   Tca_telemetry.Timing.with_span telemetry "sensitivity.swings"
     ~args:[ ("mode", Tca_util.Json.String (Mode.to_string mode)) ]
   @@ fun () ->
+  let eval param =
+    let* core_lo, s_lo = perturb core s param (1.0 -. delta) in
+    let* core_hi, s_hi = perturb core s param (1.0 +. delta) in
+    let* low = Equations.speedup core_lo s_lo mode in
+    let* high = Equations.speedup core_hi s_hi mode in
+    Ok
+      { parameter = param; mode; low; high;
+        magnitude = Float.abs (high -. low) }
+  in
+  (* Evaluate every parameter (possibly in parallel), then sequence the
+     results in parameter order — the surfaced error, if any, is the
+     same first one a serial fold would hit. *)
+  let evaluated = Tca_util.Parmap.map_list par eval all_parameters in
   let* unsorted =
     List.fold_right
-      (fun param acc ->
+      (fun r acc ->
         let* acc = acc in
-        let* core_lo, s_lo = perturb core s param (1.0 -. delta) in
-        let* core_hi, s_hi = perturb core s param (1.0 +. delta) in
-        let* low = Equations.speedup core_lo s_lo mode in
-        let* high = Equations.speedup core_hi s_hi mode in
-        Ok
-          ({ parameter = param; mode; low; high;
-             magnitude = Float.abs (high -. low) }
-          :: acc))
-      all_parameters (Ok [])
+        let* sw = r in
+        Ok (sw :: acc))
+      evaluated (Ok [])
   in
   Ok (List.sort (fun a b -> compare b.magnitude a.magnitude) unsorted)
 
-let swings_exn ?telemetry ?delta core s mode =
-  Diag.ok_exn (swings ?telemetry ?delta core s mode)
+let swings_exn ?telemetry ?par ?delta core s mode =
+  Diag.ok_exn (swings ?telemetry ?par ?delta core s mode)
 
 let decision_stable ?telemetry ?(delta = 0.2) core s =
   let* () =

@@ -41,15 +41,19 @@ val perturb_exn :
 
 val swings :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   ?delta:float -> Params.core -> Params.scenario -> Mode.t ->
   (swing list, Diag.t) result
 (** One swing per parameter for the mode, sorted by decreasing magnitude
     (the tornado ordering). [delta] defaults to 0.2 (±20%) and must lie
     strictly inside (0, 1). [?telemetry] wraps the tornado evaluation in
-    a [sensitivity.swings] wall-clock span. *)
+    a [sensitivity.swings] wall-clock span. [?par] (default serial)
+    evaluates the parameters in parallel with identical results,
+    including which error is surfaced on failure. *)
 
 val swings_exn :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   ?delta:float -> Params.core -> Params.scenario -> Mode.t -> swing list
 
 val decision_stable :

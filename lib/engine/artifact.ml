@@ -1,0 +1,267 @@
+type cell =
+  | Text of string
+  | Int of int
+  | Fixed of int * float
+  | Sci of float
+  | Pct of float
+
+let text s = Text s
+let int i = Int i
+let flt ?(decimals = 3) x = Fixed (decimals, x)
+let sci x = Sci x
+let pct x = Pct x
+
+let cell_text = function
+  | Text s -> s
+  | Int i -> string_of_int i
+  | Fixed (d, x) -> Printf.sprintf "%.*f" d x
+  | Sci x -> Printf.sprintf "%.1e" x
+  | Pct x -> Printf.sprintf "%+.1f%%" x
+
+let cell_raw = function
+  | Text s -> s
+  | Int i -> string_of_int i
+  | Fixed (_, x) | Sci x | Pct x -> string_of_float x
+
+type table = {
+  name : string;
+  headers : string list;
+  cells : cell list list;
+  in_text : bool;
+}
+
+let table ?(in_text = true) ~name ~headers cells =
+  let arity = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Artifact.table %S: row %d has %d cells, expected %d"
+             name i (List.length row) arity))
+    cells;
+  { name; headers; cells; in_text }
+
+type item = Table of table | Note of string
+
+type t = { job : string; title : string; items : item list }
+
+let make ~job ~title items = { job; title; items }
+let of_table ~job ~title tbl = { job; title; items = [ Table tbl ] }
+
+let tables t =
+  List.filter_map (function Table tbl -> Some tbl | Note _ -> None) t.items
+
+let notes t =
+  List.filter_map (function Note n -> Some n | Table _ -> None) t.items
+
+let find_table t name = List.find_opt (fun tbl -> tbl.name = name) (tables t)
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (function
+      | Note n ->
+          Buffer.add_string buf n;
+          Buffer.add_char buf '\n'
+      | Table tbl ->
+          if tbl.in_text then
+            Buffer.add_string buf
+              (Tca_util.Table.render ~headers:tbl.headers
+                 (List.map (List.map cell_text) tbl.cells)))
+    t.items;
+  Buffer.contents buf
+
+let table_csv tbl =
+  Tca_util.Csv.to_string ~header:tbl.headers
+    (List.map (List.map cell_raw) tbl.cells)
+
+let to_csv t =
+  match tables t with
+  | [ tbl ] -> table_csv tbl
+  | tbls ->
+      String.concat "\n"
+        (List.map (fun tbl -> "# " ^ tbl.name ^ "\n" ^ table_csv tbl) tbls)
+
+(* --- public JSON view (schema pinned by a golden test) --- *)
+
+let cell_json = function
+  | Text s -> Tca_util.Json.String s
+  | Int i -> Tca_util.Json.Int i
+  | Fixed (_, x) | Sci x | Pct x -> Tca_util.Json.Float x
+
+let table_json tbl =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("name", String tbl.name);
+      ("headers", List (List.map (fun h -> String h) tbl.headers));
+      ("rows", List (List.map (fun row -> List (List.map cell_json row)) tbl.cells));
+    ]
+
+let to_json t =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("job", String t.job);
+      ("title", String t.title);
+      ("tables", List (List.map table_json (tables t)));
+      ("notes", List (List.map (fun n -> String n) (notes t)));
+    ]
+
+(* --- lossless cache form --- *)
+
+(* Json.Float emits non-finite values as null, so they are carried as
+   tagged strings instead; finite floats round-trip exactly through the
+   printer's shortest-representation rule. *)
+let float_ser x =
+  if Float.is_finite x then Tca_util.Json.Float x
+  else if Float.is_nan x then Tca_util.Json.String "nan"
+  else if x > 0.0 then Tca_util.Json.String "inf"
+  else Tca_util.Json.String "-inf"
+
+let float_deser = function
+  | Tca_util.Json.Float x -> Some x
+  | Tca_util.Json.Int i -> Some (float_of_int i)
+  | Tca_util.Json.String "nan" -> Some Float.nan
+  | Tca_util.Json.String "inf" -> Some Float.infinity
+  | Tca_util.Json.String "-inf" -> Some Float.neg_infinity
+  | _ -> None
+
+let cell_ser =
+  let open Tca_util.Json in
+  function
+  | Text s -> String s
+  | Int i -> Int i
+  | Fixed (d, x) -> List [ String "f"; Int d; float_ser x ]
+  | Sci x -> List [ String "e"; float_ser x ]
+  | Pct x -> List [ String "%"; float_ser x ]
+
+let cell_deser =
+  let open Tca_util.Json in
+  function
+  | String s -> Some (Text s)
+  | Int i -> Some (Int i : cell)
+  | List [ String "f"; Int d; x ] ->
+      Option.map (fun x -> Fixed (d, x)) (float_deser x)
+  | List [ String "e"; x ] -> Option.map (fun x -> Sci x) (float_deser x)
+  | List [ String "%"; x ] -> Option.map (fun x -> Pct x) (float_deser x)
+  | _ -> None
+
+let version = 1
+
+let item_ser =
+  let open Tca_util.Json in
+  function
+  | Note n -> Obj [ ("note", String n) ]
+  | Table tbl ->
+      Obj
+        [
+          ( "table",
+            Obj
+              [
+                ("name", String tbl.name);
+                ("headers", List (List.map (fun h -> String h) tbl.headers));
+                ("in_text", Bool tbl.in_text);
+                ( "rows",
+                  List
+                    (List.map
+                       (fun row -> List (List.map cell_ser row))
+                       tbl.cells) );
+              ] );
+        ]
+
+let serialize t =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("v", Int version);
+      ("job", String t.job);
+      ("title", String t.title);
+      ("items", List (List.map item_ser t.items));
+    ]
+
+let invalid message =
+  Error (Tca_util.Diag.Invalid { field = "Artifact.deserialize"; message })
+
+(* Shape-checked, total readback: any mismatch is an [Error], so a
+   corrupt or stale cache file degrades to a cache miss. *)
+let deserialize json =
+  let open Tca_util.Json in
+  let ( let* ) = Result.bind in
+  let str name j =
+    match Option.bind (member name j) to_string_opt with
+    | Some s -> Ok s
+    | None -> invalid (name ^ ": expected a string")
+  in
+  let opt_to_result msg = function Some x -> Ok x | None -> invalid msg in
+  let item_deser j =
+    match member "note" j with
+    | Some (String n) -> Ok (Note n)
+    | Some _ -> invalid "note: expected a string"
+    | None -> (
+        match member "table" j with
+        | None -> invalid "item: expected note or table"
+        | Some tj ->
+            let* name = str "name" tj in
+            let* headers =
+              opt_to_result "headers: expected a string list"
+                (Option.bind (member "headers" tj) (fun l ->
+                     Option.bind (to_list_opt l) (fun items ->
+                         List.fold_right
+                           (fun h acc ->
+                             Option.bind acc (fun acc ->
+                                 Option.map (fun s -> s :: acc)
+                                   (to_string_opt h)))
+                           items (Some []))))
+            in
+            let in_text =
+              match member "in_text" tj with Some (Bool b) -> b | _ -> true
+            in
+            let* rows =
+              opt_to_result "rows: expected cell rows"
+                (Option.bind (member "rows" tj) (fun l ->
+                     Option.bind (to_list_opt l) (fun rows ->
+                         List.fold_right
+                           (fun row acc ->
+                             Option.bind acc (fun acc ->
+                                 Option.bind (to_list_opt row) (fun cells ->
+                                     Option.map (fun cs -> cs :: acc)
+                                       (List.fold_right
+                                          (fun c acc ->
+                                            Option.bind acc (fun acc ->
+                                                Option.map
+                                                  (fun c -> c :: acc)
+                                                  (cell_deser c)))
+                                          cells (Some [])))))
+                           rows (Some []))))
+            in
+            let arity = List.length headers in
+            if List.exists (fun row -> List.length row <> arity) rows then
+              invalid (Printf.sprintf "table %S: ragged rows" name)
+            else Ok (Table { name; headers; cells = rows; in_text }))
+  in
+  match member "v" json with
+  | Some (Int v) when v = version ->
+      let* job = str "job" json in
+      let* title = str "title" json in
+      let* items =
+        match Option.bind (member "items" json) to_list_opt with
+        | None -> invalid "items: expected a list"
+        | Some items ->
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                let* item = item_deser item in
+                Ok (item :: acc))
+              items (Ok [])
+      in
+      Ok { job; title; items }
+  | Some _ -> invalid "v: unsupported version"
+  | None -> invalid "v: missing version"
+
+let fingerprint t =
+  Digest.to_hex (Digest.string (Tca_util.Json.to_string (serialize t)))

@@ -1,0 +1,112 @@
+(** The uniform result of an experiment job.
+
+    Every driver used to hand-roll its own [Table.print] and
+    [Csv.to_string] assembly, formatting the same numbers twice with
+    slightly different shapes. An artifact stores each value {e once},
+    as a typed cell, and derives every view from it:
+
+    - {!to_text}: the human-readable report (titles, notes, aligned
+      tables — what the drivers' [print] used to produce);
+    - {!to_csv} / {!table_csv}: machine-readable CSV at full float
+      precision;
+    - {!to_json}: a stable JSON document (the schema pinned by the
+      golden test in [test/test_engine.ml]);
+    - {!serialize} / {!deserialize}: a lossless round-trip form used by
+      the content-addressed result cache — floats are preserved
+      bit-exactly, so a cache hit re-renders byte-identical views.
+
+    Artifacts are plain immutable data: building one never prints,
+    never raises, and two structurally equal artifacts render to
+    byte-identical views — the invariant behind the scheduler's
+    "[--jobs 1] and [--jobs N] are bit-identical" guarantee. *)
+
+type cell =
+  | Text of string
+  | Int of int
+  | Fixed of int * float
+      (** [%.*f] with the given decimals in the text view; full
+          precision in CSV/JSON. *)
+  | Sci of float  (** [%.1e] in the text view. *)
+  | Pct of float
+      (** Value already in percent units; [%+.1f%%] in the text view. *)
+
+val text : string -> cell
+val int : int -> cell
+
+val flt : ?decimals:int -> float -> cell
+(** [Fixed (decimals, x)]; decimals default 3, matching
+    [Tca_util.Table.float_cell]. *)
+
+val sci : float -> cell
+val pct : float -> cell
+
+val cell_text : cell -> string
+(** The text-view rendering of one cell. *)
+
+val cell_raw : cell -> string
+(** The CSV rendering: [string_of_float]/[string_of_int] full
+    precision, no formatting. *)
+
+type table = {
+  name : string;  (** CSV/JSON section label; not shown in text *)
+  headers : string list;
+  cells : cell list list;
+  in_text : bool;
+      (** when false the table only appears in CSV/JSON views (used for
+          long-format exports whose text rendering is a heatmap or a
+          thinned excerpt carried in notes) *)
+}
+
+val table :
+  ?in_text:bool -> name:string -> headers:string list -> cell list list ->
+  table
+(** @raise Invalid_argument on ragged rows (a row whose arity differs
+    from the header's). *)
+
+(** Items preserve the narrative order of the old [print] functions:
+    notes and tables interleave. *)
+type item = Table of table | Note of string
+
+type t = { job : string; title : string; items : item list }
+
+val make : job:string -> title:string -> item list -> t
+
+val of_table : job:string -> title:string -> table -> t
+(** Single-table artifact, the common case. *)
+
+val tables : t -> table list
+val notes : t -> string list
+
+val find_table : t -> string -> table option
+(** First table with the given name. *)
+
+val to_text : t -> string
+(** Title, then items in order: notes verbatim, tables rendered with
+    [Tca_util.Table]; [in_text = false] tables are skipped. Ends with a
+    newline. *)
+
+val table_csv : table -> string
+(** Header + rows, full float precision. *)
+
+val to_csv : t -> string
+(** All tables. A single-table artifact is exactly that table's
+    {!table_csv}; with several tables each section is preceded by a
+    [# name] comment line and separated by a blank line. *)
+
+val to_json : t -> Tca_util.Json.t
+(** The public machine view:
+    [{"job", "title", "tables": [{"name", "headers", "rows"}], "notes"}]
+    with cell values as raw JSON numbers/strings. This schema is pinned
+    by a golden test — extend it, don't reshape it. *)
+
+val serialize : t -> Tca_util.Json.t
+(** Lossless cache form (preserves cell kinds and float bits; non-finite
+    floats survive the round-trip). Not the public view. *)
+
+val deserialize : Tca_util.Json.t -> (t, Tca_util.Diag.t) result
+(** Inverse of {!serialize}. [Error (Invalid _)] on any shape
+    mismatch — a corrupt cache file reads as a miss, never a crash. *)
+
+val fingerprint : t -> string
+(** Hex digest of the serialized form; equal fingerprints imply
+    byte-identical views. *)

@@ -1,0 +1,83 @@
+type t = {
+  dir : string option;
+  mem : (string, Artifact.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let version_salt = "tca-engine-v1"
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> (
+      try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ())
+  | _ -> ());
+  { dir; mem = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let dir t = t.dir
+
+let key _t (job : Job.t) ~quick =
+  Digest.to_hex
+    (Digest.string (version_salt ^ "\x00" ^ Job.fingerprint job ~quick))
+
+let path dir k = Filename.concat dir (k ^ ".json")
+
+let read_file p =
+  try
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ -> None
+
+let disk_find t k =
+  match t.dir with
+  | None -> None
+  | Some d -> (
+      match read_file (path d k) with
+      | None -> None
+      | Some contents -> (
+          match Tca_util.Json.parse contents with
+          | Error _ -> None
+          | Ok json -> (
+              match Artifact.deserialize json with
+              | Error _ -> None
+              | Ok artifact -> Some artifact)))
+
+let find t k =
+  match Hashtbl.find_opt t.mem k with
+  | Some artifact ->
+      t.hits <- t.hits + 1;
+      Some artifact
+  | None -> (
+      match disk_find t k with
+      | Some artifact ->
+          Hashtbl.replace t.mem k artifact;
+          t.hits <- t.hits + 1;
+          Some artifact
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store t k artifact =
+  Hashtbl.replace t.mem k artifact;
+  match t.dir with
+  | None -> ()
+  | Some d -> (
+      let final = path d k in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d" final (Unix.getpid ())
+      in
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc
+              (Tca_util.Json.to_string (Artifact.serialize artifact)));
+        Sys.rename tmp final
+      with Sys_error _ | Unix.Unix_error _ -> (
+        try Sys.remove tmp with Sys_error _ -> ()))
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,37 @@
+(** Content-addressed result cache for job artifacts.
+
+    Keys are the hex digest of the model-version salt plus the job's
+    canonical input fingerprint ({!Job.fingerprint}); values are the
+    lossless {!Artifact.serialize} form. Two layers: an in-memory table
+    (always on) and an optional directory ([dir/<key>.json]) that
+    persists across processes — [tca run --cache-dir]. A corrupt,
+    stale-version or unreadable file is a cache miss, never an error.
+
+    Not domain-safe: the scheduler performs all lookups before and all
+    stores after its parallel phase, on one domain. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** With [dir], the directory is created (one level) if missing. *)
+
+val dir : t -> string option
+
+val version_salt : string
+(** Folded into every key. Bump when the model or the artifact schema
+    changes, so stale on-disk entries can never be re-served. *)
+
+val key : t -> Job.t -> quick:bool -> string
+(** Stable content address (32 hex chars). *)
+
+val find : t -> string -> Artifact.t option
+(** Memory first, then disk; a disk hit is promoted to memory. Updates
+    the hit/miss counters. *)
+
+val store : t -> string -> Artifact.t -> unit
+(** Insert into memory and, when [dir] is set, write the file atomically
+    (temp file + rename). Disk write failures are silently ignored — the
+    cache is an accelerator, not a store of record. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,40 @@
+(** A schedulable, memoizable unit of experiment work.
+
+    A job is a stable name plus a params fingerprint plus a pure body
+    producing an {!Artifact.t}. Purity is the contract that makes the
+    whole engine work: for a fixed (name, params, quick) triple the body
+    must return a structurally identical artifact on every run, on any
+    domain — all workload generators are seeded, so every driver in
+    this repository satisfies it. The scheduler exploits it for
+    parallelism, the cache for memoization. *)
+
+type ctx = {
+  telemetry : Tca_telemetry.Sink.t option;
+      (** Per-job sink, single-domain: the body may use it directly on
+          its own domain, and must fork/join it (see
+          {!Tca_telemetry.Sink.fork}) for work it spreads over [par]. *)
+  par : Tca_util.Parmap.t;
+      (** Intra-job parallelism capability; [Parmap.serial] when the
+          engine runs with [--jobs 1]. *)
+  quick : bool;  (** Reduced sweep sizes (the drivers' [--quick]). *)
+}
+
+type t = {
+  name : string;  (** stable identifier, e.g. ["fig5"] *)
+  title : string;  (** one-line description for [tca list] *)
+  params : (string * string) list;
+      (** the inputs that determine the output, in fingerprint form;
+          part of the cache key *)
+  body : ctx -> Artifact.t;
+}
+
+val make :
+  name:string -> title:string -> ?params:(string * string) list ->
+  (ctx -> Artifact.t) -> t
+
+val serial_ctx : ?quick:bool -> ?telemetry:Tca_telemetry.Sink.t -> unit -> ctx
+(** Run a job body directly, without the scheduler. *)
+
+val fingerprint : t -> quick:bool -> string
+(** Canonical input fingerprint: name, sorted params and the quick flag.
+    The cache prepends its model-version salt (see {!Cache.key}). *)

@@ -1,0 +1,109 @@
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was enqueued, or shutdown began *)
+  settled : Condition.t;  (* some batch may have completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  n_workers : int;
+}
+
+(* Tasks do their own completion bookkeeping (slot write, counter,
+   broadcast) inside the closure built by [map], so the worker loop only
+   moves thunks from the queue to a domain. *)
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        loop ()
+    | None ->
+        if not t.stop then begin
+          Condition.wait t.work t.mutex;
+          loop ()
+        end
+  in
+  loop ();
+  Mutex.unlock t.mutex
+
+let create ~workers =
+  let n_workers = max 0 workers in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      settled = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+      n_workers;
+    }
+  in
+  t.domains <- List.init n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let workers t = t.n_workers
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    (* Guarded by [t.mutex], like the queue. *)
+    let remaining = ref n in
+    let task i () =
+      let r =
+        try Ok (f xs.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.settled;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    (* Participate: run anything queued (ours or another batch's) while
+       our batch is unsettled; only block when the queue is dry. *)
+    while !remaining > 0 do
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex
+      | None -> if !remaining > 0 then Condition.wait t.settled t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (* All settled; surface the lowest-index failure, as serial would. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error _) | None -> assert false (* settled, no failures *))
+      results
+  end
+
+let parmap t = { Tca_util.Parmap.run = (fun f xs -> map t f xs) }
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~workers f =
+  let t = create ~workers in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

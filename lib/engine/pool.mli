@@ -1,0 +1,39 @@
+(** A fixed pool of worker domains with one shared work queue.
+
+    Determinism by construction: {!map} is order-preserving — result [i]
+    is always [f xs.(i)] regardless of which domain ran it or in what
+    order — so a run with [workers = 0] (fully serial, no domains) and a
+    run with any number of workers produce structurally identical
+    results for pure [f].
+
+    The caller of {!map} participates: while waiting for its batch it
+    drains tasks from the shared queue itself. That makes nested maps
+    (a worker task that itself calls {!map}, as intra-job sweeps do)
+    deadlock-free even when every worker is busy, and makes
+    [workers = 0] the same code path rather than a special case. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] domains ([0] is valid: no domains, all work runs on
+    the calling domain). Negative values are clamped to [0]. *)
+
+val workers : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map. [f] must be pure per element and must
+    not touch another element's mutable state. If one or more
+    applications raise, all settle first, then the exception of the
+    {e lowest index} is re-raised (with its backtrace) — the same
+    exception a serial left-to-right run would surface. *)
+
+val parmap : t -> Tca_util.Parmap.t
+(** This pool as a {!Tca_util.Parmap.t} capability, for handing to code
+    that should not depend on [tca_engine]. *)
+
+val shutdown : t -> unit
+(** Stop and join all worker domains. Idempotent. No {!map} may be in
+    flight or issued afterwards. *)
+
+val with_pool : workers:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} (also on exception). *)

@@ -1,0 +1,70 @@
+type outcome = {
+  job : Job.t;
+  artifact : Artifact.t;
+  cached : bool;
+  seconds : float;
+  telemetry : Tca_telemetry.Sink.t option;
+}
+
+let run ?cache ?(quick = false) ?(collect_telemetry = false) ?(jobs = 1) js =
+  let js = Array.of_list js in
+  (* Phase 1 (serial): cache lookups. *)
+  let looked_up =
+    Array.map
+      (fun (j : Job.t) ->
+        match cache with
+        | None -> (j, None, None)
+        | Some c ->
+            let k = Cache.key c j ~quick in
+            (j, Some k, Cache.find c k))
+      js
+  in
+  (* Phase 2 (parallel): run the misses. *)
+  let outcomes =
+    Pool.with_pool
+      ~workers:(max 0 (jobs - 1))
+      (fun pool ->
+        Pool.map pool
+          (fun ((j : Job.t), _key, hit) ->
+            match hit with
+            | Some artifact ->
+                { job = j; artifact; cached = true; seconds = 0.; telemetry = None }
+            | None ->
+                let telemetry =
+                  if collect_telemetry then
+                    Some
+                      (Tca_telemetry.Sink.create
+                         ~metrics:(Tca_telemetry.Metrics.create ())
+                         ())
+                  else None
+                in
+                let t0 = Unix.gettimeofday () in
+                let ctx = { Job.telemetry; par = Pool.parmap pool; quick } in
+                let artifact = j.Job.body ctx in
+                let seconds = Unix.gettimeofday () -. t0 in
+                { job = j; artifact; cached = false; seconds; telemetry })
+          looked_up)
+  in
+  (* Phase 3 (serial): cache stores, in job order. *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i (_, k, _) ->
+          match (k, outcomes.(i)) with
+          | Some k, { cached = false; artifact; _ } -> Cache.store c k artifact
+          | _ -> ())
+        looked_up);
+  Array.to_list outcomes
+
+let merged_sink outcomes =
+  let into =
+    Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) ()
+  in
+  List.iter
+    (fun o ->
+      match o.telemetry with
+      | Some child -> Tca_telemetry.Sink.join ~into child
+      | None -> ())
+    outcomes;
+  into

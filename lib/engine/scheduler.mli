@@ -1,0 +1,40 @@
+(** Deterministic multicore execution of a set of jobs.
+
+    Independent jobs run in parallel on a fixed {!Pool} of domains, and
+    each job's intra-sweep chunks run on the same pool through
+    [ctx.par]. The engine's core invariant: for pure job bodies,
+    [run ~jobs:1] and [run ~jobs:n] produce {e bit-identical} artifacts
+    (and identical merged telemetry event sequences, modulo wall-clock
+    timestamps) — parallelism changes only where and when work runs,
+    never what it computes. The test suite and the fuzz harness assert
+    this end to end.
+
+    Cache interaction is serialised: all lookups happen before the
+    parallel phase, all stores after it, so {!Cache.t} needs no locks. *)
+
+type outcome = {
+  job : Job.t;
+  artifact : Artifact.t;
+  cached : bool;  (** re-served from the cache, body not run *)
+  seconds : float;  (** wall-clock body time; [0.] when [cached] *)
+  telemetry : Tca_telemetry.Sink.t option;
+      (** per-job sink, when [collect_telemetry] and not [cached] *)
+}
+
+val run :
+  ?cache:Cache.t ->
+  ?quick:bool ->
+  ?collect_telemetry:bool ->
+  ?jobs:int ->
+  Job.t list ->
+  outcome list
+(** Execute the jobs; outcomes are returned in input order. [jobs]
+    (default [1]) is the total parallelism: the pool gets [jobs - 1]
+    worker domains and the calling domain participates. If a body
+    raises, all in-flight jobs settle first, then the exception of the
+    earliest failing job is re-raised. *)
+
+val merged_sink : outcome list -> Tca_telemetry.Sink.t
+(** One sink holding every outcome's events, joined in outcome order
+    (= input order), with metrics registries folded in the same order.
+    Equals the trace a serial run with one shared sink would produce. *)

@@ -8,7 +8,7 @@ type core_result = {
   spread : float;
 }
 
-let run ?(quick = false) () =
+let run ?telemetry ?par ?(quick = false) () =
   let n_calls = if quick then 800 else 2000 in
   let hcfg =
     Heap_workload.config ~n_calls ~app_instrs_per_call:100 ~seed:31 ()
@@ -17,8 +17,8 @@ let run ?(quick = false) () =
   List.map
     (fun (core_name, cfg) ->
       let cmp =
-        Simulator.compare_modes_exn ~cfg ~baseline:pair.Meta.baseline
-          ~accelerated:pair.Meta.accelerated ()
+        Simulator.compare_modes_exn ?telemetry ?par ~cfg
+          ~baseline:pair.Meta.baseline ~accelerated:pair.Meta.accelerated ()
       in
       let mode_speedups =
         List.map
@@ -42,21 +42,29 @@ let hp_more_sensitive results =
   | [ hp; lp ] -> hp.spread > lp.spread
   | _ -> false
 
-let print results =
-  print_endline
-    "X6: core sensitivity to TCA mode (heap workload, simulator-measured)";
-  Tca_util.Table.print
-    ~headers:[ "core"; "base IPC"; "NL_NT"; "L_NT"; "NL_T"; "L_T"; "spread" ]
-    (List.map
-       (fun r ->
-         r.core_name
-         :: Tca_util.Table.float_cell ~decimals:2 r.base_ipc
-         :: List.map
-              (fun m -> Tca_util.Table.float_cell (List.assoc m r.mode_speedups))
-              Tca_model.Mode.all
-         @ [ Tca_util.Table.pct_cell r.spread ])
-       results);
-  Printf.printf
-    "paper observation 1 (HP cores more mode-sensitive) holds in the \
-     simulator: %b\n"
-    (hp_more_sensitive results)
+let artifact results =
+  let module A = Tca_engine.Artifact in
+  A.make ~job:"cores"
+    ~title:"X6: core sensitivity to TCA mode (heap workload, simulator-measured)"
+    [
+      A.Table
+        (A.table ~name:"cores"
+           ~headers:
+             [ "core"; "base IPC"; "NL_NT"; "L_NT"; "NL_T"; "L_T"; "spread" ]
+           (List.map
+              (fun r ->
+                A.text r.core_name
+                :: A.flt ~decimals:2 r.base_ipc
+                :: List.map
+                     (fun m -> A.flt (List.assoc m r.mode_speedups))
+                     Tca_model.Mode.all
+                @ [ A.text (Tca_util.Table.pct_cell r.spread) ])
+              results));
+      A.Note
+        (Printf.sprintf
+           "paper observation 1 (HP cores more mode-sensitive) holds in the \
+            simulator: %b"
+           (hp_more_sensitive results));
+    ]
+
+let print results = print_string (Tca_engine.Artifact.to_text (artifact results))

@@ -15,9 +15,14 @@ type core_result = {
   spread : float;  (** (best - worst) / worst *)
 }
 
-val run : ?quick:bool -> unit -> core_result list
-(** [HP; LP]. *)
+val run :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  ?quick:bool -> unit -> core_result list
+(** [HP; LP]. [?par] spreads each core's five simulator runs over a
+    pool with identical results. *)
 
 val hp_more_sensitive : core_result list -> bool
 
+val artifact : core_result list -> Tca_engine.Artifact.t
 val print : core_result list -> unit

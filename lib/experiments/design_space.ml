@@ -37,63 +37,95 @@ let pareto row =
 
 let energy row = Energy.evaluate (Energy.make ()) row.core row.scenario
 
-let print_pareto row =
-  let front, dominated = pareto row in
-  Printf.printf "\n-- %s --\n" row.name;
-  Tca_util.Table.print
-    ~headers:[ "mode"; "hw cost"; "speedup"; "status" ]
-    (List.map
-       (fun (d : Hw_cost.design) ->
-         let on_front =
-           List.exists (fun (f : Hw_cost.design) -> f.Hw_cost.mode = d.Hw_cost.mode) front
-         in
-         [
-           Mode.to_string d.Hw_cost.mode;
-           Tca_util.Table.float_cell ~decimals:2 d.Hw_cost.cost;
-           Tca_util.Table.float_cell d.Hw_cost.speedup;
-           (if on_front then "pareto" else "dominated");
-         ])
-       (Hw_cost.designs row.core row.scenario));
-  ignore dominated;
-  match Hw_cost.cheapest_at_least (Hw_cost.designs row.core row.scenario) ~speedup:1.0 with
-  | Some d ->
-      Printf.printf "cheapest design avoiding slowdown: %s (cost %.2f)\n"
-        (Mode.to_string d.Hw_cost.mode) d.Hw_cost.cost
-  | None -> print_endline "no design avoids slowdown in this scenario"
+module A = Tca_engine.Artifact
 
-let print_energy row =
-  Printf.printf "\n-- %s: energy (static 0.5/cycle, accel at 0.2x) --\n" row.name;
-  Tca_util.Table.print
-    ~headers:[ "mode"; "speedup"; "rel. energy"; "EDP" ]
-    (List.map
-       (fun (v : Energy.verdict) ->
-         [
-           Mode.to_string v.Energy.mode;
-           Tca_util.Table.float_cell v.Energy.speedup;
-           Tca_util.Table.float_cell v.Energy.relative_energy;
-           Tca_util.Table.float_cell v.Energy.edp;
-         ])
-       (energy row));
-  Printf.printf
-    "energy break-even speedup: %.3f (modes below this line waste energy)\n"
-    (Energy.energy_break_even_speedup (Energy.make ()) row.core row.scenario)
+let pareto_items row =
+  let front, _ = pareto row in
+  [
+    A.Note "";
+    A.Note (Printf.sprintf "-- %s --" row.name);
+    A.Table
+      (A.table
+         ~name:("pareto: " ^ row.name)
+         ~headers:[ "mode"; "hw cost"; "speedup"; "status" ]
+         (List.map
+            (fun (d : Hw_cost.design) ->
+              let on_front =
+                List.exists
+                  (fun (f : Hw_cost.design) -> f.Hw_cost.mode = d.Hw_cost.mode)
+                  front
+              in
+              [
+                A.text (Mode.to_string d.Hw_cost.mode);
+                A.flt ~decimals:2 d.Hw_cost.cost;
+                A.flt d.Hw_cost.speedup;
+                A.text (if on_front then "pareto" else "dominated");
+              ])
+            (Hw_cost.designs row.core row.scenario)));
+    A.Note
+      (match
+         Hw_cost.cheapest_at_least
+           (Hw_cost.designs row.core row.scenario)
+           ~speedup:1.0
+       with
+      | Some d ->
+          Printf.sprintf "cheapest design avoiding slowdown: %s (cost %.2f)"
+            (Mode.to_string d.Hw_cost.mode) d.Hw_cost.cost
+      | None -> "no design avoids slowdown in this scenario");
+  ]
 
-let print_sensitivity row =
+let energy_items row =
+  [
+    A.Note "";
+    A.Note
+      (Printf.sprintf "-- %s: energy (static 0.5/cycle, accel at 0.2x) --"
+         row.name);
+    A.Table
+      (A.table
+         ~name:("energy: " ^ row.name)
+         ~headers:[ "mode"; "speedup"; "rel. energy"; "EDP" ]
+         (List.map
+            (fun (v : Energy.verdict) ->
+              [
+                A.text (Mode.to_string v.Energy.mode);
+                A.flt v.Energy.speedup;
+                A.flt v.Energy.relative_energy;
+                A.flt v.Energy.edp;
+              ])
+            (energy row)));
+    A.Note
+      (Printf.sprintf
+         "energy break-even speedup: %.3f (modes below this line waste energy)"
+         (Energy.energy_break_even_speedup (Energy.make ()) row.core
+            row.scenario));
+  ]
+
+let sensitivity_items row =
   let best, _ = Equations.best_mode_exn row.core row.scenario in
-  Printf.printf "\n-- %s: sensitivity tornado (mode %s, +/-20%%) --\n" row.name
-    (Mode.to_string best);
-  Tca_util.Table.print ~headers:Sensitivity.headers
-    (Sensitivity.rows (Sensitivity.swings_exn row.core row.scenario best));
-  Printf.printf "best-mode decision stable under +/-20%%: %b\n"
-    (Sensitivity.decision_stable_exn row.core row.scenario)
+  [
+    A.Note "";
+    A.Note
+      (Printf.sprintf "-- %s: sensitivity tornado (mode %s, +/-20%%) --"
+         row.name (Mode.to_string best));
+    A.Table
+      (A.table
+         ~name:("sensitivity: " ^ row.name)
+         ~headers:Sensitivity.headers
+         (List.map (List.map A.text)
+            (Sensitivity.rows
+               (Sensitivity.swings_exn row.core row.scenario best))));
+    A.Note
+      (Printf.sprintf "best-mode decision stable under +/-20%%: %b"
+         (Sensitivity.decision_stable_exn row.core row.scenario));
+  ]
 
-let print () =
-  print_endline
-    "X3: design-space analysis (paper Section VIII): Pareto fronts, \
-     energy, sensitivity";
-  List.iter
-    (fun row ->
-      print_pareto row;
-      print_energy row;
-      print_sensitivity row)
-    scenarios
+let artifact () =
+  A.make ~job:"design"
+    ~title:
+      "X3: design-space analysis (paper Section VIII): Pareto fronts, \
+       energy, sensitivity"
+    (List.concat_map
+       (fun row -> pareto_items row @ energy_items row @ sensitivity_items row)
+       scenarios)
+
+let print () = print_string (A.to_text (artifact ()))

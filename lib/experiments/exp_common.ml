@@ -58,12 +58,12 @@ let error_pct r =
 let refill_error_pct r =
   100.0 *. (r.model_refill_speedup -. r.sim_speedup) /. r.sim_speedup
 
-let validate_pair ?telemetry ~cfg ~(pair : Meta.pair) ~latency () =
+let validate_pair ?telemetry ?par ~cfg ~(pair : Meta.pair) ~latency () =
   let cmp =
     Tca_telemetry.Timing.with_span telemetry
       ("validate." ^ pair.Meta.meta.Meta.name)
       (fun () ->
-        Simulator.compare_modes_exn ?telemetry ~cfg
+        Simulator.compare_modes_exn ?telemetry ?par ~cfg
           ~baseline:pair.Meta.baseline ~accelerated:pair.Meta.accelerated ())
   in
   let ipc = cmp.Simulator.baseline.Sim_stats.ipc in
@@ -89,28 +89,59 @@ let validate_pair ?telemetry ~cfg ~(pair : Meta.pair) ~latency () =
       })
     cmp.Simulator.modes
 
+(* Run each sweep item (workload generation + validation) as one task:
+   fork a child sink per item, evaluate the items through [par], join the
+   children back in item order. The concatenated rows and the merged
+   trace are identical to a serial sweep's. *)
+let par_rows ?telemetry ?(par = Tca_util.Parmap.serial) f items =
+  let items = Array.of_list items in
+  let sinks =
+    Array.map (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry) items
+  in
+  let results =
+    par.Tca_util.Parmap.run
+      (fun i -> f ~telemetry:sinks.(i) items.(i))
+      (Array.init (Array.length items) Fun.id)
+  in
+  (match telemetry with
+  | None -> ()
+  | Some into ->
+      Array.iter
+        (function
+          | Some child -> Tca_telemetry.Sink.join ~into child
+          | None -> ())
+        sinks);
+  List.concat_map Fun.id (Array.to_list results)
+
 let table_headers =
   [
     "workload"; "v"; "a"; "ipc"; "mode"; "sim"; "model"; "error";
     "model-rf"; "error-rf";
   ]
 
+let validation_table rows =
+  Tca_engine.Artifact.table ~name:"validation" ~headers:table_headers
+    (List.map
+       (fun r ->
+         Tca_engine.Artifact.
+           [
+             text r.workload;
+             flt ~decimals:5 r.v;
+             flt ~decimals:4 r.a;
+             flt ~decimals:2 r.base_ipc;
+             text (Tca_model.Mode.to_string r.mode);
+             flt r.sim_speedup;
+             flt r.model_speedup;
+             pct (error_pct r);
+             flt r.model_refill_speedup;
+             pct (refill_error_pct r);
+           ])
+       rows)
+
 let rows_to_table rows =
   List.map
-    (fun r ->
-      [
-        r.workload;
-        Printf.sprintf "%.5f" r.v;
-        Printf.sprintf "%.4f" r.a;
-        Printf.sprintf "%.2f" r.base_ipc;
-        Tca_model.Mode.to_string r.mode;
-        Tca_util.Table.float_cell r.sim_speedup;
-        Tca_util.Table.float_cell r.model_speedup;
-        Printf.sprintf "%+.1f%%" (error_pct r);
-        Tca_util.Table.float_cell r.model_refill_speedup;
-        Printf.sprintf "%+.1f%%" (refill_error_pct r);
-      ])
-    rows
+    (List.map Tca_engine.Artifact.cell_text)
+    (validation_table rows).Tca_engine.Artifact.cells
 
 let points_of_rows rows =
   List.map
@@ -134,41 +165,111 @@ let refill_points_of_rows rows =
       })
     rows
 
-let print_validation_summary rows =
+let validation_summary_notes rows =
   let report label points =
     match Tca_model.Validate.summarize points with
     | Error d ->
-        Printf.printf "%-22s summary unavailable: %s\n" label
+        Printf.sprintf "%-22s summary unavailable: %s" label
           (Tca_model.Diag.to_string d)
     | Ok s ->
-        Printf.printf
+        Printf.sprintf
           "%-22s error |%%|: mean %.1f%%  median %.1f%%  max %.1f%%  (n = %d); \
-           mode ranking preserved: %b\n"
+           mode ranking preserved: %b"
           label s.Tca_model.Validate.mean_abs_pct
           s.Tca_model.Validate.median_abs_pct s.Tca_model.Validate.max_abs_pct
           s.Tca_model.Validate.n
           (Tca_model.Validate.trends_preserved ~tolerance:0.05 points)
   in
-  report "model (paper drain)" (points_of_rows rows);
-  report "model (refill drain)" (refill_points_of_rows rows)
+  [
+    report "model (paper drain)" (points_of_rows rows);
+    report "model (refill drain)" (refill_points_of_rows rows);
+  ]
+
+let print_validation_summary rows =
+  List.iter print_endline (validation_summary_notes rows)
+
+let validation_artifact ~job ~title ?(notes = []) rows =
+  Tca_engine.Artifact.make ~job ~title
+    ((List.map (fun n -> Tca_engine.Artifact.Note n) notes)
+    @ Tca_engine.Artifact.Table (validation_table rows)
+      :: List.map
+           (fun n -> Tca_engine.Artifact.Note n)
+           (validation_summary_notes rows))
+
+(* The workload pair (baseline + accelerated traces) and the architect's
+   latency estimate shared by [tca sim], [tca trace] and the
+   [simulate.*] jobs. [size] <= 0 selects the workload's default. *)
+type workload_kind = Synthetic | Heap | Dgemm | Hashmap | Regex | Strfn
+
+let workload_kinds =
+  [
+    ("synthetic", Synthetic); ("heap", Heap); ("dgemm", Dgemm);
+    ("hashmap", Hashmap); ("regex", Regex); ("strfn", Strfn);
+  ]
+
+let workload_pair ~cfg ?(size = 0) kind =
+  let auto_latency p = meta_latency p.Meta.meta ~cfg in
+  match kind with
+  | Synthetic ->
+      let n_chunks = if size > 0 then size else 200 in
+      let p =
+        Synthetic.generate
+          (Synthetic.config ~n_units:4000 ~n_chunks ~accel_latency:20 ())
+      in
+      (p, 20.0)
+  | Heap ->
+      let gap = if size > 0 then size else 100 in
+      let p =
+        Heap_workload.generate
+          (Heap_workload.config ~n_calls:2000 ~app_instrs_per_call:gap ())
+      in
+      (p, float_of_int Tca_heap.Cost_model.accel_latency)
+  | Dgemm ->
+      let n = if size > 0 then size else 64 in
+      let p = Dgemm_workload.pair (Dgemm_workload.config ~n ()) ~dim:4 in
+      (p, auto_latency p)
+  | Hashmap ->
+      let gap = if size > 0 then size else 200 in
+      let p, _ =
+        Hashmap_workload.generate
+          (Hashmap_workload.config ~n_lookups:1500 ~app_instrs_per_lookup:gap
+             ())
+      in
+      (p, auto_latency p)
+  | Regex ->
+      let gap = if size > 0 then size else 800 in
+      let p, _ =
+        Regex_workload.generate
+          (Regex_workload.config ~n_records:300 ~app_instrs_per_record:gap ())
+      in
+      (p, auto_latency p)
+  | Strfn ->
+      let gap = if size > 0 then size else 300 in
+      let p, _ =
+        Strfn_workload.generate
+          (Strfn_workload.config ~n_calls:1000 ~app_instrs_per_call:gap ())
+      in
+      (p, auto_latency p)
 
 let validation_csv rows =
-  Tca_util.Csv.to_string
-    ~header:
-      [
-        "workload"; "v"; "a"; "base_ipc"; "mode"; "sim_speedup";
-        "model_speedup"; "model_refill_speedup";
-      ]
-    (List.map
-       (fun r ->
+  Tca_engine.Artifact.table_csv
+    (Tca_engine.Artifact.table ~name:"validation"
+       ~headers:
          [
-           r.workload;
-           string_of_float r.v;
-           string_of_float r.a;
-           string_of_float r.base_ipc;
-           Tca_model.Mode.to_string r.mode;
-           string_of_float r.sim_speedup;
-           string_of_float r.model_speedup;
-           string_of_float r.model_refill_speedup;
-         ])
-       rows)
+           "workload"; "v"; "a"; "base_ipc"; "mode"; "sim_speedup";
+           "model_speedup"; "model_refill_speedup";
+         ]
+       (List.map
+          (fun r ->
+            Tca_engine.Artifact.
+              [
+                text r.workload;
+                flt r.v;
+                flt r.a;
+                flt r.base_ipc;
+                text (Tca_model.Mode.to_string r.mode);
+                flt r.sim_speedup;
+                flt r.model_speedup;
+                flt r.model_refill_speedup;
+              ])
+          rows))

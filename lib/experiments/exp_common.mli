@@ -45,6 +45,7 @@ val refill_error_pct : validation_row -> float
 
 val validate_pair :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   cfg:Tca_uarch.Config.t ->
   pair:Tca_workloads.Meta.pair ->
   latency:float ->
@@ -53,10 +54,38 @@ val validate_pair :
 (** Run baseline + four couplings in the simulator, evaluate the model
     with the measured baseline IPC, and return one row per mode. With
     [?telemetry], the five simulator runs share the sink and the whole
-    point is wrapped in a [validate.<workload>] wall-clock span. *)
+    point is wrapped in a [validate.<workload>] wall-clock span. [?par]
+    (default serial) spreads the five runs over a pool with identical
+    results. *)
+
+val par_rows :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  (telemetry:Tca_telemetry.Sink.t option -> 'a -> validation_row list) ->
+  'a list ->
+  validation_row list
+(** Evaluate one sweep item per task through [par] and concatenate the
+    row lists in item order. Each task gets a fork of [?telemetry],
+    joined back in item order, so rows and merged trace are identical
+    to the serial sweep. The item function must be pure modulo its own
+    sink. *)
 
 val rows_to_table : validation_row list -> string list list
 val table_headers : string list
+
+val validation_table : validation_row list -> Tca_engine.Artifact.table
+(** The standard 10-column validation table (typed cells); the text
+    rendering equals [rows_to_table]/[table_headers]. *)
+
+val validation_summary_notes : validation_row list -> string list
+(** Both estimators' error summaries plus trend-preservation flags, as
+    note lines. *)
+
+val validation_artifact :
+  job:string -> title:string -> ?notes:string list ->
+  validation_row list -> Tca_engine.Artifact.t
+(** The standard validation artifact: leading [notes], the
+    {!validation_table}, then {!validation_summary_notes}. *)
 
 val points_of_rows : validation_row list -> Tca_model.Validate.point list
 (** Points under the paper-default drain estimator. *)
@@ -65,7 +94,22 @@ val refill_points_of_rows :
   validation_row list -> Tca_model.Validate.point list
 
 val print_validation_summary : validation_row list -> unit
-(** Both estimators' error summaries plus the trend-preservation flags. *)
+(** [validation_summary_notes], printed. *)
 
 val validation_csv : validation_row list -> string
 (** Machine-readable form of the validation rows. *)
+
+(** {2 Workloads shared by the CLI and the [simulate.*] jobs} *)
+
+type workload_kind = Synthetic | Heap | Dgemm | Hashmap | Regex | Strfn
+
+val workload_kinds : (string * workload_kind) list
+(** CLI spelling of each kind, in menu order. *)
+
+val workload_pair :
+  cfg:Tca_uarch.Config.t -> ?size:int -> workload_kind ->
+  Tca_workloads.Meta.pair * float
+(** The workload's trace pair plus the architect's latency estimate for
+    its TCA. [size] (default 0 = the workload's default) is chunks
+    (synthetic), app instructions per invocation (heap, hashmap, regex,
+    strfn) or the matrix dimension (dgemm). *)

@@ -1,4 +1,5 @@
 open Tca_model
+module A = Tca_engine.Artifact
 
 type row = { g : float; speedups : (Mode.t * float) list }
 
@@ -19,37 +20,33 @@ let run ?telemetry ?(points = 33) () =
          })
        gs)
 
-let print rows =
-  print_endline
-    "Fig. 2: speedup vs accelerator granularity (ARM A72-like core, a = \
-     30%, A = 3)";
-  let headers =
-    "granularity" :: List.map Mode.to_string Mode.all
-  in
-  Tca_util.Table.print ~headers
+let series_table rows =
+  A.table ~name:"speedup"
+    ~headers:("granularity" :: List.map Mode.to_string Mode.all)
     (List.map
        (fun r ->
-         Printf.sprintf "%.1e" r.g
-         :: List.map
-              (fun m ->
-                Tca_util.Table.float_cell (List.assoc m r.speedups))
-              Mode.all)
-       rows);
-  print_newline ();
-  print_endline "Reference accelerators (estimated granularities):";
-  Tca_util.Table.print ~headers:[ "accelerator"; "granularity" ]
+         A.sci r.g
+         :: List.map (fun m -> A.flt (List.assoc m r.speedups)) Mode.all)
+       rows)
+
+let markers_table =
+  A.table ~name:"markers" ~headers:[ "accelerator"; "granularity" ]
     (List.map
        (fun (m : Granularity.marker) ->
-         [ m.Granularity.name; Printf.sprintf "%.1e" m.Granularity.granularity ])
+         [ A.text m.Granularity.name; A.sci m.Granularity.granularity ])
        Granularity.reference_markers)
 
-let csv rows =
-  Tca_util.Csv.to_string
-    ~header:("granularity" :: List.map Mode.to_string Mode.all)
-    (List.map
-       (fun r ->
-         string_of_float r.g
-         :: List.map
-              (fun m -> string_of_float (List.assoc m r.speedups))
-              Mode.all)
-       rows)
+let artifact rows =
+  A.make ~job:"fig2"
+    ~title:
+      "Fig. 2: speedup vs accelerator granularity (ARM A72-like core, a = \
+       30%, A = 3)"
+    [
+      A.Table (series_table rows);
+      A.Note "";
+      A.Note "Reference accelerators (estimated granularities):";
+      A.Table markers_table;
+    ]
+
+let print rows = print_string (A.to_text (artifact rows))
+let csv rows = A.table_csv (series_table rows)

@@ -10,5 +10,9 @@ type row = {
 val run : ?telemetry:Tca_telemetry.Sink.t -> ?points:int -> unit -> row list
 (** Granularity sweep over [10^1 .. 10^9], default 33 points. *)
 
+val artifact : row list -> Tca_engine.Artifact.t
+(** Sweep table, then the reference-accelerator markers. *)
+
 val print : row list -> unit
 val csv : row list -> string
+(** The sweep table alone (no markers), matching the historical CSV. *)

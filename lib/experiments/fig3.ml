@@ -1,5 +1,6 @@
 open Tca_uarch
 open Tca_workloads
+module A = Tca_engine.Artifact
 
 type timeline = {
   mode : Tca_model.Mode.t;
@@ -29,56 +30,94 @@ let interval_trace ~leading ~trailing ~accel_latency =
   Codegen.emit_block gen b trailing;
   Trace.Builder.build b
 
-let run ?telemetry ?(leading = 150) ?(trailing = 150) ?(accel_latency = 40) () =
+let run ?telemetry ?(par = Tca_util.Parmap.serial) ?(leading = 150)
+    ?(trailing = 150) ?(accel_latency = 40) () =
   Tca_telemetry.Timing.with_span telemetry "fig3.run" @@ fun () ->
   let trace = interval_trace ~leading ~trailing ~accel_latency in
-  List.map
-    (fun coupling ->
-      (* One short interval: use a perfect predictor so the strip shows
-         the TCA coupling effects, not cold-predictor noise. *)
-      let cfg =
+  let couplings = Array.of_list Config.all_couplings in
+  let sinks =
+    Array.map (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry) couplings
+  in
+  let timelines =
+    par.Tca_util.Parmap.run
+      (fun i ->
+        let coupling = couplings.(i) in
+        (* One short interval: use a perfect predictor so the strip shows
+           the TCA coupling effects, not cold-predictor noise. *)
+        let cfg =
+          {
+            (Config.with_coupling (Exp_common.validation_core ()) coupling) with
+            Config.bpred = Bpred.Perfect;
+          }
+        in
+        let buf = ref [] in
+        let probe =
+          {
+            Pipeline.on_cycle =
+              (fun ~cycle:_ ~dispatched:_ ~issued ~executing:_
+                   ~rob_occupancy:_ -> buf := issued :: !buf);
+          }
+        in
+        let stats = Pipeline.run_exn ~probe ?telemetry:sinks.(i) cfg trace in
         {
-          (Config.with_coupling (Exp_common.validation_core ()) coupling) with
-          Config.bpred = Bpred.Perfect;
-        }
-      in
-      let buf = ref [] in
-      let probe =
-        {
-          Pipeline.on_cycle =
-            (fun ~cycle:_ ~dispatched:_ ~issued ~executing:_ ~rob_occupancy:_ ->
-              buf := issued :: !buf);
-        }
-      in
-      let stats = Pipeline.run_exn ~probe ?telemetry cfg trace in
-      {
-        mode = Exp_common.mode_of_coupling coupling;
-        cycles = stats.Sim_stats.cycles;
-        issued = Array.of_list (List.rev !buf);
-      })
-    Config.all_couplings
+          mode = Exp_common.mode_of_coupling coupling;
+          cycles = stats.Sim_stats.cycles;
+          issued = Array.of_list (List.rev !buf);
+        })
+      (Array.init (Array.length couplings) Fun.id)
+  in
+  (match telemetry with
+  | None -> ()
+  | Some into ->
+      Array.iter
+        (function
+          | Some child -> Tca_telemetry.Sink.join ~into child
+          | None -> ())
+        sinks);
+  Array.to_list timelines
 
 let bar = [| ' '; '.'; ':'; '|'; '#' |]
 
-let print timelines =
-  print_endline
-    "Fig. 3: per-cycle issue activity for one interval (leading + TCA + \
-     trailing) under each mode";
-  print_endline
-    "(each character = 2 cycles; ' ' idle, '.' low ILP ... '#' full width)";
-  List.iter
-    (fun t ->
-      let n = Array.length t.issued in
-      let buf = Buffer.create (n / 2) in
-      let i = ref 0 in
-      while !i < n do
-        let a = t.issued.(!i) in
-        let b = if !i + 1 < n then t.issued.(!i + 1) else a in
-        let level = min 4 ((a + b + 1) / 2) in
-        Buffer.add_char buf bar.(level);
-        i := !i + 2
-      done;
-      Printf.printf "%-6s (%4d cycles) %s\n"
-        (Tca_model.Mode.to_string t.mode)
-        t.cycles (Buffer.contents buf))
-    timelines
+let strip t =
+  let n = Array.length t.issued in
+  let buf = Buffer.create (n / 2) in
+  let i = ref 0 in
+  while !i < n do
+    let a = t.issued.(!i) in
+    let b = if !i + 1 < n then t.issued.(!i + 1) else a in
+    let level = min 4 ((a + b + 1) / 2) in
+    Buffer.add_char buf bar.(level);
+    i := !i + 2
+  done;
+  Buffer.contents buf
+
+let artifact timelines =
+  A.make ~job:"fig3"
+    ~title:
+      "Fig. 3: per-cycle issue activity for one interval (leading + TCA + \
+       trailing) under each mode"
+    (A.Note
+       "(each character = 2 cycles; ' ' idle, '.' low ILP ... '#' full \
+        width)"
+    :: List.map
+         (fun t ->
+           A.Note
+             (Printf.sprintf "%-6s (%4d cycles) %s"
+                (Tca_model.Mode.to_string t.mode)
+                t.cycles (strip t)))
+         timelines
+    @ [
+        A.Table
+          (A.table ~in_text:false ~name:"timelines"
+             ~headers:[ "mode"; "cycles"; "activity" ]
+             (List.map
+                (fun t ->
+                  [
+                    A.text (Tca_model.Mode.to_string t.mode);
+                    A.int t.cycles;
+                    A.text (strip t);
+                  ])
+                timelines));
+      ])
+
+let print timelines = print_string (A.to_text (artifact timelines))

@@ -11,9 +11,17 @@ type timeline = {
 
 val run :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   ?leading:int -> ?trailing:int -> ?accel_latency:int -> unit ->
   timeline list
-(** Defaults: 150 leading μops, 150 trailing μops, 40-cycle TCA. *)
+(** Defaults: 150 leading μops, 150 trailing μops, 40-cycle TCA. The
+    four couplings are simulated independently; [?par] runs them in
+    parallel with identical results (per-coupling sinks joined in
+    coupling order). *)
+
+val artifact : timeline list -> Tca_engine.Artifact.t
+(** Bar strips (one character per 2 cycles) as notes, plus a
+    machine-readable timeline table in the CSV/JSON views only. *)
 
 val print : timeline list -> unit
 (** Renders each mode's issue activity as a bar strip (one character per

@@ -8,12 +8,12 @@ let app_config =
 
 let accel_latency = 20
 
-let run ?telemetry ?(quick = false) () =
+let run ?telemetry ?par ?(quick = false) () =
   Tca_telemetry.Timing.with_span telemetry "fig4.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let n_units = if quick then 1200 else 4000 in
-  List.concat_map
-    (fun n_chunks ->
+  Exp_common.par_rows ?telemetry ?par
+    (fun ~telemetry n_chunks ->
       let scfg =
         Synthetic.config ~app:app_config ~n_units ~n_chunks ~accel_latency
           ~seed:(41 + n_chunks) ()
@@ -29,9 +29,9 @@ let summary rows =
 let trends_hold rows =
   Tca_model.Validate.trends_preserved (Exp_common.points_of_rows rows)
 
-let print rows =
-  print_endline
-    "Fig. 4: model vs simulator on the synthetic microbenchmark sweep";
-  Tca_util.Table.print ~headers:Exp_common.table_headers
-    (Exp_common.rows_to_table rows);
-  Exp_common.print_validation_summary rows
+let artifact rows =
+  Exp_common.validation_artifact ~job:"fig4"
+    ~title:"Fig. 4: model vs simulator on the synthetic microbenchmark sweep"
+    rows
+
+let print rows = print_string (Tca_engine.Artifact.to_text (artifact rows))

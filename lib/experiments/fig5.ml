@@ -3,12 +3,12 @@ open Tca_workloads
 let gaps ~quick =
   if quick then [ 400; 100 ] else [ 1600; 800; 400; 200; 100; 50; 25 ]
 
-let run ?telemetry ?(quick = false) () =
+let run ?telemetry ?par ?(quick = false) () =
   Tca_telemetry.Timing.with_span telemetry "fig5.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let n_calls = if quick then 600 else 2000 in
-  List.concat_map
-    (fun gap ->
+  Exp_common.par_rows ?telemetry ?par
+    (fun ~telemetry gap ->
       let hcfg =
         Heap_workload.config ~n_calls ~app_instrs_per_call:gap ~seed:(7 + gap)
           ()
@@ -24,10 +24,11 @@ let summary rows =
 let trends_hold rows =
   Tca_model.Validate.trends_preserved (Exp_common.points_of_rows rows)
 
-let print rows =
-  print_endline
-    "Fig. 5: heap-manager TCA — simulated (b) vs analytical (a) speedup \
-     and error (c) across invocation frequencies";
-  Tca_util.Table.print ~headers:Exp_common.table_headers
-    (Exp_common.rows_to_table rows);
-  Exp_common.print_validation_summary rows
+let artifact rows =
+  Exp_common.validation_artifact ~job:"fig5"
+    ~title:
+      "Fig. 5: heap-manager TCA — simulated (b) vs analytical (a) speedup \
+       and error (c) across invocation frequencies"
+    rows
+
+let print rows = print_string (Tca_engine.Artifact.to_text (artifact rows))

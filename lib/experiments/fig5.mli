@@ -7,8 +7,9 @@ val gaps : quick:bool -> int list
     invocation frequency. *)
 
 val run :
-  ?telemetry:Tca_telemetry.Sink.t -> ?quick:bool -> unit ->
-  Exp_common.validation_row list
+  ?telemetry:Tca_telemetry.Sink.t -> ?par:Tca_util.Parmap.t -> ?quick:bool ->
+  unit -> Exp_common.validation_row list
 val summary : Exp_common.validation_row list -> (Tca_model.Validate.summary, Tca_model.Diag.t) result
 val trends_hold : Exp_common.validation_row list -> bool
+val artifact : Exp_common.validation_row list -> Tca_engine.Artifact.t
 val print : Exp_common.validation_row list -> unit

@@ -1,11 +1,11 @@
 open Tca_workloads
 
-let run ?telemetry ?(n = 64) () =
+let run ?telemetry ?par ?(n = 64) () =
   Tca_telemetry.Timing.with_span telemetry "fig6.run" @@ fun () ->
   let cfg = Exp_common.validation_core () in
   let dcfg = Dgemm_workload.config ~n () in
-  List.concat_map
-    (fun dim ->
+  Exp_common.par_rows ?telemetry ?par
+    (fun ~telemetry dim ->
       let pair = Dgemm_workload.pair dcfg ~dim in
       let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
       Exp_common.validate_pair ?telemetry ~cfg ~pair ~latency ())
@@ -17,10 +17,11 @@ let summary rows =
 let trends_hold rows =
   Tca_model.Validate.trends_preserved (Exp_common.points_of_rows rows)
 
-let print rows =
-  print_endline
-    "Fig. 6: blocked DGEMM acceleration, measured (sim) vs estimated \
-     (model) speedup over the element-wise software kernel";
-  Tca_util.Table.print ~headers:Exp_common.table_headers
-    (Exp_common.rows_to_table rows);
-  Exp_common.print_validation_summary rows
+let artifact rows =
+  Exp_common.validation_artifact ~job:"fig6"
+    ~title:
+      "Fig. 6: blocked DGEMM acceleration, measured (sim) vs estimated \
+       (model) speedup over the element-wise software kernel"
+    rows
+
+let print rows = print_string (Tca_engine.Artifact.to_text (artifact rows))

@@ -3,8 +3,8 @@
     element-wise kernel, for all four modes, log-scale magnitudes. *)
 
 val run :
-  ?telemetry:Tca_telemetry.Sink.t -> ?n:int -> unit ->
-  Exp_common.validation_row list
+  ?telemetry:Tca_telemetry.Sink.t -> ?par:Tca_util.Parmap.t -> ?n:int ->
+  unit -> Exp_common.validation_row list
 (** [n] is the matrix dimension (default 64; the paper uses 512 with the
     identical 32x32 blocking — the per-block instruction mix and
     TCA-to-core work ratio do not depend on n, and n = 128 is the
@@ -13,4 +13,5 @@ val run :
 
 val summary : Exp_common.validation_row list -> (Tca_model.Validate.summary, Tca_model.Diag.t) result
 val trends_hold : Exp_common.validation_row list -> bool
+val artifact : Exp_common.validation_row list -> Tca_engine.Artifact.t
 val print : Exp_common.validation_row list -> unit

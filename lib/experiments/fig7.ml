@@ -1,4 +1,5 @@
 open Tca_model
+module A = Tca_engine.Artifact
 
 type map = {
   core_name : string;
@@ -9,7 +10,7 @@ type map = {
 
 let accel = Params.Factor Tca_workloads.Greendroid.accel_factor
 
-let run ?telemetry ?(cols = 48) ?(rows = 17) () =
+let run ?telemetry ?par ?(cols = 48) ?(rows = 17) () =
   Tca_telemetry.Timing.with_span telemetry "fig7.run" @@ fun () ->
   let freqs = Tca_util.Sweep.logspace_exn 1.0e-6 0.1 cols in
   let coverages = Tca_util.Sweep.linspace_exn 0.05 0.95 rows in
@@ -17,7 +18,10 @@ let run ?telemetry ?(cols = 48) ?(rows = 17) () =
     (fun (core_name, core) ->
       List.map
         (fun mode ->
-          let grid = Grid.compute_exn ?telemetry core ~accel ~freqs ~coverages mode in
+          let grid =
+            Grid.compute_exn ?telemetry ?par core ~accel ~freqs ~coverages
+              mode
+          in
           {
             core_name;
             mode;
@@ -54,26 +58,9 @@ let heatmap_of m =
   let hm = Tca_util.Heatmap.overlay hm (flip heap_curve) 'H' in
   Tca_util.Heatmap.overlay hm (flip gd_curve) 'G'
 
-let print maps =
-  print_endline
-    "Fig. 7: predicted speedup/slowdown over (invocation frequency x \
-     acceleratable fraction), A = 1.5";
-  print_endline
-    "Overlays: H = heap-manager TCA locus (g = 53), G = mean GreenDroid \
-     function locus";
-  List.iter
-    (fun m ->
-      let title =
-        Printf.sprintf "@ %s core, mode %s (slowdown region: %.0f%% of \
-                        feasible cells)"
-          m.core_name (Mode.to_string m.mode)
-          (100.0 *. m.slowdown_fraction)
-      in
-      print_newline ();
-      print_string (Tca_util.Heatmap.render ~title (heatmap_of m)))
-    maps
-
-let csv maps =
+(* Long-format export of every feasible cell; rendered only in the
+   CSV/JSON views (the text view carries the heatmaps as notes). *)
+let cells_table maps =
   let rows = ref [] in
   List.iter
     (fun m ->
@@ -86,16 +73,44 @@ let csv maps =
               if not (Float.is_nan speedup) then
                 rows :=
                   [
-                    m.core_name;
-                    Mode.to_string m.mode;
-                    string_of_float a;
-                    string_of_float v;
-                    string_of_float speedup;
+                    A.text m.core_name;
+                    A.text (Mode.to_string m.mode);
+                    A.flt ~decimals:2 a;
+                    A.sci v;
+                    A.flt speedup;
                   ]
                   :: !rows)
             g.Grid.freqs)
         g.Grid.coverages)
     maps;
-  Tca_util.Csv.to_string
-    ~header:[ "core"; "mode"; "a"; "v"; "speedup" ]
+  A.table ~in_text:false ~name:"cells"
+    ~headers:[ "core"; "mode"; "a"; "v"; "speedup" ]
     (List.rev !rows)
+
+let artifact maps =
+  A.make ~job:"fig7"
+    ~title:
+      "Fig. 7: predicted speedup/slowdown over (invocation frequency x \
+       acceleratable fraction), A = 1.5"
+    (A.Note
+       "Overlays: H = heap-manager TCA locus (g = 53), G = mean GreenDroid \
+        function locus"
+    :: List.concat_map
+         (fun m ->
+           let title =
+             Printf.sprintf
+               "@ %s core, mode %s (slowdown region: %.0f%% of feasible \
+                cells)"
+               m.core_name (Mode.to_string m.mode)
+               (100.0 *. m.slowdown_fraction)
+           in
+           [
+             A.Note "";
+             A.Note
+               (String.trim (Tca_util.Heatmap.render ~title (heatmap_of m)));
+           ])
+         maps
+    @ [ A.Table (cells_table maps) ])
+
+let print maps = print_string (A.to_text (artifact maps))
+let csv maps = A.table_csv (cells_table maps)

@@ -11,9 +11,16 @@ type map = {
   slowdown_fraction : float;
 }
 
-val run : ?telemetry:Tca_telemetry.Sink.t -> ?cols:int -> ?rows:int -> unit -> map list
+val run :
+  ?telemetry:Tca_telemetry.Sink.t -> ?par:Tca_util.Parmap.t ->
+  ?cols:int -> ?rows:int -> unit -> map list
 (** Default 48 columns (v in 10^-6 .. 10^-1, log) x 17 rows (a in
-    0.05 .. 0.95). Eight maps: 2 cores x 4 modes. *)
+    0.05 .. 0.95). Eight maps: 2 cores x 4 modes. [?par] parallelises
+    each grid's row sweep with identical results. *)
+
+val artifact : map list -> Tca_engine.Artifact.t
+(** Heatmaps as notes in the text view; the long-format cell table only
+    in the CSV/JSON views. *)
 
 val print : map list -> unit
 (** ASCII heatmaps with 'H' marking the heap-manager curve and 'G' the

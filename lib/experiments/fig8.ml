@@ -1,4 +1,5 @@
 open Tca_model
+module A = Tca_engine.Artifact
 
 type series = {
   mode : Mode.t;
@@ -30,46 +31,61 @@ let nl_t_local_maxima series =
   | None -> []
   | Some s -> Concurrency.local_maxima s.points
 
-let print series =
-  print_endline
-    "Fig. 8: predicted speedup vs %% acceleratable for a 100-instruction \
-     TCA with A = 2 (HP core)";
+let series_table ?(name = "series") ?(every = 1) series =
   let headers = "a" :: List.map (fun s -> Mode.to_string s.mode) series in
   let n = match series with [] -> 0 | s :: _ -> Array.length s.points in
-  let rows =
-    List.init n (fun i ->
-        let a = fst (List.hd series).points.(i) in
-        Printf.sprintf "%.2f" a
-        :: List.map
-             (fun s -> Tca_util.Table.float_cell (snd s.points.(i)))
-             series)
-  in
-  (* Print every 4th row to keep the table readable. *)
-  let rows = List.filteri (fun i _ -> i mod 4 = 0) rows in
-  Tca_util.Table.print ~headers rows;
-  print_newline ();
-  List.iter
-    (fun s ->
-      let a, sp = s.peak in
-      Printf.printf "peak %-6s: speedup %.3f at a = %.3f\n"
-        (Mode.to_string s.mode) sp a)
-    series;
-  let a_star, s_star = ideal_peak in
-  Printf.printf
-    "analytic optimum (L_T): speedup A + 1 = %.1f at a = A/(A+1) = %.3f\n"
-    s_star a_star;
-  match nl_t_local_maxima series with
-  | [] -> print_endline "NL_T: no interior local maximum in this sweep"
-  | ms ->
-      List.iter
-        (fun (a, sp) ->
-          Printf.printf "NL_T local maximum: speedup %.3f at a = %.3f\n" sp a)
-        ms
+  A.table ~in_text:(every > 1) ~name ~headers
+    (List.filter_map
+       (fun i ->
+         if i mod every <> 0 then None
+         else
+           Some
+             (A.flt ~decimals:2 (fst (List.hd series).points.(i))
+             :: List.map (fun s -> A.flt (snd s.points.(i))) series))
+       (List.init n Fun.id))
 
-let csv series =
-  let header = "a" :: List.map (fun s -> Mode.to_string s.mode) series in
-  let n = match series with [] -> 0 | s :: _ -> Array.length s.points in
-  Tca_util.Csv.to_string ~header
-    (List.init n (fun i ->
-         string_of_float (fst (List.hd series).points.(i))
-         :: List.map (fun s -> string_of_float (snd s.points.(i))) series))
+let artifact series =
+  let peak_notes =
+    List.map
+      (fun s ->
+        let a, sp = s.peak in
+        A.Note
+          (Printf.sprintf "peak %-6s: speedup %.3f at a = %.3f"
+             (Mode.to_string s.mode) sp a))
+      series
+  in
+  let a_star, s_star = ideal_peak in
+  let maxima_notes =
+    match nl_t_local_maxima series with
+    | [] -> [ A.Note "NL_T: no interior local maximum in this sweep" ]
+    | ms ->
+        List.map
+          (fun (a, sp) ->
+            A.Note
+              (Printf.sprintf "NL_T local maximum: speedup %.3f at a = %.3f"
+                 sp a))
+          ms
+  in
+  A.make ~job:"fig8"
+    ~title:
+      "Fig. 8: predicted speedup vs % acceleratable for a 100-instruction \
+       TCA with A = 2 (HP core)"
+    ([
+       (* Text shows every 4th row to keep the table readable; the full
+          series lives in the CSV/JSON-only table. *)
+       A.Table (series_table ~name:"series (every 4th point)" ~every:4 series);
+       A.Table (series_table series);
+       A.Note "";
+     ]
+    @ peak_notes
+    @ [
+        A.Note
+          (Printf.sprintf
+             "analytic optimum (L_T): speedup A + 1 = %.1f at a = A/(A+1) = \
+              %.3f"
+             s_star a_star);
+      ]
+    @ maxima_notes)
+
+let print series = print_string (A.to_text (artifact series))
+let csv series = A.table_csv (series_table series)

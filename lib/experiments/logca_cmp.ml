@@ -42,21 +42,29 @@ let run ?(points = 17) () =
          })
        gs)
 
-let print rows =
-  print_endline
-    "X1: LogCA (loosely-coupled model, Amdahl-scaled to 30% coverage) vs \
-     the TCA model";
-  let headers = [ "granularity"; "LogCA" ] @ List.map Mode.to_string Mode.all in
-  Tca_util.Table.print ~headers
-    (List.map
-       (fun r ->
-         [ Printf.sprintf "%.1e" r.g; Tca_util.Table.float_cell r.logca ]
-         @ List.map
-             (fun m -> Tca_util.Table.float_cell (List.assoc m r.tca))
-             Mode.all)
-       rows);
-  (match Tca_logca.Logca.break_even logca_params with
-  | Some g1 -> Printf.printf "LogCA break-even granularity g1 = %.1f\n" g1
-  | None -> print_endline "LogCA never breaks even in range");
-  Printf.printf "LogCA asymptotic kernel speedup = %.2f\n"
-    (Tca_logca.Logca.asymptotic_speedup logca_params)
+let artifact rows =
+  let module A = Tca_engine.Artifact in
+  A.make ~job:"logca"
+    ~title:
+      "X1: LogCA (loosely-coupled model, Amdahl-scaled to 30% coverage) vs \
+       the TCA model"
+    [
+      A.Table
+        (A.table ~name:"comparison"
+           ~headers:
+             ([ "granularity"; "LogCA" ] @ List.map Mode.to_string Mode.all)
+           (List.map
+              (fun r ->
+                [ A.sci r.g; A.flt r.logca ]
+                @ List.map (fun m -> A.flt (List.assoc m r.tca)) Mode.all)
+              rows));
+      A.Note
+        (match Tca_logca.Logca.break_even logca_params with
+        | Some g1 -> Printf.sprintf "LogCA break-even granularity g1 = %.1f" g1
+        | None -> "LogCA never breaks even in range");
+      A.Note
+        (Printf.sprintf "LogCA asymptotic kernel speedup = %.2f"
+           (Tca_logca.Logca.asymptotic_speedup logca_params));
+    ]
+
+let print rows = print_string (Tca_engine.Artifact.to_text (artifact rows))

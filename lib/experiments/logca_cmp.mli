@@ -19,4 +19,5 @@ val logca_params : Tca_logca.Logca.t
     equivalent to the TCA model's commit stall, negligible interface
     latency (tightly-coupled data path). *)
 
+val artifact : row list -> Tca_engine.Artifact.t
 val print : row list -> unit

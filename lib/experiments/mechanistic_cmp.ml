@@ -48,16 +48,20 @@ let cases =
       } );
   ]
 
-let run () =
+let run ?telemetry ?(par = Tca_util.Parmap.serial) () =
   let cfg = Config.hp () in
-  List.map
-    (fun (label, app) ->
-      let rng = Tca_util.Prng.create 4242 in
-      let gen = Codegen.create ~config:app ~rng () in
-      let b = Trace.Builder.create () in
-      Codegen.emit_block gen b 120_000;
-      let trace = Trace.Builder.build b in
-      let stats = Pipeline.run_exn cfg trace in
+  let cases_a = Array.of_list cases in
+  let sinks =
+    Array.map (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry) cases_a
+  in
+  let eval i =
+    let label, app = cases_a.(i) in
+    let rng = Tca_util.Prng.create 4242 in
+    let gen = Codegen.create ~config:app ~rng () in
+    let b = Trace.Builder.create () in
+    Codegen.emit_block gen b 120_000;
+    let trace = Trace.Builder.build b in
+    let stats = Pipeline.run_exn ?telemetry:sinks.(i) cfg trace in
       (* Event rates the architect would know: instruction mix from the
          code, predictor accuracy from hardware counters, steady-state
          miss rates from working-set sizes (uniform random accesses:
@@ -99,20 +103,37 @@ let run () =
         simulated_ipc = stats.Sim_stats.ipc;
         error_pct =
           100.0 *. (predicted -. stats.Sim_stats.ipc) /. stats.Sim_stats.ipc;
-      })
-    cases
+      }
+  in
+  let rows =
+    par.Tca_util.Parmap.run eval (Array.init (Array.length cases_a) Fun.id)
+  in
+  (match telemetry with
+  | Some into ->
+      Array.iter
+        (function
+          | Some child -> Tca_telemetry.Sink.join ~into child | None -> ())
+        sinks
+  | None -> ());
+  Array.to_list rows
 
-let print rows =
-  print_endline
-    "X4: mechanistic CPI model (Eyerman-style) vs cycle-level simulator";
-  Tca_util.Table.print
-    ~headers:[ "workload"; "predicted IPC"; "simulated IPC"; "error" ]
-    (List.map
-       (fun r ->
-         [
-           r.label;
-           Tca_util.Table.float_cell r.predicted_ipc;
-           Tca_util.Table.float_cell r.simulated_ipc;
-           Printf.sprintf "%+.1f%%" r.error_pct;
-         ])
-       rows)
+let artifact rows =
+  let module A = Tca_engine.Artifact in
+  A.make ~job:"mechanistic"
+    ~title:"X4: mechanistic CPI model (Eyerman-style) vs cycle-level simulator"
+    [
+      A.Table
+        (A.table ~name:"ipc"
+           ~headers:[ "workload"; "predicted IPC"; "simulated IPC"; "error" ]
+           (List.map
+              (fun r ->
+                [
+                  A.text r.label;
+                  A.flt r.predicted_ipc;
+                  A.flt r.simulated_ipc;
+                  A.pct r.error_pct;
+                ])
+              rows));
+    ]
+
+let print rows = print_string (Tca_engine.Artifact.to_text (artifact rows))

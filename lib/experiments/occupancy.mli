@@ -15,7 +15,13 @@ type row = {
   speedup : float;
 }
 
-val run : ?n:int -> unit -> row list
-(** 8 rows: 2 occupancy policies x 4 modes. [n] defaults to 32. *)
+val run :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  ?n:int -> unit -> row list
+(** 8 rows: 2 occupancy policies x 4 modes. [n] defaults to 32. [?par]
+    evaluates the 8 accelerated runs concurrently with identical rows
+    and merged trace. *)
 
+val artifact : row list -> Tca_engine.Artifact.t
 val print : row list -> unit

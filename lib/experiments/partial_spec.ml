@@ -35,7 +35,7 @@ type sim_row = {
   model_speedup : float;
 }
 
-let validate ?(quick = false) () =
+let validate ?telemetry ?(par = Tca_util.Parmap.serial) ?(quick = false) () =
   let open Tca_uarch in
   let n_calls = if quick then 600 else 1500 in
   let pair =
@@ -46,65 +46,94 @@ let validate ?(quick = false) () =
   let cfg =
     Config.with_coupling (Exp_common.validation_core ()) Config.coupling_l_t
   in
-  let baseline = Pipeline.run_exn cfg pair.Tca_workloads.Meta.baseline in
+  let baseline = Pipeline.run_exn ?telemetry cfg pair.Tca_workloads.Meta.baseline in
   let ipc = baseline.Sim_stats.ipc in
   let model_core = Exp_common.model_core_of cfg ~ipc in
   let s =
     Exp_common.scenario_of_meta pair.Tca_workloads.Meta.meta ~latency:1.0
   in
-  List.map
-    (fun p ->
-      let run_cfg = { cfg with Config.tca_speculate_fraction = Some p } in
-      let stats = Pipeline.run_exn run_cfg pair.Tca_workloads.Meta.accelerated in
-      {
-        p;
-        sim_speedup = Sim_stats.speedup_exn ~baseline ~accelerated:stats;
-        model_speedup = Partial.speedup model_core s ~trailing:true ~p_speculate:p;
-      })
-    [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
-
-let print_validation rows =
-  print_endline
-    "simulator cross-check (heap workload, per-invocation speculation \
-     coin, trailing allowed):";
-  Tca_util.Table.print ~headers:[ "p"; "sim"; "model"; "error" ]
-    (List.map
-       (fun r ->
-         [
-           Printf.sprintf "%.2f" r.p;
-           Tca_util.Table.float_cell r.sim_speedup;
-           Tca_util.Table.float_cell r.model_speedup;
-           Printf.sprintf "%+.1f%%"
-             (100.0 *. (r.model_speedup -. r.sim_speedup) /. r.sim_speedup);
-         ])
-       rows);
-  let monotone =
-    let rec go = function
-      | a :: (b :: _ as rest) -> a.sim_speedup <= b.sim_speedup +. 0.02 && go rest
-      | _ -> true
-    in
-    go rows
+  let ps = [| 0.0; 0.25; 0.5; 0.75; 1.0 |] in
+  let sinks =
+    Array.map (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry) ps
   in
-  Printf.printf
-    "simulated speedup grows with speculation coverage: %b
-" monotone
+  let eval i =
+    let p = ps.(i) in
+    let run_cfg = { cfg with Config.tca_speculate_fraction = Some p } in
+    let stats =
+      Pipeline.run_exn ?telemetry:sinks.(i) run_cfg
+        pair.Tca_workloads.Meta.accelerated
+    in
+    {
+      p;
+      sim_speedup = Sim_stats.speedup_exn ~baseline ~accelerated:stats;
+      model_speedup = Partial.speedup model_core s ~trailing:true ~p_speculate:p;
+    }
+  in
+  let rows =
+    par.Tca_util.Parmap.run eval (Array.init (Array.length ps) Fun.id)
+  in
+  (match telemetry with
+  | Some into ->
+      Array.iter
+        (function
+          | Some child -> Tca_telemetry.Sink.join ~into child | None -> ())
+        sinks
+  | None -> ());
+  Array.to_list rows
 
-let print rows =
-  print_endline
-    "X2: partial speculation (heap scenario, HP core) — speedup vs \
-     speculation coverage p";
-  Tca_util.Table.print ~headers:[ "p"; "trailing (L_T..NL_T)"; "no trailing (L_NT..NL_NT)" ]
-    (List.map
-       (fun r ->
-         [
-           Printf.sprintf "%.1f" r.p_speculate;
-           Tca_util.Table.float_cell r.speedup_t;
-           Tca_util.Table.float_cell r.speedup_nt;
-         ])
-       rows);
-  (match confidence_for_95pct () with
-  | Some p ->
-      Printf.printf
-        "speculation coverage for 95%% of full L_T speedup: p = %.2f\n" p
-  | None -> print_endline "95% of full L_T speedup unreachable by blending");
-  print_validation (validate ())
+let monotone rows =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a.sim_speedup <= b.sim_speedup +. 0.02 && go rest
+    | _ -> true
+  in
+  go rows
+
+let artifact ?telemetry ?par ?quick rows =
+  let module A = Tca_engine.Artifact in
+  let sim = validate ?telemetry ?par ?quick () in
+  A.make ~job:"partial"
+    ~title:
+      "X2: partial speculation (heap scenario, HP core) — speedup vs \
+       speculation coverage p"
+    [
+      A.Table
+        (A.table ~name:"blend"
+           ~headers:
+             [ "p"; "trailing (L_T..NL_T)"; "no trailing (L_NT..NL_NT)" ]
+           (List.map
+              (fun r ->
+                [
+                  A.flt ~decimals:1 r.p_speculate;
+                  A.flt r.speedup_t;
+                  A.flt r.speedup_nt;
+                ])
+              rows));
+      A.Note
+        (match confidence_for_95pct () with
+        | Some p ->
+            Printf.sprintf
+              "speculation coverage for 95%% of full L_T speedup: p = %.2f" p
+        | None -> "95% of full L_T speedup unreachable by blending");
+      A.Note
+        "simulator cross-check (heap workload, per-invocation speculation \
+         coin, trailing allowed):";
+      A.Table
+        (A.table ~name:"sim-crosscheck" ~headers:[ "p"; "sim"; "model"; "error" ]
+           (List.map
+              (fun r ->
+                [
+                  A.flt ~decimals:2 r.p;
+                  A.flt r.sim_speedup;
+                  A.flt r.model_speedup;
+                  A.pct
+                    (100.0
+                    *. (r.model_speedup -. r.sim_speedup)
+                    /. r.sim_speedup);
+                ])
+              sim));
+      A.Note
+        (Printf.sprintf "simulated speedup grows with speculation coverage: %b"
+           (monotone sim));
+    ]
+
+let print rows = print_string (Tca_engine.Artifact.to_text (artifact rows))

@@ -21,13 +21,24 @@ type sim_row = {
   model_speedup : float;  (** {!Tca_model.Partial} blend *)
 }
 
-val validate : ?quick:bool -> unit -> sim_row list
+val validate :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  ?quick:bool -> unit -> sim_row list
 (** Run the heap workload in the simulator with per-invocation partial
     speculation at p in {0, 1/4, 1/2, 3/4, 1} and compare against the
     model's L/NL blend — closing the loop on the paper's Section VIII
-    proposal. *)
+    proposal. [?par] spreads the five speculative runs over a pool with
+    identical rows and merged trace. *)
 
 val confidence_for_95pct : unit -> float option
 (** Speculation coverage needed to reach 95% of the full L_T speedup. *)
+
+val artifact :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  ?quick:bool -> row list -> Tca_engine.Artifact.t
+(** The model blend table, the 95%-confidence note, and the simulator
+    cross-check (which this call runs). *)
 
 val print : row list -> unit

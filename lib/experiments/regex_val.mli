@@ -6,8 +6,15 @@
 val gaps : quick:bool -> int list
 
 val run :
-  ?telemetry:Tca_telemetry.Sink.t -> ?quick:bool -> unit ->
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  ?quick:bool -> unit ->
   Exp_common.validation_row list * float
-(** Rows plus the mean characters scanned per search. *)
+(** Rows plus the mean characters scanned per search (finest gap).
+    [?par] evaluates the invocation gaps concurrently with identical
+    rows and merged trace. *)
+
+val artifact :
+  Exp_common.validation_row list * float -> Tca_engine.Artifact.t
 
 val print : Exp_common.validation_row list * float -> unit

@@ -5,8 +5,15 @@
 val gaps : quick:bool -> int list
 
 val run :
-  ?telemetry:Tca_telemetry.Sink.t -> ?quick:bool -> unit ->
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  ?quick:bool -> unit ->
   Exp_common.validation_row list * float
-(** Rows plus the mean bytes inspected per call. *)
+(** Rows plus the mean bytes inspected per call (finest gap). [?par]
+    evaluates the invocation gaps concurrently with identical rows and
+    merged trace. *)
+
+val artifact :
+  Exp_common.validation_row list * float -> Tca_engine.Artifact.t
 
 val print : Exp_common.validation_row list * float -> unit

@@ -2,4 +2,5 @@
     used throughout the reproduction. *)
 
 val rows : unit -> string list list
+val artifact : unit -> Tca_engine.Artifact.t
 val print : unit -> unit

@@ -135,6 +135,40 @@ let gauge_exn t name = Tca_util.Diag.ok_exn (gauge t name)
 let histogram_exn ?bounds t name =
   Tca_util.Diag.ok_exn (histogram ?bounds t name)
 
+(* Merge is the single-threaded join step of the multi-domain story:
+   each domain accumulates into its own registry and the owner folds
+   them together afterwards, in a canonical order. It is total by
+   design — a kind or bounds mismatch skips the instrument rather than
+   raising, because a telemetry join must never kill a computation that
+   already succeeded. *)
+let merge_into dst src =
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) src.tbl []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src.tbl name with
+      | None -> ()
+      | Some (I_counter c) -> (
+          match counter dst name with
+          | Ok d -> Counter.add d (Counter.value c)
+          | Error _ -> ())
+      | Some (I_gauge g) -> (
+          match gauge dst name with
+          | Ok d -> Gauge.set d (Gauge.value g)
+          | Error _ -> ())
+      | Some (I_histogram h) -> (
+          match histogram ~bounds:h.Histogram.bounds dst name with
+          | Ok d when d.Histogram.bounds = h.Histogram.bounds ->
+              Array.iteri
+                (fun i n -> d.Histogram.hits.(i) <- d.Histogram.hits.(i) + n)
+                h.Histogram.hits;
+              d.Histogram.n <- d.Histogram.n + h.Histogram.n;
+              d.Histogram.total <- d.Histogram.total +. h.Histogram.total
+          | Ok _ | Error _ -> ()))
+    names
+
 let counter_value t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (I_counter c) -> Counter.value c

@@ -69,6 +69,16 @@ val counter_value : t -> string -> int
 (** 0 when absent or not a counter — a read-side convenience that
     never fails. *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src] into [dst]: counters add, gauges
+    take [src]'s value (last-write-wins in merge order), histograms with
+    identical bounds add bucket-wise. Instruments are merged in sorted
+    name order and a kind or bounds mismatch skips that instrument, so
+    the fold is total and deterministic. This is the join step of the
+    per-domain-registry pattern: registries are single-domain objects;
+    accumulate into one registry per domain, then merge on the owner in
+    a canonical order. [src] is not modified. *)
+
 val to_json : t -> Tca_util.Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
     names sorted, so the output is deterministic. *)

@@ -62,3 +62,26 @@ let instant t ?(pid = track_sim) ?(cat = "instant") ?(args = []) ~ts name =
 let events t = Array.to_list (Array.sub t.buf 0 t.len)
 let length t = t.len
 let clear t = t.len <- 0
+
+(* Fork/join: the multi-domain protocol. A sink is a single-domain
+   object, so parallel work gets one fork per task and the owner joins
+   them back in a canonical (task-index) order — making the merged
+   event sequence identical to what a serial run would have produced,
+   because a serial run also finishes task i's events before task
+   i+1's. *)
+
+let fork t =
+  {
+    sample_interval = t.sample_interval;
+    registry = Option.map (fun _ -> Metrics.create ()) t.registry;
+    buf = Array.make 1024 dummy;
+    len = 0;
+  }
+
+let join ~into child =
+  for i = 0 to child.len - 1 do
+    push into child.buf.(i)
+  done;
+  match (into.registry, child.registry) with
+  | Some dst, Some src -> Metrics.merge_into dst src
+  | _ -> ()

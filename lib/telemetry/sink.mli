@@ -66,3 +66,27 @@ val events : t -> event list
 
 val length : t -> int
 val clear : t -> unit
+
+(** {2 Fork/join — the multi-domain protocol}
+
+    A sink is a {e single-domain} object: two domains must never push
+    into the same sink concurrently. Parallel work instead forks one
+    child sink per task, each task records into its own child on its
+    own domain, and the owner joins the children back {e in task-index
+    order} once all tasks have settled. Because a serial execution
+    also emits task [i]'s events before task [i+1]'s, the joined
+    event sequence is identical to the serial one — only wall-clock
+    timestamps and durations differ. *)
+
+val fork : t -> t
+(** A fresh, empty sink with the parent's sampling interval; carries a
+    fresh registry iff the parent has one (so instrumented code finds
+    the same capabilities on the child). *)
+
+val join : into:t -> t -> unit
+(** Append the child's events (in their emission order) to [into], and
+    fold the child's registry into [into]'s with
+    {!Metrics.merge_into}. The child is not modified and may be joined
+    only once unless duplicated events are intended. Must be called
+    from the domain that owns [into], after the child's task has
+    finished. *)

@@ -24,28 +24,56 @@ let measure_ipc ?telemetry cfg trace =
 let measure_ipc_exn ?telemetry cfg trace =
   Tca_util.Diag.ok_exn (measure_ipc ?telemetry cfg trace)
 
-let compare_modes ?telemetry ~cfg ~baseline ~accelerated () =
-  let* base_outcome = Pipeline.run ?telemetry cfg baseline in
-  let base_stats, baseline_partial = split_outcome base_outcome in
-  let+ modes =
-    List.fold_right
-      (fun coupling acc ->
-        let* acc = acc in
-        let* outcome =
-          Pipeline.run ?telemetry (Config.with_coupling cfg coupling)
-            accelerated
-        in
-        let stats, partial = split_outcome outcome in
-        let+ speedup =
-          Sim_stats.speedup ~baseline:base_stats ~accelerated:stats
-        in
-        { coupling; stats; speedup; partial } :: acc)
-      Config.all_couplings (Ok [])
+let compare_modes ?telemetry ?(par = Tca_util.Parmap.serial) ~cfg ~baseline
+    ~accelerated () =
+  (* The five pipeline runs (baseline + one per coupling) are mutually
+     independent, so they form one parallel batch. Each run records into
+     its own forked sink; the children are joined back in canonical
+     order (baseline first, then [Config.all_couplings] order), so the
+     merged trace is the same whatever [par] is. *)
+  let couplings = Array.of_list Config.all_couplings in
+  let n = 1 + Array.length couplings in
+  let sinks =
+    Array.init n (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry)
   in
+  let results =
+    par.Tca_util.Parmap.run
+      (fun i ->
+        let telemetry = sinks.(i) in
+        if i = 0 then Pipeline.run ?telemetry cfg baseline
+        else
+          Pipeline.run ?telemetry
+            (Config.with_coupling cfg couplings.(i - 1))
+            accelerated)
+      (Array.init n Fun.id)
+  in
+  (match telemetry with
+  | None -> ()
+  | Some into ->
+      Array.iter
+        (function
+          | Some child -> Tca_telemetry.Sink.join ~into child
+          | None -> ())
+        sinks);
+  let* base_outcome = results.(0) in
+  let base_stats, baseline_partial = split_outcome base_outcome in
+  let rec seq i =
+    if i >= n then Ok []
+    else
+      let* outcome = results.(i) in
+      let stats, partial = split_outcome outcome in
+      let* speedup =
+        Sim_stats.speedup ~baseline:base_stats ~accelerated:stats
+      in
+      let+ rest = seq (i + 1) in
+      { coupling = couplings.(i - 1); stats; speedup; partial } :: rest
+  in
+  let+ modes = seq 1 in
   { baseline = base_stats; baseline_partial; modes }
 
-let compare_modes_exn ?telemetry ~cfg ~baseline ~accelerated () =
-  Tca_util.Diag.ok_exn (compare_modes ?telemetry ~cfg ~baseline ~accelerated ())
+let compare_modes_exn ?telemetry ?par ~cfg ~baseline ~accelerated () =
+  Tca_util.Diag.ok_exn
+    (compare_modes ?telemetry ?par ~cfg ~baseline ~accelerated ())
 
 let find_mode_result comparison coupling =
   match

@@ -30,19 +30,25 @@ val measure_ipc_exn :
 
 val compare_modes :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   cfg:Config.t ->
   baseline:Trace.t ->
   accelerated:Trace.t ->
   unit ->
   (comparison, Tca_util.Diag.t) result
 (** Run the baseline once and the accelerated trace under all four
-    couplings; all five runs share the [?telemetry] sink when given.
-    Watchdog-truncated runs are kept (with [partial] set), not turned
-    into errors. [Error] on an invalid configuration or (pathological)
-    zero-cycle accelerated run. *)
+    couplings. The five runs are independent; [?par] (default serial)
+    runs them in parallel with identical results. Each run records into
+    a fork of the [?telemetry] sink, joined back in canonical order
+    (baseline first, then [Config.all_couplings] order), so the merged
+    trace does not depend on [par] either. Watchdog-truncated runs are
+    kept (with [partial] set), not turned into errors. [Error] on an
+    invalid configuration or (pathological) zero-cycle accelerated
+    run. *)
 
 val compare_modes_exn :
   ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
   cfg:Config.t -> baseline:Trace.t -> accelerated:Trace.t -> unit -> comparison
 
 val find_mode_result :

@@ -367,6 +367,55 @@ let analysis_case i g =
                  stats.Tca_uarch.Sim_stats.cycles)
       | Ok (Pipeline.Partial _) | Error _ -> ())
 
+(* The engine's core invariant under adversarial inputs: a parallel
+   sweep is bit-identical to the serial one (polymorphic [compare]
+   treats equal NaN cells as equal, so skip-and-record grids compare
+   cleanly), and artifacts built from hostile floats survive the cache's
+   lossless round-trip with a stable fingerprint. *)
+let engine_case i g =
+  let open Tca_model in
+  guard i "engine par-vs-serial" (fun () ->
+      let axis () =
+        Tca_util.Faultgen.array_adversarial ~max_len:6 g
+          Tca_util.Faultgen.float_adversarial
+      in
+      let freqs = axis () and coverages = axis () in
+      let accel = Params.Factor (Tca_util.Faultgen.positive_adversarial g) in
+      let sweep par =
+        Grid.compute ?par Presets.hp_core ~accel ~freqs ~coverages Mode.L_T
+      in
+      let serial = sweep None in
+      let parallel =
+        Tca_engine.Pool.with_pool ~workers:3 (fun pool ->
+            sweep (Some (Tca_engine.Pool.parmap pool)))
+      in
+      if compare serial parallel <> 0 then
+        record i "engine" "parallel grid differs from serial");
+  guard i "engine artifact roundtrip" (fun () ->
+      let module A = Tca_engine.Artifact in
+      let cell () =
+        match abs (Tca_util.Faultgen.size_adversarial g ~max:4) mod 4 with
+        | 0 -> A.flt (Tca_util.Faultgen.float_adversarial g)
+        | 1 -> A.sci (Tca_util.Faultgen.float_adversarial g)
+        | 2 -> A.pct (Tca_util.Faultgen.float_adversarial g)
+        | _ -> A.int (Tca_util.Faultgen.size_adversarial g ~max:1_000_000)
+      in
+      let rows =
+        List.init
+          (1 + (abs (Tca_util.Faultgen.size_adversarial g ~max:8) mod 8))
+          (fun _ -> [ cell (); cell () ])
+      in
+      let a =
+        A.make ~job:"fuzz" ~title:"fuzz"
+          [ A.Table (A.table ~name:"t" ~headers:[ "a"; "b" ] rows) ]
+      in
+      match A.deserialize (A.serialize a) with
+      | Error d ->
+          record i "engine" ("artifact roundtrip: " ^ Tca_util.Diag.to_string d)
+      | Ok b ->
+          if A.fingerprint a <> A.fingerprint b then
+            record i "engine" "artifact fingerprint unstable across roundtrip")
+
 let () =
   let g = Tca_util.Faultgen.create ~seed in
   for i = 1 to cases do
@@ -376,7 +425,8 @@ let () =
     if i mod 25 = 0 then uarch_case i g;
     if i mod 25 = 0 then analysis_case i g;
     if i mod 50 = 0 then telemetry_case i g;
-    if i mod 100 = 0 then simulator_case i g
+    if i mod 100 = 0 then simulator_case i g;
+    if i mod 100 = 0 then engine_case i g
   done;
   match !failures with
   | [] ->

@@ -1,0 +1,456 @@
+(* The experiment engine: artifacts, pool, registry, cache, scheduler.
+
+   The load-bearing assertions are the engine invariants the rest of
+   the repo depends on: [--jobs 1] and [--jobs N] produce bit-identical
+   artifacts (including merged telemetry event sequences), a warm cache
+   re-serves identical artifacts without re-running bodies, and the
+   public artifact JSON schema is pinned by a golden string. *)
+
+module A = Tca_engine.Artifact
+module Job = Tca_engine.Job
+module Registry = Tca_engine.Registry
+module Pool = Tca_engine.Pool
+module Cache = Tca_engine.Cache
+module Scheduler = Tca_engine.Scheduler
+
+let demo_artifact () =
+  A.make ~job:"demo" ~title:"Demo artifact"
+    [
+      A.Table
+        (A.table ~name:"t" ~headers:[ "k"; "x" ]
+           [ [ A.text "a"; A.flt ~decimals:2 1.5 ]; [ A.text "b"; A.int 3 ] ]);
+      A.Note "a note";
+      A.Table
+        (A.table ~in_text:false ~name:"hidden" ~headers:[ "y" ]
+           [ [ A.sci 1.0e6 ] ]);
+    ]
+
+(* --- artifact views --- *)
+
+let test_cell_rendering () =
+  Alcotest.(check string) "fixed" "1.50" (A.cell_text (A.flt ~decimals:2 1.5));
+  Alcotest.(check string) "default decimals" "1.500" (A.cell_text (A.flt 1.5));
+  Alcotest.(check string) "sci" "1.0e+06" (A.cell_text (A.sci 1.0e6));
+  Alcotest.(check string) "pct" "+12.5%" (A.cell_text (A.pct 12.49999));
+  Alcotest.(check string) "int" "42" (A.cell_text (A.int 42));
+  (* raw keeps full float precision for CSV *)
+  Alcotest.(check string) "raw" "1.5" (A.cell_raw (A.flt ~decimals:2 1.5))
+
+let test_text_view () =
+  let txt = A.to_text (demo_artifact ()) in
+  Alcotest.(check bool) "title" true
+    (String.length txt > 0 && String.sub txt 0 13 = "Demo artifact");
+  let contains hay needle =
+    let nl = String.length needle in
+    let rec go i =
+      i + nl <= String.length hay
+      && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "note rendered" true (contains txt "a note");
+  Alcotest.(check bool) "in-text table" true (contains txt "1.50");
+  Alcotest.(check bool) "hidden table excluded" false (contains txt "hidden")
+
+let test_csv_view () =
+  (* multiple tables -> named sections; all tables present, even
+     in_text:false ones *)
+  let csv = A.to_csv (demo_artifact ()) in
+  Alcotest.(check bool) "t section" true
+    (String.length csv > 0 && String.sub csv 0 3 = "# t");
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check bool) "hidden section" true
+    (List.mem "# hidden" lines);
+  (* single table -> bare CSV *)
+  let one =
+    A.of_table ~job:"j" ~title:"" (A.table ~name:"s" ~headers:[ "h" ] [])
+  in
+  Alcotest.(check string) "bare csv" "h\n" (A.to_csv one)
+
+let test_ragged_rejected () =
+  match A.table ~name:"r" ~headers:[ "a"; "b" ] [ [ A.int 1 ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged row accepted"
+
+let test_json_schema_golden () =
+  (* The public JSON schema, pinned: {"job","title","tables":[{"name",
+     "headers","rows"}],"notes"}. Changing this string is a consumer-
+     visible break — bump Cache.version_salt alongside it. *)
+  let expected =
+    "{\"job\":\"demo\",\"title\":\"Demo artifact\",\
+     \"tables\":[{\"name\":\"t\",\"headers\":[\"k\",\"x\"],\
+     \"rows\":[[\"a\",1.5],[\"b\",3]]},\
+     {\"name\":\"hidden\",\"headers\":[\"y\"],\"rows\":[[1000000.0]]}],\
+     \"notes\":[\"a note\"]}"
+  in
+  Alcotest.(check string) "golden json" expected
+    (Tca_util.Json.to_string (A.to_json (demo_artifact ())))
+
+let test_serialize_roundtrip () =
+  let a =
+    A.make ~job:"rt" ~title:"t"
+      [
+        A.Table
+          (A.table ~name:"n" ~headers:[ "c" ]
+             [
+               [ A.flt Float.nan ]; [ A.flt Float.infinity ];
+               [ A.flt 0.1 ]; [ A.pct (-3.5) ]; [ A.sci 1.0e-9 ];
+             ]);
+        A.Note "";
+      ]
+  in
+  match A.deserialize (A.serialize a) with
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok b ->
+      Alcotest.(check string) "fingerprint stable" (A.fingerprint a)
+        (A.fingerprint b)
+
+let test_deserialize_rejects_garbage () =
+  let bad j =
+    match A.deserialize j with
+    | Error (Tca_util.Diag.Invalid _) -> ()
+    | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+    | Ok _ -> Alcotest.fail "garbage accepted"
+  in
+  bad Tca_util.Json.Null;
+  bad (Tca_util.Json.Obj [ ("v", Tca_util.Json.Int 999) ]);
+  bad
+    (Tca_util.Json.Obj
+       [ ("v", Tca_util.Json.Int 1); ("job", Tca_util.Json.Int 3) ])
+
+(* --- pool --- *)
+
+let test_pool_order () =
+  Pool.with_pool ~workers:3 @@ fun pool ->
+  let xs = Array.init 100 Fun.id in
+  let ys = Pool.map pool (fun i -> i * i) xs in
+  Array.iteri
+    (fun i y -> Alcotest.(check int) "slot" (i * i) y)
+    ys
+
+let test_pool_workers_zero () =
+  Pool.with_pool ~workers:0 @@ fun pool ->
+  let ys = Pool.map pool string_of_int [| 1; 2; 3 |] in
+  Alcotest.(check (array string)) "serial path" [| "1"; "2"; "3" |] ys
+
+let test_pool_nested () =
+  (* A task that itself maps on the same pool must not deadlock: the
+     caller participates in draining the queue. *)
+  Pool.with_pool ~workers:2 @@ fun pool ->
+  let ys =
+    Pool.map pool
+      (fun i ->
+        Array.fold_left ( + ) 0 (Pool.map pool (fun j -> i + j) [| 1; 2; 3 |]))
+      [| 10; 20; 30 |]
+  in
+  Alcotest.(check (array int)) "nested" [| 36; 66; 96 |] ys
+
+exception Boom of int
+
+let test_pool_first_error () =
+  Pool.with_pool ~workers:3 @@ fun pool ->
+  match
+    Pool.map pool
+      (fun i -> if i mod 2 = 1 then raise (Boom i) else i)
+      (Array.init 10 Fun.id)
+  with
+  | _ -> Alcotest.fail "error swallowed"
+  | exception Boom i -> Alcotest.(check int) "lowest index wins" 1 i
+
+(* --- registry --- *)
+
+let job_named name =
+  Job.make ~name ~title:name (fun _ -> A.make ~job:name ~title:name [])
+
+let test_registry_duplicate () =
+  let r = Registry.create () in
+  Registry.register_exn r (job_named "a");
+  match Registry.register r (job_named "a") with
+  | Error (Tca_util.Diag.Invalid _) -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok () -> Alcotest.fail "duplicate accepted"
+
+let test_registry_resolve () =
+  let r = Registry.create () in
+  List.iter (fun n -> Registry.register_exn r (job_named n)) [ "a"; "b"; "c" ];
+  (match Registry.resolve r [ "c"; "a" ] with
+  | Ok js ->
+      Alcotest.(check (list string)) "order preserved" [ "c"; "a" ]
+        (List.map (fun (j : Job.t) -> j.Job.name) js)
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d));
+  match Registry.resolve r [ "a"; "nope" ] with
+  | Error (Tca_util.Diag.Invalid _) -> ()
+  | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  | Ok _ -> Alcotest.fail "unknown name resolved"
+
+let legacy_figure_ids =
+  [
+    "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
+    "logca"; "partial"; "design"; "mechanistic"; "occupancy"; "cores";
+    "hashmap"; "regexv"; "strfn";
+  ]
+
+let test_every_figure_id_registered () =
+  (* Every id `tca figure` historically accepted resolves through the
+     registry, plus one simulate.* job per workload family — so the CLI
+     has no orphan dispatch. *)
+  let r = Tca_experiments.Jobs.registry () in
+  List.iter
+    (fun id ->
+      match Registry.find r id with
+      | Some j -> Alcotest.(check string) "name" id j.Job.name
+      | None -> Alcotest.fail ("unregistered figure id: " ^ id))
+    legacy_figure_ids;
+  List.iter
+    (fun (cli, _) ->
+      let id = "simulate." ^ cli in
+      if Registry.find r id = None then
+        Alcotest.fail ("unregistered workload job: " ^ id))
+    Tca_experiments.Exp_common.workload_kinds;
+  Alcotest.(check int) "complete listing"
+    (List.length legacy_figure_ids
+    + List.length Tca_experiments.Exp_common.workload_kinds)
+    (Registry.length r)
+
+let test_listing_is_sorted_and_complete () =
+  let r = Tca_experiments.Jobs.registry () in
+  let names = Registry.names r in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names;
+  Alcotest.(check int) "all () matches names"
+    (List.length names)
+    (List.length (Registry.all r))
+
+(* --- cache --- *)
+
+let artifact_job ~name ~params artifact =
+  Job.make ~name ~title:name ~params (fun _ -> artifact)
+
+let test_cache_key_sensitivity () =
+  let c = Cache.create () in
+  let j1 = artifact_job ~name:"k" ~params:[ ("p", "1") ] (demo_artifact ()) in
+  let j2 = artifact_job ~name:"k" ~params:[ ("p", "2") ] (demo_artifact ()) in
+  let j3 = artifact_job ~name:"k2" ~params:[ ("p", "1") ] (demo_artifact ()) in
+  let k1 = Cache.key c j1 ~quick:false in
+  Alcotest.(check bool) "params change key" false
+    (k1 = Cache.key c j2 ~quick:false);
+  Alcotest.(check bool) "name changes key" false
+    (k1 = Cache.key c j3 ~quick:false);
+  Alcotest.(check bool) "quick changes key" false
+    (k1 = Cache.key c j1 ~quick:true);
+  Alcotest.(check string) "key is stable" k1 (Cache.key c j1 ~quick:false)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tca-engine-test-%d" (Unix.getpid ()))
+  in
+  let rec cleanup d =
+    if Sys.file_exists d then begin
+      if Sys.is_directory d then begin
+        Array.iter (fun e -> cleanup (Filename.concat d e)) (Sys.readdir d);
+        Sys.rmdir d
+      end
+      else Sys.remove d
+    end
+  in
+  cleanup dir;
+  Fun.protect ~finally:(fun () -> cleanup dir) (fun () -> f dir)
+
+let test_cache_disk_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let a = demo_artifact () in
+  let j = artifact_job ~name:"disk" ~params:[] a in
+  let c1 = Cache.create ~dir () in
+  let k = Cache.key c1 j ~quick:false in
+  Alcotest.(check bool) "cold miss" true (Cache.find c1 k = None);
+  Cache.store c1 k a;
+  (* a second process (fresh cache, same dir) re-serves the artifact *)
+  let c2 = Cache.create ~dir () in
+  (match Cache.find c2 k with
+  | Some b ->
+      Alcotest.(check string) "identical artifact" (A.fingerprint a)
+        (A.fingerprint b)
+  | None -> Alcotest.fail "disk entry not found");
+  Alcotest.(check int) "hit counted" 1 (Cache.hits c2);
+  (* corruption degrades to a miss, never an error *)
+  let oc = open_out (Filename.concat dir (k ^ ".json")) in
+  output_string oc "{not json";
+  close_out oc;
+  let c3 = Cache.create ~dir () in
+  Alcotest.(check bool) "corrupt = miss" true (Cache.find c3 k = None)
+
+(* --- scheduler: the bit-identity invariant --- *)
+
+(* Cheap deterministic jobs that still exercise par + telemetry: the
+   body spreads chunks over ctx.par with forked sinks, like the real
+   drivers do. *)
+let synth_job name n =
+  Job.make ~name ~title:name (fun (ctx : Job.ctx) ->
+      let sinks =
+        Array.init n (fun _ ->
+            Option.map Tca_telemetry.Sink.fork ctx.Job.telemetry)
+      in
+      let cells =
+        ctx.Job.par.Tca_util.Parmap.run
+          (fun i ->
+            Option.iter
+              (fun s ->
+                Tca_telemetry.Sink.instant s ~ts:(float_of_int i)
+                  (Printf.sprintf "%s.%d" name i))
+              sinks.(i);
+            [ A.int i; A.flt (sin (float_of_int i)) ])
+          (Array.init n Fun.id)
+      in
+      (match ctx.Job.telemetry with
+      | Some into ->
+          Array.iter
+            (function
+              | Some child -> Tca_telemetry.Sink.join ~into child
+              | None -> ())
+            sinks
+      | None -> ());
+      A.make ~job:name ~title:name
+        [
+          A.Table
+            (A.table ~name:"chunks" ~headers:[ "i"; "v" ]
+               (Array.to_list cells));
+        ])
+
+let fingerprints outcomes =
+  List.map
+    (fun (o : Scheduler.outcome) -> A.fingerprint o.Scheduler.artifact)
+    outcomes
+
+let event_shape (e : Tca_telemetry.Sink.event) =
+  (* everything except wall-clock-dependent fields *)
+  (e.Tca_telemetry.Sink.name, e.Tca_telemetry.Sink.cat,
+   e.Tca_telemetry.Sink.ph, e.Tca_telemetry.Sink.pid)
+
+let test_scheduler_jobs_bit_identity () =
+  let js = List.init 6 (fun i -> synth_job (Printf.sprintf "s%d" i) (5 + i)) in
+  let serial = Scheduler.run ~collect_telemetry:true ~jobs:1 js in
+  let parallel = Scheduler.run ~collect_telemetry:true ~jobs:4 js in
+  Alcotest.(check (list string)) "artifacts bit-identical"
+    (fingerprints serial) (fingerprints parallel);
+  let shape outcomes =
+    List.map event_shape
+      (Tca_telemetry.Sink.events (Scheduler.merged_sink outcomes))
+  in
+  Alcotest.(check int) "same merged event count"
+    (List.length (shape serial))
+    (List.length (shape parallel));
+  Alcotest.(check bool) "merged telemetry identical" true
+    (shape serial = shape parallel)
+
+let test_scheduler_real_jobs_bit_identity () =
+  (* The same invariant over real registered drivers (quick sweeps):
+     model-only and simulator-backed jobs alike. *)
+  let r = Tca_experiments.Jobs.registry () in
+  let js =
+    match Registry.resolve r [ "table1"; "logca"; "fig3"; "fig8" ] with
+    | Ok js -> js
+    | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
+  in
+  let serial = Scheduler.run ~quick:true ~jobs:1 js in
+  let parallel = Scheduler.run ~quick:true ~jobs:4 js in
+  Alcotest.(check (list string)) "artifacts bit-identical"
+    (fingerprints serial) (fingerprints parallel)
+
+let test_scheduler_outcome_order_and_seconds () =
+  let js = [ synth_job "a" 3; synth_job "b" 4 ] in
+  let outcomes = Scheduler.run ~jobs:2 js in
+  Alcotest.(check (list string)) "input order"
+    [ "a"; "b" ]
+    (List.map
+       (fun (o : Scheduler.outcome) -> o.Scheduler.job.Job.name)
+       outcomes);
+  List.iter
+    (fun (o : Scheduler.outcome) ->
+      Alcotest.(check bool) "not cached" false o.Scheduler.cached;
+      Alcotest.(check bool) "timed" true (o.Scheduler.seconds >= 0.0))
+    outcomes
+
+let test_scheduler_warm_cache () =
+  with_temp_dir @@ fun dir ->
+  let js = [ synth_job "w" 8 ] in
+  let cache = Cache.create ~dir () in
+  let cold = Scheduler.run ~cache ~jobs:2 js in
+  Alcotest.(check (list bool)) "cold runs" [ false ]
+    (List.map (fun (o : Scheduler.outcome) -> o.Scheduler.cached) cold);
+  (* same process, in-memory hit *)
+  let warm = Scheduler.run ~cache ~jobs:2 js in
+  Alcotest.(check (list bool)) "warm cached" [ true ]
+    (List.map (fun (o : Scheduler.outcome) -> o.Scheduler.cached) warm);
+  Alcotest.(check (list string)) "identical artifact"
+    (fingerprints cold) (fingerprints warm);
+  (* fresh cache over the same dir: disk hit *)
+  let cache2 = Cache.create ~dir () in
+  let disk = Scheduler.run ~cache:cache2 ~jobs:1 js in
+  Alcotest.(check (list bool)) "disk cached" [ true ]
+    (List.map (fun (o : Scheduler.outcome) -> o.Scheduler.cached) disk);
+  Alcotest.(check (list string)) "identical from disk"
+    (fingerprints cold) (fingerprints disk)
+
+let test_scheduler_quick_does_not_alias () =
+  with_temp_dir @@ fun dir ->
+  let js = [ synth_job "q" 4 ] in
+  let cache = Cache.create ~dir () in
+  let _ = Scheduler.run ~cache ~quick:false js in
+  let second = Scheduler.run ~cache ~quick:true js in
+  Alcotest.(check (list bool)) "quick misses full-run entry" [ false ]
+    (List.map (fun (o : Scheduler.outcome) -> o.Scheduler.cached) second)
+
+let () =
+  Alcotest.run "tca_engine"
+    [
+      ( "artifact",
+        [
+          Alcotest.test_case "cell rendering" `Quick test_cell_rendering;
+          Alcotest.test_case "text view" `Quick test_text_view;
+          Alcotest.test_case "csv view" `Quick test_csv_view;
+          Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+          Alcotest.test_case "json schema golden" `Quick
+            test_json_schema_golden;
+          Alcotest.test_case "serialize roundtrip" `Quick
+            test_serialize_roundtrip;
+          Alcotest.test_case "deserialize rejects garbage" `Quick
+            test_deserialize_rejects_garbage;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "slot order" `Quick test_pool_order;
+          Alcotest.test_case "workers 0" `Quick test_pool_workers_zero;
+          Alcotest.test_case "nested maps" `Quick test_pool_nested;
+          Alcotest.test_case "first error wins" `Quick test_pool_first_error;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_registry_duplicate;
+          Alcotest.test_case "resolve" `Quick test_registry_resolve;
+          Alcotest.test_case "every figure id registered" `Quick
+            test_every_figure_id_registered;
+          Alcotest.test_case "listing sorted + complete" `Quick
+            test_listing_is_sorted_and_complete;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "key sensitivity" `Quick
+            test_cache_key_sensitivity;
+          Alcotest.test_case "disk roundtrip + corruption" `Quick
+            test_cache_disk_roundtrip;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "jobs 1 = jobs 4 (synthetic)" `Quick
+            test_scheduler_jobs_bit_identity;
+          Alcotest.test_case "jobs 1 = jobs 4 (real drivers)" `Slow
+            test_scheduler_real_jobs_bit_identity;
+          Alcotest.test_case "outcome order" `Quick
+            test_scheduler_outcome_order_and_seconds;
+          Alcotest.test_case "warm cache re-serves" `Quick
+            test_scheduler_warm_cache;
+          Alcotest.test_case "quick does not alias" `Quick
+            test_scheduler_quick_does_not_alias;
+        ] );
+    ]

@@ -400,6 +400,84 @@ let test_report_rejects_garbage () =
   | Error d -> Alcotest.fail (Tca_util.Diag.to_string d)
   | Ok _ -> Alcotest.fail "accepted a non-trace"
 
+(* --- fork/join: the multi-domain sink protocol --- *)
+
+(* The emission each "task" would perform, whether into a shared serial
+   sink or its own forked child. *)
+let emit_task sink i =
+  Sink.instant sink ~ts:(float_of_int i) (Printf.sprintf "task.%d" i);
+  Sink.counter sink ~ts:(float_of_int i) "load"
+    [ ("value", float_of_int (i * i)) ];
+  match Sink.metrics sink with
+  | Some r -> Tca_telemetry.Metrics.Counter.add (Tca_telemetry.Metrics.counter_exn r "work") i
+  | None -> ()
+
+let event_shape (e : Sink.event) =
+  (e.Sink.name, e.Sink.cat, e.Sink.ph, e.Sink.ts, e.Sink.pid)
+
+let test_fork_join_equals_serial () =
+  let n = 8 in
+  (* serial reference: every task emits into one sink, in order *)
+  let serial = Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) () in
+  for i = 0 to n - 1 do
+    emit_task serial i
+  done;
+  (* fork/join: one child per task, emitted out of order (reverse),
+     joined back in task-index order *)
+  let parent = Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) () in
+  let children = Array.init n (fun _ -> Sink.fork parent) in
+  for i = n - 1 downto 0 do
+    emit_task children.(i) i
+  done;
+  Array.iter (fun child -> Sink.join ~into:parent child) children;
+  Alcotest.(check bool) "event sequences identical" true
+    (List.map event_shape (Sink.events serial)
+    = List.map event_shape (Sink.events parent));
+  let work s =
+    match Sink.metrics s with
+    | Some r -> Tca_telemetry.Metrics.counter_value r "work"
+    | None -> -1
+  in
+  Alcotest.(check int) "metrics fold to serial totals" (work serial)
+    (work parent)
+
+let test_fork_carries_capabilities () =
+  let bare = Sink.create ~interval:7 () in
+  let child = Sink.fork bare in
+  Alcotest.(check int) "interval inherited" 7 (Sink.interval child);
+  Alcotest.(check bool) "no registry on bare fork" true
+    (Sink.metrics child = None);
+  let with_reg = Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) () in
+  Alcotest.(check bool) "fresh registry on instrumented fork" true
+    (Sink.metrics (Sink.fork with_reg) <> None)
+
+let test_metrics_merge_into () =
+  let module M = Tca_telemetry.Metrics in
+  let dst = M.create () and src = M.create () in
+  M.Counter.add (M.counter_exn dst "c") 3;
+  M.Counter.add (M.counter_exn src "c") 4;
+  M.Gauge.set (M.gauge_exn dst "g") 1.0;
+  M.Gauge.set (M.gauge_exn src "g") 2.5;
+  M.Counter.incr (M.counter_exn src "only_src");
+  M.merge_into dst src;
+  Alcotest.(check int) "counters add" 7 (M.counter_value dst "c");
+  Alcotest.(check (float 1e-9)) "gauge takes src" 2.5
+    (M.Gauge.value (M.gauge_exn dst "g"));
+  Alcotest.(check int) "src-only adopted" 1 (M.counter_value dst "only_src");
+  (* src is untouched by the fold *)
+  Alcotest.(check int) "src intact" 4 (M.counter_value src "c")
+
+let test_metrics_merge_kind_mismatch_skips () =
+  let module M = Tca_telemetry.Metrics in
+  let dst = M.create () and src = M.create () in
+  M.Counter.add (M.counter_exn dst "x") 5;
+  M.Gauge.set (M.gauge_exn src "x") 9.0;
+  M.Counter.incr (M.counter_exn src "ok");
+  (* mismatched name is skipped; the rest of the fold still happens *)
+  M.merge_into dst src;
+  Alcotest.(check int) "mismatch left alone" 5 (M.counter_value dst "x");
+  Alcotest.(check int) "rest merged" 1 (M.counter_value dst "ok")
+
 (* --- Sim_stats satellite APIs --- *)
 
 let test_sim_stats_json_csv () =
@@ -450,6 +528,9 @@ let () =
           Alcotest.test_case "bad bounds" `Quick test_histogram_bad_bounds;
           Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
           Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+          Alcotest.test_case "merge_into" `Quick test_metrics_merge_into;
+          Alcotest.test_case "merge kind mismatch skips" `Quick
+            test_metrics_merge_kind_mismatch_skips;
         ] );
       ( "sink",
         [
@@ -459,6 +540,10 @@ let () =
           Alcotest.test_case "exporter files" `Quick test_exporter_files;
           Alcotest.test_case "bad path" `Quick test_exporter_bad_path;
           Alcotest.test_case "timing span" `Quick test_timing_span;
+          Alcotest.test_case "fork/join equals serial" `Quick
+            test_fork_join_equals_serial;
+          Alcotest.test_case "fork carries capabilities" `Quick
+            test_fork_carries_capabilities;
         ] );
       ( "simulator",
         [
