@@ -12,12 +12,18 @@
      bench/main.exe fig5 fig8          run selected targets
    Targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 logca partial
             design mechanistic occupancy cores hashmap regex strfn
-            engine bechamel all
+            engine simulator bechamel all
 
    The [engine] target times the experiment engine itself: the same job
    set serial (--jobs 1) vs parallel (--jobs = recommended domains) and
    cold vs warm through the result cache, and records the wall-clocks
-   plus the bit-identity check under "engine" in the JSON summary. *)
+   plus the bit-identity check under "engine" in the JSON summary.
+
+   The [simulator] target times the optimized pipeline against the
+   verbatim pre-optimization reference (Pipeline_reference) on the same
+   trace, plus Simulator.run_batch serial vs a domain pool, and records
+   both ratios under "simulator" in the JSON summary. CI guards the
+   single-trace speedup against the committed BENCH_results.json. *)
 
 open Tca_experiments
 
@@ -40,6 +46,12 @@ let summary : summary_row list ref = ref []
    cache wall-clock, recorded verbatim in the JSON summary. *)
 let engine_summary : Tca_util.Json.t option ref = ref None
 
+(* Filled by the [simulator] target: optimized-vs-reference pipeline
+   throughput and batch scaling, recorded under "simulator". The CI
+   regression guard compares the committed speedup against a fresh
+   quick run. *)
+let simulator_summary : Tca_util.Json.t option ref = ref None
+
 let write_summary () =
   match !summary_path with
   | None -> ()
@@ -61,6 +73,9 @@ let write_summary () =
           ([ ("quick", Bool !quick); ("targets", List rows) ]
           @ (match !engine_summary with
             | Some e -> [ ("engine", e) ]
+            | None -> [])
+          @ (match !simulator_summary with
+            | Some s -> [ ("simulator", s) ]
             | None -> [])
           @ [
               ("total_sim_cycles",
@@ -246,6 +261,124 @@ let run_engine () =
            ("warm_run_fully_cached", Bool all_cached);
          ])
 
+(* --- Simulator hot path: optimized vs reference pipeline --- *)
+
+let run_simulator () =
+  banner "S" "Simulator hot path: optimized vs reference pipeline";
+  let open Tca_uarch in
+  let pair =
+    Tca_workloads.Synthetic.generate
+      (Tca_workloads.Synthetic.config ~n_units:200 ~n_chunks:20
+         ~accel_latency:10 ())
+  in
+  let cfg = Config.hp () in
+  let trace = pair.Tca_workloads.Meta.baseline in
+  let uops = Trace.length trace in
+  let reps = if !quick then 3 else 10 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* The speedup only counts if the stats agree bit for bit. *)
+  let stats_json s = Tca_util.Json.to_string (Sim_stats.to_json s) in
+  let identical =
+    stats_json (Pipeline.run_exn cfg trace)
+    = stats_json (Pipeline_reference.run_exn cfg trace)
+  in
+  if not identical then
+    Printf.eprintf
+      "[simulator] WARNING: optimized stats differ from reference\n";
+  (* The identity check above also warmed both paths (and the decode
+     memo), so the timed loops run steady-state. *)
+  let optimized_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Pipeline.run_exn cfg trace)
+        done)
+  in
+  let reference_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Pipeline_reference.run_exn cfg trace)
+        done)
+  in
+  let per_s s = if s > 0.0 then float_of_int (uops * reps) /. s else 0.0 in
+  let speedup = if optimized_s > 0.0 then reference_s /. optimized_s else 0.0 in
+  (* Batched evaluation: the compare_modes shape (baseline + the four
+     couplings), replicated, through run_batch serial vs a domain
+     pool — with the usual bit-identity requirement. *)
+  let couplings = Array.of_list Config.all_couplings in
+  let replicas = if !quick then 2 else 4 in
+  let entries =
+    Array.init (replicas * 5) (fun i ->
+        match i mod 5 with
+        | 0 -> (cfg, trace)
+        | k ->
+            ( Config.with_coupling cfg couplings.(k - 1),
+              pair.Tca_workloads.Meta.accelerated ))
+  in
+  let keys results =
+    Array.map
+      (function
+        | Ok o -> stats_json (Pipeline.stats_of_outcome o)
+        | Error d -> Tca_util.Diag.to_string d)
+      results
+  in
+  let serial_keys = ref [||] and par_keys = ref [||] in
+  let batch_serial_s =
+    time (fun () -> serial_keys := keys (Simulator.run_batch entries))
+  in
+  let pool_workers = max 2 (Domain.recommended_domain_count ()) in
+  let batch_parallel_s =
+    Tca_engine.Pool.with_pool ~workers:pool_workers (fun pool ->
+        time (fun () ->
+            par_keys :=
+              keys
+                (Simulator.run_batch ~par:(Tca_engine.Pool.parmap pool) entries)))
+  in
+  let batch_identical = !serial_keys = !par_keys in
+  if not batch_identical then
+    Printf.eprintf "[simulator] WARNING: parallel batch differs from serial\n";
+  let batch_speedup =
+    if batch_parallel_s > 0.0 then batch_serial_s /. batch_parallel_s else 0.0
+  in
+  Printf.printf
+    "single trace (%d uops x %d reps): reference %.3f s (%.2e uops/s), \
+     optimized %.3f s (%.2e uops/s) -> %.2fx, stats %s\n\
+     batch (%d entries): serial %.3f s, parallel %.3f s (workers %d, %.2fx), \
+     results %s\n"
+    uops reps reference_s (per_s reference_s) optimized_s (per_s optimized_s)
+    speedup
+    (if identical then "bit-identical" else "DIFFER")
+    (Array.length entries) batch_serial_s batch_parallel_s pool_workers
+    batch_speedup
+    (if batch_identical then "bit-identical" else "DIFFER");
+  let open Tca_util.Json in
+  simulator_summary :=
+    Some
+      (Obj
+         [
+           ("trace_uops", Int uops);
+           ("reps", Int reps);
+           ("reference_s", Float reference_s);
+           ("optimized_s", Float optimized_s);
+           ("reference_uops_per_s", Float (per_s reference_s));
+           ("optimized_uops_per_s", Float (per_s optimized_s));
+           ("speedup", Float speedup);
+           ("stats_bit_identical", Bool identical);
+           ( "batch",
+             Obj
+               [
+                 ("entries", Int (Array.length entries));
+                 ("serial_s", Float batch_serial_s);
+                 ("parallel_s", Float batch_parallel_s);
+                 ("workers", Int pool_workers);
+                 ("speedup", Float batch_speedup);
+                 ("results_bit_identical", Bool batch_identical);
+               ] );
+         ])
+
 (* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
 
 let bechamel_tests () =
@@ -383,6 +516,7 @@ let targets =
     ("regex", run_regex);
     ("strfn", run_strfn);
     ("engine", run_engine);
+    ("simulator", run_simulator);
     ("bechamel", run_bechamel);
   ]
 

@@ -56,7 +56,7 @@ let of_pair ~(cfg : Config.t) ~baseline ~accelerated =
             end;
             last_accel := i
         | _ -> ())
-      (match accelerated with { Trace.instrs } -> instrs);
+      accelerated.Trace.instrs;
     if !inv = 0 then invalid "accelerated trace has no Accel instruction"
     else begin
       (* Instructions after the last invocation close its trailing

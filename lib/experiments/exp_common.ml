@@ -251,6 +251,37 @@ let workload_pair ~cfg ?(size = 0) kind =
       in
       (p, auto_latency p)
 
+(* Small instances of the six families for the golden Sim_stats tests:
+   big enough to exercise every pipeline mechanism (accel reads/writes,
+   branches, cache misses), small enough that ten full runs stay well
+   under a second. Sizes are pinned — changing them invalidates the
+   committed golden files. *)
+let golden_pairs () =
+  [
+    ( "synthetic",
+      Synthetic.generate
+        (Synthetic.config ~n_units:100 ~n_chunks:10 ~accel_latency:20 ()) );
+    ( "heap",
+      Heap_workload.generate
+        (Heap_workload.config ~n_calls:100 ~app_instrs_per_call:60 ()) );
+    ( "dgemm",
+      Dgemm_workload.pair (Dgemm_workload.config ~block:16 ~n:16 ()) ~dim:4 );
+    ( "hashmap",
+      fst
+        (Hashmap_workload.generate
+           (Hashmap_workload.config ~n_lookups:100 ~app_instrs_per_lookup:60
+              ())) );
+    ( "regex",
+      fst
+        (Regex_workload.generate
+           (Regex_workload.config ~n_records:20 ~app_instrs_per_record:100 ()))
+    );
+    ( "strfn",
+      fst
+        (Strfn_workload.generate
+           (Strfn_workload.config ~n_calls:100 ~app_instrs_per_call:60 ())) );
+  ]
+
 let validation_csv rows =
   Tca_engine.Artifact.table_csv
     (Tca_engine.Artifact.table ~name:"validation"

@@ -113,3 +113,10 @@ val workload_pair :
     its TCA. [size] (default 0 = the workload's default) is chunks
     (synthetic), app instructions per invocation (heap, hashmap, regex,
     strfn) or the matrix dimension (dgemm). *)
+
+val golden_pairs : unit -> (string * Tca_workloads.Meta.pair) list
+(** One deliberately small, deterministic instance of each of the six
+    workload families, in [workload_kinds] order. Shared by the golden
+    [Sim_stats] test in [test/test_uarch.ml] and its regenerator
+    [test/gen_golden.exe]; the sizes are pinned because the committed
+    golden files depend on them byte-for-byte. *)

@@ -1,3 +1,31 @@
+(* Optimized hot path. Semantics are pinned, bit for bit, to
+   [Pipeline_reference] (the original implementation): the golden tests,
+   the fuzz harness and [bench simulator] all diff the two. The
+   optimizations are purely representational:
+
+   - the trace is pre-decoded once into [Trace.Decoded] flat arrays
+     (shared and memoized per trace), so the per-cycle loops index int
+     arrays instead of chasing [Isa.instr] records and matching variant
+     constructors;
+   - pending accelerator writes live in a parallel-array stack instead
+     of a per-cycle [List.partition] (drained newest-first, exactly the
+     reference's list order, since store order shapes cache LRU state);
+   - store-to-load forwarding scans an explicit in-flight store queue
+     (the stores between dispatch and commit, in program order) instead
+     of walking every older ROB slot;
+   - ring-buffer indices wrap with a compare instead of [mod], stage
+     loops are tail-recursive over int accumulators instead of
+     closure/ref based, and per-opcode latencies come from a table built
+     at [create];
+   - the run loop is split: the [?telemetry:None] + [?probe:None] path
+     does no interval bookkeeping at all, the instrumented path is the
+     reference loop verbatim.
+
+   In steady state the cycle loop allocates nothing: everything it
+   touches is a preallocated int array or a mutable int field. *)
+
+module D = Trace.Decoded
+
 type probe = {
   on_cycle :
     cycle:int -> dispatched:int -> issued:int -> executing:int ->
@@ -10,6 +38,16 @@ let st_waiting = 1
 let st_executing = 2
 let st_done = 3
 
+(* Stall reasons for the first unfilled dispatch slot of a cycle
+   (scratch encoding; see [dispatch_stage]). *)
+let stall_none = 0
+let stall_drained = 1
+let stall_redirect = 2
+let stall_serialize = 3
+let stall_rob = 4
+let stall_iq = 5
+let stall_lsq = 6
+
 type state = {
   cfg : Config.t;
   telemetry : Tca_telemetry.Sink.t option;
@@ -17,13 +55,29 @@ type state = {
          writes it, so an attached sink cannot perturb results (asserted
          by the fuzz harness). *)
   trace : Trace.t;
+  d : D.t;  (* pre-decoded struct-of-arrays view of [trace] *)
+  tlen : int;
   hier : Mem_hier.t;
   bp : Bpred.t;
+  bp_perfect : bool;
   ports : Ports.t;
   miss_ports : Ports.t option;
   dtlb : Tlb.t option;
   mutable accel_free_at : int;
   rob : int;  (* capacity, cached *)
+  (* Config scalars cached flat (one load instead of two). *)
+  issue_width : int;
+  dispatch_width : int;
+  commit_width : int;
+  commit_depth : int;
+  frontend_depth : int;
+  iq_size : int;
+  lsq_size : int;
+  int_alu_units : int;
+  int_mult_units : int;
+  fp_units : int;
+  allow_trailing : bool;
+  lat : int array;  (* latency per opcode, indexed by [D.op_*] *)
   (* Parallel ROB arrays, indexed by slot. *)
   tr_idx : int array;
   st : int array;
@@ -36,9 +90,19 @@ type state = {
   (* Rename table: architectural register -> youngest producer. *)
   ren_slot : int array;
   ren_seq : int array;
+  (* In-flight stores (dispatched, not committed), program order:
+     ring of ROB slot indices, scanned for store-to-load forwarding. *)
+  stq : int array;
+  mutable stq_head : int;
+  mutable stq_count : int;
   mutable head : int;
   mutable tail : int;
   mutable count : int;
+  mutable executing : int;  (* entries in [st_executing] *)
+  mutable next_complete : int;
+      (* lower bound on the earliest [complete_at] among executing
+         entries ([max_int] when none): the completion scan runs only on
+         cycles where something can actually finish *)
   mutable iq_count : int;
   mutable lsq_count : int;
   mutable next_fetch : int;
@@ -47,7 +111,14 @@ type state = {
   mutable pending_redirect : int;  (* slot of unresolved mispredicted branch, -1 none *)
   mutable pending_redirect_seq : int;
   mutable serialize_slot : int;  (* in-flight NT TCA blocking dispatch, -1 none *)
-  mutable pending_accel_writes : (int * int array) list;
+  (* Pending accelerator writebacks: a stack of (due cycle, span in
+     [d.accel_mem]) triples, drained newest-first. *)
+  mutable paw_at : int array;
+  mutable paw_off : int array;
+  mutable paw_len : int array;
+  mutable paw_count : int;
+  mutable paw_next_due : int;
+  mutable stall_reason : int;  (* dispatch_stage scratch *)
   (* Statistics. *)
   mutable cycle : int;
   mutable committed : int;
@@ -68,12 +139,22 @@ type state = {
 
 let create ?telemetry cfg trace =
   let r = cfg.Config.rob_size in
+  let bp = Bpred.create cfg.Config.bpred in
+  let lat = Array.make 8 0 in
+  lat.(D.op_int_alu) <- cfg.Config.latencies.Config.int_alu;
+  lat.(D.op_int_mult) <- cfg.Config.latencies.Config.int_mult;
+  lat.(D.op_fp_alu) <- cfg.Config.latencies.Config.fp_alu;
+  lat.(D.op_fp_mult) <- cfg.Config.latencies.Config.fp_mult;
+  lat.(D.op_branch) <- cfg.Config.latencies.Config.int_alu;
   {
     cfg;
     telemetry;
     trace;
+    d = Trace.decoded trace;
+    tlen = Trace.length trace;
     hier = Mem_hier.create cfg.Config.mem;
-    bp = Bpred.create cfg.Config.bpred;
+    bp;
+    bp_perfect = Bpred.is_perfect bp;
     ports = Ports.create ~width:cfg.Config.mem_ports ~horizon:8192;
     miss_ports =
       Option.map
@@ -82,6 +163,18 @@ let create ?telemetry cfg trace =
     dtlb = Option.map Tlb.create cfg.Config.dtlb;
     accel_free_at = 0;
     rob = r;
+    issue_width = cfg.Config.issue_width;
+    dispatch_width = cfg.Config.dispatch_width;
+    commit_width = cfg.Config.commit_width;
+    commit_depth = cfg.Config.commit_depth;
+    frontend_depth = cfg.Config.frontend_depth;
+    iq_size = cfg.Config.iq_size;
+    lsq_size = cfg.Config.lsq_size;
+    int_alu_units = cfg.Config.int_alu_units;
+    int_mult_units = cfg.Config.int_mult_units;
+    fp_units = cfg.Config.fp_units;
+    allow_trailing = cfg.Config.coupling.Config.allow_trailing;
+    lat;
     tr_idx = Array.make r (-1);
     st = Array.make r st_empty;
     complete_at = Array.make r 0;
@@ -92,9 +185,14 @@ let create ?telemetry cfg trace =
     dep2_seq = Array.make r (-1);
     ren_slot = Array.make Isa.num_arch_regs (-1);
     ren_seq = Array.make Isa.num_arch_regs (-1);
+    stq = Array.make r (-1);
+    stq_head = 0;
+    stq_count = 0;
     head = 0;
     tail = 0;
     count = 0;
+    executing = 0;
+    next_complete = max_int;
     iq_count = 0;
     lsq_count = 0;
     next_fetch = 0;
@@ -103,7 +201,12 @@ let create ?telemetry cfg trace =
     pending_redirect = -1;
     pending_redirect_seq = -1;
     serialize_slot = -1;
-    pending_accel_writes = [];
+    paw_at = Array.make 8 0;
+    paw_off = Array.make 8 0;
+    paw_len = Array.make 8 0;
+    paw_count = 0;
+    paw_next_due = max_int;
+    stall_reason = stall_none;
     cycle = 0;
     committed = 0;
     branches = 0;
@@ -121,48 +224,41 @@ let create ?telemetry cfg trace =
     occupancy_at_accel_sum = 0;
   }
 
-let instr_of s slot = Trace.get s.trace s.tr_idx.(slot)
+(* [head + k] reduced into [0, rob): both operands are < rob, so one
+   conditional subtraction replaces the reference's [mod]. *)
+let[@inline] wrap s i = if i >= s.rob then i - s.rob else i
 
 (* A producer is still pending iff its slot holds the same dynamic
    instruction (sequence number matches) and it has not completed. A
    mismatching sequence means the producer committed and its slot was
    reused (or freed): the value is architecturally available. *)
-let producer_pending s slot seq =
+let[@inline] producer_pending s slot seq =
   slot >= 0 && s.st.(slot) <> st_empty && s.seq.(slot) = seq
   && s.st.(slot) <> st_done
 
-let deps_ready s slot =
+let[@inline] deps_ready s slot =
   (not (producer_pending s s.dep1_slot.(slot) s.dep1_seq.(slot)))
   && not (producer_pending s s.dep2_slot.(slot) s.dep2_seq.(slot))
 
-(* Scan program-order-older entries for the youngest in-flight store to
-   the same address. Returns:
+(* Youngest in-flight store older (in program order, i.e. by sequence
+   number) than the load, to the same address. Walks the store queue
+   newest-first — the same answer as the reference's backwards ROB scan,
+   which skips every non-store slot, but in O(in-flight stores).
+   Returns:
    [`None] no conflict, access memory;
    [`Forward] matching store completed, forward in 1 cycle;
    [`Blocked] matching store not yet executed, the load must wait. *)
-let older_store_match s slot addr =
-  let pos = (slot - s.head + s.rob) mod s.rob in
+let older_store_match s load_seq addr =
   let rec scan k =
     if k < 0 then `None
     else
-      let j = (s.head + k) mod s.rob in
-      if s.st.(j) = st_empty then scan (k - 1)
-      else
-        let ins = instr_of s j in
-        match ins.Isa.op with
-        | Isa.Store when ins.Isa.addr = addr ->
-            if s.st.(j) = st_done then `Forward else `Blocked
-        | _ -> scan (k - 1)
+      let slot = s.stq.(wrap s (s.stq_head + k)) in
+      if s.seq.(slot) >= load_seq then scan (k - 1)
+      else if s.d.addr.(s.tr_idx.(slot)) = addr then
+        if s.st.(slot) = st_done then `Forward else `Blocked
+      else scan (k - 1)
   in
-  scan (pos - 1)
-
-let op_latency (cfg : Config.t) (op : Isa.op) =
-  match op with
-  | Isa.Int_alu | Isa.Branch -> cfg.latencies.Config.int_alu
-  | Isa.Int_mult -> cfg.latencies.Config.int_mult
-  | Isa.Fp_alu -> cfg.latencies.Config.fp_alu
-  | Isa.Fp_mult -> cfg.latencies.Config.fp_mult
-  | Isa.Load | Isa.Store | Isa.Accel _ -> assert false
+  scan (s.stq_count - 1)
 
 (* Partial speculation: a deterministic per-dynamic-instance coin decides
    whether this TCA invocation may execute speculatively (as a
@@ -178,47 +274,93 @@ let accel_speculative s slot =
 (* --- per-cycle stages, called in order: complete, commit, issue,
    dispatch --- *)
 
-let complete_stage s =
-  (* Retire pending accelerator writes into the cache hierarchy. *)
-  let due, still =
-    List.partition (fun (at, _) -> at <= s.cycle) s.pending_accel_writes
-  in
-  List.iter (fun (_, addrs) -> Array.iter (Mem_hier.store s.hier) addrs) due;
-  s.pending_accel_writes <- still;
-  if s.count > 0 then begin
-    let k = ref 0 in
-    while !k < s.count do
-      let slot = (s.head + !k) mod s.rob in
-      if s.st.(slot) = st_executing && s.complete_at.(slot) <= s.cycle then begin
+(* Retire due accelerator writes into the cache hierarchy. Two passes:
+   the stores drain newest-entry-first (the reference's list order —
+   store order shapes LRU/dirty state), then the survivors compact in
+   place keeping their relative order. *)
+let drain_accel_writes s =
+  let mem = s.d.accel_mem in
+  for i = s.paw_count - 1 downto 0 do
+    if s.paw_at.(i) <= s.cycle then begin
+      let off = s.paw_off.(i) in
+      for k = off to off + s.paw_len.(i) - 1 do
+        Mem_hier.store s.hier mem.(k)
+      done
+    end
+  done;
+  let j = ref 0 and min_at = ref max_int in
+  for i = 0 to s.paw_count - 1 do
+    if s.paw_at.(i) > s.cycle then begin
+      s.paw_at.(!j) <- s.paw_at.(i);
+      s.paw_off.(!j) <- s.paw_off.(i);
+      s.paw_len.(!j) <- s.paw_len.(i);
+      if s.paw_at.(i) < !min_at then min_at := s.paw_at.(i);
+      incr j
+    end
+  done;
+  s.paw_count <- !j;
+  s.paw_next_due <- !min_at
+
+let push_accel_write s ~finish ~off ~len =
+  if s.paw_count = Array.length s.paw_at then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    s.paw_at <- grow s.paw_at;
+    s.paw_off <- grow s.paw_off;
+    s.paw_len <- grow s.paw_len
+  end;
+  s.paw_at.(s.paw_count) <- finish;
+  s.paw_off.(s.paw_count) <- off;
+  s.paw_len.(s.paw_count) <- len;
+  s.paw_count <- s.paw_count + 1;
+  if finish < s.paw_next_due then s.paw_next_due <- finish
+
+(* Scans every occupied slot; transitions are order-independent, so the
+   [next_complete] gate in [complete_stage] (skip the scan while nothing
+   is due) cannot change results, only avoid no-op passes. Recomputes
+   the bound from the entries still executing. *)
+let rec complete_scan s k min_next =
+  if k >= s.count then min_next
+  else
+    let slot = wrap s (s.head + k) in
+    if s.st.(slot) = st_executing then
+      if s.complete_at.(slot) <= s.cycle then begin
         s.st.(slot) <- st_done;
+        s.executing <- s.executing - 1;
         if s.pending_redirect = slot && s.pending_redirect_seq = s.seq.(slot)
         then begin
-          s.fetch_resume_at <- s.cycle + s.cfg.Config.frontend_depth;
+          s.fetch_resume_at <- s.cycle + s.frontend_depth;
           s.pending_redirect <- -1;
           s.pending_redirect_seq <- -1
-        end
-      end;
-      incr k
-    done
-  end
+        end;
+        complete_scan s (k + 1) min_next
+      end
+      else
+        complete_scan s (k + 1)
+          (if s.complete_at.(slot) < min_next then s.complete_at.(slot)
+           else min_next)
+    else complete_scan s (k + 1) min_next
 
-let commit_stage s =
-  let n = ref 0 in
-  let continue = ref true in
-  while !continue && !n < s.cfg.Config.commit_width && s.count > 0 do
+let complete_stage s =
+  if s.paw_count > 0 && s.paw_next_due <= s.cycle then drain_accel_writes s;
+  if s.executing > 0 && s.next_complete <= s.cycle then
+    s.next_complete <- complete_scan s 0 max_int
+
+let rec commit_loop s n =
+  if n < s.commit_width && s.count > 0 then begin
     let slot = s.head in
-    if
-      s.st.(slot) = st_done
-      && s.complete_at.(slot) + s.cfg.Config.commit_depth <= s.cycle
+    if s.st.(slot) = st_done && s.complete_at.(slot) + s.commit_depth <= s.cycle
     then begin
-      let ins = instr_of s slot in
-      (match ins.Isa.op with
-      | Isa.Store -> Mem_hier.store s.hier ins.Isa.addr
-      | _ -> ());
-      (match ins.Isa.op with
-      | Isa.Load | Isa.Store -> s.lsq_count <- s.lsq_count - 1
-      | _ -> ());
-      let dst = ins.Isa.dst in
+      let ti = s.tr_idx.(slot) in
+      let opc = s.d.op.(ti) in
+      if opc = D.op_store then begin
+        Mem_hier.store s.hier s.d.addr.(ti);
+        (* the head store is necessarily the oldest in the queue *)
+        s.stq_head <- wrap s (s.stq_head + 1);
+        s.stq_count <- s.stq_count - 1
+      end;
+      if opc = D.op_load || opc = D.op_store then
+        s.lsq_count <- s.lsq_count - 1;
+      let dst = s.d.dst.(ti) in
       if dst >= 0 && s.ren_slot.(dst) = slot && s.ren_seq.(dst) = s.seq.(slot)
       then begin
         s.ren_slot.(dst) <- -1;
@@ -227,13 +369,14 @@ let commit_stage s =
       if s.serialize_slot = slot then s.serialize_slot <- -1;
       s.st.(slot) <- st_empty;
       s.seq.(slot) <- -1;
-      s.head <- (s.head + 1) mod s.rob;
+      s.head <- wrap s (s.head + 1);
       s.count <- s.count - 1;
       s.committed <- s.committed + 1;
-      incr n
+      commit_loop s (n + 1)
     end
-    else continue := false
-  done
+  end
+
+let commit_stage s = commit_loop s 0
 
 (* Issue one line read at or after [now]: books a memory port, and when
    the line misses the L1 also books an MSHR-injection slot if miss
@@ -251,28 +394,36 @@ let memory_read s ~now addr =
   in
   start + translation + Mem_hier.load_latency s.hier addr
 
-let issue_accel s slot (a : Isa.accel) =
+let rec accel_reads_loop s ~now off k len acc =
+  if k >= len then acc
+  else
+    accel_reads_loop s ~now off (k + 1) len
+      (max acc (memory_read s ~now s.d.accel_mem.(off + k)))
+
+let rec accel_writes_loop s ~now k len acc =
+  if k >= len then acc
+  else
+    let port_cycle = Ports.reserve s.ports ~now in
+    accel_writes_loop s ~now (k + 1) len (max acc (port_cycle + 1))
+
+let issue_accel s slot ti =
   let start =
     match s.cfg.Config.tca_occupancy with
     | Config.Pipelined -> s.cycle
     | Config.Exclusive -> max s.cycle s.accel_free_at
   in
+  let reads_len = s.d.reads_len.(ti) in
+  let writes_len = s.d.writes_len.(ti) in
   let reads_done =
-    Array.fold_left
-      (fun acc addr -> max acc (memory_read s ~now:start addr))
-      start a.Isa.reads
+    accel_reads_loop s ~now:start s.d.reads_off.(ti) 0 reads_len start
   in
-  let compute_done = reads_done + a.Isa.compute_latency in
+  let compute_done = reads_done + s.d.accel_lat.(ti) in
   let write_done =
-    Array.fold_left
-      (fun acc _addr ->
-        let port_cycle = Ports.reserve s.ports ~now:compute_done in
-        max acc (port_cycle + 1))
-      compute_done a.Isa.writes
+    accel_writes_loop s ~now:compute_done 0 writes_len compute_done
   in
   let finish = max compute_done write_done in
-  if Array.length a.Isa.writes > 0 then
-    s.pending_accel_writes <- (finish, a.Isa.writes) :: s.pending_accel_writes;
+  if writes_len > 0 then
+    push_accel_write s ~finish ~off:s.d.writes_off.(ti) ~len:writes_len;
   s.complete_at.(slot) <- max finish (s.cycle + 1);
   s.accel_free_at <- s.complete_at.(slot);
   s.accel_busy <- s.accel_busy + (s.complete_at.(slot) - s.cycle);
@@ -284,182 +435,208 @@ let issue_accel s slot (a : Isa.accel) =
       Tca_telemetry.Sink.span sink ~cat:"accel"
         ~args:
           [
-            ("reads", Tca_util.Json.Int (Array.length a.Isa.reads));
-            ("writes", Tca_util.Json.Int (Array.length a.Isa.writes));
-            ("compute_latency", Tca_util.Json.Int a.Isa.compute_latency);
+            ("reads", Tca_util.Json.Int reads_len);
+            ("writes", Tca_util.Json.Int writes_len);
+            ("compute_latency", Tca_util.Json.Int s.d.accel_lat.(ti));
           ]
         ~ts:(float_of_int s.cycle)
         ~dur:(float_of_int (s.complete_at.(slot) - s.cycle))
         "accel.invoke"
 
-let issue_stage s =
-  let issued = ref 0 in
-  let int_alu_used = ref 0
-  and int_mult_used = ref 0
-  and fp_used = ref 0 in
-  let k = ref 0 in
-  while !issued < s.cfg.Config.issue_width && !k < s.count do
-    let slot = (s.head + !k) mod s.rob in
+let[@inline] start_executing s slot complete =
+  s.st.(slot) <- st_executing;
+  s.executing <- s.executing + 1;
+  s.complete_at.(slot) <- complete;
+  if complete < s.next_complete then s.next_complete <- complete;
+  s.iq_count <- s.iq_count - 1
+
+(* Scan the window oldest-first for up to [issue_width] ready
+   instructions, bounded by the per-class unit counts. Tail-recursive
+   over int accumulators: no closure, no ref, no allocation. *)
+let rec issue_scan s k issued ialu imult fp =
+  if issued >= s.issue_width || k >= s.count then issued
+  else
+    let slot = wrap s (s.head + k) in
     if s.st.(slot) = st_waiting && deps_ready s slot then begin
-      let ins = instr_of s slot in
-      let try_issue complete =
+      let ti = s.tr_idx.(slot) in
+      let opc = s.d.op.(ti) in
+      if opc = D.op_int_alu || opc = D.op_branch then
+        if ialu < s.int_alu_units then begin
+          start_executing s slot (s.cycle + s.lat.(opc));
+          issue_scan s (k + 1) (issued + 1) (ialu + 1) imult fp
+        end
+        else issue_scan s (k + 1) issued ialu imult fp
+      else if opc = D.op_int_mult then
+        if imult < s.int_mult_units then begin
+          start_executing s slot (s.cycle + s.lat.(opc));
+          issue_scan s (k + 1) (issued + 1) ialu (imult + 1) fp
+        end
+        else issue_scan s (k + 1) issued ialu imult fp
+      else if opc = D.op_fp_alu || opc = D.op_fp_mult then
+        if fp < s.fp_units then begin
+          start_executing s slot (s.cycle + s.lat.(opc));
+          issue_scan s (k + 1) (issued + 1) ialu imult (fp + 1)
+        end
+        else issue_scan s (k + 1) issued ialu imult fp
+      else if opc = D.op_store then begin
+        (* Address generation; data drains to cache at commit. *)
+        start_executing s slot (s.cycle + 1);
+        issue_scan s (k + 1) (issued + 1) ialu imult fp
+      end
+      else if opc = D.op_load then (
+        match older_store_match s s.seq.(slot) s.d.addr.(ti) with
+        | `Blocked -> issue_scan s (k + 1) issued ialu imult fp
+        | `Forward ->
+            start_executing s slot (s.cycle + 1);
+            issue_scan s (k + 1) (issued + 1) ialu imult fp
+        | `None ->
+            start_executing s slot (memory_read s ~now:s.cycle s.d.addr.(ti));
+            issue_scan s (k + 1) (issued + 1) ialu imult fp)
+      else if
+        (* accel *)
+        accel_speculative s slot || slot = s.head
+      then begin
+        issue_accel s slot ti;
         s.st.(slot) <- st_executing;
-        s.complete_at.(slot) <- complete;
+        s.executing <- s.executing + 1;
+        if s.complete_at.(slot) < s.next_complete then
+          s.next_complete <- s.complete_at.(slot);
         s.iq_count <- s.iq_count - 1;
-        incr issued
-      in
-      match ins.Isa.op with
-      | Isa.Int_alu | Isa.Branch ->
-          if !int_alu_used < s.cfg.Config.int_alu_units then begin
-            incr int_alu_used;
-            try_issue (s.cycle + op_latency s.cfg ins.Isa.op)
-          end
-      | Isa.Int_mult ->
-          if !int_mult_used < s.cfg.Config.int_mult_units then begin
-            incr int_mult_used;
-            try_issue (s.cycle + op_latency s.cfg ins.Isa.op)
-          end
-      | Isa.Fp_alu | Isa.Fp_mult ->
-          if !fp_used < s.cfg.Config.fp_units then begin
-            incr fp_used;
-            try_issue (s.cycle + op_latency s.cfg ins.Isa.op)
-          end
-      | Isa.Store ->
-          (* Address generation; data drains to cache at commit. *)
-          try_issue (s.cycle + 1)
-      | Isa.Load -> (
-          match older_store_match s slot ins.Isa.addr with
-          | `Blocked -> ()
-          | `Forward -> try_issue (s.cycle + 1)
-          | `None -> try_issue (memory_read s ~now:s.cycle ins.Isa.addr))
-      | Isa.Accel a ->
-          let at_head = slot = s.head in
-          if accel_speculative s slot || at_head then begin
-            issue_accel s slot a;
-            s.st.(slot) <- st_executing;
-            s.iq_count <- s.iq_count - 1;
-            incr issued
-          end
-          else s.accel_head_wait <- s.accel_head_wait + 1
-    end;
-    incr k
-  done;
-  !issued
-
-(* Reasons the first dispatch slot of a cycle could not be filled, for the
-   stall breakdown. *)
-type stall = No_stall | Drained | Redirect | Serialize | Rob | Iq | Lsq
-
-let dispatch_stage s =
-  let dispatched = ref 0 in
-  let stall = ref No_stall in
-  let continue = ref true in
-  while !continue && !dispatched < s.cfg.Config.dispatch_width do
-    if s.next_fetch >= Trace.length s.trace then begin
-      stall := Drained;
-      continue := false
-    end
-    else if s.cycle < s.fetch_resume_at then begin
-      stall := Redirect;
-      continue := false
-    end
-    else if s.serialize_slot >= 0 then begin
-      stall := Serialize;
-      continue := false
-    end
-    else if s.count = s.rob then begin
-      stall := Rob;
-      continue := false
-    end
-    else if s.iq_count = s.cfg.Config.iq_size then begin
-      stall := Iq;
-      continue := false
-    end
-    else begin
-      let ins = Trace.get s.trace s.next_fetch in
-      if Isa.is_mem ins && s.lsq_count = s.cfg.Config.lsq_size then begin
-        stall := Lsq;
-        continue := false
+        issue_scan s (k + 1) (issued + 1) ialu imult fp
       end
       else begin
-        let slot = s.tail in
-        s.tail <- (s.tail + 1) mod s.rob;
-        s.count <- s.count + 1;
-        s.tr_idx.(slot) <- s.next_fetch;
-        s.st.(slot) <- st_waiting;
-        s.seq.(slot) <- s.next_seq;
-        s.next_seq <- s.next_seq + 1;
-        let dep r = if r >= 0 then (s.ren_slot.(r), s.ren_seq.(r)) else (-1, -1) in
-        let d1s, d1q = dep ins.Isa.src1 in
-        let d2s, d2q = dep ins.Isa.src2 in
-        s.dep1_slot.(slot) <- d1s;
-        s.dep1_seq.(slot) <- d1q;
-        s.dep2_slot.(slot) <- d2s;
-        s.dep2_seq.(slot) <- d2q;
-        if ins.Isa.dst >= 0 then begin
-          s.ren_slot.(ins.Isa.dst) <- slot;
-          s.ren_seq.(ins.Isa.dst) <- s.seq.(slot)
-        end;
-        s.iq_count <- s.iq_count + 1;
-        if Isa.is_mem ins then s.lsq_count <- s.lsq_count + 1;
-        (match ins.Isa.op with
-        | Isa.Branch ->
-            s.branches <- s.branches + 1;
-            if not (Bpred.is_perfect s.bp) then begin
-              let predicted = Bpred.predict s.bp ~pc:ins.Isa.pc in
-              Bpred.update s.bp ~pc:ins.Isa.pc ~taken:ins.Isa.taken;
-              if predicted <> ins.Isa.taken then begin
-                s.mispredicts <- s.mispredicts + 1;
-                s.pending_redirect <- slot;
-                s.pending_redirect_seq <- s.seq.(slot);
-                s.fetch_resume_at <- max_int;
-                match s.telemetry with
-                | None -> ()
-                | Some sink ->
-                    Tca_telemetry.Sink.instant sink ~cat:"branch"
-                      ~args:[ ("pc", Tca_util.Json.Int ins.Isa.pc) ]
-                      ~ts:(float_of_int s.cycle) "flush.mispredict"
-              end
-            end
-        | Isa.Accel _ ->
-            s.accel_invocations <- s.accel_invocations + 1;
-            s.occupancy_at_accel_sum <- s.occupancy_at_accel_sum + s.count - 1;
-            if not s.cfg.Config.coupling.Config.allow_trailing then
-              s.serialize_slot <- slot;
-            (match s.telemetry with
-            | None -> ()
-            | Some sink ->
-                Tca_telemetry.Sink.instant sink ~cat:"accel"
-                  ~args:[ ("rob_occupancy", Tca_util.Json.Int (s.count - 1)) ]
-                  ~ts:(float_of_int s.cycle) "accel.dispatch")
-        | _ -> ());
-        s.next_fetch <- s.next_fetch + 1;
-        incr dispatched
+        s.accel_head_wait <- s.accel_head_wait + 1;
+        issue_scan s (k + 1) issued ialu imult fp
       end
     end
-  done;
+    else issue_scan s (k + 1) issued ialu imult fp
+
+let issue_stage s = issue_scan s 0 0 0 0 0
+
+let rec dispatch_loop s dispatched =
+  if dispatched >= s.dispatch_width then dispatched
+  else if s.next_fetch >= s.tlen then begin
+    s.stall_reason <- stall_drained;
+    dispatched
+  end
+  else if s.cycle < s.fetch_resume_at then begin
+    s.stall_reason <- stall_redirect;
+    dispatched
+  end
+  else if s.serialize_slot >= 0 then begin
+    s.stall_reason <- stall_serialize;
+    dispatched
+  end
+  else if s.count = s.rob then begin
+    s.stall_reason <- stall_rob;
+    dispatched
+  end
+  else if s.iq_count = s.iq_size then begin
+    s.stall_reason <- stall_iq;
+    dispatched
+  end
+  else begin
+    let ti = s.next_fetch in
+    let opc = s.d.op.(ti) in
+    let is_mem = opc = D.op_load || opc = D.op_store in
+    if is_mem && s.lsq_count = s.lsq_size then begin
+      s.stall_reason <- stall_lsq;
+      dispatched
+    end
+    else begin
+      let slot = s.tail in
+      s.tail <- wrap s (s.tail + 1);
+      s.count <- s.count + 1;
+      s.tr_idx.(slot) <- ti;
+      s.st.(slot) <- st_waiting;
+      s.seq.(slot) <- s.next_seq;
+      s.next_seq <- s.next_seq + 1;
+      let src1 = s.d.src1.(ti) in
+      if src1 >= 0 then begin
+        s.dep1_slot.(slot) <- s.ren_slot.(src1);
+        s.dep1_seq.(slot) <- s.ren_seq.(src1)
+      end
+      else begin
+        s.dep1_slot.(slot) <- -1;
+        s.dep1_seq.(slot) <- -1
+      end;
+      let src2 = s.d.src2.(ti) in
+      if src2 >= 0 then begin
+        s.dep2_slot.(slot) <- s.ren_slot.(src2);
+        s.dep2_seq.(slot) <- s.ren_seq.(src2)
+      end
+      else begin
+        s.dep2_slot.(slot) <- -1;
+        s.dep2_seq.(slot) <- -1
+      end;
+      let dst = s.d.dst.(ti) in
+      if dst >= 0 then begin
+        s.ren_slot.(dst) <- slot;
+        s.ren_seq.(dst) <- s.seq.(slot)
+      end;
+      s.iq_count <- s.iq_count + 1;
+      if is_mem then begin
+        s.lsq_count <- s.lsq_count + 1;
+        if opc = D.op_store then begin
+          s.stq.(wrap s (s.stq_head + s.stq_count)) <- slot;
+          s.stq_count <- s.stq_count + 1
+        end
+      end;
+      if opc = D.op_branch then begin
+        s.branches <- s.branches + 1;
+        if not s.bp_perfect then begin
+          let pc = s.d.pc.(ti) in
+          let taken = s.d.taken.(ti) in
+          let predicted = Bpred.predict s.bp ~pc in
+          Bpred.update s.bp ~pc ~taken;
+          if predicted <> taken then begin
+            s.mispredicts <- s.mispredicts + 1;
+            s.pending_redirect <- slot;
+            s.pending_redirect_seq <- s.seq.(slot);
+            s.fetch_resume_at <- max_int;
+            match s.telemetry with
+            | None -> ()
+            | Some sink ->
+                Tca_telemetry.Sink.instant sink ~cat:"branch"
+                  ~args:[ ("pc", Tca_util.Json.Int pc) ]
+                  ~ts:(float_of_int s.cycle) "flush.mispredict"
+          end
+        end
+      end
+      else if opc = D.op_accel then begin
+        s.accel_invocations <- s.accel_invocations + 1;
+        s.occupancy_at_accel_sum <- s.occupancy_at_accel_sum + s.count - 1;
+        if not s.allow_trailing then s.serialize_slot <- slot;
+        match s.telemetry with
+        | None -> ()
+        | Some sink ->
+            Tca_telemetry.Sink.instant sink ~cat:"accel"
+              ~args:[ ("rob_occupancy", Tca_util.Json.Int (s.count - 1)) ]
+              ~ts:(float_of_int s.cycle) "accel.dispatch"
+      end;
+      s.next_fetch <- s.next_fetch + 1;
+      dispatch_loop s (dispatched + 1)
+    end
+  end
+
+let dispatch_stage s =
+  s.stall_reason <- stall_none;
+  let dispatched = dispatch_loop s 0 in
   (* Attribute the cycle to a stall reason only when nothing at all was
      dispatched: that is the "zero useful dispatches" notion the model
      reasons about. *)
-  if !dispatched = 0 then begin
-    match !stall with
-    | Drained -> s.stall_drained <- s.stall_drained + 1
-    | Redirect -> s.stall_redirect <- s.stall_redirect + 1
-    | Serialize -> s.stall_serialize <- s.stall_serialize + 1
-    | Rob -> s.stall_rob <- s.stall_rob + 1
-    | Iq -> s.stall_iq <- s.stall_iq + 1
-    | Lsq -> s.stall_lsq <- s.stall_lsq + 1
-    | No_stall -> ()
+  if dispatched = 0 then begin
+    let r = s.stall_reason in
+    if r = stall_drained then s.stall_drained <- s.stall_drained + 1
+    else if r = stall_redirect then s.stall_redirect <- s.stall_redirect + 1
+    else if r = stall_serialize then s.stall_serialize <- s.stall_serialize + 1
+    else if r = stall_rob then s.stall_rob <- s.stall_rob + 1
+    else if r = stall_iq then s.stall_iq <- s.stall_iq + 1
+    else if r = stall_lsq then s.stall_lsq <- s.stall_lsq + 1
   end;
-  !dispatched
+  dispatched
 
-let executing_occupancy s =
-  let n = ref 0 in
-  for k = 0 to s.count - 1 do
-    let slot = (s.head + k) mod s.rob in
-    if s.st.(slot) = st_executing then incr n
-  done;
-  !n
+let executing_occupancy s = s.executing
 
 let stats_of s =
   {
@@ -591,82 +768,103 @@ let finish_telemetry s sink snap outcome_stats =
       add "sim.committed" s.committed;
       add "sim.accel_invocations" s.accel_invocations
 
+let watchdog_diag s =
+  Tca_util.Diag.Watchdog
+    { cycles = s.cycle; committed = s.committed; total = s.tlen }
+
+(* The uninstrumented loop: no per-cycle option match, no interval
+   bookkeeping, no probe dispatch — nothing but the four stages and two
+   counter updates. Returns the watchdog diagnostic if the budget
+   expired. The watchdog snapshot and the stats snapshot are taken at
+   the same instant, so [diag.committed = stats.committed] holds by
+   construction. *)
+let rec run_fast s cap =
+  if s.next_fetch >= s.tlen && s.count = 0 then None
+  else if s.cycle > cap then Some (watchdog_diag s)
+  else begin
+    complete_stage s;
+    commit_stage s;
+    ignore (issue_stage s : int);
+    ignore (dispatch_stage s : int);
+    s.occupancy_sum <- s.occupancy_sum + s.count;
+    s.cycle <- s.cycle + 1;
+    run_fast s cap
+  end
+
+(* The instrumented loop: the reference run loop verbatim (per-cycle
+   probe callback, interval accumulation, periodic flush). *)
+let run_instrumented s cap probe snap =
+  let watchdog = ref None in
+  while !watchdog = None && (s.next_fetch < s.tlen || s.count > 0) do
+    if s.cycle > cap then watchdog := Some (watchdog_diag s)
+    else begin
+      complete_stage s;
+      commit_stage s;
+      let issued = issue_stage s in
+      let dispatched = dispatch_stage s in
+      s.occupancy_sum <- s.occupancy_sum + s.count;
+      (match probe with
+      | Some p ->
+          p.on_cycle ~cycle:s.cycle ~dispatched ~issued
+            ~executing:(executing_occupancy s) ~rob_occupancy:s.count
+      | None -> ());
+      s.cycle <- s.cycle + 1;
+      match s.telemetry with
+      | None -> ()
+      | Some sink ->
+          snap.acc_dispatched <- snap.acc_dispatched + dispatched;
+          snap.acc_issued <- snap.acc_issued + issued;
+          if s.cycle mod Tca_telemetry.Sink.interval sink = 0 then
+            flush_interval s sink snap ~now:s.cycle
+    end
+  done;
+  !watchdog
+
 let run ?probe ?telemetry cfg trace =
   match Config.validate cfg with
   | Result.Error d -> Result.Error d
   | Ok () ->
       let s = create ?telemetry cfg trace in
-      let snap =
-        {
-          last_cycle = 0;
-          s_rob = 0;
-          s_iq = 0;
-          s_lsq = 0;
-          s_serialize = 0;
-          s_redirect = 0;
-          s_drained = 0;
-          s_committed = 0;
-          s_occupancy_sum = 0;
-          acc_dispatched = 0;
-          acc_issued = 0;
-        }
-      in
       let cap =
         match cfg.Config.max_cycles with
         | Some c -> c
         | None -> default_cycle_budget trace
       in
-      let watchdog = ref None in
-      while
-        !watchdog = None && (s.next_fetch < Trace.length trace || s.count > 0)
-      do
-        if s.cycle > cap then
-          (* The watchdog snapshot and the stats snapshot are taken at the
-             same instant, so [diag.committed = stats.committed] holds by
-             construction. *)
-          watchdog :=
-            Some
-              (Tca_util.Diag.Watchdog
-                 {
-                   cycles = s.cycle;
-                   committed = s.committed;
-                   total = Trace.length trace;
-                 })
-        else begin
-          complete_stage s;
-          commit_stage s;
-          let issued = issue_stage s in
-          let dispatched = dispatch_stage s in
-          s.occupancy_sum <- s.occupancy_sum + s.count;
-          (match probe with
-          | Some p ->
-              p.on_cycle ~cycle:s.cycle ~dispatched ~issued
-                ~executing:(executing_occupancy s) ~rob_occupancy:s.count
-          | None -> ());
-          s.cycle <- s.cycle + 1;
-          match s.telemetry with
-          | None -> ()
-          | Some sink ->
-              snap.acc_dispatched <- snap.acc_dispatched + dispatched;
-              snap.acc_issued <- snap.acc_issued + issued;
-              if s.cycle mod Tca_telemetry.Sink.interval sink = 0 then
-                flush_interval s sink snap ~now:s.cycle
-        end
-      done;
+      let watchdog, snap =
+        match (telemetry, probe) with
+        | None, None -> (run_fast s cap, None)
+        | _ ->
+            let snap =
+              {
+                last_cycle = 0;
+                s_rob = 0;
+                s_iq = 0;
+                s_lsq = 0;
+                s_serialize = 0;
+                s_redirect = 0;
+                s_drained = 0;
+                s_committed = 0;
+                s_occupancy_sum = 0;
+                acc_dispatched = 0;
+                acc_issued = 0;
+              }
+            in
+            (run_instrumented s cap probe snap, Some snap)
+      in
       let outcome =
-        match !watchdog with
+        match watchdog with
         | Some diag -> Partial { stats = stats_of s; diag }
         | None -> Complete (stats_of s)
       in
-      (match s.telemetry with
-      | None -> ()
-      | Some sink ->
-          (match !watchdog with
+      (match (s.telemetry, snap) with
+      | Some sink, Some snap ->
+          (match watchdog with
           | Some _ ->
               Tca_telemetry.Sink.instant sink ~cat:"sim"
                 ~ts:(float_of_int s.cycle) "sim.watchdog"
           | None -> ());
-          finish_telemetry s sink snap (stats_of_outcome outcome));
+          finish_telemetry s sink snap (stats_of_outcome outcome)
+      | _ -> ());
       Ok outcome
 
 let run_exn ?probe ?telemetry cfg trace =

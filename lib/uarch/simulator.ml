@@ -24,27 +24,21 @@ let measure_ipc ?telemetry cfg trace =
 let measure_ipc_exn ?telemetry cfg trace =
   Tca_util.Diag.ok_exn (measure_ipc ?telemetry cfg trace)
 
-let compare_modes ?telemetry ?(par = Tca_util.Parmap.serial) ~cfg ~baseline
-    ~accelerated () =
-  (* The five pipeline runs (baseline + one per coupling) are mutually
-     independent, so they form one parallel batch. Each run records into
-     its own forked sink; the children are joined back in canonical
-     order (baseline first, then [Config.all_couplings] order), so the
-     merged trace is the same whatever [par] is. *)
-  let couplings = Array.of_list Config.all_couplings in
-  let n = 1 + Array.length couplings in
+let run_batch ?telemetry ?(par = Tca_util.Parmap.serial) entries =
+  (* Decode every distinct trace eagerly, before the fan-out: the memo
+     on [Trace.t] makes later decodes free, and pre-populating it here
+     keeps parallel domains from racing to duplicate the same work
+     (the race is benign — decoding is pure — just wasteful). *)
+  Array.iter (fun (_, trace) -> ignore (Trace.decoded trace)) entries;
+  let n = Array.length entries in
   let sinks =
     Array.init n (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry)
   in
   let results =
     par.Tca_util.Parmap.run
       (fun i ->
-        let telemetry = sinks.(i) in
-        if i = 0 then Pipeline.run ?telemetry cfg baseline
-        else
-          Pipeline.run ?telemetry
-            (Config.with_coupling cfg couplings.(i - 1))
-            accelerated)
+        let cfg, trace = entries.(i) in
+        Pipeline.run ?telemetry:sinks.(i) cfg trace)
       (Array.init n Fun.id)
   in
   (match telemetry with
@@ -55,6 +49,23 @@ let compare_modes ?telemetry ?(par = Tca_util.Parmap.serial) ~cfg ~baseline
           | Some child -> Tca_telemetry.Sink.join ~into child
           | None -> ())
         sinks);
+  results
+
+let compare_modes ?telemetry ?par ~cfg ~baseline ~accelerated () =
+  (* The five pipeline runs (baseline + one per coupling) are mutually
+     independent, so they form one [run_batch]: each run records into
+     its own forked sink, joined back in canonical order (baseline
+     first, then [Config.all_couplings] order), so the merged trace is
+     the same whatever [par] is — and the accelerated trace is decoded
+     once for all four couplings. *)
+  let couplings = Array.of_list Config.all_couplings in
+  let n = 1 + Array.length couplings in
+  let results =
+    run_batch ?telemetry ?par
+      (Array.init n (fun i ->
+           if i = 0 then (cfg, baseline)
+           else (Config.with_coupling cfg couplings.(i - 1), accelerated)))
+  in
   let* base_outcome = results.(0) in
   let base_stats, baseline_partial = split_outcome base_outcome in
   let rec seq i =

@@ -28,6 +28,22 @@ val measure_ipc :
 val measure_ipc_exn :
   ?telemetry:Tca_telemetry.Sink.t -> Config.t -> Trace.t -> float
 
+val run_batch :
+  ?telemetry:Tca_telemetry.Sink.t ->
+  ?par:Tca_util.Parmap.t ->
+  (Config.t * Trace.t) array ->
+  (Pipeline.outcome, Tca_util.Diag.t) result array
+(** Run every (configuration, trace) entry through {!Pipeline.run}, one
+    result per entry in entry order. Each distinct trace is pre-decoded
+    exactly once before the fan-out (see {!Trace.decoded}), so repeated
+    evaluation of the same trace — mode comparisons, frequency sweeps,
+    repetitions — amortizes decode across the whole batch. [?par]
+    (default serial) spreads the runs over a pool with bit-identical
+    results: each run records into a fork of [?telemetry], and the
+    children are joined back in entry order whatever [par] is.
+    Per-entry [Error]s are reported in place; one bad configuration
+    does not poison the batch. *)
+
 val compare_modes :
   ?telemetry:Tca_telemetry.Sink.t ->
   ?par:Tca_util.Parmap.t ->

@@ -1,4 +1,97 @@
-type t = { instrs : Isa.instr array }
+module Decoded = struct
+  let op_int_alu = 0
+  let op_int_mult = 1
+  let op_fp_alu = 2
+  let op_fp_mult = 3
+  let op_load = 4
+  let op_store = 5
+  let op_branch = 6
+  let op_accel = 7
+
+  type t = {
+    n : int;
+    op : int array;
+    src1 : int array;
+    src2 : int array;
+    dst : int array;
+    addr : int array;
+    pc : int array;
+    taken : bool array;
+    accel_lat : int array;
+    reads_off : int array;
+    reads_len : int array;
+    writes_off : int array;
+    writes_len : int array;
+    accel_mem : int array;
+  }
+
+  let op_code : Isa.op -> int = function
+    | Isa.Int_alu -> op_int_alu
+    | Isa.Int_mult -> op_int_mult
+    | Isa.Fp_alu -> op_fp_alu
+    | Isa.Fp_mult -> op_fp_mult
+    | Isa.Load -> op_load
+    | Isa.Store -> op_store
+    | Isa.Branch -> op_branch
+    | Isa.Accel _ -> op_accel
+
+  let of_instrs (instrs : Isa.instr array) =
+    let n = Array.length instrs in
+    let pool = ref 0 in
+    Array.iter
+      (fun (ins : Isa.instr) ->
+        match ins.Isa.op with
+        | Isa.Accel a ->
+            pool := !pool + Array.length a.Isa.reads + Array.length a.Isa.writes
+        | _ -> ())
+      instrs;
+    let d =
+      {
+        n;
+        op = Array.make n 0;
+        src1 = Array.make n Isa.no_reg;
+        src2 = Array.make n Isa.no_reg;
+        dst = Array.make n Isa.no_reg;
+        addr = Array.make n 0;
+        pc = Array.make n 0;
+        taken = Array.make n false;
+        accel_lat = Array.make n 0;
+        reads_off = Array.make n 0;
+        reads_len = Array.make n 0;
+        writes_off = Array.make n 0;
+        writes_len = Array.make n 0;
+        accel_mem = Array.make (max 1 !pool) 0;
+      }
+    in
+    let off = ref 0 in
+    Array.iteri
+      (fun i (ins : Isa.instr) ->
+        d.op.(i) <- op_code ins.Isa.op;
+        d.src1.(i) <- ins.Isa.src1;
+        d.src2.(i) <- ins.Isa.src2;
+        d.dst.(i) <- ins.Isa.dst;
+        d.addr.(i) <- ins.Isa.addr;
+        d.pc.(i) <- ins.Isa.pc;
+        d.taken.(i) <- ins.Isa.taken;
+        match ins.Isa.op with
+        | Isa.Accel a ->
+            let nr = Array.length a.Isa.reads in
+            let nw = Array.length a.Isa.writes in
+            d.accel_lat.(i) <- a.Isa.compute_latency;
+            d.reads_off.(i) <- !off;
+            d.reads_len.(i) <- nr;
+            Array.blit a.Isa.reads 0 d.accel_mem !off nr;
+            off := !off + nr;
+            d.writes_off.(i) <- !off;
+            d.writes_len.(i) <- nw;
+            Array.blit a.Isa.writes 0 d.accel_mem !off nw;
+            off := !off + nw
+        | _ -> ())
+      instrs;
+    d
+end
+
+type t = { instrs : Isa.instr array; mutable decoded_ : Decoded.t option }
 
 let validate instrs =
   let check_reg r = r = Isa.no_reg || (r >= 0 && r < Isa.num_arch_regs) in
@@ -36,12 +129,25 @@ let validate instrs =
 
 let of_array instrs =
   match validate instrs with
-  | Ok () -> { instrs }
+  | Ok () -> { instrs; decoded_ = None }
   | Error msg -> invalid_arg ("Trace.of_array: " ^ msg)
 
 let length t = Array.length t.instrs
 let get t i = t.instrs.(i)
 let iter f t = Array.iter f t.instrs
+
+(* Memoized: decoding is pure, so the benign race when two domains
+   decode the same trace concurrently only wastes work (both build the
+   same value; one pointer store wins). Callers that fan a trace out
+   across domains should still decode eagerly first — see
+   [Simulator.run_batch]. *)
+let decoded t =
+  match t.decoded_ with
+  | Some d -> d
+  | None ->
+      let d = Decoded.of_instrs t.instrs in
+      t.decoded_ <- Some d;
+      d
 
 type counts = {
   total : int;

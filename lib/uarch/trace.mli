@@ -1,6 +1,58 @@
-(** Instruction traces and their construction. *)
+(** Instruction traces and their construction.
 
-type t = private { instrs : Isa.instr array }
+    A trace is an immutable array of {!Isa.instr} values plus a lazily
+    built {!Decoded} struct-of-arrays form that the simulator hot path
+    indexes instead of chasing per-instruction records. *)
+
+(** Flat, pre-decoded view of a trace: one int per field per
+    instruction, plus a shared pool for accelerator read/write address
+    lists. Built once per trace (see {!val:decoded}) so repeated
+    simulation — mode comparisons, sweeps, batches — never re-decodes.
+
+    The arrays are exposed for direct indexing from the simulator's
+    inner loop; treat them as read-only. For instruction [i]:
+    [op.(i)] is one of the [op_*] codes, [accel_lat.(i)] /
+    [reads_off.(i)] / [reads_len.(i)] / [writes_off.(i)] /
+    [writes_len.(i)] describe an [op_accel] instruction's latency and
+    its address spans inside [accel_mem], and are all zero
+    otherwise. *)
+module Decoded : sig
+  val op_int_alu : int
+  val op_int_mult : int
+  val op_fp_alu : int
+  val op_fp_mult : int
+  val op_load : int
+  val op_store : int
+  val op_branch : int
+  val op_accel : int
+
+  type t = {
+    n : int;  (** instruction count, [= Array.length op] *)
+    op : int array;  (** [op_*] code per instruction *)
+    src1 : int array;
+    src2 : int array;
+    dst : int array;  (** registers; {!Isa.no_reg} when absent *)
+    addr : int array;
+    pc : int array;
+    taken : bool array;  (** branch outcome; [false] for non-branches *)
+    accel_lat : int array;  (** accel compute latency, else [0] *)
+    reads_off : int array;  (** offset of the read set in [accel_mem] *)
+    reads_len : int array;
+    writes_off : int array;  (** offset of the write set in [accel_mem] *)
+    writes_len : int array;
+    accel_mem : int array;
+        (** shared address pool for every accel instruction's reads and
+            writes, in trace order (reads then writes per instruction) *)
+  }
+
+  val op_code : Isa.op -> int
+end
+
+type t = private {
+  instrs : Isa.instr array;
+  mutable decoded_ : Decoded.t option;
+      (** memo for {!val:decoded}; never inspect directly *)
+}
 
 val of_array : Isa.instr array -> t
 (** Validates the trace (see {!validate}); raises [Invalid_argument] on a
@@ -9,6 +61,13 @@ val of_array : Isa.instr array -> t
 val length : t -> int
 val get : t -> int -> Isa.instr
 val iter : (Isa.instr -> unit) -> t -> unit
+
+val decoded : t -> Decoded.t
+(** The struct-of-arrays form, built on first use and memoized.
+    Thread-safety: the memo write is a benign race (decoding is pure and
+    the store is atomic), but to avoid duplicated work decode eagerly
+    before fanning a trace out across domains, as
+    {!Simulator.run_batch} does. *)
 
 val validate : Isa.instr array -> (unit, string) result
 (** Registers in range, non-negative addresses, non-negative accelerator

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Simulator perf-regression guard: compares a fresh `bench simulator`
+# run against the speedup committed in BENCH_results.json.
+#
+# The metric is machine-independent by construction: bench/main.ml times
+# the optimized Pipeline against the verbatim pre-optimization
+# Pipeline_reference in the same process, so the ratio cancels the
+# host's absolute speed. CI fails when the fresh ratio falls more than
+# 20% below the committed one, or when either bit-identity check in the
+# fresh run failed.
+#
+#   dune exec bench/main.exe -- simulator --quick --summary fresh.json
+#   scripts/check_bench_regression.sh BENCH_results.json fresh.json
+set -eu
+
+committed=${1:-BENCH_results.json}
+fresh=${2:-sim_bench_fresh.json}
+tolerance=${TOLERANCE:-0.8} # fresh must be >= tolerance * committed
+
+for f in "$committed" "$fresh"; do
+  if [ ! -f "$f" ]; then
+    echo "check_bench_regression: $f not found" >&2
+    exit 2
+  fi
+done
+
+if ! jq -e '.simulator.stats_bit_identical == true' "$fresh" > /dev/null; then
+  echo "check_bench_regression: optimized pipeline stats are NOT bit-identical to the reference" >&2
+  exit 1
+fi
+if ! jq -e '.simulator.batch.results_bit_identical == true' "$fresh" > /dev/null; then
+  echo "check_bench_regression: parallel run_batch results are NOT bit-identical to serial" >&2
+  exit 1
+fi
+
+committed_speedup=$(jq -er '.simulator.speedup' "$committed")
+fresh_speedup=$(jq -er '.simulator.speedup' "$fresh")
+
+echo "simulator speedup: committed ${committed_speedup}x, fresh ${fresh_speedup}x (floor: ${tolerance} * committed)"
+
+if ! awk -v c="$committed_speedup" -v f="$fresh_speedup" -v t="$tolerance" \
+    'BEGIN { exit !(f + 0 >= t * c) }'; then
+  echo "check_bench_regression: simulator speedup regressed more than $(awk -v t="$tolerance" 'BEGIN { printf "%d%%", (1 - t) * 100 }') below the committed value" >&2
+  exit 1
+fi
+echo "check_bench_regression: OK"

@@ -290,6 +290,51 @@ let uarch_case i g =
       | (Ok (Pipeline.Partial _) | Error _) as outcome ->
           check_outcome i trace starved outcome)
 
+(* Differential oracle: the optimized pipeline must reproduce the
+   pre-optimization reference implementation bit for bit — same
+   Sim_stats, same outcome constructor, same diagnostics — on hostile
+   configs and traces, whether or not the watchdog trips. *)
+let parity_case i g =
+  let open Tca_uarch in
+  let spec = Tca_util.Faultgen.uarch_spec g in
+  let cfg =
+    {
+      (Config.hp ()) with
+      Config.dispatch_width = spec.Tca_util.Faultgen.dispatch_width;
+      issue_width = spec.Tca_util.Faultgen.u_issue_width;
+      commit_width = spec.Tca_util.Faultgen.commit_width;
+      rob_size = spec.Tca_util.Faultgen.u_rob_size;
+      iq_size = spec.Tca_util.Faultgen.iq_size;
+      lsq_size = spec.Tca_util.Faultgen.lsq_size;
+      int_alu_units = spec.Tca_util.Faultgen.int_alu_units;
+      int_mult_units = spec.Tca_util.Faultgen.int_mult_units;
+      fp_units = spec.Tca_util.Faultgen.fp_units;
+      mem_ports = spec.Tca_util.Faultgen.mem_ports;
+      frontend_depth = spec.Tca_util.Faultgen.frontend_depth;
+      commit_depth = spec.Tca_util.Faultgen.commit_depth;
+      tca_speculate_fraction = spec.Tca_util.Faultgen.speculate_fraction;
+      max_cycles = spec.Tca_util.Faultgen.watchdog_cycles;
+    }
+  in
+  let len = 20 + (abs (Tca_util.Faultgen.size_adversarial g ~max:120) mod 120) in
+  let trace = hostile_trace g ~len in
+  let key = function
+    | Ok o ->
+        "ok:"
+        ^ Tca_util.Json.to_string
+            (Sim_stats.to_json (Pipeline.stats_of_outcome o))
+        ^ (match o with
+          | Pipeline.Partial { diag; _ } -> "|" ^ Tca_util.Diag.to_string diag
+          | Pipeline.Complete _ -> "")
+    | Error d -> "error:" ^ Tca_util.Diag.to_string d
+  in
+  guard i "Pipeline vs Pipeline_reference" (fun () ->
+      let opt = key (Pipeline.run cfg trace) in
+      let oracle = key (Pipeline_reference.run cfg trace) in
+      if opt <> oracle then
+        record i "reference parity"
+          (Printf.sprintf "optimized %s <> reference %s" opt oracle))
+
 let simulator_case i g =
   let open Tca_uarch in
   let cfg =
@@ -423,6 +468,7 @@ let () =
     util_case i g;
     if i mod 10 = 0 then grid_case i g;
     if i mod 25 = 0 then uarch_case i g;
+    if i mod 25 = 0 then parity_case i g;
     if i mod 25 = 0 then analysis_case i g;
     if i mod 50 = 0 then telemetry_case i g;
     if i mod 100 = 0 then simulator_case i g;

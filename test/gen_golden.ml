@@ -1,0 +1,44 @@
+(* Regenerates test/golden/<workload>.golden — the pinned
+   [Sim_stats.to_json] of the baseline and all four coupling runs for a
+   small instance of each bundled workload family, produced by the
+   reference (pre-optimization) pipeline semantics. The golden test in
+   [test_uarch.ml] asserts both the optimized and the reference pipeline
+   reproduce these bytes exactly.
+
+   Run from the repository root:
+
+     dune exec test/gen_golden.exe -- test/golden
+
+   Only rerun this when a deliberate semantic change to the simulator is
+   being made; the whole point of the files is to fail the build when
+   the stats drift by accident. *)
+
+open Tca_uarch
+
+let lines_of_pair (pair : Tca_workloads.Meta.pair) =
+  let cfg = Config.hp () in
+  let cmp =
+    Simulator.compare_modes_exn ~cfg ~baseline:pair.Tca_workloads.Meta.baseline
+      ~accelerated:pair.Tca_workloads.Meta.accelerated ()
+  in
+  let line label stats =
+    Printf.sprintf "%s\t%s" label
+      (Tca_util.Json.to_string (Sim_stats.to_json stats))
+  in
+  line "baseline" cmp.Simulator.baseline
+  :: List.map
+       (fun (r : Simulator.mode_result) ->
+         line (Config.coupling_name r.Simulator.coupling) r.Simulator.stats)
+       cmp.Simulator.modes
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, pair) ->
+      let path = Filename.concat dir (name ^ ".golden") in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) (lines_of_pair pair);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path)
+    (Tca_experiments.Exp_common.golden_pairs ())

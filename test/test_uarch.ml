@@ -862,6 +862,115 @@ let test_simulator_measure_ipc () =
   let ipc = Simulator.measure_ipc_exn (Config.hp ()) (Trace.Builder.build b) in
   Alcotest.(check bool) "near width" true (ipc > 3.0 && ipc <= 4.0)
 
+(* [run_batch] is a pure fan-out: entry-for-entry identical to a
+   sequential [Pipeline.run] loop, serial or parallel, and a bad entry
+   reports its [Error] in place without poisoning the rest. *)
+let outcome_key = function
+  | Ok o ->
+      "ok:"
+      ^ Tca_util.Json.to_string
+          (Sim_stats.to_json (Pipeline.stats_of_outcome o))
+      ^ (match o with
+        | Pipeline.Partial { diag; _ } -> "|" ^ Tca_util.Diag.to_string diag
+        | Pipeline.Complete _ -> "")
+  | Error d -> "error:" ^ Tca_util.Diag.to_string d
+
+let test_simulator_run_batch () =
+  let cfg = Config.hp () in
+  let t1 = mixed_accel_trace 3 10 and t2 = mixed_accel_trace 7 25 in
+  let bad = { cfg with Config.dispatch_width = 0 } in
+  let entries =
+    [|
+      (cfg, t1);
+      (Config.with_coupling cfg Config.coupling_l_t, t2);
+      (bad, t1);
+      (Config.lp (), t2);
+    |]
+  in
+  let seq = Array.map (fun (c, t) -> outcome_key (Pipeline.run c t)) entries in
+  let batch = Array.map outcome_key (Simulator.run_batch entries) in
+  Alcotest.(check (array string)) "batch = sequential loop" seq batch;
+  let par_batch =
+    Tca_engine.Pool.with_pool ~workers:3 (fun pool ->
+        Array.map outcome_key
+          (Simulator.run_batch ~par:(Tca_engine.Pool.parmap pool) entries))
+  in
+  Alcotest.(check (array string)) "parallel batch = sequential loop" seq
+    par_batch;
+  Alcotest.(check bool) "bad entry reported in place" true
+    (String.length batch.(2) >= 6 && String.sub batch.(2) 0 6 = "error:")
+
+(* --- Golden pins --- *)
+
+(* test/golden/<name>.golden pins [Sim_stats.to_json] for the baseline
+   and all four couplings of each bundled workload family, produced by
+   the pre-optimization pipeline. Both the optimized path (through
+   [Simulator.compare_modes], i.e. [run_batch]) and the verbatim
+   reference implementation must reproduce those bytes exactly.
+   Regenerate with [dune exec test/gen_golden.exe] only on deliberate
+   semantic changes. *)
+let read_golden name =
+  (* The dune [deps] glob copies the pins next to the test binary in
+     _build, so resolve against the executable rather than the cwd
+     (which differs between [dune runtest] and [dune exec]). *)
+  let path =
+    Filename.concat
+      (Filename.concat (Filename.dirname Sys.executable_name) "golden")
+      (name ^ ".golden")
+  in
+  let ic = open_in path in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_string buf (input_line ic);
+       Buffer.add_char buf '\n'
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Buffer.contents buf
+
+let golden_line label stats =
+  Printf.sprintf "%s\t%s\n" label
+    (Tca_util.Json.to_string (Sim_stats.to_json stats))
+
+let golden_optimized (pair : Tca_workloads.Meta.pair) =
+  let cmp =
+    Simulator.compare_modes_exn ~cfg:(Config.hp ())
+      ~baseline:pair.Tca_workloads.Meta.baseline
+      ~accelerated:pair.Tca_workloads.Meta.accelerated ()
+  in
+  String.concat ""
+    (golden_line "baseline" cmp.Simulator.baseline
+    :: List.map
+         (fun (r : Simulator.mode_result) ->
+           golden_line (Config.coupling_name r.Simulator.coupling)
+             r.Simulator.stats)
+         cmp.Simulator.modes)
+
+let golden_reference (pair : Tca_workloads.Meta.pair) =
+  let cfg = Config.hp () in
+  String.concat ""
+    (golden_line "baseline"
+       (Pipeline_reference.run_exn cfg pair.Tca_workloads.Meta.baseline)
+    :: List.map
+         (fun c ->
+           golden_line (Config.coupling_name c)
+             (Pipeline_reference.run_exn (Config.with_coupling cfg c)
+                pair.Tca_workloads.Meta.accelerated))
+         Config.all_couplings)
+
+let test_golden_pins () =
+  List.iter
+    (fun (name, pair) ->
+      let pinned = read_golden name in
+      Alcotest.(check string)
+        (name ^ ": optimized pipeline matches golden")
+        pinned (golden_optimized pair);
+      Alcotest.(check string)
+        (name ^ ": reference pipeline matches golden")
+        pinned (golden_reference pair))
+    (Tca_experiments.Exp_common.golden_pairs ())
+
 let () =
   Alcotest.run "tca_uarch"
     [
@@ -957,5 +1066,8 @@ let () =
         [
           Alcotest.test_case "compare modes" `Quick test_simulator_compare_modes;
           Alcotest.test_case "measure ipc" `Quick test_simulator_measure_ipc;
+          Alcotest.test_case "run_batch" `Quick test_simulator_run_batch;
         ] );
+      ( "golden",
+        [ Alcotest.test_case "workload pins" `Quick test_golden_pins ] );
     ]
