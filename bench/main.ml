@@ -82,12 +82,9 @@ let write_summary () =
                Int (Tca_telemetry.Metrics.counter_value registry "sim.cycles"));
             ])
       in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc (to_string_indent doc);
-          output_char oc '\n');
+      (* Atomic so an interrupted bench never leaves a truncated
+         BENCH_results.json for the CI regression guard to parse. *)
+      Tca_util.Atomic_file.write_exn path (to_string_indent doc ^ "\n");
       Printf.printf "[bench] wrote %s\n" path
 
 let write_csv name contents =
@@ -95,10 +92,7 @@ let write_csv name contents =
   | None -> ()
   | Some dir ->
       let path = Filename.concat dir (name ^ ".csv") in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc contents);
+      Tca_util.Atomic_file.write_exn path contents;
       Printf.printf "[csv] wrote %s\n" path
 
 let banner id title =
@@ -219,7 +213,7 @@ let run_engine () =
   let fingerprints os =
     List.map
       (fun (o : Scheduler.outcome) ->
-        Tca_engine.Artifact.fingerprint o.Scheduler.artifact)
+        Tca_engine.Artifact.fingerprint (Scheduler.artifact_exn o))
       os
   in
   let identical = fingerprints serial_out = fingerprints par_out in

@@ -258,10 +258,10 @@ let export_engine_telemetry ~trace ~metrics outcomes =
           | None -> ())
         metrics
 
-let write_text path contents =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
-  output_string oc contents
+(* All --out artifacts go through the same temp+rename path as the
+   result cache: an interrupted run leaves either the previous file or
+   the complete new one, never a truncated view. *)
+let write_text path contents = or_die (Tca_util.Atomic_file.write path contents)
 
 (* --- tca design --- *)
 
@@ -728,7 +728,69 @@ let run_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Also write NAME.txt, NAME.csv and NAME.json per job into DIR.")
   in
-  let run names jobs cache_dir quick json csv out trace_out metrics_out =
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-job wall-clock budget, enforced cooperatively at job \
+             checkpoints; a job over budget fails with exit-code-10 \
+             semantics instead of wedging the run.")
+  in
+  let retries_t =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transiently-failing jobs up to N extra times with \
+             exponential backoff (see --retry-backoff).")
+  in
+  let backoff_t =
+    Arg.(
+      value & opt float 0.1
+      & info [ "retry-backoff" ] ~docv:"SECONDS"
+          ~doc:"Base backoff: retry attempt n sleeps SECONDS * 2^(n-1).")
+  in
+  let fail_fast_t =
+    Arg.(
+      value
+      & vflag false
+          [
+            ( true,
+              info [ "fail-fast" ]
+                ~doc:
+                  "Stop scheduling new jobs after the first failure; \
+                   not-yet-started jobs are reported as skipped. Under \
+                   --jobs N the skipped set depends on timing." );
+            ( false,
+              info [ "keep-going" ]
+                ~doc:
+                  "Run every job to an outcome even when some fail (the \
+                   default); the failure report is bit-identical across \
+                   --jobs values." );
+          ])
+  in
+  let failures_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failures" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable JSON failure report (counts plus \
+             one record per failed job) to FILE, atomically; written on \
+             success too, with an empty failure list.")
+  in
+  let inject_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject" ] ~docv:"JOB=FAULT"
+          ~doc:
+            "Fault-injection (testing): make JOB misbehave. FAULT is \
+             raise, transient[:N], hang or corrupt. Repeatable.")
+  in
+  let run names jobs cache_dir quick json csv out trace_out metrics_out
+      deadline retries backoff fail_fast failures_out inject =
     protect @@ fun () ->
     if json && csv then begin
       prerr_endline "tca: --json and --csv are mutually exclusive";
@@ -737,36 +799,64 @@ let run_cmd =
     if jobs < 1 then
       die
         (Tca_util.Diag.Invalid { field = "--jobs"; message = "must be >= 1" });
+    if retries < 0 then
+      die
+        (Tca_util.Diag.Invalid { field = "--retries"; message = "must be >= 0" });
+    let plan =
+      List.map (fun s -> or_die (Tca_engine.Inject.parse_spec s)) inject
+    in
     let r = registry () in
     let js =
       match names with
       | [] -> Tca_engine.Registry.all r
       | names -> or_die (Tca_engine.Registry.resolve r names)
     in
+    let js = Tca_engine.Inject.wrap plan js in
+    let policy =
+      {
+        Tca_engine.Scheduler.deadline_s = deadline;
+        retries;
+        backoff_s = backoff;
+        fail_fast;
+      }
+    in
     let cache = Tca_engine.Cache.create ?dir:cache_dir () in
     let collect = trace_out <> None || metrics_out <> None in
     let outcomes =
-      Tca_engine.Scheduler.run ~cache ~quick ~collect_telemetry:collect ~jobs
-        js
+      Tca_engine.Scheduler.run ~cache ~policy ~quick
+        ~collect_telemetry:collect ~jobs js
     in
     export_engine_telemetry ~trace:trace_out ~metrics:metrics_out outcomes;
+    (* Surviving artifacts are exported even when other jobs failed:
+       one poisoned point costs one artifact, not the sweep. *)
     Option.iter
       (fun dir ->
         (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
         List.iter
           (fun (o : Tca_engine.Scheduler.outcome) ->
-            let a = o.Tca_engine.Scheduler.artifact in
-            let base = Filename.concat dir o.Tca_engine.Scheduler.job.Tca_engine.Job.name in
-            write_text (base ^ ".txt") (Tca_engine.Artifact.to_text a);
-            write_text (base ^ ".csv") (Tca_engine.Artifact.to_csv a);
-            write_text (base ^ ".json")
-              (Tca_util.Json.to_string_indent (Tca_engine.Artifact.to_json a)
-              ^ "\n"))
+            match Tca_engine.Scheduler.artifact o with
+            | None -> ()
+            | Some a ->
+                let base =
+                  Filename.concat dir
+                    o.Tca_engine.Scheduler.job.Tca_engine.Job.name
+                in
+                write_text (base ^ ".txt") (Tca_engine.Artifact.to_text a);
+                write_text (base ^ ".csv") (Tca_engine.Artifact.to_csv a);
+                write_text (base ^ ".json")
+                  (Tca_util.Json.to_string_indent
+                     (Tca_engine.Artifact.to_json a)
+                  ^ "\n"))
           outcomes)
       out;
-    let artifacts =
-      List.map (fun o -> o.Tca_engine.Scheduler.artifact) outcomes
-    in
+    Option.iter
+      (fun path ->
+        write_text path
+          (Tca_util.Json.to_string_indent
+             (Tca_engine.Scheduler.failure_report outcomes)
+          ^ "\n"))
+      failures_out;
+    let artifacts = List.filter_map Tca_engine.Scheduler.artifact outcomes in
     (if json then
        print_endline
          (Tca_util.Json.to_string_indent
@@ -789,14 +879,40 @@ let run_cmd =
            print_string (Tca_engine.Artifact.to_text a))
          artifacts);
     if cache_dir <> None then
-      Printf.eprintf "tca: cache: %d hit(s), %d miss(es)\n%!"
+      Printf.eprintf "tca: cache: %d hit(s), %d miss(es)%s\n%!"
         (Tca_engine.Cache.hits cache)
         (Tca_engine.Cache.misses cache)
+        (match Tca_engine.Cache.quarantined cache with
+        | 0 -> ""
+        | n -> Printf.sprintf ", %d quarantined" n);
+    match Tca_engine.Scheduler.first_failure outcomes with
+    | None -> ()
+    | Some d ->
+        let failed =
+          List.length
+            (List.filter
+               (fun (o : Tca_engine.Scheduler.outcome) ->
+                 match o.Tca_engine.Scheduler.status with
+                 | Tca_engine.Scheduler.Failed _ -> true
+                 | _ -> false)
+               outcomes)
+        and skipped =
+          List.length
+            (List.filter
+               (fun (o : Tca_engine.Scheduler.outcome) ->
+                 o.Tca_engine.Scheduler.status = Tca_engine.Scheduler.Skipped)
+               outcomes)
+        in
+        Printf.eprintf "tca: %d job(s) failed%s; first: %s\n%!" failed
+          (if skipped > 0 then Printf.sprintf ", %d skipped" skipped else "")
+          (Tca_util.Diag.to_string d);
+        exit (Tca_util.Diag.exit_code d)
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ names_t $ jobs_t $ cache_dir_t $ quick_t $ json_t $ csv_t
-      $ out_t $ trace_out_t $ metrics_out_t)
+      $ out_t $ trace_out_t $ metrics_out_t $ deadline_t $ retries_t
+      $ backoff_t $ fail_fast_t $ failures_t $ inject_t)
 
 (* --- tca list --- *)
 
@@ -836,7 +952,7 @@ let figure_cmd =
     List.iter
       (fun (o : Tca_engine.Scheduler.outcome) ->
         print_string
-          (Tca_engine.Artifact.to_text o.Tca_engine.Scheduler.artifact))
+          (Tca_engine.Artifact.to_text (Tca_engine.Scheduler.artifact_exn o)))
       outcomes
   in
   Cmd.v (Cmd.info "figure" ~doc)

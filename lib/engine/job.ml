@@ -2,6 +2,7 @@ type ctx = {
   telemetry : Tca_telemetry.Sink.t option;
   par : Tca_util.Parmap.t;
   quick : bool;
+  checkpoint : unit -> unit;
 }
 
 type t = {
@@ -14,7 +15,7 @@ type t = {
 let make ~name ~title ?(params = []) body = { name; title; params; body }
 
 let serial_ctx ?(quick = false) ?telemetry () =
-  { telemetry; par = Tca_util.Parmap.serial; quick }
+  { telemetry; par = Tca_util.Parmap.serial; quick; checkpoint = ignore }
 
 let fingerprint t ~quick =
   let params =
@@ -24,3 +25,6 @@ let fingerprint t ~quick =
     (t.name
      :: Printf.sprintf "quick=%b" quick
      :: List.map (fun (k, v) -> k ^ "=" ^ v) params)
+
+let fingerprint_digest t ~quick =
+  Digest.to_hex (Digest.string (fingerprint t ~quick))

@@ -17,6 +17,16 @@ type ctx = {
       (** Intra-job parallelism capability; [Parmap.serial] when the
           engine runs with [--jobs 1]. *)
   quick : bool;  (** Reduced sweep sizes (the drivers' [--quick]). *)
+  checkpoint : unit -> unit;
+      (** Cooperative cancellation point, the engine-level analogue of
+          the simulator's cycle watchdog. Long-running bodies should
+          call it at natural boundaries (sweep iterations, per-trace
+          steps); when the scheduler runs the job under a deadline
+          policy it raises [Diag.Error (Deadline _)] once the budget is
+          exhausted, otherwise it is a no-op ([ignore]). The scheduler
+          also threads it through [par], so any body that spreads its
+          work over chunks gets deadline checks at every chunk boundary
+          for free. *)
 }
 
 type t = {
@@ -38,3 +48,7 @@ val serial_ctx : ?quick:bool -> ?telemetry:Tca_telemetry.Sink.t -> unit -> ctx
 val fingerprint : t -> quick:bool -> string
 (** Canonical input fingerprint: name, sorted params and the quick flag.
     The cache prepends its model-version salt (see {!Cache.key}). *)
+
+val fingerprint_digest : t -> quick:bool -> string
+(** Hex digest of {!fingerprint} — the short stable form used in
+    failure reports and [Diag.Task_failure]. *)

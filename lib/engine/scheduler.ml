@@ -1,12 +1,147 @@
+exception Transient of string
+
+type policy = {
+  deadline_s : float option;
+  retries : int;
+  backoff_s : float;
+  fail_fast : bool;
+}
+
+let default_policy =
+  { deadline_s = None; retries = 0; backoff_s = 0.1; fail_fast = false }
+
+type failure = { diag : Tca_util.Diag.t; attempts : int }
+
+type status =
+  | Done of Artifact.t
+  | Failed of failure
+  | Skipped
+
 type outcome = {
   job : Job.t;
-  artifact : Artifact.t;
+  fingerprint : string;
+  status : status;
   cached : bool;
   seconds : float;
+  attempts : int;
   telemetry : Tca_telemetry.Sink.t option;
 }
 
-let run ?cache ?(quick = false) ?(collect_telemetry = false) ?(jobs = 1) js =
+let artifact o = match o.status with Done a -> Some a | Failed _ | Skipped -> None
+
+let artifact_exn o =
+  match o.status with
+  | Done a -> a
+  | Failed f -> raise (Tca_util.Diag.Error f.diag)
+  | Skipped ->
+      raise
+        (Tca_util.Diag.Error
+           (Tca_util.Diag.Invalid
+              {
+                field = "Scheduler.artifact_exn";
+                message =
+                  Printf.sprintf "job %s was skipped (fail-fast)"
+                    o.job.Job.name;
+              }))
+
+(* Retry only what plausibly goes away on its own: explicit [Transient]
+   signals and I/O-shaped system errors. A [Diag.Error] or any other
+   exception from a pure body is deterministic — retrying it would just
+   fail [retries] more times, slower. *)
+let is_transient = function
+  | Transient _ | Sys_error _ | Unix.Unix_error _ | Out_of_memory -> true
+  | _ -> false
+
+let diag_of_exn (j : Job.t) ~fingerprint e bt =
+  match e with
+  | Tca_util.Diag.Error d -> d
+  | e ->
+      Tca_util.Diag.Task_failure
+        {
+          job = j.Job.name;
+          fingerprint;
+          exn = Printexc.to_string e;
+          backtrace = Printexc.raw_backtrace_to_string bt;
+        }
+
+(* Thread the deadline through [par] as well: a body that fans its sweep
+   out over chunks gets a cancellation point at every chunk boundary
+   without knowing the policy exists. *)
+let guarded_par par checkpoint =
+  {
+    Tca_util.Parmap.run =
+      (fun f xs ->
+        checkpoint ();
+        par.Tca_util.Parmap.run
+          (fun x ->
+            checkpoint ();
+            f x)
+          xs);
+  }
+
+(* The per-task supervisor: runs the body under the policy's deadline,
+   retries transient failures with exponential backoff, and converts
+   every escape — typed diag, deadline, arbitrary exception — into a
+   [Failed] outcome instead of letting it tear down the Domain pool.
+   Each attempt gets a fresh telemetry sink so a retried success carries
+   exactly the events of its successful attempt. *)
+let supervise (j : Job.t) ~fingerprint ~policy ~collect_telemetry ~quick pool_par
+    =
+  let rec attempt n =
+    let telemetry =
+      if collect_telemetry then
+        Some
+          (Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ())
+             ())
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let checkpoint =
+      match policy.deadline_s with
+      | None -> ignore
+      | Some d ->
+          fun () ->
+            if Unix.gettimeofday () -. t0 > d then
+              raise
+                (Tca_util.Diag.Error
+                   (Tca_util.Diag.Deadline { job = j.Job.name; seconds = d }))
+    in
+    let par =
+      match policy.deadline_s with
+      | None -> pool_par
+      | Some _ -> guarded_par pool_par checkpoint
+    in
+    let ctx = { Job.telemetry; par; quick; checkpoint } in
+    match j.Job.body ctx with
+    | a ->
+        let seconds = Unix.gettimeofday () -. t0 in
+        (Done a, n, seconds, telemetry)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        let seconds = Unix.gettimeofday () -. t0 in
+        if is_transient e && n <= policy.retries then begin
+          if policy.backoff_s > 0.0 then
+            Unix.sleepf (policy.backoff_s *. (2.0 ** float_of_int (n - 1)));
+          attempt (n + 1)
+        end
+        else
+          ( Failed { diag = diag_of_exn j ~fingerprint e bt; attempts = n },
+            n,
+            seconds,
+            telemetry )
+  in
+  attempt 1
+
+let bump metrics name delta =
+  match metrics with
+  | None -> ()
+  | Some reg -> (
+      match Tca_telemetry.Metrics.counter reg name with
+      | Ok c -> Tca_telemetry.Metrics.Counter.add c delta
+      | Error _ -> ())
+
+let run ?cache ?(policy = default_policy) ?metrics ?(quick = false)
+    ?(collect_telemetry = false) ?(jobs = 1) js =
   let js = Array.of_list js in
   (* Phase 1 (serial): cache lookups. *)
   let looked_up =
@@ -19,43 +154,144 @@ let run ?cache ?(quick = false) ?(collect_telemetry = false) ?(jobs = 1) js =
             (j, Some k, Cache.find c k))
       js
   in
-  (* Phase 2 (parallel): run the misses. *)
+  (* Phase 2 (parallel): run the misses, each under its supervisor. A
+     failure can only mark the abort flag; it never propagates into the
+     pool, so every in-flight job still settles and N-1 artifacts
+     survive one poisoned point. *)
+  let aborted = Atomic.make false in
   let outcomes =
     Pool.with_pool
       ~workers:(max 0 (jobs - 1))
       (fun pool ->
         Pool.map pool
           (fun ((j : Job.t), _key, hit) ->
+            let fingerprint = Job.fingerprint_digest j ~quick in
             match hit with
-            | Some artifact ->
-                { job = j; artifact; cached = true; seconds = 0.; telemetry = None }
+            | Some a ->
+                {
+                  job = j;
+                  fingerprint;
+                  status = Done a;
+                  cached = true;
+                  seconds = 0.;
+                  attempts = 0;
+                  telemetry = None;
+                }
             | None ->
-                let telemetry =
-                  if collect_telemetry then
-                    Some
-                      (Tca_telemetry.Sink.create
-                         ~metrics:(Tca_telemetry.Metrics.create ())
-                         ())
-                  else None
-                in
-                let t0 = Unix.gettimeofday () in
-                let ctx = { Job.telemetry; par = Pool.parmap pool; quick } in
-                let artifact = j.Job.body ctx in
-                let seconds = Unix.gettimeofday () -. t0 in
-                { job = j; artifact; cached = false; seconds; telemetry })
+                if policy.fail_fast && Atomic.get aborted then
+                  {
+                    job = j;
+                    fingerprint;
+                    status = Skipped;
+                    cached = false;
+                    seconds = 0.;
+                    attempts = 0;
+                    telemetry = None;
+                  }
+                else begin
+                  let status, attempts, seconds, telemetry =
+                    supervise j ~fingerprint ~policy ~collect_telemetry ~quick
+                      (Pool.parmap pool)
+                  in
+                  (match status with
+                  | Failed _ when policy.fail_fast -> Atomic.set aborted true
+                  | _ -> ());
+                  { job = j; fingerprint; status; cached = false; seconds;
+                    attempts; telemetry }
+                end)
           looked_up)
   in
-  (* Phase 3 (serial): cache stores, in job order. *)
+  (* Phase 3 (serial): cache stores for fresh successes, in job order. *)
   (match cache with
   | None -> ()
   | Some c ->
       Array.iteri
         (fun i (_, k, _) ->
           match (k, outcomes.(i)) with
-          | Some k, { cached = false; artifact; _ } -> Cache.store c k artifact
+          | Some k, { cached = false; status = Done a; _ } -> Cache.store c k a
           | _ -> ())
         looked_up);
+  Array.iter
+    (fun o ->
+      match o.status with
+      | Done _ ->
+          bump metrics
+            (if o.cached then "engine.tasks.cached" else "engine.tasks.succeeded")
+            1;
+          if o.attempts > 1 then
+            bump metrics "engine.tasks.retried" (o.attempts - 1)
+      | Failed f ->
+          bump metrics "engine.tasks.failed" 1;
+          if f.attempts > 1 then
+            bump metrics "engine.tasks.retried" (f.attempts - 1)
+      | Skipped -> bump metrics "engine.tasks.skipped" 1)
+    outcomes;
   Array.to_list outcomes
+
+(* --- failure reporting --- *)
+
+let diag_kind = function
+  | Tca_util.Diag.Parse _ -> "parse"
+  | Tca_util.Diag.Domain _ -> "domain"
+  | Tca_util.Diag.Non_finite _ -> "non_finite"
+  | Tca_util.Diag.Empty_input _ -> "empty_input"
+  | Tca_util.Diag.Ragged_input _ -> "ragged_input"
+  | Tca_util.Diag.Invalid _ -> "invalid"
+  | Tca_util.Diag.Watchdog _ -> "watchdog"
+  | Tca_util.Diag.Task_failure _ -> "task_failure"
+  | Tca_util.Diag.Deadline _ -> "deadline"
+
+let count p outcomes = List.length (List.filter p outcomes)
+
+let failures outcomes =
+  List.filter_map
+    (fun o -> match o.status with Failed f -> Some (o, f) | _ -> None)
+    outcomes
+
+let first_failure outcomes =
+  match failures outcomes with (_, f) :: _ -> Some f.diag | [] -> None
+
+(* Everything in the report is stable across [--jobs N]: input order,
+   configured budgets, attempt counts — no wall-clock, no backtraces
+   (those stay inside the [Task_failure] payload for interactive
+   debugging). The failure-path CI diff relies on this. *)
+let failure_report outcomes =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("succeeded",
+       Int
+         (count
+            (fun o ->
+              match o.status with Done _ -> not o.cached | _ -> false)
+            outcomes));
+      ("cached", Int (count (fun o -> o.cached) outcomes));
+      ("failed", Int (List.length (failures outcomes)));
+      ("skipped",
+       Int (count (fun o -> o.status = Skipped) outcomes));
+      ( "failures",
+        List
+          (List.map
+             (fun (o, f) ->
+               Obj
+                 [
+                   ("job", String o.job.Job.name);
+                   ("fingerprint", String o.fingerprint);
+                   ("kind", String (diag_kind f.diag));
+                   ("diag", String (Tca_util.Diag.to_string f.diag));
+                   ("exit_code", Int (Tca_util.Diag.exit_code f.diag));
+                   ("attempts", Int f.attempts);
+                 ])
+             (failures outcomes)) );
+      ( "skipped_jobs",
+        List
+          (List.filter_map
+             (fun o ->
+               match o.status with
+               | Skipped -> Some (String o.job.Job.name)
+               | _ -> None)
+             outcomes) );
+    ]
 
 let merged_sink outcomes =
   let into =

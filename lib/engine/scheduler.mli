@@ -1,28 +1,73 @@
-(** Deterministic multicore execution of a set of jobs.
+(** Supervised multicore scheduler for experiment jobs.
 
-    Independent jobs run in parallel on a fixed {!Pool} of domains, and
-    each job's intra-sweep chunks run on the same pool through
-    [ctx.par]. The engine's core invariant: for pure job bodies,
-    [run ~jobs:1] and [run ~jobs:n] produce {e bit-identical} artifacts
-    (and identical merged telemetry event sequences, modulo wall-clock
-    timestamps) — parallelism changes only where and when work runs,
-    never what it computes. The test suite and the fuzz harness assert
-    this end to end.
+    Three phases: serial cache lookups, a parallel map over the misses
+    on a {!Pool}, serial cache stores. Every miss runs under a per-task
+    {e supervisor}: the body executes with the run policy's deadline
+    threaded through {!Job.ctx.checkpoint} (and through [ctx.par] chunk
+    boundaries), transient failures are retried with exponential
+    backoff, and any escape — a typed [Diag.Error], a tripped deadline,
+    an arbitrary exception — becomes a [Failed] outcome instead of
+    propagating into the pool. A sweep with one poisoned point
+    therefore still yields the other N-1 artifacts, plus a
+    machine-readable {!failure_report}.
 
-    Cache interaction is serialised: all lookups happen before the
-    parallel phase, all stores after it, so {!Cache.t} needs no locks. *)
+    Determinism contract: with [fail_fast = false] the full outcome
+    list — statuses, diags, attempt counts, and hence the rendered
+    failure report — is bit-identical across [--jobs 1] and [--jobs N].
+    With [fail_fast = true] the set of [Skipped] jobs depends on
+    completion timing under parallelism; only serial fail-fast runs are
+    reproducible. *)
+
+exception Transient of string
+(** Raise from a job body to signal a failure worth retrying (the
+    scheduler also treats [Sys_error], [Unix.Unix_error] and
+    [Out_of_memory] as transient). Anything else is considered
+    deterministic and fails immediately. *)
+
+type policy = {
+  deadline_s : float option;
+      (** Per-job wall-clock budget, enforced cooperatively at
+          {!Job.ctx.checkpoint} / [par] chunk boundaries; a tripped
+          budget fails the job with [Diag.Deadline]. [None] = no
+          deadline. The diag records the configured budget, not the
+          elapsed time, so reports stay bit-identical across [--jobs]. *)
+  retries : int;
+      (** Extra attempts for transient failures; 0 = fail on first. *)
+  backoff_s : float;
+      (** Base backoff: attempt [n] sleeps [backoff_s * 2^(n-1)] before
+          retrying. *)
+  fail_fast : bool;
+      (** [true]: after the first failure, not-yet-started jobs are
+          [Skipped]. [false] (keep-going, the default): every job runs
+          to an outcome. *)
+}
+
+val default_policy : policy
+(** No deadline, no retries, 0.1s base backoff, keep-going. *)
+
+type failure = { diag : Tca_util.Diag.t; attempts : int }
+
+type status =
+  | Done of Artifact.t
+  | Failed of failure
+  | Skipped  (** never started: fail-fast tripped by an earlier failure *)
 
 type outcome = {
   job : Job.t;
-  artifact : Artifact.t;
+  fingerprint : string;  (** {!Job.fingerprint_digest} of the job *)
+  status : status;
   cached : bool;  (** re-served from the cache, body not run *)
-  seconds : float;  (** wall-clock body time; [0.] when [cached] *)
+  seconds : float;  (** wall-clock of the last attempt; 0 for hits/skips *)
+  attempts : int;  (** body attempts made; 0 for cache hits and skips *)
   telemetry : Tca_telemetry.Sink.t option;
-      (** per-job sink, when [collect_telemetry] and not [cached] *)
+      (** present for fresh (non-cached) attempts when requested; a
+          retried job carries the sink of its final attempt only *)
 }
 
 val run :
   ?cache:Cache.t ->
+  ?policy:policy ->
+  ?metrics:Tca_telemetry.Metrics.t ->
   ?quick:bool ->
   ?collect_telemetry:bool ->
   ?jobs:int ->
@@ -30,9 +75,30 @@ val run :
   outcome list
 (** Execute the jobs; outcomes are returned in input order. [jobs]
     (default [1]) is the total parallelism: the pool gets [jobs - 1]
-    worker domains and the calling domain participates. If a body
-    raises, all in-flight jobs settle first, then the exception of the
-    earliest failing job is re-raised. *)
+    worker domains and the calling domain participates. Only [Done]
+    artifacts of fresh runs are stored to the cache. With [metrics],
+    bumps [engine.tasks.{succeeded,failed,skipped,cached,retried}].
+    Never raises on job failure — inspect outcome statuses. *)
+
+val artifact : outcome -> Artifact.t option
+
+val artifact_exn : outcome -> Artifact.t
+(** @raise Tca_util.Diag.Error the failure's diag (or [Invalid] for a
+    skipped job). *)
+
+val first_failure : outcome list -> Tca_util.Diag.t option
+(** Diag of the first failed outcome in input order — drives the
+    process exit code. *)
+
+val failure_report : outcome list -> Tca_util.Json.t
+(** Machine-readable run report: succeeded/cached/failed/skipped counts
+    plus one record per failure (job, fingerprint, diag kind, rendered
+    diag, exit code, attempts) and the skipped-job names. Contains no
+    wall-clock times and no backtraces, so keep-going reports are
+    bit-identical across [--jobs 1] / [--jobs N]. *)
+
+val diag_kind : Tca_util.Diag.t -> string
+(** Stable snake_case tag for a diag variant, as used in the report. *)
 
 val merged_sink : outcome list -> Tca_telemetry.Sink.t
 (** One sink holding every outcome's events, joined in outcome order

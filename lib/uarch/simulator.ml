@@ -24,21 +24,52 @@ let measure_ipc ?telemetry cfg trace =
 let measure_ipc_exn ?telemetry cfg trace =
   Tca_util.Diag.ok_exn (measure_ipc ?telemetry cfg trace)
 
+(* Containment: a raise from one entry — a typed [Diag.Error] escaping a
+   convenience call, or any other exception from decode or run — costs
+   that entry its result, never the batch. Without this, the eager
+   decode below (or a raise inside a parallel [Pipeline.run]) would tear
+   down all N entries on one poisoned trace. *)
+let contain i f =
+  try f () with
+  | Tca_util.Diag.Error d -> Error d
+  | e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Error
+        (Tca_util.Diag.Task_failure
+           {
+             job = Printf.sprintf "run_batch[%d]" i;
+             fingerprint = "";
+             exn = Printexc.to_string e;
+             backtrace = Printexc.raw_backtrace_to_string bt;
+           })
+
 let run_batch ?telemetry ?(par = Tca_util.Parmap.serial) entries =
+  let n = Array.length entries in
   (* Decode every distinct trace eagerly, before the fan-out: the memo
      on [Trace.t] makes later decodes free, and pre-populating it here
      keeps parallel domains from racing to duplicate the same work
-     (the race is benign — decoding is pure — just wasteful). *)
-  Array.iter (fun (_, trace) -> ignore (Trace.decoded trace)) entries;
-  let n = Array.length entries in
+     (the race is benign — decoding is pure — just wasteful). A decode
+     failure is remembered per entry and reported in place. *)
+  let decode_failures =
+    Array.mapi
+      (fun i (_, trace) ->
+        match contain i (fun () -> Ok (ignore (Trace.decoded trace))) with
+        | Ok () -> None
+        | Error d -> Some d)
+      entries
+  in
   let sinks =
     Array.init n (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry)
   in
   let results =
     par.Tca_util.Parmap.run
       (fun i ->
-        let cfg, trace = entries.(i) in
-        Pipeline.run ?telemetry:sinks.(i) cfg trace)
+        match decode_failures.(i) with
+        | Some d -> Error d
+        | None ->
+            contain i (fun () ->
+                let cfg, trace = entries.(i) in
+                Pipeline.run ?telemetry:sinks.(i) cfg trace))
       (Array.init n Fun.id)
   in
   (match telemetry with

@@ -41,8 +41,11 @@ val run_batch :
     (default serial) spreads the runs over a pool with bit-identical
     results: each run records into a fork of [?telemetry], and the
     children are joined back in entry order whatever [par] is.
-    Per-entry [Error]s are reported in place; one bad configuration
-    does not poison the batch. *)
+    Failures are contained per entry: an [Error] (bad configuration), a
+    watchdog truncation ([Ok (Partial _)] with the diag in place — see
+    {!Pipeline.run}) or even an exception escaping one entry's decode
+    or run (reported as [Error (Task_failure _)]) never poisons the
+    other N-1 results. *)
 
 val compare_modes :
   ?telemetry:Tca_telemetry.Sink.t ->

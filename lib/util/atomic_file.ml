@@ -1,0 +1,27 @@
+let write path contents =
+  let dir = Filename.dirname path in
+  match
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp"
+  with
+  | exception Sys_error message ->
+      Error
+        (Diag.Invalid
+           { field = "Atomic_file.write"; message = path ^ ": " ^ message })
+  | tmp -> (
+      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+      match
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc contents);
+        Sys.rename tmp path
+      with
+      | () -> Ok ()
+      | exception Sys_error message ->
+          cleanup ();
+          Error
+            (Diag.Invalid
+               { field = "Atomic_file.write"; message = path ^ ": " ^ message })
+      )
+
+let write_exn path contents = Diag.ok_exn (write path contents)

@@ -1,0 +1,18 @@
+(** Atomic whole-file writes: temp file in the target directory, then
+    [Sys.rename].
+
+    Readers of [path] see either the previous contents or the complete
+    new contents, never a truncated mix — an interrupted bench, an
+    aborted [--out DIR] export or a [kill -9] mid-write can no longer
+    leave a half-written JSON for a downstream consumer to choke on.
+    The temp file lives in the same directory as the target so the
+    rename stays on one filesystem (rename is atomic only then); a
+    failed write removes its temp file. *)
+
+val write : string -> string -> (unit, Diag.t) result
+(** [write path contents] replaces [path] atomically.
+    [Error (Invalid _)] when the directory is unwritable or the rename
+    fails; the target is untouched in that case. *)
+
+val write_exn : string -> string -> unit
+(** @raise Diag.Error on failure. *)

@@ -6,6 +6,13 @@ type t =
   | Watchdog of { cycles : int; committed : int; total : int }
   | Parse of { field : string; input : string; message : string }
   | Invalid of { field : string; message : string }
+  | Task_failure of {
+      job : string;
+      fingerprint : string;
+      exn : string;
+      backtrace : string;
+    }
+  | Deadline of { job : string; seconds : float }
 
 exception Error of t
 
@@ -25,6 +32,15 @@ let pp fmt = function
   | Parse { field; input; message } ->
       Format.fprintf fmt "%s: cannot parse %S (%s)" field input message
   | Invalid { field; message } -> Format.fprintf fmt "%s: %s" field message
+  (* The backtrace is deliberately not part of the rendering: it varies
+     with the scheduling mode (-j1 vs -jN stack shapes) and with
+     OCAMLRUNPARAM, while the rendered diagnostic must be stable enough
+     to appear in bit-identical failure reports. *)
+  | Task_failure { job; fingerprint; exn; _ } ->
+      Format.fprintf fmt "job %s (params %s) failed: uncaught exception %s"
+        job fingerprint exn
+  | Deadline { job; seconds } ->
+      Format.fprintf fmt "job %s exceeded its %gs deadline" job seconds
 
 let to_string d = Format.asprintf "%a" pp d
 
@@ -36,6 +52,8 @@ let exit_code = function
   | Ragged_input _ -> 6
   | Invalid _ -> 7
   | Watchdog _ -> 8
+  | Task_failure _ -> 9
+  | Deadline _ -> 10
 
 let ok_exn = function Ok x -> x | Result.Error d -> raise (Error d)
 

@@ -32,6 +32,24 @@ type t =
   | Invalid of { field : string; message : string }
       (** Structural invariant violation not covered by the variants
           above (e.g. a singular value, an inconsistent configuration). *)
+  | Task_failure of {
+      job : string;  (** scheduler job name *)
+      fingerprint : string;  (** digest of the job's params fingerprint *)
+      exn : string;  (** [Printexc.to_string] of the escaped exception *)
+      backtrace : string;
+          (** raw backtrace at the supervisor's catch point; empty when
+              backtrace recording is off. Excluded from {!pp} so the
+              rendered diagnostic is identical whatever the scheduling
+              mode — surface it separately when debugging. *)
+    }
+      (** A supervised engine task raised instead of returning an
+          artifact. Produced by the scheduler's per-task supervisor, never
+          by the model/simulator layers. *)
+  | Deadline of { job : string; seconds : float }
+      (** A supervised engine task exceeded its per-job wall-clock budget
+          of [seconds] (the configured budget, not the measured elapsed
+          time, so reports stay deterministic). The engine-level analogue
+          of the simulator's {!Watchdog}. *)
 
 exception Error of t
 (** Raised by the [*_exn] wrappers. *)
@@ -42,8 +60,8 @@ val to_string : t -> string
 val exit_code : t -> int
 (** Stable process exit code per diagnostic class (documented in the
     README): Parse 2, Domain 3, Non_finite 4, Empty_input 5,
-    Ragged_input 6, Invalid 7, Watchdog 8. 0 and 1 are never returned
-    (success and generic failure). *)
+    Ragged_input 6, Invalid 7, Watchdog 8, Task_failure 9, Deadline 10.
+    0 and 1 are never returned (success and generic failure). *)
 
 val ok_exn : ('a, t) result -> 'a
 (** [Ok x -> x]; [Error d -> raise (Error d)]. *)

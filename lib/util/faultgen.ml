@@ -60,6 +60,40 @@ let matrix_adversarial t =
       let c = if Prng.int t 5 = 0 then Prng.int_in t 0 8 else cols in
       Array.init c (fun _ -> float_adversarial t))
 
+(* --- engine-layer faults --- *)
+
+type engine_fault =
+  | Raise
+  | Transient_failures of int
+  | Hang
+  | Corrupt_artifact
+
+let engine_fault t =
+  match Prng.int t 4 with
+  | 0 -> Raise
+  | 1 -> Transient_failures (Prng.int_in t 1 4)
+  | 2 -> Hang
+  | _ -> Corrupt_artifact
+
+(* Bit-flip somewhere in the middle, truncate, or both — the shapes a
+   torn write or a bad sector leaves behind. The result is never equal
+   to the input (a flip changes one byte; a truncation shortens). *)
+let corrupt_string t s =
+  let n = String.length s in
+  if n = 0 then "\x00"
+  else
+    let flip_byte str =
+      let b = Bytes.of_string str in
+      let i = Prng.int t (Bytes.length b) in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int t 8)));
+      Bytes.to_string b
+    in
+    match Prng.int t 3 with
+    | 0 -> String.sub s 0 (Prng.int t n) (* truncate, possibly to empty *)
+    | 1 -> flip_byte s
+    | _ -> flip_byte (String.sub s 0 (1 + Prng.int t n))
+
 type core_spec = {
   ipc : float;
   rob_size : int;

@@ -45,6 +45,30 @@ val matrix_adversarial : t -> float array array
 (** Small float matrix; sometimes empty, sometimes ragged, cells drawn
     from {!float_adversarial}. *)
 
+(** {2 Engine-layer faults}
+
+    The shapes a misbehaving experiment job or a damaged cache file can
+    take, for the engine fault-injection harness. The generator only
+    names the fault; mapping it onto a job body lives in
+    [Tca_engine.Inject] so this module stays dependency-free. *)
+
+type engine_fault =
+  | Raise  (** the job body raises a permanent exception *)
+  | Transient_failures of int
+      (** the body fails the first [n] attempts ([1 <= n <= 3]) with a
+          transient error, then succeeds — exercises bounded retry *)
+  | Hang  (** the body spins until the per-job deadline trips *)
+  | Corrupt_artifact
+      (** the body returns a structurally valid but wrong artifact *)
+
+val engine_fault : t -> engine_fault
+
+val corrupt_string : t -> string -> string
+(** Damage a byte string the way torn writes and bit rot do: truncate at
+    a random offset (possibly to empty), flip one random bit, or
+    truncate then flip. Never returns the input unchanged; the empty
+    input yields a single NUL byte. *)
+
 (** Shape of the analytical model's core parameters (mirrors
     [Tca_model.Params.core]). *)
 type core_spec = {

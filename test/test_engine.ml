@@ -272,12 +272,26 @@ let test_cache_disk_roundtrip () =
         (A.fingerprint b)
   | None -> Alcotest.fail "disk entry not found");
   Alcotest.(check int) "hit counted" 1 (Cache.hits c2);
-  (* corruption degrades to a miss, never an error *)
+  (* corruption degrades to a quarantined miss, never an error *)
   let oc = open_out (Filename.concat dir (k ^ ".json")) in
   output_string oc "{not json";
   close_out oc;
   let c3 = Cache.create ~dir () in
-  Alcotest.(check bool) "corrupt = miss" true (Cache.find c3 k = None)
+  Alcotest.(check bool) "corrupt = miss" true (Cache.find c3 k = None);
+  Alcotest.(check int) "corrupt entry quarantined" 1 (Cache.quarantined c3);
+  Alcotest.(check bool) "moved off the addressed path" false
+    (Sys.file_exists (Filename.concat dir (k ^ ".json")));
+  Alcotest.(check bool) "kept for post-mortem" true
+    (Sys.file_exists
+       (Filename.concat (Filename.concat dir "quarantine") (k ^ ".json")));
+  (* the slot is reusable after quarantine *)
+  Cache.store c3 k a;
+  let c4 = Cache.create ~dir () in
+  (match Cache.find c4 k with
+  | Some b ->
+      Alcotest.(check string) "re-stored artifact served" (A.fingerprint a)
+        (A.fingerprint b)
+  | None -> Alcotest.fail "re-stored entry not found")
 
 (* --- scheduler: the bit-identity invariant --- *)
 
@@ -318,7 +332,7 @@ let synth_job name n =
 
 let fingerprints outcomes =
   List.map
-    (fun (o : Scheduler.outcome) -> A.fingerprint o.Scheduler.artifact)
+    (fun (o : Scheduler.outcome) -> A.fingerprint (Scheduler.artifact_exn o))
     outcomes
 
 let event_shape (e : Tca_telemetry.Sink.event) =
@@ -400,6 +414,166 @@ let test_scheduler_quick_does_not_alias () =
   Alcotest.(check (list bool)) "quick misses full-run entry" [ false ]
     (List.map (fun (o : Scheduler.outcome) -> o.Scheduler.cached) second)
 
+(* --- scheduler: supervision, retries, deadlines, fail-fast --- *)
+
+module Inject = Tca_engine.Inject
+
+let statuses outcomes =
+  List.map
+    (fun (o : Scheduler.outcome) ->
+      match o.Scheduler.status with
+      | Scheduler.Done _ -> "done"
+      | Scheduler.Failed { diag; _ } -> Scheduler.diag_kind diag
+      | Scheduler.Skipped -> "skipped")
+    outcomes
+
+let report_string outcomes =
+  Tca_util.Json.to_string (Scheduler.failure_report outcomes)
+
+let test_scheduler_failure_containment () =
+  (* One poisoned job: the pool survives, the other N-1 artifacts are
+     produced, and the whole outcome list — hence the failure report —
+     is bit-identical across --jobs. *)
+  let js =
+    Inject.wrap
+      [ ("s1", Inject.Raise) ]
+      (List.init 4 (fun i -> synth_job (Printf.sprintf "s%d" i) (4 + i)))
+  in
+  let serial = Scheduler.run ~jobs:1 js in
+  let parallel = Scheduler.run ~jobs:4 js in
+  Alcotest.(check (list string)) "one failure, three artifacts"
+    [ "done"; "task_failure"; "done"; "done" ]
+    (statuses serial);
+  Alcotest.(check (list string)) "statuses identical across jobs"
+    (statuses serial) (statuses parallel);
+  Alcotest.(check string) "failure report identical across jobs"
+    (report_string serial) (report_string parallel);
+  let survivors os =
+    List.filter_map
+      (fun o -> Option.map A.fingerprint (Scheduler.artifact o))
+      os
+  in
+  Alcotest.(check (list string)) "survivors bit-identical"
+    (survivors serial) (survivors parallel);
+  (match Scheduler.first_failure serial with
+  | Some (Tca_util.Diag.Task_failure { job; _ } as d) ->
+      Alcotest.(check string) "failing job named" "s1" job;
+      Alcotest.(check int) "exit code" 9 (Tca_util.Diag.exit_code d)
+  | _ -> Alcotest.fail "expected Task_failure as first failure")
+
+let test_scheduler_deadline () =
+  let js =
+    Inject.wrap
+      [ ("hang", Inject.Hang) ]
+      [ synth_job "ok" 4; synth_job "hang" 4 ]
+  in
+  let policy =
+    { Scheduler.default_policy with Scheduler.deadline_s = Some 0.05 }
+  in
+  let outcomes = Scheduler.run ~policy ~jobs:2 js in
+  Alcotest.(check (list string)) "hang trips deadline, ok completes"
+    [ "done"; "deadline" ]
+    (statuses outcomes);
+  match List.nth outcomes 1 with
+  | {
+      Scheduler.status =
+        Scheduler.Failed
+          { diag = Tca_util.Diag.Deadline { job; seconds }; _ };
+      _;
+    } ->
+      Alcotest.(check string) "job named" "hang" job;
+      (* the configured budget, not the elapsed time: deterministic *)
+      Alcotest.(check (float 0.0)) "budget recorded" 0.05 seconds
+  | _ -> Alcotest.fail "expected Deadline failure"
+
+let test_scheduler_retry () =
+  let make_js () =
+    Inject.wrap
+      [ ("flaky", Inject.Transient_failures 2) ]
+      [ synth_job "flaky" 4 ]
+  in
+  let policy retries =
+    { Scheduler.default_policy with Scheduler.retries; backoff_s = 0.0 }
+  in
+  (* enough retries: recovers, attempts recorded *)
+  (match Scheduler.run ~policy:(policy 2) (make_js ()) with
+  | [ { Scheduler.status = Scheduler.Done _; attempts; _ } ] ->
+      Alcotest.(check int) "third attempt succeeded" 3 attempts
+  | _ -> Alcotest.fail "expected recovery with retries=2");
+  (* too few: permanent failure after exhausting the budget *)
+  match Scheduler.run ~policy:(policy 1) (make_js ()) with
+  | [ { Scheduler.status = Scheduler.Failed { diag; attempts }; _ } ] ->
+      Alcotest.(check string) "reported as task_failure" "task_failure"
+        (Scheduler.diag_kind diag);
+      Alcotest.(check int) "both attempts made" 2 attempts
+  | _ -> Alcotest.fail "expected failure with retries=1"
+
+let test_scheduler_fail_fast () =
+  let js =
+    Inject.wrap
+      [ ("s0", Inject.Raise) ]
+      (List.init 3 (fun i -> synth_job (Printf.sprintf "s%d" i) 4))
+  in
+  let policy = { Scheduler.default_policy with Scheduler.fail_fast = true } in
+  (* serial fail-fast is deterministic: everything after the failure is
+     skipped *)
+  let outcomes = Scheduler.run ~policy ~jobs:1 js in
+  Alcotest.(check (list string)) "rest skipped"
+    [ "task_failure"; "skipped"; "skipped" ]
+    (statuses outcomes);
+  (* keep-going (default) runs everything *)
+  let outcomes = Scheduler.run ~jobs:1 js in
+  Alcotest.(check (list string)) "keep-going runs all"
+    [ "task_failure"; "done"; "done" ]
+    (statuses outcomes)
+
+let test_scheduler_failed_not_cached () =
+  with_temp_dir @@ fun dir ->
+  let js = Inject.wrap [ ("s0", Inject.Raise) ] [ synth_job "s0" 4 ] in
+  let cache = Cache.create ~dir () in
+  let _ = Scheduler.run ~cache js in
+  (* a failure must not leave a cache entry behind: the honest job runs
+     fresh on the next invocation and succeeds *)
+  let honest = [ synth_job "s0" 4 ] in
+  match Scheduler.run ~cache:(Cache.create ~dir ()) honest with
+  | [ { Scheduler.status = Scheduler.Done _; cached; _ } ] ->
+      Alcotest.(check bool) "not served from cache" false cached
+  | _ -> Alcotest.fail "expected fresh success"
+
+let test_scheduler_corrupt_artifact_differs () =
+  (* an injected Corrupt_artifact yields a valid artifact whose bytes
+     differ from the honest run — the fuzz harness's oracle for
+     "corruption is visible" *)
+  let honest =
+    match Scheduler.run [ synth_job "c" 5 ] with
+    | [ o ] -> A.fingerprint (Scheduler.artifact_exn o)
+    | _ -> assert false
+  in
+  match
+    Scheduler.run
+      (Inject.wrap [ ("c", Inject.Corrupt_artifact) ] [ synth_job "c" 5 ])
+  with
+  | [ { Scheduler.status = Scheduler.Done a; _ } ] ->
+      Alcotest.(check bool) "corrupted artifact differs" false
+        (A.fingerprint a = honest)
+  | _ -> Alcotest.fail "corrupt injection must still produce an artifact"
+
+let test_scheduler_metrics () =
+  let metrics = Tca_telemetry.Metrics.create () in
+  let js =
+    Inject.wrap
+      [ ("s1", Inject.Raise); ("s2", Inject.Transient_failures 1) ]
+      (List.init 3 (fun i -> synth_job (Printf.sprintf "s%d" i) 4))
+  in
+  let policy =
+    { Scheduler.default_policy with Scheduler.retries = 1; backoff_s = 0.0 }
+  in
+  let _ = Scheduler.run ~policy ~metrics js in
+  let v name = Tca_telemetry.Metrics.counter_value metrics name in
+  Alcotest.(check int) "succeeded" 2 (v "engine.tasks.succeeded");
+  Alcotest.(check int) "failed" 1 (v "engine.tasks.failed");
+  Alcotest.(check int) "retried" 1 (v "engine.tasks.retried")
+
 let () =
   Alcotest.run "tca_engine"
     [
@@ -452,5 +626,19 @@ let () =
             test_scheduler_warm_cache;
           Alcotest.test_case "quick does not alias" `Quick
             test_scheduler_quick_does_not_alias;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "failure containment + report identity" `Quick
+            test_scheduler_failure_containment;
+          Alcotest.test_case "deadline" `Quick test_scheduler_deadline;
+          Alcotest.test_case "transient retry" `Quick test_scheduler_retry;
+          Alcotest.test_case "fail-fast vs keep-going" `Quick
+            test_scheduler_fail_fast;
+          Alcotest.test_case "failure not cached" `Quick
+            test_scheduler_failed_not_cached;
+          Alcotest.test_case "corrupt artifact differs" `Quick
+            test_scheduler_corrupt_artifact_differs;
+          Alcotest.test_case "task metrics" `Quick test_scheduler_metrics;
         ] );
     ]

@@ -900,6 +900,62 @@ let test_simulator_run_batch () =
   Alcotest.(check bool) "bad entry reported in place" true
     (String.length batch.(2) >= 6 && String.sub batch.(2) 0 6 = "error:")
 
+(* Regression: one watchdog-truncated entry (tiny cycle budget) mixed
+   into a healthy batch must surface as [Ok (Partial _)] in place —
+   stats snapshot kept, [Watchdog] diag attached — while every other
+   entry completes untouched, serial and parallel alike. *)
+let test_simulator_run_batch_partial_mix () =
+  let cfg = Config.hp () in
+  let long =
+    let b = Trace.Builder.create () in
+    for _ = 1 to 200 do
+      Trace.Builder.add b (Isa.int_mult ~src1:0 ~dst:0 ())
+    done;
+    Trace.Builder.build b
+  in
+  let strangled = { cfg with Config.max_cycles = Some 2 } in
+  let entries =
+    [|
+      (cfg, mixed_accel_trace 3 10);
+      (strangled, long);
+      (Config.lp (), mixed_accel_trace 7 25);
+    |]
+  in
+  let check_results results =
+    (match results.(1) with
+    | Ok
+        (Pipeline.Partial
+           { stats; diag = Tca_util.Diag.Watchdog { committed; _ } }) ->
+        Alcotest.(check int) "snapshot committed" stats.Sim_stats.committed
+          committed;
+        Alcotest.(check bool) "truncated" true (committed < Trace.length long)
+    | Ok (Pipeline.Partial { diag; _ }) ->
+        Alcotest.fail ("expected Watchdog, got " ^ Tca_util.Diag.to_string diag)
+    | Ok (Pipeline.Complete _) -> Alcotest.fail "expected Partial in place"
+    | Error d -> Alcotest.fail ("unexpected error: " ^ Tca_util.Diag.to_string d));
+    Array.iteri
+      (fun i r ->
+        if i <> 1 then
+          match r with
+          | Ok (Pipeline.Complete _) -> ()
+          | Ok (Pipeline.Partial _) ->
+              Alcotest.fail "healthy entry truncated"
+          | Error d ->
+              Alcotest.fail
+                ("healthy entry failed: " ^ Tca_util.Diag.to_string d))
+      results
+  in
+  let serial = Simulator.run_batch entries in
+  check_results serial;
+  let parallel =
+    Tca_engine.Pool.with_pool ~workers:2 (fun pool ->
+        Simulator.run_batch ~par:(Tca_engine.Pool.parmap pool) entries)
+  in
+  check_results parallel;
+  Alcotest.(check (array string)) "serial = parallel"
+    (Array.map outcome_key serial)
+    (Array.map outcome_key parallel)
+
 (* --- Golden pins --- *)
 
 (* test/golden/<name>.golden pins [Sim_stats.to_json] for the baseline
@@ -1067,6 +1123,8 @@ let () =
           Alcotest.test_case "compare modes" `Quick test_simulator_compare_modes;
           Alcotest.test_case "measure ipc" `Quick test_simulator_measure_ipc;
           Alcotest.test_case "run_batch" `Quick test_simulator_run_batch;
+          Alcotest.test_case "run_batch partial mix" `Quick
+            test_simulator_run_batch_partial_mix;
         ] );
       ( "golden",
         [ Alcotest.test_case "workload pins" `Quick test_golden_pins ] );
