@@ -12,7 +12,7 @@
      bench/main.exe fig5 fig8          run selected targets
    Targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 logca partial
             design mechanistic occupancy cores hashmap regex strfn
-            engine simulator bechamel all
+            engine simulator scaling bechamel all
 
    The [engine] target times the experiment engine itself: the same job
    set serial (--jobs 1) vs parallel (--jobs = recommended domains) and
@@ -23,7 +23,12 @@
    verbatim pre-optimization reference (Pipeline_reference) on the same
    trace, plus Simulator.run_batch serial vs a domain pool, and records
    both ratios under "simulator" in the JSON summary. CI guards the
-   single-trace speedup against the committed BENCH_results.json. *)
+   single-trace speedup against the committed BENCH_results.json.
+
+   The [scaling] target runs the engine job mix fully profiled at
+   1..N domains and records {domains, wall_s, speedup, efficiency} plus
+   the profiler's component attribution per point under "scaling". CI
+   gates the efficiency at 2 domains against the committed curve. *)
 
 open Tca_experiments
 
@@ -52,6 +57,34 @@ let engine_summary : Tca_util.Json.t option ref = ref None
    quick run. *)
 let simulator_summary : Tca_util.Json.t option ref = ref None
 
+(* Filled by the [scaling] target: the fixed job mix at 1..N domains
+   with profiler attribution per point, recorded under "scaling". CI
+   gates the parallel efficiency at 2 domains against the committed
+   curve. *)
+let scaling_summary : Tca_util.Json.t option ref = ref None
+
+(* Provenance of a BENCH_results.json: which commit, toolchain and
+   machine shape produced it. The regression guard ignores this block —
+   it exists so a curve can be traced back to its origin. *)
+let run_meta () =
+  let git_rev =
+    match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+    | exception _ -> "unknown"
+    | ic -> (
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ | (exception _) -> "unknown")
+  in
+  let open Tca_util.Json in
+  Obj
+    [
+      ("git_rev", String git_rev);
+      ("ocaml_version", String Sys.ocaml_version);
+      ("recommended_domains", Int (Domain.recommended_domain_count ()));
+      ("quick", Bool !quick);
+    ]
+
 let write_summary () =
   match !summary_path with
   | None -> ()
@@ -70,12 +103,19 @@ let write_summary () =
       in
       let doc =
         Obj
-          ([ ("quick", Bool !quick); ("targets", List rows) ]
+          ([
+             ("quick", Bool !quick);
+             ("meta", run_meta ());
+             ("targets", List rows);
+           ]
           @ (match !engine_summary with
             | Some e -> [ ("engine", e) ]
             | None -> [])
           @ (match !simulator_summary with
             | Some s -> [ ("simulator", s) ]
+            | None -> [])
+          @ (match !scaling_summary with
+            | Some s -> [ ("scaling", s) ]
             | None -> [])
           @ [
               ("total_sim_cycles",
@@ -373,6 +413,105 @@ let run_simulator () =
                ] );
          ])
 
+(* --- Scaling curve: the fixed job mix at 1..N domains, profiled --- *)
+
+let run_scaling () =
+  banner "SC" "Scaling curve: fixed job mix at 1..N domains (profiled)";
+  let module Scheduler = Tca_engine.Scheduler in
+  let module T = Tca_telemetry in
+  let job_registry = Jobs.registry () in
+  (* Same mix as the [engine] target, so the two sections are
+     comparable. *)
+  let names =
+    [ "table1"; "fig2"; "fig3"; "fig4"; "logca"; "design"; "mechanistic";
+      "cores" ]
+  in
+  let js =
+    match Tca_engine.Registry.resolve job_registry names with
+    | Ok js -> js
+    | Error d -> failwith (Tca_util.Diag.to_string d)
+  in
+  let quick = !quick in
+  let max_domains = min 8 (max 4 (Domain.recommended_domain_count ())) in
+  (* Every point runs fully instrumented (task sinks + host sink), so
+     the per-point attribution explains the curve: when efficiency
+     drops, the components say whether the time went to scheduler
+     waits, fork/join or the simulator itself. The instrumentation cost
+     is identical at every point, so the ratios are fair. *)
+  let run_at n =
+    let host = T.Sink.create ~metrics:(T.Metrics.create ()) () in
+    let h = Some host in
+    let t0 = T.Timing.now_us () in
+    let outcomes =
+      T.Timing.with_span h T.Profiler.total_span_name (fun () ->
+          let outcomes =
+            Scheduler.run ~quick ~collect_telemetry:true ~host_telemetry:host
+              ~jobs:n js
+          in
+          T.Timing.with_span h "telemetry.merge" (fun () ->
+              Scheduler.join_telemetry ~into:host outcomes);
+          outcomes)
+    in
+    let wall_s = (T.Timing.now_us () -. t0) /. 1e6 in
+    let fingerprints =
+      List.map
+        (fun (o : Scheduler.outcome) ->
+          Tca_engine.Artifact.fingerprint (Scheduler.artifact_exn o))
+        outcomes
+    in
+    (n, wall_s, T.Profiler.of_sink host, fingerprints)
+  in
+  let points = List.map run_at (List.init max_domains (fun i -> i + 1)) in
+  let _, serial_wall, _, serial_fps =
+    match points with p :: _ -> p | [] -> assert false
+  in
+  let identical =
+    List.for_all (fun (_, _, _, fps) -> fps = serial_fps) points
+  in
+  if not identical then
+    Printf.eprintf "[scaling] WARNING: artifacts differ across domain counts\n";
+  List.iter
+    (fun (n, wall_s, profile, _) ->
+      let speedup = if wall_s > 0.0 then serial_wall /. wall_s else 0.0 in
+      Printf.printf
+        "domains %d: wall %.3f s, speedup %.2fx, efficiency %.2f, cpu %.3f s\n"
+        n wall_s speedup
+        (speedup /. float_of_int n)
+        profile.T.Profiler.cpu_s)
+    points;
+  let open Tca_util.Json in
+  scaling_summary :=
+    Some
+      (Obj
+         [
+           ("n_jobs", Int (List.length js));
+           ("max_domains", Int max_domains);
+           ("artifacts_bit_identical", Bool identical);
+           ( "points",
+             List
+               (List.map
+                  (fun (n, wall_s, profile, _) ->
+                    let speedup =
+                      if wall_s > 0.0 then serial_wall /. wall_s else 0.0
+                    in
+                    Obj
+                      [
+                        ("domains", Int n);
+                        ("wall_s", Float wall_s);
+                        ("speedup", Float speedup);
+                        ("efficiency", Float (speedup /. float_of_int n));
+                        ("cpu_s", Float profile.T.Profiler.cpu_s);
+                        ( "attributed_fraction",
+                          Float (T.Profiler.attributed_fraction profile) );
+                        ( "components",
+                          Obj
+                            (List.map
+                               (fun (k, v) -> (k, Float v))
+                               profile.T.Profiler.components) );
+                      ])
+                  points) );
+         ])
+
 (* --- Bechamel micro-benchmarks of the implementation's hot paths --- *)
 
 let bechamel_tests () =
@@ -511,6 +650,7 @@ let targets =
     ("strfn", run_strfn);
     ("engine", run_engine);
     ("simulator", run_simulator);
+    ("scaling", run_scaling);
     ("bechamel", run_bechamel);
   ]
 

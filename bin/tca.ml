@@ -238,21 +238,35 @@ let model_cmd =
 
 let registry () = Tca_experiments.Jobs.registry ()
 
-(* Merged-telemetry export shared by [tca run] and [tca figure]: the
-   per-job sinks are joined in job order, so the files are identical
-   whatever --jobs was. *)
-let export_engine_telemetry ~trace ~metrics outcomes =
+(* Host-side sink for [tca run] / [tca figure] / [tca profile]: carries
+   the scheduler's own phase spans (cache.lookup, pool.spawn, ...) on
+   the calling domain's lane. Only built when some telemetry output was
+   requested, so the no-output path stays on the zero-cost branch. *)
+let engine_host ~trace ~metrics =
   match (trace, metrics) with
-  | None, None -> ()
+  | None, None -> None
   | _ ->
-      let sink = Tca_engine.Scheduler.merged_sink outcomes in
+      Some
+        (Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ())
+           ())
+
+(* Merged-telemetry export shared by [tca run] and [tca figure]: the
+   per-job sinks are joined into the host sink in job order, so the
+   files are identical whatever --jobs was (host phase spans first,
+   then each job's events in input order). *)
+let export_engine_telemetry ~trace ~metrics ~host outcomes =
+  match host with
+  | None -> ()
+  | Some into ->
+      Tca_telemetry.Timing.with_span host "telemetry.merge" (fun () ->
+          Tca_engine.Scheduler.join_telemetry ~into outcomes);
       Option.iter
         (fun path ->
-          or_die (Tca_telemetry.Exporter.write_chrome_trace sink path))
+          or_die (Tca_telemetry.Exporter.write_chrome_trace into path))
         trace;
       Option.iter
         (fun path ->
-          match Tca_telemetry.Sink.metrics sink with
+          match Tca_telemetry.Sink.metrics into with
           | Some registry ->
               or_die (Tca_telemetry.Exporter.write_metrics_json registry path)
           | None -> ())
@@ -822,11 +836,13 @@ let run_cmd =
     in
     let cache = Tca_engine.Cache.create ?dir:cache_dir () in
     let collect = trace_out <> None || metrics_out <> None in
+    let host = engine_host ~trace:trace_out ~metrics:metrics_out in
     let outcomes =
       Tca_engine.Scheduler.run ~cache ~policy ~quick
-        ~collect_telemetry:collect ~jobs js
+        ~collect_telemetry:collect ?host_telemetry:host ~jobs js
     in
-    export_engine_telemetry ~trace:trace_out ~metrics:metrics_out outcomes;
+    export_engine_telemetry ~trace:trace_out ~metrics:metrics_out ~host
+      outcomes;
     (* Surviving artifacts are exported even when other jobs failed:
        one poisoned point costs one artifact, not the sweep. *)
     Option.iter
@@ -945,10 +961,13 @@ let figure_cmd =
     protect @@ fun () ->
     let js = or_die (Tca_engine.Registry.resolve (registry ()) [ id ]) in
     let collect = trace_out <> None || metrics_out <> None in
+    let host = engine_host ~trace:trace_out ~metrics:metrics_out in
     let outcomes =
-      Tca_engine.Scheduler.run ~quick ~collect_telemetry:collect js
+      Tca_engine.Scheduler.run ~quick ~collect_telemetry:collect
+        ?host_telemetry:host js
     in
-    export_engine_telemetry ~trace:trace_out ~metrics:metrics_out outcomes;
+    export_engine_telemetry ~trace:trace_out ~metrics:metrics_out ~host
+      outcomes;
     List.iter
       (fun (o : Tca_engine.Scheduler.outcome) ->
         print_string
@@ -957,6 +976,89 @@ let figure_cmd =
   in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(const run $ id_t $ quick_t $ trace_out_t $ metrics_out_t)
+
+(* --- tca profile --- *)
+
+let profile_cmd =
+  let doc =
+    "Profile a run of registered experiment jobs: execute them fresh \
+     (no cache) with full instrumentation, then print a self-time \
+     table attributing the wall-clock to decode, simulation, telemetry \
+     fork/join, cache, scheduler overhead and other, plus per-domain \
+     lane utilisation, task queue waits and GC pressure."
+  in
+  let names_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"JOB"
+          ~doc:"Job names (see $(b,tca list)); empty = every job.")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Total parallelism: N-1 worker domains plus the calling \
+             domain. The profile shows one lane per domain.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the profile report as indented JSON to FILE \
+                (atomically).")
+  in
+  let run names jobs quick json out trace_out =
+    protect @@ fun () ->
+    if jobs < 1 then
+      die
+        (Tca_util.Diag.Invalid { field = "--jobs"; message = "must be >= 1" });
+    let r = registry () in
+    let js =
+      match names with
+      | [] -> Tca_engine.Registry.all r
+      | names -> or_die (Tca_engine.Registry.resolve r names)
+    in
+    let host =
+      Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) ()
+    in
+    let h = Some host in
+    (* The whole run sits under [profile.total] on the calling domain's
+       lane; the profiler's component table decomposes exactly that
+       span, so 100% of the profiled wall-clock is accounted for. The
+       task-sink merge happens inside it — fork/join cost is part of
+       the run, not bookkeeping after it. *)
+    let outcomes =
+      Tca_telemetry.Timing.with_span h Tca_telemetry.Profiler.total_span_name
+        (fun () ->
+          let outcomes =
+            Tca_engine.Scheduler.run ~quick ~collect_telemetry:true
+              ~host_telemetry:host ~jobs js
+          in
+          Tca_telemetry.Timing.with_span h "telemetry.merge" (fun () ->
+              Tca_engine.Scheduler.join_telemetry ~into:host outcomes);
+          outcomes)
+    in
+    let profile = Tca_telemetry.Profiler.of_sink host in
+    Option.iter
+      (fun path -> or_die (Tca_telemetry.Exporter.write_chrome_trace host path))
+      trace_out;
+    let profile_json () =
+      Tca_util.Json.to_string_indent (Tca_telemetry.Profiler.to_json profile)
+    in
+    Option.iter (fun path -> write_text path (profile_json () ^ "\n")) out;
+    if json then print_endline (profile_json ())
+    else Format.printf "%a@." Tca_telemetry.Profiler.pp profile;
+    match Tca_engine.Scheduler.first_failure outcomes with
+    | None -> ()
+    | Some d ->
+        prerr_endline ("tca: warning: " ^ Tca_util.Diag.to_string d);
+        exit (Tca_util.Diag.exit_code d)
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ names_t $ jobs_t $ quick_t $ json_t $ out_t $ trace_out_t)
 
 (* --- tca trace-report --- *)
 
@@ -988,5 +1090,5 @@ let () =
           [
             modes_cmd; model_cmd; design_cmd; simulate_cmd; sim_cmd;
             run_cmd; list_cmd; trace_cmd; run_trace_cmd; analyze_cmd;
-            trace_report_cmd; figure_cmd;
+            trace_report_cmd; figure_cmd; profile_cmd;
           ]))

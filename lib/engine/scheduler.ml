@@ -79,29 +79,81 @@ let guarded_par par checkpoint =
           xs);
   }
 
+(* GC pressure of one task body, as [Gc.quick_stat] deltas. [quick_stat]
+   does not force a collection, so reading it twice per task is cheap;
+   word counts are truncated to int (53 usable bits — no task allocates
+   past that). *)
+let gc_delta (a : Gc.stat) (b : Gc.stat) =
+  [
+    ("minor_words", int_of_float (b.Gc.minor_words -. a.Gc.minor_words));
+    ("promoted_words",
+     int_of_float (b.Gc.promoted_words -. a.Gc.promoted_words));
+    ("major_words", int_of_float (b.Gc.major_words -. a.Gc.major_words));
+    ("minor_collections", b.Gc.minor_collections - a.Gc.minor_collections);
+    ("major_collections", b.Gc.major_collections - a.Gc.major_collections);
+  ]
+
 (* The per-task supervisor: runs the body under the policy's deadline,
    retries transient failures with exponential backoff, and converts
    every escape — typed diag, deadline, arbitrary exception — into a
    [Failed] outcome instead of letting it tear down the Domain pool.
    Each attempt gets a fresh telemetry sink so a retried success carries
-   exactly the events of its successful attempt. *)
-let supervise (j : Job.t) ~fingerprint ~policy ~collect_telemetry ~quick pool_par
-    =
+   exactly the events of its successful attempt, closed by one
+   [task.run] span (tagged with the job, its queue wait and its GC
+   deltas) that the profiler groups under the executing domain's lane. *)
+let supervise (j : Job.t) ~fingerprint ~policy ~collect_telemetry ~quick
+    ~enqueued_us pool_par =
+  let module T = Tca_telemetry in
+  let wait_us = Float.max 0.0 (T.Timing.now_us () -. enqueued_us) in
   let rec attempt n =
     let telemetry =
       if collect_telemetry then
-        Some
-          (Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ())
-             ())
+        Some (T.Sink.create ~metrics:(T.Metrics.create ()) ())
       else None
     in
-    let t0 = Unix.gettimeofday () in
+    let gc0 =
+      match telemetry with None -> None | Some _ -> Some (Gc.quick_stat ())
+    in
+    let t0 = T.Timing.now_us () in
+    let elapsed () = (T.Timing.now_us () -. t0) /. 1e6 in
+    (* Terminal attempts only: stamp the task's own sink with its
+       [task.run] span, queue-wait histogram and GC counters. All of it
+       is gated on the sink — the disabled path reads the clock twice
+       and nothing else. *)
+    let settle status =
+      let seconds = elapsed () in
+      (match (telemetry, gc0) with
+      | Some sink, Some g0 ->
+          let gc = gc_delta g0 (Gc.quick_stat ()) in
+          let open Tca_util in
+          let args =
+            ("job", Json.String j.Job.name)
+            :: ("wait_us", Json.Float wait_us)
+            :: ("attempts", Json.Int n)
+            :: List.map (fun (k, v) -> ("gc_" ^ k, Json.Int v)) gc
+          in
+          T.Timing.record_span ~args ~ts:t0 telemetry "task.run" ~seconds;
+          (match T.Sink.metrics sink with
+          | None -> ()
+          | Some reg ->
+              (match T.Metrics.histogram reg "task.wait.seconds" with
+              | Ok h -> T.Metrics.Histogram.observe h (wait_us /. 1e6)
+              | Error _ -> ());
+              List.iter
+                (fun (k, v) ->
+                  match T.Metrics.counter reg ("task.gc." ^ k) with
+                  | Ok c -> T.Metrics.Counter.add c v
+                  | Error _ -> ())
+                gc)
+      | _ -> ());
+      (status, n, seconds, telemetry)
+    in
     let checkpoint =
       match policy.deadline_s with
       | None -> ignore
       | Some d ->
           fun () ->
-            if Unix.gettimeofday () -. t0 > d then
+            if elapsed () > d then
               raise
                 (Tca_util.Diag.Error
                    (Tca_util.Diag.Deadline { job = j.Job.name; seconds = d }))
@@ -113,22 +165,16 @@ let supervise (j : Job.t) ~fingerprint ~policy ~collect_telemetry ~quick pool_pa
     in
     let ctx = { Job.telemetry; par; quick; checkpoint } in
     match j.Job.body ctx with
-    | a ->
-        let seconds = Unix.gettimeofday () -. t0 in
-        (Done a, n, seconds, telemetry)
+    | a -> settle (Done a)
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
-        let seconds = Unix.gettimeofday () -. t0 in
         if is_transient e && n <= policy.retries then begin
           if policy.backoff_s > 0.0 then
             Unix.sleepf (policy.backoff_s *. (2.0 ** float_of_int (n - 1)));
           attempt (n + 1)
         end
         else
-          ( Failed { diag = diag_of_exn j ~fingerprint e bt; attempts = n },
-            n,
-            seconds,
-            telemetry )
+          settle (Failed { diag = diag_of_exn j ~fingerprint e bt; attempts = n })
   in
   attempt 1
 
@@ -141,10 +187,14 @@ let bump metrics name delta =
       | Error _ -> ())
 
 let run ?cache ?(policy = default_policy) ?metrics ?(quick = false)
-    ?(collect_telemetry = false) ?(jobs = 1) js =
+    ?(collect_telemetry = false) ?host_telemetry ?(jobs = 1) js =
+  let module T = Tca_telemetry in
+  let host name f = T.Timing.with_span host_telemetry name f in
   let js = Array.of_list js in
-  (* Phase 1 (serial): cache lookups. *)
-  let looked_up =
+  (* Phase 1 (serial): cache lookups. The span is only recorded when a
+     cache is configured, so a cacheless profile shows no phantom
+     cache time. *)
+  let lookup () =
     Array.map
       (fun (j : Job.t) ->
         match cache with
@@ -154,63 +204,76 @@ let run ?cache ?(policy = default_policy) ?metrics ?(quick = false)
             (j, Some k, Cache.find c k))
       js
   in
+  let looked_up =
+    match cache with None -> lookup () | Some _ -> host "cache.lookup" lookup
+  in
   (* Phase 2 (parallel): run the misses, each under its supervisor. A
      failure can only mark the abort flag; it never propagates into the
      pool, so every in-flight job still settles and N-1 artifacts
-     survive one poisoned point. *)
+     survive one poisoned point. Pool spawn/shutdown are timed apart
+     from the batch itself: domain startup is scheduler overhead, not
+     job time. *)
   let aborted = Atomic.make false in
   let outcomes =
-    Pool.with_pool
-      ~workers:(max 0 (jobs - 1))
-      (fun pool ->
-        Pool.map pool
-          (fun ((j : Job.t), _key, hit) ->
-            let fingerprint = Job.fingerprint_digest j ~quick in
-            match hit with
-            | Some a ->
-                {
-                  job = j;
-                  fingerprint;
-                  status = Done a;
-                  cached = true;
-                  seconds = 0.;
-                  attempts = 0;
-                  telemetry = None;
-                }
-            | None ->
-                if policy.fail_fast && Atomic.get aborted then
-                  {
-                    job = j;
-                    fingerprint;
-                    status = Skipped;
-                    cached = false;
-                    seconds = 0.;
-                    attempts = 0;
-                    telemetry = None;
-                  }
-                else begin
-                  let status, attempts, seconds, telemetry =
-                    supervise j ~fingerprint ~policy ~collect_telemetry ~quick
-                      (Pool.parmap pool)
-                  in
-                  (match status with
-                  | Failed _ when policy.fail_fast -> Atomic.set aborted true
-                  | _ -> ());
-                  { job = j; fingerprint; status; cached = false; seconds;
-                    attempts; telemetry }
-                end)
-          looked_up)
+    let pool =
+      host "pool.spawn" (fun () -> Pool.create ~workers:(max 0 (jobs - 1)))
+    in
+    Fun.protect
+      ~finally:(fun () -> host "pool.shutdown" (fun () -> Pool.shutdown pool))
+      (fun () ->
+        host "sched.batch" (fun () ->
+            let enqueued_us = T.Timing.now_us () in
+            Pool.map pool
+              (fun ((j : Job.t), _key, hit) ->
+                let fingerprint = Job.fingerprint_digest j ~quick in
+                match hit with
+                | Some a ->
+                    {
+                      job = j;
+                      fingerprint;
+                      status = Done a;
+                      cached = true;
+                      seconds = 0.;
+                      attempts = 0;
+                      telemetry = None;
+                    }
+                | None ->
+                    if policy.fail_fast && Atomic.get aborted then
+                      {
+                        job = j;
+                        fingerprint;
+                        status = Skipped;
+                        cached = false;
+                        seconds = 0.;
+                        attempts = 0;
+                        telemetry = None;
+                      }
+                    else begin
+                      let status, attempts, seconds, telemetry =
+                        supervise j ~fingerprint ~policy ~collect_telemetry
+                          ~quick ~enqueued_us (Pool.parmap pool)
+                      in
+                      (match status with
+                      | Failed _ when policy.fail_fast ->
+                          Atomic.set aborted true
+                      | _ -> ());
+                      { job = j; fingerprint; status; cached = false; seconds;
+                        attempts; telemetry }
+                    end)
+              looked_up))
   in
   (* Phase 3 (serial): cache stores for fresh successes, in job order. *)
   (match cache with
   | None -> ()
   | Some c ->
-      Array.iteri
-        (fun i (_, k, _) ->
-          match (k, outcomes.(i)) with
-          | Some k, { cached = false; status = Done a; _ } -> Cache.store c k a
-          | _ -> ())
-        looked_up);
+      host "cache.store" (fun () ->
+          Array.iteri
+            (fun i (_, k, _) ->
+              match (k, outcomes.(i)) with
+              | Some k, { cached = false; status = Done a; _ } ->
+                  Cache.store c k a
+              | _ -> ())
+            looked_up));
   Array.iter
     (fun o ->
       match o.status with
@@ -293,14 +356,17 @@ let failure_report outcomes =
              outcomes) );
     ]
 
-let merged_sink outcomes =
-  let into =
-    Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) ()
-  in
+let join_telemetry ~into outcomes =
   List.iter
     (fun o ->
       match o.telemetry with
       | Some child -> Tca_telemetry.Sink.join ~into child
       | None -> ())
-    outcomes;
+    outcomes
+
+let merged_sink outcomes =
+  let into =
+    Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) ()
+  in
+  join_telemetry ~into outcomes;
   into

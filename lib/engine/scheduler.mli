@@ -70,6 +70,7 @@ val run :
   ?metrics:Tca_telemetry.Metrics.t ->
   ?quick:bool ->
   ?collect_telemetry:bool ->
+  ?host_telemetry:Tca_telemetry.Sink.t ->
   ?jobs:int ->
   Job.t list ->
   outcome list
@@ -78,7 +79,17 @@ val run :
     worker domains and the calling domain participates. Only [Done]
     artifacts of fresh runs are stored to the cache. With [metrics],
     bumps [engine.tasks.{succeeded,failed,skipped,cached,retried}].
-    Never raises on job failure — inspect outcome statuses. *)
+    Never raises on job failure — inspect outcome statuses.
+
+    Profiling hooks, all zero-cost when the respective sink is absent:
+    with [collect_telemetry], each fresh task's sink additionally
+    carries one [task.run] span (args: job, queue [wait_us], attempts,
+    [gc_*] deltas from [Gc.quick_stat]) plus a [task.wait.seconds]
+    histogram and [task.gc.*] counters in its registry. With
+    [host_telemetry], the scheduler's own phases are recorded into that
+    sink as [cache.lookup], [pool.spawn], [sched.batch],
+    [pool.shutdown] and [cache.store] spans on the calling domain's
+    lane. Timing uses the monotonic clock ({!Tca_telemetry.Timing}). *)
 
 val artifact : outcome -> Artifact.t option
 
@@ -99,6 +110,12 @@ val failure_report : outcome list -> Tca_util.Json.t
 
 val diag_kind : Tca_util.Diag.t -> string
 (** Stable snake_case tag for a diag variant, as used in the report. *)
+
+val join_telemetry : into:Tca_telemetry.Sink.t -> outcome list -> unit
+(** Join every outcome's sink into [into], in outcome order (= input
+    order), folding registries with {!Tca_telemetry.Metrics.merge_into}.
+    Use this to merge a run's task telemetry into an existing host sink
+    (as [tca profile] does); {!merged_sink} is the fresh-sink variant. *)
 
 val merged_sink : outcome list -> Tca_telemetry.Sink.t
 (** One sink holding every outcome's events, joined in outcome order

@@ -13,7 +13,10 @@ let run ?telemetry ?par ?(quick = false) () =
   let hcfg =
     Heap_workload.config ~n_calls ~app_instrs_per_call:100 ~seed:31 ()
   in
-  let pair = Heap_workload.generate hcfg in
+  let pair =
+    Tca_telemetry.Timing.with_span telemetry "sim.workload" (fun () ->
+        Heap_workload.generate hcfg)
+  in
   List.map
     (fun (core_name, cfg) ->
       let cmp =

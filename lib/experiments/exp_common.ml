@@ -207,7 +207,8 @@ let workload_kinds =
     ("hashmap", Hashmap); ("regex", Regex); ("strfn", Strfn);
   ]
 
-let workload_pair ~cfg ?(size = 0) kind =
+let workload_pair ?telemetry ~cfg ?(size = 0) kind =
+  Tca_telemetry.Timing.with_span telemetry "sim.workload" @@ fun () ->
   let auto_latency p = meta_latency p.Meta.meta ~cfg in
   match kind with
   | Synthetic ->

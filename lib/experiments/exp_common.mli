@@ -107,12 +107,14 @@ val workload_kinds : (string * workload_kind) list
 (** CLI spelling of each kind, in menu order. *)
 
 val workload_pair :
+  ?telemetry:Tca_telemetry.Sink.t ->
   cfg:Tca_uarch.Config.t -> ?size:int -> workload_kind ->
   Tca_workloads.Meta.pair * float
 (** The workload's trace pair plus the architect's latency estimate for
     its TCA. [size] (default 0 = the workload's default) is chunks
     (synthetic), app instructions per invocation (heap, hashmap, regex,
-    strfn) or the matrix dimension (dgemm). *)
+    strfn) or the matrix dimension (dgemm). With [telemetry], the
+    generation is recorded as a [sim.workload] span. *)
 
 val golden_pairs : unit -> (string * Tca_workloads.Meta.pair) list
 (** One deliberately small, deterministic instance of each of the six

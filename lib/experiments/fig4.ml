@@ -18,7 +18,10 @@ let run ?telemetry ?par ?(quick = false) () =
         Synthetic.config ~app:app_config ~n_units ~n_chunks ~accel_latency
           ~seed:(41 + n_chunks) ()
       in
-      let pair = Synthetic.generate scfg in
+      let pair =
+        Tca_telemetry.Timing.with_span telemetry "sim.workload" (fun () ->
+            Synthetic.generate scfg)
+      in
       Exp_common.validate_pair ?telemetry ~cfg ~pair
         ~latency:(float_of_int accel_latency) ())
     (List.filter (fun c -> c <= n_units) (chunk_counts ~quick))

@@ -13,7 +13,10 @@ let run ?telemetry ?par ?(quick = false) () =
         Heap_workload.config ~n_calls ~app_instrs_per_call:gap ~seed:(7 + gap)
           ()
       in
-      let pair = Heap_workload.generate hcfg in
+      let pair =
+        Tca_telemetry.Timing.with_span telemetry "sim.workload" (fun () ->
+            Heap_workload.generate hcfg)
+      in
       Exp_common.validate_pair ?telemetry ~cfg ~pair
         ~latency:(float_of_int Tca_heap.Cost_model.accel_latency) ())
     (gaps ~quick)

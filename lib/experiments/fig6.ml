@@ -6,7 +6,10 @@ let run ?telemetry ?par ?(n = 64) () =
   let dcfg = Dgemm_workload.config ~n () in
   Exp_common.par_rows ?telemetry ?par
     (fun ~telemetry dim ->
-      let pair = Dgemm_workload.pair dcfg ~dim in
+      let pair =
+        Tca_telemetry.Timing.with_span telemetry "sim.workload" (fun () ->
+            Dgemm_workload.pair dcfg ~dim)
+      in
       let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
       Exp_common.validate_pair ?telemetry ~cfg ~pair ~latency ())
     Tca_dgemm.Mma.supported_dims

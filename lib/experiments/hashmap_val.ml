@@ -16,7 +16,10 @@ let run ?telemetry ?(par = Tca_util.Parmap.serial) ?(quick = false) () =
       Hashmap_workload.config ~n_lookups ~app_instrs_per_lookup:gap
         ~seed:(17 + gap) ()
     in
-    let pair, probes = Hashmap_workload.generate hcfg in
+    let pair, probes =
+      Tca_telemetry.Timing.with_span sinks.(i) "sim.workload" (fun () ->
+          Hashmap_workload.generate hcfg)
+    in
     let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
     (Exp_common.validate_pair ?telemetry:sinks.(i) ~cfg ~pair ~latency (), probes)
   in

@@ -106,7 +106,9 @@ let simulate_job (cli_name, kind) =
     ~params:[ ("workload", cli_name) ]
     (fun ctx ->
       let cfg = Exp_common.validation_core () in
-      let pair, latency = Exp_common.workload_pair ~cfg kind in
+      let pair, latency =
+        Exp_common.workload_pair ?telemetry:ctx.Job.telemetry ~cfg kind
+      in
       let rows =
         Exp_common.validate_pair ?telemetry:ctx.Job.telemetry ~par:ctx.Job.par
           ~cfg ~pair ~latency ()

@@ -56,12 +56,18 @@ let run ?telemetry ?(par = Tca_util.Parmap.serial) () =
   in
   let eval i =
     let label, app = cases_a.(i) in
-    let rng = Tca_util.Prng.create 4242 in
-    let gen = Codegen.create ~config:app ~rng () in
-    let b = Trace.Builder.create () in
-    Codegen.emit_block gen b 120_000;
-    let trace = Trace.Builder.build b in
-    let stats = Pipeline.run_exn ?telemetry:sinks.(i) cfg trace in
+    let trace =
+      Tca_telemetry.Timing.with_span sinks.(i) "sim.workload" (fun () ->
+          let rng = Tca_util.Prng.create 4242 in
+          let gen = Codegen.create ~config:app ~rng () in
+          let b = Trace.Builder.create () in
+          Codegen.emit_block gen b 120_000;
+          Trace.Builder.build b)
+    in
+    let stats =
+      Tca_telemetry.Timing.with_span sinks.(i) "sim.step" (fun () ->
+          Pipeline.run_exn ?telemetry:sinks.(i) cfg trace)
+    in
       (* Event rates the architect would know: instruction mix from the
          code, predictor accuracy from hardware counters, steady-state
          miss rates from working-set sizes (uniform random accesses:
@@ -94,7 +100,11 @@ let run ?telemetry ?(par = Tca_util.Parmap.serial) () =
       in
       let w =
         Mechanistic.stats ~branch_rate ~mispredict_rate ~load_rate
-          ~dram_miss_rate ~mlp ~chain_ipc:(chain_ipc_of app) ()
+          ~dram_miss_rate ~mlp
+          ~chain_ipc:
+            (Tca_telemetry.Timing.with_span sinks.(i) "sim.calibrate"
+               (fun () -> chain_ipc_of app))
+          ()
       in
       let predicted = Mechanistic.ipc machine w in
       {

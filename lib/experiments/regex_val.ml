@@ -16,7 +16,10 @@ let run ?telemetry ?(par = Tca_util.Parmap.serial) ?(quick = false) () =
       Regex_workload.config ~n_records ~app_instrs_per_record:gap
         ~seed:(23 + gap) ()
     in
-    let pair, scan = Regex_workload.generate rcfg in
+    let pair, scan =
+      Tca_telemetry.Timing.with_span sinks.(i) "sim.workload" (fun () ->
+          Regex_workload.generate rcfg)
+    in
     let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
     (Exp_common.validate_pair ?telemetry:sinks.(i) ~cfg ~pair ~latency (), scan)
   in

@@ -16,7 +16,10 @@ let run ?telemetry ?(par = Tca_util.Parmap.serial) ?(quick = false) () =
       Strfn_workload.config ~n_calls ~app_instrs_per_call:gap ~seed:(11 + gap)
         ()
     in
-    let pair, bytes = Strfn_workload.generate scfg in
+    let pair, bytes =
+      Tca_telemetry.Timing.with_span sinks.(i) "sim.workload" (fun () ->
+          Strfn_workload.generate scfg)
+    in
     let latency = Exp_common.meta_latency pair.Meta.meta ~cfg in
     (Exp_common.validate_pair ?telemetry:sinks.(i) ~cfg ~pair ~latency (), bytes)
   in

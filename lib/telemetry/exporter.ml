@@ -8,7 +8,7 @@ let event_json (e : Sink.event) =
       ("ph", Json.String (String.make 1 e.Sink.ph));
       ("ts", Json.Float e.Sink.ts);
       ("pid", Json.Int e.Sink.pid);
-      ("tid", Json.Int 0);
+      ("tid", Json.Int e.Sink.tid);
     ]
   in
   let dur = if e.Sink.ph = 'X' then [ ("dur", Json.Float e.Sink.dur) ] else [] in
@@ -19,10 +19,54 @@ let event_json (e : Sink.event) =
   in
   Json.Obj (base @ dur @ scope @ args)
 
+(* Metadata ('M') events naming the process and thread lanes, so the
+   tracks read as "simulator (cycles)" / "wall clock" with one "domain
+   N" row per recording domain instead of bare pid/tid integers.
+   Synthesized at export time from the distinct lanes present — they
+   are presentation, not data, and never enter the sink. *)
+let lane_metadata events =
+  let meta ~pid ?tid name value =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("ph", Json.String "M");
+         ("pid", Json.Int pid);
+       ]
+      @ (match tid with Some t -> [ ("tid", Json.Int t) ] | None -> [])
+      @ [ ("args", Json.Obj [ ("name", Json.String value) ]) ])
+  in
+  let seen_pid = Hashtbl.create 4 and seen_lane = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun (e : Sink.event) ->
+      if not (Hashtbl.mem seen_pid e.Sink.pid) then begin
+        Hashtbl.replace seen_pid e.Sink.pid ();
+        let pname =
+          if e.Sink.pid = Sink.track_sim then "simulator (cycles)"
+          else if e.Sink.pid = Sink.track_wall then "wall clock"
+          else Printf.sprintf "track %d" e.Sink.pid
+        in
+        out := meta ~pid:e.Sink.pid "process_name" pname :: !out
+      end;
+      if
+        e.Sink.pid = Sink.track_wall
+        && not (Hashtbl.mem seen_lane (e.Sink.pid, e.Sink.tid))
+      then begin
+        Hashtbl.replace seen_lane (e.Sink.pid, e.Sink.tid) ();
+        out :=
+          meta ~pid:e.Sink.pid ~tid:e.Sink.tid "thread_name"
+            (Printf.sprintf "domain %d" e.Sink.tid)
+          :: !out
+      end)
+    events;
+  List.rev !out
+
 let chrome_trace_json sink =
+  let events = Sink.events sink in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_json (Sink.events sink)));
+      ( "traceEvents",
+        Json.List (lane_metadata events @ List.map event_json events) );
       ("displayTimeUnit", Json.String "ms");
       ( "otherData",
         Json.Obj
@@ -44,13 +88,14 @@ let write_chrome_trace sink path =
   with_out path (fun oc ->
       (* Stream event-by-event: a long run's trace never needs the whole
          serialised document in memory at once. *)
+      let events = Sink.events sink in
       output_string oc "{\"traceEvents\":[";
       List.iteri
-        (fun i e ->
+        (fun i j ->
           if i > 0 then output_char oc ',';
           output_string oc "\n  ";
-          output_string oc (Json.to_string (event_json e)))
-        (Sink.events sink);
+          output_string oc (Json.to_string j))
+        (lane_metadata events @ List.map event_json events);
       output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n")
 
 let write_jsonl ?metrics sink path =

@@ -203,7 +203,15 @@ let of_json j =
                message = "expected a trace object or an event array";
              })
   in
-  Result.map (fun l -> of_events (List.filter_map ev_of_json l)) events
+  (* 'M' lane-name metadata is presentation synthesized at export time,
+     not recorded data — it never enters the report. *)
+  Result.map
+    (fun l ->
+      of_events
+        (List.filter
+           (fun e -> e.e_ph <> "M")
+           (List.filter_map ev_of_json l)))
+    events
 
 let of_file path =
   match In_channel.with_open_bin path In_channel.input_all with

@@ -5,6 +5,7 @@ type event = {
   ts : float;
   dur : float;
   pid : int;
+  tid : int;
   args : (string * Tca_util.Json.t) list;
 }
 
@@ -19,7 +20,16 @@ let track_sim = 0
 let track_wall = 1
 
 let dummy =
-  { name = ""; cat = ""; ph = 'i'; ts = 0.0; dur = 0.0; pid = 0; args = [] }
+  {
+    name = "";
+    cat = "";
+    ph = 'i';
+    ts = 0.0;
+    dur = 0.0;
+    pid = 0;
+    tid = 0;
+    args = [];
+  }
 
 let create ?(interval = 256) ?metrics () =
   {
@@ -41,7 +51,8 @@ let push t ev =
   t.buf.(t.len) <- ev;
   t.len <- t.len + 1
 
-let counter t ?(pid = track_sim) ?(cat = "counter") ~ts name series =
+let counter t ?(pid = track_sim) ?(tid = 0) ?(cat = "counter") ~ts name series
+    =
   push t
     {
       name;
@@ -50,14 +61,17 @@ let counter t ?(pid = track_sim) ?(cat = "counter") ~ts name series =
       ts;
       dur = 0.0;
       pid;
+      tid;
       args = List.map (fun (k, v) -> (k, Tca_util.Json.Float v)) series;
     }
 
-let span t ?(pid = track_sim) ?(cat = "span") ?(args = []) ~ts ~dur name =
-  push t { name; cat; ph = 'X'; ts; dur = Float.max 0.0 dur; pid; args }
+let span t ?(pid = track_sim) ?(tid = 0) ?(cat = "span") ?(args = []) ~ts ~dur
+    name =
+  push t { name; cat; ph = 'X'; ts; dur = Float.max 0.0 dur; pid; tid; args }
 
-let instant t ?(pid = track_sim) ?(cat = "instant") ?(args = []) ~ts name =
-  push t { name; cat; ph = 'i'; ts; dur = 0.0; pid; args }
+let instant t ?(pid = track_sim) ?(tid = 0) ?(cat = "instant") ?(args = []) ~ts
+    name =
+  push t { name; cat; ph = 'i'; ts; dur = 0.0; pid; tid; args }
 
 let events t = Array.to_list (Array.sub t.buf 0 t.len)
 let length t = t.len

@@ -16,7 +16,9 @@
     Timestamps are abstract doubles: simulator events use the cycle
     number, wall-clock spans ({!Timing}) use microseconds since the
     sink was created. The two families are kept apart by track
-    ([pid]): {!track_sim} and {!track_wall}. *)
+    ([pid]): {!track_sim} and {!track_wall}. Within a track, [tid]
+    names the lane — wall-clock spans use the recording domain's id,
+    so a multi-domain run renders as one Perfetto lane per domain. *)
 
 type t
 
@@ -42,22 +44,25 @@ type event = {
   ts : float;
   dur : float;  (** meaningful only for ph = 'X' *)
   pid : int;
+  tid : int;  (** lane within the track; domain id for wall spans *)
   args : (string * Tca_util.Json.t) list;
 }
 
 val counter :
-  t -> ?pid:int -> ?cat:string -> ts:float -> string ->
+  t -> ?pid:int -> ?tid:int -> ?cat:string -> ts:float -> string ->
   (string * float) list -> unit
 (** One sample of a multi-series counter (Chrome 'C'). *)
 
 val span :
-  t -> ?pid:int -> ?cat:string -> ?args:(string * Tca_util.Json.t) list ->
+  t -> ?pid:int -> ?tid:int -> ?cat:string ->
+  ?args:(string * Tca_util.Json.t) list ->
   ts:float -> dur:float -> string -> unit
 (** A completed interval of work (Chrome 'X'). Negative durations are
     clamped to 0 rather than rejected: the sink never raises. *)
 
 val instant :
-  t -> ?pid:int -> ?cat:string -> ?args:(string * Tca_util.Json.t) list ->
+  t -> ?pid:int -> ?tid:int -> ?cat:string ->
+  ?args:(string * Tca_util.Json.t) list ->
   ts:float -> string -> unit
 (** A point event (Chrome 'i'). *)
 

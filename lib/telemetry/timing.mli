@@ -7,18 +7,35 @@
     this module) and, when the sink carries a registry, in a
     [<name>.seconds] histogram and a [<name>.calls] counter.
 
+    The clock is CLOCK_MONOTONIC, not the adjustable wall clock, so a
+    span can never have a negative duration (an NTP step between start
+    and stop used to produce one). Spans are recorded with
+    [tid = Domain.self ()], giving every domain its own timeline lane
+    in the Chrome trace and in {!Profiler} reports.
+
     All functions accept [Sink.t option] so call sites can pass their
     [?telemetry] argument straight through; [None] runs the thunk with
     zero bookkeeping. Exceptions propagate unchanged, and the span is
     still recorded (spans measure elapsed time, not success). *)
 
 val now_us : unit -> float
-(** Microseconds of wall-clock elapsed since this module's first use in
-    the process: a stable base for trace timestamps. *)
+(** Microseconds of monotonic time elapsed since this module's first
+    use in the process: a stable, never-decreasing base for trace
+    timestamps. *)
+
+val domain_tid : unit -> int
+(** The calling domain's id, as used for the [tid] of recorded spans. *)
 
 val with_span :
   ?args:(string * Tca_util.Json.t) list ->
   Sink.t option -> string -> (unit -> 'a) -> 'a
 
-val record_span : Sink.t option -> string -> seconds:float -> unit
-(** Record an externally measured duration that ends "now". *)
+val record_span :
+  ?args:(string * Tca_util.Json.t) list ->
+  ?ts:float ->
+  Sink.t option -> string -> seconds:float -> unit
+(** Record an externally measured duration. [ts] is the span's start in
+    {!now_us} microseconds; when omitted the span is assumed to end
+    "now" — only safe if nothing happened between measuring [seconds]
+    and this call, since a late recorded start can place a parent after
+    its first child and confuse {!Profiler}'s nesting sweep. *)

@@ -51,12 +51,13 @@ let run_batch ?telemetry ?(par = Tca_util.Parmap.serial) entries =
      (the race is benign — decoding is pure — just wasteful). A decode
      failure is remembered per entry and reported in place. *)
   let decode_failures =
-    Array.mapi
-      (fun i (_, trace) ->
-        match contain i (fun () -> Ok (ignore (Trace.decoded trace))) with
-        | Ok () -> None
-        | Error d -> Some d)
-      entries
+    Tca_telemetry.Timing.with_span telemetry "sim.decode" (fun () ->
+        Array.mapi
+          (fun i (_, trace) ->
+            match contain i (fun () -> Ok (ignore (Trace.decoded trace))) with
+            | Ok () -> None
+            | Error d -> Some d)
+          entries)
   in
   let sinks =
     Array.init n (fun _ -> Option.map Tca_telemetry.Sink.fork telemetry)
@@ -69,17 +70,22 @@ let run_batch ?telemetry ?(par = Tca_util.Parmap.serial) entries =
         | None ->
             contain i (fun () ->
                 let cfg, trace = entries.(i) in
-                Pipeline.run ?telemetry:sinks.(i) cfg trace))
+                (* The span lands in the entry's own forked sink, so the
+                   merged trace carries it at the same position whatever
+                   [par] is — on the lane of the domain that ran it. *)
+                Tca_telemetry.Timing.with_span sinks.(i) "sim.step" (fun () ->
+                    Pipeline.run ?telemetry:sinks.(i) cfg trace)))
       (Array.init n Fun.id)
   in
   (match telemetry with
   | None -> ()
   | Some into ->
-      Array.iter
-        (function
-          | Some child -> Tca_telemetry.Sink.join ~into child
-          | None -> ())
-        sinks);
+      Tca_telemetry.Timing.with_span telemetry "telemetry.join" (fun () ->
+          Array.iter
+            (function
+              | Some child -> Tca_telemetry.Sink.join ~into child
+              | None -> ())
+            sinks));
   results
 
 let compare_modes ?telemetry ?par ~cfg ~baseline ~accelerated () =

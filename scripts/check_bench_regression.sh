@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Simulator perf-regression guard: compares a fresh `bench simulator`
-# run against the speedup committed in BENCH_results.json.
+# Bench regression guard: compares a fresh bench summary against the
+# committed BENCH_results.json. Each section is checked only when the
+# fresh file carries it, so `bench simulator --summary fresh.json` and
+# `bench scaling --summary fresh.json` both gate through this script.
+# The `meta` block (git rev, OCaml version, domain count, quick flag)
+# is informational and deliberately ignored here.
 #
-# The metric is machine-independent by construction: bench/main.ml times
-# the optimized Pipeline against the verbatim pre-optimization
+# Simulator section — machine-independent by construction: bench/main.ml
+# times the optimized Pipeline against the verbatim pre-optimization
 # Pipeline_reference in the same process, so the ratio cancels the
 # host's absolute speed. CI fails when the fresh ratio falls more than
 # 20% below the committed one, or when either bit-identity check in the
 # fresh run failed.
+#
+# Scaling section — the fresh run's artifacts must be bit-identical
+# across domain counts, and parallel efficiency at 2 domains must not
+# drop below the committed baseline minus SCALING_TOLERANCE (absolute).
 #
 #   dune exec bench/main.exe -- simulator --quick --summary fresh.json
 #   scripts/check_bench_regression.sh BENCH_results.json fresh.json
@@ -15,7 +23,8 @@ set -eu
 
 committed=${1:-BENCH_results.json}
 fresh=${2:-sim_bench_fresh.json}
-tolerance=${TOLERANCE:-0.8} # fresh must be >= tolerance * committed
+tolerance=${TOLERANCE:-0.8}               # fresh simulator speedup >= tolerance * committed
+scaling_tolerance=${SCALING_TOLERANCE:-0.15} # fresh efficiency@2 >= committed - this
 
 for f in "$committed" "$fresh"; do
   if [ ! -f "$f" ]; then
@@ -24,23 +33,60 @@ for f in "$committed" "$fresh"; do
   fi
 done
 
-if ! jq -e '.simulator.stats_bit_identical == true' "$fresh" > /dev/null; then
-  echo "check_bench_regression: optimized pipeline stats are NOT bit-identical to the reference" >&2
-  exit 1
+checked=0
+
+if jq -e 'has("simulator")' "$fresh" > /dev/null; then
+  checked=1
+  if ! jq -e '.simulator.stats_bit_identical == true' "$fresh" > /dev/null; then
+    echo "check_bench_regression: optimized pipeline stats are NOT bit-identical to the reference" >&2
+    exit 1
+  fi
+  if ! jq -e '.simulator.batch.results_bit_identical == true' "$fresh" > /dev/null; then
+    echo "check_bench_regression: parallel run_batch results are NOT bit-identical to serial" >&2
+    exit 1
+  fi
+
+  committed_speedup=$(jq -er '.simulator.speedup' "$committed")
+  fresh_speedup=$(jq -er '.simulator.speedup' "$fresh")
+
+  echo "simulator speedup: committed ${committed_speedup}x, fresh ${fresh_speedup}x (floor: ${tolerance} * committed)"
+
+  if ! awk -v c="$committed_speedup" -v f="$fresh_speedup" -v t="$tolerance" \
+      'BEGIN { exit !(f + 0 >= t * c) }'; then
+    echo "check_bench_regression: simulator speedup regressed more than $(awk -v t="$tolerance" 'BEGIN { printf "%d%%", (1 - t) * 100 }') below the committed value" >&2
+    exit 1
+  fi
 fi
-if ! jq -e '.simulator.batch.results_bit_identical == true' "$fresh" > /dev/null; then
-  echo "check_bench_regression: parallel run_batch results are NOT bit-identical to serial" >&2
-  exit 1
+
+if jq -e 'has("scaling")' "$fresh" > /dev/null; then
+  checked=1
+  if ! jq -e '.scaling.artifacts_bit_identical == true' "$fresh" > /dev/null; then
+    echo "check_bench_regression: scaling run artifacts are NOT bit-identical across domain counts" >&2
+    exit 1
+  fi
+
+  fresh_eff=$(jq -er '[.scaling.points[] | select(.domains == 2) | .efficiency] | first // empty' "$fresh" || true)
+  if [ -z "$fresh_eff" ]; then
+    echo "check_bench_regression: fresh scaling section has no 2-domain point; skipping efficiency gate"
+  elif ! jq -e 'has("scaling")' "$committed" > /dev/null; then
+    echo "check_bench_regression: committed file has no scaling baseline yet; skipping efficiency gate"
+  else
+    committed_eff=$(jq -er '[.scaling.points[] | select(.domains == 2) | .efficiency] | first // empty' "$committed" || true)
+    if [ -z "$committed_eff" ]; then
+      echo "check_bench_regression: committed scaling baseline has no 2-domain point; skipping efficiency gate"
+    else
+      echo "scaling efficiency @2 domains: committed ${committed_eff}, fresh ${fresh_eff} (floor: committed - ${scaling_tolerance})"
+      if ! awk -v c="$committed_eff" -v f="$fresh_eff" -v t="$scaling_tolerance" \
+          'BEGIN { exit !(f + 0 >= c - t) }'; then
+        echo "check_bench_regression: parallel efficiency at 2 domains dropped below the committed baseline minus ${scaling_tolerance}" >&2
+        exit 1
+      fi
+    fi
+  fi
 fi
 
-committed_speedup=$(jq -er '.simulator.speedup' "$committed")
-fresh_speedup=$(jq -er '.simulator.speedup' "$fresh")
-
-echo "simulator speedup: committed ${committed_speedup}x, fresh ${fresh_speedup}x (floor: ${tolerance} * committed)"
-
-if ! awk -v c="$committed_speedup" -v f="$fresh_speedup" -v t="$tolerance" \
-    'BEGIN { exit !(f + 0 >= t * c) }'; then
-  echo "check_bench_regression: simulator speedup regressed more than $(awk -v t="$tolerance" 'BEGIN { printf "%d%%", (1 - t) * 100 }') below the committed value" >&2
-  exit 1
+if [ "$checked" = 0 ]; then
+  echo "check_bench_regression: fresh summary $fresh has neither a simulator nor a scaling section" >&2
+  exit 2
 fi
 echo "check_bench_regression: OK"

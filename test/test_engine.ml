@@ -574,6 +574,163 @@ let test_scheduler_metrics () =
   Alcotest.(check int) "failed" 1 (v "engine.tasks.failed");
   Alcotest.(check int) "retried" 1 (v "engine.tasks.retried")
 
+(* --- Profiling instrumentation: task spans + host phases --- *)
+
+let test_scheduler_task_spans () =
+  let n = 4 in
+  let js = List.init n (fun i -> synth_job (Printf.sprintf "p%d" i) 3) in
+  let outcomes = Scheduler.run ~collect_telemetry:true ~jobs:2 js in
+  let merged = Scheduler.merged_sink outcomes in
+  let task_spans =
+    List.filter
+      (fun (e : Tca_telemetry.Sink.event) ->
+        e.Tca_telemetry.Sink.name = "task.run"
+        && e.Tca_telemetry.Sink.ph = 'X')
+      (Tca_telemetry.Sink.events merged)
+  in
+  Alcotest.(check int) "one task.run span per fresh job" n
+    (List.length task_spans);
+  List.iter
+    (fun (e : Tca_telemetry.Sink.event) ->
+      let arg k = List.assoc_opt k e.Tca_telemetry.Sink.args in
+      (match arg "job" with
+      | Some (Tca_util.Json.String _) -> ()
+      | _ -> Alcotest.fail "task.run without job arg");
+      (match arg "wait_us" with
+      | Some (Tca_util.Json.Float w) ->
+          Alcotest.(check bool) "queue wait >= 0" true (w >= 0.0)
+      | _ -> Alcotest.fail "task.run without wait_us arg");
+      (match arg "attempts" with
+      | Some (Tca_util.Json.Int 1) -> ()
+      | _ -> Alcotest.fail "task.run without attempts arg");
+      List.iter
+        (fun key ->
+          match arg key with
+          | Some (Tca_util.Json.Int v) ->
+              Alcotest.(check bool) (key ^ " >= 0") true (v >= 0)
+          | _ -> Alcotest.failf "task.run without %s arg" key)
+        [
+          "gc_minor_words"; "gc_promoted_words"; "gc_major_words";
+          "gc_minor_collections"; "gc_major_collections";
+        ])
+    task_spans;
+  match Tca_telemetry.Sink.metrics merged with
+  | None -> Alcotest.fail "merged sink lost its registry"
+  | Some reg ->
+      let module M = Tca_telemetry.Metrics in
+      Alcotest.(check int) "one wait observation per task" n
+        (M.Histogram.count (M.histogram_exn reg "task.wait.seconds"));
+      Alcotest.(check bool) "gc words counted" true
+        (M.counter_value reg "task.gc.minor_words" >= 0)
+
+let test_scheduler_host_telemetry () =
+  with_temp_dir @@ fun dir ->
+  let js = List.init 3 (fun i -> synth_job (Printf.sprintf "h%d" i) 3) in
+  let host =
+    Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) ()
+  in
+  let cache = Cache.create ~dir () in
+  let _ = Scheduler.run ~cache ~host_telemetry:host ~jobs:2 js in
+  let names =
+    List.map
+      (fun (e : Tca_telemetry.Sink.event) -> e.Tca_telemetry.Sink.name)
+      (Tca_telemetry.Sink.events host)
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " span present") true
+        (List.mem phase names))
+    [ "cache.lookup"; "pool.spawn"; "sched.batch"; "pool.shutdown";
+      "cache.store" ];
+  (* host spans all live on the calling domain's lane *)
+  List.iter
+    (fun (e : Tca_telemetry.Sink.event) ->
+      Alcotest.(check int) "owner lane"
+        (Tca_telemetry.Timing.domain_tid ())
+        e.Tca_telemetry.Sink.tid)
+    (Tca_telemetry.Sink.events host)
+
+let test_scheduler_profiled_bit_identity () =
+  (* The full instrumentation stack on — host sink, task sinks, GC
+     deltas — must not perturb artifacts or their identity across
+     --jobs. This is the profiler-exclusion contract: profile output is
+     not part of the artifact set, artifacts stay bit-identical. *)
+  let js = List.init 5 (fun i -> synth_job (Printf.sprintf "b%d" i) (4 + i)) in
+  let run jobs =
+    let host =
+      Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) ()
+    in
+    Scheduler.run ~collect_telemetry:true ~host_telemetry:host ~jobs js
+  in
+  let plain = Scheduler.run ~jobs:1 js in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check (list string)) "profiled serial = unprofiled"
+    (fingerprints plain) (fingerprints serial);
+  Alcotest.(check (list string)) "profiled parallel = serial"
+    (fingerprints serial) (fingerprints parallel)
+
+(* Replace every float by null: masks wall-clock noise while keeping
+   structure, keys, names, counts and key order comparable. The
+   self_time table is re-sorted by span name — its natural order is by
+   measured self time, which the masking just erased. *)
+let rec mask_floats = function
+  | Tca_util.Json.Float _ -> Tca_util.Json.Null
+  | Tca_util.Json.Obj kvs ->
+      Tca_util.Json.Obj
+        (List.map
+           (fun (k, v) ->
+             let v = mask_floats v in
+             match (k, v) with
+             | "self_time", Tca_util.Json.List rows ->
+                 let name r =
+                   match Tca_util.Json.member "name" r with
+                   | Some (Tca_util.Json.String s) -> s
+                   | _ -> ""
+                 in
+                 ( k,
+                   Tca_util.Json.List
+                     (List.sort
+                        (fun a b -> String.compare (name a) (name b))
+                        rows) )
+             | _ -> (k, v))
+           kvs)
+  | Tca_util.Json.List vs -> Tca_util.Json.List (List.map mask_floats vs)
+  | v -> v
+
+let test_profile_report_deterministic () =
+  (* Two identical serial profiled runs render byte-identical profile
+     reports once times are masked: same schema, same span names, same
+     call counts, same component keys, same lane set. *)
+  let js = List.init 4 (fun i -> synth_job (Printf.sprintf "d%d" i) 4) in
+  let profile_json () =
+    let host =
+      Tca_telemetry.Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) ()
+    in
+    let h = Some host in
+    let outcomes =
+      Tca_telemetry.Timing.with_span h Tca_telemetry.Profiler.total_span_name
+        (fun () ->
+          let outcomes =
+            Scheduler.run ~collect_telemetry:true ~host_telemetry:host
+              ~jobs:1 js
+          in
+          Tca_telemetry.Timing.with_span h "telemetry.merge" (fun () ->
+              Scheduler.join_telemetry ~into:host outcomes);
+          outcomes)
+    in
+    ignore outcomes;
+    let p = Tca_telemetry.Profiler.of_sink host in
+    ( Tca_util.Json.to_string_indent
+        (mask_floats (Tca_telemetry.Profiler.to_json p)),
+      Tca_telemetry.Profiler.attributed_fraction p )
+  in
+  let a, frac_a = profile_json () in
+  let b, _ = profile_json () in
+  Alcotest.(check string) "masked reports byte-identical" a b;
+  (* the ISSUE's acceptance bar: >= 90% of wall-clock attributed *)
+  Alcotest.(check bool) "attribution >= 0.9" true (frac_a >= 0.9)
+
 let () =
   Alcotest.run "tca_engine"
     [
@@ -640,5 +797,16 @@ let () =
           Alcotest.test_case "corrupt artifact differs" `Quick
             test_scheduler_corrupt_artifact_differs;
           Alcotest.test_case "task metrics" `Quick test_scheduler_metrics;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "task spans carry wait + gc" `Quick
+            test_scheduler_task_spans;
+          Alcotest.test_case "host phase spans" `Quick
+            test_scheduler_host_telemetry;
+          Alcotest.test_case "profiled run stays bit-identical" `Quick
+            test_scheduler_profiled_bit_identity;
+          Alcotest.test_case "profile report deterministic" `Quick
+            test_profile_report_deterministic;
         ] );
     ]

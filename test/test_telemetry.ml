@@ -153,10 +153,13 @@ let test_sink_events () =
 let test_sink_interval_floor () =
   Alcotest.(check int) "min 1" 1 (Sink.interval (Sink.create ~interval:0 ()))
 
-(* Schema check applied to every event of a Chrome trace. *)
+(* Schema check applied to every event of a Chrome trace. Returns the
+   number of data events; 'M' lane-name metadata (synthesized by the
+   exporter for Perfetto) is validated but not counted. *)
 let check_trace_schema j =
   match Json.member "traceEvents" j with
   | Some (Json.List events) ->
+      let data = ref 0 in
       List.iter
         (fun ev ->
           let str k = Option.bind (Json.member k ev) Json.to_string_opt in
@@ -164,24 +167,26 @@ let check_trace_schema j =
           (match str "name" with
           | Some _ -> ()
           | None -> Alcotest.fail "event without name");
-          (match str "ph" with
-          | Some ("C" | "X" | "i") -> ()
-          | Some ph -> Alcotest.failf "unknown phase %s" ph
-          | None -> Alcotest.fail "event without ph");
-          (match num "ts" with
-          | Some _ -> ()
-          | None -> Alcotest.fail "event without ts");
           (match Option.bind (Json.member "pid" ev) Json.to_int_opt with
           | Some _ -> ()
           | None -> Alcotest.fail "event without pid");
           match str "ph" with
-          | Some "X" -> (
-              match num "dur" with
-              | Some d when d >= 0.0 -> ()
-              | _ -> Alcotest.fail "X event without dur")
-          | _ -> ())
+          | Some "M" -> ()
+          | Some ("C" | "X" | "i") -> (
+              incr data;
+              (match num "ts" with
+              | Some _ -> ()
+              | None -> Alcotest.fail "event without ts");
+              match str "ph" with
+              | Some "X" -> (
+                  match num "dur" with
+                  | Some d when d >= 0.0 -> ()
+                  | _ -> Alcotest.fail "X event without dur")
+              | _ -> ())
+          | Some ph -> Alcotest.failf "unknown phase %s" ph
+          | None -> Alcotest.fail "event without ph")
         events;
-      List.length events
+      !data
   | _ -> Alcotest.fail "no traceEvents array"
 
 let chrome_reparse s =
@@ -478,6 +483,229 @@ let test_metrics_merge_kind_mismatch_skips () =
   Alcotest.(check int) "mismatch left alone" 5 (M.counter_value dst "x");
   Alcotest.(check int) "rest merged" 1 (M.counter_value dst "ok")
 
+let test_metrics_merge_histograms () =
+  let module M = Tca_telemetry.Metrics in
+  let bounds = [| 1.0 |] in
+  (* single-bucket histogram: one finite bound plus overflow *)
+  let dst = M.create () and src = M.create () in
+  let hd = M.histogram_exn ~bounds dst "h" in
+  let hs = M.histogram_exn ~bounds src "h" in
+  List.iter (M.Histogram.observe hd) [ 0.5; 3.0 ];
+  List.iter (M.Histogram.observe hs) [ 0.25; 0.75; 9.0 ];
+  M.merge_into dst src;
+  Alcotest.(check int) "count adds" 5 (M.Histogram.count hd);
+  Alcotest.(check (float 1e-9)) "sum adds" 13.5 (M.Histogram.sum hd);
+  (match M.Histogram.buckets hd with
+  | [ (1.0, le1); (binf, all) ] ->
+      Alcotest.(check int) "<=1 bucket-wise" 3 le1;
+      Alcotest.(check bool) "overflow bound" true (binf = Float.infinity);
+      Alcotest.(check int) "overflow cumulative" 5 all
+  | bs -> Alcotest.failf "expected 2 buckets, got %d" (List.length bs));
+  (* src untouched *)
+  Alcotest.(check int) "src intact" 3 (M.Histogram.count hs);
+  (* mismatched bounds: skipped, dst left alone *)
+  let odd = M.create () in
+  ignore (M.histogram_exn ~bounds:[| 1.0; 2.0 |] odd "h");
+  M.Histogram.observe (M.histogram_exn ~bounds:[| 1.0; 2.0 |] odd "h") 0.1;
+  M.merge_into dst odd;
+  Alcotest.(check int) "bounds mismatch skipped" 5 (M.Histogram.count hd)
+
+let test_metrics_merge_empty_and_self () =
+  let module M = Tca_telemetry.Metrics in
+  let dst = M.create () in
+  M.Counter.add (M.counter_exn dst "c") 3;
+  M.Gauge.set (M.gauge_exn dst "g") 1.5;
+  M.Histogram.observe (M.histogram_exn dst "h") 0.5;
+  (* merging an empty registry is a no-op *)
+  M.merge_into dst (M.create ());
+  Alcotest.(check int) "empty src: counter" 3 (M.counter_value dst "c");
+  Alcotest.(check int) "empty src: histogram" 1
+    (M.Histogram.count (M.histogram_exn dst "h"));
+  (* merging into an empty registry adopts everything *)
+  let fresh = M.create () in
+  M.merge_into fresh dst;
+  Alcotest.(check int) "empty dst: counter" 3 (M.counter_value fresh "c");
+  Alcotest.(check (float 1e-9)) "empty dst: gauge" 1.5
+    (M.Gauge.value (M.gauge_exn fresh "g"));
+  Alcotest.(check int) "empty dst: histogram" 1
+    (M.Histogram.count (M.histogram_exn fresh "h"));
+  (* merge-with-self: counters and histograms double, gauges keep their
+     value; must terminate (names are snapshotted before mutation) *)
+  M.merge_into dst dst;
+  Alcotest.(check int) "self: counter doubles" 6 (M.counter_value dst "c");
+  Alcotest.(check (float 1e-9)) "self: gauge unchanged" 1.5
+    (M.Gauge.value (M.gauge_exn dst "g"));
+  Alcotest.(check int) "self: histogram doubles" 2
+    (M.Histogram.count (M.histogram_exn dst "h"));
+  Alcotest.(check (float 1e-9)) "self: histogram sum doubles" 1.0
+    (M.Histogram.sum (M.histogram_exn dst "h"))
+
+let test_join_empty_child () =
+  (* joining a child that recorded nothing must not disturb the parent *)
+  let parent = Sink.create ~metrics:(Tca_telemetry.Metrics.create ()) () in
+  Sink.instant parent ~ts:1.0 "before";
+  let child = Sink.fork parent in
+  Sink.join ~into:parent child;
+  Alcotest.(check int) "no events added" 1 (Sink.length parent)
+
+(* --- Timing: the monotonic clock --- *)
+
+let test_timing_monotonic () =
+  (* CLOCK_MONOTONIC cannot step backwards: consecutive readings are
+     non-decreasing and every recorded span has a non-negative
+     duration (the regression this pins: gettimeofday-based spans went
+     negative under NTP steps). *)
+  let prev = ref (Timing.now_us ()) in
+  for _ = 1 to 10_000 do
+    let t = Timing.now_us () in
+    Alcotest.(check bool) "now_us non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  let s = Sink.create () in
+  for _ = 1 to 100 do
+    Timing.with_span (Some s) "tick" (fun () -> ())
+  done;
+  List.iter
+    (fun (e : Sink.event) ->
+      Alcotest.(check bool) "span dur >= 0" true (e.Sink.dur >= 0.0))
+    (Sink.events s)
+
+let test_record_span_explicit_ts () =
+  let s = Sink.create () in
+  Timing.record_span ~ts:123.0 (Some s) "ext" ~seconds:0.5;
+  Timing.record_span (Some s) "neg" ~seconds:(-1.0);
+  match Sink.events s with
+  | [ ext; neg ] ->
+      Alcotest.(check (float 0.0)) "explicit ts honored" 123.0 ext.Sink.ts;
+      Alcotest.(check (float 0.0)) "dur in us" 500_000.0 ext.Sink.dur;
+      Alcotest.(check (float 0.0)) "negative seconds clamped" 0.0 neg.Sink.dur
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+(* --- Profiler --- *)
+
+(* A hand-built two-lane trace with exact nesting, in microseconds:
+
+   lane 0 (owner):
+     profile.total   [0, 1000)
+       cache.lookup  [0, 100)
+       sched.batch   [100, 800)
+         task.run    [110, 710)
+           sim.step    [120, 420)
+           sim.decode  [430, 530)
+       cache.store     [800, 900)
+       telemetry.merge [900, 950)
+   lane 1 (worker):
+     task.run [200, 500)
+       sim.step [210, 410) *)
+let profiler_fixture () =
+  let s = Sink.create () in
+  let sp ~tid ~ts ~dur name =
+    Sink.span s ~pid:Sink.track_wall ~tid ~ts ~dur name
+  in
+  (* emitted deliberately out of order: the profiler must sort *)
+  sp ~tid:0 ~ts:900.0 ~dur:50.0 "telemetry.merge";
+  sp ~tid:1 ~ts:210.0 ~dur:200.0 "sim.step";
+  sp ~tid:0 ~ts:0.0 ~dur:1000.0 Profiler.total_span_name;
+  sp ~tid:0 ~ts:120.0 ~dur:300.0 "sim.step";
+  sp ~tid:0 ~ts:110.0 ~dur:600.0 "task.run";
+  sp ~tid:0 ~ts:0.0 ~dur:100.0 "cache.lookup";
+  sp ~tid:1 ~ts:200.0 ~dur:300.0 "task.run";
+  sp ~tid:0 ~ts:430.0 ~dur:100.0 "sim.decode";
+  sp ~tid:0 ~ts:100.0 ~dur:700.0 "sched.batch";
+  sp ~tid:0 ~ts:800.0 ~dur:100.0 "cache.store";
+  s
+
+let test_profiler_attribution () =
+  let p = Profiler.of_sink (profiler_fixture ()) in
+  Alcotest.(check (float 1e-12)) "wall from total span" 0.001
+    p.Profiler.wall_s;
+  Alcotest.(check int) "owner lane" 0 p.Profiler.owner_tid;
+  (* cpu = toplevel busy per lane: 1000us owner + 300us worker *)
+  Alcotest.(check (float 1e-12)) "cpu sums lanes" 0.0013 p.Profiler.cpu_s;
+  let comp name = List.assoc name p.Profiler.components in
+  (* owner-lane self times, by construction of the fixture *)
+  Alcotest.(check (float 1e-12)) "decode" 100e-6 (comp "decode");
+  Alcotest.(check (float 1e-12)) "sim" 300e-6 (comp "sim");
+  Alcotest.(check (float 1e-12)) "fork_join" 50e-6 (comp "fork_join");
+  Alcotest.(check (float 1e-12)) "cache" 200e-6 (comp "cache");
+  (* sched.batch minus its task.run child *)
+  Alcotest.(check (float 1e-12)) "scheduler" 100e-6 (comp "scheduler");
+  (* total's 50us of glue + task.run's 200us of body compute *)
+  Alcotest.(check (float 1e-12)) "other" 250e-6 (comp "other");
+  (* the six buckets cover the whole total span: 100% attributed *)
+  Alcotest.(check (float 1e-9)) "everything attributed" 1.0
+    (Profiler.attributed_fraction p);
+  (match List.find_opt (fun l -> l.Profiler.tid = 1) p.Profiler.lanes with
+  | Some l ->
+      Alcotest.(check (float 1e-12)) "worker busy" 300e-6 l.Profiler.busy_s;
+      Alcotest.(check int) "worker tasks" 1 l.Profiler.tasks
+  | None -> Alcotest.fail "worker lane missing");
+  (* self-time rows fold both lanes: two task.run calls *)
+  match
+    List.find_opt (fun r -> r.Profiler.name = "task.run") p.Profiler.rows
+  with
+  | Some r ->
+      Alcotest.(check int) "task.run calls" 2 r.Profiler.calls;
+      Alcotest.(check (float 1e-12)) "task.run total" 900e-6
+        r.Profiler.total_s;
+      Alcotest.(check (float 1e-12)) "task.run self" 300e-6 r.Profiler.self_s
+  | None -> Alcotest.fail "task.run row missing"
+
+let test_profiler_deterministic () =
+  (* For a fixed event set the rendered report is byte-identical, even
+     when the events arrive in a different order: all sorts in the
+     profiler carry total tie-breaks. *)
+  let render events =
+    Json.to_string_indent (Profiler.to_json (Profiler.of_events events))
+  in
+  let events = Sink.events (profiler_fixture ()) in
+  let a = render events in
+  Alcotest.(check string) "same order" a (render events);
+  Alcotest.(check string) "reversed order" a (render (List.rev events));
+  let table = render (List.sort compare events) in
+  Alcotest.(check string) "sorted order" a table;
+  (* the text table is deterministic too *)
+  let pp events =
+    Format.asprintf "%a" Profiler.pp (Profiler.of_events events)
+  in
+  Alcotest.(check string) "pp deterministic" (pp events)
+    (pp (List.rev events))
+
+let test_profiler_degrades () =
+  (* no events at all: an empty, well-formed report *)
+  let empty = Profiler.of_events [] in
+  Alcotest.(check (float 0.0)) "no wall" 0.0 empty.Profiler.wall_s;
+  Alcotest.(check int) "no lanes" 0 (List.length empty.Profiler.lanes);
+  Alcotest.(check (float 1e-9)) "vacuously attributed" 1.0
+    (Profiler.attributed_fraction empty);
+  (* without a profile.total span, wall falls back to the event extent
+     and the first lane becomes the owner *)
+  let s = Sink.create () in
+  Sink.span s ~pid:Sink.track_wall ~tid:3 ~ts:100.0 ~dur:400.0 "sim.step";
+  let p = Profiler.of_sink s in
+  Alcotest.(check (float 1e-12)) "extent wall" 400e-6 p.Profiler.wall_s;
+  Alcotest.(check int) "sole lane owns" 3 p.Profiler.owner_tid;
+  (* sim-track events (pid 0) are not wall spans and must be ignored *)
+  Sink.counter s ~ts:0.0 "sim.stalls" [ ("rob", 1.0) ];
+  Sink.span s ~pid:Sink.track_sim ~ts:0.0 ~dur:99.0 "accel.invoke";
+  let p' = Profiler.of_sink s in
+  Alcotest.(check (float 1e-12)) "sim track ignored" 400e-6 p'.Profiler.wall_s
+
+let test_profiler_gc_counters () =
+  let r = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter_exn r "task.gc.minor_words") 1234;
+  Metrics.Counter.add (Metrics.counter_exn r "task.gc.major_collections") 2;
+  let s = Sink.create ~metrics:r () in
+  Sink.span s ~pid:Sink.track_wall ~tid:0 ~ts:0.0 ~dur:10.0
+    Profiler.total_span_name;
+  let p = Profiler.of_sink s in
+  Alcotest.(check (option int)) "minor words" (Some 1234)
+    (List.assoc_opt "minor_words" p.Profiler.gc);
+  Alcotest.(check (option int)) "major collections" (Some 2)
+    (List.assoc_opt "major_collections" p.Profiler.gc);
+  Alcotest.(check (option int)) "absent key reports 0" (Some 0)
+    (List.assoc_opt "promoted_words" p.Profiler.gc)
+
 (* --- Sim_stats satellite APIs --- *)
 
 let test_sim_stats_json_csv () =
@@ -531,6 +759,10 @@ let () =
           Alcotest.test_case "merge_into" `Quick test_metrics_merge_into;
           Alcotest.test_case "merge kind mismatch skips" `Quick
             test_metrics_merge_kind_mismatch_skips;
+          Alcotest.test_case "merge histograms" `Quick
+            test_metrics_merge_histograms;
+          Alcotest.test_case "merge empty and self" `Quick
+            test_metrics_merge_empty_and_self;
         ] );
       ( "sink",
         [
@@ -544,6 +776,20 @@ let () =
             test_fork_join_equals_serial;
           Alcotest.test_case "fork carries capabilities" `Quick
             test_fork_carries_capabilities;
+          Alcotest.test_case "join empty child" `Quick test_join_empty_child;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "monotonic" `Quick test_timing_monotonic;
+          Alcotest.test_case "record_span explicit ts" `Quick
+            test_record_span_explicit_ts;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "attribution" `Quick test_profiler_attribution;
+          Alcotest.test_case "deterministic" `Quick test_profiler_deterministic;
+          Alcotest.test_case "degrades" `Quick test_profiler_degrades;
+          Alcotest.test_case "gc counters" `Quick test_profiler_gc_counters;
         ] );
       ( "simulator",
         [
