@@ -1078,6 +1078,160 @@ let trace_report_cmd =
   in
   Cmd.v (Cmd.info "trace-report" ~doc) Term.(const run $ file_t)
 
+(* --- tca verify --- *)
+
+let verify_cmd =
+  let doc =
+    "Prove a baseline/accelerated trace pair semantically equivalent \
+     from their symbolic effect summaries, audit the paper's modelling \
+     assumptions against the pair, and exit 1 with a minimal divergence \
+     witness when the proof fails."
+  in
+  let target_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD|BASELINE"
+          ~doc:
+            "A generated workload pair (synthetic, heap, dgemm, hashmap, \
+             regex, strfn), $(b,all) for the whole family, or a saved \
+             baseline trace file (then a second positional argument \
+             names the accelerated trace).")
+  in
+  let accel_file_t =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"ACCELERATED"
+          ~doc:"Accelerated trace file, when the first argument is a file.")
+  in
+  let strategy_t =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("align", `Align); ("dataflow", `Dataflow) ]) `Auto
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Proof strategy: $(b,align) (instruction alignment with \
+             per-invocation replaced regions), $(b,dataflow) (final \
+             memory image at line granularity, for wholesale kernel \
+             rewrites), or $(b,auto) to choose from the alignment \
+             itself.")
+  in
+  let witness_t =
+    Arg.(
+      value & flag
+      & info [ "witness" ]
+          ~doc:
+            "Print only the divergence witness as JSON (null when the \
+             pair is equivalent).")
+  in
+  let run target accel_file size strategy witness json =
+    protect @@ fun () ->
+    let cfg = Tca_experiments.Exp_common.validation_core () in
+    let line_bytes =
+      cfg.Tca_uarch.Config.mem.Tca_uarch.Mem_hier.l1
+        .Tca_uarch.Cache.line_bytes
+    in
+    let rob_size = cfg.Tca_uarch.Config.rob_size in
+    let load path =
+      try Tca_uarch.Trace.load path
+      with Failure message | Sys_error message ->
+        die
+          (Tca_util.Diag.Parse { field = "trace file"; input = path; message })
+    in
+    let pairs =
+      match List.assoc_opt target Tca_experiments.Exp_common.workload_kinds with
+      | Some kind ->
+          let pair, _ =
+            Tca_experiments.Exp_common.workload_pair ~cfg ~size kind
+          in
+          [ (target, pair.Tca_workloads.Meta.baseline,
+             pair.Tca_workloads.Meta.accelerated) ]
+      | None when target = "all" ->
+          List.map
+            (fun (name, kind) ->
+              let pair, _ =
+                Tca_experiments.Exp_common.workload_pair ~cfg ~size kind
+              in
+              (name, pair.Tca_workloads.Meta.baseline,
+               pair.Tca_workloads.Meta.accelerated))
+            Tca_experiments.Exp_common.workload_kinds
+      | None -> (
+          match accel_file with
+          | Some accel -> [ (target, load target, load accel) ]
+          | None ->
+              die
+                (Tca_util.Diag.Parse
+                   {
+                     field = "verify target";
+                     input = target;
+                     message =
+                       "not a workload name, and no accelerated trace \
+                        file was given";
+                   }))
+    in
+    let results =
+      List.map
+        (fun (name, baseline, accelerated) ->
+          let baseline = baseline.Tca_uarch.Trace.instrs in
+          let accelerated = accelerated.Tca_uarch.Trace.instrs in
+          let report =
+            Tca_analysis.Equiv.check ~line_bytes ~strategy ~baseline
+              ~accelerated ()
+          in
+          let assumptions =
+            Tca_analysis.Assume.audit ~line_bytes ~rob_size ~baseline
+              ~accelerated ()
+          in
+          (name, report, assumptions))
+        pairs
+    in
+    (if witness then
+       let js =
+         List.map
+           (fun (name, (r : Tca_analysis.Equiv.report), _) ->
+             ( name,
+               Tca_analysis.Equiv.(
+                 match r.verdict with
+                 | Equivalent -> Tca_util.Json.Null
+                 | Divergent w -> witness_to_json w) ))
+           results
+       in
+       print_endline
+         (Tca_util.Json.to_string_indent
+            (match js with [ (_, w) ] -> w | _ -> Tca_util.Json.Obj js))
+     else if json then
+       let js =
+         List.map
+           (fun (name, r, a) ->
+             ( name,
+               Tca_util.Json.Obj
+                 [
+                   ("equivalence", Tca_analysis.Equiv.report_to_json r);
+                   ("assumptions", Tca_analysis.Assume.to_json a);
+                 ] ))
+           results
+       in
+       print_endline
+         (Tca_util.Json.to_string_indent
+            (match js with [ (_, one) ] -> one | _ -> Tca_util.Json.Obj js))
+     else
+       List.iter
+         (fun (name, r, a) ->
+           Format.printf "@[<v>%s:@,%a%a@]@." name
+             Tca_analysis.Equiv.pp_report r Tca_analysis.Assume.pp a)
+         results);
+    if
+      List.exists
+        (fun (_, r, _) -> not (Tca_analysis.Equiv.equivalent r))
+        results
+    then exit 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ target_t $ accel_file_t $ sim_size_t $ strategy_t
+      $ witness_t $ json_t)
+
 let () =
   let doc =
     "Analytical model for tightly-coupled accelerators (ISPASS 2020 \
@@ -1090,5 +1244,5 @@ let () =
           [
             modes_cmd; model_cmd; design_cmd; simulate_cmd; sim_cmd;
             run_cmd; list_cmd; trace_cmd; run_trace_cmd; analyze_cmd;
-            trace_report_cmd; figure_cmd; profile_cmd;
+            verify_cmd; trace_report_cmd; figure_cmd; profile_cmd;
           ]))

@@ -11,7 +11,10 @@ type report = {
 
 let analyze ?baseline ~cfg trace =
   let instrs = trace.Trace.instrs in
-  let dag = Dag.build instrs in
+  (* Analyze at the configured machine's granularity, not the default:
+     footprint aliasing is defined per L1 line. *)
+  let line_bytes = cfg.Config.mem.Mem_hier.l1.Cache.line_bytes in
+  let dag = Dag.build ~line_bytes instrs in
   let derived, derive_error =
     match baseline with
     | None -> (None, None)
@@ -24,19 +27,30 @@ let analyze ?baseline ~cfg trace =
     counts = Trace.counts trace;
     dag_stats = Dag.stats dag;
     bounds = Bounds.compute ~dag cfg instrs;
-    findings = Lint.run instrs;
+    findings = Lint.run ~line_bytes instrs;
     derived;
     derive_error;
   }
 
-let lint trace = Lint.run_trace trace
+let lint ?line_bytes trace = Lint.run_trace ?line_bytes trace
 let bounds ~cfg trace = Bounds.compute cfg trace.Trace.instrs
+
+let finding_counts findings =
+  let open Tca_util.Json in
+  let count s =
+    List.length (List.filter (fun f -> Finding.severity f = s) findings)
+  in
+  Obj
+    (List.map
+       (fun s -> (Finding.severity_name s, Int (count s)))
+       [ Finding.Error; Finding.Warning; Finding.Info ])
 
 let report_to_json r =
   let open Tca_util.Json in
   Obj
     [
       ("counts", Trace.counts_to_json r.counts);
+      ("finding_counts", finding_counts r.findings);
       ("dag", Dag.stats_to_json r.dag_stats);
       ("bounds", Bounds.to_json r.bounds);
       ("findings", Lint.findings_to_json r.findings);

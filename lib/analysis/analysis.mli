@@ -21,12 +21,17 @@ val analyze :
   cfg:Tca_uarch.Config.t ->
   Tca_uarch.Trace.t ->
   report
+(** The DAG and lint passes run at the configured machine's L1 line
+    size ([cfg.mem.l1]), not the 64-byte default. *)
 
-val lint : Tca_uarch.Trace.t -> Finding.t list
-(** [Lint.run_trace] with the default line size. *)
+val lint : ?line_bytes:int -> Tca_uarch.Trace.t -> Finding.t list
+(** [Lint.run_trace]; [line_bytes] defaults to 64 — pass the configured
+    L1 line size when one is at hand. *)
 
 val bounds : cfg:Tca_uarch.Config.t -> Tca_uarch.Trace.t -> Bounds.t
 
 val report_to_json : report -> Tca_util.Json.t
 (** Shares the [counts] schema with [tca trace-report] via
-    {!Tca_uarch.Trace.counts_to_json}. *)
+    {!Tca_uarch.Trace.counts_to_json}. Includes a ["finding_counts"]
+    object with per-severity totals (["error"], ["warning"], ["info"])
+    so CI gates can threshold without walking the findings list. *)

@@ -1,0 +1,310 @@
+open Tca_uarch
+
+type flag = {
+  severity : Finding.severity;
+  rule : string;
+  equations : string;
+  detail : string;
+}
+
+type t = {
+  invocations : int;
+  n_base : int;
+  n_accel : int;
+  accel_fraction : float;
+  inv_per_instr : float;
+  gap_mean : float;
+  gap_cv : float;
+  region_mean : float;
+  region_cv : float;
+  latency_mean : float;
+  latency_cv : float;
+  overlap_exposed_frac : float;
+  undeclared_read_lines : int;
+  overdeclared_read_lines : int;
+  undeclared_write_lines : int;
+  flags : flag list;
+}
+
+let mean_cv xs =
+  let n = Array.length xs in
+  if n = 0 then (Float.nan, Float.nan)
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    if n = 1 then (mean, 0.0)
+    else begin
+      let var =
+        Array.fold_left (fun s x -> s +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. float_of_int n
+      in
+      let cv = if mean = 0.0 then 0.0 else sqrt var /. mean in
+      (mean, cv)
+    end
+  end
+
+let is_accel (ins : Isa.instr) =
+  match ins.Isa.op with Isa.Accel _ -> true | _ -> false
+
+(* Interior gaps: non-accel instruction counts between consecutive
+   invocations of the accelerated trace. *)
+let gaps accelerated =
+  let acc_idx = ref [] in
+  Array.iteri
+    (fun i ins -> if is_accel ins then acc_idx := i :: !acc_idx)
+    accelerated;
+  let idxs = Array.of_list (List.rev !acc_idx) in
+  let n = Array.length idxs in
+  if n < 2 then [||]
+  else Array.init (n - 1) (fun k -> float_of_int (idxs.(k + 1) - idxs.(k) - 1))
+
+module IS = Set.Make (Int)
+
+(* Per-region memory footprints of the replaced baseline code, measured
+   against the invocation's declared line sets. A region "input" is a
+   load of an address whose last writer is outside the region; a region
+   "output" is any store. Both at line granularity, matching the
+   declared footprints. *)
+let footprint_audit ~line_bytes baseline accelerated (al : Equiv.alignment) =
+  let line_of a = a / line_bytes * line_bytes in
+  let n_regions = Array.length al.Equiv.regions in
+  let reads = Array.make (max n_regions 1) IS.empty in
+  let writes = Array.make (max n_regions 1) IS.empty in
+  let writer : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun idx (ins : Isa.instr) ->
+      let region = al.Equiv.base_region.(idx) in
+      match ins.Isa.op with
+      | Isa.Load ->
+          if region >= 0 then begin
+            let external_writer =
+              match Hashtbl.find_opt writer ins.Isa.addr with
+              | None -> true
+              | Some w -> al.Equiv.base_region.(w) <> region
+            in
+            if external_writer then
+              reads.(region) <- IS.add (line_of ins.Isa.addr) reads.(region)
+          end
+      | Isa.Store ->
+          Hashtbl.replace writer ins.Isa.addr idx;
+          if region >= 0 then
+            writes.(region) <- IS.add (line_of ins.Isa.addr) writes.(region)
+      | _ -> ())
+    baseline;
+  let undeclared_r = ref 0 and overdeclared_r = ref 0 and undeclared_w = ref 0 in
+  Array.iter
+    (fun (r : Equiv.region) ->
+      match accelerated.(r.Equiv.accel_index).Isa.op with
+      | Isa.Accel { reads = dr; writes = dw; _ } ->
+          let declared arr =
+            Array.fold_left (fun s a -> IS.add (line_of a) s) IS.empty arr
+          in
+          let dr = declared dr and dw = declared dw in
+          undeclared_r :=
+            !undeclared_r + IS.cardinal (IS.diff reads.(r.Equiv.ord) dr);
+          overdeclared_r :=
+            !overdeclared_r + IS.cardinal (IS.diff dr reads.(r.Equiv.ord));
+          undeclared_w :=
+            !undeclared_w + IS.cardinal (IS.diff writes.(r.Equiv.ord) dw)
+      | _ -> ())
+    al.Equiv.regions;
+  (!undeclared_r, !overdeclared_r, !undeclared_w)
+
+let audit ?(line_bytes = 64) ?(rob_size = 192) ~baseline ~accelerated () =
+  let n_base = Array.length baseline in
+  let n_accel = Array.length accelerated in
+  let latencies = ref [] in
+  let invocations = ref 0 in
+  Array.iter
+    (fun (ins : Isa.instr) ->
+      match ins.Isa.op with
+      | Isa.Accel { compute_latency; _ } ->
+          incr invocations;
+          latencies := float_of_int compute_latency :: !latencies
+      | _ -> ())
+    accelerated;
+  let invocations = !invocations in
+  let latency_mean, latency_cv =
+    mean_cv (Array.of_list (List.rev !latencies))
+  in
+  let g = gaps accelerated in
+  let gap_mean, gap_cv = mean_cv g in
+  let overlap_exposed_frac =
+    if Array.length g = 0 then 0.0
+    else
+      float_of_int
+        (Array.fold_left
+           (fun n gap -> if gap < float_of_int rob_size then n + 1 else n)
+           0 g)
+      /. float_of_int (Array.length g)
+  in
+  let al = Equiv.align baseline accelerated in
+  let aligned = al.Equiv.misaligned = None in
+  let region_sizes =
+    if aligned then
+      Array.map
+        (fun (r : Equiv.region) -> float_of_int r.Equiv.base_len)
+        al.Equiv.regions
+    else [||]
+  in
+  let region_mean, region_cv = mean_cv region_sizes in
+  let replaced =
+    if aligned then
+      Array.fold_left
+        (fun s (r : Equiv.region) -> s + r.Equiv.base_len)
+        0 al.Equiv.regions
+    else
+      (* Wholesale rewrite: assume every non-accel accelerated
+         instruction has a baseline counterpart. *)
+      max 0 (n_base - (n_accel - invocations))
+  in
+  let accel_fraction =
+    if n_base = 0 then 0.0 else float_of_int replaced /. float_of_int n_base
+  in
+  let inv_per_instr =
+    if n_base = 0 then 0.0
+    else float_of_int invocations /. float_of_int n_base
+  in
+  let undeclared_read_lines, overdeclared_read_lines, undeclared_write_lines =
+    if aligned then footprint_audit ~line_bytes baseline accelerated al
+    else (0, 0, 0)
+  in
+  let flags = ref [] in
+  let flag severity rule equations detail =
+    flags := { severity; rule; equations; detail } :: !flags
+  in
+  if invocations = 0 then
+    flag Finding.Error "no-invocations" "(1)-(3)"
+      "v = 0: no interval exists, the model inputs a, v, A cannot be \
+       derived from this pair";
+  let graded cv rule equations what =
+    if Float.is_nan cv then ()
+    else if cv > 1.0 then
+      flag Finding.Warning rule equations
+        (Printf.sprintf
+           "%s varies strongly across invocations (CV %.2f): the model \
+            uses the mean only, and its per-interval times are convex in \
+            these quantities"
+           what cv)
+    else if cv > 0.5 then
+      flag Finding.Info rule equations
+        (Printf.sprintf "%s varies across invocations (CV %.2f)" what cv)
+  in
+  graded gap_cv "interval-nonuniform" "(1)-(3)"
+    "inter-invocation distance (1/v)";
+  graded region_cv "region-size-nonstationary" "(2)-(3)"
+    "replaced-region size (a/v)";
+  graded latency_cv "latency-nonstationary" "(2)"
+    "invocation compute latency (t_accl)";
+  if not aligned then
+    flag Finding.Info "regions-unattributable" "(2)-(3)"
+      "the pair does not align instruction-by-instruction (wholesale \
+       rewrite); a is estimated from the instruction-count deficit and \
+       region-size stationarity is not measurable";
+  if overlap_exposed_frac > 0.5 then
+    flag Finding.Warning "drain-overlap-exposure" "(4)-(9)"
+      (Printf.sprintf
+         "%.0f%% of inter-invocation gaps are shorter than the ROB (%d): \
+          adjacent invocations are window-co-resident, straining the \
+          one-invocation-per-interval tiling behind the per-mode times"
+         (100.0 *. overlap_exposed_frac)
+         rob_size)
+  else if overlap_exposed_frac > 0.25 then
+    flag Finding.Info "drain-overlap-exposure" "(4)-(9)"
+      (Printf.sprintf
+         "%.0f%% of inter-invocation gaps are shorter than the ROB (%d)"
+         (100.0 *. overlap_exposed_frac)
+         rob_size);
+  if undeclared_read_lines > 0 then
+    flag Finding.Warning "undeclared-reads" "(2), cache model"
+      (Printf.sprintf
+         "replaced regions read %d line(s) outside the declared read \
+          footprints: the simulator's accelerator memory traffic \
+          under-counts"
+         undeclared_read_lines);
+  if undeclared_write_lines > 0 then
+    flag Finding.Warning "undeclared-writes" "(2), cache model"
+      (Printf.sprintf
+         "replaced regions write %d line(s) outside the declared write \
+          footprints (accelerator-private state the timing model never \
+          moves)"
+         undeclared_write_lines);
+  if overdeclared_read_lines > 0 then
+    flag Finding.Info "overdeclared-reads" "(2), cache model"
+      (Printf.sprintf
+         "declared read footprints include %d line(s) the replaced \
+          regions never read from application state"
+         overdeclared_read_lines);
+  {
+    invocations;
+    n_base;
+    n_accel;
+    accel_fraction;
+    inv_per_instr;
+    gap_mean;
+    gap_cv;
+    region_mean;
+    region_cv;
+    latency_mean;
+    latency_cv;
+    overlap_exposed_frac;
+    undeclared_read_lines;
+    overdeclared_read_lines;
+    undeclared_write_lines;
+    flags = List.rev !flags;
+  }
+
+let flag_to_json f =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("severity", String (Finding.severity_name f.severity));
+      ("rule", String f.rule);
+      ("equations", String f.equations);
+      ("detail", String f.detail);
+    ]
+
+let to_json t =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("invocations", Int t.invocations);
+      ("baseline_instrs", Int t.n_base);
+      ("accelerated_instrs", Int t.n_accel);
+      ("accel_fraction", Float t.accel_fraction);
+      ("inv_per_instr", Float t.inv_per_instr);
+      ("gap_mean", Float t.gap_mean);
+      ("gap_cv", Float t.gap_cv);
+      ("region_mean", Float t.region_mean);
+      ("region_cv", Float t.region_cv);
+      ("latency_mean", Float t.latency_mean);
+      ("latency_cv", Float t.latency_cv);
+      ("overlap_exposed_frac", Float t.overlap_exposed_frac);
+      ("undeclared_read_lines", Int t.undeclared_read_lines);
+      ("overdeclared_read_lines", Int t.overdeclared_read_lines);
+      ("undeclared_write_lines", Int t.undeclared_write_lines);
+      ("flags", List (List.map flag_to_json t.flags));
+    ]
+
+let pp ppf t =
+  let open Format in
+  let f ppf x = if Float.is_nan x then pp_print_string ppf "-" else fprintf ppf "%.2f" x in
+  fprintf ppf "invocations: %d (a %.4f, v %.6f)@," t.invocations
+    t.accel_fraction t.inv_per_instr;
+  fprintf ppf "gaps:        mean %a, cv %a@," f t.gap_mean f t.gap_cv;
+  fprintf ppf "regions:     mean %a, cv %a@," f t.region_mean f t.region_cv;
+  fprintf ppf "latency:     mean %a, cv %a@," f t.latency_mean f t.latency_cv;
+  fprintf ppf "overlap:     %.0f%% of gaps shorter than ROB@,"
+    (100.0 *. t.overlap_exposed_frac);
+  fprintf ppf "footprints:  %d undeclared reads, %d undeclared writes, %d \
+               overdeclared reads (lines)@,"
+    t.undeclared_read_lines t.undeclared_write_lines
+    t.overdeclared_read_lines;
+  List.iter
+    (fun fl ->
+      fprintf ppf "%s %s %s: %s@,"
+        (match fl.severity with
+        | Finding.Info -> "info   "
+        | Finding.Warning -> "warning"
+        | Finding.Error -> "error  ")
+        fl.rule fl.equations fl.detail)
+    t.flags

@@ -1,0 +1,63 @@
+(** Static audit of the paper's modelling assumptions against a concrete
+    trace pair.
+
+    The interval model (MODEL.md, eqs. (1)-(9)) treats the program as a
+    tiling of identical intervals: invocations arrive every [1/v]
+    instructions, each replaces [a/v] instructions of baseline work,
+    each costs the same [t_accl], and each interval's drain/refill is
+    independent of its neighbours. None of that is guaranteed by a real
+    trace; this module measures how far a pair strays and emits graded
+    flags keyed to the equations whose derivation the deviation strains.
+
+    Complements {!Equiv}: equivalence asks whether the accelerated trace
+    computes the right thing, this asks whether the model's {e timing}
+    abstractions describe the pair the experiments feed it. *)
+
+type flag = {
+  severity : Finding.severity;
+  rule : string;
+  equations : string;  (** MODEL.md equation reference, e.g. ["(4)-(9)"] *)
+  detail : string;
+}
+
+type t = {
+  invocations : int;
+  n_base : int;
+  n_accel : int;
+  accel_fraction : float;  (** measured [a] *)
+  inv_per_instr : float;  (** measured [v] (per baseline instruction) *)
+  gap_mean : float;
+      (** mean non-accel instructions between consecutive invocations;
+          [nan] with fewer than two invocations *)
+  gap_cv : float;
+  region_mean : float;
+      (** mean replaced-region size from the {!Equiv.align} attribution;
+          [nan] when the pair does not align *)
+  region_cv : float;
+  latency_mean : float;  (** [nan] with no invocations *)
+  latency_cv : float;
+  overlap_exposed_frac : float;
+      (** fraction of inter-invocation gaps shorter than the ROB *)
+  undeclared_read_lines : int;
+      (** lines replaced regions read from outside but the invocation
+          does not declare (summed over regions) *)
+  overdeclared_read_lines : int;
+  undeclared_write_lines : int;
+  flags : flag list;
+}
+
+val audit :
+  ?line_bytes:int ->
+  ?rob_size:int ->
+  baseline:Tca_uarch.Isa.instr array ->
+  accelerated:Tca_uarch.Isa.instr array ->
+  unit ->
+  t
+(** [line_bytes] defaults to 64, [rob_size] to 192; pass the configured
+    values ([Cache.line_bytes cfg.mem.l1], [cfg.rob_size]) so the audit
+    matches the simulated machine. Footprint metrics are only measured
+    when the pair aligns (see {!Equiv.align}); otherwise they are 0 and
+    a [regions-unattributable] flag is emitted. *)
+
+val to_json : t -> Tca_util.Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,925 @@
+open Tca_uarch
+
+type strategy = Align | Dataflow
+
+let strategy_name = function Align -> "align" | Dataflow -> "dataflow"
+
+(* Structural instruction equality across variants. PCs are assigned
+   sequentially by the trace builder, so the same logical instruction
+   sits at a different pc in each variant; only static branch sites
+   (recurring pcs the predictor keys on) carry semantic pc identity. *)
+let instr_equal (a : Isa.instr) (b : Isa.instr) =
+  a.Isa.op = b.Isa.op && a.Isa.src1 = b.Isa.src1 && a.Isa.src2 = b.Isa.src2
+  && a.Isa.dst = b.Isa.dst && a.Isa.addr = b.Isa.addr
+  && a.Isa.taken = b.Isa.taken
+  && match a.Isa.op with Isa.Branch -> a.Isa.pc = b.Isa.pc | _ -> true
+
+type region = {
+  ord : int;  (** invocation ordinal, in accelerated-trace order *)
+  accel_index : int;  (** accelerated-trace index of the invocation *)
+  base_start : int;
+  base_len : int;
+}
+
+type alignment = {
+  n_matched : int;
+  base_match : int array;  (** baseline idx -> match id, or -1 (in a region) *)
+  accel_match : int array;  (** accelerated idx -> match id, or -1 (an accel) *)
+  base_region : int array;  (** baseline idx -> region ordinal, or -1 *)
+  regions : region array;
+  misaligned : (int * int) option;
+      (** first structurally irreconcilable position (baseline idx,
+          accelerated idx); indices may equal the trace length when one
+          side ran out *)
+}
+
+let is_accel (ins : Isa.instr) =
+  match ins.Isa.op with Isa.Accel _ -> true | _ -> false
+
+(* Greedy two-pointer alignment: common instructions must match in
+   order; every accelerated-side [Accel] opens a region that absorbs
+   baseline instructions until the next common instruction (or the next
+   invocation) resumes. Between two adjacent invocations the boundary is
+   ambiguous and attributed greedily to the later one. *)
+let align baseline accelerated =
+  let nb = Array.length baseline and na = Array.length accelerated in
+  let base_match = Array.make (max nb 1) (-1) in
+  let accel_match = Array.make (max na 1) (-1) in
+  let base_region = Array.make (max nb 1) (-1) in
+  let regions = ref [] in
+  let n_regions = ref 0 in
+  let n_matched = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  let misaligned = ref None in
+  while !misaligned = None && (!i < nb || !j < na) do
+    let common_here =
+      !i < nb && !j < na && instr_equal baseline.(!i) accelerated.(!j)
+    in
+    if !j < na && is_accel accelerated.(!j) && not common_here then begin
+      let ord = !n_regions in
+      incr n_regions;
+      let accel_index = !j in
+      incr j;
+      let base_start = !i in
+      let stop = ref false in
+      while not !stop && !i < nb do
+        if !j < na && (instr_equal baseline.(!i) accelerated.(!j)
+                      || is_accel accelerated.(!j))
+        then stop := true
+        else begin
+          base_region.(!i) <- ord;
+          incr i
+        end
+      done;
+      regions :=
+        { ord; accel_index; base_start; base_len = !i - base_start }
+        :: !regions
+    end
+    else if common_here then begin
+      base_match.(!i) <- !n_matched;
+      accel_match.(!j) <- !n_matched;
+      incr n_matched;
+      incr i;
+      incr j
+    end
+    else misaligned := Some (!i, !j)
+  done;
+  {
+    n_matched = !n_matched;
+    base_match;
+    accel_match;
+    base_region;
+    regions = Array.of_list (List.rev !regions);
+    misaligned = !misaligned;
+  }
+
+(* {2 Verdicts} *)
+
+type witness = {
+  location : Effects.loc option;  (** [None]: instruction-stream mismatch *)
+  base_index : int;
+  accel_index : int;
+  base_term : string;
+  accel_term : string;
+  base_contributors : int list;
+  accel_contributors : int list;
+  reason : string;
+}
+
+type verdict = Equivalent | Divergent of witness
+
+type audit = {
+  severity : Finding.severity;
+  rule : string;
+  count : int;
+  detail : string;
+}
+
+type report = {
+  verdict : verdict;
+  strategy : strategy;
+  n_base : int;
+  n_accel : int;
+  invocations : int;
+  matched : int;
+  regions : int;
+  sigma_reg : int;  (** region outputs consumed through accel registers *)
+  sigma_mem : int;  (** ... through declared accel write lines *)
+  audits : audit list;
+}
+
+let equivalent r = r.verdict = Equivalent
+
+(* {2 The aligned-replacement strategy} *)
+
+(* Producer role of a term, relative to an alignment. *)
+type role = Rinit | Rcommon of int | Rregion of int | Raccel of int | Rother
+
+let loc_to_string = function
+  | Effects.Reg r -> Printf.sprintf "r%d" r
+  | Effects.Mem a -> Printf.sprintf "[%#x]" a
+  | Effects.Line l -> Printf.sprintf "line[%#x]" l
+
+type cmp = Equal | Diff of int * int
+
+type align_ctx = {
+  sb : Effects.t;
+  sa : Effects.t;
+  al : alignment;
+  accel_ord : int array;  (** accelerated idx -> invocation ordinal, or -1 *)
+  visited : (int, unit) Hashtbl.t;
+  stride : int;
+  sigma_channels : (int * Effects.loc, unit) Hashtbl.t;
+}
+
+let make_ctx sb sa al =
+  let accel_ord = Array.make (max (Array.length al.accel_match) 1) (-1) in
+  Array.iteri (fun ord idx -> accel_ord.(idx) <- ord) sa.Effects.accels;
+  {
+    sb;
+    sa;
+    al;
+    accel_ord;
+    visited = Hashtbl.create 4096;
+    stride = Array.length sa.Effects.nodes + 1;
+    sigma_channels = Hashtbl.create 64;
+  }
+
+let role_b ctx term =
+  match Effects.producer ctx.sb term with
+  | None -> Rinit
+  | Some idx ->
+      if ctx.al.base_match.(idx) >= 0 then Rcommon ctx.al.base_match.(idx)
+      else if ctx.al.base_region.(idx) >= 0 then
+        Rregion ctx.al.base_region.(idx)
+      else Rother
+
+let role_a ctx term =
+  match Effects.producer ctx.sa term with
+  | None -> Rinit
+  | Some idx ->
+      if ctx.accel_ord.(idx) >= 0 then Raccel ctx.accel_ord.(idx)
+      else if ctx.al.accel_match.(idx) >= 0 then
+        Rcommon ctx.al.accel_match.(idx)
+      else Rother
+
+(* Structural term correspondence modulo accelerator semantics: matched
+   common instructions correspond pointwise, and a term produced inside
+   baseline region [k] corresponds to any output of accelerated
+   invocation [k] (the uninterpreted-function binding sigma). Iterative
+   with a visited-pair memo shared across the whole check, so total work
+   stays linear in the two arenas. *)
+let compare_terms ctx tb ta =
+  let nodes_b = ctx.sb.Effects.nodes and nodes_a = ctx.sa.Effects.nodes in
+  let rec loop stack =
+    match stack with
+    | [] -> Equal
+    | (tb, ta) :: rest ->
+        let key = (tb * ctx.stride) + ta in
+        if Hashtbl.mem ctx.visited key then loop rest
+        else begin
+          Hashtbl.add ctx.visited key ();
+          match (nodes_b.(tb), nodes_a.(ta)) with
+          | Effects.Zero, Effects.Zero -> loop rest
+          | Effects.Init_reg r, Effects.Init_reg r' when r = r' -> loop rest
+          | Effects.Init_mem a, Effects.Init_mem a' when a = a' -> loop rest
+          | Effects.Init_line l, Effects.Init_line l' when l = l' -> loop rest
+          | Effects.Op ob, Effects.Op oa
+            when ob.cls = oa.cls
+                 && ctx.al.base_match.(ob.idx) >= 0
+                 && ctx.al.base_match.(ob.idx)
+                    = ctx.al.accel_match.(oa.idx) ->
+              if Array.length ob.args <> Array.length oa.args
+              then Diff (tb, ta)
+              else begin
+                let acc = ref rest in
+                Array.iteri
+                  (fun k ab -> acc := (ab, oa.args.(k)) :: !acc)
+                  ob.args;
+                loop !acc
+              end
+          | Effects.Accel_app ab, Effects.Accel_app aa
+            when ctx.al.base_match.(ab.idx) >= 0
+                 && ctx.al.base_match.(ab.idx)
+                    = ctx.al.accel_match.(aa.idx) ->
+              if Array.length ab.args <> Array.length aa.args
+              then Diff (tb, ta)
+              else begin
+                let acc = ref rest in
+                Array.iteri
+                  (fun k b_arg -> acc := (b_arg, aa.args.(k)) :: !acc)
+                  ab.args;
+                loop !acc
+              end
+          | Effects.Accel_out ob, Effects.Accel_out oa
+            when ob.loc = oa.loc ->
+              loop ((ob.app, oa.app) :: rest)
+          | _, Effects.Accel_out { app; loc } -> (
+              match nodes_a.(app) with
+              | Effects.Accel_app { ord; _ } -> (
+                  match role_b ctx tb with
+                  | Rregion k when k = ord ->
+                      Hashtbl.replace ctx.sigma_channels (ord, loc) ();
+                      loop rest
+                  | _ -> Diff (tb, ta))
+              | _ -> Diff (tb, ta))
+          | _ -> Diff (tb, ta)
+        end
+  in
+  loop [ (tb, ta) ]
+
+(* Aggregated audit accumulation. *)
+type audit_acc = {
+  mutable scratch_regs : int list;
+  mutable region_clobbers_reg : int;
+  mutable hidden_addrs : int;
+  mutable accel_clobbers : int;
+  mutable channel_skew : int;
+  mutable accel_extra : int;
+  mutable other : audit list;
+}
+
+let new_acc () =
+  {
+    scratch_regs = [];
+    region_clobbers_reg = 0;
+    hidden_addrs = 0;
+    accel_clobbers = 0;
+    channel_skew = 0;
+    accel_extra = 0;
+    other = [];
+  }
+
+let acc_to_audits acc =
+  let out = ref (List.rev acc.other) in
+  let add severity rule count detail =
+    if count > 0 then out := { severity; rule; count; detail } :: !out
+  in
+  add Finding.Info "scratch-reg"
+    (List.length acc.scratch_regs)
+    (Printf.sprintf "region scratch registers live at trace end: %s"
+       (String.concat ", "
+          (List.rev_map (Printf.sprintf "r%d") acc.scratch_regs)));
+  add Finding.Warning "region-clobbers-reg" acc.region_clobbers_reg
+    "baseline region overwrites an application register the accelerated \
+     variant leaves intact (dead at trace end)";
+  add Finding.Info "hidden-state" acc.hidden_addrs
+    "addresses written only inside replaced regions (accelerator-private \
+     state not in the declared write footprint)";
+  add Finding.Warning "accel-clobbers" acc.accel_clobbers
+    "declared accelerator output overwrites an application-written \
+     location";
+  add Finding.Warning "channel-skew" acc.channel_skew
+    "final value comes from different invocation ordinals in the two \
+     variants";
+  add Finding.Info "accel-extra-output" acc.accel_extra
+    "declared accelerator output the baseline regions never produce";
+  List.rev !out
+
+let witness_of_terms ctx ?loc ~reason ~root_b ~root_a tb ta =
+  let contributors side term root =
+    let p =
+      match side with
+      | `B -> Effects.producer ctx.sb term
+      | `A -> Effects.producer ctx.sa term
+    in
+    List.sort_uniq compare
+      (List.filter (fun x -> x >= 0) (root :: Option.to_list p))
+  in
+  {
+    location = loc;
+    base_index = root_b;
+    accel_index = root_a;
+    base_term = Effects.term_to_string ctx.sb tb;
+    accel_term = Effects.term_to_string ctx.sa ta;
+    base_contributors = contributors `B tb root_b;
+    accel_contributors = contributors `A ta root_a;
+    reason;
+  }
+
+(* Classify one final-state location once [compare_terms] has failed on
+   it. Returns [None] when the difference is an allowed (audited)
+   consequence of region replacement, [Some reason] when it is a real
+   divergence. *)
+let classify_final ctx acc ~is_reg loc tb ta =
+  let rb = role_b ctx tb and ra = role_a ctx ta in
+  match (rb, ra) with
+  | Rregion k, Raccel k' when k = k' ->
+      (* A declared output channel whose binding was never exercised by a
+         common read; still sigma-consistent. *)
+      Hashtbl.replace ctx.sigma_channels (k, loc) ();
+      None
+  | Rregion _, Raccel _ ->
+      acc.channel_skew <- acc.channel_skew + 1;
+      None
+  | Rregion _, Rinit when is_reg ->
+      (match loc with
+      | Effects.Reg r -> acc.scratch_regs <- r :: acc.scratch_regs
+      | _ -> ());
+      None
+  | Rregion _, Rcommon _ when is_reg ->
+      acc.region_clobbers_reg <- acc.region_clobbers_reg + 1;
+      None
+  | Rregion _, Rinit ->
+      acc.hidden_addrs <- acc.hidden_addrs + 1;
+      None
+  | Rregion k, Rcommon _ ->
+      Some
+        (Printf.sprintf
+           "baseline region %d overwrites application-visible memory that \
+            the accelerated variant leaves with the application's value \
+            (undeclared accelerator write)"
+           k)
+  | Rcommon _, Raccel _ ->
+      acc.accel_clobbers <- acc.accel_clobbers + 1;
+      None
+  | Rinit, Raccel _ ->
+      acc.accel_extra <- acc.accel_extra + 1;
+      None
+  | _ ->
+      Some
+        (if is_reg then "final register values diverge"
+         else "final memory values diverge")
+
+let check_align ?(line_bytes = 64) baseline accelerated al =
+  let sb = Effects.summarize ~line_bytes baseline in
+  let sa = Effects.summarize ~line_bytes accelerated in
+  let ctx = make_ctx sb sa al in
+  let acc = new_acc () in
+  let divergence = ref None in
+  let diverge w = if !divergence = None then divergence := Some w in
+  (match al.misaligned with
+  | Some (bi, ai) ->
+      let render arr n k =
+        if k >= n then "(end of trace)"
+        else Format.asprintf "%a" Isa.pp arr.(k)
+      in
+      diverge
+        {
+          location = None;
+          base_index = bi;
+          accel_index = ai;
+          base_term = render baseline (Array.length baseline) bi;
+          accel_term = render accelerated (Array.length accelerated) ai;
+          base_contributors = (if bi < Array.length baseline then [ bi ] else []);
+          accel_contributors =
+            (if ai < Array.length accelerated then [ ai ] else []);
+          reason =
+            "instruction streams cannot be aligned: common instructions \
+             diverge structurally outside any replaced region";
+        }
+  | None ->
+      (* Pointwise: every matched instruction must read corresponding
+         values. Scanning in match order makes the first failure the
+         earliest diverging common instruction. *)
+      let n_matched = al.n_matched in
+      let b_of_match = Array.make (max n_matched 1) (-1) in
+      let a_of_match = Array.make (max n_matched 1) (-1) in
+      Array.iteri
+        (fun i m -> if m >= 0 then b_of_match.(m) <- i)
+        al.base_match;
+      Array.iteri
+        (fun j m -> if m >= 0 then a_of_match.(m) <- j)
+        al.accel_match;
+      (* Operand slots of a matched instruction, labelled with the
+         architectural location each value arrives through — so a
+         divergence witness can name the register or address, not just
+         the two terms. Must mirror the arg layout of
+         [Effects.summarize]. *)
+      let operand_locs (ins : Isa.instr) =
+        let reg r = if r = Isa.no_reg then None else Some (Effects.Reg r) in
+        match ins.Isa.op with
+        | Isa.Load -> [| reg ins.Isa.src1; Some (Effects.Mem ins.Isa.addr) |]
+        | Isa.Store | Isa.Int_alu | Isa.Int_mult | Isa.Fp_alu | Isa.Fp_mult
+          ->
+            [| reg ins.Isa.src1; reg ins.Isa.src2 |]
+        | Isa.Branch -> [| reg ins.Isa.src1 |]
+        | Isa.Accel _ -> [||]
+      in
+      let m = ref 0 in
+      while !divergence = None && !m < n_matched do
+        let bi = b_of_match.(!m) and ai = a_of_match.(!m) in
+        let nb = sb.Effects.instr_node.(bi)
+        and na = sa.Effects.instr_node.(ai) in
+        (match (sb.Effects.nodes.(nb), sa.Effects.nodes.(na)) with
+        | Effects.Op ob, Effects.Op oa
+          when Array.length ob.args = Array.length oa.args
+               && Array.length ob.args = Array.length (operand_locs baseline.(bi))
+          ->
+            let locs = operand_locs baseline.(bi) in
+            let k = ref 0 in
+            while !divergence = None && !k < Array.length ob.args do
+              (match compare_terms ctx ob.args.(!k) oa.args.(!k) with
+              | Equal -> ()
+              | Diff (tb, ta) ->
+                  diverge
+                    (witness_of_terms ctx ?loc:locs.(!k)
+                       ~reason:
+                         (match locs.(!k) with
+                         | Some l ->
+                             Printf.sprintf
+                               "matched common instructions read diverging \
+                                values through %s"
+                               (loc_to_string l)
+                         | None ->
+                             "matched common instructions read diverging \
+                              values")
+                       ~root_b:bi ~root_a:ai tb ta));
+              incr k
+            done
+        | _ -> (
+            match compare_terms ctx nb na with
+            | Equal -> ()
+            | Diff (tb, ta) ->
+                diverge
+                  (witness_of_terms ctx
+                     ~reason:
+                       "matched common instructions read diverging values"
+                     ~root_b:bi ~root_a:ai tb ta)));
+        incr m
+      done;
+      (* Final architectural registers. *)
+      let r = ref 0 in
+      while !divergence = None && !r < Isa.num_arch_regs do
+        let tb = sb.Effects.regs.(!r) and ta = sa.Effects.regs.(!r) in
+        (match compare_terms ctx tb ta with
+        | Equal -> ()
+        | Diff (tb', ta') -> (
+            let loc = Effects.Reg !r in
+            match classify_final ctx acc ~is_reg:true loc tb ta with
+            | None -> ()
+            | Some reason ->
+                diverge
+                  (witness_of_terms ctx ~loc ~reason
+                     ~root_b:(Option.value ~default:(-1)
+                                (Effects.producer sb tb))
+                     ~root_a:(Option.value ~default:(-1)
+                                (Effects.producer sa ta))
+                     tb' ta')));
+        incr r
+      done;
+      (* Final memory image: exact cells, then whole-line owners. *)
+      let addrs = Hashtbl.create 1024 in
+      Hashtbl.iter (fun a _ -> Hashtbl.replace addrs a ()) sb.Effects.mem;
+      Hashtbl.iter (fun a _ -> Hashtbl.replace addrs a ()) sa.Effects.mem;
+      let sorted = Hashtbl.fold (fun a () l -> a :: l) addrs [] in
+      let sorted = List.sort compare sorted in
+      let line_of a = a / line_bytes * line_bytes in
+      let side_term (s : Effects.t) a =
+        match Hashtbl.find_opt s.Effects.mem a with
+        | Some id -> Some (`Cell id)
+        | None -> (
+            match Hashtbl.find_opt s.Effects.line_owner (line_of a) with
+            | Some app -> Some (`Owner app)
+            | None -> None)
+      in
+      List.iter
+        (fun a ->
+          if !divergence = None then
+            let loc = Effects.Mem a in
+            match (side_term sb a, side_term sa a) with
+            | None, None -> ()
+            | Some (`Cell tb), Some (`Cell ta) -> (
+                match compare_terms ctx tb ta with
+                | Equal -> ()
+                | Diff (tb', ta') -> (
+                    match classify_final ctx acc ~is_reg:false loc tb ta with
+                    | None -> ()
+                    | Some reason ->
+                        diverge
+                          (witness_of_terms ctx ~loc ~reason
+                             ~root_b:(Option.value ~default:(-1)
+                                        (Effects.producer sb tb))
+                             ~root_a:(Option.value ~default:(-1)
+                                        (Effects.producer sa ta))
+                             tb' ta')))
+            | tb_opt, ta_opt -> (
+                (* At least one side sees the address only through a
+                   whole-line accelerator write (or not at all): classify
+                   by producer roles. *)
+                let rb =
+                  match tb_opt with
+                  | None -> Rinit
+                  | Some (`Cell id) | Some (`Owner id) -> role_b ctx id
+                in
+                let ra =
+                  match ta_opt with
+                  | None -> Rinit
+                  | Some (`Cell id) | Some (`Owner id) -> role_a ctx id
+                in
+                match (rb, ra) with
+                | Rregion k, Raccel k' when k = k' ->
+                    Hashtbl.replace ctx.sigma_channels (k, loc) ()
+                | Rregion _, Raccel _ ->
+                    acc.channel_skew <- acc.channel_skew + 1
+                | Rregion _, Rinit -> acc.hidden_addrs <- acc.hidden_addrs + 1
+                | Rregion k, Rcommon _ ->
+                    diverge
+                      {
+                        location = Some loc;
+                        base_index = -1;
+                        accel_index = -1;
+                        base_term = "(region write)";
+                        accel_term = "(application value)";
+                        base_contributors = [];
+                        accel_contributors = [];
+                        reason =
+                          Printf.sprintf
+                            "baseline region %d overwrites \
+                             application-visible memory (undeclared \
+                             accelerator write)"
+                            k;
+                      }
+                | Rcommon _, Raccel _ ->
+                    acc.accel_clobbers <- acc.accel_clobbers + 1
+                | Rinit, Raccel _ -> acc.accel_extra <- acc.accel_extra + 1
+                | Rinit, Rinit -> ()
+                | _ ->
+                    diverge
+                      {
+                        location = Some loc;
+                        base_index = -1;
+                        accel_index = -1;
+                        base_term =
+                          (match tb_opt with
+                          | Some (`Cell id) | Some (`Owner id) ->
+                              Effects.term_to_string sb id
+                          | None -> "(untouched)");
+                        accel_term =
+                          (match ta_opt with
+                          | Some (`Cell id) | Some (`Owner id) ->
+                              Effects.term_to_string sa id
+                          | None -> "(untouched)");
+                        base_contributors = [];
+                        accel_contributors = [];
+                        reason = "final memory values diverge";
+                      }))
+        sorted;
+      (* Lines owned by an accelerator write with no exact cell on either
+         side (fully line-granular state). *)
+      let lines = Hashtbl.create 64 in
+      Hashtbl.iter (fun l _ -> Hashtbl.replace lines l ()) sb.Effects.line_owner;
+      Hashtbl.iter (fun l _ -> Hashtbl.replace lines l ()) sa.Effects.line_owner;
+      let lsorted =
+        List.sort compare (Hashtbl.fold (fun l () ls -> l :: ls) lines [])
+      in
+      List.iter
+        (fun l ->
+          if !divergence = None then
+            let loc = Effects.Line l in
+            let ob = Hashtbl.find_opt sb.Effects.line_owner l in
+            let oa = Hashtbl.find_opt sa.Effects.line_owner l in
+            match (ob, oa) with
+            | None, None -> ()
+            | Some app_b, Some app_a -> (
+                match compare_terms ctx app_b app_a with
+                | Equal -> ()
+                | Diff _ -> (
+                    match (role_b ctx app_b, role_a ctx app_a) with
+                    | Rregion k, Raccel k' when k = k' ->
+                        Hashtbl.replace ctx.sigma_channels (k, loc) ()
+                    | Rregion _, Raccel _ ->
+                        acc.channel_skew <- acc.channel_skew + 1
+                    | _ ->
+                        diverge
+                          (witness_of_terms ctx ~loc
+                             ~reason:"line-granular accelerator state \
+                                      diverges"
+                             ~root_b:(Option.value ~default:(-1)
+                                        (Effects.producer sb app_b))
+                             ~root_a:(Option.value ~default:(-1)
+                                        (Effects.producer sa app_a))
+                             app_b app_a)))
+            | None, Some app_a -> (
+                match role_a ctx app_a with
+                | Raccel _ -> acc.accel_extra <- acc.accel_extra + 1
+                | _ -> acc.accel_extra <- acc.accel_extra + 1)
+            | Some app_b, None -> (
+                match role_b ctx app_b with
+                | Rregion _ -> acc.hidden_addrs <- acc.hidden_addrs + 1
+                | _ ->
+                    diverge
+                      {
+                        location = Some loc;
+                        base_index = -1;
+                        accel_index = -1;
+                        base_term = Effects.term_to_string sb app_b;
+                        accel_term = "(untouched)";
+                        base_contributors = [];
+                        accel_contributors = [];
+                        reason =
+                          "baseline accelerator writes a line the \
+                           accelerated variant never touches";
+                      }))
+        lsorted);
+  let sigma_reg = ref 0 and sigma_mem = ref 0 in
+  Hashtbl.iter
+    (fun (_, loc) () ->
+      match loc with
+      | Effects.Reg _ -> incr sigma_reg
+      | Effects.Mem _ | Effects.Line _ -> incr sigma_mem)
+    ctx.sigma_channels;
+  {
+    verdict =
+      (match !divergence with None -> Equivalent | Some w -> Divergent w);
+    strategy = Align;
+    n_base = Array.length baseline;
+    n_accel = Array.length accelerated;
+    invocations = Array.length sa.Effects.accels;
+    matched = al.n_matched;
+    regions = Array.length al.regions;
+    sigma_reg = !sigma_reg;
+    sigma_mem = !sigma_mem;
+    audits = acc_to_audits acc;
+  }
+
+(* {2 The whole-rewrite (dataflow) strategy}
+
+   For kernels the accelerated variant restructures wholesale (no
+   instruction-level correspondence), the contract is the final memory
+   image at line granularity: both variants must write exactly the same
+   lines, and every memory input a baseline line depends on must be in
+   the (transitive) declared read footprint of the accelerated writers.
+   Registers are scratch under this contract (audited, not compared). *)
+
+module IS = Set.Make (Int)
+
+let mem_leaf_lines (s : Effects.t) ~line_bytes roots =
+  let visited = Hashtbl.create 1024 in
+  let leaves = ref IS.empty in
+  let stack = ref roots in
+  let nodes = s.Effects.nodes in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem visited id) then begin
+          Hashtbl.add visited id ();
+          match nodes.(id) with
+          | Effects.Zero | Effects.Init_reg _ -> ()
+          | Effects.Init_mem a ->
+              leaves := IS.add (a / line_bytes * line_bytes) !leaves
+          | Effects.Init_line l -> leaves := IS.add l !leaves
+          | Effects.Op { args; _ } | Effects.Accel_app { args; _ } ->
+              Array.iter (fun a -> stack := a :: !stack) args
+          | Effects.Accel_out { app; _ } -> stack := app :: !stack
+        end
+  done;
+  !leaves
+
+let check_dataflow ?(line_bytes = 64) baseline accelerated =
+  let sb = Effects.summarize ~line_bytes baseline in
+  let sa = Effects.summarize ~line_bytes accelerated in
+  let line_of a = a / line_bytes * line_bytes in
+  let writers (s : Effects.t) =
+    let per_line : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+    let add l id =
+      match Hashtbl.find_opt per_line l with
+      | Some ids -> ids := id :: !ids
+      | None -> Hashtbl.add per_line l (ref [ id ])
+    in
+    Hashtbl.iter (fun a id -> add (line_of a) id) s.Effects.mem;
+    Hashtbl.iter (fun l app -> add l app) s.Effects.line_owner;
+    per_line
+  in
+  let wb = writers sb and wa = writers sa in
+  let domain tbl =
+    List.sort compare (Hashtbl.fold (fun l _ ls -> l :: ls) tbl [])
+  in
+  let db = domain wb and da = domain wa in
+  let divergence = ref None in
+  let diverge w = if !divergence = None then divergence := Some w in
+  let missing_in name l =
+    diverge
+      {
+        location = Some (Effects.Line l);
+        base_index = -1;
+        accel_index = -1;
+        base_term =
+          (match Hashtbl.find_opt wb l with
+          | Some ids -> Effects.term_to_string sb (List.hd !ids)
+          | None -> "(untouched)");
+        accel_term =
+          (match Hashtbl.find_opt wa l with
+          | Some ids -> Effects.term_to_string sa (List.hd !ids)
+          | None -> "(untouched)");
+        base_contributors = [];
+        accel_contributors = [];
+        reason =
+          Printf.sprintf
+            "written-line domains differ: line %#x is only written by the \
+             %s variant"
+            l name;
+      }
+  in
+  let rec walk b a =
+    match (b, a) with
+    | [], [] -> ()
+    | lb :: _, [] -> missing_in "baseline" lb
+    | [], la :: _ -> missing_in "accelerated" la
+    | lb :: rb, la :: ra ->
+        if lb = la then (if !divergence = None then walk rb ra)
+        else if lb < la then missing_in "baseline" lb
+        else missing_in "accelerated" la
+  in
+  walk db da;
+  let overread = ref 0 in
+  if !divergence = None then
+    List.iter
+      (fun l ->
+        if !divergence = None then begin
+          let roots tbl = match Hashtbl.find_opt tbl l with
+            | Some ids -> !ids
+            | None -> []
+          in
+          let lb = mem_leaf_lines sb ~line_bytes (roots wb) in
+          let la = mem_leaf_lines sa ~line_bytes (roots wa) in
+          if not (IS.subset lb la) then begin
+            let missing = IS.min_elt (IS.diff lb la) in
+            diverge
+              {
+                location = Some (Effects.Line l);
+                base_index = -1;
+                accel_index = -1;
+                base_term =
+                  Printf.sprintf "depends on line[%#x]" missing;
+                accel_term =
+                  "declared (transitive) read footprint omits it";
+                base_contributors = [];
+                accel_contributors = [];
+                reason =
+                  Printf.sprintf
+                    "baseline value of line %#x depends on memory input \
+                     line %#x that no accelerated writer reads"
+                    l missing;
+              }
+          end
+          else overread := !overread + IS.cardinal (IS.diff la lb)
+        end)
+      db;
+  let audits =
+    { severity = Finding.Info;
+      rule = "register-contract-skipped";
+      count = 1;
+      detail =
+        "whole-rewrite strategy: final registers are kernel scratch and \
+         not compared" }
+    ::
+    (if !overread > 0 then
+       [ { severity = Finding.Info;
+           rule = "accel-overread";
+           count = !overread;
+           detail =
+             "line-inputs declared by accelerated writers beyond what the \
+              baseline value depends on (summed over written lines)" } ]
+     else [])
+  in
+  {
+    verdict =
+      (match !divergence with None -> Equivalent | Some w -> Divergent w);
+    strategy = Dataflow;
+    n_base = Array.length baseline;
+    n_accel = Array.length accelerated;
+    invocations = Array.length sa.Effects.accels;
+    matched = 0;
+    regions = 0;
+    sigma_reg = 0;
+    sigma_mem = 0;
+    audits;
+  }
+
+(* {2 Entry point} *)
+
+let non_accel_count instrs =
+  Array.fold_left
+    (fun n ins -> if is_accel ins then n else n + 1)
+    0 instrs
+
+let check ?(line_bytes = 64) ?(strategy = `Auto) ~baseline ~accelerated () =
+  match strategy with
+  | `Align -> check_align ~line_bytes baseline accelerated (align baseline accelerated)
+  | `Dataflow -> check_dataflow ~line_bytes baseline accelerated
+  | `Auto ->
+      let al = align baseline accelerated in
+      if al.misaligned = None then
+        check_align ~line_bytes baseline accelerated al
+      else
+        (* An irreconcilable stream: either a mostly-aligned pair with a
+           genuine defect (report it), or a wholesale rewrite (fall back
+           to the dataflow contract). *)
+        let frac =
+          float_of_int al.n_matched
+          /. float_of_int (max 1 (non_accel_count accelerated))
+        in
+        if frac >= 0.5 then check_align ~line_bytes baseline accelerated al
+        else check_dataflow ~line_bytes baseline accelerated
+
+(* {2 Rendering} *)
+
+let audit_to_json a =
+  let open Tca_util.Json in
+  Obj
+    [
+      ("severity", String (Finding.severity_name a.severity));
+      ("rule", String a.rule);
+      ("count", Int a.count);
+      ("detail", String a.detail);
+    ]
+
+let witness_to_json w =
+  let open Tca_util.Json in
+  Obj
+    [
+      ( "location",
+        match w.location with
+        | Some l -> String (loc_to_string l)
+        | None -> String "instruction-stream" );
+      ("base_index", Int w.base_index);
+      ("accel_index", Int w.accel_index);
+      ("base_term", String w.base_term);
+      ("accel_term", String w.accel_term);
+      ("base_contributors", List (List.map (fun i -> Int i) w.base_contributors));
+      ( "accel_contributors",
+        List (List.map (fun i -> Int i) w.accel_contributors) );
+      ("reason", String w.reason);
+    ]
+
+let report_to_json r =
+  let open Tca_util.Json in
+  Obj
+    [
+      ( "verdict",
+        String (match r.verdict with
+                | Equivalent -> "equivalent"
+                | Divergent _ -> "divergent") );
+      ("strategy", String (strategy_name r.strategy));
+      ("baseline_instrs", Int r.n_base);
+      ("accelerated_instrs", Int r.n_accel);
+      ("invocations", Int r.invocations);
+      ("matched_common", Int r.matched);
+      ("regions", Int r.regions);
+      ("sigma_reg_channels", Int r.sigma_reg);
+      ("sigma_mem_channels", Int r.sigma_mem);
+      ( "witness",
+        match r.verdict with
+        | Equivalent -> Null
+        | Divergent w -> witness_to_json w );
+      ("audits", List (List.map audit_to_json r.audits));
+    ]
+
+let pp_report ppf r =
+  let open Format in
+  fprintf ppf "verdict:    %s@,"
+    (match r.verdict with
+    | Equivalent -> "EQUIVALENT"
+    | Divergent _ -> "DIVERGENT");
+  fprintf ppf "strategy:   %s@," (strategy_name r.strategy);
+  fprintf ppf "instrs:     %d baseline / %d accelerated, %d invocations@,"
+    r.n_base r.n_accel r.invocations;
+  if r.strategy = Align then
+    fprintf ppf "aligned:    %d common, %d regions, sigma %d reg / %d mem@,"
+      r.matched r.regions r.sigma_reg r.sigma_mem;
+  (match r.verdict with
+  | Equivalent -> ()
+  | Divergent w ->
+      fprintf ppf "witness:@,";
+      fprintf ppf "  location:    %s@,"
+        (match w.location with
+        | Some l -> loc_to_string l
+        | None -> "instruction stream");
+      if w.base_index >= 0 || w.accel_index >= 0 then
+        fprintf ppf "  instruction: baseline %d / accelerated %d@,"
+          w.base_index w.accel_index;
+      fprintf ppf "  baseline:    %s@," w.base_term;
+      fprintf ppf "  accelerated: %s@," w.accel_term;
+      fprintf ppf "  reason:      %s@," w.reason);
+  List.iter
+    (fun a ->
+      fprintf ppf "%s %s (%d): %s@,"
+        (match a.severity with
+        | Finding.Info -> "info   "
+        | Finding.Warning -> "warning"
+        | Finding.Error -> "error  ")
+        a.rule a.count a.detail)
+    r.audits

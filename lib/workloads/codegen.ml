@@ -47,6 +47,8 @@ type t = {
   cfg : config;
   rng : Tca_util.Prng.t;
   sites : site array;
+  reg_base : int;
+  data_base : int;
   mutable emitted : int;
   mutable next_dst : int;
   mutable defined : int;
@@ -54,9 +56,13 @@ type t = {
           register before its first definition *)
 }
 
-let create ?(config = default_config) ?(site_base = 0x8000) ~rng () =
+let create ?(config = default_config) ?(site_base = 0x8000) ?(reg_base = 0)
+    ?(data_base = data_base) ~rng () =
   if config.dep_window < 2 || config.dep_window > 40 then
     invalid_arg "Codegen.create: dep_window out of [2, 40]";
+  if reg_base < 0 || reg_base + config.dep_window > Isa.num_arch_regs then
+    invalid_arg "Codegen.create: register window out of the architectural file";
+  if data_base < 0 then invalid_arg "Codegen.create: negative data_base";
   if config.n_branch_sites < 1 then
     invalid_arg "Codegen.create: need at least one branch site";
   if config.working_set_bytes < 64 then
@@ -74,18 +80,28 @@ let create ?(config = default_config) ?(site_base = 0x8000) ~rng () =
         {
           pc = site_base + (4 * i);
           bias;
-          src = Tca_util.Prng.int rng config.dep_window;
+          src = reg_base + Tca_util.Prng.int rng config.dep_window;
         })
   in
-  { cfg = config; rng; sites; emitted = 0; next_dst = 0; defined = 0 }
+  {
+    cfg = config;
+    rng;
+    sites;
+    reg_base;
+    data_base;
+    emitted = 0;
+    next_dst = 0;
+    defined = 0;
+  }
 
-(* Destination registers cycle through [0, dep_window); sources reach a
-   few registers back, creating dependence chains of controlled depth. *)
+(* Destination registers cycle through [reg_base, reg_base + dep_window);
+   sources reach a few registers back, creating dependence chains of
+   controlled depth. *)
 let fresh_dst t =
   let d = t.next_dst in
   t.next_dst <- (t.next_dst + 1) mod t.cfg.dep_window;
   if t.defined < t.cfg.dep_window then t.defined <- t.defined + 1;
-  d
+  t.reg_base + d
 
 (* Always consumes exactly one PRNG draw so the stream stays aligned
    whatever the warm-up state; before the first definition there is
@@ -95,11 +111,14 @@ let recent_src t =
   if t.defined = 0 then Isa.no_reg
   else
     let back = 1 + ((back - 1) mod min t.defined (t.cfg.dep_window - 1)) in
-    (t.next_dst - back + (2 * t.cfg.dep_window)) mod t.cfg.dep_window
+    t.reg_base
+    + ((t.next_dst - back + (2 * t.cfg.dep_window)) mod t.cfg.dep_window)
 
 let random_addr t =
   let lines = t.cfg.working_set_bytes / 64 in
-  data_base + (64 * Tca_util.Prng.int t.rng lines) + (8 * Tca_util.Prng.int t.rng 8)
+  t.data_base
+  + (64 * Tca_util.Prng.int t.rng lines)
+  + (8 * Tca_util.Prng.int t.rng 8)
 
 let due t every = every > 0 && t.emitted mod every = every - 1
 
@@ -112,7 +131,9 @@ let emit t b =
      let site = Tca_util.Prng.choose t.rng t.sites in
      let taken = Tca_util.Prng.bernoulli t.rng site.bias in
      (* The site's fixed operand register, once it has been defined. *)
-     let src1 = if site.src < t.defined then site.src else Isa.no_reg in
+     let src1 =
+       if site.src - t.reg_base < t.defined then site.src else Isa.no_reg
+     in
      Trace.Builder.add_at_site b (Isa.branch ~pc:site.pc ~src1 ~taken ())
    end
    else if due t c.load_every then begin

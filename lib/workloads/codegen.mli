@@ -38,11 +38,25 @@ val model_friendly_config : config
 type t
 
 val create :
-  ?config:config -> ?site_base:int -> rng:Tca_util.Prng.t -> unit -> t
+  ?config:config ->
+  ?site_base:int ->
+  ?reg_base:int ->
+  ?data_base:int ->
+  rng:Tca_util.Prng.t ->
+  unit ->
+  t
 (** The generator owns the given rng substream. [site_base] places the
     generator's static branch sites (default 0x8000); two generators
     contributing to one trace must use disjoint bases or their
-    conflicting biases alias in the predictor tables. *)
+    conflicting biases alias in the predictor tables. [reg_base]
+    (default 0) offsets the register dependence window to
+    [reg_base, reg_base + dep_window) and [data_base] (default
+    {!data_base}) relocates the working set: two generators contributing
+    to one trace must also keep these disjoint, or their register and
+    memory state alias — which changes program semantics, not just
+    timing (see {!Tca_analysis.Equiv}). Neither parameter consumes PRNG
+    draws, so the emitted instruction stream is isomorphic across bases
+    for a fixed seed. *)
 
 val emit : t -> Tca_uarch.Trace.Builder.t -> unit
 (** Append one application μop. *)

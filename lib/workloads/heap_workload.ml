@@ -95,8 +95,14 @@ let generate cfg =
                 acceleratable := !acceleratable + Cost_model.malloc_uops
             | `Accelerated -> Cost_model.emit_malloc_accel b);
             (* Application consumes the returned pointer right away: a
-               store through it and a dependent reload. *)
-            let block_addr = head_addr + 0x40 in
+               store through it and a dependent reload. The address must
+               stay clear of everything the allocator sequences touch —
+               free-list heads at [head_addr .. head_addr+16] and filler
+               metadata at [head_addr+64 .. head_addr+191] — because in
+               the accelerated variant those writes belong to the
+               (opaque) accelerator, and an aliasing application store
+               would make the two variants' memory images diverge. *)
+            let block_addr = head_addr + 0x400 in
             Trace.Builder.add b
               (Isa.store ~base:Cost_model.result_reg ~addr:block_addr ());
             Trace.Builder.add b

@@ -45,15 +45,51 @@ let generate cfg =
     let gen = Codegen.create ~config:cfg.app ~rng:app_rng () in
     let chunk_rng = Tca_util.Prng.create (cfg.seed + 0xacce1) in
     (* Distinct branch-site base: the chunks' sites must not alias the
-       surrounding application's sites in the predictor tables. *)
-    let chunk_gen =
-      Codegen.create ~config:cfg.app ~site_base:0xC000 ~rng:chunk_rng ()
+       surrounding application's sites in the predictor tables. The
+       register window must also be disjoint from the application
+       generator's: the accelerated variant replaces each chunk with an
+       opaque invocation, so any chunk-written register the application
+       later read would make the two variants compute different
+       values. *)
+    let chunk_reg_base =
+      (* Disjoint from the application window [0, dep_window) whenever
+         the register file is wide enough for two windows. *)
+      min cfg.app.Codegen.dep_window
+        (Isa.num_arch_regs - cfg.app.Codegen.dep_window)
     in
+    let chunk_cfg =
+      (* Chunks read the application's working set — loads are
+         equivalence-legal (the audit reports them as an undeclared read
+         footprint) and keep the baseline's lines exactly as warm as the
+         accelerated variant's. Stores are not: a chunk store the
+         application can observe is semantically an undeclared
+         accelerator write, so the kernel keeps its state in registers. *)
+      { cfg.app with Codegen.store_every = 0 }
+    in
+    let chunk_gen =
+      Codegen.create ~config:chunk_cfg ~site_base:0xC000
+        ~reg_base:chunk_reg_base ~rng:chunk_rng ()
+    in
+    (* An import prologue seeds every chunk register from the
+       application window at chunk entry. The chunk's dataflow therefore
+       serializes behind the application's in-flight values — the same
+       boundary dependence the old shared-window generator created —
+       but only inside the baseline region: the accelerated variant
+       replaces the whole chunk, invocation included, with an opaque
+       instruction, so its surrounding code keeps the overlap the
+       tight-coupling modes assume. Region reads of application
+       registers are equivalence-legal; region writes would not be. *)
+    let n_import = min cfg.app.Codegen.dep_window cfg.unit_len in
     let b = Trace.Builder.create ~capacity:(cfg.n_units * cfg.unit_len) () in
     for u = 0 to cfg.n_units - 1 do
       if chosen.(u) then
         match variant with
-        | `Baseline -> Codegen.emit_block chunk_gen b cfg.unit_len
+        | `Baseline ->
+            for i = 0 to n_import - 1 do
+              Trace.Builder.add b
+                (Isa.int_alu ~src1:i ~dst:(chunk_reg_base + i) ())
+            done;
+            Codegen.emit_block chunk_gen b (cfg.unit_len - n_import)
         | `Accelerated ->
             Trace.Builder.add b
               (Isa.accel ~compute_latency:cfg.accel_latency ~reads:[||]

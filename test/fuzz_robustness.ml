@@ -461,16 +461,150 @@ let engine_case i g =
           if A.fingerprint a <> A.fingerprint b then
             record i "engine" "artifact fingerprint unstable across roundtrip")
 
+(* --- semantic verifier layer --- *)
+
+(* Differential oracle for the symbolic effect summary: on every hostile
+   trace, [summarize] + [eval] must reproduce the concrete reference
+   interpreter's final registers, memory cells and line owners exactly. *)
+let effects_case i g =
+  let open Tca_uarch in
+  let len = 10 + (abs (Tca_util.Faultgen.size_adversarial g ~max:150) mod 150) in
+  let trace = hostile_trace g ~len in
+  guard i "Effects.check_agreement" (fun () ->
+      match Tca_analysis.Effects.check_agreement trace.Trace.instrs with
+      | Ok () -> ()
+      | Error msg -> record i "effects differential" msg)
+
+(* A mechanically equivalent baseline/accelerated pair: a common
+   prologue, then per invocation a baseline region (load + alu into a
+   result register) that the accelerated side replaces with one
+   invocation declaring the loaded line, followed by a common epilogue
+   that consumes the result register — so equivalence must route through
+   the sigma binding, and corrupting either the invocation's destination
+   or a common store must surface as a divergence. *)
+let verify_pair g =
+  let open Tca_uarch in
+  let n_inv = 1 + (abs (Tca_util.Faultgen.size_adversarial g ~max:4) mod 4) in
+  let base = ref [] and accel = ref [] in
+  let push_both ins =
+    base := ins :: !base;
+    accel := ins :: !accel
+  in
+  push_both (Isa.int_alu ~dst:1 ());
+  push_both (Isa.int_alu ~src1:1 ~dst:40 ());
+  for k = 0 to n_inv - 1 do
+    let r = 10 + k in
+    let line = 0x4000 + (64 * k) in
+    base :=
+      Isa.int_alu ~src1:r ~src2:1 ~dst:r ()
+      :: Isa.load ~base:1 ~dst:r ~addr:line ()
+      :: !base;
+    accel :=
+      Isa.accel ~src1:1 ~dst:r
+        ~compute_latency:
+          (1 + (abs (Tca_util.Faultgen.size_adversarial g ~max:40) mod 40))
+        ~reads:[| line |] ~writes:[||] ()
+      :: !accel;
+    push_both (Isa.int_alu ~src1:r ~src2:40 ~dst:40 ());
+    push_both (Isa.store ~base:1 ~src:40 ~addr:(0x9000 + (8 * k)) ())
+  done;
+  (Array.of_list (List.rev !base), Array.of_list (List.rev !accel))
+
+let verify_case i g =
+  let open Tca_uarch in
+  let baseline, accelerated = verify_pair g in
+  guard i "Equiv.check (equivalent pair)" (fun () ->
+      let r = Tca_analysis.Equiv.check ~baseline ~accelerated () in
+      if not (Tca_analysis.Equiv.equivalent r) then
+        record i "equiv false divergence"
+          (match r.Tca_analysis.Equiv.verdict with
+          | Tca_analysis.Equiv.Divergent w -> w.Tca_analysis.Equiv.reason
+          | Tca_analysis.Equiv.Equivalent -> "inconsistent report"));
+  (* Corrupt the destination register of every invocation: the common
+     epilogue still reads the original result register, whose value now
+     differs between the variants. *)
+  guard i "Equiv.check (wrong accel dst)" (fun () ->
+      let mutated =
+        Array.map
+          (fun (ins : Isa.instr) ->
+            match ins.Isa.op with
+            | Isa.Accel _ -> { ins with Isa.dst = 9 }
+            | _ -> ins)
+          accelerated
+      in
+      match
+        (Tca_analysis.Equiv.check ~baseline ~accelerated:mutated ())
+          .Tca_analysis.Equiv.verdict
+      with
+      | Tca_analysis.Equiv.Equivalent ->
+          record i "equiv missed mutation" "wrong accel dst not caught"
+      | Tca_analysis.Equiv.Divergent _ -> ());
+  (* Retarget the first common store to a different line: caught as a
+     stream misalignment under align and as a written-line domain
+     mismatch under dataflow, so every strategy must diverge. *)
+  guard i "Equiv.check (retargeted store)" (fun () ->
+      let retargeted = ref false in
+      let mutated =
+        Array.map
+          (fun (ins : Isa.instr) ->
+            match ins.Isa.op with
+            | Isa.Store when not !retargeted ->
+                retargeted := true;
+                { ins with Isa.addr = ins.Isa.addr + 0x1000 }
+            | _ -> ins)
+          accelerated
+      in
+      List.iter
+        (fun strategy ->
+          match
+            (Tca_analysis.Equiv.check ~strategy ~baseline ~accelerated:mutated
+               ())
+              .Tca_analysis.Equiv.verdict
+          with
+          | Tca_analysis.Equiv.Equivalent ->
+              record i "equiv missed mutation" "retargeted store not caught"
+          | Tca_analysis.Equiv.Divergent _ -> ())
+        [ `Auto; `Align; `Dataflow ]);
+  guard i "Assume.audit" (fun () ->
+      let n_inv =
+        Array.fold_left
+          (fun n (ins : Isa.instr) ->
+            match ins.Isa.op with Isa.Accel _ -> n + 1 | _ -> n)
+          0 accelerated
+      in
+      let a = Tca_analysis.Assume.audit ~baseline ~accelerated () in
+      if a.Tca_analysis.Assume.invocations <> n_inv then
+        record i "assume"
+          (Printf.sprintf "audit counted %d invocations, trace has %d"
+             a.Tca_analysis.Assume.invocations n_inv);
+      ignore (Tca_analysis.Assume.to_json a))
+
+(* Robustness of the verifier on unrelated hostile traces: any verdict
+   is acceptable, raising is not. *)
+let verify_hostile_case i g =
+  let open Tca_uarch in
+  let baseline = (hostile_trace g ~len:50).Trace.instrs in
+  let accelerated = (hostile_trace g ~len:50).Trace.instrs in
+  guard i "Equiv.check (hostile pair)" (fun () ->
+      ignore (Tca_analysis.Equiv.check ~baseline ~accelerated ()));
+  guard i "Assume.audit (hostile pair)" (fun () ->
+      ignore
+        (Tca_analysis.Assume.to_json
+           (Tca_analysis.Assume.audit ~baseline ~accelerated ())))
+
 let () =
   let g = Tca_util.Faultgen.create ~seed in
   for i = 1 to cases do
     model_case i g;
     util_case i g;
+    if i mod 5 = 0 then effects_case i g;
     if i mod 10 = 0 then grid_case i g;
+    if i mod 10 = 0 then verify_case i g;
     if i mod 25 = 0 then uarch_case i g;
     if i mod 25 = 0 then parity_case i g;
     if i mod 25 = 0 then analysis_case i g;
     if i mod 50 = 0 then telemetry_case i g;
+    if i mod 50 = 0 then verify_hostile_case i g;
     if i mod 100 = 0 then simulator_case i g;
     if i mod 100 = 0 then engine_case i g
   done;

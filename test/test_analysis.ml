@@ -143,6 +143,31 @@ let test_bounds_exclusive_serializes_accels () =
   Alcotest.(check bool) "serialized service counted" true
     (excl.Bounds.throughput_bound >= 8 * 50)
 
+(* Degenerate shapes: a trace that is nothing but invocations, and a
+   one-instruction trace. Both must produce positive, sound bounds
+   rather than tripping over empty dependence structure. *)
+let test_bounds_accel_only () =
+  let instrs =
+    Array.init 4 (fun _ ->
+        Isa.accel ~compute_latency:7 ~reads:[| 0x40 |] ~writes:[| 0x80 |] ())
+  in
+  let b = Bounds.compute cfg instrs in
+  Alcotest.(check int) "instrs" 4 b.Bounds.instrs;
+  Alcotest.(check bool) "positive lower bound" true
+    (b.Bounds.cycles_lower_bound > 0);
+  Alcotest.(check bool) "bound holds" true
+    (b.Bounds.cycles_lower_bound <= sim_cycles cfg (Trace.of_array instrs))
+
+let test_bounds_single_instruction () =
+  let instrs = [| Isa.load ~dst:1 ~addr:0x40 () |] in
+  let b = Bounds.compute cfg instrs in
+  Alcotest.(check int) "instrs" 1 b.Bounds.instrs;
+  Alcotest.(check int) "critical path" 1 b.Bounds.critical_path_length;
+  Alcotest.(check bool) "positive lower bound" true
+    (b.Bounds.cycles_lower_bound >= 1);
+  Alcotest.(check bool) "bound holds" true
+    (b.Bounds.cycles_lower_bound <= sim_cycles cfg (Trace.of_array instrs))
+
 (* The headline invariant: for every bundled workload, both traces,
    all four couplings — the static lower bound never exceeds the
    simulated cycle count. *)
@@ -191,6 +216,30 @@ let test_derive_matches_meta () =
             (name ^ " reads")
             meta.Tca_workloads.Meta.avg_reads_per_invocation d.Derive.avg_reads)
     (Lazy.force workload_pairs)
+
+(* Failure paths: [of_pair] must reject inputs that are not a
+   baseline/accelerated pair instead of deriving nonsense. *)
+let test_derive_rejects_non_pairs () =
+  (* No invocation in the "accelerated" trace: v cannot be derived. *)
+  let base =
+    Trace.of_array (Array.init 20 (fun _ -> Isa.int_alu ~dst:1 ()))
+  in
+  (match Derive.of_pair ~cfg ~baseline:base ~accelerated:base with
+  | Ok _ -> Alcotest.fail "accepted a pair with no invocations"
+  | Error _ -> ());
+  (* Mismatched lengths: more non-accel instructions in the accelerated
+     trace than the whole baseline, so the implied acceleratable
+     fraction is negative. *)
+  let bloated =
+    Trace.of_array
+      (Array.init 40 (fun i ->
+           if i = 0 then
+             Isa.accel ~compute_latency:2 ~reads:[| 0x40 |] ~writes:[||] ()
+           else Isa.int_alu ~dst:1 ()))
+  in
+  match Derive.of_pair ~cfg ~baseline:base ~accelerated:bloated with
+  | Ok _ -> Alcotest.fail "accepted a negative acceleratable fraction"
+  | Error _ -> ()
 
 (* Feeding the derived scenario to eqs. (1)-(9) must reproduce the
    meta-driven model speedups within the fig* validation tolerance:
@@ -347,12 +396,17 @@ let () =
           Alcotest.test_case "throughput" `Quick test_bounds_throughput;
           Alcotest.test_case "exclusive occupancy" `Quick
             test_bounds_exclusive_serializes_accels;
+          Alcotest.test_case "accel-only trace" `Quick test_bounds_accel_only;
+          Alcotest.test_case "single instruction" `Quick
+            test_bounds_single_instruction;
           Alcotest.test_case "hold on workloads" `Slow
             test_bounds_hold_on_workloads;
         ] );
       ( "derive",
         [
           Alcotest.test_case "matches meta" `Quick test_derive_matches_meta;
+          Alcotest.test_case "rejects non-pairs" `Quick
+            test_derive_rejects_non_pairs;
           Alcotest.test_case "speedups close" `Slow test_derive_speedups_close;
         ] );
       ( "lint",

@@ -673,7 +673,9 @@ let test_scheduler_profiled_bit_identity () =
 (* Replace every float by null: masks wall-clock noise while keeping
    structure, keys, names, counts and key order comparable. The
    self_time table is re-sorted by span name — its natural order is by
-   measured self time, which the masking just erased. *)
+   measured self time, which the masking just erased. The gc block's
+   counters are integers but just as schedule-dependent as the times,
+   so they are masked too (keys stay). *)
 let rec mask_floats = function
   | Tca_util.Json.Float _ -> Tca_util.Json.Null
   | Tca_util.Json.Obj kvs ->
@@ -693,6 +695,12 @@ let rec mask_floats = function
                      (List.sort
                         (fun a b -> String.compare (name a) (name b))
                         rows) )
+             | "gc", Tca_util.Json.Obj counters ->
+                 ( k,
+                   Tca_util.Json.Obj
+                     (List.map
+                        (fun (ck, _) -> (ck, Tca_util.Json.Null))
+                        counters) )
              | _ -> (k, v))
            kvs)
   | Tca_util.Json.List vs -> Tca_util.Json.List (List.map mask_floats vs)

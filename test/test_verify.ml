@@ -1,0 +1,408 @@
+(* Semantic trace-pair verifier: symbolic effect summaries (Effects),
+   the baseline/accelerated equivalence proof (Equiv) and the
+   model-assumption audit (Assume). The workload-facing tests are the
+   CI-level claim that every bundled accelerated trace computes the same
+   thing as its baseline; the mutation tests pin down that the checker
+   actually catches the defect classes it exists for, with a witness
+   naming the first differing location. *)
+
+open Tca_uarch
+open Tca_analysis
+
+(* Small instances of every bundled workload pair, built once. *)
+let workload_pairs =
+  lazy
+    [
+      ( "synthetic",
+        Tca_workloads.Synthetic.generate
+          (Tca_workloads.Synthetic.config ~n_units:400 ~n_chunks:20
+             ~accel_latency:20 ()) );
+      ( "heap",
+        Tca_workloads.Heap_workload.generate
+          (Tca_workloads.Heap_workload.config ~n_calls:150
+             ~app_instrs_per_call:50 ()) );
+      ( "dgemm",
+        Tca_workloads.Dgemm_workload.pair
+          (Tca_workloads.Dgemm_workload.config ~block:16 ~n:16 ())
+          ~dim:4 );
+      ( "hashmap",
+        fst
+          (Tca_workloads.Hashmap_workload.generate
+             (Tca_workloads.Hashmap_workload.config ~n_lookups:150
+                ~app_instrs_per_lookup:50 ())) );
+      ( "regex",
+        fst
+          (Tca_workloads.Regex_workload.generate
+             (Tca_workloads.Regex_workload.config ~n_records:30
+                ~app_instrs_per_record:150 ())) );
+      ( "strfn",
+        fst
+          (Tca_workloads.Strfn_workload.generate
+             (Tca_workloads.Strfn_workload.config ~n_calls:120
+                ~app_instrs_per_call:50 ())) );
+    ]
+
+let instrs_of (p : Tca_workloads.Meta.pair) =
+  ( p.Tca_workloads.Meta.baseline.Trace.instrs,
+    p.Tca_workloads.Meta.accelerated.Trace.instrs )
+
+let pair name = instrs_of (List.assoc name (Lazy.force workload_pairs))
+
+(* --- Effects: the symbolic/concrete differential --- *)
+
+let test_effects_differential_on_workloads () =
+  List.iter
+    (fun (name, p) ->
+      let baseline, accelerated = instrs_of p in
+      (match Effects.check_agreement baseline with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (name ^ " baseline: " ^ e));
+      match Effects.check_agreement accelerated with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (name ^ " accelerated: " ^ e))
+    (Lazy.force workload_pairs)
+
+let test_effects_accel_clobber () =
+  (* An accelerator whole-line write must shadow earlier exact stores to
+     the line and feed later loads from anywhere in it. *)
+  let instrs =
+    [|
+      Isa.int_alu ~dst:1 ();
+      Isa.store ~src:1 ~addr:0x1008 ();
+      Isa.accel ~dst:2 ~compute_latency:3 ~reads:[| 0x1000 |]
+        ~writes:[| 0x1000 |] ();
+      Isa.load ~dst:3 ~addr:0x1010 ();
+      Isa.load ~dst:4 ~addr:0x1008 ();
+      Isa.int_alu ~src1:3 ~src2:4 ~dst:5 ();
+    |]
+  in
+  (match Effects.check_agreement instrs with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let s = Effects.summarize instrs in
+  let r5 = Effects.term_to_string s s.Effects.regs.(5) in
+  Alcotest.(check bool)
+    ("r5 reads accelerator outputs: " ^ r5)
+    true
+    (let contains sub =
+       let n = String.length sub and m = String.length r5 in
+       let rec go i = i + n <= m && (String.sub r5 i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains "accel0")
+
+let test_effects_empty_and_accel_only () =
+  (match Effects.check_agreement [||] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let only =
+    Array.init 3 (fun _ ->
+        Isa.accel ~compute_latency:2 ~reads:[| 0x40 |] ~writes:[| 0x80 |] ())
+  in
+  match Effects.check_agreement only with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- Equiv: the six bundled pairs are equivalent --- *)
+
+let test_workloads_equivalent () =
+  List.iter
+    (fun (name, p) ->
+      let baseline, accelerated = instrs_of p in
+      let r = Equiv.check ~baseline ~accelerated () in
+      (match r.Equiv.verdict with
+      | Equiv.Equivalent -> ()
+      | Equiv.Divergent w ->
+          Alcotest.failf "%s diverges: %s (base %s / accel %s)" name
+            w.Equiv.reason w.Equiv.base_term w.Equiv.accel_term);
+      let expected =
+        if name = "dgemm" then Equiv.Dataflow else Equiv.Align
+      in
+      Alcotest.(check string)
+        (name ^ " strategy")
+        (Equiv.strategy_name expected)
+        (Equiv.strategy_name r.Equiv.strategy);
+      if expected = Equiv.Align then begin
+        Alcotest.(check int)
+          (name ^ " regions = invocations")
+          r.Equiv.invocations r.Equiv.regions;
+        Alcotest.(check bool)
+          (name ^ " no error-severity audits")
+          true
+          (List.for_all
+             (fun (a : Equiv.audit) -> a.Equiv.severity <> Finding.Error)
+             r.Equiv.audits)
+      end)
+    (Lazy.force workload_pairs)
+
+(* --- Equiv: mutations are caught with a named witness --- *)
+
+(* Redirecting every invocation's destination register makes the
+   accelerated variant stop producing the value the application consumes
+   through r48 (the heap allocator's result register): the first common
+   instruction reading it must be the witness, naming r48. *)
+let test_mutation_wrong_accel_dst () =
+  let baseline, accelerated = pair "heap" in
+  let result_reg = Tca_heap.Cost_model.result_reg in
+  let mutated =
+    Array.map
+      (fun (ins : Isa.instr) ->
+        match ins.Isa.op with
+        | Isa.Accel _ when ins.Isa.dst = result_reg ->
+            { ins with Isa.dst = result_reg - 1 }
+        | _ -> ins)
+      accelerated
+  in
+  let r = Equiv.check ~baseline ~accelerated:mutated () in
+  match r.Equiv.verdict with
+  | Equiv.Equivalent ->
+      Alcotest.fail "wrong accel destination register not caught"
+  | Equiv.Divergent w -> (
+      match w.Equiv.location with
+      | Some (Effects.Reg reg) ->
+          Alcotest.(check int) "witness names the result register"
+            result_reg reg;
+          Alcotest.(check bool) "witness points at an instruction pair" true
+            (w.Equiv.base_index >= 0 && w.Equiv.accel_index >= 0)
+      | other ->
+          Alcotest.failf "witness location is %s, expected r%d"
+            (match other with
+            | Some (Effects.Mem a) -> Printf.sprintf "[%#x]" a
+            | Some (Effects.Line l) -> Printf.sprintf "line[%#x]" l
+            | Some (Effects.Reg r) -> Printf.sprintf "r%d" r
+            | None -> "the instruction stream")
+            result_reg)
+
+(* Dropping a common (application) store desynchronizes the streams:
+   the verifier must report the misalignment at the first position the
+   two streams disagree, not prove anything downstream of it. *)
+let test_mutation_dropped_common_store () =
+  let baseline, accelerated = pair "heap" in
+  let is_common_store i (ins : Isa.instr) =
+    match ins.Isa.op with
+    | Isa.Store -> i > 0 (* any store; heap's first stores are common *)
+    | _ -> false
+  in
+  let drop =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i ins -> if !found < 0 && is_common_store i ins then found := i)
+      accelerated;
+    !found
+  in
+  Alcotest.(check bool) "found a store to drop" true (drop >= 0);
+  let mutated =
+    Array.init
+      (Array.length accelerated - 1)
+      (fun i -> if i < drop then accelerated.(i) else accelerated.(i + 1))
+  in
+  let r = Equiv.check ~strategy:`Align ~baseline ~accelerated:mutated () in
+  match r.Equiv.verdict with
+  | Equiv.Equivalent -> Alcotest.fail "dropped store not caught"
+  | Equiv.Divergent w ->
+      Alcotest.(check bool) "witness is a stream misalignment" true
+        (w.Equiv.location = None);
+      Alcotest.(check bool) "witness names the drop position" true
+        (w.Equiv.accel_index <= drop && w.Equiv.base_index >= 0)
+
+(* Dropping one declared write line from every dgemm invocation leaves a
+   C line written by the baseline only: the dataflow strategy must fail
+   the written-line domain check, naming that line. *)
+let test_mutation_dropped_accel_write_line () =
+  let baseline, accelerated = pair "dgemm" in
+  let victim = ref (-1) in
+  Array.iter
+    (fun (ins : Isa.instr) ->
+      match ins.Isa.op with
+      | Isa.Accel { writes; _ } when !victim < 0 && Array.length writes > 0
+        ->
+          victim := writes.(0) / 64 * 64
+      | _ -> ())
+    accelerated;
+  Alcotest.(check bool) "found a write line to drop" true (!victim >= 0);
+  let victim = !victim in
+  let mutated =
+    Array.map
+      (fun (ins : Isa.instr) ->
+        match ins.Isa.op with
+        | Isa.Accel a ->
+            let writes =
+              Array.of_list
+                (List.filter
+                   (fun w -> w / 64 * 64 <> victim)
+                   (Array.to_list a.Isa.writes))
+            in
+            { ins with Isa.op = Isa.Accel { a with Isa.writes } }
+        | _ -> ins)
+      accelerated
+  in
+  let r = Equiv.check ~strategy:`Dataflow ~baseline ~accelerated:mutated () in
+  match r.Equiv.verdict with
+  | Equiv.Equivalent -> Alcotest.fail "dropped accel write line not caught"
+  | Equiv.Divergent w -> (
+      match w.Equiv.location with
+      | Some (Effects.Line l) ->
+          Alcotest.(check int) "witness names the dropped line" victim l
+      | _ -> Alcotest.fail "witness does not name a line")
+
+(* A region scribbling over memory the application later relies on is a
+   real divergence (the pre-replacement code had an effect the opaque
+   invocation does not declare), not an audit. *)
+let test_region_clobbers_visible_memory () =
+  let app_addr = 0x9000 in
+  let baseline =
+    [|
+      Isa.int_alu ~dst:1 ();
+      Isa.store ~src:1 ~addr:app_addr ();
+      (* replaced region: recomputes and overwrites the app's cell *)
+      Isa.int_alu ~dst:9 ();
+      Isa.store ~src:9 ~addr:app_addr ();
+      Isa.int_alu ~src1:1 ~dst:2 ();
+    |]
+  in
+  let accelerated =
+    [|
+      Isa.int_alu ~dst:1 ();
+      Isa.store ~src:1 ~addr:app_addr ();
+      Isa.accel ~compute_latency:2 ~reads:[||] ~writes:[||] ();
+      Isa.int_alu ~src1:1 ~dst:2 ();
+    |]
+  in
+  let r = Equiv.check ~baseline ~accelerated () in
+  match r.Equiv.verdict with
+  | Equiv.Equivalent -> Alcotest.fail "undeclared region write not caught"
+  | Equiv.Divergent w -> (
+      match w.Equiv.location with
+      | Some (Effects.Mem a) ->
+          Alcotest.(check int) "witness names the clobbered address"
+            app_addr a
+      | _ -> Alcotest.fail "witness does not name the address")
+
+(* Identical traces with no invocations are trivially equivalent, and
+   empty traces do not crash anything. *)
+let test_equiv_degenerate () =
+  let t = [| Isa.int_alu ~dst:1 (); Isa.store ~src:1 ~addr:0x40 () |] in
+  let r = Equiv.check ~baseline:t ~accelerated:(Array.map Fun.id t) () in
+  Alcotest.(check bool) "identical traces" true (Equiv.equivalent r);
+  let e = Equiv.check ~baseline:[||] ~accelerated:[||] () in
+  Alcotest.(check bool) "empty traces" true (Equiv.equivalent e)
+
+(* --- witness / report JSON shape --- *)
+
+let test_verify_json_schema () =
+  let baseline, accelerated = pair "hashmap" in
+  let r = Equiv.check ~baseline ~accelerated () in
+  (match Equiv.report_to_json r with
+  | Tca_util.Json.Obj fields ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) ("has " ^ key) true (List.mem_assoc key fields))
+        [
+          "verdict"; "strategy"; "invocations"; "matched_common";
+          "sigma_reg_channels"; "witness"; "audits";
+        ]
+  | _ -> Alcotest.fail "report JSON is not an object");
+  let baseline, accelerated = pair "heap" in
+  let mutated =
+    Array.map
+      (fun (ins : Isa.instr) ->
+        match ins.Isa.op with
+        | Isa.Accel _ when ins.Isa.dst >= 0 ->
+            { ins with Isa.dst = ins.Isa.dst - 1 }
+        | _ -> ins)
+      accelerated
+  in
+  match (Equiv.check ~baseline ~accelerated:mutated ()).Equiv.verdict with
+  | Equiv.Equivalent -> Alcotest.fail "mutation not caught"
+  | Equiv.Divergent w -> (
+      match Equiv.witness_to_json w with
+      | Tca_util.Json.Obj fields ->
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                ("witness has " ^ key)
+                true (List.mem_assoc key fields))
+            [ "location"; "base_index"; "accel_index"; "base_term";
+              "accel_term"; "reason" ]
+      | _ -> Alcotest.fail "witness JSON is not an object")
+
+(* --- Assume: the model-assumption audit --- *)
+
+let test_assume_measures_pair () =
+  let baseline, accelerated = pair "heap" in
+  let m = Assume.audit ~baseline ~accelerated () in
+  Alcotest.(check bool) "invocation count" true (m.Assume.invocations > 0);
+  Alcotest.(check bool) "a in (0,1)" true
+    (m.Assume.accel_fraction > 0.0 && m.Assume.accel_fraction < 1.0);
+  Alcotest.(check bool) "gap stats finite" true
+    (Float.is_finite m.Assume.gap_mean && Float.is_finite m.Assume.gap_cv);
+  Alcotest.(check bool) "regions measured" true
+    (Float.is_finite m.Assume.region_mean);
+  (* Every flag carries an equation reference into MODEL.md. *)
+  List.iter
+    (fun (f : Assume.flag) ->
+      Alcotest.(check bool)
+        (f.Assume.rule ^ " has equations")
+        true
+        (String.length f.Assume.equations > 0))
+    m.Assume.flags
+
+let test_assume_flags_regex_underdeclaration () =
+  (* The regex accelerator reads its transition tables without declaring
+     those lines — the audit must flag the undeclared reads. *)
+  let baseline, accelerated = pair "regex" in
+  let m = Assume.audit ~baseline ~accelerated () in
+  Alcotest.(check bool) "undeclared read lines measured" true
+    (m.Assume.undeclared_read_lines > 0);
+  Alcotest.(check bool) "undeclared-reads flag raised" true
+    (List.exists
+       (fun (f : Assume.flag) -> f.Assume.rule = "undeclared-reads")
+       m.Assume.flags)
+
+let test_assume_no_invocations () =
+  let t = [| Isa.int_alu ~dst:1 () |] in
+  let m = Assume.audit ~baseline:t ~accelerated:(Array.map Fun.id t) () in
+  Alcotest.(check int) "no invocations" 0 m.Assume.invocations;
+  Alcotest.(check bool) "error flag raised" true
+    (List.exists
+       (fun (f : Assume.flag) ->
+         f.Assume.severity = Finding.Error
+         && f.Assume.rule = "no-invocations")
+       m.Assume.flags)
+
+let () =
+  Alcotest.run "tca_verify"
+    [
+      ( "effects",
+        [
+          Alcotest.test_case "differential on workloads" `Quick
+            test_effects_differential_on_workloads;
+          Alcotest.test_case "accel clobber projection" `Quick
+            test_effects_accel_clobber;
+          Alcotest.test_case "empty and accel-only" `Quick
+            test_effects_empty_and_accel_only;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "six workloads equivalent" `Quick
+            test_workloads_equivalent;
+          Alcotest.test_case "wrong accel dst caught" `Quick
+            test_mutation_wrong_accel_dst;
+          Alcotest.test_case "dropped common store caught" `Quick
+            test_mutation_dropped_common_store;
+          Alcotest.test_case "dropped accel write line caught" `Quick
+            test_mutation_dropped_accel_write_line;
+          Alcotest.test_case "region clobber of visible memory" `Quick
+            test_region_clobbers_visible_memory;
+          Alcotest.test_case "degenerate traces" `Quick test_equiv_degenerate;
+          Alcotest.test_case "json schema" `Quick test_verify_json_schema;
+        ] );
+      ( "assume",
+        [
+          Alcotest.test_case "measures heap pair" `Quick
+            test_assume_measures_pair;
+          Alcotest.test_case "regex under-declaration flagged" `Quick
+            test_assume_flags_regex_underdeclaration;
+          Alcotest.test_case "no invocations" `Quick test_assume_no_invocations;
+        ] );
+    ]
