@@ -934,15 +934,56 @@ let run_cmd =
 
 let list_cmd =
   let doc = "List every registered experiment job." in
-  let run () =
-    let r = registry () in
-    Tca_util.Table.print ~headers:[ "job"; "title" ]
-      (List.map
-         (fun (j : Tca_engine.Job.t) ->
-           [ j.Tca_engine.Job.name; j.Tca_engine.Job.title ])
-         (Tca_engine.Registry.all r))
+  let job_family (j : Tca_engine.Job.t) =
+    if String.length j.Tca_engine.Job.name >= 9
+       && String.sub j.Tca_engine.Job.name 0 9 = "simulate."
+    then "simulate"
+    else "figure"
   in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  let run json =
+    let r = registry () in
+    let jobs = Tca_engine.Registry.all r in
+    if json then
+      print_endline
+        (Tca_util.Json.to_string_indent
+           (Tca_util.Json.List
+              (List.map
+                 (fun (j : Tca_engine.Job.t) ->
+                   Tca_util.Json.Obj
+                     [
+                       ("name", Tca_util.Json.String j.Tca_engine.Job.name);
+                       ("family", Tca_util.Json.String (job_family j));
+                       ("title", Tca_util.Json.String j.Tca_engine.Job.title);
+                       ( "params",
+                         Tca_util.Json.Obj
+                           (List.map
+                              (fun (k, v) -> (k, Tca_util.Json.String v))
+                              j.Tca_engine.Job.params) );
+                       (* The cache/identity fingerprint of each input
+                          shape, so external tooling can address cached
+                          artifacts without re-deriving the scheme. *)
+                       ( "fingerprint",
+                         Tca_util.Json.Obj
+                           [
+                             ( "full",
+                               Tca_util.Json.String
+                                 (Tca_engine.Job.fingerprint_digest j
+                                    ~quick:false) );
+                             ( "quick",
+                               Tca_util.Json.String
+                                 (Tca_engine.Job.fingerprint_digest j
+                                    ~quick:true) );
+                           ] );
+                     ])
+                 jobs)))
+    else
+      Tca_util.Table.print ~headers:[ "job"; "title" ]
+        (List.map
+           (fun (j : Tca_engine.Job.t) ->
+             [ j.Tca_engine.Job.name; j.Tca_engine.Job.title ])
+           jobs)
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ json_t)
 
 (* --- tca figure (registry-backed alias of `tca run <ID>`) --- *)
 
@@ -1094,9 +1135,10 @@ let verify_cmd =
       & info [] ~docv:"WORKLOAD|BASELINE"
           ~doc:
             "A generated workload pair (synthetic, heap, dgemm, hashmap, \
-             regex, strfn), $(b,all) for the whole family, or a saved \
-             baseline trace file (then a second positional argument \
-             names the accelerated trace).")
+             regex, strfn), a multi-unit scenario (multi-alternating, \
+             multi-chained, multi-contended), $(b,all) for the whole \
+             family, or a saved baseline trace file (then a second \
+             positional argument names the accelerated trace).")
   in
   let accel_file_t =
     Arg.(
@@ -1139,6 +1181,17 @@ let verify_cmd =
         die
           (Tca_util.Diag.Parse { field = "trace file"; input = path; message })
     in
+    let multi_pair kind =
+      let sc = Tca_workloads.Multi_tca.generate (Tca_workloads.Multi_tca.config kind) in
+      ( Tca_workloads.Multi_tca.kind_name kind,
+        sc.Tca_workloads.Multi_tca.pair.Tca_workloads.Meta.baseline,
+        sc.Tca_workloads.Multi_tca.pair.Tca_workloads.Meta.accelerated )
+    in
+    let multi_kind_of name =
+      List.find_opt
+        (fun k -> Tca_workloads.Multi_tca.kind_name k = name)
+        Tca_workloads.Multi_tca.all_kinds
+    in
     let pairs =
       match List.assoc_opt target Tca_experiments.Exp_common.workload_kinds with
       | Some kind ->
@@ -1156,7 +1209,11 @@ let verify_cmd =
               (name, pair.Tca_workloads.Meta.baseline,
                pair.Tca_workloads.Meta.accelerated))
             Tca_experiments.Exp_common.workload_kinds
+          @ List.map multi_pair Tca_workloads.Multi_tca.all_kinds
       | None -> (
+          match multi_kind_of target with
+          | Some kind -> [ multi_pair kind ]
+          | None -> (
           match accel_file with
           | Some accel -> [ (target, load target, load accel) ]
           | None ->
@@ -1168,7 +1225,7 @@ let verify_cmd =
                      message =
                        "not a workload name, and no accelerated trace \
                         file was given";
-                   }))
+                   })))
     in
     let results =
       List.map

@@ -7,6 +7,16 @@ type flag = {
   detail : string;
 }
 
+type unit_audit = {
+  unit_id : int;
+  u_invocations : int;
+  u_inv_per_instr : float;
+  u_latency_mean : float;
+  u_latency_cv : float;
+  u_gap_mean : float;
+  u_gap_cv : float;
+}
+
 type t = {
   invocations : int;
   n_base : int;
@@ -23,6 +33,7 @@ type t = {
   undeclared_read_lines : int;
   overdeclared_read_lines : int;
   undeclared_write_lines : int;
+  per_unit : unit_audit list;
   flags : flag list;
 }
 
@@ -109,6 +120,57 @@ let footprint_audit ~line_bytes baseline accelerated (al : Equiv.alignment) =
     al.Equiv.regions;
   (!undeclared_r, !overdeclared_r, !undeclared_w)
 
+(* Per-unit view of a multi-unit pair: invocation count, latency and
+   same-unit gap statistics for each TCA unit the trace invokes. The gap
+   is the instruction distance between consecutive invocations of the
+   SAME unit (other units' invocations count as gap instructions), the
+   [1/v_i] the composition rule works with. Empty when the pair uses at
+   most one unit, so single-unit audits are unchanged. *)
+let per_unit_audit ~n_base accelerated =
+  let by_unit : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 4 in
+  Array.iteri
+    (fun i (ins : Isa.instr) ->
+      match ins.Isa.op with
+      | Isa.Accel { unit_id; compute_latency; _ } ->
+          let cell =
+            match Hashtbl.find_opt by_unit unit_id with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add by_unit unit_id l;
+                l
+          in
+          cell := (i, float_of_int compute_latency) :: !cell
+      | _ -> ())
+    accelerated;
+  if Hashtbl.length by_unit <= 1 then []
+  else
+    Hashtbl.fold (fun u l acc -> (u, List.rev !l) :: acc) by_unit []
+    |> List.sort compare
+    |> List.map (fun (unit_id, invs) ->
+           let lats = Array.of_list (List.map snd invs) in
+           let idxs = Array.of_list (List.map fst invs) in
+           let n = Array.length idxs in
+           let gaps =
+             if n < 2 then [||]
+             else
+               Array.init (n - 1) (fun k ->
+                   float_of_int (idxs.(k + 1) - idxs.(k) - 1))
+           in
+           let u_latency_mean, u_latency_cv = mean_cv lats in
+           let u_gap_mean, u_gap_cv = mean_cv gaps in
+           {
+             unit_id;
+             u_invocations = n;
+             u_inv_per_instr =
+               (if n_base = 0 then 0.0
+                else float_of_int n /. float_of_int n_base);
+             u_latency_mean;
+             u_latency_cv;
+             u_gap_mean;
+             u_gap_cv;
+           })
+
 let audit ?(line_bytes = 64) ?(rob_size = 192) ~baseline ~accelerated () =
   let n_base = Array.length baseline in
   let n_accel = Array.length accelerated in
@@ -123,6 +185,7 @@ let audit ?(line_bytes = 64) ?(rob_size = 192) ~baseline ~accelerated () =
       | _ -> ())
     accelerated;
   let invocations = !invocations in
+  let per_unit = per_unit_audit ~n_base accelerated in
   let latency_mean, latency_cv =
     mean_cv (Array.of_list (List.rev !latencies))
   in
@@ -193,8 +256,31 @@ let audit ?(line_bytes = 64) ?(rob_size = 192) ~baseline ~accelerated () =
     "inter-invocation distance (1/v)";
   graded region_cv "region-size-nonstationary" "(2)-(3)"
     "replaced-region size (a/v)";
-  graded latency_cv "latency-nonstationary" "(2)"
-    "invocation compute latency (t_accl)";
+  (* With several heterogeneous units the aggregate latency CV mostly
+     measures the units' latency spread, which the composition rule
+     models per unit — grade each unit's own stationarity instead. *)
+  (match per_unit with
+  | [] ->
+      graded latency_cv "latency-nonstationary" "(2)"
+        "invocation compute latency (t_accl)"
+  | us ->
+      flag Finding.Info "multi-unit" "(C1)-(C4)"
+        (Printf.sprintf
+           "pair invokes %d TCA units (%s): model inputs are derived per \
+            unit and fed to the composition rule"
+           (List.length us)
+           (String.concat ", "
+              (List.map
+                 (fun u ->
+                   Printf.sprintf "unit %d: %d invocations, t_i %.0f"
+                     u.unit_id u.u_invocations u.u_latency_mean)
+                 us)));
+      List.iter
+        (fun u ->
+          graded u.u_latency_cv "latency-nonstationary" "(2), (C1)"
+            (Printf.sprintf "unit %d invocation compute latency (t_%d)"
+               u.unit_id u.unit_id))
+        us);
   if not aligned then
     flag Finding.Info "regions-unattributable" "(2)-(3)"
       "the pair does not align instruction-by-instruction (wholesale \
@@ -250,6 +336,7 @@ let audit ?(line_bytes = 64) ?(rob_size = 192) ~baseline ~accelerated () =
     undeclared_read_lines;
     overdeclared_read_lines;
     undeclared_write_lines;
+    per_unit;
     flags = List.rev !flags;
   }
 
@@ -266,8 +353,8 @@ let flag_to_json f =
 let to_json t =
   let open Tca_util.Json in
   Obj
-    [
-      ("invocations", Int t.invocations);
+    ([
+       ("invocations", Int t.invocations);
       ("baseline_instrs", Int t.n_base);
       ("accelerated_instrs", Int t.n_accel);
       ("accel_fraction", Float t.accel_fraction);
@@ -282,8 +369,28 @@ let to_json t =
       ("undeclared_read_lines", Int t.undeclared_read_lines);
       ("overdeclared_read_lines", Int t.overdeclared_read_lines);
       ("undeclared_write_lines", Int t.undeclared_write_lines);
-      ("flags", List (List.map flag_to_json t.flags));
     ]
+    @ (match t.per_unit with
+      | [] -> []
+      | us ->
+          [
+            ( "per_unit",
+              List
+                (List.map
+                   (fun u ->
+                     Obj
+                       [
+                         ("unit", Int u.unit_id);
+                         ("invocations", Int u.u_invocations);
+                         ("inv_per_instr", Float u.u_inv_per_instr);
+                         ("latency_mean", Float u.u_latency_mean);
+                         ("latency_cv", Float u.u_latency_cv);
+                         ("gap_mean", Float u.u_gap_mean);
+                         ("gap_cv", Float u.u_gap_cv);
+                       ])
+                   us) );
+          ])
+    @ [ ("flags", List (List.map flag_to_json t.flags)) ])
 
 let pp ppf t =
   let open Format in
@@ -299,6 +406,14 @@ let pp ppf t =
                overdeclared reads (lines)@,"
     t.undeclared_read_lines t.undeclared_write_lines
     t.overdeclared_read_lines;
+  List.iter
+    (fun u ->
+      fprintf ppf
+        "unit %d:      %d invocations (v_%d %.6f), latency mean %a cv %a, \
+         gap mean %a cv %a@,"
+        u.unit_id u.u_invocations u.unit_id u.u_inv_per_instr f
+        u.u_latency_mean f u.u_latency_cv f u.u_gap_mean f u.u_gap_cv)
+    t.per_unit;
   List.iter
     (fun fl ->
       fprintf ppf "%s %s %s: %s@,"

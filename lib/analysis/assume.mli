@@ -20,6 +20,21 @@ type flag = {
   detail : string;
 }
 
+type unit_audit = {
+  unit_id : int;
+  u_invocations : int;
+  u_inv_per_instr : float;  (** measured [v_i] (per baseline instruction) *)
+  u_latency_mean : float;
+  u_latency_cv : float;
+  u_gap_mean : float;
+      (** mean instruction distance between consecutive invocations of
+          this unit (other units' invocations count as gap instructions
+          — this is the [1/v_i] the composition rule works with) *)
+  u_gap_cv : float;
+}
+(** Per-unit slice of the audit for pairs that invoke several TCA
+    units. *)
+
 type t = {
   invocations : int;
   n_base : int;
@@ -43,6 +58,13 @@ type t = {
           does not declare (summed over regions) *)
   overdeclared_read_lines : int;
   undeclared_write_lines : int;
+  per_unit : unit_audit list;
+      (** per-unit breakdown, in unit-id order; empty when the pair
+          invokes at most one unit, so single-unit audits (and their
+          JSON) are unchanged. Multi-unit pairs get a [multi-unit] info
+          flag and per-unit latency-stationarity grading instead of the
+          aggregate one (whose CV would mostly measure the units'
+          heterogeneity, which the composition rule models). *)
   flags : flag list;
 }
 

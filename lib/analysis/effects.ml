@@ -8,7 +8,7 @@ type node =
   | Init_mem of int
   | Init_line of int
   | Op of { idx : int; cls : int; args : int array }
-  | Accel_app of { idx : int; ord : int; args : int array }
+  | Accel_app of { idx : int; ord : int; unit : int; args : int array }
   | Accel_out of { app : int; loc : loc }
 
 type t = {
@@ -128,7 +128,9 @@ let summarize ?(line_bytes = 64) instrs =
                 (line_cells line_keys mem l))
             a.Isa.reads;
           let args = Array.of_list (List.rev !args) in
-          let app = arena_push ar (Accel_app { idx = i; ord; args }) in
+          let app =
+            arena_push ar (Accel_app { idx = i; ord; unit = a.Isa.unit_id; args })
+          in
           instr_node.(i) <- app;
           if ins.Isa.dst <> Isa.no_reg then begin
             regs.(ins.Isa.dst) <- arena_push ar (Accel_out { app; loc = Reg ins.Isa.dst });
@@ -178,7 +180,10 @@ let loc_value = function
   | Line l -> mix 16 l
 
 let op_value cls args = Array.fold_left mix (mix 1 cls) args
-let app_value ord args = Array.fold_left mix (mix 8 ord) args
+(* [unit] is part of the uninterpreted function's identity: the same
+   arguments on a different (heterogeneous) unit give a different
+   value. *)
+let app_value ~unit ord args = Array.fold_left mix (mix (mix 8 ord) unit) args
 let out_value app_v loc = mix (mix 10 app_v) (loc_value loc)
 
 type concrete = {
@@ -242,7 +247,9 @@ let interpret ?(line_bytes = 64) instrs =
                 (fun cell -> args := Hashtbl.find mem cell :: !args)
                 (line_cells line_keys mem l))
             a.Isa.reads;
-          let app_v = app_value ord (Array.of_list (List.rev !args)) in
+          let app_v =
+            app_value ~unit:a.Isa.unit_id ord (Array.of_list (List.rev !args))
+          in
           if ins.Isa.dst <> Isa.no_reg then
             regs.(ins.Isa.dst) <- out_value app_v (Reg ins.Isa.dst);
           Array.iter
@@ -269,8 +276,8 @@ let eval t =
         | Init_line l -> init_line_value l
         | Op { cls; args; _ } ->
             op_value cls (Array.map (fun a -> values.(a)) args)
-        | Accel_app { ord; args; _ } ->
-            app_value ord (Array.map (fun a -> values.(a)) args)
+        | Accel_app { ord; unit; args; _ } ->
+            app_value ~unit ord (Array.map (fun a -> values.(a)) args)
         | Accel_out { app; loc } -> out_value values.(app) loc))
     t.nodes;
   values
@@ -340,13 +347,17 @@ let rec pp_term_depth t buf depth id =
   | Op { idx; cls; args } ->
       add (Printf.sprintf "%s#%d" (op_short cls) idx);
       pp_args t buf depth args
-  | Accel_app { ord; idx; args } ->
-      add (Printf.sprintf "accel%d#%d" ord idx);
+  | Accel_app { ord; idx; unit; args } ->
+      add
+        (if unit = 0 then Printf.sprintf "accel%d#%d" ord idx
+         else Printf.sprintf "accel%d@u%d#%d" ord unit idx);
       pp_args t buf depth args
   | Accel_out { app; loc } -> (
       (match t.nodes.(app) with
-      | Accel_app { ord; idx; _ } ->
-          add (Printf.sprintf "accel%d#%d" ord idx)
+      | Accel_app { ord; idx; unit; _ } ->
+          add
+            (if unit = 0 then Printf.sprintf "accel%d#%d" ord idx
+             else Printf.sprintf "accel%d@u%d#%d" ord unit idx)
       | _ -> add "accel?");
       match loc with
       | Reg r -> add (Printf.sprintf ".r%d" r)

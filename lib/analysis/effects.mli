@@ -29,9 +29,11 @@ type node =
           {!Tca_uarch.Trace.Decoded} op code); for loads [args] is
           [|base; memory cell|], for stores [|base; source|] (the stored
           value), for branches [|src1|] (the tested value) *)
-  | Accel_app of { idx : int; ord : int; args : int array }
-      (** invocation [ord] (0-based, in trace order) at instruction
-          [idx], applied to its register operand and read-line terms *)
+  | Accel_app of { idx : int; ord : int; unit : int; args : int array }
+      (** invocation [ord] (0-based, in trace order) of TCA unit [unit]
+          at instruction [idx], applied to its register operand and
+          read-line terms; heterogeneous units compute different
+          functions, so [unit] is part of the node's identity *)
   | Accel_out of { app : int; loc : loc }
       (** projection of one output location of invocation [app] *)
 

@@ -219,7 +219,8 @@ let compare_terms ctx tb ta =
                 loop !acc
               end
           | Effects.Accel_app ab, Effects.Accel_app aa
-            when ctx.al.base_match.(ab.idx) >= 0
+            when ab.unit = aa.unit
+                 && ctx.al.base_match.(ab.idx) >= 0
                  && ctx.al.base_match.(ab.idx)
                     = ctx.al.accel_match.(aa.idx) ->
               if Array.length ab.args <> Array.length aa.args

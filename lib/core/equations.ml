@@ -114,6 +114,185 @@ let best_mode core s =
 
 let best_mode_exn core s = Diag.ok_exn (best_mode core s)
 
+(* --- multi-unit composition ------------------------------------------
+
+   The composed rule works per *instruction* instead of per interval:
+   with N units there is no longer a single "interval containing one
+   invocation", so every term of eqs. (4)-(9) is multiplied through by
+   its unit's invocation rate v_i and summed. Dividing the whole-program
+   times by the instruction count gives the per-instruction forms below;
+   at N = 1 (chained = 0, shared port) each mode time is exactly v times
+   the corresponding single-unit interval time, so speedups reduce to
+   eqs. (4)-(9) — a property the test suite pins. *)
+
+type composed_times = {
+  c_baseline : float;
+  c_non_accl : float;
+  c_accl_total : float;
+  c_drain : float;
+  c_rob_fill : float;
+  c_commit : float;
+  c_v_total : float;
+  c_v_drain : float;
+  c_contend : float;
+  c_unit_terms : (float * float) list;
+}
+
+let check_composed t =
+  let* _ = Diag.finite ~field:"Equations.c_baseline" t.c_baseline in
+  let* _ = Diag.finite ~field:"Equations.c_non_accl" t.c_non_accl in
+  let* _ = Diag.finite ~field:"Equations.c_accl_total" t.c_accl_total in
+  let* _ = Diag.finite ~field:"Equations.c_drain" t.c_drain in
+  let* _ = Diag.finite ~field:"Equations.c_contend" t.c_contend in
+  let* _ =
+    List.fold_left
+      (fun acc (_, tl) ->
+        let* _ = acc in
+        Diag.finite ~field:"Equations.c_unit_terms" tl)
+      (Ok 0.0) t.c_unit_terms
+  in
+  Ok t
+
+let composed_v_total (c : Params.composition) =
+  List.fold_left
+    (fun acc (u : Params.unit_scenario) -> acc +. u.Params.v)
+    0.0 c.Params.units
+
+let composed_times (core : Params.core) (c : Params.composition) =
+  let v_total = composed_v_total c in
+  let* () =
+    if v_total <= 0.0 then
+      Error
+        (Diag.Domain
+           { field = "Equations.composed_times.v_total"; lo = Float.min_float;
+             hi = infinity; actual = v_total })
+    else Ok ()
+  in
+  let a_total =
+    List.fold_left
+      (fun acc (u : Params.unit_scenario) -> acc +. u.Params.a)
+      0.0 c.Params.units
+  in
+  (* Per-invocation execution time of one unit: eq. (2) scaled to a
+     single invocation, or the architect's explicit latency. *)
+  let unit_latency (u : Params.unit_scenario) =
+    match u.Params.accel with
+    | Params.Factor f ->
+        if u.Params.v <= 0.0 then 0.0
+        else u.Params.a /. (u.Params.v *. f *. core.ipc)
+    | Params.Latency l -> l
+  in
+  let c_unit_terms =
+    List.map (fun (u : Params.unit_scenario) -> (u.Params.v, unit_latency u))
+      c.Params.units
+  in
+  let c_baseline = 1.0 /. core.ipc in
+  let c_non_accl = (1.0 -. a_total) /. core.ipc in
+  let c_accl_total =
+    List.fold_left (fun acc (v, tl) -> acc +. (v *. tl)) 0.0 c_unit_terms
+  in
+  let fit =
+    Tca_interval.Power_law.calibrate ~ipc:core.ipc ~window:core.rob_size
+      ~beta:core.drain_beta
+  in
+  let c_drain =
+    Tca_interval.Drain.time c.Params.drain ~fit ~window:core.rob_size
+      ~interval_instrs:((1.0 -. a_total) /. v_total)
+      ~non_accl_time:(c_non_accl /. v_total)
+  in
+  let c_rob_fill = float_of_int core.rob_size /. float_of_int core.issue_width in
+  let c_v_drain = (1.0 -. c.Params.chained) *. v_total in
+  let c_contend =
+    match c.Params.commit_port with
+    | Params.Shared -> c.Params.chained *. v_total *. core.commit_stall
+    | Params.Private -> 0.0
+  in
+  check_composed
+    { c_baseline; c_non_accl; c_accl_total; c_drain; c_rob_fill;
+      c_commit = core.commit_stall; c_v_total = v_total; c_v_drain; c_contend;
+      c_unit_terms }
+
+let composed_times_exn core c = Diag.ok_exn (composed_times core c)
+
+let composed_time_of_times (t : composed_times) (mode : Mode.t) =
+  (* Σ_i v_i · max(0, over(t_accl_i)): the per-unit generalization of
+     the ROB-full front-end stall of eqs. (6)-(9). *)
+  let rob_stall over =
+    List.fold_left
+      (fun acc (v, tl) -> acc +. (v *. Float.max 0.0 (over tl)))
+      0.0 t.c_unit_terms
+  in
+  match mode with
+  | Mode.NL_NT ->
+      (* eq. (4) summed over units: every non-chained invocation drains
+         and commits its own window, every invocation commits itself. *)
+      t.c_non_accl +. t.c_accl_total
+      +. (t.c_v_drain *. (t.c_drain +. t.c_commit))
+      +. (t.c_v_total *. t.c_commit)
+      +. t.c_contend
+  | Mode.L_NT ->
+      (* eq. (5) summed: leading work overlaps every drain. *)
+      t.c_non_accl +. t.c_accl_total
+      +. (t.c_v_total *. t.c_commit)
+      +. t.c_contend
+  | Mode.NL_T ->
+      (* eqs. (6)-(7) summed: each unit's invocations stall the front
+         end only past their own ROB refill. *)
+      let rob_full =
+        rob_stall (fun tl -> t.c_drain +. tl +. t.c_commit -. t.c_rob_fill)
+      in
+      Float.max
+        (t.c_non_accl +. rob_full)
+        (t.c_accl_total
+        +. (t.c_v_drain *. t.c_drain)
+        +. (t.c_v_total *. t.c_commit))
+      +. t.c_contend
+  | Mode.L_T ->
+      (* eqs. (8)-(9) summed. *)
+      let rob_full = rob_stall (fun tl -> tl -. t.c_rob_fill) in
+      Float.max (t.c_non_accl +. rob_full) t.c_accl_total +. t.c_contend
+
+let composed_mode_time core c mode =
+  let* t = composed_times core c in
+  Diag.finite ~field:"Equations.composed_mode_time"
+    (composed_time_of_times t mode)
+
+let composed_mode_time_exn core c mode =
+  Diag.ok_exn (composed_mode_time core c mode)
+
+let composed_speedup core c mode =
+  if composed_v_total c <= 0.0 then Ok 1.0
+  else
+    let* t = composed_times core c in
+    Diag.finite ~field:"Equations.composed_speedup"
+      (t.c_baseline /. composed_time_of_times t mode)
+
+let composed_speedup_exn core c mode =
+  Diag.ok_exn (composed_speedup core c mode)
+
+let composed_speedups core c =
+  List.fold_right
+    (fun m acc ->
+      let* acc = acc in
+      let* sp = composed_speedup core c m in
+      Ok ((m, sp) :: acc))
+    Mode.all (Ok [])
+
+let composed_speedups_exn core c = Diag.ok_exn (composed_speedups core c)
+
+let composed_best_mode core c =
+  let* sps = composed_speedups core c in
+  match sps with
+  | [] -> Error (Diag.Empty_input { field = "Equations.composed_best_mode" })
+  | first :: rest ->
+      Ok
+        (List.fold_left
+           (fun ((_, best_s) as best) ((_, cand_s) as cand) ->
+             if cand_s > best_s then cand else best)
+           first rest)
+
+let composed_best_mode_exn core c = Diag.ok_exn (composed_best_mode core c)
+
 let ideal_speedup core s =
   if s.Params.v <= 0.0 then Ok 1.0
   else

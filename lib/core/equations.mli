@@ -61,6 +61,87 @@ val best_mode :
 
 val best_mode_exn : Params.core -> Params.scenario -> Mode.t * float
 
+(** {2 Multi-unit composition}
+
+    With N heterogeneous units there is no single "interval containing
+    one invocation", so the composed rule works per {e instruction}:
+    each term of eqs. (4)-(9) is weighted by its unit's invocation rate
+    [v_i] and summed. Writing [t_i] for unit [i]'s per-invocation
+    execution time (eq. (2) scaled to one invocation, or its explicit
+    latency), [v = Σ v_i], [a = Σ a_i], [χ] for the chained fraction and
+    [t_cont = χ·v·t_commit] when the commit port is shared (0 when
+    private):
+
+    {v
+    T_NL_NT = t_non + Σ v_i·t_i + (1-χ)·v·(t_drain + t_commit)
+              + v·t_commit + t_cont
+    T_L_NT  = t_non + Σ v_i·t_i + v·t_commit + t_cont
+    T_NL_T  = max(t_non + Σ v_i·max(0, t_drain + t_i + t_commit - t_fill),
+                  Σ v_i·t_i + (1-χ)·v·t_drain + v·t_commit) + t_cont
+    T_L_T   = max(t_non + Σ v_i·max(0, t_i - t_fill), Σ v_i·t_i) + t_cont
+    v}
+
+    where [t_non = (1-a)/IPC] and [t_fill = s_ROB/w_issue]. Chained
+    invocations ([χ]) share one window drain — the consumer dispatches
+    into the window its producer already drained — but serialize on the
+    shared commit port, which is the [t_cont] term. Speedup is
+    [(1/IPC) / T]. At N = 1 with [χ = 0] and a shared port every mode
+    time is exactly [v] times the single-unit interval time, so the
+    composed model reduces to eqs. (4)-(9) (pinned by the tests). *)
+
+type composed_times = {
+  c_baseline : float;  (** per-instruction baseline time, [1/IPC] *)
+  c_non_accl : float;  (** [(1 - Σ a_i)/IPC] *)
+  c_accl_total : float;  (** [Σ v_i · t_i] *)
+  c_drain : float;  (** per-invocation window drain *)
+  c_rob_fill : float;  (** [s_ROB / w_issue] *)
+  c_commit : float;
+  c_v_total : float;  (** [Σ v_i] *)
+  c_v_drain : float;  (** [(1 - χ) · Σ v_i]: invocations that drain *)
+  c_contend : float;  (** commit-port contention of chained invocations *)
+  c_unit_terms : (float * float) list;  (** per unit: [(v_i, t_i)] *)
+}
+
+val composed_times :
+  Params.core -> Params.composition -> (composed_times, Diag.t) result
+(** [Error (Domain _)] when [Σ v_i = 0] (no invocations at all);
+    [Error (Non_finite _)] on overflow, as {!interval_times}. *)
+
+val composed_times_exn : Params.core -> Params.composition -> composed_times
+
+val composed_time_of_times : composed_times -> Mode.t -> float
+(** Pure combination of precomputed composed times per the table
+    above. *)
+
+val composed_mode_time :
+  Params.core -> Params.composition -> Mode.t -> (float, Diag.t) result
+(** Per-instruction execution time of the composed machine under the
+    given mode. *)
+
+val composed_mode_time_exn :
+  Params.core -> Params.composition -> Mode.t -> float
+
+val composed_speedup :
+  Params.core -> Params.composition -> Mode.t -> (float, Diag.t) result
+(** [c_baseline / composed_time]. [Ok 1.0] when [Σ v_i = 0]. *)
+
+val composed_speedup_exn :
+  Params.core -> Params.composition -> Mode.t -> float
+
+val composed_speedups :
+  Params.core -> Params.composition ->
+  ((Mode.t * float) list, Diag.t) result
+(** All four modes, in [Mode.all] order. *)
+
+val composed_speedups_exn :
+  Params.core -> Params.composition -> (Mode.t * float) list
+
+val composed_best_mode :
+  Params.core -> Params.composition -> (Mode.t * float, Diag.t) result
+
+val composed_best_mode_exn :
+  Params.core -> Params.composition -> Mode.t * float
+
 val ideal_speedup :
   Params.core -> Params.scenario -> (float, Diag.t) result
 (** The "replace the region with accelerator time" estimate used by prior

@@ -10,6 +10,19 @@ type core = {
 
 type accel_time = Factor of float | Latency of float
 
+(* Declared before [scenario] so [scenario]'s labels, defined last,
+   remain the unqualified default everywhere else. *)
+type commit_port = Shared | Private
+
+type unit_scenario = { a : float; v : float; accel : accel_time }
+
+type composition = {
+  units : unit_scenario list;
+  chained : float;
+  commit_port : commit_port;
+  drain : Tca_interval.Drain.spec;
+}
+
 type scenario = {
   a : float;
   v : float;
@@ -65,6 +78,68 @@ let scenario ?(drain = Tca_interval.Drain.Auto) ~a ~v ~accel () =
 let scenario_exn ?drain ~a ~v ~accel () =
   Diag.ok_exn (scenario ?drain ~a ~v ~accel ())
 
+let unit_scenario ~a ~v ~accel () =
+  let* a = Diag.in_range ~field:"Params.unit_scenario.a" ~lo:0.0 ~hi:1.0 a in
+  let* v = Diag.non_negative ~field:"Params.unit_scenario.v" v in
+  let* () =
+    if v > 0.0 && a < v then
+      Error
+        (Diag.Domain
+           { field = "Params.unit_scenario granularity a/v"; lo = 1.0;
+             hi = infinity; actual = a /. v })
+    else Ok ()
+  in
+  let* accel = validate_accel accel in
+  Ok ({ a; v; accel } : unit_scenario)
+
+let unit_scenario_exn ~a ~v ~accel () =
+  Diag.ok_exn (unit_scenario ~a ~v ~accel ())
+
+let composition ?(drain = Tca_interval.Drain.Auto) ?(chained = 0.0)
+    ?(commit_port = Shared) ~units () =
+  let* () =
+    if units = [] then
+      Error (Diag.Empty_input { field = "Params.composition.units" })
+    else Ok ()
+  in
+  let* units =
+    List.fold_right
+      (fun (u : unit_scenario) acc ->
+        let* acc = acc in
+        let* u = unit_scenario ~a:u.a ~v:u.v ~accel:u.accel () in
+        Ok (u :: acc))
+      units (Ok [])
+  in
+  let a_total =
+    List.fold_left (fun acc (u : unit_scenario) -> acc +. u.a) 0.0 units
+  in
+  let* () =
+    if a_total > 1.0 then
+      Error
+        (Diag.Domain
+           { field = "Params.composition total a"; lo = 0.0; hi = 1.0;
+             actual = a_total })
+    else Ok ()
+  in
+  let* chained =
+    Diag.in_range ~field:"Params.composition.chained" ~lo:0.0 ~hi:1.0 chained
+  in
+  let* drain = validate_drain drain in
+  Ok ({ units; chained; commit_port; drain } : composition)
+
+let composition_exn ?drain ?chained ?commit_port ~units () =
+  Diag.ok_exn (composition ?drain ?chained ?commit_port ~units ())
+
+let composition_of_scenario (s : scenario) : composition =
+  {
+    units = [ ({ a = s.a; v = s.v; accel = s.accel } : unit_scenario) ];
+    chained = 0.0;
+    commit_port = Shared;
+    drain = s.drain;
+  }
+
+let commit_port_name = function Shared -> "shared" | Private -> "private"
+
 let granularity s =
   if s.v = 0.0 then
     Error (Diag.Invalid { field = "Params.granularity"; message = "v = 0" })
@@ -98,6 +173,17 @@ let pp_scenario fmt s =
     | Tca_interval.Drain.Auto -> "auto"
     | Tca_interval.Drain.Refill_aware -> "refill-aware"
     | Tca_interval.Drain.Fixed t -> Printf.sprintf "%.1f" t)
+
+let pp_composition fmt (c : composition) =
+  Format.fprintf fmt "{ units = [";
+  List.iteri
+    (fun i (u : unit_scenario) ->
+      Format.fprintf fmt "%s{ a = %.4f; v = %.6f; %a }"
+        (if i = 0 then " " else "; ")
+        u.a u.v pp_accel u.accel)
+    c.units;
+  Format.fprintf fmt " ]; chained = %.2f; commit_port = %s }" c.chained
+    (commit_port_name c.commit_port)
 
 let glossary =
   [

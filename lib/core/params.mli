@@ -26,6 +26,37 @@ type accel_time =
       (** explicit per-invocation accelerator execution time in cycles,
           "an explicitly provided latency inserted by the architect" *)
 
+(** {2 Multi-unit composition types}
+
+    Declared before {!scenario} so the single-unit labels, defined last,
+    stay the unqualified default for existing code. A machine with N
+    heterogeneous TCA units is described by one {!unit_scenario} per
+    unit plus two coupling knobs: the fraction of invocations that are
+    {e chained} (an invocation whose result feeds the next, so their
+    window drains overlap rather than repeat), and whether the units
+    share the core's commit port or own private writeback ports (the
+    [Tca_unit] contention knob of the simulator). *)
+
+type commit_port =
+  | Shared  (** all units contend on the core's commit port *)
+  | Private  (** each unit owns a writeback port; no cross-unit contention *)
+
+type unit_scenario = {
+  a : float;  (** fraction of all instructions this unit accelerates *)
+  v : float;  (** this unit's invocations / total instructions *)
+  accel : accel_time;
+}
+
+type composition = {
+  units : unit_scenario list;
+  chained : float;
+      (** fraction of invocations chained into the preceding one, in
+          [0, 1]: chained invocations share one window drain but
+          serialize on the shared commit port *)
+  commit_port : commit_port;
+  drain : Tca_interval.Drain.spec;
+}
+
 type scenario = {
   a : float;  (** fraction of acceleratable code, in [0, 1] *)
   v : float;  (** invocation frequency: invocations / total instructions *)
@@ -55,6 +86,39 @@ val scenario_exn : ?drain:Tca_interval.Drain.spec ->
   a:float -> v:float -> accel:accel_time -> unit -> scenario
 (** Raises {!Diag.Error}. *)
 
+(** {2 Multi-unit composition constructors} *)
+
+val unit_scenario :
+  a:float -> v:float -> accel:accel_time -> unit ->
+  (unit_scenario, Diag.t) result
+(** Same domain as {!scenario}: [0 <= a <= 1], [v >= 0], [a >= v] when
+    [v > 0], valid accel time. *)
+
+val unit_scenario_exn :
+  a:float -> v:float -> accel:accel_time -> unit -> unit_scenario
+
+val composition :
+  ?drain:Tca_interval.Drain.spec -> ?chained:float ->
+  ?commit_port:commit_port -> units:unit_scenario list -> unit ->
+  (composition, Diag.t) result
+(** Validates every unit, requires a non-empty unit list with total
+    acceleratable fraction [Σ a_i <= 1] and [chained] in [0, 1].
+    [chained] defaults to 0, [commit_port] to [Shared], [drain] to
+    [Auto]. *)
+
+val composition_exn :
+  ?drain:Tca_interval.Drain.spec -> ?chained:float ->
+  ?commit_port:commit_port -> units:unit_scenario list -> unit ->
+  composition
+
+val composition_of_scenario : scenario -> composition
+(** The single-unit lift: one unit with the scenario's [a], [v] and
+    accel time, [chained = 0], [Shared] port. {!Equations} guarantees
+    the composed model evaluates this to exactly the single-unit
+    equations. *)
+
+val commit_port_name : commit_port -> string
+
 val granularity : scenario -> (float, Diag.t) result
 (** [a / v]: average acceleratable instructions per invocation.
     [Error (Invalid _)] when [v = 0]. *)
@@ -74,6 +138,7 @@ val scenario_of_granularity_exn :
 
 val pp_core : Format.formatter -> core -> unit
 val pp_scenario : Format.formatter -> scenario -> unit
+val pp_composition : Format.formatter -> composition -> unit
 
 val glossary : (string * string) list
 (** Paper Table I: symbol, meaning. *)

@@ -94,6 +94,20 @@ let figure_jobs =
         Strfn_val.artifact
           (Strfn_val.run ?telemetry:ctx.Job.telemetry ~par:ctx.Job.par
              ~quick:ctx.Job.quick ()));
+    job ~name:"composition"
+      ~title:"X10: composed-model speedup vs chained fraction (commit port)"
+      (fun ctx ->
+        Multi_val.sweep_artifact
+          (Multi_val.sweep ~points:(if ctx.Job.quick then 11 else 21) ()));
+    job ~name:"simulate.multi_tca"
+      ~title:
+        "simulate: two heterogeneous TCA units under all four couplings, \
+         composed model vs simulator"
+      ~params:[ ("workload", "multi_tca") ]
+      (fun ctx ->
+        Multi_val.artifact
+          (Multi_val.run ?telemetry:ctx.Job.telemetry ~par:ctx.Job.par
+             ~quick:ctx.Job.quick ()));
   ]
 
 let simulate_job (cli_name, kind) =

@@ -40,6 +40,7 @@ type t = {
   mem : Mem_hier.config;
   coupling : coupling;
   tca_occupancy : tca_occupancy;
+  tca_units : Tca_unit.t array;
   miss_bandwidth : int option;
   dtlb : Tlb.config option;
   tca_speculate_fraction : float option;
@@ -73,6 +74,7 @@ let hp ?(coupling = coupling_l_t) () =
     mem = default_mem;
     coupling;
     tca_occupancy = Pipelined;
+    tca_units = [| Tca_unit.default 0 |];
     miss_bandwidth = None;
     dtlb = None;
     tca_speculate_fraction = None;
@@ -98,6 +100,7 @@ let lp ?(coupling = coupling_l_t) () =
     mem = default_mem;
     coupling;
     tca_occupancy = Pipelined;
+    tca_units = [| Tca_unit.default 0 |];
     miss_bandwidth = None;
     dtlb = None;
     tca_speculate_fraction = None;
@@ -123,6 +126,7 @@ let a72 ?(coupling = coupling_l_t) () =
     mem = default_mem;
     coupling;
     tca_occupancy = Pipelined;
+    tca_units = [| Tca_unit.default 0 |];
     miss_bandwidth = None;
     dtlb = None;
     tca_speculate_fraction = None;
@@ -130,6 +134,23 @@ let a72 ?(coupling = coupling_l_t) () =
   }
 
 let with_coupling t coupling = { t with coupling }
+
+let with_tca_units t tca_units = { t with tca_units }
+
+(* Per-unit effective knobs: a unit override wins, otherwise the core's
+   per-coupling / per-occupancy setting applies. The pipelines resolve
+   these once at state creation, outside the hot loop. *)
+let unit_exclusive t (u : Tca_unit.t) =
+  match u.Tca_unit.occupancy with
+  | Some Tca_unit.Exclusive -> true
+  | Some Tca_unit.Pipelined -> false
+  | None -> t.tca_occupancy = Exclusive
+
+let unit_allow_leading t (u : Tca_unit.t) =
+  Option.value ~default:t.coupling.allow_leading u.Tca_unit.allow_leading
+
+let unit_allow_trailing t (u : Tca_unit.t) =
+  Option.value ~default:t.coupling.allow_trailing u.Tca_unit.allow_trailing
 
 let validate t =
   let open Tca_util.Diag.Syntax in
@@ -153,6 +174,40 @@ let validate t =
   let* () = bound "latencies.int_mult" t.latencies.int_mult 1 in
   let* () = bound "latencies.fp_alu" t.latencies.fp_alu 1 in
   let* () = bound "latencies.fp_mult" t.latencies.fp_mult 1 in
+  let* () =
+    if Array.length t.tca_units = 0 then
+      Error
+        (Tca_util.Diag.Invalid
+           {
+             field = "Config.tca_units";
+             message = "at least one TCA unit is required";
+           })
+    else begin
+      let bad = ref None in
+      Array.iteri
+        (fun i (u : Tca_unit.t) ->
+          if !bad = None then
+            if u.Tca_unit.id <> i then
+              bad :=
+                Some
+                  (Tca_util.Diag.Invalid
+                     {
+                       field = "Config.tca_units";
+                       message =
+                         Printf.sprintf
+                           "unit at position %d has id %d (ids must equal \
+                            their table position, the lookup key of \
+                            Isa.accel.unit_id)"
+                           i u.Tca_unit.id;
+                     })
+            else
+              match Tca_unit.validate u with
+              | Ok _ -> ()
+              | Error d -> bad := Some d)
+        t.tca_units;
+      match !bad with None -> Ok () | Some d -> Error d
+    end
+  in
   let* () =
     match t.tca_speculate_fraction with
     | None -> Ok ()

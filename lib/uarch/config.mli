@@ -52,6 +52,11 @@ type t = {
   mem : Mem_hier.config;
   coupling : coupling;
   tca_occupancy : tca_occupancy;
+  tca_units : Tca_unit.t array;
+      (** the accelerator units, indexed by {!Isa.accel.unit_id} (a
+          unit's [id] must equal its position). Defaults to a single
+          {!Tca_unit.default} unit 0, which inherits [coupling] and
+          [tca_occupancy] — the classic single-TCA machine. *)
   miss_bandwidth : int option;
       (** max new L1 misses injected per cycle (MSHR issue limit);
           [None] = unlimited *)
@@ -87,9 +92,22 @@ val a72 : ?coupling:coupling -> unit -> t
 
 val with_coupling : t -> coupling -> t
 
+val with_tca_units : t -> Tca_unit.t array -> t
+
+val unit_exclusive : t -> Tca_unit.t -> bool
+(** Effective occupancy of one unit: its override, else the core's
+    [tca_occupancy]. *)
+
+val unit_allow_leading : t -> Tca_unit.t -> bool
+val unit_allow_trailing : t -> Tca_unit.t -> bool
+(** Effective coupling flags of one unit: its overrides, else the
+    core's [coupling]. *)
+
 val validate : t -> (unit, Tca_util.Diag.t) result
 (** Structural sanity: all widths, sizes and latencies within their
     domains ([Domain] diagnostics name the offending [Config.] field),
+    a non-empty [tca_units] table whose unit ids equal their positions
+    (each unit additionally passing {!Tca_unit.validate}),
     [tca_speculate_fraction] finite and inside [\[0, 1\]], and
     [max_cycles], when given, at least 1. *)
 

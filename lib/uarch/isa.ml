@@ -2,6 +2,7 @@ let num_arch_regs = 64
 let no_reg = -1
 
 type accel = {
+  unit_id : int;
   compute_latency : int;
   reads : int array;
   writes : int array;
@@ -51,11 +52,12 @@ let load ?pc ?base ~dst ~addr () = mk "load" ?pc ?src1:base ~dst ~addr Load
 let store ?pc ?base ?src ~addr () = mk "store" ?pc ?src1:base ?src2:src ~addr Store
 let branch ?pc ?src1 ~taken () = mk "branch" ?pc ?src1 ~taken Branch
 
-let accel ?pc ?src1 ?dst ~compute_latency ~reads ~writes () =
+let accel ?pc ?src1 ?dst ?(unit_id = 0) ~compute_latency ~reads ~writes () =
+  if unit_id < 0 then invalid_arg "Isa.accel: negative unit id";
   if compute_latency < 0 then invalid_arg "Isa.accel: negative compute latency";
   Array.iter (check_addr "accel") reads;
   Array.iter (check_addr "accel") writes;
-  mk "accel" ?pc ?src1 ?dst (Accel { compute_latency; reads; writes })
+  mk "accel" ?pc ?src1 ?dst (Accel { unit_id; compute_latency; reads; writes })
 
 let is_mem i = match i.op with Load | Store -> true | _ -> false
 
@@ -75,6 +77,7 @@ let pp fmt i =
     (match i.op with
     | Branch -> if i.taken then " taken" else " not-taken"
     | Accel a ->
-        Printf.sprintf " lat=%d r=%d w=%d" a.compute_latency
-          (Array.length a.reads) (Array.length a.writes)
+        Printf.sprintf "%s lat=%d r=%d w=%d"
+          (if a.unit_id = 0 then "" else Printf.sprintf " u=%d" a.unit_id)
+          a.compute_latency (Array.length a.reads) (Array.length a.writes)
     | _ -> "")

@@ -13,6 +13,9 @@ val no_reg : int
 (** Sentinel (-1) for an absent source/destination. *)
 
 type accel = {
+  unit_id : int;
+      (** which {!Tca_unit} executes the invocation; 0 (the default) is
+          the sole unit of classic single-TCA configurations *)
   compute_latency : int;
       (** cycles of accelerator computation once operands/memory arrive *)
   reads : int array;  (** byte addresses; one <=64 B line request each *)
@@ -54,11 +57,13 @@ val accel :
   ?pc:int ->
   ?src1:int ->
   ?dst:int ->
+  ?unit_id:int ->
   compute_latency:int ->
   reads:int array ->
   writes:int array ->
   unit ->
   instr
+(** [unit_id] defaults to 0; negative ids are rejected. *)
 
 val is_mem : instr -> bool
 (** Load or Store (not Accel: accelerator traffic is arbitrated

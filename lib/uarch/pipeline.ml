@@ -63,7 +63,25 @@ type state = {
   ports : Ports.t;
   miss_ports : Ports.t option;
   dtlb : Tlb.t option;
-  mutable accel_free_at : int;
+  (* Per-TCA-unit state, indexed by [Isa.accel.unit_id] (= the unit's
+     position in [cfg.tca_units]). Effective flags are resolved once at
+     [create] — unit override, else the core-wide knob — so the hot loop
+     only ever indexes flat arrays. With the default single unit every
+     array is the old scalar and the schedules are bit-identical. *)
+  n_units : int;
+  u_free_at : int array;  (* per-unit [accel_free_at] *)
+  u_exclusive : bool array;
+  u_allow_leading : bool array;
+  u_allow_trailing : bool array;
+  u_extra_lat : int array;  (* Tca_unit.extra_invocation_latency *)
+  u_ports : Ports.t option array;
+      (* [Some] = the unit's private writeback-port bank
+         ([Tca_unit.Private]); [None] = contend on the shared ports *)
+  u_invocations : int array;
+  u_busy : int array;
+  u_head_wait : int array;
+  u_serialize : int array;
+  mutable serialize_unit : int;  (* unit owning [serialize_slot] *)
   rob : int;  (* capacity, cached *)
   (* Config scalars cached flat (one load instead of two). *)
   issue_width : int;
@@ -76,7 +94,6 @@ type state = {
   int_alu_units : int;
   int_mult_units : int;
   fp_units : int;
-  allow_trailing : bool;
   lat : int array;  (* latency per opcode, indexed by [D.op_*] *)
   (* Parallel ROB arrays, indexed by slot. *)
   tr_idx : int array;
@@ -146,6 +163,8 @@ let create ?telemetry cfg trace =
   lat.(D.op_fp_alu) <- cfg.Config.latencies.Config.fp_alu;
   lat.(D.op_fp_mult) <- cfg.Config.latencies.Config.fp_mult;
   lat.(D.op_branch) <- cfg.Config.latencies.Config.int_alu;
+  let units = cfg.Config.tca_units in
+  let nu = Array.length units in
   {
     cfg;
     telemetry;
@@ -161,7 +180,28 @@ let create ?telemetry cfg trace =
         (fun width -> Ports.create ~width ~horizon:8192)
         cfg.Config.miss_bandwidth;
     dtlb = Option.map Tlb.create cfg.Config.dtlb;
-    accel_free_at = 0;
+    n_units = nu;
+    u_free_at = Array.make nu 0;
+    u_exclusive = Array.map (Config.unit_exclusive cfg) units;
+    u_allow_leading = Array.map (Config.unit_allow_leading cfg) units;
+    u_allow_trailing = Array.map (Config.unit_allow_trailing cfg) units;
+    u_extra_lat =
+      Array.map
+        (fun (u : Tca_unit.t) -> u.Tca_unit.extra_invocation_latency)
+        units;
+    u_ports =
+      Array.map
+        (fun (u : Tca_unit.t) ->
+          match u.Tca_unit.commit_port with
+          | Tca_unit.Shared -> None
+          | Tca_unit.Private ->
+              Some (Ports.create ~width:cfg.Config.mem_ports ~horizon:8192))
+        units;
+    u_invocations = Array.make nu 0;
+    u_busy = Array.make nu 0;
+    u_head_wait = Array.make nu 0;
+    u_serialize = Array.make nu 0;
+    serialize_unit = -1;
     rob = r;
     issue_width = cfg.Config.issue_width;
     dispatch_width = cfg.Config.dispatch_width;
@@ -173,7 +213,6 @@ let create ?telemetry cfg trace =
     int_alu_units = cfg.Config.int_alu_units;
     int_mult_units = cfg.Config.int_mult_units;
     fp_units = cfg.Config.fp_units;
-    allow_trailing = cfg.Config.coupling.Config.allow_trailing;
     lat;
     tr_idx = Array.make r (-1);
     st = Array.make r st_empty;
@@ -263,9 +302,9 @@ let older_store_match s load_seq addr =
 (* Partial speculation: a deterministic per-dynamic-instance coin decides
    whether this TCA invocation may execute speculatively (as a
    confidence-based design would, paper Section VIII). *)
-let accel_speculative s slot =
+let accel_speculative s slot u =
   match s.cfg.Config.tca_speculate_fraction with
-  | None -> s.cfg.Config.coupling.Config.allow_leading
+  | None -> s.u_allow_leading.(u)
   | Some p ->
       let h = s.seq.(slot) * 0x9E3779B9 in
       let h = (h lxor (h lsr 16)) land 0xFFFF in
@@ -400,33 +439,33 @@ let rec accel_reads_loop s ~now off k len acc =
     accel_reads_loop s ~now off (k + 1) len
       (max acc (memory_read s ~now s.d.accel_mem.(off + k)))
 
-let rec accel_writes_loop s ~now k len acc =
+let rec accel_writes_loop ports ~now k len acc =
   if k >= len then acc
   else
-    let port_cycle = Ports.reserve s.ports ~now in
-    accel_writes_loop s ~now (k + 1) len (max acc (port_cycle + 1))
+    let port_cycle = Ports.reserve ports ~now in
+    accel_writes_loop ports ~now (k + 1) len (max acc (port_cycle + 1))
 
-let issue_accel s slot ti =
+let issue_accel s slot ti u =
   let start =
-    match s.cfg.Config.tca_occupancy with
-    | Config.Pipelined -> s.cycle
-    | Config.Exclusive -> max s.cycle s.accel_free_at
+    if s.u_exclusive.(u) then max s.cycle s.u_free_at.(u) else s.cycle
   in
   let reads_len = s.d.reads_len.(ti) in
   let writes_len = s.d.writes_len.(ti) in
   let reads_done =
     accel_reads_loop s ~now:start s.d.reads_off.(ti) 0 reads_len start
   in
-  let compute_done = reads_done + s.d.accel_lat.(ti) in
+  let compute_done = reads_done + s.d.accel_lat.(ti) + s.u_extra_lat.(u) in
+  let wports = match s.u_ports.(u) with Some p -> p | None -> s.ports in
   let write_done =
-    accel_writes_loop s ~now:compute_done 0 writes_len compute_done
+    accel_writes_loop wports ~now:compute_done 0 writes_len compute_done
   in
   let finish = max compute_done write_done in
   if writes_len > 0 then
     push_accel_write s ~finish ~off:s.d.writes_off.(ti) ~len:writes_len;
   s.complete_at.(slot) <- max finish (s.cycle + 1);
-  s.accel_free_at <- s.complete_at.(slot);
+  s.u_free_at.(u) <- s.complete_at.(slot);
   s.accel_busy <- s.accel_busy + (s.complete_at.(slot) - s.cycle);
+  s.u_busy.(u) <- s.u_busy.(u) + (s.complete_at.(slot) - s.cycle);
   match s.telemetry with
   | None -> ()
   | Some sink ->
@@ -434,11 +473,12 @@ let issue_accel s slot ti =
          invocation's contribution to [accel_busy]. *)
       Tca_telemetry.Sink.span sink ~cat:"accel"
         ~args:
-          [
-            ("reads", Tca_util.Json.Int reads_len);
-            ("writes", Tca_util.Json.Int writes_len);
-            ("compute_latency", Tca_util.Json.Int s.d.accel_lat.(ti));
-          ]
+          ([
+             ("reads", Tca_util.Json.Int reads_len);
+             ("writes", Tca_util.Json.Int writes_len);
+             ("compute_latency", Tca_util.Json.Int s.d.accel_lat.(ti));
+           ]
+          @ if s.n_units > 1 then [ ("unit", Tca_util.Json.Int u) ] else [])
         ~ts:(float_of_int s.cycle)
         ~dur:(float_of_int (s.complete_at.(slot) - s.cycle))
         "accel.invoke"
@@ -492,21 +532,23 @@ let rec issue_scan s k issued ialu imult fp =
         | `None ->
             start_executing s slot (memory_read s ~now:s.cycle s.d.addr.(ti));
             issue_scan s (k + 1) (issued + 1) ialu imult fp)
-      else if
-        (* accel *)
-        accel_speculative s slot || slot = s.head
-      then begin
-        issue_accel s slot ti;
-        s.st.(slot) <- st_executing;
-        s.executing <- s.executing + 1;
-        if s.complete_at.(slot) < s.next_complete then
-          s.next_complete <- s.complete_at.(slot);
-        s.iq_count <- s.iq_count - 1;
-        issue_scan s (k + 1) (issued + 1) ialu imult fp
-      end
       else begin
-        s.accel_head_wait <- s.accel_head_wait + 1;
-        issue_scan s (k + 1) issued ialu imult fp
+        (* accel *)
+        let u = s.d.accel_unit.(ti) in
+        if accel_speculative s slot u || slot = s.head then begin
+          issue_accel s slot ti u;
+          s.st.(slot) <- st_executing;
+          s.executing <- s.executing + 1;
+          if s.complete_at.(slot) < s.next_complete then
+            s.next_complete <- s.complete_at.(slot);
+          s.iq_count <- s.iq_count - 1;
+          issue_scan s (k + 1) (issued + 1) ialu imult fp
+        end
+        else begin
+          s.accel_head_wait <- s.accel_head_wait + 1;
+          s.u_head_wait.(u) <- s.u_head_wait.(u) + 1;
+          issue_scan s (k + 1) issued ialu imult fp
+        end
       end
     end
     else issue_scan s (k + 1) issued ialu imult fp
@@ -604,14 +646,22 @@ let rec dispatch_loop s dispatched =
         end
       end
       else if opc = D.op_accel then begin
+        let u = s.d.accel_unit.(ti) in
         s.accel_invocations <- s.accel_invocations + 1;
+        s.u_invocations.(u) <- s.u_invocations.(u) + 1;
         s.occupancy_at_accel_sum <- s.occupancy_at_accel_sum + s.count - 1;
-        if not s.allow_trailing then s.serialize_slot <- slot;
+        if not s.u_allow_trailing.(u) then begin
+          s.serialize_slot <- slot;
+          s.serialize_unit <- u
+        end;
         match s.telemetry with
         | None -> ()
         | Some sink ->
             Tca_telemetry.Sink.instant sink ~cat:"accel"
-              ~args:[ ("rob_occupancy", Tca_util.Json.Int (s.count - 1)) ]
+              ~args:
+                (("rob_occupancy", Tca_util.Json.Int (s.count - 1))
+                :: (if s.n_units > 1 then [ ("unit", Tca_util.Json.Int u) ]
+                    else []))
               ~ts:(float_of_int s.cycle) "accel.dispatch"
       end;
       s.next_fetch <- s.next_fetch + 1;
@@ -629,7 +679,12 @@ let dispatch_stage s =
     let r = s.stall_reason in
     if r = stall_drained then s.stall_drained <- s.stall_drained + 1
     else if r = stall_redirect then s.stall_redirect <- s.stall_redirect + 1
-    else if r = stall_serialize then s.stall_serialize <- s.stall_serialize + 1
+    else if r = stall_serialize then begin
+      s.stall_serialize <- s.stall_serialize + 1;
+      (* [serialize_unit] was set with [serialize_slot] and only read
+         while that slot is still in flight, so it is never stale here. *)
+      s.u_serialize.(s.serialize_unit) <- s.u_serialize.(s.serialize_unit) + 1
+    end
     else if r = stall_rob then s.stall_rob <- s.stall_rob + 1
     else if r = stall_iq then s.stall_iq <- s.stall_iq + 1
     else if r = stall_lsq then s.stall_lsq <- s.stall_lsq + 1
@@ -674,6 +729,20 @@ let stats_of s =
         redirect = s.stall_redirect;
         drained = s.stall_drained;
       };
+    per_unit =
+      (* Single-unit runs keep the breakdown empty: the aggregate accel
+         counters already are that unit's slice, and the golden JSON
+         bytes must not change. *)
+      (if s.n_units <= 1 then []
+       else
+         List.init s.n_units (fun i ->
+             {
+               Sim_stats.unit_id = i;
+               invocations = s.u_invocations.(i);
+               busy_cycles = s.u_busy.(i);
+               wait_for_head_cycles = s.u_head_wait.(i);
+               serialize_stall_cycles = s.u_serialize.(i);
+             }));
   }
 
 type outcome =
@@ -820,8 +889,35 @@ let run_instrumented s cap probe snap =
   done;
   !watchdog
 
+(* A trace invoking a unit id outside [cfg.tca_units] would index the
+   per-unit arrays out of bounds; reject the pairing up front. *)
+let check_trace_units cfg trace =
+  let d = Trace.decoded trace in
+  let nu = Array.length cfg.Config.tca_units in
+  let bad = ref None in
+  for i = d.D.n - 1 downto 0 do
+    if d.D.accel_unit.(i) >= nu then bad := Some (i, d.D.accel_unit.(i))
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some (i, u) ->
+      Error
+        (Tca_util.Diag.Invalid
+           {
+             field = "Trace";
+             message =
+               Printf.sprintf
+                 "instruction %d invokes TCA unit %d but Config.tca_units \
+                  defines %d unit(s)"
+                 i u nu;
+           })
+
 let run ?probe ?telemetry cfg trace =
-  match Config.validate cfg with
+  match
+    match Config.validate cfg with
+    | Result.Error _ as e -> e
+    | Ok () -> check_trace_units cfg trace
+  with
   | Result.Error d -> Result.Error d
   | Ok () ->
       let s = create ?telemetry cfg trace in

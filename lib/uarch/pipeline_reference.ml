@@ -27,7 +27,19 @@ type state = {
   ports : Ports.t;
   miss_ports : Ports.t option;
   dtlb : Tlb.t option;
-  mutable accel_free_at : int;
+  (* Per-TCA-unit state, indexed by [Isa.accel.unit_id] (= position in
+     [cfg.tca_units]). The effective per-unit flags are looked up from
+     the config on every use — the straightforward form the optimized
+     pipeline pre-resolves into flat arrays. *)
+  u_free_at : int array;  (* per-unit [accel_free_at] *)
+  u_ports : Ports.t option array;
+      (* [Some] = the unit's private writeback-port bank
+         ([Tca_unit.Private]); [None] = contend on the shared ports *)
+  u_invocations : int array;
+  u_busy : int array;
+  u_head_wait : int array;
+  u_serialize : int array;
+  mutable serialize_unit : int;  (* unit owning [serialize_slot] *)
   rob : int;  (* capacity, cached *)
   (* Parallel ROB arrays, indexed by slot. *)
   tr_idx : int array;
@@ -73,6 +85,7 @@ type state = {
 
 let create ?telemetry cfg trace =
   let r = cfg.Config.rob_size in
+  let nu = Array.length cfg.Config.tca_units in
   {
     cfg;
     telemetry;
@@ -85,7 +98,20 @@ let create ?telemetry cfg trace =
         (fun width -> Ports.create ~width ~horizon:8192)
         cfg.Config.miss_bandwidth;
     dtlb = Option.map Tlb.create cfg.Config.dtlb;
-    accel_free_at = 0;
+    u_free_at = Array.make nu 0;
+    u_ports =
+      Array.map
+        (fun (u : Tca_unit.t) ->
+          match u.Tca_unit.commit_port with
+          | Tca_unit.Shared -> None
+          | Tca_unit.Private ->
+              Some (Ports.create ~width:cfg.Config.mem_ports ~horizon:8192))
+        cfg.Config.tca_units;
+    u_invocations = Array.make nu 0;
+    u_busy = Array.make nu 0;
+    u_head_wait = Array.make nu 0;
+    u_serialize = Array.make nu 0;
+    serialize_unit = -1;
     rob = r;
     tr_idx = Array.make r (-1);
     st = Array.make r st_empty;
@@ -172,9 +198,9 @@ let op_latency (cfg : Config.t) (op : Isa.op) =
 (* Partial speculation: a deterministic per-dynamic-instance coin decides
    whether this TCA invocation may execute speculatively (as a
    confidence-based design would, paper Section VIII). *)
-let accel_speculative s slot =
+let accel_speculative s slot u =
   match s.cfg.Config.tca_speculate_fraction with
-  | None -> s.cfg.Config.coupling.Config.allow_leading
+  | None -> Config.unit_allow_leading s.cfg s.cfg.Config.tca_units.(u)
   | Some p ->
       let h = s.seq.(slot) * 0x9E3779B9 in
       let h = (h lxor (h lsr 16)) land 0xFFFF in
@@ -257,21 +283,25 @@ let memory_read s ~now addr =
   start + translation + Mem_hier.load_latency s.hier addr
 
 let issue_accel s slot (a : Isa.accel) =
+  let u = a.Isa.unit_id in
+  let unit = s.cfg.Config.tca_units.(u) in
   let start =
-    match s.cfg.Config.tca_occupancy with
-    | Config.Pipelined -> s.cycle
-    | Config.Exclusive -> max s.cycle s.accel_free_at
+    if Config.unit_exclusive s.cfg unit then max s.cycle s.u_free_at.(u)
+    else s.cycle
   in
   let reads_done =
     Array.fold_left
       (fun acc addr -> max acc (memory_read s ~now:start addr))
       start a.Isa.reads
   in
-  let compute_done = reads_done + a.Isa.compute_latency in
+  let compute_done =
+    reads_done + a.Isa.compute_latency + unit.Tca_unit.extra_invocation_latency
+  in
+  let wports = match s.u_ports.(u) with Some p -> p | None -> s.ports in
   let write_done =
     Array.fold_left
       (fun acc _addr ->
-        let port_cycle = Ports.reserve s.ports ~now:compute_done in
+        let port_cycle = Ports.reserve wports ~now:compute_done in
         max acc (port_cycle + 1))
       compute_done a.Isa.writes
   in
@@ -279,8 +309,9 @@ let issue_accel s slot (a : Isa.accel) =
   if Array.length a.Isa.writes > 0 then
     s.pending_accel_writes <- (finish, a.Isa.writes) :: s.pending_accel_writes;
   s.complete_at.(slot) <- max finish (s.cycle + 1);
-  s.accel_free_at <- s.complete_at.(slot);
+  s.u_free_at.(u) <- s.complete_at.(slot);
   s.accel_busy <- s.accel_busy + (s.complete_at.(slot) - s.cycle);
+  s.u_busy.(u) <- s.u_busy.(u) + (s.complete_at.(slot) - s.cycle);
   match s.telemetry with
   | None -> ()
   | Some sink ->
@@ -288,11 +319,15 @@ let issue_accel s slot (a : Isa.accel) =
          invocation's contribution to [accel_busy]. *)
       Tca_telemetry.Sink.span sink ~cat:"accel"
         ~args:
-          [
-            ("reads", Tca_util.Json.Int (Array.length a.Isa.reads));
-            ("writes", Tca_util.Json.Int (Array.length a.Isa.writes));
-            ("compute_latency", Tca_util.Json.Int a.Isa.compute_latency);
-          ]
+          ([
+             ("reads", Tca_util.Json.Int (Array.length a.Isa.reads));
+             ("writes", Tca_util.Json.Int (Array.length a.Isa.writes));
+             ("compute_latency", Tca_util.Json.Int a.Isa.compute_latency);
+           ]
+          @
+          if Array.length s.cfg.Config.tca_units > 1 then
+            [ ("unit", Tca_util.Json.Int u) ]
+          else [])
         ~ts:(float_of_int s.cycle)
         ~dur:(float_of_int (s.complete_at.(slot) - s.cycle))
         "accel.invoke"
@@ -339,13 +374,16 @@ let issue_stage s =
           | `None -> try_issue (memory_read s ~now:s.cycle ins.Isa.addr))
       | Isa.Accel a ->
           let at_head = slot = s.head in
-          if accel_speculative s slot || at_head then begin
+          if accel_speculative s slot a.Isa.unit_id || at_head then begin
             issue_accel s slot a;
             s.st.(slot) <- st_executing;
             s.iq_count <- s.iq_count - 1;
             incr issued
           end
-          else s.accel_head_wait <- s.accel_head_wait + 1
+          else begin
+            s.accel_head_wait <- s.accel_head_wait + 1;
+            s.u_head_wait.(a.Isa.unit_id) <- s.u_head_wait.(a.Isa.unit_id) + 1
+          end
     end;
     incr k
   done;
@@ -426,16 +464,26 @@ let dispatch_stage s =
                       ~ts:(float_of_int s.cycle) "flush.mispredict"
               end
             end
-        | Isa.Accel _ ->
+        | Isa.Accel a ->
+            let u = a.Isa.unit_id in
             s.accel_invocations <- s.accel_invocations + 1;
+            s.u_invocations.(u) <- s.u_invocations.(u) + 1;
             s.occupancy_at_accel_sum <- s.occupancy_at_accel_sum + s.count - 1;
-            if not s.cfg.Config.coupling.Config.allow_trailing then
+            if
+              not (Config.unit_allow_trailing s.cfg s.cfg.Config.tca_units.(u))
+            then begin
               s.serialize_slot <- slot;
+              s.serialize_unit <- u
+            end;
             (match s.telemetry with
             | None -> ()
             | Some sink ->
                 Tca_telemetry.Sink.instant sink ~cat:"accel"
-                  ~args:[ ("rob_occupancy", Tca_util.Json.Int (s.count - 1)) ]
+                  ~args:
+                    (("rob_occupancy", Tca_util.Json.Int (s.count - 1))
+                    :: (if Array.length s.cfg.Config.tca_units > 1 then
+                          [ ("unit", Tca_util.Json.Int u) ]
+                        else []))
                   ~ts:(float_of_int s.cycle) "accel.dispatch")
         | _ -> ());
         s.next_fetch <- s.next_fetch + 1;
@@ -450,7 +498,11 @@ let dispatch_stage s =
     match !stall with
     | Drained -> s.stall_drained <- s.stall_drained + 1
     | Redirect -> s.stall_redirect <- s.stall_redirect + 1
-    | Serialize -> s.stall_serialize <- s.stall_serialize + 1
+    | Serialize ->
+        s.stall_serialize <- s.stall_serialize + 1;
+        (* [serialize_unit] was set with [serialize_slot] and only read
+           while that slot is still in flight, so it is never stale. *)
+        s.u_serialize.(s.serialize_unit) <- s.u_serialize.(s.serialize_unit) + 1
     | Rob -> s.stall_rob <- s.stall_rob + 1
     | Iq -> s.stall_iq <- s.stall_iq + 1
     | Lsq -> s.stall_lsq <- s.stall_lsq + 1
@@ -502,6 +554,21 @@ let stats_of s =
         redirect = s.stall_redirect;
         drained = s.stall_drained;
       };
+    per_unit =
+      (* Single-unit runs keep the breakdown empty: the aggregate accel
+         counters already are that unit's slice, and the golden JSON
+         bytes must not change. *)
+      (let nu = Array.length s.cfg.Config.tca_units in
+       if nu <= 1 then []
+       else
+         List.init nu (fun i ->
+             {
+               Sim_stats.unit_id = i;
+               invocations = s.u_invocations.(i);
+               busy_cycles = s.u_busy.(i);
+               wait_for_head_cycles = s.u_head_wait.(i);
+               serialize_stall_cycles = s.u_serialize.(i);
+             }));
   }
 
 
@@ -587,8 +654,37 @@ let finish_telemetry s sink snap outcome_stats =
       add "sim.committed" s.committed;
       add "sim.accel_invocations" s.accel_invocations
 
+(* A trace invoking a unit id outside [cfg.tca_units] would index the
+   per-unit arrays out of bounds; reject the pairing up front (the same
+   check, and the same diagnostic, as the optimized pipeline's). *)
+let check_trace_units cfg trace =
+  let nu = Array.length cfg.Config.tca_units in
+  let bad = ref None in
+  for i = Trace.length trace - 1 downto 0 do
+    match (Trace.get trace i).Isa.op with
+    | Isa.Accel a when a.Isa.unit_id >= nu -> bad := Some (i, a.Isa.unit_id)
+    | _ -> ()
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some (i, u) ->
+      Error
+        (Tca_util.Diag.Invalid
+           {
+             field = "Trace";
+             message =
+               Printf.sprintf
+                 "instruction %d invokes TCA unit %d but Config.tca_units \
+                  defines %d unit(s)"
+                 i u nu;
+           })
+
 let run ?probe ?telemetry cfg trace =
-  match Config.validate cfg with
+  match
+    match Config.validate cfg with
+    | Result.Error _ as e -> e
+    | Ok () -> check_trace_units cfg trace
+  with
   | Result.Error d -> Result.Error d
   | Ok () ->
       let s = create ?telemetry cfg trace in

@@ -9,6 +9,20 @@ type stall_breakdown = {
   drained : int;  (** nothing left to dispatch *)
 }
 
+type unit_stats = {
+  unit_id : int;  (** matches {!Tca_unit.t.id} / [Isa.accel.unit_id] *)
+  invocations : int;
+  busy_cycles : int;  (** cycles this unit held an invocation in flight *)
+  wait_for_head_cycles : int;
+      (** cycles a ready NL invocation of this unit waited for the ROB
+          head (window drain attributable to the unit) *)
+  serialize_stall_cycles : int;
+      (** dispatch-stall cycles behind this unit's in-flight NT
+          invocations *)
+}
+(** Per-unit slice of the accelerator counters, reported only for
+    multi-unit configurations (see {!t.per_unit}). *)
+
 type t = {
   cycles : int;
   committed : int;
@@ -29,6 +43,12 @@ type t = {
   dtlb : Mem_hier.level_stats option;
       (** data-TLB hits/misses when a DTLB is configured *)
   stalls : stall_breakdown;
+  per_unit : unit_stats list;
+      (** per-unit invocation/drain/stall breakdown, ordered by unit id.
+          Empty for runs on a single-unit configuration — the aggregate
+          accel counters already are that unit's breakdown — so
+          single-unit {!to_json} bytes are unchanged from the
+          pre-[Tca_unit] format the goldens pin. *)
 }
 
 val mispredict_rate : t -> float
@@ -51,13 +71,29 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Tca_util.Json.t
 (** Complete machine-readable form, including the optional L2/DTLB
-    levels (as [null] when absent) and derived rates. *)
+    levels (as [null] when absent) and derived rates. A trailing
+    [per_unit] list is present exactly when {!t.per_unit} is non-empty. *)
+
+val of_json : Tca_util.Json.t -> (t, Tca_util.Diag.t) result
+(** Inverse of {!to_json} (derived rates are recomputed, not read);
+    tolerant of an absent [per_unit] key, so pre-[Tca_unit] documents
+    parse. [to_json (of_json j)] reproduces [j]'s bytes for any document
+    {!to_json} produced. *)
+
+val of_json_string : string -> (t, Tca_util.Diag.t) result
+(** {!Tca_util.Json.parse} followed by {!of_json}. *)
 
 val csv_header : string list
 
 val csv_row : t -> string list
 (** Flat CSV cells matching {!csv_header}; absent L2/DTLB levels are
-    empty cells. *)
+    empty cells, and the per-unit breakdown is one packed cell
+    ([id:inv:busy:wait:ser] segments joined by ['|'], empty for
+    single-unit runs). *)
+
+val of_csv_row : string list -> (t, Tca_util.Diag.t) result
+(** Inverse of {!csv_row} up to the row's own float formatting:
+    [csv_row (of_csv_row r)] = [r] for any row {!csv_row} produced. *)
 
 val pp_csv : Format.formatter -> t -> unit
 (** Two lines: {!csv_header} then {!csv_row}. *)

@@ -1,0 +1,50 @@
+type occupancy = Pipelined | Exclusive
+
+type commit_port = Shared | Private
+
+type t = {
+  id : int;
+  occupancy : occupancy option;
+  allow_leading : bool option;
+  allow_trailing : bool option;
+  extra_invocation_latency : int;
+  commit_port : commit_port;
+}
+
+let make ?occupancy ?allow_leading ?allow_trailing
+    ?(extra_invocation_latency = 0) ?(commit_port = Shared) id =
+  if id < 0 then invalid_arg "Tca_unit.make: negative unit id";
+  if extra_invocation_latency < 0 then
+    invalid_arg "Tca_unit.make: negative extra invocation latency";
+  { id; occupancy; allow_leading; allow_trailing; extra_invocation_latency;
+    commit_port }
+
+let default id = make id
+
+let occupancy_name = function Pipelined -> "pipelined" | Exclusive -> "exclusive"
+
+let commit_port_name = function Shared -> "shared" | Private -> "private"
+
+let validate u =
+  let invalid message =
+    Error
+      (Tca_util.Diag.Invalid
+         { field = Printf.sprintf "Tca_unit[%d]" u.id; message })
+  in
+  if u.id < 0 then invalid "negative unit id"
+  else if u.extra_invocation_latency < 0 then
+    invalid "negative extra invocation latency"
+  else Ok u
+
+let pp fmt u =
+  let opt name to_string = function
+    | None -> ""
+    | Some x -> Printf.sprintf " %s=%s" name (to_string x)
+  in
+  Format.fprintf fmt "unit %d%s%s%s%s commit=%s" u.id
+    (opt "occupancy" occupancy_name u.occupancy)
+    (opt "leading" string_of_bool u.allow_leading)
+    (opt "trailing" string_of_bool u.allow_trailing)
+    (if u.extra_invocation_latency = 0 then ""
+     else Printf.sprintf " extra_lat=%d" u.extra_invocation_latency)
+    (commit_port_name u.commit_port)

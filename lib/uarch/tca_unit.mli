@@ -1,0 +1,60 @@
+(** A first-class tightly-coupled accelerator unit.
+
+    The paper models a single accelerator instruction class whose
+    coupling semantics live on the core configuration
+    ({!Config.coupling}, {!Config.tca_occupancy}). Generalizing to N
+    heterogeneous units, each unit carries its own overrides of those
+    per-core knobs plus two per-unit properties that only exist in the
+    multi-unit regime: an extra invocation latency (configuration /
+    command-queue cost added to every invocation routed to the unit) and
+    a commit-port policy deciding whether its result writebacks contend
+    on the core's shared memory/commit ports or drain through a private
+    port.
+
+    An [Isa.accel] instruction names its unit by {!Isa.accel.unit_id};
+    {!Config.t} holds the unit table ([tca_units], indexed by id). The
+    default single-unit table — one {!default} unit 0 — inherits every
+    per-core knob and adds no latency, so classic configurations are
+    bit-identical to the pre-refactor semantics. *)
+
+type occupancy = Pipelined | Exclusive
+(** Mirrors {!Config.tca_occupancy}, but per unit: [Exclusive] makes
+    invocations of {e this unit} serialize on the unit; different units
+    never serialize on each other. *)
+
+type commit_port = Shared | Private
+(** Where the unit's write-backs arbitrate: [Shared] (default) uses the
+    core's memory ports, contending with loads/stores and other shared
+    units; [Private] gives the unit its own single write-back port. *)
+
+type t = {
+  id : int;  (** matches [Isa.accel.unit_id]; position in [Config.tca_units] *)
+  occupancy : occupancy option;  (** [None]: inherit [Config.tca_occupancy] *)
+  allow_leading : bool option;  (** [None]: inherit [Config.coupling] *)
+  allow_trailing : bool option;  (** [None]: inherit [Config.coupling] *)
+  extra_invocation_latency : int;
+      (** cycles added to every invocation's compute latency (>= 0) *)
+  commit_port : commit_port;
+}
+
+val make :
+  ?occupancy:occupancy ->
+  ?allow_leading:bool ->
+  ?allow_trailing:bool ->
+  ?extra_invocation_latency:int ->
+  ?commit_port:commit_port ->
+  int ->
+  t
+(** [make id] with all overrides absent; raises [Invalid_argument] on a
+    negative id or latency. *)
+
+val default : int -> t
+(** [default id] = [make id]: inherits every per-core knob, adds no
+    latency, shares the commit port — the unit that keeps single-TCA
+    configurations bit-identical to their pre-[Tca_unit] behaviour. *)
+
+val validate : t -> (t, Tca_util.Diag.t) result
+
+val occupancy_name : occupancy -> string
+val commit_port_name : commit_port -> string
+val pp : Format.formatter -> t -> unit

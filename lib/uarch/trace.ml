@@ -18,6 +18,7 @@ module Decoded = struct
     pc : int array;
     taken : bool array;
     accel_lat : int array;
+    accel_unit : int array;
     reads_off : int array;
     reads_len : int array;
     writes_off : int array;
@@ -56,6 +57,7 @@ module Decoded = struct
         pc = Array.make n 0;
         taken = Array.make n false;
         accel_lat = Array.make n 0;
+        accel_unit = Array.make n 0;
         reads_off = Array.make n 0;
         reads_len = Array.make n 0;
         writes_off = Array.make n 0;
@@ -78,6 +80,7 @@ module Decoded = struct
             let nr = Array.length a.Isa.reads in
             let nw = Array.length a.Isa.writes in
             d.accel_lat.(i) <- a.Isa.compute_latency;
+            d.accel_unit.(i) <- a.Isa.unit_id;
             d.reads_off.(i) <- !off;
             d.reads_len.(i) <- nr;
             Array.blit a.Isa.reads 0 d.accel_mem !off nr;
@@ -105,7 +108,8 @@ let validate instrs =
         else
           match ins.op with
           | Isa.Accel a ->
-              if a.compute_latency < 0 then
+              if a.unit_id < 0 then bad := Some (i, "negative accel unit id")
+              else if a.compute_latency < 0 then
                 bad := Some (i, "negative accel latency")
               else if
                 Array.exists (fun x -> x < 0) a.reads
@@ -210,7 +214,10 @@ let counts_to_json c =
 (* Textual interchange format, one instruction per line:
      <pc> <op> <dst> <src1> <src2> <addr> <taken>
    with op one of the names from Isa.op_name; accel lines append
-     <compute_latency> <n_reads> <reads...> <n_writes> <writes...> *)
+     <compute_latency> <n_reads> <reads...> <n_writes> <writes...>
+   and, only for a non-zero unit id, one trailing <unit_id> field —
+   so single-unit traces round-trip byte-identically with files written
+   before unit ids existed, and old parsers' inputs stay valid. *)
 
 let instr_to_line (i : Isa.instr) =
   let buf = Buffer.create 64 in
@@ -223,7 +230,9 @@ let instr_to_line (i : Isa.instr) =
           (Array.length a.Isa.reads));
       Array.iter (fun r -> Buffer.add_string buf (Printf.sprintf " %d" r)) a.Isa.reads;
       Buffer.add_string buf (Printf.sprintf " %d" (Array.length a.Isa.writes));
-      Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf " %d" w)) a.Isa.writes
+      Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf " %d" w)) a.Isa.writes;
+      if a.Isa.unit_id <> 0 then
+        Buffer.add_string buf (Printf.sprintf " %d" a.Isa.unit_id)
   | _ -> ());
   Buffer.contents buf
 
@@ -270,12 +279,27 @@ let parse_line lineno line =
             (match rest with
             | n_writes :: ws ->
                 let n_writes = int_of n_writes in
-                if List.length ws <> n_writes then fail "truncated accel writes";
+                let n_ws = List.length ws in
+                let unit_id =
+                  (* Exactly [n_writes] fields: a classic single-unit
+                     line; one extra trailing field: the unit id. *)
+                  if n_ws = n_writes then 0
+                  else if n_ws = n_writes + 1 then begin
+                    let u = int_of (List.nth ws n_writes) in
+                    if u < 0 then fail "negative accel unit id";
+                    u
+                  end
+                  else fail "truncated accel writes"
+                in
                 Isa.Accel
                   {
-                    Isa.compute_latency = lat;
+                    Isa.unit_id;
+                    compute_latency = lat;
                     reads;
-                    writes = Array.of_list (List.map int_of ws);
+                    writes =
+                      Array.of_list
+                        (List.filteri (fun i _ -> i < n_writes) ws
+                        |> List.map int_of);
                   }
             | [] -> fail "missing accel write count")
         | name, _ -> fail (Printf.sprintf "bad op %S or trailing fields" name)

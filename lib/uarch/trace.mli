@@ -36,6 +36,7 @@ module Decoded : sig
     pc : int array;
     taken : bool array;  (** branch outcome; [false] for non-branches *)
     accel_lat : int array;  (** accel compute latency, else [0] *)
+    accel_unit : int array;  (** accel unit id ({!Isa.accel.unit_id}), else [0] *)
     reads_off : int array;  (** offset of the read set in [accel_mem] *)
     reads_len : int array;
     writes_off : int array;  (** offset of the write set in [accel_mem] *)
@@ -95,11 +96,15 @@ val counts_to_json : counts -> Tca_util.Json.t
 
 val to_channel : out_channel -> t -> unit
 (** Write the trace in the textual interchange format: a header line
-    [tca-trace 1 <count>] followed by one instruction per line. *)
+    [tca-trace 1 <count>] followed by one instruction per line. Accel
+    instructions with a non-zero unit id carry it as one extra trailing
+    field; unit-0 invocations are written exactly as before unit ids
+    existed, so single-unit traces round-trip byte-identically. *)
 
 val of_channel : in_channel -> t
 (** Parse the interchange format; raises [Failure] with a line-numbered
-    message on malformed input. *)
+    message on malformed input. Accepts both accel line shapes (with and
+    without the trailing unit id). *)
 
 val save : string -> t -> unit
 val load : string -> t

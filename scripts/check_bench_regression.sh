@@ -2,7 +2,11 @@
 # Bench regression guard: compares a fresh bench summary against the
 # committed BENCH_results.json. Each section is checked only when the
 # fresh file carries it, so `bench simulator --summary fresh.json` and
-# `bench scaling --summary fresh.json` both gate through this script.
+# `bench scaling --summary fresh.json` both gate through this script —
+# but a section the fresh run produced MUST have a committed baseline to
+# gate against: a missing baseline fails the script (exit 2) rather than
+# silently skipping the gate, unless ALLOW_MISSING_BASELINE=1
+# deliberately bootstraps it.
 # The `meta` block (git rev, OCaml version, domain count, quick flag)
 # is informational and deliberately ignored here.
 #
@@ -33,6 +37,23 @@ for f in "$committed" "$fresh"; do
   fi
 done
 
+# A section carried by the fresh summary is an *expected* section: the
+# committed baseline must carry it too, or the gate has nothing to
+# compare against and must say so loudly — a silently skipped gate reads
+# as a pass in CI. Set ALLOW_MISSING_BASELINE=1 only when deliberately
+# bootstrapping a new section into BENCH_results.json.
+require_committed_section() {
+  section=$1
+  if ! jq -e --arg s "$section" 'has($s)' "$committed" > /dev/null; then
+    if [ "${ALLOW_MISSING_BASELINE:-0}" = 1 ]; then
+      echo "check_bench_regression: WARNING: $committed has no \"$section\" section; gate skipped because ALLOW_MISSING_BASELINE=1"
+      return 1
+    fi
+    echo "check_bench_regression: fresh summary carries a \"$section\" section but $committed does not — refusing to skip its gate (set ALLOW_MISSING_BASELINE=1 to bootstrap a new baseline)" >&2
+    exit 2
+  fi
+}
+
 checked=0
 
 if jq -e 'has("simulator")' "$fresh" > /dev/null; then
@@ -46,15 +67,17 @@ if jq -e 'has("simulator")' "$fresh" > /dev/null; then
     exit 1
   fi
 
-  committed_speedup=$(jq -er '.simulator.speedup' "$committed")
-  fresh_speedup=$(jq -er '.simulator.speedup' "$fresh")
+  if require_committed_section simulator; then
+    committed_speedup=$(jq -er '.simulator.speedup' "$committed")
+    fresh_speedup=$(jq -er '.simulator.speedup' "$fresh")
 
-  echo "simulator speedup: committed ${committed_speedup}x, fresh ${fresh_speedup}x (floor: ${tolerance} * committed)"
+    echo "simulator speedup: committed ${committed_speedup}x, fresh ${fresh_speedup}x (floor: ${tolerance} * committed)"
 
-  if ! awk -v c="$committed_speedup" -v f="$fresh_speedup" -v t="$tolerance" \
-      'BEGIN { exit !(f + 0 >= t * c) }'; then
-    echo "check_bench_regression: simulator speedup regressed more than $(awk -v t="$tolerance" 'BEGIN { printf "%d%%", (1 - t) * 100 }') below the committed value" >&2
-    exit 1
+    if ! awk -v c="$committed_speedup" -v f="$fresh_speedup" -v t="$tolerance" \
+        'BEGIN { exit !(f + 0 >= t * c) }'; then
+      echo "check_bench_regression: simulator speedup regressed more than $(awk -v t="$tolerance" 'BEGIN { printf "%d%%", (1 - t) * 100 }') below the committed value" >&2
+      exit 1
+    fi
   fi
 fi
 
@@ -67,13 +90,15 @@ if jq -e 'has("scaling")' "$fresh" > /dev/null; then
 
   fresh_eff=$(jq -er '[.scaling.points[] | select(.domains == 2) | .efficiency] | first // empty' "$fresh" || true)
   if [ -z "$fresh_eff" ]; then
-    echo "check_bench_regression: fresh scaling section has no 2-domain point; skipping efficiency gate"
-  elif ! jq -e 'has("scaling")' "$committed" > /dev/null; then
-    echo "check_bench_regression: committed file has no scaling baseline yet; skipping efficiency gate"
+    echo "check_bench_regression: fresh scaling section has no 2-domain point" >&2
+    exit 2
+  elif ! require_committed_section scaling; then
+    : # bootstrap explicitly allowed
   else
     committed_eff=$(jq -er '[.scaling.points[] | select(.domains == 2) | .efficiency] | first // empty' "$committed" || true)
     if [ -z "$committed_eff" ]; then
-      echo "check_bench_regression: committed scaling baseline has no 2-domain point; skipping efficiency gate"
+      echo "check_bench_regression: committed scaling baseline has no 2-domain point — refusing to skip the efficiency gate" >&2
+      exit 2
     else
       echo "scaling efficiency @2 domains: committed ${committed_eff}, fresh ${fresh_eff} (floor: committed - ${scaling_tolerance})"
       if ! awk -v c="$committed_eff" -v f="$fresh_eff" -v t="$scaling_tolerance" \

@@ -256,6 +256,159 @@ let prop_best_mode_is_max =
       List.for_all (fun (_, sp) -> sp <= best +. 1e-9)
         (Equations.speedups_exn core s))
 
+(* --- Composition --- *)
+
+(* The reduction property compares two float pipelines that differ only
+   in association order, so compare relatively rather than bitwise. *)
+let releq ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.abs b)
+
+let test_composition_validation () =
+  check_diag "no units" is_empty_input (Params.composition ~units:[] ());
+  let u = Params.unit_scenario_exn ~a:0.6 ~v:0.01 ~accel:(Params.Factor 2.0) () in
+  check_diag "total a > 1" is_domain (Params.composition ~units:[ u; u ] ());
+  check_diag "chained below range" is_domain
+    (Params.composition ~chained:(-0.1) ~units:[ u ] ());
+  check_diag "chained above range" is_domain
+    (Params.composition ~chained:1.5 ~units:[ u ] ());
+  check_diag "unit a out of range" is_domain
+    (Params.unit_scenario ~a:1.2 ~v:0.01 ~accel:(Params.Factor 2.0) ());
+  check_diag "unit granularity below one" is_domain
+    (Params.unit_scenario ~a:0.05 ~v:0.1 ~accel:(Params.Factor 2.0) ())
+
+(* The pinned contract of the whole composed-model extension: lifting a
+   single-unit scenario through [composition_of_scenario] reproduces
+   eqs. (4)-(9) exactly, for every drain estimator, accel-time form,
+   core and mode. *)
+let test_composed_reduces_to_single_unit () =
+  List.iter
+    (fun core ->
+      List.iter
+        (fun drain ->
+          List.iter
+            (fun accel ->
+              let s = Params.scenario_exn ~drain ~a:0.6 ~v:0.01 ~accel () in
+              let c = Params.composition_of_scenario s in
+              List.iter
+                (fun m ->
+                  let single = Equations.speedup_exn core s m in
+                  let composed = Equations.composed_speedup_exn core c m in
+                  if not (releq single composed) then
+                    Alcotest.failf "mode %s: single %.12g <> composed %.12g"
+                      (Mode.to_string m) single composed)
+                Mode.all)
+            [ Params.Factor 4.0; Params.Latency 30.0 ])
+        [
+          Tca_interval.Drain.Auto;
+          Tca_interval.Drain.Refill_aware;
+          Tca_interval.Drain.Fixed 20.0;
+        ])
+    [ Presets.hp_core; Presets.lp_core ]
+
+let prop_composed_reduction =
+  qtest "composition of one unit matches eqs. (4)-(9)"
+    QCheck.(pair core_gen scenario_gen)
+    (fun (core, s) ->
+      let c = Params.composition_of_scenario s in
+      List.for_all
+        (fun m ->
+          releq ~eps:1e-6
+            (Equations.composed_speedup_exn core c m)
+            (Equations.speedup_exn core s m))
+        Mode.all)
+
+(* Every composed term is linear in (a_i, v_i) at fixed t_i, so
+   splitting one unit into two identical halves must not move any mode
+   time. *)
+let test_composed_split_invariance () =
+  let mk a v = Params.unit_scenario_exn ~a ~v ~accel:(Params.Latency 40.0) () in
+  let whole = Params.composition_exn ~units:[ mk 0.6 0.01 ] () in
+  let halves =
+    Params.composition_exn ~units:[ mk 0.3 0.005; mk 0.3 0.005 ] ()
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        ("split " ^ Mode.to_string m)
+        true
+        (releq
+           (Equations.composed_speedup_exn Presets.hp_core whole m)
+           (Equations.composed_speedup_exn Presets.hp_core halves m)))
+    Mode.all
+
+let contended_units () =
+  [
+    Params.unit_scenario_exn ~a:0.3 ~v:0.005 ~accel:(Params.Latency 10.0) ();
+    Params.unit_scenario_exn ~a:0.3 ~v:0.005 ~accel:(Params.Latency 60.0) ();
+  ]
+
+let test_composed_chained_contention () =
+  let speedup ~chained ~commit_port m =
+    Equations.composed_speedup_exn Presets.hp_core
+      (Params.composition_exn ~chained ~commit_port
+         ~units:(contended_units ()) ())
+      m
+  in
+  let chis = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  (* Shared port: chaining serializes commits, so L_NT (no drain term to
+     offset it) strictly loses speedup as the chained fraction grows. *)
+  let shared = List.map (fun x -> speedup ~chained:x ~commit_port:Params.Shared Mode.L_NT) chis in
+  List.iter2
+    (fun lo hi -> Alcotest.(check bool) "shared L_NT decreasing" true (lo > hi))
+    (List.filteri (fun i _ -> i < List.length shared - 1) shared)
+    (List.tl shared);
+  (* Private port: no contention term and L_NT has no drain term, so the
+     chained fraction is irrelevant. *)
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "private L_NT constant" true
+        (releq
+           (speedup ~chained:x ~commit_port:Params.Private Mode.L_NT)
+           (speedup ~chained:0.0 ~commit_port:Params.Private Mode.L_NT)))
+    chis;
+  (* Private NL_NT only benefits from chaining (shared window drains). *)
+  List.iter2
+    (fun lo hi ->
+      Alcotest.(check bool) "private NL_NT non-decreasing" true
+        (hi >= lo -. 1e-9))
+    (List.filteri (fun i _ -> i < 4)
+       (List.map (fun x -> speedup ~chained:x ~commit_port:Params.Private Mode.NL_NT) chis))
+    (List.tl (List.map (fun x -> speedup ~chained:x ~commit_port:Params.Private Mode.NL_NT) chis));
+  (* A private port never hurts, and at chained = 0 it changes nothing. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "private >= shared" true
+        (speedup ~chained:0.5 ~commit_port:Params.Private m
+        >= speedup ~chained:0.5 ~commit_port:Params.Shared m -. 1e-9);
+      Alcotest.(check bool) "ports agree at chained 0" true
+        (releq
+           (speedup ~chained:0.0 ~commit_port:Params.Private m)
+           (speedup ~chained:0.0 ~commit_port:Params.Shared m)))
+    Mode.all
+
+let test_composed_v_zero () =
+  let u = Params.unit_scenario_exn ~a:0.0 ~v:0.0 ~accel:(Params.Factor 2.0) () in
+  let c = Params.composition_exn ~units:[ u; u ] () in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "no invocations: speedup 1" true
+        (match Equations.composed_speedup Presets.hp_core c m with
+        | Ok sp -> feq sp 1.0
+        | Error _ -> false))
+    Mode.all;
+  check_diag "composed_times rejects v_total 0" is_domain
+    (Equations.composed_times Presets.hp_core c)
+
+let test_composed_best_mode () =
+  let c = Params.composition_exn ~chained:0.5 ~units:(contended_units ()) () in
+  let m, best = Equations.composed_best_mode_exn Presets.hp_core c in
+  Alcotest.(check bool) "best is the max" true
+    (List.for_all
+       (fun (_, sp) -> sp <= best +. 1e-9)
+       (Equations.composed_speedups_exn Presets.hp_core c));
+  Alcotest.(check bool) "best mode listed" true
+    (List.mem_assoc m (Equations.composed_speedups_exn Presets.hp_core c))
+
 (* --- Presets --- *)
 
 let test_presets () =
@@ -583,6 +736,19 @@ let () =
           prop_speedup_positive;
           prop_l_t_bounded_by_a_plus_1;
           prop_best_mode_is_max;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "validation" `Quick test_composition_validation;
+          Alcotest.test_case "reduces to single unit" `Quick
+            test_composed_reduces_to_single_unit;
+          prop_composed_reduction;
+          Alcotest.test_case "split invariance" `Quick
+            test_composed_split_invariance;
+          Alcotest.test_case "chained contention" `Quick
+            test_composed_chained_contention;
+          Alcotest.test_case "v = 0" `Quick test_composed_v_zero;
+          Alcotest.test_case "best mode" `Quick test_composed_best_mode;
         ] );
       ("presets", [ Alcotest.test_case "values" `Quick test_presets ]);
       ( "granularity",

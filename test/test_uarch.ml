@@ -956,6 +956,202 @@ let test_simulator_run_batch_partial_mix () =
     (Array.map outcome_key serial)
     (Array.map outcome_key parallel)
 
+(* --- Multi-unit TCA --- *)
+
+let multi_scenario ?(n_pairs = 20) kind =
+  Tca_workloads.Multi_tca.generate
+    (Tca_workloads.Multi_tca.config ~n_pairs kind)
+
+(* The two pipelines must agree instruction-for-instruction on
+   heterogeneous-unit traces exactly as they do on the golden single-unit
+   pairs: compare the full [Sim_stats.to_json] bytes (which include the
+   per-unit breakdown) across the baseline and all four couplings of
+   every bundled multi-unit scenario. *)
+let test_multi_unit_pipelines_agree () =
+  List.iter
+    (fun kind ->
+      let sc = multi_scenario kind in
+      let name = Tca_workloads.Multi_tca.kind_name kind in
+      let cfg =
+        Config.with_tca_units (Config.hp ())
+          sc.Tca_workloads.Multi_tca.tca_units
+      in
+      let pair = sc.Tca_workloads.Multi_tca.pair in
+      let agree label cfg trace =
+        let opt = Pipeline.run_exn cfg trace in
+        let ref_ = Pipeline_reference.run_exn cfg trace in
+        Alcotest.(check string)
+          (name ^ "/" ^ label)
+          (Tca_util.Json.to_string (Sim_stats.to_json ref_))
+          (Tca_util.Json.to_string (Sim_stats.to_json opt));
+        opt
+      in
+      ignore (agree "baseline" cfg pair.Tca_workloads.Meta.baseline);
+      List.iter
+        (fun c ->
+          let stats =
+            agree
+              (Config.coupling_name c)
+              (Config.with_coupling cfg c)
+              pair.Tca_workloads.Meta.accelerated
+          in
+          Alcotest.(check int)
+            (name ^ ": two per-unit rows")
+            2
+            (List.length stats.Sim_stats.per_unit);
+          List.iteri
+            (fun i (u : Sim_stats.unit_stats) ->
+              Alcotest.(check int) (name ^ ": unit id") i u.Sim_stats.unit_id;
+              Alcotest.(check int)
+                (name ^ ": per-unit invocations")
+                20 u.Sim_stats.invocations)
+            stats.Sim_stats.per_unit)
+        Config.all_couplings)
+    Tca_workloads.Multi_tca.all_kinds
+
+let test_multi_trace_io_roundtrip () =
+  let build unit_id =
+    let b = Trace.Builder.create () in
+    Trace.Builder.add b (Isa.int_alu ~src1:1 ~src2:2 ~dst:3 ());
+    Trace.Builder.add b
+      (Isa.accel ~src1:7 ~dst:8 ~compute_latency:9 ~unit_id
+         ~reads:[| 64; 128 |] ~writes:[| 256 |] ());
+    Trace.Builder.add b
+      (Isa.accel ~src1:8 ~dst:9 ~compute_latency:4 ~unit_id:1 ~reads:[||]
+         ~writes:[| 512 |] ());
+    Trace.Builder.build b
+  in
+  let save_to_string t =
+    let path = Filename.temp_file "tca" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Trace.save path t;
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let t' = Trace.load path in
+        Alcotest.(check int) "length" (Trace.length t) (Trace.length t');
+        for i = 0 to Trace.length t - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "instr %d" i)
+            true
+            (Trace.get t i = Trace.get t' i)
+        done;
+        s)
+  in
+  let zero = save_to_string (build 0) in
+  let one = save_to_string (build 1) in
+  (* Unit 0 keeps the pre-[Tca_unit] line shape (no trailing unit
+     field); a non-zero id appends exactly one field. *)
+  Alcotest.(check bool) "unit id changes the accel line" true (zero <> one);
+  let accel_fields s =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | _ :: "accel" :: rest -> Some (2 + List.length rest)
+        | _ -> None)
+      (String.split_on_char '\n' s)
+  in
+  match (accel_fields zero, accel_fields one) with
+  | [ z0; z1 ], [ o0; o1 ] ->
+      Alcotest.(check int) "trailing unit id is one field" (z0 + 1) o0;
+      Alcotest.(check int) "unit 1 lines identical" z1 o1
+  | _ -> Alcotest.fail "expected two accel lines per trace"
+
+let test_multi_config_validate () =
+  let cfg = Config.hp () in
+  Alcotest.(check bool) "default table valid" true
+    (Config.validate cfg = Ok ());
+  let bad_pos =
+    Config.with_tca_units cfg [| Tca_unit.default 0; Tca_unit.default 0 |]
+  in
+  Alcotest.(check bool) "id must equal position" true
+    (match Config.validate bad_pos with Error _ -> true | Ok () -> false);
+  let empty = Config.with_tca_units cfg [||] in
+  Alcotest.(check bool) "empty unit table rejected" true
+    (match Config.validate empty with Error _ -> true | Ok () -> false);
+  Alcotest.check_raises "negative extra latency"
+    (Invalid_argument "Tca_unit.make: negative extra invocation latency")
+    (fun () -> ignore (Tca_unit.make ~extra_invocation_latency:(-1) 0))
+
+(* A trace invoking a unit the config does not define must be rejected
+   up front, with the same diagnostic from both pipelines. *)
+let test_multi_trace_unit_bound () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add b (Isa.int_alu ~dst:1 ());
+  Trace.Builder.add b
+    (Isa.accel ~dst:2 ~compute_latency:4 ~unit_id:1 ~reads:[||] ~writes:[||]
+       ());
+  let t = Trace.Builder.build b in
+  let cfg = Config.hp () in
+  let diag name = function
+    | Error (Tca_util.Diag.Invalid _ as d) -> Tca_util.Diag.to_string d
+    | Error d -> Alcotest.fail (name ^ ": wrong diag " ^ Tca_util.Diag.to_string d)
+    | Ok _ -> Alcotest.fail (name ^ ": expected rejection")
+  in
+  let opt = diag "optimized" (Pipeline.run cfg t) in
+  let ref_ = diag "reference" (Pipeline_reference.run cfg t) in
+  Alcotest.(check string) "same diagnostic" opt ref_
+
+let test_multi_sim_stats_roundtrips () =
+  let sc = multi_scenario Tca_workloads.Multi_tca.Alternating in
+  let cfg =
+    Config.with_tca_units (Config.hp ()) sc.Tca_workloads.Multi_tca.tca_units
+  in
+  let pair = sc.Tca_workloads.Multi_tca.pair in
+  let multi = Pipeline.run_exn cfg pair.Tca_workloads.Meta.accelerated in
+  Alcotest.(check bool) "fixture has per-unit rows" true
+    (multi.Sim_stats.per_unit <> []);
+  let single =
+    Pipeline.run_exn (Config.hp ()) pair.Tca_workloads.Meta.baseline
+  in
+  Alcotest.(check bool) "single-unit stats omit per_unit" false
+    (let json = Tca_util.Json.to_string (Sim_stats.to_json single) in
+     let needle = "per_unit" in
+     let n = String.length needle in
+     let rec mem i =
+       i + n <= String.length json
+       && (String.sub json i n = needle || mem (i + 1))
+     in
+     mem 0);
+  List.iter
+    (fun (label, stats) ->
+      (match Sim_stats.of_json (Sim_stats.to_json stats) with
+      | Ok stats' ->
+          Alcotest.(check bool) (label ^ ": json roundtrip") true
+            (stats = stats');
+          Alcotest.(check string)
+            (label ^ ": json bytes stable")
+            (Tca_util.Json.to_string (Sim_stats.to_json stats))
+            (Tca_util.Json.to_string (Sim_stats.to_json stats'))
+      | Error d ->
+          Alcotest.fail (label ^ ": of_json " ^ Tca_util.Diag.to_string d));
+      match Sim_stats.of_json_string (Tca_util.Json.to_string (Sim_stats.to_json stats)) with
+      | Ok stats' ->
+          Alcotest.(check bool) (label ^ ": json string roundtrip") true
+            (stats = stats')
+      | Error d ->
+          Alcotest.fail
+            (label ^ ": of_json_string " ^ Tca_util.Diag.to_string d))
+    [ ("multi", multi); ("single", single) ];
+  List.iter
+    (fun (label, stats) ->
+      let row = Sim_stats.csv_row stats in
+      Alcotest.(check int)
+        (label ^ ": csv arity")
+        (List.length Sim_stats.csv_header)
+        (List.length row);
+      match Sim_stats.of_csv_row row with
+      | Ok stats' ->
+          Alcotest.(check (list string))
+            (label ^ ": csv roundtrip")
+            row
+            (Sim_stats.csv_row stats')
+      | Error d ->
+          Alcotest.fail (label ^ ": of_csv_row " ^ Tca_util.Diag.to_string d))
+    [ ("multi", multi); ("single", single) ]
+
 (* --- Golden pins --- *)
 
 (* test/golden/<name>.golden pins [Sim_stats.to_json] for the baseline
@@ -1125,6 +1321,19 @@ let () =
           Alcotest.test_case "run_batch" `Quick test_simulator_run_batch;
           Alcotest.test_case "run_batch partial mix" `Quick
             test_simulator_run_batch_partial_mix;
+        ] );
+      ( "multi_unit",
+        [
+          Alcotest.test_case "pipelines agree" `Slow
+            test_multi_unit_pipelines_agree;
+          Alcotest.test_case "trace io roundtrip" `Quick
+            test_multi_trace_io_roundtrip;
+          Alcotest.test_case "config validation" `Quick
+            test_multi_config_validate;
+          Alcotest.test_case "trace unit bound" `Quick
+            test_multi_trace_unit_bound;
+          Alcotest.test_case "sim stats roundtrips" `Quick
+            test_multi_sim_stats_roundtrips;
         ] );
       ( "golden",
         [ Alcotest.test_case "workload pins" `Quick test_golden_pins ] );

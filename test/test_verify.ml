@@ -370,6 +370,92 @@ let test_assume_no_invocations () =
          && f.Assume.rule = "no-invocations")
        m.Assume.flags)
 
+(* --- Multi-unit pairs --- *)
+
+let multi_pair kind =
+  let sc =
+    Tca_workloads.Multi_tca.generate
+      (Tca_workloads.Multi_tca.config ~n_pairs:20 kind)
+  in
+  instrs_of sc.Tca_workloads.Multi_tca.pair
+
+let test_multi_workloads_equivalent () =
+  List.iter
+    (fun kind ->
+      let baseline, accelerated = multi_pair kind in
+      let r = Equiv.check ~baseline ~accelerated () in
+      match r.Equiv.verdict with
+      | Equiv.Equivalent ->
+          Alcotest.(check bool)
+            (Tca_workloads.Multi_tca.kind_name kind ^ ": invocations seen")
+            true (r.Equiv.invocations > 0)
+      | Equiv.Divergent w ->
+          Alcotest.failf "%s: divergent: %s"
+            (Tca_workloads.Multi_tca.kind_name kind)
+            w.Equiv.reason)
+    Tca_workloads.Multi_tca.all_kinds
+
+(* Heterogeneous units compute different (uninterpreted) functions: two
+   traces identical except for the unit id of one invocation must NOT
+   verify as equivalent, while the same-unit pair must. *)
+let test_multi_unit_is_identity () =
+  let trace unit_id =
+    [|
+      Isa.int_alu ~src1:1 ~src2:2 ~dst:3 ();
+      Isa.accel ~src1:3 ~dst:4 ~compute_latency:8 ~unit_id ~reads:[||]
+        ~writes:[||] ();
+      Isa.store ~src:4 ~addr:4096 ();
+    |]
+  in
+  (match
+     (Equiv.check ~baseline:(trace 1) ~accelerated:(trace 1) ()).Equiv.verdict
+   with
+  | Equiv.Equivalent -> ()
+  | Equiv.Divergent w -> Alcotest.failf "same unit: %s" w.Equiv.reason);
+  match
+    (Equiv.check ~baseline:(trace 0) ~accelerated:(trace 1) ()).Equiv.verdict
+  with
+  | Equiv.Equivalent ->
+      Alcotest.fail "different units must compute different functions"
+  | Equiv.Divergent _ -> ()
+
+let test_assume_multi_unit_breakdown () =
+  let baseline, accelerated = multi_pair Tca_workloads.Multi_tca.Chained in
+  let m = Assume.audit ~baseline ~accelerated () in
+  (match m.Assume.per_unit with
+  | [ u0; u1 ] ->
+      Alcotest.(check int) "first row is unit 0" 0 u0.Assume.unit_id;
+      Alcotest.(check int) "second row is unit 1" 1 u1.Assume.unit_id;
+      Alcotest.(check int) "unit 0 invocations" 20 u0.Assume.u_invocations;
+      Alcotest.(check int) "unit 1 invocations" 20 u1.Assume.u_invocations;
+      Alcotest.(check bool) "slow unit has larger mean latency" true
+        (u1.Assume.u_latency_mean > u0.Assume.u_latency_mean);
+      Alcotest.(check bool) "per-unit latencies stationary" true
+        (u0.Assume.u_latency_cv = 0.0 && u1.Assume.u_latency_cv = 0.0);
+      Alcotest.(check bool) "per-unit v measured" true
+        (u0.Assume.u_inv_per_instr > 0.0 && u1.Assume.u_inv_per_instr > 0.0)
+  | us -> Alcotest.failf "expected 2 per-unit rows, got %d" (List.length us));
+  Alcotest.(check bool) "multi-unit flag cites the composition rule" true
+    (List.exists
+       (fun (f : Assume.flag) ->
+         f.Assume.rule = "multi-unit" && f.Assume.equations = "(C1)-(C4)")
+       m.Assume.flags);
+  (match Assume.to_json m with
+  | Tca_util.Json.Obj fields ->
+      Alcotest.(check bool) "json has per_unit" true
+        (List.mem_assoc "per_unit" fields)
+  | _ -> Alcotest.fail "audit JSON is not an object");
+  (* Single-unit pairs keep the pre-[Tca_unit] audit shape and JSON. *)
+  let sb, sa = pair "heap" in
+  let single = Assume.audit ~baseline:sb ~accelerated:sa () in
+  Alcotest.(check int) "single-unit audit has no per-unit rows" 0
+    (List.length single.Assume.per_unit);
+  match Assume.to_json single with
+  | Tca_util.Json.Obj fields ->
+      Alcotest.(check bool) "single-unit json omits per_unit" false
+        (List.mem_assoc "per_unit" fields)
+  | _ -> Alcotest.fail "audit JSON is not an object"
+
 let () =
   Alcotest.run "tca_verify"
     [
@@ -404,5 +490,14 @@ let () =
           Alcotest.test_case "regex under-declaration flagged" `Quick
             test_assume_flags_regex_underdeclaration;
           Alcotest.test_case "no invocations" `Quick test_assume_no_invocations;
+        ] );
+      ( "multi_unit",
+        [
+          Alcotest.test_case "scenarios equivalent" `Quick
+            test_multi_workloads_equivalent;
+          Alcotest.test_case "unit id is part of identity" `Quick
+            test_multi_unit_is_identity;
+          Alcotest.test_case "assume per-unit breakdown" `Quick
+            test_assume_multi_unit_breakdown;
         ] );
     ]
