@@ -170,6 +170,50 @@ let modes_cmd =
 
 (* --- tca model --- *)
 
+(* The (T1)-(T3) configuration-cost flags, shared by the commands that
+   accept a modeled configuration mechanism (tca model, tca verify). *)
+let t_config_t =
+  Arg.(
+    value
+    & opt (some (non_negative_arg ~field:"t-config")) None
+    & info [ "t-config" ] ~docv:"CYCLES"
+        ~doc:
+          "Per-invocation configuration cost in cycles (the (T1)-(T3) \
+           terms); omitted, the scenario has no configuration cost and \
+           the output is the plain eqs. (4)-(9).")
+
+let config_mode_t =
+  Arg.(
+    value
+    & opt (enum [ ("sync", `Sync); ("queued", `Queued); ("preprog", `Preprog) ])
+        `Sync
+    & info [ "config-mode" ] ~docv:"MODE"
+        ~doc:
+          "Configuration mechanism for --t-config: 'sync' CSR writes \
+           (T1), 'queued' descriptors (T2) or 'preprog' one-time \
+           programming (T3).")
+
+let config_depth_t =
+  Arg.(
+    value & opt int 4
+    & info [ "config-queue-depth" ] ~docv:"N"
+        ~doc:"Descriptor-queue depth for --config-mode=queued.")
+
+let config_invocations_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "config-invocations" ] ~docv:"N"
+        ~doc:"Amortization horizon for --config-mode=preprog.")
+
+let config_of_cli t_config config_mode depth invocations =
+  match t_config with
+  | None -> Tca_model.Params.No_config
+  | Some t_config -> (
+      match config_mode with
+      | `Sync -> Tca_model.Params.Sync t_config
+      | `Queued -> Tca_model.Params.Queued { t_config; depth }
+      | `Preprog -> Tca_model.Params.Preprogrammed { t_config; invocations })
+
 let model_cmd =
   let doc = "Evaluate the analytical model for one scenario." in
   let a_t =
@@ -198,7 +242,8 @@ let model_cmd =
       & info [ "latency" ] ~docv:"CYCLES"
           ~doc:"Explicit accelerator latency per invocation.")
   in
-  let run core a v factor latency drain =
+  let run core a v factor latency t_config config_mode depth invocations
+      drain =
     protect @@ fun () ->
     let accel =
       match (factor, latency) with
@@ -209,7 +254,8 @@ let model_cmd =
           prerr_endline "--factor and --latency are mutually exclusive";
           exit 2
     in
-    let s = or_die (Tca_model.Params.scenario ~drain ~a ~v ~accel ()) in
+    let config = config_of_cli t_config config_mode depth invocations in
+    let s = or_die (Tca_model.Params.scenario ~drain ~config ~a ~v ~accel ()) in
     Format.printf "core:     %a@." Tca_model.Params.pp_core core;
     Format.printf "scenario: %a@." Tca_model.Params.pp_scenario s;
     let t = or_die (Tca_model.Equations.interval_times core s) in
@@ -229,10 +275,31 @@ let model_cmd =
                    %.3fx@."
       (Tca_model.Mode.to_string best)
       sp
-      (or_die (Tca_model.Equations.ideal_speedup core s))
+      (or_die (Tca_model.Equations.ideal_speedup core s));
+    match config with
+    | Tca_model.Params.No_config -> ()
+    | _ ->
+        Format.printf
+          "break-even granularity (smallest g = a/v with speedup >= 1):@.";
+        Tca_util.Table.print ~headers:[ "mode"; "break-even g" ]
+          (List.map
+             (fun m ->
+               [
+                 Tca_model.Mode.to_string m;
+                 (match
+                    or_die
+                      (Tca_model.Equations.config_break_even core ~a ~accel
+                         ~config m)
+                  with
+                 | Some g -> Printf.sprintf "%.0f" g
+                 | None -> ">1e9");
+               ])
+             Tca_model.Mode.all)
   in
   Cmd.v (Cmd.info "model" ~doc)
-    Term.(const run $ core_t $ a_t $ v_t $ factor_t $ latency_t $ drain_t)
+    Term.(
+      const run $ core_t $ a_t $ v_t $ factor_t $ latency_t $ t_config_t
+      $ config_mode_t $ config_depth_t $ config_invocations_t $ drain_t)
 
 (* --- engine plumbing (tca run / tca list / tca figure) --- *)
 
@@ -594,6 +661,16 @@ let analyze_cmd =
             "Also run the trace through the cycle-level simulator and exit \
              1 unless the static cycles lower bound holds.")
   in
+  let config_break_even_t =
+    Arg.(
+      value
+      & opt (some (positive_arg ~field:"config-break-even")) None
+      & info [ "config-break-even" ] ~docv:"G"
+          ~doc:
+            "Modeled configuration break-even granularity (instructions \
+             per invocation, e.g. from $(b,tca model --t-config)); warn \
+             when the trace invokes its TCA more often than that.")
+  in
   (* Individual warnings/errors are actionable and printed one per line;
      info findings are advisory and routinely number in the thousands on
      randomized traces, so they are tallied per rule instead. *)
@@ -617,7 +694,8 @@ let analyze_cmd =
     |> List.sort compare
     |> List.iter (fun (r, c) -> Printf.printf "info %s: %d finding(s)\n" r c)
   in
-  let run file baseline_file mode lint_only bounds_only check json =
+  let run file baseline_file mode lint_only bounds_only check
+      config_break_even json =
     protect @@ fun () ->
     let load path =
       try Tca_uarch.Trace.load path
@@ -632,7 +710,9 @@ let analyze_cmd =
         (Tca_uarch.Config.hp ())
         (Tca_experiments.Exp_common.coupling_of_mode mode)
     in
-    let report = Tca_analysis.Analysis.analyze ?baseline ~cfg trace in
+    let report =
+      Tca_analysis.Analysis.analyze ?baseline ?config_break_even ~cfg trace
+    in
     let dirty = not (Tca_analysis.Lint.clean report.Tca_analysis.Analysis.findings) in
     let findings = report.Tca_analysis.Analysis.findings in
     let bounds = report.Tca_analysis.Analysis.bounds in
@@ -693,7 +773,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run $ file_t $ baseline_t $ mode_t $ lint_t $ bounds_t $ check_t
-      $ json_t)
+      $ config_break_even_t $ json_t)
 
 (* --- tca run (engine) --- *)
 
@@ -1167,8 +1247,13 @@ let verify_cmd =
             "Print only the divergence witness as JSON (null when the \
              pair is equivalent).")
   in
-  let run target accel_file size strategy witness json =
+  let run target accel_file size strategy t_config config_mode depth
+      invocations witness json =
     protect @@ fun () ->
+    let config = config_of_cli t_config config_mode depth invocations in
+    (match Tca_model.Params.validate_config config with
+    | Ok _ -> ()
+    | Error d -> die d);
     let cfg = Tca_experiments.Exp_common.validation_core () in
     let line_bytes =
       cfg.Tca_uarch.Config.mem.Tca_uarch.Mem_hier.l1
@@ -1237,7 +1322,7 @@ let verify_cmd =
               ~accelerated ()
           in
           let assumptions =
-            Tca_analysis.Assume.audit ~line_bytes ~rob_size ~baseline
+            Tca_analysis.Assume.audit ~line_bytes ~rob_size ~config ~baseline
               ~accelerated ()
           in
           (name, report, assumptions))
@@ -1287,6 +1372,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run $ target_t $ accel_file_t $ sim_size_t $ strategy_t
+      $ t_config_t $ config_mode_t $ config_depth_t $ config_invocations_t
       $ witness_t $ json_t)
 
 let () =

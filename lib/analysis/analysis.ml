@@ -9,7 +9,7 @@ type report = {
   derive_error : string option;
 }
 
-let analyze ?baseline ~cfg trace =
+let analyze ?baseline ?config_break_even ~cfg trace =
   let instrs = trace.Trace.instrs in
   (* Analyze at the configured machine's granularity, not the default:
      footprint aliasing is defined per L1 line. *)
@@ -27,7 +27,7 @@ let analyze ?baseline ~cfg trace =
     counts = Trace.counts trace;
     dag_stats = Dag.stats dag;
     bounds = Bounds.compute ~dag cfg instrs;
-    findings = Lint.run ~line_bytes instrs;
+    findings = Lint.run ~line_bytes ?config_break_even instrs;
     derived;
     derive_error;
   }

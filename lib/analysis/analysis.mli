@@ -18,11 +18,15 @@ type report = {
 
 val analyze :
   ?baseline:Tca_uarch.Trace.t ->
+  ?config_break_even:float ->
   cfg:Tca_uarch.Config.t ->
   Tca_uarch.Trace.t ->
   report
 (** The DAG and lint passes run at the configured machine's L1 line
-    size ([cfg.mem.l1]), not the 64-byte default. *)
+    size ([cfg.mem.l1]), not the 64-byte default. [config_break_even]
+    is forwarded to {!Lint.run}: when given, traces whose mean
+    instructions-per-invocation sits below it gain a
+    {!Finding.Config_granularity} warning. *)
 
 val lint : ?line_bytes:int -> Tca_uarch.Trace.t -> Finding.t list
 (** [Lint.run_trace]; [line_bytes] defaults to 64 — pass the configured

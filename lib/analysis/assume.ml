@@ -171,7 +171,8 @@ let per_unit_audit ~n_base accelerated =
              u_gap_cv;
            })
 
-let audit ?(line_bytes = 64) ?(rob_size = 192) ~baseline ~accelerated () =
+let audit ?(line_bytes = 64) ?(rob_size = 192)
+    ?(config = Tca_model.Params.No_config) ~baseline ~accelerated () =
   let n_base = Array.length baseline in
   let n_accel = Array.length accelerated in
   let latencies = ref [] in
@@ -320,6 +321,54 @@ let audit ?(line_bytes = 64) ?(rob_size = 192) ~baseline ~accelerated () =
          "declared read footprints include %d line(s) the replaced \
           regions never read from application state"
          overdeclared_read_lines);
+  (* Configuration-cost preconditions, keyed to the (T1)-(T3) terms the
+     caller says it models this pair with. [No_config] (the default)
+     emits nothing, keeping configuration-free audits byte-identical. *)
+  (match config with
+  | Tca_model.Params.No_config -> ()
+  | Tca_model.Params.Sync c ->
+      flag Finding.Info "config-sync" "(T1)"
+        (Printf.sprintf
+           "every invocation carries a synchronous configuration cost \
+            (%.0f cycles) on its critical path; (T1) adds it to each \
+            per-mode interval time"
+           c)
+  | Tca_model.Params.Queued { t_config = c; depth } ->
+      if (not (Float.is_nan gap_cv)) && gap_cv > 1.0 then
+        flag Finding.Warning "config-queue-burst" "(T2)"
+          (Printf.sprintf
+             "invocation stream is bursty (gap CV %.2f): transient \
+              bursts can fill the depth-%d descriptor queue, and (T2)'s \
+              steady-state bound max(base, %.0f) — which ignores the \
+              depth — underestimates the configuration stall"
+             gap_cv depth c)
+      else
+        flag Finding.Info "config-queued" "(T2)"
+          (Printf.sprintf
+             "descriptor writes (%.0f cycles) overlap execution; (T2) \
+              models the steady state as max(base, %.0f), in which the \
+              depth-%d queue does not appear — valid for this pair's \
+              regular invocation spacing (gap CV %s)"
+             c c depth
+             (if Float.is_nan gap_cv then "-"
+              else Printf.sprintf "%.2f" gap_cv))
+  | Tca_model.Params.Preprogrammed { t_config = c; invocations = n } ->
+      if invocations > 0 && (n > 2 * invocations || 2 * n < invocations)
+      then
+        flag Finding.Warning "config-amortization" "(T3)"
+          (Printf.sprintf
+             "declared amortization horizon (%d invocations) differs \
+              from the pair's measured count (%d) by more than 2x: \
+              (T3)'s per-invocation share %.0f/%d misstates the \
+              one-time cost"
+             n invocations c n)
+      else
+        flag Finding.Info "config-preprog" "(T3)"
+          (Printf.sprintf
+             "one-time programming cost (%.0f cycles) amortized over %d \
+              invocations; (T3) adds %.2f cycles to each interval"
+             c n
+             (c /. float_of_int (max n 1))));
   {
     invocations;
     n_base;

@@ -71,6 +71,7 @@ type t = {
 val audit :
   ?line_bytes:int ->
   ?rob_size:int ->
+  ?config:Tca_model.Params.config_cost ->
   baseline:Tca_uarch.Isa.instr array ->
   accelerated:Tca_uarch.Isa.instr array ->
   unit ->
@@ -79,7 +80,17 @@ val audit :
     values ([Cache.line_bytes cfg.mem.l1], [cfg.rob_size]) so the audit
     matches the simulated machine. Footprint metrics are only measured
     when the pair aligns (see {!Equiv.align}); otherwise they are 0 and
-    a [regions-unattributable] flag is emitted. *)
+    a [regions-unattributable] flag is emitted.
+
+    [config] (default [No_config]: no extra flags, audits and their JSON
+    unchanged) states which configuration-cost term the caller models
+    the pair with, and emits the matching precondition flag:
+    [config-sync] [(T1)] notes the per-invocation critical-path cost;
+    [config-queued]/[config-queue-burst] [(T2)] grades the burstiness
+    assumption behind the depth-free steady-state bound (warning when
+    the gap CV exceeds 1); [config-preprog]/[config-amortization] [(T3)]
+    checks the declared amortization horizon against the measured
+    invocation count (warning beyond a 2x mismatch). *)
 
 val to_json : t -> Tca_util.Json.t
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,10 @@ type t =
   | Noop_accel of { index : int }
   | No_accel
   | Empty_trace
+  | Config_granularity of {
+      mean_instrs_per_invocation : float;
+      break_even : float;
+    }
 
 let severity = function
   | Use_before_def _ -> Warning
@@ -27,6 +31,7 @@ let severity = function
   | Noop_accel _ -> Error
   | No_accel -> Info
   | Empty_trace -> Error
+  | Config_granularity _ -> Warning
 
 let rule_name = function
   | Use_before_def _ -> "use-before-def"
@@ -40,6 +45,7 @@ let rule_name = function
   | Noop_accel _ -> "noop-accel"
   | No_accel -> "no-accel"
   | Empty_trace -> "empty-trace"
+  | Config_granularity _ -> "config-break-even"
 
 let index = function
   | Use_before_def { index; _ }
@@ -51,7 +57,8 @@ let index = function
   | Accel_app_overlap { index; _ }
   | Noop_accel { index } ->
       Some index
-  | Branch_site_conflict _ | No_accel | Empty_trace -> None
+  | Branch_site_conflict _ | No_accel | Empty_trace | Config_granularity _ ->
+      None
 
 let message = function
   | Use_before_def { index; reg } ->
@@ -87,6 +94,13 @@ let message = function
         "accel %d has no reads, no writes and zero compute latency" index
   | No_accel -> "trace contains no accelerator invocation"
   | Empty_trace -> "trace is empty"
+  | Config_granularity { mean_instrs_per_invocation; break_even } ->
+      Printf.sprintf
+        "mean invocation granularity (%.0f instructions per invocation) \
+         sits below the modeled configuration break-even (%.0f): at this \
+         rate the configuration cost outweighs the acceleration (terms \
+         (T1)-(T3))"
+        mean_instrs_per_invocation break_even
 
 let to_string t =
   Printf.sprintf "%s %s: %s" (severity_name (severity t)) (rule_name t)

@@ -55,6 +55,16 @@ type t =
       (** The trace contains no accelerator invocation, so the TCA model
           inputs [a], [v], [A] cannot be derived from it. *)
   | Empty_trace  (** Zero-length trace. *)
+  | Config_granularity of {
+      mean_instrs_per_invocation : float;
+      break_even : float;
+    }
+      (** The trace's mean invocation granularity (instructions per
+          invocation) sits below a modeled configuration break-even
+          threshold (see {!Tca_model.Equations.config_break_even}):
+          invocations arrive too often for the configuration mechanism
+          to pay for itself. Only fired when the lint pass is given a
+          threshold — configuration-free analyses never see it. *)
 
 val severity : t -> severity
 val rule_name : t -> string

@@ -6,7 +6,7 @@ let src_regs (ins : Isa.instr) =
   else if r2 = Isa.no_reg || r2 = r1 then [ r1 ]
   else [ r1; r2 ]
 
-let run ?(line_bytes = 64) instrs =
+let run ?(line_bytes = 64) ?config_break_even instrs =
   let n = Array.length instrs in
   if n = 0 then [ Finding.Empty_trace ]
   else begin
@@ -38,6 +38,7 @@ let run ?(line_bytes = 64) instrs =
        operand register means two generators alias the same site. *)
     let branch_sites : (int, int list) Hashtbl.t = Hashtbl.create 64 in
     let saw_accel = ref false in
+    let n_accel = ref 0 in
     Array.iteri
       (fun i (ins : Isa.instr) ->
         List.iter
@@ -80,6 +81,7 @@ let run ?(line_bytes = 64) instrs =
             end
         | Isa.Accel a ->
             saw_accel := true;
+            incr n_accel;
             if
               Array.length a.Isa.reads = 0
               && Array.length a.Isa.writes = 0
@@ -131,6 +133,21 @@ let run ?(line_bytes = 64) instrs =
         end)
       instrs;
     if not !saw_accel then emit Finding.No_accel;
+    (* Configuration-wall check, only when the caller supplies a modeled
+       break-even granularity (Equations.config_break_even). The measured
+       granularity is the whole inter-invocation interval (1/v in
+       instructions), an upper bound on the model's g = a/v — so a
+       granularity below the threshold is certainly below break-even. *)
+    (match config_break_even with
+    | Some break_even when !n_accel > 0 ->
+        let mean_instrs_per_invocation =
+          float_of_int n /. float_of_int !n_accel
+        in
+        if mean_instrs_per_invocation < break_even then
+          emit
+            (Finding.Config_granularity
+               { mean_instrs_per_invocation; break_even })
+    | _ -> ());
     let conflicts =
       Hashtbl.fold
         (fun pc srcs acc ->
@@ -153,7 +170,8 @@ let run ?(line_bytes = 64) instrs =
     List.rev_append !out conflicts
   end
 
-let run_trace ?line_bytes t = run ?line_bytes t.Trace.instrs
+let run_trace ?line_bytes ?config_break_even t =
+  run ?line_bytes ?config_break_even t.Trace.instrs
 
 let max_severity findings =
   List.fold_left

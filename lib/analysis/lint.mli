@@ -10,11 +10,20 @@
     silent stores, in-place accelerator footprints) are statistically
     unavoidable in randomized instruction streams and only advisory. *)
 
-val run : ?line_bytes:int -> Tca_uarch.Isa.instr array -> Finding.t list
+val run :
+  ?line_bytes:int -> ?config_break_even:float ->
+  Tca_uarch.Isa.instr array -> Finding.t list
 (** Findings in trace order (rule order within one instruction is
-    fixed); never raises. [line_bytes] defaults to 64. *)
+    fixed); never raises. [line_bytes] defaults to 64.
+    [config_break_even], when given, is a modeled break-even granularity
+    (see {!Tca_model.Equations.config_break_even}); a trace whose mean
+    instructions-per-invocation falls below it gets a trailing
+    {!Finding.Config_granularity} warning. Omitted (the default), the
+    rule never fires — configuration-free lint output is unchanged. *)
 
-val run_trace : ?line_bytes:int -> Tca_uarch.Trace.t -> Finding.t list
+val run_trace :
+  ?line_bytes:int -> ?config_break_even:float ->
+  Tca_uarch.Trace.t -> Finding.t list
 
 val max_severity : Finding.t list -> Finding.severity option
 val clean : Finding.t list -> bool

@@ -7,7 +7,20 @@ type times = {
   t_drain : float;
   t_rob_fill : float;
   t_commit : float;
+  config : Params.config_cost;
 }
+
+(* The configuration-wall terms (T1)-(T3). (T2) deliberately ignores the
+   queue depth: a serial descriptor engine that never idles with backlog
+   is a steady-state throughput bound max(base, c); depth only limits
+   transient bursts (Assume.audit grades that assumption). *)
+let config_overhead (config : Params.config_cost) ~base =
+  match config with
+  | Params.No_config -> base
+  | Params.Sync c -> base +. c (* (T1) *)
+  | Params.Queued { t_config = c; _ } -> Float.max base c (* (T2) *)
+  | Params.Preprogrammed { t_config = c; invocations = n } ->
+      base +. (c /. float_of_int n) (* (T3) *)
 
 (* Extreme-but-valid inputs (v = 1e-300, latency = 1e308, ...) can push an
    intermediate time to infinity; checking the computed record keeps the
@@ -19,6 +32,14 @@ let check_times t =
   let* _ = Diag.finite ~field:"Equations.t_drain" t.t_drain in
   let* _ = Diag.finite ~field:"Equations.t_rob_fill" t.t_rob_fill in
   let* _ = Diag.finite ~field:"Equations.t_commit" t.t_commit in
+  let* _ =
+    match t.config with
+    | Params.No_config -> Ok 0.0
+    | Params.Sync c
+    | Params.Queued { t_config = c; _ }
+    | Params.Preprogrammed { t_config = c; _ } ->
+        Diag.finite ~field:"Equations.t_config" c
+  in
   Ok t
 
 let interval_times (core : Params.core) (s : Params.scenario) =
@@ -49,32 +70,38 @@ let interval_times (core : Params.core) (s : Params.scenario) =
   let t_rob_fill = float_of_int core.rob_size /. float_of_int core.issue_width in
   check_times
     { t_baseline; t_accl; t_non_accl; t_drain; t_rob_fill;
-      t_commit = core.commit_stall }
+      t_commit = core.commit_stall; config = s.config }
 
 let interval_times_exn core s = Diag.ok_exn (interval_times core s)
 
 let time_of_times (t : times) (mode : Mode.t) =
-  match mode with
-  | Mode.NL_NT ->
-      (* eq. (4): drain, execute, and commit twice (once for the drained
-         window, once for the TCA itself). *)
-      t.t_non_accl +. t.t_accl +. t.t_drain +. (2.0 *. t.t_commit)
-  | Mode.L_NT ->
-      (* eq. (5): the TCA overlaps leading work; the front end stalls for
-         the TCA's execution and commit only. *)
-      t.t_non_accl +. t.t_accl +. t.t_commit
-  | Mode.NL_T ->
-      (* eqs. (6)-(7): trailing instructions flow until the ROB fills;
-         the TCA start is delayed by the drain. *)
-      let rob_full =
-        Float.max 0.0 (t.t_drain +. t.t_accl +. t.t_commit -. t.t_rob_fill)
-      in
-      Float.max (t.t_non_accl +. rob_full) (t.t_accl +. t.t_drain +. t.t_commit)
-  | Mode.L_T ->
-      (* eqs. (8)-(9): full overlap; only a very long TCA that outlives
-         the ROB fill stalls the front end. *)
-      let rob_full = Float.max 0.0 (t.t_accl -. t.t_rob_fill) in
-      Float.max (t.t_non_accl +. rob_full) t.t_accl
+  let base =
+    match mode with
+    | Mode.NL_NT ->
+        (* eq. (4): drain, execute, and commit twice (once for the drained
+           window, once for the TCA itself). *)
+        t.t_non_accl +. t.t_accl +. t.t_drain +. (2.0 *. t.t_commit)
+    | Mode.L_NT ->
+        (* eq. (5): the TCA overlaps leading work; the front end stalls for
+           the TCA's execution and commit only. *)
+        t.t_non_accl +. t.t_accl +. t.t_commit
+    | Mode.NL_T ->
+        (* eqs. (6)-(7): trailing instructions flow until the ROB fills;
+           the TCA start is delayed by the drain. *)
+        let rob_full =
+          Float.max 0.0 (t.t_drain +. t.t_accl +. t.t_commit -. t.t_rob_fill)
+        in
+        Float.max
+          (t.t_non_accl +. rob_full)
+          (t.t_accl +. t.t_drain +. t.t_commit)
+    | Mode.L_T ->
+        (* eqs. (8)-(9): full overlap; only a very long TCA that outlives
+           the ROB fill stalls the front end. *)
+        let rob_full = Float.max 0.0 (t.t_accl -. t.t_rob_fill) in
+        Float.max (t.t_non_accl +. rob_full) t.t_accl
+  in
+  (* (T1)-(T3): identity under No_config, so eqs. (4)-(9) are unchanged. *)
+  config_overhead t.config ~base
 
 let mode_time core s mode =
   let* t = interval_times core s in
@@ -114,6 +141,38 @@ let best_mode core s =
 
 let best_mode_exn core s = Diag.ok_exn (best_mode core s)
 
+(* Smallest granularity g = a/v at which the mode breaks even against
+   its configuration wall. Speedup is monotone non-decreasing in g for a
+   fixed (a, accel, config) — larger invocations amortize every fixed
+   per-invocation cost — so one sign change bounds the crossing and a
+   geometric bisection (g spans decades) pins it down. *)
+let config_break_even ?(hi = 1e9) (core : Params.core) ~a ~accel ~config mode =
+  let speedup_at g =
+    let* s = Params.scenario_of_granularity ~config ~a ~g ~accel () in
+    speedup core s mode
+  in
+  let* hi =
+    Diag.in_range ~field:"Equations.config_break_even.hi" ~lo:1.0 ~hi:infinity
+      hi
+  in
+  let* s_lo = speedup_at 1.0 in
+  if s_lo >= 1.0 then Ok (Some 1.0)
+  else
+    let* s_hi = speedup_at hi in
+    if s_hi < 1.0 then Ok None
+    else
+      let rec bisect lo hi n =
+        if n = 0 || hi -. lo <= 1e-6 *. hi then Ok (Some hi)
+        else
+          let mid = Float.sqrt (lo *. hi) in
+          let* s_mid = speedup_at mid in
+          if s_mid >= 1.0 then bisect lo mid (n - 1) else bisect mid hi (n - 1)
+      in
+      bisect 1.0 hi 100
+
+let config_break_even_exn ?hi core ~a ~accel ~config mode =
+  Diag.ok_exn (config_break_even ?hi core ~a ~accel ~config mode)
+
 (* --- multi-unit composition ------------------------------------------
 
    The composed rule works per *instruction* instead of per interval:
@@ -136,6 +195,8 @@ type composed_times = {
   c_v_drain : float;
   c_contend : float;
   c_unit_terms : (float * float) list;
+  c_cfg_add : float;
+  c_cfg_floor : float;
 }
 
 let check_composed t =
@@ -144,6 +205,8 @@ let check_composed t =
   let* _ = Diag.finite ~field:"Equations.c_accl_total" t.c_accl_total in
   let* _ = Diag.finite ~field:"Equations.c_drain" t.c_drain in
   let* _ = Diag.finite ~field:"Equations.c_contend" t.c_contend in
+  let* _ = Diag.finite ~field:"Equations.c_cfg_add" t.c_cfg_add in
+  let* _ = Diag.finite ~field:"Equations.c_cfg_floor" t.c_cfg_floor in
   let* _ =
     List.fold_left
       (fun acc (_, tl) ->
@@ -207,10 +270,25 @@ let composed_times (core : Params.core) (c : Params.composition) =
     | Params.Shared -> c.Params.chained *. v_total *. core.commit_stall
     | Params.Private -> 0.0
   in
+  (* Per-unit (T1)-(T3): additive mechanisms sum per instruction, each
+     queued descriptor engine is an independent throughput floor of
+     which only the busiest binds. *)
+  let c_cfg_add, c_cfg_floor =
+    List.fold_left
+      (fun (add, floor) (u : Params.unit_scenario) ->
+        match u.Params.config with
+        | Params.No_config -> (add, floor)
+        | Params.Sync cfg -> (add +. (u.Params.v *. cfg), floor)
+        | Params.Queued { t_config = cfg; _ } ->
+            (add, Float.max floor (u.Params.v *. cfg))
+        | Params.Preprogrammed { t_config = cfg; invocations = n } ->
+            (add +. (u.Params.v *. cfg /. float_of_int n), floor))
+      (0.0, 0.0) c.Params.units
+  in
   check_composed
     { c_baseline; c_non_accl; c_accl_total; c_drain; c_rob_fill;
       c_commit = core.commit_stall; c_v_total = v_total; c_v_drain; c_contend;
-      c_unit_terms }
+      c_unit_terms; c_cfg_add; c_cfg_floor }
 
 let composed_times_exn core c = Diag.ok_exn (composed_times core c)
 
@@ -222,6 +300,14 @@ let composed_time_of_times (t : composed_times) (mode : Mode.t) =
       (fun acc (v, tl) -> acc +. (v *. Float.max 0.0 (over tl)))
       0.0 t.c_unit_terms
   in
+  (* Composed (T1)-(T3): additive config cost on top of the mode time,
+     then the busiest queued descriptor engine as a throughput floor.
+     Both are 0 without config costs, leaving the base table intact. *)
+  let with_config base =
+    Float.max (base +. t.c_cfg_add) t.c_cfg_floor
+  in
+  with_config
+  @@
   match mode with
   | Mode.NL_NT ->
       (* eq. (4) summed over units: every non-chained invocation drains

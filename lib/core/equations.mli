@@ -19,7 +19,48 @@ type times = {
   t_drain : float;  (** window-drain penalty (power law or override) *)
   t_rob_fill : float;  (** [s_ROB / w_issue] *)
   t_commit : float;  (** the core's [t_commit] parameter *)
+  config : Params.config_cost;
+      (** configuration mechanism, applied to the mode time by terms
+          (T1)-(T3); [No_config] leaves eqs. (4)-(9) untouched *)
 }
+
+val config_overhead : Params.config_cost -> base:float -> float
+(** The configuration-wall terms. With [base] the interval time of
+    eqs. (4)-(9) and [t_config = c]:
+
+    - (T1) [Sync c]: [base + c] — synchronous CSR writes sit on the
+      critical path of every invocation.
+    - (T2) [Queued {t_config = c; _}]: [max base c] — the serial
+      descriptor engine overlaps with execution, so in steady state it
+      is a throughput bound on the invocation period, not an additive
+      latency. The queue [depth] bounds transient bursts only and does
+      not appear in the steady-state term ({!Assume.audit} grades the
+      burstiness assumption behind this).
+    - (T3) [Preprogrammed {t_config = c; invocations = n}]: [base + c/n]
+      — the one-time programming cost amortized over the run.
+
+    All three reduce exactly to [base] at [c = 0], and [No_config] is
+    the identity, so the pinned eqs. (4)-(9) results are unchanged. *)
+
+val config_break_even :
+  ?hi:float ->
+  Params.core ->
+  a:float -> accel:Params.accel_time -> config:Params.config_cost ->
+  Mode.t -> (float option, Diag.t) result
+(** The smallest invocation granularity [g = a/v] at which the mode's
+    speedup with the given configuration cost reaches 1.0 (acceleration
+    stops losing to the configuration wall). Found by bisection over
+    [g in [1, hi]] ([hi] defaults to [1e9]); [Ok None] when the mode
+    never breaks even below [hi], [Ok (Some 1.)] when it already breaks
+    even at the smallest legal granularity. Used by the lint layer to
+    warn on invocation streams whose measured granularity sits below
+    this threshold. *)
+
+val config_break_even_exn :
+  ?hi:float ->
+  Params.core ->
+  a:float -> accel:Params.accel_time -> config:Params.config_cost ->
+  Mode.t -> float option
 
 val interval_times :
   Params.core -> Params.scenario -> (times, Diag.t) result
@@ -32,7 +73,9 @@ val interval_times_exn : Params.core -> Params.scenario -> times
 (** Raises {!Diag.Error}. *)
 
 val time_of_times : times -> Mode.t -> float
-(** Pure combination of precomputed interval times per eqs. (4)-(9). *)
+(** Pure combination of precomputed interval times per eqs. (4)-(9),
+    with the configuration term (T1)-(T3) of {!config_overhead} applied
+    on top. With [config = No_config] this is exactly eqs. (4)-(9). *)
 
 val mode_time :
   Params.core -> Params.scenario -> Mode.t -> (float, Diag.t) result
@@ -87,7 +130,16 @@ val best_mode_exn : Params.core -> Params.scenario -> Mode.t * float
     shared commit port, which is the [t_cont] term. Speedup is
     [(1/IPC) / T]. At N = 1 with [χ = 0] and a shared port every mode
     time is exactly [v] times the single-unit interval time, so the
-    composed model reduces to eqs. (4)-(9) (pinned by the tests). *)
+    composed model reduces to eqs. (4)-(9) (pinned by the tests).
+
+    Per-unit configuration costs compose the same way (T1)-(T3) do for
+    one unit: the additive mechanisms contribute
+    [c_cfg_add = Σ v_i·c_i (Sync) + Σ v_i·c_i/n_i (Preprogrammed)]
+    per instruction, while each queued descriptor engine imposes the
+    per-instruction throughput floor [v_i·c_i], of which the binding one
+    is [c_cfg_floor = max_i v_i·c_i (Queued)]. Every mode time becomes
+    [max (T + c_cfg_add) c_cfg_floor]; at N = 1 this is exactly [v]
+    times {!config_overhead}. *)
 
 type composed_times = {
   c_baseline : float;  (** per-instruction baseline time, [1/IPC] *)
@@ -100,6 +152,12 @@ type composed_times = {
   c_v_drain : float;  (** [(1 - χ) · Σ v_i]: invocations that drain *)
   c_contend : float;  (** commit-port contention of chained invocations *)
   c_unit_terms : (float * float) list;  (** per unit: [(v_i, t_i)] *)
+  c_cfg_add : float;
+      (** per-instruction additive config cost: [Σ v_i·c_i] over [Sync]
+          units plus [Σ v_i·c_i/n_i] over [Preprogrammed] units *)
+  c_cfg_floor : float;
+      (** per-instruction throughput floor of the busiest [Queued]
+          descriptor engine: [max_i v_i·c_i]; 0 with no queued units *)
 }
 
 val composed_times :

@@ -26,6 +26,30 @@ type accel_time =
       (** explicit per-invocation accelerator execution time in cycles,
           "an explicitly provided latency inserted by the architect" *)
 
+(** {2 Configuration cost}
+
+    The paper charges an invocation only its execution time plus
+    serialization; real tightly-coupled accelerators also pay a
+    per-invocation configuration cost [t_config] (CSR command writes,
+    descriptor setup, DMA programming). Three mechanisms, modeled by
+    terms (T1)-(T3) of {!Equations}: *)
+
+type config_cost =
+  | No_config  (** free configuration; (T1)-(T3) all reduce to eqs. (4)-(9) *)
+  | Sync of float
+      (** (T1) synchronous CSR writes: [t_config] cycles on the critical
+          path of every invocation *)
+  | Queued of { t_config : float; depth : int }
+      (** (T2) queued descriptors: a serial descriptor engine takes
+          [t_config] cycles per descriptor, overlapped with execution up
+          to [depth] outstanding descriptors. Steady-state invocation
+          period is [max t_interval t_config] (the engine is a
+          throughput bound, not an additive latency). *)
+  | Preprogrammed of { t_config : float; invocations : int }
+      (** (T3) pre-programmed: a one-time [t_config]-cycle programming
+          cost amortized over [invocations] invocations of the run,
+          [t_config / invocations] per invocation *)
+
 (** {2 Multi-unit composition types}
 
     Declared before {!scenario} so the single-unit labels, defined last,
@@ -45,6 +69,7 @@ type unit_scenario = {
   a : float;  (** fraction of all instructions this unit accelerates *)
   v : float;  (** this unit's invocations / total instructions *)
   accel : accel_time;
+  config : config_cost;  (** this unit's configuration mechanism *)
 }
 
 type composition = {
@@ -62,6 +87,7 @@ type scenario = {
   v : float;  (** invocation frequency: invocations / total instructions *)
   accel : accel_time;
   drain : Tca_interval.Drain.spec;  (** [t_drain] override or Auto *)
+  config : config_cost;  (** configuration mechanism; [No_config] default *)
 }
 
 val core : ?commit_stall:float -> ?drain_beta:float ->
@@ -75,26 +101,33 @@ val core_exn : ?commit_stall:float -> ?drain_beta:float ->
   ipc:float -> rob_size:int -> issue_width:int -> unit -> core
 (** Raises {!Diag.Error}. *)
 
-val scenario : ?drain:Tca_interval.Drain.spec ->
+val validate_config : config_cost -> (config_cost, Diag.t) result
+(** [Sync t] and both [t_config] fields must be finite and non-negative;
+    [Queued.depth] and [Preprogrammed.invocations] must be positive. *)
+
+val scenario : ?drain:Tca_interval.Drain.spec -> ?config:config_cost ->
   a:float -> v:float -> accel:accel_time -> unit ->
   (scenario, Diag.t) result
 (** Validates [0 <= a <= 1], [v >= 0], [a >= v] when [v > 0] (an
     invocation covers at least one instruction), positive accel factor /
-    non-negative latency, finite non-negative fixed drain. *)
+    non-negative latency, finite non-negative fixed drain, and the
+    {!validate_config} domain. [config] defaults to [No_config]. *)
 
-val scenario_exn : ?drain:Tca_interval.Drain.spec ->
+val scenario_exn : ?drain:Tca_interval.Drain.spec -> ?config:config_cost ->
   a:float -> v:float -> accel:accel_time -> unit -> scenario
 (** Raises {!Diag.Error}. *)
 
 (** {2 Multi-unit composition constructors} *)
 
 val unit_scenario :
+  ?config:config_cost ->
   a:float -> v:float -> accel:accel_time -> unit ->
   (unit_scenario, Diag.t) result
 (** Same domain as {!scenario}: [0 <= a <= 1], [v >= 0], [a >= v] when
-    [v > 0], valid accel time. *)
+    [v > 0], valid accel time, valid config cost. *)
 
 val unit_scenario_exn :
+  ?config:config_cost ->
   a:float -> v:float -> accel:accel_time -> unit -> unit_scenario
 
 val composition :
@@ -119,6 +152,10 @@ val composition_of_scenario : scenario -> composition
 
 val commit_port_name : commit_port -> string
 
+val config_cost_name : config_cost -> string
+(** ["none"], ["sync"], ["queued"] or ["preprog"] — stable labels used
+    by figure tables and JSON artifacts. *)
+
 val granularity : scenario -> (float, Diag.t) result
 (** [a / v]: average acceleratable instructions per invocation.
     [Error (Invalid _)] when [v = 0]. *)
@@ -126,14 +163,14 @@ val granularity : scenario -> (float, Diag.t) result
 val granularity_exn : scenario -> float
 
 val scenario_of_granularity :
-  ?drain:Tca_interval.Drain.spec ->
+  ?drain:Tca_interval.Drain.spec -> ?config:config_cost ->
   a:float -> g:float -> accel:accel_time -> unit ->
   (scenario, Diag.t) result
 (** Convenience used by the granularity sweeps: [v = a / g]. Requires a
     finite [g >= 1]. *)
 
 val scenario_of_granularity_exn :
-  ?drain:Tca_interval.Drain.spec ->
+  ?drain:Tca_interval.Drain.spec -> ?config:config_cost ->
   a:float -> g:float -> accel:accel_time -> unit -> scenario
 
 val pp_core : Format.formatter -> core -> unit

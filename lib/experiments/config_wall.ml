@@ -1,0 +1,308 @@
+open Tca_uarch
+open Tca_workloads
+module A = Tca_engine.Artifact
+
+(* X12, the configuration wall: how the (T1)-(T3) terms of
+   [Tca_model.Equations.config_overhead] erode speedup as invocations
+   get finer, and where each mechanism breaks even.
+
+   The model sweep reuses Fig. 2's operating point (ARM A72-like core,
+   a = 30%, A = 3x) so the [none] column reproduces Fig. 2's curve
+   exactly; the three configured columns peel away from it below their
+   break-even granularity. *)
+
+let coverage = 0.3
+let accel = Tca_model.Params.Factor 3.0
+
+(* Swept configuration cost: 200 cycles is a realistic CSR-programming
+   sequence (tens of uncached writes), and sits well above the
+   small-granularity interval time so the wall is visible. *)
+let sweep_t_config = 200.0
+let queue_depth = 4
+
+(* Amortization horizon for the pre-programmed variant: one
+   programming of the unit reused across the whole run. *)
+let preprog_invocations = 10_000
+
+let variants =
+  [
+    ("none", Tca_model.Params.No_config);
+    ("sync", Tca_model.Params.Sync sweep_t_config);
+    ( "queued",
+      Tca_model.Params.Queued
+        { t_config = sweep_t_config; depth = queue_depth } );
+    ( "preprog",
+      Tca_model.Params.Preprogrammed
+        { t_config = sweep_t_config; invocations = preprog_invocations } );
+  ]
+
+(* The sweep reports the tightest coupling (L_T): it has the smallest
+   configuration-free interval time, so the configuration terms are the
+   largest relative penalty — the worst case of the wall. *)
+let sweep_mode = Tca_model.Mode.L_T
+
+type row = { g : float; speedups : (string * float) list }
+
+let run ?telemetry ?(points = 33) () =
+  Tca_telemetry.Timing.with_span telemetry "config_wall.run" @@ fun () ->
+  let gs = Tca_util.Sweep.logspace_exn 10.0 1.0e9 points in
+  Array.to_list
+    (Array.map
+       (fun g ->
+         {
+           g;
+           speedups =
+             List.map
+               (fun (name, config) ->
+                 let sc =
+                   Tca_model.Params.scenario_of_granularity_exn ~config
+                     ~a:coverage ~g ~accel ()
+                 in
+                 ( name,
+                   Tca_model.Equations.speedup_exn Tca_model.Presets.arm_a72
+                     sc sweep_mode ))
+               variants;
+         })
+       gs)
+
+let series_table rows =
+  A.table ~name:"speedup"
+    ~headers:("granularity" :: List.map fst variants)
+    (List.map
+       (fun r ->
+         A.sci r.g
+         :: List.map (fun (name, _) -> A.flt (List.assoc name r.speedups))
+              variants)
+       rows)
+
+(* Break-even granularity (speedup back to 1.0) for every configured
+   variant under every coupling mode — the number the lint layer
+   compares measured invocation granularities against. *)
+let break_evens () =
+  List.filter_map
+    (fun (name, config) ->
+      match config with
+      | Tca_model.Params.No_config -> None
+      | _ ->
+          Some
+            ( name,
+              List.map
+                (fun mode ->
+                  ( mode,
+                    Tca_model.Equations.config_break_even_exn
+                      Tca_model.Presets.arm_a72 ~a:coverage ~accel ~config
+                      mode ))
+                Tca_model.Mode.all ))
+    variants
+
+let break_even_table bes =
+  A.table ~name:"break-even"
+    ~headers:
+      ("config" :: List.map Tca_model.Mode.to_string Tca_model.Mode.all)
+    (List.map
+       (fun (name, per_mode) ->
+         A.text name
+         :: List.map
+              (fun (_, be) ->
+                match be with None -> A.text ">1e9" | Some g -> A.sci g)
+              per_mode)
+       bes)
+
+let artifact rows =
+  A.make ~job:"config_wall"
+    ~title:
+      "X12: configuration wall — speedup vs invocation granularity per \
+       config mode, with break-even crossings"
+    [
+      A.Note
+        (Format.asprintf
+           "core %a; a = %.0f%%, A = %.1fx, t_config = %.0f cycles \
+            (queued depth %d, preprog amortized over %d invocations); \
+            speedup columns under %s coupling"
+           Tca_model.Params.pp_core Tca_model.Presets.arm_a72
+           (100.0 *. coverage) 3.0 sweep_t_config queue_depth
+           preprog_invocations
+           (Tca_model.Mode.to_string sweep_mode));
+      A.Table (series_table rows);
+      A.Note "";
+      A.Note
+        "break-even granularity (smallest g = a/v with speedup >= 1) per \
+         config mode and coupling:";
+      A.Table (break_even_table (break_evens ()));
+      A.Note
+        "(T1) sync pays t_config on every invocation's critical path, so \
+         its wall is the tallest; (T2) queued overlaps programming with \
+         execution and only rate-limits invocations shorter than \
+         t_config; (T3) preprog pays once, so its curve rejoins [none] \
+         almost immediately.";
+    ]
+
+(* {2 simulate.config_wall: model vs simulator under each mechanism}
+
+   Same error-band methodology as the four base modes
+   ([Exp_common.validate_pair]): run baseline + all four couplings in
+   the cycle-level simulator with the unit's configuration knobs set,
+   evaluate the model with the matching [Params.config_cost], and
+   report per-mode percentage error. *)
+
+(* Simulated configuration latency, in cycles. Comparable to the
+   synthetic workload's 20-cycle accelerator latency and its ~100-cycle
+   invocation interval, so sync is clearly visible, queued sits near
+   its throughput bound, and preprog amortizes away. *)
+let sim_t_config = 100
+
+type vresult = {
+  vname : string;
+  rows : Exp_common.validation_row list;
+  stalls : (Tca_model.Mode.t * int * int) list;
+      (** per coupling: (mode, config_stall_cycles, config_queue_stall) *)
+}
+
+let sim_variants (meta : Meta.t) =
+  let c = float_of_int sim_t_config in
+  [
+    ("sync", Tca_unit.Sync, Tca_model.Params.Sync c);
+    ( "queued",
+      Tca_unit.Queued,
+      Tca_model.Params.Queued { t_config = c; depth = queue_depth } );
+    ( "preprog",
+      Tca_unit.Preprogrammed,
+      Tca_model.Params.Preprogrammed
+        { t_config = c; invocations = meta.Meta.invocations } );
+  ]
+
+let validate_variant ?telemetry ?par ~cfg ~(pair : Meta.pair) ~latency
+    (vname, unit_mode, config) =
+  let cfg =
+    Config.with_tca_units cfg
+      [|
+        Tca_unit.make ~config_mode:unit_mode ~config_latency:sim_t_config
+          ~config_queue_depth:queue_depth 0;
+      |]
+  in
+  let cmp =
+    Tca_telemetry.Timing.with_span telemetry
+      ("validate.config." ^ vname)
+      (fun () ->
+        Simulator.compare_modes_exn ?telemetry ?par ~cfg
+          ~baseline:pair.Meta.baseline ~accelerated:pair.Meta.accelerated ())
+  in
+  let meta = pair.Meta.meta in
+  let ipc = cmp.Simulator.baseline.Sim_stats.ipc in
+  let core = Exp_common.model_core_of cfg ~ipc in
+  let scenario = Exp_common.scenario_of_meta ~config meta ~latency in
+  let scenario_refill =
+    Exp_common.scenario_of_meta ~drain:Tca_interval.Drain.Refill_aware
+      ~config meta ~latency
+  in
+  let rows =
+    List.map
+      (fun (r : Simulator.mode_result) ->
+        let mode = Exp_common.mode_of_coupling r.Simulator.coupling in
+        {
+          Exp_common.workload = meta.Meta.name ^ "+" ^ vname;
+          v = meta.Meta.v;
+          a = meta.Meta.a;
+          base_ipc = ipc;
+          mode;
+          sim_speedup = r.Simulator.speedup;
+          model_speedup =
+            Tca_model.Equations.speedup_exn core scenario mode;
+          model_refill_speedup =
+            Tca_model.Equations.speedup_exn core scenario_refill mode;
+        })
+      cmp.Simulator.modes
+  in
+  let stalls =
+    List.map
+      (fun (r : Simulator.mode_result) ->
+        ( Exp_common.mode_of_coupling r.Simulator.coupling,
+          r.Simulator.stats.Sim_stats.config_stall_cycles,
+          r.Simulator.stats.Sim_stats.config_queue_stall_cycles ))
+      cmp.Simulator.modes
+  in
+  { vname; rows; stalls }
+
+let validate ?telemetry ?par ?(quick = false) () =
+  Tca_telemetry.Timing.with_span telemetry "config_wall.validate"
+  @@ fun () ->
+  let cfg = Exp_common.validation_core () in
+  let pair, latency =
+    Exp_common.workload_pair ?telemetry ~cfg
+      ~size:(if quick then 100 else 0)
+      Exp_common.Synthetic
+  in
+  (* A dense variant — invocations only a couple of app instructions
+     apart, so the interval time sits far below [sim_t_config]. The
+     queued engine becomes the throughput bound ((T2)'s [max base c]
+     arm) and the depth-4 queue fills, exercising the queue-full
+     back-pressure path the sparse workload never reaches. *)
+  let dense_pair =
+    Tca_telemetry.Timing.with_span telemetry "sim.workload.dense"
+    @@ fun () ->
+    Synthetic.generate
+      (Synthetic.config
+         ~n_units:(if quick then 1000 else 4000)
+         ~n_chunks:(if quick then 500 else 2000)
+         ~accel_latency:20 ())
+  in
+  List.map
+    (validate_variant ?telemetry ?par ~cfg ~pair ~latency)
+    (sim_variants pair.Meta.meta)
+  @ [
+      validate_variant ?telemetry ?par ~cfg ~pair:dense_pair ~latency:20.0
+        ( "queued-dense",
+          Tca_unit.Queued,
+          Tca_model.Params.Queued
+            { t_config = float_of_int sim_t_config; depth = queue_depth } );
+    ]
+
+let stall_table results =
+  A.table ~name:"config-stalls"
+    ~headers:[ "config"; "mode"; "config-stall"; "queue-stall" ]
+    (List.concat_map
+       (fun vr ->
+         List.map
+           (fun (mode, stall, queue_stall) ->
+             A.
+               [
+                 text vr.vname;
+                 text (Tca_model.Mode.to_string mode);
+                 int stall;
+                 int queue_stall;
+               ])
+           vr.stalls)
+       results)
+
+let validate_artifact results =
+  let rows = List.concat_map (fun vr -> vr.rows) results in
+  A.make ~job:"simulate.config_wall"
+    ~title:
+      "simulate: configuration mechanisms (sync / queued / preprog) under \
+       all four couplings, model (T1)-(T3) vs simulator"
+    ([
+       A.Note
+         (Printf.sprintf
+            "synthetic workload; per-unit config_latency = %d cycles, \
+             queue depth %d; model terms (T1)-(T3) applied to eqs. \
+             (4)-(9)"
+            sim_t_config queue_depth);
+       A.Table (Exp_common.validation_table rows);
+     ]
+    @ List.map (fun n -> A.Note n) (Exp_common.validation_summary_notes rows)
+    @ [
+        A.Note
+          "known model limit: (T2)'s overlap arm (max base c) assumes the \
+           next descriptor enqueues while the previous invocation \
+           executes, which needs trailing dispatch; under NT couplings \
+           dispatch serialization idles the descriptor engine between \
+           invocations, the cost degrades toward sync's base + c, and the \
+           dense NT rows above show the resulting positive error";
+        A.Note
+          "simulator-side dispatch stalls attributed to configuration \
+           (cycles with zero dispatches; outside the six-reason stall \
+           breakdown):";
+        A.Table (stall_table results);
+      ])
+
+let print results = print_string (A.to_text (validate_artifact results))

@@ -27,8 +27,8 @@ let mode_of_coupling (c : Config.coupling) =
   | false, true -> Tca_model.Mode.NL_T
   | true, true -> Tca_model.Mode.L_T
 
-let scenario_of_meta ?drain (meta : Meta.t) ~latency =
-  Tca_model.Params.scenario_exn ?drain ~a:meta.Meta.a ~v:meta.Meta.v
+let scenario_of_meta ?drain ?config (meta : Meta.t) ~latency =
+  Tca_model.Params.scenario_exn ?drain ?config ~a:meta.Meta.a ~v:meta.Meta.v
     ~accel:(Tca_model.Params.Latency latency) ()
 
 let meta_latency (meta : Meta.t) ~(cfg : Config.t) =

@@ -16,9 +16,11 @@ val mode_of_coupling : Tca_uarch.Config.coupling -> Tca_model.Mode.t
 
 val scenario_of_meta :
   ?drain:Tca_interval.Drain.spec ->
+  ?config:Tca_model.Params.config_cost ->
   Tca_workloads.Meta.t -> latency:float -> Tca_model.Params.scenario
 (** Scenario with an explicit accelerator latency (cycles); [drain]
-    defaults to the paper's [Auto] estimator. *)
+    defaults to the paper's [Auto] estimator and [config] to
+    [No_config], so existing callers model configuration-free TCAs. *)
 
 val meta_latency :
   Tca_workloads.Meta.t -> cfg:Tca_uarch.Config.t -> float

@@ -99,6 +99,24 @@ let figure_jobs =
       (fun ctx ->
         Multi_val.sweep_artifact
           (Multi_val.sweep ~points:(if ctx.Job.quick then 11 else 21) ()));
+    job ~name:"config_wall"
+      ~title:
+        "X12: configuration wall — speedup vs granularity per config mode, \
+         with break-even crossings"
+      (fun ctx ->
+        Config_wall.artifact
+          (Config_wall.run ?telemetry:ctx.Job.telemetry
+             ~points:(if ctx.Job.quick then 17 else 33)
+             ()));
+    job ~name:"simulate.config_wall"
+      ~title:
+        "simulate: configuration mechanisms (sync / queued / preprog) \
+         under all four couplings, model (T1)-(T3) vs simulator"
+      ~params:[ ("workload", "config_wall") ]
+      (fun ctx ->
+        Config_wall.validate_artifact
+          (Config_wall.validate ?telemetry:ctx.Job.telemetry ~par:ctx.Job.par
+             ~quick:ctx.Job.quick ()));
     job ~name:"simulate.multi_tca"
       ~title:
         "simulate: two heterogeneous TCA units under all four couplings, \

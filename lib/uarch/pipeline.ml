@@ -47,6 +47,8 @@ let stall_serialize = 3
 let stall_rob = 4
 let stall_iq = 5
 let stall_lsq = 6
+let stall_config = 7
+let stall_config_queue = 8
 
 type state = {
   cfg : Config.t;
@@ -82,6 +84,25 @@ type state = {
   u_head_wait : int array;
   u_serialize : int array;
   mutable serialize_unit : int;  (* unit owning [serialize_slot] *)
+  (* Configuration-wall mechanics (Tca_unit.config_mode, the simulator
+     counterpart of Equations terms (T1)-(T3)). Every path below is
+     gated on [u_cfg_lat > 0], so the default zero-latency units leave
+     schedules bit-identical to the pre-t_config pipeline. *)
+  u_cfg_mode : Tca_unit.config_mode array;
+  u_cfg_lat : int array;  (* Tca_unit.config_latency *)
+  u_cfg_depth : int array;  (* Tca_unit.config_queue_depth *)
+  u_desc_free_at : int array;
+      (* cycle the unit's serial descriptor engine finishes its backlog;
+         with backlog R = free_at - now > 0, outstanding descriptors are
+         exactly ceil(R / c) (completions spaced c apart), so queue-full
+         is the integer test [R > (depth - 1) * c] *)
+  u_preprog_done : bool array;  (* Preprogrammed one-time cost paid *)
+  cfg_ready : int array;
+      (* per-ROB-slot: cycle the invocation's descriptor is processed
+         and execution may start (0 for non-queued invocations) *)
+  mutable cfg_paid_ti : int;
+      (* trace index whose synchronous CSR writes are in flight, -1 none *)
+  mutable cfg_ready_at : int;  (* cycle those CSR writes complete *)
   rob : int;  (* capacity, cached *)
   (* Config scalars cached flat (one load instead of two). *)
   issue_width : int;
@@ -150,6 +171,8 @@ type state = {
   mutable stall_serialize : int;
   mutable stall_redirect : int;
   mutable stall_drained : int;
+  mutable stall_config : int;
+  mutable stall_config_queue : int;
   mutable occupancy_sum : int;
   mutable occupancy_at_accel_sum : int;
 }
@@ -202,6 +225,17 @@ let create ?telemetry cfg trace =
     u_head_wait = Array.make nu 0;
     u_serialize = Array.make nu 0;
     serialize_unit = -1;
+    u_cfg_mode =
+      Array.map (fun (u : Tca_unit.t) -> u.Tca_unit.config_mode) units;
+    u_cfg_lat =
+      Array.map (fun (u : Tca_unit.t) -> u.Tca_unit.config_latency) units;
+    u_cfg_depth =
+      Array.map (fun (u : Tca_unit.t) -> u.Tca_unit.config_queue_depth) units;
+    u_desc_free_at = Array.make nu 0;
+    u_preprog_done = Array.make nu false;
+    cfg_ready = Array.make r 0;
+    cfg_paid_ti = -1;
+    cfg_ready_at = 0;
     rob = r;
     issue_width = cfg.Config.issue_width;
     dispatch_width = cfg.Config.dispatch_width;
@@ -259,6 +293,8 @@ let create ?telemetry cfg trace =
     stall_serialize = 0;
     stall_redirect = 0;
     stall_drained = 0;
+    stall_config = 0;
+    stall_config_queue = 0;
     occupancy_sum = 0;
     occupancy_at_accel_sum = 0;
   }
@@ -449,6 +485,9 @@ let issue_accel s slot ti u =
   let start =
     if s.u_exclusive.(u) then max s.cycle s.u_free_at.(u) else s.cycle
   in
+  (* A queued invocation may not start before its descriptor is
+     processed ([cfg_ready] is 0 for every other kind of invocation). *)
+  let start = if s.cfg_ready.(slot) > start then s.cfg_ready.(slot) else start in
   let reads_len = s.d.reads_len.(ti) in
   let writes_len = s.d.writes_len.(ti) in
   let reads_done =
@@ -586,6 +625,45 @@ let rec dispatch_loop s dispatched =
       dispatched
     end
     else begin
+      (* Configuration gate, evaluated only for accel instructions of a
+         unit with a non-zero config latency (so the default pipeline is
+         untouched). [Sync] (and the one-time [Preprogrammed] cost)
+         blocks dispatch for [config_latency] cycles of CSR writes; a
+         [Queued] unit only blocks while its descriptor queue is full. *)
+      let cfg_block =
+        if opc <> D.op_accel then stall_none
+        else
+          let u = s.d.accel_unit.(ti) in
+          let c = s.u_cfg_lat.(u) in
+          if c = 0 then stall_none
+          else
+            let sync_gate () =
+              if s.cfg_paid_ti <> ti then begin
+                s.cfg_paid_ti <- ti;
+                s.cfg_ready_at <- s.cycle + c;
+                stall_config
+              end
+              else if s.cycle < s.cfg_ready_at then stall_config
+              else stall_none
+            in
+            match s.u_cfg_mode.(u) with
+            | Tca_unit.Sync -> sync_gate ()
+            | Tca_unit.Preprogrammed ->
+                if s.u_preprog_done.(u) then stall_none else sync_gate ()
+            | Tca_unit.Queued ->
+                (* backlog R = free_at - now; outstanding = ceil(R / c),
+                   so full <=> R > (depth - 1) * c *)
+                if
+                  s.u_desc_free_at.(u) - s.cycle
+                  > (s.u_cfg_depth.(u) - 1) * c
+                then stall_config_queue
+                else stall_none
+      in
+      if cfg_block <> stall_none then begin
+        s.stall_reason <- cfg_block;
+        dispatched
+      end
+      else begin
       let slot = s.tail in
       s.tail <- wrap s (s.tail + 1);
       s.count <- s.count + 1;
@@ -654,6 +732,23 @@ let rec dispatch_loop s dispatched =
           s.serialize_slot <- slot;
           s.serialize_unit <- u
         end;
+        (* Config bookkeeping: enqueue the descriptor (serial engine,
+           one descriptor per [config_latency] cycles) or mark the
+           one-time programming as paid. [cfg_ready] is cleared first so
+           a reused ROB slot cannot leak a stale descriptor deadline. *)
+        s.cfg_ready.(slot) <- 0;
+        (if s.u_cfg_lat.(u) > 0 then
+           match s.u_cfg_mode.(u) with
+           | Tca_unit.Queued ->
+               let start =
+                 if s.u_desc_free_at.(u) > s.cycle then s.u_desc_free_at.(u)
+                 else s.cycle
+               in
+               let done_at = start + s.u_cfg_lat.(u) in
+               s.u_desc_free_at.(u) <- done_at;
+               s.cfg_ready.(slot) <- done_at
+           | Tca_unit.Preprogrammed -> s.u_preprog_done.(u) <- true
+           | Tca_unit.Sync -> ());
         match s.telemetry with
         | None -> ()
         | Some sink ->
@@ -666,6 +761,7 @@ let rec dispatch_loop s dispatched =
       end;
       s.next_fetch <- s.next_fetch + 1;
       dispatch_loop s (dispatched + 1)
+      end
     end
   end
 
@@ -688,6 +784,9 @@ let dispatch_stage s =
     else if r = stall_rob then s.stall_rob <- s.stall_rob + 1
     else if r = stall_iq then s.stall_iq <- s.stall_iq + 1
     else if r = stall_lsq then s.stall_lsq <- s.stall_lsq + 1
+    else if r = stall_config then s.stall_config <- s.stall_config + 1
+    else if r = stall_config_queue then
+      s.stall_config_queue <- s.stall_config_queue + 1
   end;
   dispatched
 
@@ -729,6 +828,8 @@ let stats_of s =
         redirect = s.stall_redirect;
         drained = s.stall_drained;
       };
+    config_stall_cycles = s.stall_config;
+    config_queue_stall_cycles = s.stall_config_queue;
     per_unit =
       (* Single-unit runs keep the breakdown empty: the aggregate accel
          counters already are that unit's slice, and the golden JSON

@@ -40,6 +40,22 @@ type state = {
   u_head_wait : int array;
   u_serialize : int array;
   mutable serialize_unit : int;  (* unit owning [serialize_slot] *)
+  (* Configuration-wall mechanics (Tca_unit.config_mode, the simulator
+     counterpart of Equations terms (T1)-(T3)); every path is gated on a
+     non-zero [Tca_unit.config_latency], so default units leave the
+     schedule untouched. *)
+  u_desc_free_at : int array;
+      (* cycle the unit's serial descriptor engine finishes its backlog;
+         with backlog R = free_at - now > 0, outstanding descriptors are
+         exactly ceil(R / c) (completions spaced c apart), so queue-full
+         is the integer test [R > (depth - 1) * c] *)
+  u_preprog_done : bool array;  (* Preprogrammed one-time cost paid *)
+  cfg_ready : int array;
+      (* per-ROB-slot: cycle the invocation's descriptor is processed
+         and execution may start (0 for non-queued invocations) *)
+  mutable cfg_paid_ti : int;
+      (* trace index whose synchronous CSR writes are in flight, -1 none *)
+  mutable cfg_ready_at : int;  (* cycle those CSR writes complete *)
   rob : int;  (* capacity, cached *)
   (* Parallel ROB arrays, indexed by slot. *)
   tr_idx : int array;
@@ -79,6 +95,8 @@ type state = {
   mutable stall_serialize : int;
   mutable stall_redirect : int;
   mutable stall_drained : int;
+  mutable stall_config : int;
+  mutable stall_config_queue : int;
   mutable occupancy_sum : int;
   mutable occupancy_at_accel_sum : int;
 }
@@ -112,6 +130,11 @@ let create ?telemetry cfg trace =
     u_head_wait = Array.make nu 0;
     u_serialize = Array.make nu 0;
     serialize_unit = -1;
+    u_desc_free_at = Array.make nu 0;
+    u_preprog_done = Array.make nu false;
+    cfg_ready = Array.make r 0;
+    cfg_paid_ti = -1;
+    cfg_ready_at = 0;
     rob = r;
     tr_idx = Array.make r (-1);
     st = Array.make r st_empty;
@@ -148,6 +171,8 @@ let create ?telemetry cfg trace =
     stall_serialize = 0;
     stall_redirect = 0;
     stall_drained = 0;
+    stall_config = 0;
+    stall_config_queue = 0;
     occupancy_sum = 0;
     occupancy_at_accel_sum = 0;
   }
@@ -289,6 +314,9 @@ let issue_accel s slot (a : Isa.accel) =
     if Config.unit_exclusive s.cfg unit then max s.cycle s.u_free_at.(u)
     else s.cycle
   in
+  (* A queued invocation may not start before its descriptor is
+     processed ([cfg_ready] is 0 for every other kind of invocation). *)
+  let start = max start s.cfg_ready.(slot) in
   let reads_done =
     Array.fold_left
       (fun acc addr -> max acc (memory_read s ~now:start addr))
@@ -390,8 +418,18 @@ let issue_stage s =
   !issued
 
 (* Reasons the first dispatch slot of a cycle could not be filled, for the
-   stall breakdown. *)
-type stall = No_stall | Drained | Redirect | Serialize | Rob | Iq | Lsq
+   stall breakdown. [Config_write] and [Config_queue] are counted outside
+   the six-reason breakdown (Sim_stats.config_*_stall_cycles). *)
+type stall =
+  | No_stall
+  | Drained
+  | Redirect
+  | Serialize
+  | Rob
+  | Iq
+  | Lsq
+  | Config_write
+  | Config_queue
 
 let dispatch_stage s =
   let dispatched = ref 0 in
@@ -425,6 +463,48 @@ let dispatch_stage s =
         continue := false
       end
       else begin
+        (* Configuration gate, evaluated only for accel instructions of
+           a unit with a non-zero config latency (so the default
+           pipeline is untouched). [Sync] (and the one-time
+           [Preprogrammed] cost) blocks dispatch for [config_latency]
+           cycles of CSR writes; a [Queued] unit only blocks while its
+           descriptor queue is full. *)
+        let cfg_block =
+          match ins.Isa.op with
+          | Isa.Accel a ->
+              let u = a.Isa.unit_id in
+              let unit = s.cfg.Config.tca_units.(u) in
+              let c = unit.Tca_unit.config_latency in
+              if c = 0 then No_stall
+              else
+                let sync_gate () =
+                  if s.cfg_paid_ti <> s.next_fetch then begin
+                    s.cfg_paid_ti <- s.next_fetch;
+                    s.cfg_ready_at <- s.cycle + c;
+                    Config_write
+                  end
+                  else if s.cycle < s.cfg_ready_at then Config_write
+                  else No_stall
+                in
+                (match unit.Tca_unit.config_mode with
+                | Tca_unit.Sync -> sync_gate ()
+                | Tca_unit.Preprogrammed ->
+                    if s.u_preprog_done.(u) then No_stall else sync_gate ()
+                | Tca_unit.Queued ->
+                    (* backlog R = free_at - now; outstanding =
+                       ceil(R / c), so full <=> R > (depth - 1) * c *)
+                    if
+                      s.u_desc_free_at.(u) - s.cycle
+                      > (unit.Tca_unit.config_queue_depth - 1) * c
+                    then Config_queue
+                    else No_stall)
+          | _ -> No_stall
+        in
+        if cfg_block <> No_stall then begin
+          stall := cfg_block;
+          continue := false
+        end
+        else begin
         let slot = s.tail in
         s.tail <- (s.tail + 1) mod s.rob;
         s.count <- s.count + 1;
@@ -475,6 +555,22 @@ let dispatch_stage s =
               s.serialize_slot <- slot;
               s.serialize_unit <- u
             end;
+            (* Config bookkeeping: enqueue the descriptor (serial
+               engine, one descriptor per [config_latency] cycles) or
+               mark the one-time programming as paid. [cfg_ready] is
+               cleared first so a reused ROB slot cannot leak a stale
+               descriptor deadline. *)
+            s.cfg_ready.(slot) <- 0;
+            (let unit = s.cfg.Config.tca_units.(u) in
+             if unit.Tca_unit.config_latency > 0 then
+               match unit.Tca_unit.config_mode with
+               | Tca_unit.Queued ->
+                   let start = max s.cycle s.u_desc_free_at.(u) in
+                   let done_at = start + unit.Tca_unit.config_latency in
+                   s.u_desc_free_at.(u) <- done_at;
+                   s.cfg_ready.(slot) <- done_at
+               | Tca_unit.Preprogrammed -> s.u_preprog_done.(u) <- true
+               | Tca_unit.Sync -> ());
             (match s.telemetry with
             | None -> ()
             | Some sink ->
@@ -488,6 +584,7 @@ let dispatch_stage s =
         | _ -> ());
         s.next_fetch <- s.next_fetch + 1;
         incr dispatched
+        end
       end
     end
   done;
@@ -506,6 +603,8 @@ let dispatch_stage s =
     | Rob -> s.stall_rob <- s.stall_rob + 1
     | Iq -> s.stall_iq <- s.stall_iq + 1
     | Lsq -> s.stall_lsq <- s.stall_lsq + 1
+    | Config_write -> s.stall_config <- s.stall_config + 1
+    | Config_queue -> s.stall_config_queue <- s.stall_config_queue + 1
     | No_stall -> ()
   end;
   !dispatched
@@ -554,6 +653,8 @@ let stats_of s =
         redirect = s.stall_redirect;
         drained = s.stall_drained;
       };
+    config_stall_cycles = s.stall_config;
+    config_queue_stall_cycles = s.stall_config_queue;
     per_unit =
       (* Single-unit runs keep the breakdown empty: the aggregate accel
          counters already are that unit's slice, and the golden JSON

@@ -30,6 +30,8 @@ type t = {
   avg_rob_at_accel_dispatch : float;
   dtlb : Mem_hier.level_stats option;
   stalls : stall_breakdown;
+  config_stall_cycles : int;
+  config_queue_stall_cycles : int;
   per_unit : unit_stats list;
 }
 
@@ -54,14 +56,20 @@ let pp fmt t =
      %d (%.2f%% mispredicted)@,l1           %d hits / %d misses@,accel        \
      %d invocations, %d busy cycles, %d head-wait cycles@,rob          \
      avg %.1f, %.1f at accel dispatch@,stalls       \
-     rob=%d iq=%d lsq=%d serialize=%d redirect=%d drained=%d@]"
+     rob=%d iq=%d lsq=%d serialize=%d redirect=%d drained=%d"
     t.cycles t.committed t.ipc t.branches
     (100.0 *. mispredict_rate t)
     t.l1.Mem_hier.hits t.l1.Mem_hier.misses t.accel_invocations
     t.accel_busy_cycles t.accel_wait_for_head_cycles t.avg_rob_occupancy
     t.avg_rob_at_accel_dispatch t.stalls.rob_full
     t.stalls.iq_full t.stalls.lsq_full t.stalls.serialize t.stalls.redirect
-    t.stalls.drained
+    t.stalls.drained;
+  (* Shown only when a configuration cost was paid, so config-free
+     output is unchanged. *)
+  if t.config_stall_cycles > 0 || t.config_queue_stall_cycles > 0 then
+    Format.fprintf fmt "@,config       stall=%d queue_stall=%d"
+      t.config_stall_cycles t.config_queue_stall_cycles;
+  Format.fprintf fmt "@]"
 
 let level_json (l : Mem_hier.level_stats) =
   Tca_util.Json.Obj
@@ -93,6 +101,21 @@ let to_json t =
     | [] -> []
     | us -> [ ("per_unit", List (List.map unit_stats_to_json us)) ]
   in
+  (* Same byte-stability contract for the config-stall counters: the
+     [config] object appears only when a configuration cost was actually
+     paid, so t_config = 0 runs serialize to the pre-t_config bytes. *)
+  let config =
+    if t.config_stall_cycles = 0 && t.config_queue_stall_cycles = 0 then []
+    else
+      [
+        ( "config",
+          Obj
+            [
+              ("stall_cycles", Int t.config_stall_cycles);
+              ("queue_stall_cycles", Int t.config_queue_stall_cycles);
+            ] );
+      ]
+  in
   Obj
     ([
       ("cycles", Int t.cycles);
@@ -121,7 +144,7 @@ let to_json t =
             ("total", Int (total_stalls t.stalls));
           ] );
     ]
-    @ per_unit)
+    @ config @ per_unit)
 
 let of_json j =
   let open Tca_util.Json in
@@ -175,6 +198,14 @@ let of_json j =
         let+ drained = int_field s "drained" in
         { rob_full; iq_full; lsq_full; serialize; redirect; drained }
   in
+  let* config_stall_cycles, config_queue_stall_cycles =
+    match member "config" j with
+    | None | Some Null -> Ok (0, 0)
+    | Some c ->
+        let* stall = int_field c "stall_cycles" in
+        let+ queue = int_field c "queue_stall_cycles" in
+        (stall, queue)
+  in
   let+ per_unit =
     match member "per_unit" j with
     | None | Some Null -> Ok []
@@ -204,7 +235,8 @@ let of_json j =
   {
     cycles; committed; ipc; branches; mispredicts; l1; l2;
     accel_invocations; accel_busy_cycles; accel_wait_for_head_cycles;
-    avg_rob_occupancy; avg_rob_at_accel_dispatch; dtlb; stalls; per_unit;
+    avg_rob_occupancy; avg_rob_at_accel_dispatch; dtlb; stalls;
+    config_stall_cycles; config_queue_stall_cycles; per_unit;
   }
 
 let of_json_string s =
@@ -219,7 +251,7 @@ let csv_header =
     "accel_invocations"; "accel_busy_cycles"; "accel_wait_for_head_cycles";
     "avg_rob_occupancy"; "avg_rob_at_accel_dispatch";
     "stall_rob"; "stall_iq"; "stall_lsq"; "stall_serialize"; "stall_redirect";
-    "stall_drained"; "per_unit";
+    "stall_drained"; "config_stall"; "config_queue_stall"; "per_unit";
   ]
 
 (* One CSV cell for the whole per-unit breakdown:
@@ -274,6 +306,8 @@ let csv_row t =
     string_of_int t.stalls.rob_full; string_of_int t.stalls.iq_full;
     string_of_int t.stalls.lsq_full; string_of_int t.stalls.serialize;
     string_of_int t.stalls.redirect; string_of_int t.stalls.drained;
+    string_of_int t.config_stall_cycles;
+    string_of_int t.config_queue_stall_cycles;
     per_unit_to_cell t.per_unit;
   ]
 
@@ -289,7 +323,8 @@ let of_csv_row cells =
       l2_hits; l2_misses; dtlb_hits; dtlb_misses; accel_invocations;
       accel_busy_cycles; accel_wait_for_head_cycles; avg_rob_occupancy;
       avg_rob_at_accel_dispatch; stall_rob; stall_iq; stall_lsq;
-      stall_serialize; stall_redirect; stall_drained; per_unit ] -> (
+      stall_serialize; stall_redirect; stall_drained; config_stall;
+      config_queue_stall; per_unit ] -> (
       let int name s =
         match int_of_string_opt s with
         | Some v -> Ok v
@@ -334,6 +369,10 @@ let of_csv_row cells =
       let* serialize = int "stall_serialize" stall_serialize in
       let* redirect = int "stall_redirect" stall_redirect in
       let* drained = int "stall_drained" stall_drained in
+      let* config_stall_cycles = int "config_stall" config_stall in
+      let* config_queue_stall_cycles =
+        int "config_queue_stall" config_queue_stall
+      in
       let+ per_unit = per_unit_of_cell per_unit in
       {
         cycles; committed; ipc; branches; mispredicts;
@@ -342,7 +381,7 @@ let of_csv_row cells =
         accel_wait_for_head_cycles; avg_rob_occupancy;
         avg_rob_at_accel_dispatch;
         stalls = { rob_full; iq_full; lsq_full; serialize; redirect; drained };
-        per_unit;
+        config_stall_cycles; config_queue_stall_cycles; per_unit;
       })
   | _ ->
       invalid

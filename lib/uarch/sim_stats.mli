@@ -43,6 +43,13 @@ type t = {
   dtlb : Mem_hier.level_stats option;
       (** data-TLB hits/misses when a DTLB is configured *)
   stalls : stall_breakdown;
+  config_stall_cycles : int;
+      (** dispatch-stall cycles spent on synchronous configuration
+          writes ([Tca_unit.Sync], and the one-time programming of
+          [Preprogrammed] units) *)
+  config_queue_stall_cycles : int;
+      (** dispatch-stall cycles waiting for a full descriptor queue
+          ([Tca_unit.Queued] with [config_queue_depth] outstanding) *)
   per_unit : unit_stats list;
       (** per-unit invocation/drain/stall breakdown, ordered by unit id.
           Empty for runs on a single-unit configuration — the aggregate
@@ -72,13 +79,16 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> Tca_util.Json.t
 (** Complete machine-readable form, including the optional L2/DTLB
     levels (as [null] when absent) and derived rates. A trailing
-    [per_unit] list is present exactly when {!t.per_unit} is non-empty. *)
+    [per_unit] list is present exactly when {!t.per_unit} is non-empty,
+    and a [config] object exactly when a config-stall counter is
+    non-zero — so configuration-free runs keep the exact bytes the
+    golden pins were generated from. *)
 
 val of_json : Tca_util.Json.t -> (t, Tca_util.Diag.t) result
 (** Inverse of {!to_json} (derived rates are recomputed, not read);
-    tolerant of an absent [per_unit] key, so pre-[Tca_unit] documents
-    parse. [to_json (of_json j)] reproduces [j]'s bytes for any document
-    {!to_json} produced. *)
+    tolerant of absent [per_unit] and [config] keys, so pre-[Tca_unit]
+    and pre-t_config documents parse. [to_json (of_json j)] reproduces
+    [j]'s bytes for any document {!to_json} produced. *)
 
 val of_json_string : string -> (t, Tca_util.Diag.t) result
 (** {!Tca_util.Json.parse} followed by {!of_json}. *)

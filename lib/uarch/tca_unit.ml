@@ -2,6 +2,8 @@ type occupancy = Pipelined | Exclusive
 
 type commit_port = Shared | Private
 
+type config_mode = Sync | Queued | Preprogrammed
+
 type t = {
   id : int;
   occupancy : occupancy option;
@@ -9,21 +11,34 @@ type t = {
   allow_trailing : bool option;
   extra_invocation_latency : int;
   commit_port : commit_port;
+  config_mode : config_mode;
+  config_latency : int;
+  config_queue_depth : int;
 }
 
 let make ?occupancy ?allow_leading ?allow_trailing
-    ?(extra_invocation_latency = 0) ?(commit_port = Shared) id =
+    ?(extra_invocation_latency = 0) ?(commit_port = Shared)
+    ?(config_mode = Sync) ?(config_latency = 0) ?(config_queue_depth = 4) id =
   if id < 0 then invalid_arg "Tca_unit.make: negative unit id";
   if extra_invocation_latency < 0 then
     invalid_arg "Tca_unit.make: negative extra invocation latency";
+  if config_latency < 0 then
+    invalid_arg "Tca_unit.make: negative config latency";
+  if config_queue_depth < 1 then
+    invalid_arg "Tca_unit.make: config queue depth < 1";
   { id; occupancy; allow_leading; allow_trailing; extra_invocation_latency;
-    commit_port }
+    commit_port; config_mode; config_latency; config_queue_depth }
 
 let default id = make id
 
 let occupancy_name = function Pipelined -> "pipelined" | Exclusive -> "exclusive"
 
 let commit_port_name = function Shared -> "shared" | Private -> "private"
+
+let config_mode_name = function
+  | Sync -> "sync"
+  | Queued -> "queued"
+  | Preprogrammed -> "preprog"
 
 let validate u =
   let invalid message =
@@ -34,6 +49,8 @@ let validate u =
   if u.id < 0 then invalid "negative unit id"
   else if u.extra_invocation_latency < 0 then
     invalid "negative extra invocation latency"
+  else if u.config_latency < 0 then invalid "negative config latency"
+  else if u.config_queue_depth < 1 then invalid "config queue depth < 1"
   else Ok u
 
 let pp fmt u =
@@ -41,10 +58,18 @@ let pp fmt u =
     | None -> ""
     | Some x -> Printf.sprintf " %s=%s" name (to_string x)
   in
-  Format.fprintf fmt "unit %d%s%s%s%s commit=%s" u.id
+  Format.fprintf fmt "unit %d%s%s%s%s%s commit=%s" u.id
     (opt "occupancy" occupancy_name u.occupancy)
     (opt "leading" string_of_bool u.allow_leading)
     (opt "trailing" string_of_bool u.allow_trailing)
     (if u.extra_invocation_latency = 0 then ""
      else Printf.sprintf " extra_lat=%d" u.extra_invocation_latency)
+    (if u.config_latency = 0 then ""
+     else
+       Printf.sprintf " config=%s:%d%s"
+         (config_mode_name u.config_mode)
+         u.config_latency
+         (match u.config_mode with
+         | Queued -> Printf.sprintf " depth=%d" u.config_queue_depth
+         | Sync | Preprogrammed -> ""))
     (commit_port_name u.commit_port)

@@ -27,6 +27,25 @@ type commit_port = Shared | Private
     core's memory ports, contending with loads/stores and other shared
     units; [Private] gives the unit its own single write-back port. *)
 
+type config_mode = Sync | Queued | Preprogrammed
+(** How the unit is configured before an invocation may start — the
+    simulator counterpart of the model's (T1)-(T3) terms
+    ([Equations.config_overhead]):
+
+    - [Sync]: the dispatching core issues [config_latency] cycles of
+      synchronous CSR writes on the critical path of every invocation
+      (dispatch stalls; counted as [Sim_stats.config_stall_cycles]).
+    - [Queued]: a serial per-unit descriptor engine takes
+      [config_latency] cycles per descriptor, overlapped with execution;
+      dispatch only stalls when [config_queue_depth] descriptors are
+      outstanding (counted as [Sim_stats.config_queue_stall_cycles]).
+    - [Preprogrammed]: the unit is programmed once — the first
+      invocation pays [config_latency] synchronously, the rest are
+      free.
+
+    With [config_latency = 0] (the default) all three are inert and the
+    pipeline is byte-identical to the pre-t_config behaviour. *)
+
 type t = {
   id : int;  (** matches [Isa.accel.unit_id]; position in [Config.tca_units] *)
   occupancy : occupancy option;  (** [None]: inherit [Config.tca_occupancy] *)
@@ -35,6 +54,11 @@ type t = {
   extra_invocation_latency : int;
       (** cycles added to every invocation's compute latency (>= 0) *)
   commit_port : commit_port;
+  config_mode : config_mode;  (** [Sync] default (inert at latency 0) *)
+  config_latency : int;
+      (** [t_config] in cycles (>= 0); 0 disables configuration cost *)
+  config_queue_depth : int;
+      (** outstanding-descriptor bound of the [Queued] engine (>= 1) *)
 }
 
 val make :
@@ -43,10 +67,15 @@ val make :
   ?allow_trailing:bool ->
   ?extra_invocation_latency:int ->
   ?commit_port:commit_port ->
+  ?config_mode:config_mode ->
+  ?config_latency:int ->
+  ?config_queue_depth:int ->
   int ->
   t
 (** [make id] with all overrides absent; raises [Invalid_argument] on a
-    negative id or latency. *)
+    negative id, latency or config latency, or a non-positive config
+    queue depth. [config_mode] defaults to [Sync], [config_latency] to 0
+    (no configuration cost), [config_queue_depth] to 4. *)
 
 val default : int -> t
 (** [default id] = [make id]: inherits every per-core knob, adds no
@@ -57,4 +86,8 @@ val validate : t -> (t, Tca_util.Diag.t) result
 
 val occupancy_name : occupancy -> string
 val commit_port_name : commit_port -> string
+
+val config_mode_name : config_mode -> string
+(** ["sync"], ["queued"] or ["preprog"]. *)
+
 val pp : Format.formatter -> t -> unit

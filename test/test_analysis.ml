@@ -355,6 +355,44 @@ let test_lint_broken_trace_fires_every_rule () =
        (fun f -> Finding.rule_name f = "no-accel")
        (Lint.run [| Isa.int_alu ~dst:0 () |]))
 
+(* The configuration-wall rule: fires only when the caller supplies a
+   modeled break-even granularity and the trace's mean
+   instructions-per-invocation sits below it. *)
+let test_lint_config_granularity () =
+  (* 10 instructions per invocation. *)
+  let instrs =
+    Array.init 50 (fun i ->
+        if i mod 10 = 9 then
+          Isa.accel ~dst:1 ~compute_latency:4 ~reads:[||] ~writes:[||] ()
+        else Isa.int_alu ~dst:1 ())
+  in
+  let fired findings =
+    List.exists
+      (fun f -> Finding.rule_name f = "config-break-even")
+      findings
+  in
+  Alcotest.(check bool) "absent without a threshold" false
+    (fired (Lint.run instrs));
+  Alcotest.(check bool) "absent when granularity is above break-even" false
+    (fired (Lint.run ~config_break_even:5.0 instrs));
+  let findings = Lint.run ~config_break_even:100.0 instrs in
+  Alcotest.(check bool) "fires below break-even" true (fired findings);
+  List.iter
+    (fun f ->
+      match f with
+      | Finding.Config_granularity { mean_instrs_per_invocation; break_even }
+        ->
+          Alcotest.(check bool) "measured granularity" true
+            (mean_instrs_per_invocation = 10.0 && break_even = 100.0);
+          Alcotest.(check bool) "warning severity" true
+            (Finding.severity f = Finding.Warning)
+      | _ -> ())
+    findings;
+  (* No invocations at all: the no-accel rule owns that case; the
+     config rule must stay silent rather than divide by zero. *)
+  Alcotest.(check bool) "silent on accel-free traces" false
+    (fired (Lint.run ~config_break_even:100.0 [| Isa.int_alu ~dst:1 () |]))
+
 let test_lint_no_false_site_conflict () =
   (* The same site reading the same register repeatedly is fine. *)
   let instrs =
@@ -415,6 +453,8 @@ let () =
             test_lint_clean_on_generators;
           Alcotest.test_case "broken trace fires every rule" `Quick
             test_lint_broken_trace_fires_every_rule;
+          Alcotest.test_case "config granularity threshold" `Quick
+            test_lint_config_granularity;
           Alcotest.test_case "no false site conflict" `Quick
             test_lint_no_false_site_conflict;
         ] );

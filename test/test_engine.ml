@@ -187,7 +187,7 @@ let legacy_figure_ids =
   [
     "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
     "logca"; "partial"; "design"; "mechanistic"; "occupancy"; "cores";
-    "hashmap"; "regexv"; "strfn"; "composition";
+    "hashmap"; "regexv"; "strfn"; "composition"; "config_wall";
   ]
 
 let test_every_figure_id_registered () =
@@ -207,15 +207,19 @@ let test_every_figure_id_registered () =
       if Registry.find r id = None then
         Alcotest.fail ("unregistered workload job: " ^ id))
     Tca_experiments.Exp_common.workload_kinds;
-  (* The multi-unit validation job is not a per-workload simulate.* job
-     (multi_tca is not in workload_kinds: it needs its own unit table),
-     so it is accounted for separately. *)
-  if Registry.find r "simulate.multi_tca" = None then
-    Alcotest.fail "unregistered workload job: simulate.multi_tca";
+  (* The multi-unit and configuration validation jobs are not
+     per-workload simulate.* jobs (neither is in workload_kinds:
+     multi_tca needs its own unit table, config_wall its own config
+     knobs), so they are accounted for separately. *)
+  List.iter
+    (fun id ->
+      if Registry.find r id = None then
+        Alcotest.fail ("unregistered workload job: " ^ id))
+    [ "simulate.multi_tca"; "simulate.config_wall" ];
   Alcotest.(check int) "complete listing"
     (List.length legacy_figure_ids
     + List.length Tca_experiments.Exp_common.workload_kinds
-    + 1)
+    + 2)
     (Registry.length r)
 
 let test_listing_is_sorted_and_complete () =

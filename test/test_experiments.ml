@@ -26,7 +26,7 @@ let test_model_core_of () =
 (* --- Table 1 --- *)
 
 let test_table1 () =
-  Alcotest.(check int) "seven parameter rows" 7 (List.length (Table1.rows ()))
+  Alcotest.(check int) "eight parameter rows" 8 (List.length (Table1.rows ()))
 
 (* --- Fig 2 --- *)
 

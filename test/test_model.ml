@@ -126,7 +126,7 @@ let test_scenario_of_granularity () =
        ~accel:(Params.Factor 3.0) ())
 
 let test_glossary () =
-  Alcotest.(check int) "seven parameters (Table I)" 7
+  Alcotest.(check int) "eight parameters (Table I + t_config)" 8
     (List.length Params.glossary)
 
 (* --- Equations --- *)
@@ -204,6 +204,149 @@ let test_ideal_speedup () =
        (Equations.ideal_speedup_exn example_core example_scenario)
        (50.0 /. 37.5))
 
+(* --- Configuration cost: terms (T1)-(T3) --- *)
+
+let test_config_validation () =
+  check_diag "sync negative" is_domain
+    (Params.validate_config (Params.Sync (-1.0)));
+  check_diag "sync nan" is_non_finite
+    (Params.validate_config (Params.Sync Float.nan));
+  check_diag "queued t_config negative" is_domain
+    (Params.validate_config (Params.Queued { t_config = -2.0; depth = 4 }));
+  check_diag "queued depth zero" is_domain
+    (Params.validate_config (Params.Queued { t_config = 1.0; depth = 0 }));
+  check_diag "preprog t_config inf" is_non_finite
+    (Params.validate_config
+       (Params.Preprogrammed { t_config = Float.infinity; invocations = 10 }));
+  check_diag "preprog invocations zero" is_domain
+    (Params.validate_config
+       (Params.Preprogrammed { t_config = 1.0; invocations = 0 }));
+  check_diag "scenario rejects invalid config" is_domain
+    (Params.scenario
+       ~config:(Params.Sync (-1.0))
+       ~a:0.5 ~v:0.01 ~accel:(Params.Factor 2.0) ());
+  check_diag "unit_scenario rejects invalid config" is_domain
+    (Params.unit_scenario
+       ~config:(Params.Queued { t_config = 1.0; depth = 0 })
+       ~a:0.5 ~v:0.01 ~accel:(Params.Factor 2.0) ());
+  Alcotest.(check bool) "valid configs accepted" true
+    (List.for_all
+       (fun c -> Result.is_ok (Params.validate_config c))
+       [
+         Params.No_config; Params.Sync 0.0; Params.Sync 40.0;
+         Params.Queued { t_config = 100.0; depth = 1 };
+         Params.Preprogrammed { t_config = 1.0e6; invocations = 1 };
+       ])
+
+(* Each mechanism at t_config = 0 must leave the pinned hand-checked
+   eqs. (4)-(9) mode times byte-identically untouched. *)
+let test_config_zero_reduces_to_baseline () =
+  List.iter
+    (fun config ->
+      let s = { example_scenario with Params.config } in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Params.config_cost_name config ^ " at 0 is the identity")
+            true
+            (feq
+               (Equations.mode_time_exn example_core s m)
+               (Equations.mode_time_exn example_core example_scenario m)))
+        Mode.all)
+    [
+      Params.Sync 0.0;
+      Params.Queued { t_config = 0.0; depth = 4 };
+      Params.Preprogrammed { t_config = 0.0; invocations = 7 };
+    ]
+
+(* Pinned (T1)-(T3) values on the hand-checked example: L_NT base time
+   is 42.5 (t_baseline 50).
+   (T1) Sync 10:                 42.5 + 10        = 52.5
+   (T2) Queued 100:              max(42.5, 100)   = 100
+   (T2) Queued 30:               max(42.5, 30)    = 42.5  (execution-bound)
+   (T3) Preprog 100 over 10:     42.5 + 100/10    = 52.5 *)
+let test_config_terms_pinned () =
+  let time config =
+    Equations.mode_time_exn example_core
+      { example_scenario with Params.config }
+      Mode.L_NT
+  in
+  Alcotest.(check bool) "(T1) sync adds to the critical path" true
+    (feq (time (Params.Sync 10.0)) 52.5);
+  Alcotest.(check bool) "(T2) queued is a throughput bound" true
+    (feq (time (Params.Queued { t_config = 100.0; depth = 4 })) 100.0);
+  Alcotest.(check bool) "(T2) queued under base is free" true
+    (feq (time (Params.Queued { t_config = 30.0; depth = 4 })) 42.5);
+  Alcotest.(check bool) "(T2) depth does not change the steady state" true
+    (feq
+       (time (Params.Queued { t_config = 100.0; depth = 1 }))
+       (time (Params.Queued { t_config = 100.0; depth = 64 })));
+  Alcotest.(check bool) "(T3) preprog amortizes" true
+    (feq (time (Params.Preprogrammed { t_config = 100.0; invocations = 10 }))
+       52.5)
+
+(* The composed model must evaluate a single configured unit to exactly
+   the single-unit equations with the same config — the N = 1 reduction
+   extended to the (T1)-(T3) terms. *)
+let test_composed_config_reduction () =
+  List.iter
+    (fun config ->
+      let s = { example_scenario with Params.config } in
+      let comp = Params.composition_of_scenario s in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Params.config_cost_name config ^ " composed = single-unit")
+            true
+            (feq ~eps:1e-6
+               (Equations.composed_speedup_exn example_core comp m)
+               (Equations.speedup_exn example_core s m)))
+        Mode.all)
+    [
+      Params.No_config; Params.Sync 10.0;
+      Params.Queued { t_config = 100.0; depth = 4 };
+      Params.Preprogrammed { t_config = 100.0; invocations = 10 };
+    ]
+
+let test_config_break_even () =
+  let accel = Params.Factor 2.0 in
+  let config = Params.Sync 100.0 in
+  (match
+     Equations.config_break_even_exn example_core ~a:0.5 ~accel ~config
+       Mode.L_T
+   with
+  | None -> Alcotest.fail "sync 100 must break even below 1e9"
+  | Some g ->
+      Alcotest.(check bool) "crossing above the floor" true (g > 1.0);
+      let speedup_at g =
+        Equations.speedup_exn example_core
+          (Params.scenario_of_granularity_exn ~config ~a:0.5 ~g ~accel ())
+          Mode.L_T
+      in
+      Alcotest.(check bool) "speedup >= 1 at the crossing" true
+        (speedup_at g >= 1.0 -. 1e-3);
+      Alcotest.(check bool) "speedup < 1 just below the crossing" true
+        (speedup_at (g /. 2.0) < 1.0));
+  Alcotest.(check bool) "astronomic cost never breaks even" true
+    (Equations.config_break_even_exn example_core ~a:0.5 ~accel
+       ~config:(Params.Sync 1.0e18) Mode.L_T
+    = None);
+  Alcotest.(check bool) "no cost breaks even immediately" true
+    (Equations.config_break_even_exn example_core ~a:0.5 ~accel
+       ~config:Params.No_config Mode.L_T
+    = Some 1.0)
+
+let config_gen =
+  QCheck.(
+    map
+      (fun (c, depth, n, which) ->
+        match which mod 3 with
+        | 0 -> Params.Sync c
+        | 1 -> Params.Queued { t_config = c; depth }
+        | _ -> Params.Preprogrammed { t_config = c; invocations = n })
+      (quad (float_range 0.0 1.0e4) (int_range 1 16) (int_range 1 10_000)
+         (int_range 0 2)))
+
 let scenario_gen =
   QCheck.(
     map
@@ -255,6 +398,37 @@ let prop_best_mode_is_max =
       let _, best = Equations.best_mode_exn core s in
       List.for_all (fun (_, sp) -> sp <= best +. 1e-9)
         (Equations.speedups_exn core s))
+
+(* (T1)-(T3) against the closed forms, and the zero-cost identity, over
+   random cores, scenarios and configuration mechanisms. *)
+let prop_config_terms =
+  qtest "(T1)-(T3) match the closed forms; zero cost is the identity"
+    QCheck.(triple core_gen scenario_gen config_gen)
+    (fun (core, s, config) ->
+      let base m = Equations.mode_time_exn core s m in
+      let with_config config m =
+        Equations.mode_time_exn core { s with Params.config } m
+      in
+      let expected config m =
+        match config with
+        | Params.No_config -> base m
+        | Params.Sync c -> base m +. c
+        | Params.Queued { t_config = c; _ } -> Float.max (base m) c
+        | Params.Preprogrammed { t_config = c; invocations = n } ->
+            base m +. (c /. float_of_int n)
+      in
+      let zeroed = function
+        | Params.No_config -> Params.No_config
+        | Params.Sync _ -> Params.Sync 0.0
+        | Params.Queued q -> Params.Queued { q with t_config = 0.0 }
+        | Params.Preprogrammed p ->
+            Params.Preprogrammed { p with t_config = 0.0 }
+      in
+      List.for_all
+        (fun m ->
+          feq ~eps:1e-6 (with_config config m) (expected config m)
+          && feq (with_config (zeroed config) m) (base m))
+        Mode.all)
 
 (* --- Composition --- *)
 
@@ -736,6 +910,19 @@ let () =
           prop_speedup_positive;
           prop_l_t_bounded_by_a_plus_1;
           prop_best_mode_is_max;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "zero cost reduces to eqs. (4)-(9)" `Quick
+            test_config_zero_reduces_to_baseline;
+          Alcotest.test_case "(T1)-(T3) pinned values" `Quick
+            test_config_terms_pinned;
+          Alcotest.test_case "composed single-unit reduction" `Quick
+            test_composed_config_reduction;
+          Alcotest.test_case "break-even crossing" `Quick
+            test_config_break_even;
+          prop_config_terms;
         ] );
       ( "composition",
         [

@@ -1152,6 +1152,132 @@ let test_multi_sim_stats_roundtrips () =
           Alcotest.fail (label ^ ": of_csv_row " ^ Tca_util.Diag.to_string d))
     [ ("multi", multi); ("single", single) ]
 
+(* --- Configuration mechanisms (T1)-(T3) --- *)
+
+let config_cfg mode latency =
+  Config.with_tca_units (Config.hp ())
+    [|
+      Tca_unit.make ~config_mode:mode ~config_latency:latency
+        ~config_queue_depth:2 0;
+    |]
+
+let test_config_unit_validate () =
+  Alcotest.check_raises "negative config latency"
+    (Invalid_argument "Tca_unit.make: negative config latency") (fun () ->
+      ignore (Tca_unit.make ~config_latency:(-1) 0));
+  Alcotest.check_raises "config queue depth < 1"
+    (Invalid_argument "Tca_unit.make: config queue depth < 1") (fun () ->
+      ignore (Tca_unit.make ~config_queue_depth:0 0));
+  let reject label u =
+    Alcotest.(check bool) label true
+      (match Tca_unit.validate u with Error _ -> true | Ok _ -> false)
+  in
+  reject "validate: negative config latency"
+    { (Tca_unit.default 0) with Tca_unit.config_latency = -3 };
+  reject "validate: config queue depth < 1"
+    { (Tca_unit.default 0) with Tca_unit.config_queue_depth = 0 };
+  Alcotest.(check bool) "queued unit valid" true
+    (Result.is_ok
+       (Tca_unit.validate
+          (Tca_unit.make ~config_mode:Tca_unit.Queued ~config_latency:50
+             ~config_queue_depth:2 0)));
+  Alcotest.(check bool) "config in pp only when latency > 0" true
+    (let show u = Format.asprintf "%a" Tca_unit.pp u in
+     let inert = show (Tca_unit.default 0) in
+     let active =
+       show (Tca_unit.make ~config_mode:Tca_unit.Queued ~config_latency:50 0)
+     in
+     (not (String.length inert >= String.length active))
+     && inert <> active)
+
+(* Both pipelines must agree byte-for-byte with every configuration
+   mechanism active, and the config counters must land where the
+   mechanism says: [Sync] stalls every invocation, [Queued] stalls only
+   on a full descriptor queue, [Preprogrammed] pays once. The dense pair
+   (two accel units per chunk) keeps the queued engine saturated so the
+   queue-full path is actually exercised. *)
+let test_config_pipelines_agree () =
+  let sparse =
+    Tca_workloads.Synthetic.generate
+      (Tca_workloads.Synthetic.config ~n_units:600 ~n_chunks:60
+         ~accel_latency:20 ())
+  in
+  let dense =
+    Tca_workloads.Synthetic.generate
+      (Tca_workloads.Synthetic.config ~n_units:400 ~n_chunks:200
+         ~accel_latency:20 ())
+  in
+  let run_all label cfg (pair : Tca_workloads.Meta.pair) =
+    List.map
+      (fun c ->
+        let cfg = Config.with_coupling cfg c in
+        let trace = pair.Tca_workloads.Meta.accelerated in
+        let opt = Pipeline.run_exn cfg trace in
+        let ref_ = Pipeline_reference.run_exn cfg trace in
+        Alcotest.(check string)
+          (label ^ "/" ^ Config.coupling_name c)
+          (Tca_util.Json.to_string (Sim_stats.to_json ref_))
+          (Tca_util.Json.to_string (Sim_stats.to_json opt));
+        opt)
+      Config.all_couplings
+  in
+  let total f stats = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let sync_stall s = s.Sim_stats.config_stall_cycles in
+  let queue_stall s = s.Sim_stats.config_queue_stall_cycles in
+  (* Baseline traces carry no accel instructions: config counters stay 0
+     and the run is identical to an unconfigured one. *)
+  let base =
+    Pipeline.run_exn
+      (config_cfg Tca_unit.Sync 30)
+      sparse.Tca_workloads.Meta.baseline
+  in
+  Alcotest.(check int) "baseline: no config stalls" 0
+    (sync_stall base + queue_stall base);
+  let sync = run_all "sync" (config_cfg Tca_unit.Sync 30) sparse in
+  Alcotest.(check bool) "sync: stalls every invocation" true
+    (List.for_all (fun s -> sync_stall s > 0 && queue_stall s = 0) sync);
+  let preprog = run_all "preprog" (config_cfg Tca_unit.Preprogrammed 30) sparse in
+  List.iter2
+    (fun s p ->
+      Alcotest.(check bool) "preprog: pays once, less than sync" true
+        (sync_stall p > 0 && sync_stall p < sync_stall s && queue_stall p = 0))
+    sync preprog;
+  let queued_sparse = run_all "queued" (config_cfg Tca_unit.Queued 5) sparse in
+  Alcotest.(check int) "queued: deep sparse stream never fills the queue" 0
+    (total queue_stall queued_sparse + total sync_stall queued_sparse);
+  let queued_dense = run_all "queued-dense" (config_cfg Tca_unit.Queued 50) dense in
+  Alcotest.(check bool) "queued: dense stream hits the queue bound" true
+    (total queue_stall queued_dense > 0
+    && total sync_stall queued_dense = 0);
+  (* Round-trips with non-zero config counters: the two counters sit
+     outside the golden six-reason stall breakdown, so they only get
+     exercised here. *)
+  List.iter
+    (fun (label, stats) ->
+      (match Sim_stats.of_json (Sim_stats.to_json stats) with
+      | Ok stats' ->
+          Alcotest.(check bool) (label ^ ": json roundtrip") true
+            (stats = stats')
+      | Error d ->
+          Alcotest.fail (label ^ ": of_json " ^ Tca_util.Diag.to_string d));
+      let row = Sim_stats.csv_row stats in
+      Alcotest.(check int)
+        (label ^ ": csv arity")
+        (List.length Sim_stats.csv_header)
+        (List.length row);
+      match Sim_stats.of_csv_row row with
+      | Ok stats' ->
+          Alcotest.(check (list string))
+            (label ^ ": csv roundtrip")
+            row
+            (Sim_stats.csv_row stats')
+      | Error d ->
+          Alcotest.fail (label ^ ": of_csv_row " ^ Tca_util.Diag.to_string d))
+    [
+      ("sync stats", List.hd sync);
+      ("queued stats", List.nth queued_dense 3);
+    ]
+
 (* --- Golden pins --- *)
 
 (* test/golden/<name>.golden pins [Sim_stats.to_json] for the baseline
@@ -1334,6 +1460,12 @@ let () =
             test_multi_trace_unit_bound;
           Alcotest.test_case "sim stats roundtrips" `Quick
             test_multi_sim_stats_roundtrips;
+        ] );
+      ( "config_cost",
+        [
+          Alcotest.test_case "unit validation" `Quick test_config_unit_validate;
+          Alcotest.test_case "pipelines agree + counters" `Slow
+            test_config_pipelines_agree;
         ] );
       ( "golden",
         [ Alcotest.test_case "workload pins" `Quick test_golden_pins ] );

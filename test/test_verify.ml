@@ -370,6 +370,85 @@ let test_assume_no_invocations () =
          && f.Assume.rule = "no-invocations")
        m.Assume.flags)
 
+(* The audit's configuration-cost preconditions, keyed to (T1)-(T3):
+   [No_config] must leave the flag list untouched, each mechanism gets
+   its advisory flag, and the two warning conditions — a bursty stream
+   under [Queued], a mismatched amortization horizon under
+   [Preprogrammed] — must actually fire on pairs built to violate
+   them. *)
+let test_assume_config_flags () =
+  let baseline, accelerated = pair "heap" in
+  let audit config = Assume.audit ~config ~baseline ~accelerated () in
+  let config_flags m =
+    List.filter
+      (fun (f : Assume.flag) ->
+        String.length f.Assume.rule >= 7
+        && String.sub f.Assume.rule 0 7 = "config-")
+      m.Assume.flags
+  in
+  let has m rule severity equations =
+    Alcotest.(check bool) rule true
+      (List.exists
+         (fun (f : Assume.flag) ->
+           f.Assume.rule = rule
+           && f.Assume.severity = severity
+           && f.Assume.equations = equations)
+         (config_flags m))
+  in
+  let base = Assume.audit ~baseline ~accelerated () in
+  Alcotest.(check int) "No_config emits no config flag" 0
+    (List.length (config_flags (audit Tca_model.Params.No_config)));
+  Alcotest.(check string) "No_config audit is byte-identical"
+    (Tca_util.Json.to_string (Assume.to_json base))
+    (Tca_util.Json.to_string
+       (Assume.to_json (audit Tca_model.Params.No_config)));
+  has (audit (Tca_model.Params.Sync 100.0)) "config-sync" Finding.Info "(T1)";
+  (* The heap pair's invocations are evenly spaced, so Queued stays
+     advisory. *)
+  has
+    (audit (Tca_model.Params.Queued { t_config = 10.0; depth = 4 }))
+    "config-queued" Finding.Info "(T2)";
+  let inv = base.Assume.invocations in
+  has
+    (audit
+       (Tca_model.Params.Preprogrammed
+          { t_config = 100.0; invocations = inv }))
+    "config-preprog" Finding.Info "(T3)";
+  has
+    (audit
+       (Tca_model.Params.Preprogrammed
+          { t_config = 100.0; invocations = (2 * inv) + 1 }))
+    "config-amortization" Finding.Warning "(T3)";
+  (* A bursty pair: nine invocations one instruction apart, then one a
+     thousand instructions later (gap CV well above 1). *)
+  let bursty =
+    let out = ref [] in
+    let app n =
+      for _ = 1 to n do
+        out := Isa.int_alu ~dst:1 () :: !out
+      done
+    in
+    for _ = 1 to 9 do
+      app 1;
+      out :=
+        Isa.accel ~dst:2 ~compute_latency:4 ~reads:[||] ~writes:[||] ()
+        :: !out
+    done;
+    app 1000;
+    out :=
+      Isa.accel ~dst:2 ~compute_latency:4 ~reads:[||] ~writes:[||] () :: !out;
+    Array.of_list (List.rev !out)
+  in
+  let bursty_audit =
+    Assume.audit
+      ~config:(Tca_model.Params.Queued { t_config = 10.0; depth = 4 })
+      ~baseline:[| Isa.int_alu ~dst:1 () |]
+      ~accelerated:bursty ()
+  in
+  Alcotest.(check bool) "bursty stream measured as bursty" true
+    (bursty_audit.Assume.gap_cv > 1.0);
+  has bursty_audit "config-queue-burst" Finding.Warning "(T2)"
+
 (* --- Multi-unit pairs --- *)
 
 let multi_pair kind =
@@ -490,6 +569,8 @@ let () =
           Alcotest.test_case "regex under-declaration flagged" `Quick
             test_assume_flags_regex_underdeclaration;
           Alcotest.test_case "no invocations" `Quick test_assume_no_invocations;
+          Alcotest.test_case "config-cost flags (T1)-(T3)" `Quick
+            test_assume_config_flags;
         ] );
       ( "multi_unit",
         [
